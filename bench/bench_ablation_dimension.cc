@@ -1,0 +1,86 @@
+// Ablation A3 — sensitivity to embedding dimensionality: sweeps the
+// Doc2Vec vector size over the Table-1 account task and the Figure-3
+// summarization task. The paper fixes one dimension per method; this
+// ablation shows the results are not knife-edge in that choice.
+
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "engine/advisor.h"
+#include "engine/cost_model.h"
+#include "ml/crossval.h"
+#include "ml/random_forest.h"
+#include "querc/summarizer.h"
+
+namespace querc::bench {
+namespace {
+
+int Main() {
+  std::printf("=== Ablation: embedding dimension sweep (Doc2Vec) ===\n");
+  workload::Workload tpch = TpchWorkload();
+  workload::Workload labeled = SnowflakeLabeledWorkload();
+  std::vector<std::string> full;
+  for (const auto& q : tpch) full.push_back(q.text);
+
+  engine::Catalog catalog = engine::TpchCatalog();
+  engine::CostModel model(&catalog);
+  double baseline = engine::RunWorkload(model, full, {}).total_seconds;
+  std::printf("TPC-H no-index baseline: %.1fs\n", baseline);
+
+  util::TableWriter table({"dim", "account_acc", "summary_k",
+                           "tpch_runtime_3min_s"});
+  for (size_t dim : {4, 8, 16, 32, 48}) {
+    embed::Doc2VecEmbedder::Options options = Doc2VecBenchOptions();
+    options.dim = dim;
+    auto embedder = std::make_shared<embed::Doc2VecEmbedder>(options);
+
+    // Account labeling at this dimension (embedder trained on the labeled
+    // workload itself for this sweep; 3 folds keeps the sweep fast).
+    (void)embed::TrainOnWorkload(*embedder, labeled);
+    ml::Dataset data;
+    data.x = embed::EmbedWorkload(*embedder, labeled);
+    ml::LabelEncoder accounts;
+    for (const auto& q : labeled) data.y.push_back(accounts.FitId(q.account));
+    double account_acc =
+        ml::StratifiedKFold(data, 3,
+                            [] {
+                              return std::make_unique<
+                                  ml::RandomForestClassifier>(
+                                  ml::RandomForestClassifier::Options{
+                                      .num_trees = 25});
+                            },
+                            501)
+            .MeanAccuracy();
+
+    // Summarization quality at this dimension.
+    auto tpch_embedder = std::make_shared<embed::Doc2VecEmbedder>(options);
+    (void)embed::TrainOnWorkload(*tpch_embedder, tpch);
+    core::WorkloadSummarizer::Options sopt;
+    sopt.elbow.k_min = 4;
+    sopt.elbow.k_max = 48;
+    sopt.elbow.k_step = 4;
+    core::WorkloadSummarizer summarizer(tpch_embedder, sopt);
+    auto summary = summarizer.Summarize(tpch);
+    std::vector<std::string> texts;
+    for (const auto& q : summary.queries) texts.push_back(q.text);
+    engine::AdvisorOptions aopt;
+    aopt.budget_minutes = 3.0;
+    engine::TuningAdvisor advisor(&model, aopt);
+    auto rec = advisor.Recommend(texts);
+    double runtime = engine::RunWorkload(model, full, rec.config).total_seconds;
+
+    table.AddRow({std::to_string(dim),
+                  util::TableWriter::Num(100.0 * account_acc, 1) + "%",
+                  std::to_string(summary.queries.size()),
+                  util::TableWriter::Num(runtime, 1)});
+    std::printf("  dim %2zu done\n", dim);
+  }
+  EmitTable(table, "Ablation A3 — Doc2Vec dimension sweep",
+            "ablation_dimension.csv");
+  return 0;
+}
+
+}  // namespace
+}  // namespace querc::bench
+
+int main() { return querc::bench::Main(); }

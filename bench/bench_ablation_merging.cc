@@ -1,0 +1,60 @@
+// Ablation A5 — advisor extensions beyond the paper's setup: the
+// DTA-style composite-index MERGE phase and the storage budget. Run at a
+// generous time budget so search quality isn't the confound.
+
+#include "bench/bench_common.h"
+#include "engine/advisor.h"
+#include "engine/cost_model.h"
+
+namespace querc::bench {
+namespace {
+
+int Main() {
+  std::printf("=== Ablation: index merging and storage budgets ===\n");
+  workload::Workload tpch = TpchWorkload();
+  std::vector<std::string> texts;
+  for (const auto& q : tpch) texts.push_back(q.text);
+
+  engine::Catalog catalog = engine::TpchCatalog();
+  engine::CostModel model(&catalog);
+  double baseline = engine::RunWorkload(model, texts, {}).total_seconds;
+
+  util::TableWriter table({"configuration", "indexes", "storage_mb",
+                           "runtime_s", "vs_no_index"});
+  table.AddRow({"no-indexes", "0", "0.0",
+                util::TableWriter::Num(baseline, 1), "1.00"});
+
+  auto run = [&](const char* name, double storage_mb, bool merge) {
+    engine::AdvisorOptions options;
+    options.budget_minutes = 30.0;
+    options.max_storage_mb = storage_mb;
+    options.enable_index_merging = merge;
+    engine::TuningAdvisor advisor(&model, options);
+    auto rec = advisor.Recommend(texts);
+    double runtime = engine::RunWorkload(model, texts, rec.config).total_seconds;
+    table.AddRow({name, std::to_string(rec.config.size()),
+                  util::TableWriter::Num(rec.storage_mb, 1),
+                  util::TableWriter::Num(runtime, 1),
+                  util::TableWriter::Num(runtime / baseline, 2)});
+    std::printf("  %-28s -> %s\n", name,
+                engine::ConfigToString(rec.config).c_str());
+  };
+
+  run("unlimited, no merging", 0.0, false);
+  run("unlimited, with merging", 0.0, true);
+  run("storage <= 400 MB", 400.0, false);
+  run("storage <= 150 MB", 150.0, false);
+  run("storage <= 150 MB + merging", 150.0, true);
+  run("storage <= 20 MB", 20.0, false);
+
+  EmitTable(table,
+            "Ablation A5 — composite-index merging and storage budgets "
+            "(30-minute advisor budget)",
+            "ablation_merging.csv");
+  return 0;
+}
+
+}  // namespace
+}  // namespace querc::bench
+
+int main() { return querc::bench::Main(); }

@@ -1,0 +1,108 @@
+// Ablation A2 — summarizer comparison at the paper's 3-minute advisor
+// budget: K-means over learned embeddings (the paper's method) vs
+// K-medoids with a hand-tuned feature distance (the Chaudhuri-style
+// baseline) vs uniform random sampling vs the full workload.
+
+#include <functional>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "engine/advisor.h"
+#include "engine/cost_model.h"
+#include "ml/kmedoids.h"
+#include "querc/summarizer.h"
+#include "util/rng.h"
+
+namespace querc::bench {
+namespace {
+
+std::vector<std::string> Texts(const workload::Workload& wl) {
+  std::vector<std::string> texts;
+  for (const auto& q : wl) texts.push_back(q.text);
+  return texts;
+}
+
+int Main() {
+  std::printf("=== Ablation: summarization strategies at a 3-minute "
+              "advisor budget ===\n");
+  workload::Workload tpch = TpchWorkload();
+  std::vector<std::string> full = Texts(tpch);
+
+  engine::Catalog catalog = engine::TpchCatalog();
+  engine::CostModel model(&catalog);
+  double baseline = engine::RunWorkload(model, full, {}).total_seconds;
+
+  // --- method 1: K-means over learned embeddings (the paper's) ---
+  auto embedder =
+      std::make_shared<embed::Doc2VecEmbedder>(Doc2VecBenchOptions());
+  TrainEmbedder(*embedder, tpch, "doc2vecTPCH");
+  core::WorkloadSummarizer::Options sopt;
+  sopt.elbow.k_min = 4;
+  sopt.elbow.k_max = 48;
+  sopt.elbow.k_step = 4;
+  core::WorkloadSummarizer summarizer(embedder, sopt);
+  auto learned_summary = summarizer.Summarize(tpch);
+  size_t k = learned_summary.queries.size();
+
+  // --- method 2: K-medoids with a hand-engineered feature distance ---
+  embed::FeatureEmbedder::Options fopt;
+  fopt.dialect = sql::Dialect::kSqlServer;
+  embed::FeatureEmbedder features(fopt);
+  (void)embed::TrainOnWorkload(features, tpch);
+  std::vector<nn::Vec> fvecs = embed::EmbedWorkload(features, tpch);
+  util::Stopwatch watch;
+  auto medoids = ml::KMedoids(
+      fvecs.size(),
+      [&](size_t i, size_t j) {
+        return std::sqrt(nn::SquaredDistance(fvecs[i], fvecs[j]));
+      },
+      k);
+  std::printf("  kmedoids over %zu queries (K=%zu) in %.1fs\n", fvecs.size(),
+              k, watch.ElapsedSeconds());
+  std::vector<std::string> medoid_texts;
+  for (size_t m : medoids.medoids) medoid_texts.push_back(full[m]);
+
+  // --- method 3: uniform random sample of the same size ---
+  util::Rng rng(404);
+  std::vector<size_t> order(full.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  std::vector<std::string> random_texts;
+  for (size_t i = 0; i < k; ++i) random_texts.push_back(full[order[i]]);
+
+  struct Method {
+    const char* name;
+    std::vector<std::string> input;
+  };
+  std::vector<Method> methods = {
+      {"full-workload", full},
+      {"kmeans-doc2vec (paper)", Texts(learned_summary.queries)},
+      {"kmedoids-features (Chaudhuri)", medoid_texts},
+      {"random-sample", random_texts},
+  };
+
+  util::TableWriter table(
+      {"method", "advisor_input", "runtime_s", "vs_no_index"});
+  table.AddRow({"no-indexes", "-", util::TableWriter::Num(baseline, 1),
+                "1.00"});
+  engine::AdvisorOptions aopt;
+  aopt.budget_minutes = 3.0;
+  engine::TuningAdvisor advisor(&model, aopt);
+  for (const Method& m : methods) {
+    auto rec = advisor.Recommend(m.input);
+    double runtime = engine::RunWorkload(model, full, rec.config).total_seconds;
+    table.AddRow({m.name, std::to_string(m.input.size()),
+                  util::TableWriter::Num(runtime, 1),
+                  util::TableWriter::Num(runtime / baseline, 2)});
+  }
+  EmitTable(table,
+            "Ablation A2 — TPC-H runtime under each summarizer's 3-minute "
+            "recommendation",
+            "ablation_summarizers.csv");
+  return 0;
+}
+
+}  // namespace
+}  // namespace querc::bench
+
+int main() { return querc::bench::Main(); }

@@ -1,0 +1,98 @@
+#ifndef QUERC_BENCH_BENCH_COMMON_H_
+#define QUERC_BENCH_BENCH_COMMON_H_
+
+/// Shared setup for the experiment-reproduction binaries. Each binary
+/// regenerates one table or figure from the paper; everything is seeded,
+/// so reports are reproducible run-to-run.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "embed/doc2vec.h"
+#include "embed/embedder.h"
+#include "embed/feature_embedder.h"
+#include "embed/lstm_autoencoder.h"
+#include "util/stopwatch.h"
+#include "util/table_writer.h"
+#include "workload/snowflake_gen.h"
+#include "workload/tpch_gen.h"
+
+namespace querc::bench {
+
+/// The §5.1 TPC-H workload (22 templates x 38 instances, template-major).
+inline workload::Workload TpchWorkload() {
+  workload::TpchGenerator::Options options;
+  options.instances_per_template = 38;
+  return workload::TpchGenerator(options).Generate();
+}
+
+/// Unlabeled multi-tenant pre-training corpus (stands in for the paper's
+/// 500k-query Snowflake corpus at laptop scale).
+inline workload::Workload SnowflakePretrainCorpus(int queries_per_account =
+                                                      300) {
+  workload::SnowflakeGenerator::Options options;
+  options.seed = 2024;
+  options.accounts = workload::SnowflakeGenerator::UniformAccounts(
+      /*num_accounts=*/10, queries_per_account, /*users_per_account=*/6);
+  return workload::SnowflakeGenerator(options).Generate();
+}
+
+/// The labeled evaluation workload with the paper's Table 2 account mix
+/// (stands in for the 200k labeled Snowflake queries).
+inline workload::Workload SnowflakeLabeledWorkload() {
+  workload::SnowflakeGenerator::Options options;
+  options.seed = 77;
+  options.accounts = workload::SnowflakeGenerator::Table2Accounts();
+  return workload::SnowflakeGenerator(options).Generate();
+}
+
+inline embed::Doc2VecEmbedder::Options Doc2VecBenchOptions() {
+  embed::Doc2VecEmbedder::Options options;
+  options.dim = 16;
+  // PV-DBOW: the classic off-the-shelf Doc2Vec flavor — a pure
+  // bag-of-words objective with no token-order signal, which is exactly
+  // why the order-sensitive LSTM autoencoder outperforms it in Table 1.
+  options.mode = embed::Doc2VecEmbedder::Mode::kDbow;
+  options.epochs = 6;
+  options.infer_epochs = 12;
+  options.min_count = 2;
+  options.seed = 9;
+  return options;
+}
+
+inline embed::LstmAutoencoderEmbedder::Options LstmBenchOptions() {
+  embed::LstmAutoencoderEmbedder::Options options;
+  options.hidden_dim = 32;
+  options.token_dim = 16;
+  options.epochs = 8;
+  options.min_count = 2;
+  options.seed = 13;
+  return options;
+}
+
+/// Trains an embedder on `corpus`, printing the wall-clock time.
+inline void TrainEmbedder(embed::Embedder& embedder,
+                          const workload::Workload& corpus,
+                          const char* label) {
+  util::Stopwatch watch;
+  util::Status status = embed::TrainOnWorkload(embedder, corpus);
+  std::printf("  trained %-18s on %5zu queries in %6.1fs%s\n", label,
+              corpus.size(), watch.ElapsedSeconds(),
+              status.ok() ? "" : (" FAILED: " + status.ToString()).c_str());
+}
+
+/// Prints a table and best-effort writes its CSV next to the binary.
+inline void EmitTable(const util::TableWriter& table, const char* title,
+                      const std::string& csv_name) {
+  std::printf("\n%s\n%s", title, table.ToAscii().c_str());
+  util::Status status = table.WriteCsv(csv_name);
+  if (status.ok()) {
+    std::printf("(csv written to %s)\n", csv_name.c_str());
+  }
+}
+
+}  // namespace querc::bench
+
+#endif  // QUERC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,172 @@
+// Microbenchmarks (google-benchmark): throughput of the hot online path —
+// lexing, normalization, embedding, and end-to-end QWorker labeling — plus
+// the offline building blocks (K-means, advisor what-if costing). Querc's
+// QWorkers sit on (or beside) the query path, so per-query latency is the
+// operative metric.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "engine/cost_model.h"
+#include "ml/kmeans.h"
+#include "ml/random_forest.h"
+#include "querc/classifier.h"
+#include "querc/qworker.h"
+#include "sql/analyzer.h"
+#include "sql/lexer.h"
+#include "sql/normalizer.h"
+
+namespace querc::bench {
+namespace {
+
+const workload::Workload& SharedWorkload() {
+  static const workload::Workload* wl = [] {
+    workload::SnowflakeGenerator::Options options;
+    options.seed = 5;
+    options.accounts =
+        workload::SnowflakeGenerator::UniformAccounts(4, 250, 5);
+    return new workload::Workload(
+        workload::SnowflakeGenerator(options).Generate());
+  }();
+  return *wl;
+}
+
+const std::string& SampleQuery(size_t i) {
+  const auto& wl = SharedWorkload();
+  return wl[i % wl.size()].text;
+}
+
+void BM_Lex(benchmark::State& state) {
+  size_t i = 0;
+  sql::LexOptions options;
+  options.dialect = sql::Dialect::kSnowflake;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sql::LexLenient(SampleQuery(i++), options));
+  }
+}
+BENCHMARK(BM_Lex);
+
+void BM_TokenizeForEmbedding(benchmark::State& state) {
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(embed::TokenizeForEmbedding(
+        SampleQuery(i++), sql::Dialect::kSnowflake));
+  }
+}
+BENCHMARK(BM_TokenizeForEmbedding);
+
+void BM_Analyze(benchmark::State& state) {
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sql::AnalyzeText(SampleQuery(i++), sql::Dialect::kSnowflake));
+  }
+}
+BENCHMARK(BM_Analyze);
+
+const embed::Embedder& SharedEmbedder(bool lstm) {
+  static const embed::Embedder* doc2vec = [] {
+    auto options = Doc2VecBenchOptions();
+    options.epochs = 3;
+    auto* e = new embed::Doc2VecEmbedder(options);
+    (void)embed::TrainOnWorkload(*e, SharedWorkload());
+    return e;
+  }();
+  static const embed::Embedder* autoencoder = [] {
+    auto options = LstmBenchOptions();
+    options.epochs = 1;
+    auto* e = new embed::LstmAutoencoderEmbedder(options);
+    (void)embed::TrainOnWorkload(*e, SharedWorkload());
+    return e;
+  }();
+  return lstm ? *autoencoder : *doc2vec;
+}
+
+void BM_EmbedDoc2Vec(benchmark::State& state) {
+  const embed::Embedder& embedder = SharedEmbedder(false);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        embedder.EmbedQuery(SampleQuery(i++), sql::Dialect::kSnowflake));
+  }
+}
+BENCHMARK(BM_EmbedDoc2Vec);
+
+void BM_EmbedLstm(benchmark::State& state) {
+  const embed::Embedder& embedder = SharedEmbedder(true);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        embedder.EmbedQuery(SampleQuery(i++), sql::Dialect::kSnowflake));
+  }
+}
+BENCHMARK(BM_EmbedLstm);
+
+void BM_QWorkerProcess(benchmark::State& state) {
+  // End-to-end online path: embed + label through a deployed classifier.
+  core::QWorker::Options options;
+  options.application = "bench";
+  core::QWorker worker(options);
+  auto embedder = std::make_shared<embed::LstmAutoencoderEmbedder>([&] {
+    auto o = LstmBenchOptions();
+    o.epochs = 1;
+    return o;
+  }());
+  (void)embed::TrainOnWorkload(*embedder, SharedWorkload());
+  auto classifier = std::make_shared<core::Classifier>(
+      "user", embedder,
+      std::make_unique<ml::RandomForestClassifier>(
+          ml::RandomForestClassifier::Options{.num_trees = 20}));
+  (void)classifier->Train(SharedWorkload(), workload::UserOf);
+  worker.Deploy(classifier);
+
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(worker.Process(SharedWorkload()[i++ %
+                                                             SharedWorkload()
+                                                                 .size()]));
+  }
+  state.counters["queries_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_QWorkerProcess);
+
+void BM_KMeansSummarize(benchmark::State& state) {
+  const embed::Embedder& embedder = SharedEmbedder(false);
+  static const std::vector<nn::Vec>* vectors = [&] {
+    auto* v = new std::vector<nn::Vec>(
+        embed::EmbedWorkload(embedder, SharedWorkload()));
+    return v;
+  }();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ml::KMeans(*vectors, static_cast<size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_KMeansSummarize)->Arg(8)->Arg(32);
+
+void BM_WhatIfCosting(benchmark::State& state) {
+  static const engine::Catalog catalog = engine::TpchCatalog();
+  engine::CostModel model(&catalog);
+  util::Rng rng(3);
+  std::vector<sql::QueryShape> shapes;
+  for (int q = 1; q <= 22; ++q) {
+    shapes.push_back(sql::AnalyzeText(
+        workload::TpchGenerator::Instantiate(q, rng),
+        sql::Dialect::kSqlServer));
+  }
+  engine::IndexConfig config = {{"lineitem", {"l_shipdate"}},
+                                {"orders", {"o_orderdate"}}};
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Cost(shapes[i++ % shapes.size()], config));
+  }
+}
+BENCHMARK(BM_WhatIfCosting);
+
+}  // namespace
+}  // namespace querc::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// Evaluation of the query-recommendation application (§4, "Query
+// recommendation"): predict a user's next query from their history.
+// Metric: hit-rate@k on held-out (query -> next query) transitions —
+// a recommendation "hits" when the true next query's TEMPLATE appears
+// among the top-k suggestions. Compared against a global-popularity
+// baseline (always recommend the most common next queries).
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "querc/recommender.h"
+
+namespace querc::bench {
+namespace {
+
+/// Template fingerprint: normalized text (literals folded).
+std::string Fingerprint(const workload::LabeledQuery& q) {
+  auto words = embed::TokenizeForEmbedding(q.text, q.dialect);
+  std::string fp;
+  for (const auto& w : words) {
+    fp += w;
+    fp += ' ';
+  }
+  return fp;
+}
+
+int Main() {
+  std::printf("=== Query recommendation: next-query hit rate ===\n");
+  workload::SnowflakeGenerator::Options options;
+  options.seed = 2025;
+  options.accounts = workload::SnowflakeGenerator::UniformAccounts(
+      /*num_accounts=*/4, /*queries_per_account=*/800,
+      /*users_per_account=*/5);
+  workload::Workload all = workload::SnowflakeGenerator(options).Generate();
+
+  // Chronological split: first 80% is history, last 20% is evaluation.
+  size_t split = all.size() * 4 / 5;
+  workload::Workload history(
+      {all.queries().begin(), all.queries().begin() + static_cast<long>(split)});
+  workload::Workload tail(
+      {all.queries().begin() + static_cast<long>(split), all.queries().end()});
+
+  auto embedder = std::make_shared<embed::Doc2VecEmbedder>(Doc2VecBenchOptions());
+  TrainEmbedder(*embedder, history, "doc2vec");
+
+  core::QueryRecommender::Options rec_options;
+  rec_options.neighbors = 12;
+  rec_options.max_recommendations = 3;
+  core::QueryRecommender recommender(embedder, rec_options);
+  util::Status status = recommender.Train(history);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // Evaluation transitions: per user, consecutive queries in the tail.
+  struct Transition {
+    const workload::LabeledQuery* current;
+    std::string next_fingerprint;
+  };
+  std::map<std::string, std::vector<size_t>> by_user;
+  for (size_t i = 0; i < tail.size(); ++i) by_user[tail[i].user].push_back(i);
+  std::vector<Transition> transitions;
+  for (auto& [user, indices] : by_user) {
+    (void)user;
+    std::sort(indices.begin(), indices.end(), [&](size_t a, size_t b) {
+      return tail[a].timestamp < tail[b].timestamp;
+    });
+    for (size_t k = 0; k + 1 < indices.size(); ++k) {
+      transitions.push_back(
+          {&tail[indices[k]], Fingerprint(tail[indices[k + 1]])});
+    }
+  }
+  std::printf("evaluating %zu held-out transitions\n", transitions.size());
+
+  // Global-popularity baseline: top-3 most frequent templates overall.
+  std::map<std::string, int> popularity;
+  for (const auto& q : history) ++popularity[Fingerprint(q)];
+  std::vector<std::pair<int, std::string>> ranked;
+  for (const auto& [fp, c] : popularity) ranked.emplace_back(c, fp);
+  std::sort(ranked.rbegin(), ranked.rend());
+  std::vector<std::string> top3;
+  for (size_t i = 0; i < 3 && i < ranked.size(); ++i) {
+    top3.push_back(ranked[i].second);
+  }
+
+  size_t hits = 0;
+  size_t baseline_hits = 0;
+  for (const Transition& t : transitions) {
+    auto recs = recommender.Recommend(*t.current);
+    for (const auto& r : recs) {
+      workload::LabeledQuery rq;
+      rq.text = r.text;
+      rq.dialect = t.current->dialect;
+      if (Fingerprint(rq) == t.next_fingerprint) {
+        ++hits;
+        break;
+      }
+    }
+    if (std::find(top3.begin(), top3.end(), t.next_fingerprint) !=
+        top3.end()) {
+      ++baseline_hits;
+    }
+  }
+
+  util::TableWriter table({"method", "hit_rate_at_3"});
+  table.AddRow({"querc-recommender",
+                util::TableWriter::Num(
+                    100.0 * static_cast<double>(hits) /
+                        static_cast<double>(transitions.size()),
+                    1) + "%"});
+  table.AddRow({"global-popularity",
+                util::TableWriter::Num(
+                    100.0 * static_cast<double>(baseline_hits) /
+                        static_cast<double>(transitions.size()),
+                    1) + "%"});
+  EmitTable(table, "Query recommendation — next-template hit rate @3",
+            "recommender.csv");
+  return 0;
+}
+
+}  // namespace
+}  // namespace querc::bench
+
+int main() { return querc::bench::Main(); }

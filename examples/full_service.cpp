@@ -1,0 +1,130 @@
+// Scenario: the complete Querc deployment of the paper's Figure 1.
+//
+// Three applications X, Y, Z, each with its own query stream and database.
+// X and Y are tenants that permit log sharing, so they share EmbedderA
+// trained on their combined workloads; Z keeps its logs private and gets
+// its own EmbedderB. The central training module trains per-application
+// labelers over the shared representations and deploys them to each
+// application's QWorker; processed queries tee back for the next batch
+// training job. A drift check decides when retraining is due.
+//
+// Build & run:  ./build/examples/full_service
+
+#include <cstdio>
+#include <memory>
+
+#include "ml/random_forest.h"
+#include "querc/drift.h"
+#include "querc/querc.h"
+
+namespace {
+
+using namespace querc;
+
+workload::Workload AppWorkload(const char* account, uint64_t seed,
+                               int queries) {
+  workload::SnowflakeGenerator::Options options;
+  options.seed = seed;
+  workload::SnowflakeGenerator::AccountSpec spec;
+  spec.name = account;
+  spec.num_users = 5;
+  spec.num_queries = queries;
+  spec.shared_query_rate = 0.05;
+  options.accounts = {spec};
+  return workload::SnowflakeGenerator(options).Generate();
+}
+
+std::shared_ptr<embed::Doc2VecEmbedder> TrainEmbedder(
+    const workload::Workload& corpus, const char* label) {
+  embed::Doc2VecEmbedder::Options options;
+  options.dim = 20;
+  options.epochs = 8;
+  auto embedder = std::make_shared<embed::Doc2VecEmbedder>(options);
+  util::Status status = embed::TrainOnWorkload(*embedder, corpus);
+  std::printf("trained %s on %zu queries: %s\n", label, corpus.size(),
+              status.ToString().c_str());
+  return embedder;
+}
+
+}  // namespace
+
+int main() {
+  // --- query streams (left edge of Figure 1) ---
+  workload::Workload x = AppWorkload("appx", 11, 600);
+  workload::Workload y = AppWorkload("appy", 12, 600);
+  workload::Workload z = AppWorkload("appz", 13, 600);
+
+  // --- embedders: EmbedderA(X, Y) shared; EmbedderB(Z) private ---
+  workload::Workload xy = x;
+  xy.Append(y);
+  auto embedder_a = TrainEmbedder(xy, "EmbedderA(X,Y)");
+  auto embedder_b = TrainEmbedder(z, "EmbedderB(Z)");
+
+  // --- central training module ---
+  core::TrainingModule module({});
+  module.RegisterEmbedder("EmbedderA", embedder_a);
+  module.RegisterEmbedder("EmbedderB", embedder_b);
+  module.ImportLogs("X", x);
+  module.ImportLogs("Y", y);
+  module.ImportLogs("Z", z);
+
+  auto job = [](const char* app, const char* embedder,
+                core::LabelExtractor label, const char* task) {
+    core::TrainingModule::TrainJob j;
+    j.task_name = task;
+    j.application = app;
+    j.embedder_name = embedder;
+    j.label_of = std::move(label);
+    return j;  // default labeler: randomized decision forest
+  };
+
+  // --- per-application workers; X gets user + cluster classifiers ---
+  core::QWorker worker_x({.application = "X"});
+  core::QWorker worker_y({.application = "Y"});
+  core::QWorker worker_z({.application = "Z", .forward_to_database = false});
+  util::Status status = module.TrainAndDeploy(
+      {job("X", "EmbedderA", workload::UserOf, "user"),
+       job("X", "EmbedderA", workload::ClusterOf, "cluster")},
+      worker_x);
+  if (!status.ok()) return 1;
+  (void)module.TrainAndDeploy({job("Y", "EmbedderA", workload::UserOf,
+                                   "user")},
+                              worker_y);
+  (void)module.TrainAndDeploy({job("Z", "EmbedderB", workload::UserOf,
+                                   "user")},
+                              worker_z);
+
+  // Tee labeled queries back to the training module (Figure 1's loop).
+  worker_x.set_training_sink([&](const core::ProcessedQuery& pq) {
+    module.Collect("X", pq);
+  });
+
+  // --- steady state: batches arrive, workers label them ---
+  int correct = 0;
+  int total = 0;
+  for (size_t i = 0; i < 200; ++i) {
+    auto out = worker_x.Process(x[i]);
+    correct += out.predictions.at("user") == x[i].user ? 1 : 0;
+    ++total;
+  }
+  std::printf("X stream: %d/%d user predictions correct; worker holds %zu "
+              "classifiers, window %zu\n",
+              correct, total, worker_x.num_classifiers(),
+              worker_x.window().size());
+
+  // --- drift check: should we retrain? ---
+  core::DriftDetector detector(embedder_a, {});
+  (void)detector.SetReference(x);
+  auto quiet = detector.Check(y.FilterByAccount("appy"));
+  workload::Workload shifted = AppWorkload("appnew", 99, 300);
+  auto loud = detector.Check(shifted);
+  std::printf("drift vs Y (same service):   centroid=%.2f novelty=%.2f -> "
+              "%s\n",
+              quiet.centroid_shift, quiet.novelty,
+              quiet.retrain_recommended ? "retrain" : "steady");
+  std::printf("drift vs new tenant:         centroid=%.2f novelty=%.2f -> "
+              "%s\n",
+              loud.centroid_shift, loud.novelty,
+              loud.retrain_recommended ? "retrain" : "steady");
+  return 0;
+}

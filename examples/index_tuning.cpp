@@ -1,0 +1,83 @@
+// Scenario: workload summarization for index recommendation (paper §5.1).
+//
+// A DBA has 800+ TPC-H queries and an index advisor whose search cost
+// grows with the input size. Summarizing the workload with learned
+// embeddings lets the advisor reach a near-optimal configuration within a
+// tight time budget.
+//
+// Build & run:  ./build/examples/index_tuning [budget_minutes]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "engine/advisor.h"
+#include "engine/cost_model.h"
+#include "ml/random_forest.h"
+#include "querc/querc.h"
+
+int main(int argc, char** argv) {
+  using namespace querc;
+  double budget = argc > 1 ? std::atof(argv[1]) : 3.0;
+
+  // The workload and the simulated engine (catalog + cost model).
+  workload::TpchGenerator::Options gen_options;
+  workload::TpchGenerator generator(gen_options);
+  workload::Workload tpch = generator.Generate();
+  std::vector<std::string> texts;
+  for (const auto& q : tpch) texts.push_back(q.text);
+
+  engine::Catalog catalog = engine::TpchCatalog();
+  engine::CostModel model(&catalog);
+  double baseline = engine::RunWorkload(model, texts, {}).total_seconds;
+  std::printf("workload: %zu queries; no-index runtime %.1f simulated s\n",
+              texts.size(), baseline);
+
+  // Train an embedder on the workload and summarize (K via elbow method).
+  auto embedder = std::make_shared<embed::Doc2VecEmbedder>([&] {
+    embed::Doc2VecEmbedder::Options options;
+    options.dim = 16;
+    options.epochs = 6;
+    return options;
+  }());
+  util::Status status = embed::TrainOnWorkload(*embedder, tpch);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  core::WorkloadSummarizer::Options sum_options;
+  sum_options.elbow.k_min = 4;
+  sum_options.elbow.k_max = 48;
+  sum_options.elbow.k_step = 4;
+  core::WorkloadSummarizer summarizer(embedder, sum_options);
+  auto summary = summarizer.Summarize(tpch);
+  std::printf("summary: K=%zu witnesses (elbow method)\n",
+              summary.queries.size());
+
+  // Run the advisor twice at the same budget: native vs summarized input.
+  engine::AdvisorOptions adv_options;
+  adv_options.budget_minutes = budget;
+  engine::TuningAdvisor advisor(&model, adv_options);
+
+  auto native = advisor.Recommend(texts);
+  std::vector<std::string> summary_texts;
+  for (const auto& q : summary.queries) summary_texts.push_back(q.text);
+  auto summarized = advisor.Recommend(summary_texts);
+
+  auto report = [&](const char* name, const engine::AdvisorResult& rec) {
+    double runtime =
+        engine::RunWorkload(model, texts, rec.config).total_seconds;
+    std::printf("\n%s (budget %.0f min):\n  config %s\n  refined=%s  "
+                "what-if calls=%lld\n  full-workload runtime %.1fs "
+                "(%.0f%% of baseline)\n",
+                name, budget, engine::ConfigToString(rec.config).c_str(),
+                rec.completed_refinement ? "yes" : "no",
+                static_cast<long long>(rec.whatif_calls_used), runtime,
+                100.0 * runtime / baseline);
+    for (const auto& line : rec.log) std::printf("    %s\n", line.c_str());
+  };
+  report("native advisor (full workload)", native);
+  report("advisor on learned summary", summarized);
+  return 0;
+}

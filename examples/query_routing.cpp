@@ -1,0 +1,100 @@
+// Scenario: routing-policy checking and resource hints (paper §4). A
+// multi-tenant service routes each account's queries to a cluster per a
+// manually-encoded policy. Querc learns the policy from history, then
+// (a) flags queries whose recorded cluster contradicts it and (b) attaches
+// coarse resource buckets so the scheduler can place queries before
+// running them. An error predictor routes risky queries defensively.
+//
+// Build & run:  ./build/examples/query_routing
+
+#include <cstdio>
+#include <memory>
+
+#include "querc/querc.h"
+
+int main() {
+  using namespace querc;
+
+  workload::SnowflakeGenerator::Options gen_options;
+  gen_options.seed = 7;
+  gen_options.num_clusters = 3;
+  gen_options.accounts =
+      workload::SnowflakeGenerator::UniformAccounts(/*num_accounts=*/6,
+                                                    /*queries_per_account=*/400,
+                                                    /*users_per_account=*/4);
+  workload::Workload all =
+      workload::SnowflakeGenerator(gen_options).Generate();
+  size_t split = all.size() * 4 / 5;
+  workload::Workload history(
+      {all.queries().begin(), all.queries().begin() + split});
+  workload::Workload batch(
+      {all.queries().begin() + split, all.queries().end()});
+
+  auto embedder = std::make_shared<embed::Doc2VecEmbedder>([&] {
+    embed::Doc2VecEmbedder::Options options;
+    options.dim = 24;
+    options.epochs = 8;
+    return options;
+  }());
+  util::Status status = embed::TrainOnWorkload(*embedder, history);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // --- routing policy checker ---
+  core::RoutingPolicyChecker checker(embedder, {});
+  if (!checker.Train(history).ok()) return 1;
+
+  // Misconfigure: 10 queries of the first account get recorded on the
+  // wrong cluster (a stale policy entry).
+  int corrupted = 0;
+  for (auto& q : batch.queries()) {
+    if (corrupted < 10 && q.account == "train00") {
+      q.cluster = "cluster2";  // policy says train00 -> cluster0
+      ++corrupted;
+    }
+  }
+  auto misroutings = checker.Check(batch);
+  int caught = 0;
+  for (const auto& m : misroutings) {
+    caught += batch[m.query_index].account == "train00" &&
+                      m.assigned_cluster == "cluster2"
+                  ? 1
+                  : 0;
+  }
+  std::printf("routing check: %d corrupted assignments, %zu flags, %d "
+              "correct catches\n",
+              corrupted, misroutings.size(), caught);
+
+  // --- resource allocation hints ---
+  core::ResourceAllocator allocator(embedder, {});
+  if (!allocator.Train(history).ok()) return 1;
+  std::printf("\nresource hints for the first few queries:\n");
+  for (size_t i = 0; i < 5; ++i) {
+    auto hint = allocator.Allocate(batch[i]);
+    std::printf("  runtime=%-6s memory=%-6s grant=%.0fMB  %.60s...\n",
+                core::ResourceAllocator::BucketName(hint.runtime_bucket),
+                core::ResourceAllocator::BucketName(hint.memory_bucket),
+                hint.suggested_memory_mb, batch[i].text.c_str());
+  }
+
+  // --- error prediction / defensive routing ---
+  core::ErrorPredictor predictor(embedder, {});
+  if (!predictor.Train(history).ok()) return 1;
+  int defensive = 0;
+  int actual_errors = 0;
+  int caught_errors = 0;
+  for (const auto& q : batch) {
+    bool risky = predictor.ShouldRouteDefensively(q);
+    defensive += risky ? 1 : 0;
+    if (!q.error_code.empty()) {
+      ++actual_errors;
+      caught_errors += risky ? 1 : 0;
+    }
+  }
+  std::printf("\nerror prediction: %d/%zu queries routed defensively; "
+              "%d/%d actual failures were pre-flagged\n",
+              defensive, batch.size(), caught_errors, actual_errors);
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Quickstart: the 60-second tour of Querc's public API.
+//
+//   1. generate a multi-tenant workload (stand-in for your query logs);
+//   2. train a shared embedder on the raw query text;
+//   3. wire a QWorker with an (embedder, labeler) classifier pair;
+//   4. stream queries through it and read the predicted labels.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <memory>
+
+#include "ml/random_forest.h"
+#include "querc/querc.h"
+
+int main() {
+  using namespace querc;
+
+  // 1. A workload. Any source of (text, labels) works; here we synthesize
+  //    two tenants with four users each.
+  workload::SnowflakeGenerator::Options gen_options;
+  gen_options.seed = 42;
+  gen_options.accounts =
+      workload::SnowflakeGenerator::UniformAccounts(/*num_accounts=*/2,
+                                                    /*queries_per_account=*/400,
+                                                    /*users_per_account=*/4);
+  workload::Workload all =
+      workload::SnowflakeGenerator(gen_options).Generate();
+  std::printf("workload: %zu queries, %zu distinct query shapes\n",
+              all.size(), all.DistinctShapes());
+
+  // Hold out the most recent 20% as the arriving stream; train on the
+  // rest (the generator already interleaves tenants by timestamp).
+  size_t split = all.size() * 4 / 5;
+  workload::Workload history(
+      {all.queries().begin(), all.queries().begin() + split});
+  workload::Workload arriving(
+      {all.queries().begin() + split, all.queries().end()});
+
+  // 2. A shared embedder, trained once on raw text. Querc never parses
+  //    your SQL with a dialect-specific grammar — the lexer is lenient and
+  //    dialect-aware, and the representation is learned.
+  auto embedder = std::make_shared<embed::LstmAutoencoderEmbedder>([&] {
+    embed::LstmAutoencoderEmbedder::Options options;
+    options.hidden_dim = 24;
+    options.epochs = 4;
+    return options;
+  }());
+  util::Status status = embed::TrainOnWorkload(*embedder, history);
+  if (!status.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("embedder '%s' trained (dim=%zu)\n", embedder->name().c_str(),
+              embedder->dim());
+
+  // 3. A classifier pair and a QWorker. The labeler is a random forest
+  //    over the embedding space; the task is user prediction.
+  auto classifier = std::make_shared<core::Classifier>(
+      "user", embedder,
+      std::make_unique<ml::RandomForestClassifier>(
+          ml::RandomForestClassifier::Options{}));
+  status = classifier->Train(history, workload::UserOf);
+  if (!status.ok()) {
+    std::fprintf(stderr, "labeler failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  core::QWorker::Options worker_options;
+  worker_options.application = "quickstart";
+  core::QWorker worker(worker_options);
+  worker.Deploy(classifier);
+  worker.set_training_sink([](const core::ProcessedQuery&) {
+    // In a deployment this tees labeled queries to the training module.
+  });
+
+  // 4. Stream the held-out queries through the worker.
+  int shown = 0;
+  int correct = 0;
+  int total = 0;
+  for (const auto& q : arriving) {
+    core::ProcessedQuery out = worker.Process(q);
+    const std::string& predicted = out.predictions.at("user");
+    correct += predicted == q.user ? 1 : 0;
+    ++total;
+    if (shown < 5) {
+      std::printf("  [%s] predicted=%s actual=%s\n    %.90s...\n",
+                  predicted == q.user ? "ok" : "??", predicted.c_str(),
+                  q.user.c_str(), q.text.c_str());
+      ++shown;
+    }
+    if (total >= 200) break;
+  }
+  std::printf("user prediction on a fresh stream: %d/%d correct (%.0f%%)\n",
+              correct, total, 100.0 * correct / total);
+  return 0;
+}

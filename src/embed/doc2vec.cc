@@ -1,0 +1,216 @@
+#include "embed/doc2vec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "nn/serialize.h"
+#include "nn/softmax.h"
+#include "util/string_util.h"
+
+namespace querc::embed {
+
+namespace {
+constexpr uint64_t kMagic = 0x51444f4332564543ULL;  // "QDOC2VEC"
+}
+
+util::Status Doc2VecEmbedder::Train(
+    const std::vector<std::vector<std::string>>& docs) {
+  if (docs.empty()) {
+    return util::Status::InvalidArgument("doc2vec: empty training corpus");
+  }
+  vocab_ = Vocabulary::Build(docs, options_.min_count);
+  if (vocab_.size() <= 3) {
+    return util::Status::InvalidArgument(
+        "doc2vec: vocabulary collapsed to special tokens only");
+  }
+  util::Rng rng(options_.seed);
+  word_in_ = nn::Tensor(vocab_.size(), options_.dim, "doc2vec.word_in");
+  out_ = nn::Tensor(vocab_.size(), options_.dim, "doc2vec.out");
+  doc_vecs_ = nn::Tensor(docs.size(), options_.dim, "doc2vec.docs");
+  word_in_.EmbeddingInit(rng);
+  doc_vecs_.EmbeddingInit(rng);
+  // Output table starts at zero (word2vec convention).
+
+  std::vector<std::vector<size_t>> encoded;
+  encoded.reserve(docs.size());
+  for (const auto& d : docs) encoded.push_back(vocab_.Encode(d));
+
+  std::vector<size_t> order(docs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  const double lr0 = options_.learning_rate;
+  const double lr1 = options_.min_learning_rate;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    double frac = options_.epochs > 1
+                      ? static_cast<double>(epoch) /
+                            static_cast<double>(options_.epochs - 1)
+                      : 0.0;
+    double lr = lr0 + (lr1 - lr0) * frac;
+    rng.Shuffle(order);
+    for (size_t doc_id : order) {
+      TrainDocument(encoded[doc_id], doc_vecs_.row(doc_id), lr,
+                    /*update_tables=*/true, rng);
+    }
+  }
+  num_train_docs_ = docs.size();
+  trained_ = true;
+  return util::Status::OK();
+}
+
+double Doc2VecEmbedder::TrainDocument(const std::vector<size_t>& raw_ids,
+                                      double* doc_vec, double lr,
+                                      bool update_tables, util::Rng& rng) {
+  // PV-DBOW is a pure bag-of-words objective: process tokens in a
+  // canonical (sorted) order so the RNG pairing cannot smuggle token-order
+  // information into the vector. PV-DM keeps document order (its windows
+  // are inherently order-aware).
+  std::vector<size_t> ids = raw_ids;
+  if (options_.mode == Mode::kDbow) std::sort(ids.begin(), ids.end());
+  const size_t dim = options_.dim;
+  double loss = 0.0;
+  nn::Vec context(dim, 0.0);
+  nn::Vec d_context;
+  std::vector<size_t> negatives(static_cast<size_t>(options_.negative));
+  std::vector<size_t> window_words;
+
+  for (size_t t = 0; t < ids.size(); ++t) {
+    size_t target = ids[t];
+    if (target == vocab_.UnknownId()) continue;
+
+    for (auto& n : negatives) n = vocab_.SampleNegative(rng);
+
+    if (options_.mode == Mode::kDbow) {
+      // Paragraph vector alone predicts the word.
+      loss += nn::NegativeSamplingStep(doc_vec, dim, target, negatives, out_,
+                                       lr, d_context, update_tables);
+      nn::Axpy(-lr, d_context.data(), doc_vec, dim);
+      continue;
+    }
+
+    // PV-DM: mean of doc vector and window word vectors.
+    window_words.clear();
+    size_t lo = t >= static_cast<size_t>(options_.window)
+                    ? t - static_cast<size_t>(options_.window)
+                    : 0;
+    size_t hi = std::min(ids.size(), t + static_cast<size_t>(options_.window) +
+                                         1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (j != t && ids[j] != vocab_.UnknownId()) {
+        window_words.push_back(ids[j]);
+      }
+    }
+    double denom = static_cast<double>(window_words.size() + 1);
+    for (size_t d = 0; d < dim; ++d) context[d] = doc_vec[d];
+    for (size_t w : window_words) {
+      nn::Axpy(1.0, word_in_.row(w), context.data(), dim);
+    }
+    for (double& v : context) v /= denom;
+
+    loss += nn::NegativeSamplingStep(context.data(), dim, target, negatives,
+                                     out_, lr, d_context, update_tables);
+    // The mean distributes the gradient equally to each contributor.
+    double scale = -lr / denom;
+    nn::Axpy(scale, d_context.data(), doc_vec, dim);
+    if (update_tables) {
+      for (size_t w : window_words) {
+        nn::Axpy(scale, d_context.data(), word_in_.row(w), dim);
+      }
+    }
+  }
+  return loss;
+}
+
+nn::Vec Doc2VecEmbedder::Embed(const std::vector<std::string>& words) const {
+  nn::Vec vec(options_.dim, 0.0);
+  if (!trained_) return vec;
+
+  // Inference: train a fresh paragraph vector against frozen tables.
+  // Deterministic per input: the RNG is seeded from the document content.
+  // The combining function is ORDER-INVARIANT (commutative) on purpose —
+  // two documents with the same token multiset must infer identically, or
+  // token order would leak into the vectors of a bag-of-words model
+  // through the seed.
+  uint64_t h = options_.seed;
+  for (const auto& w : words) h += util::Fnv1a64(w) * 0x9e3779b97f4a7c15ULL;
+  util::Rng rng(h);
+  for (double& v : vec) {
+    v = rng.UniformDouble(-0.5, 0.5) / static_cast<double>(options_.dim);
+  }
+
+  std::vector<size_t> ids = vocab_.Encode(words);
+  // Mutable alias: inference never touches the shared tables
+  // (update_tables=false), so the const_cast only affects the local vector.
+  auto* self = const_cast<Doc2VecEmbedder*>(this);
+  const double lr0 = options_.learning_rate;
+  const double lr1 = options_.min_learning_rate;
+  for (int epoch = 0; epoch < options_.infer_epochs; ++epoch) {
+    double frac = options_.infer_epochs > 1
+                      ? static_cast<double>(epoch) /
+                            static_cast<double>(options_.infer_epochs - 1)
+                      : 0.0;
+    double lr = lr0 + (lr1 - lr0) * frac;
+    self->TrainDocument(ids, vec.data(), lr, /*update_tables=*/false, rng);
+  }
+  return vec;
+}
+
+const nn::Vec Doc2VecEmbedder::TrainedDocVector(size_t i) const {
+  const double* row = doc_vecs_.row(i);
+  return nn::Vec(row, row + options_.dim);
+}
+
+util::Status Doc2VecEmbedder::Save(std::ostream& out) const {
+  if (!trained_) {
+    return util::Status::FailedPrecondition("doc2vec: not trained");
+  }
+  QUERC_RETURN_IF_ERROR(nn::WriteU64(out, kMagic));
+  QUERC_RETURN_IF_ERROR(nn::WriteU64(out, options_.dim));
+  QUERC_RETURN_IF_ERROR(
+      nn::WriteU64(out, options_.mode == Mode::kDm ? 0 : 1));
+  QUERC_RETURN_IF_ERROR(nn::WriteU64(out, static_cast<uint64_t>(options_.window)));
+  QUERC_RETURN_IF_ERROR(
+      nn::WriteU64(out, static_cast<uint64_t>(options_.negative)));
+  QUERC_RETURN_IF_ERROR(
+      nn::WriteU64(out, static_cast<uint64_t>(options_.infer_epochs)));
+  QUERC_RETURN_IF_ERROR(nn::WriteF64(out, options_.learning_rate));
+  QUERC_RETURN_IF_ERROR(nn::WriteU64(out, options_.seed));
+  QUERC_RETURN_IF_ERROR(vocab_.Save(out));
+  QUERC_RETURN_IF_ERROR(nn::WriteTensor(out, word_in_));
+  QUERC_RETURN_IF_ERROR(nn::WriteTensor(out, out_));
+  return util::Status::OK();
+}
+
+util::StatusOr<Doc2VecEmbedder> Doc2VecEmbedder::Load(std::istream& in) {
+  uint64_t magic = 0;
+  QUERC_RETURN_IF_ERROR(nn::ReadU64(in, magic));
+  if (magic != kMagic) {
+    return util::Status::Corruption("doc2vec: bad magic");
+  }
+  Options options;
+  uint64_t dim = 0, mode = 0, window = 0, negative = 0, infer_epochs = 0,
+           seed = 0;
+  QUERC_RETURN_IF_ERROR(nn::ReadU64(in, dim));
+  QUERC_RETURN_IF_ERROR(nn::ReadU64(in, mode));
+  QUERC_RETURN_IF_ERROR(nn::ReadU64(in, window));
+  QUERC_RETURN_IF_ERROR(nn::ReadU64(in, negative));
+  QUERC_RETURN_IF_ERROR(nn::ReadU64(in, infer_epochs));
+  QUERC_RETURN_IF_ERROR(nn::ReadF64(in, options.learning_rate));
+  QUERC_RETURN_IF_ERROR(nn::ReadU64(in, seed));
+  options.dim = dim;
+  options.mode = mode == 0 ? Mode::kDm : Mode::kDbow;
+  options.window = static_cast<int>(window);
+  options.negative = static_cast<int>(negative);
+  options.infer_epochs = static_cast<int>(infer_epochs);
+  options.seed = seed;
+
+  Doc2VecEmbedder embedder(options);
+  QUERC_RETURN_IF_ERROR(Vocabulary::Load(in, &embedder.vocab_));
+  QUERC_RETURN_IF_ERROR(nn::ReadTensor(in, embedder.word_in_));
+  QUERC_RETURN_IF_ERROR(nn::ReadTensor(in, embedder.out_));
+  embedder.trained_ = true;
+  return embedder;
+}
+
+}  // namespace querc::embed

@@ -1,0 +1,41 @@
+#include "embed/embedder.h"
+
+#include "sql/lexer.h"
+#include "sql/normalizer.h"
+
+namespace querc::embed {
+
+std::vector<std::string> TokenizeForEmbedding(std::string_view text,
+                                              sql::Dialect dialect) {
+  sql::LexOptions options;
+  options.dialect = dialect;
+  return sql::Normalize(sql::LexLenient(text, options));
+}
+
+std::vector<std::vector<std::string>> TokenizeWorkload(
+    const workload::Workload& workload) {
+  std::vector<std::vector<std::string>> docs;
+  docs.reserve(workload.size());
+  for (const auto& q : workload) {
+    docs.push_back(TokenizeForEmbedding(q.text, q.dialect));
+  }
+  return docs;
+}
+
+util::Status TrainOnWorkload(Embedder& embedder,
+                             const workload::Workload& corpus) {
+  return embedder.Train(TokenizeWorkload(corpus));
+}
+
+std::vector<nn::Vec> EmbedWorkload(const Embedder& embedder,
+                                   const workload::Workload& workload) {
+  std::vector<nn::Vec> vectors;
+  vectors.reserve(workload.size());
+  for (const auto& q : workload) {
+    vectors.push_back(
+        embedder.Embed(TokenizeForEmbedding(q.text, q.dialect)));
+  }
+  return vectors;
+}
+
+}  // namespace querc::embed

@@ -1,0 +1,68 @@
+#ifndef QUERC_EMBED_EMBEDDER_H_
+#define QUERC_EMBED_EMBEDDER_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "sql/dialect.h"
+#include "util/status.h"
+#include "workload/workload.h"
+
+namespace querc::embed {
+
+/// Tokenizes `text` for the embedding pipeline: lenient lexing under
+/// `dialect` followed by the default normalization (literals folded,
+/// identifiers lower-cased).
+std::vector<std::string> TokenizeForEmbedding(std::string_view text,
+                                              sql::Dialect dialect);
+
+/// The representation-learner half of a Querc classifier (§4): maps query
+/// text to a fixed-length vector. Implementations: Doc2VecEmbedder,
+/// LstmAutoencoderEmbedder (learned), FeatureEmbedder (hand-engineered
+/// baseline).
+///
+/// The split between Embedder and labeler is the paper's key design move:
+/// one embedder trained on a large combined workload serves many
+/// application-specific labelers.
+class Embedder {
+ public:
+  virtual ~Embedder() = default;
+
+  /// Trains on tokenized documents (as from TokenizeForEmbedding). May be
+  /// a no-op for non-learned embedders.
+  virtual util::Status Train(
+      const std::vector<std::vector<std::string>>& docs) = 0;
+
+  /// Embeds one tokenized document. Valid after Train() succeeded (or
+  /// immediately for non-learned embedders).
+  virtual nn::Vec Embed(const std::vector<std::string>& words) const = 0;
+
+  /// Output dimensionality.
+  virtual size_t dim() const = 0;
+
+  /// Short method name for reports ("doc2vec", "lstm", "features").
+  virtual std::string name() const = 0;
+
+  /// Convenience: tokenize + Embed.
+  nn::Vec EmbedQuery(std::string_view text,
+                     sql::Dialect dialect = sql::Dialect::kGeneric) const {
+    return Embed(TokenizeForEmbedding(text, dialect));
+  }
+};
+
+/// Tokenizes every query in `workload` (each under its own dialect).
+std::vector<std::vector<std::string>> TokenizeWorkload(
+    const workload::Workload& workload);
+
+/// Trains `embedder` on the tokenized `corpus` workload.
+util::Status TrainOnWorkload(Embedder& embedder,
+                             const workload::Workload& corpus);
+
+/// Embeds every query of `workload`; returns one vector per query.
+std::vector<nn::Vec> EmbedWorkload(const Embedder& embedder,
+                                   const workload::Workload& workload);
+
+}  // namespace querc::embed
+
+#endif  // QUERC_EMBED_EMBEDDER_H_

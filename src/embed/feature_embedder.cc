@@ -1,0 +1,165 @@
+#include "embed/feature_embedder.h"
+
+#include <cmath>
+
+#include "sql/analyzer.h"
+#include "sql/normalizer.h"
+#include "util/string_util.h"
+
+namespace querc::embed {
+
+namespace {
+
+/// Number of fixed (non-hashed) feature slots; see FixedFeatureNames().
+constexpr size_t kFixedFeatures = 18;
+
+/// Reconstitutes a TokenList from the normalized word stream the Embedder
+/// interface supplies (keywords are upper-case, identifiers lower-case,
+/// literals are placeholder words).
+sql::TokenList TokensFromWords(const std::vector<std::string>& words,
+                               sql::Dialect dialect) {
+  const sql::DialectTraits& traits = sql::GetDialectTraits(dialect);
+  sql::TokenList tokens;
+  tokens.reserve(words.size());
+  size_t offset = 0;
+  for (const std::string& w : words) {
+    sql::Token t;
+    t.offset = offset;
+    offset += w.size() + 1;
+    if (w == sql::kNumberPlaceholder) {
+      t.type = sql::TokenType::kNumber;
+      t.text = "0";
+    } else if (w == sql::kStringPlaceholder) {
+      t.type = sql::TokenType::kString;
+      t.text = "";
+    } else if (w == sql::kParamPlaceholder) {
+      t.type = sql::TokenType::kParameter;
+      t.text = "?";
+    } else if (w.size() <= 2 && !w.empty() &&
+               std::string("=<>!+-*/%.|:").find(w[0]) != std::string::npos) {
+      t.type = sql::TokenType::kOperator;
+      t.text = w;
+    } else if (w == "(" || w == ")" || w == "," || w == ";") {
+      t.type = sql::TokenType::kPunct;
+      t.text = w;
+    } else if (traits.is_keyword(w)) {
+      t.type = sql::TokenType::kKeyword;
+      t.text = w;
+    } else {
+      t.type = sql::TokenType::kIdentifier;
+      t.text = w;
+    }
+    tokens.push_back(std::move(t));
+  }
+  return tokens;
+}
+
+void AccumulateShape(const sql::QueryShape& shape, nn::Vec& f,
+                     const FeatureEmbedder::Options& options) {
+  f[0] += static_cast<double>(shape.tables.size());
+  f[1] += static_cast<double>(shape.joins.size());
+  f[2] += static_cast<double>(shape.group_by_columns.size());
+  f[3] += static_cast<double>(shape.order_by_columns.size());
+  f[4] += static_cast<double>(shape.aggregate_functions.size());
+  f[5] += static_cast<double>(shape.select_columns.size());
+  f[6] += shape.has_distinct ? 1.0 : 0.0;
+  f[7] += shape.has_having ? 1.0 : 0.0;
+  f[8] += shape.has_limit_or_top ? 1.0 : 0.0;
+  f[9] += static_cast<double>(shape.set_operation_count);
+  for (const sql::Predicate& p : shape.filters) {
+    if (p.op == "=") {
+      f[10] += 1.0;
+    } else if (p.op == "<" || p.op == ">" || p.op == "<=" || p.op == ">=" ||
+               p.op == "BETWEEN") {
+      f[11] += 1.0;
+    } else if (p.op == "LIKE" || p.op == "NOT LIKE") {
+      f[12] += 1.0;
+    } else if (p.op == "IN") {
+      f[13] += 1.0;
+    } else if (p.op == "IN_SUBQUERY" || p.op == "EXISTS_SUBQUERY") {
+      f[14] += 1.0;
+    } else {
+      f[15] += 1.0;
+    }
+  }
+
+  const size_t tb = options.table_hash_buckets;
+  const size_t cb = options.column_hash_buckets;
+  for (const std::string& table : shape.tables) {
+    f[kFixedFeatures + util::Fnv1a64(table) % tb] += 1.0;
+  }
+  auto column_bucket = [&](const std::string& col) {
+    f[kFixedFeatures + tb + util::Fnv1a64(col) % cb] += 1.0;
+  };
+  for (const sql::Predicate& p : shape.filters) {
+    if (!p.column.empty()) column_bucket(p.column);
+  }
+  for (const std::string& col : shape.group_by_columns) column_bucket(col);
+
+  for (const sql::QueryShape& sub : shape.subqueries) {
+    AccumulateShape(sub, f, options);
+  }
+}
+
+}  // namespace
+
+FeatureEmbedder::FeatureEmbedder(const Options& options)
+    : options_(options), scale_(dim(), 1.0) {}
+
+size_t FeatureEmbedder::dim() const {
+  return kFixedFeatures + options_.table_hash_buckets +
+         options_.column_hash_buckets;
+}
+
+std::vector<std::string> FeatureEmbedder::FixedFeatureNames() {
+  return {"tables",        "joins",        "group_by_cols", "order_by_cols",
+          "aggregates",    "select_cols",  "distinct",      "having",
+          "limit",         "set_ops",      "eq_filters",    "range_filters",
+          "like_filters",  "in_filters",   "subq_filters",  "other_filters",
+          "subquery_depth", "token_count"};
+}
+
+nn::Vec FeatureEmbedder::RawFeatures(
+    const std::vector<std::string>& words) const {
+  nn::Vec f(dim(), 0.0);
+  sql::TokenList tokens = TokensFromWords(words, options_.dialect);
+  sql::QueryShape shape = sql::Analyze(tokens);
+  AccumulateShape(shape, f, options_);
+  f[16] = static_cast<double>(shape.Depth());
+  f[17] = static_cast<double>(words.size());
+  return f;
+}
+
+util::Status FeatureEmbedder::Train(
+    const std::vector<std::vector<std::string>>& docs) {
+  if (docs.empty()) {
+    return util::Status::InvalidArgument("features: empty corpus");
+  }
+  // Fit per-dimension inverse standard deviation so Euclidean distances
+  // weight features comparably.
+  const size_t d = dim();
+  nn::Vec mean(d, 0.0);
+  nn::Vec m2(d, 0.0);
+  for (const auto& doc : docs) {
+    nn::Vec f = RawFeatures(doc);
+    for (size_t i = 0; i < d; ++i) {
+      mean[i] += f[i];
+      m2[i] += f[i] * f[i];
+    }
+  }
+  double n = static_cast<double>(docs.size());
+  for (size_t i = 0; i < d; ++i) {
+    double mu = mean[i] / n;
+    double var = m2[i] / n - mu * mu;
+    scale_[i] = var > 1e-12 ? 1.0 / std::sqrt(var) : 1.0;
+  }
+  return util::Status::OK();
+}
+
+nn::Vec FeatureEmbedder::Embed(const std::vector<std::string>& words) const {
+  nn::Vec f = RawFeatures(words);
+  for (size_t i = 0; i < f.size(); ++i) f[i] *= scale_[i];
+  return f;
+}
+
+}  // namespace querc::embed

@@ -1,0 +1,54 @@
+#ifndef QUERC_EMBED_FEATURE_EMBEDDER_H_
+#define QUERC_EMBED_FEATURE_EMBEDDER_H_
+
+#include <string>
+#include <vector>
+
+#include "embed/embedder.h"
+#include "sql/dialect.h"
+
+namespace querc::embed {
+
+/// The hand-engineered baseline the paper argues against: task-specific
+/// syntactic features in the tradition of Chaudhuri et al. — counts of
+/// joins, group-by columns, predicates by operator class, aggregates,
+/// subquery depth, plus hashed table/column-name buckets to give coarse
+/// schema signal. Requires a working structural analyzer for each SQL
+/// dialect (precisely the brittle dependency learned embeddings remove).
+///
+/// Train() is a near-no-op (it only fits per-feature scale factors so
+/// distances are comparable across features).
+class FeatureEmbedder : public Embedder {
+ public:
+  struct Options {
+    sql::Dialect dialect = sql::Dialect::kGeneric;
+    /// Number of hash buckets for table-name and column-name vocabularies.
+    size_t table_hash_buckets = 8;
+    size_t column_hash_buckets = 8;
+  };
+
+  explicit FeatureEmbedder(const Options& options);
+
+  /// Fits per-dimension scaling (inverse standard deviation) on the corpus.
+  util::Status Train(
+      const std::vector<std::vector<std::string>>& docs) override;
+
+  nn::Vec Embed(const std::vector<std::string>& words) const override;
+
+  size_t dim() const override;
+  std::string name() const override { return "features"; }
+
+  /// Raw (unscaled) feature vector for a token sequence; exposed for tests.
+  nn::Vec RawFeatures(const std::vector<std::string>& words) const;
+
+  /// Human-readable names of the fixed (non-hashed) feature slots.
+  static std::vector<std::string> FixedFeatureNames();
+
+ private:
+  Options options_;
+  nn::Vec scale_;  // per-dimension inverse stddev (1.0 until trained)
+};
+
+}  // namespace querc::embed
+
+#endif  // QUERC_EMBED_FEATURE_EMBEDDER_H_

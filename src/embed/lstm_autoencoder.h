@@ -1,0 +1,90 @@
+#ifndef QUERC_EMBED_LSTM_AUTOENCODER_H_
+#define QUERC_EMBED_LSTM_AUTOENCODER_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "embed/embedder.h"
+#include "util/statusor.h"
+#include "embed/vocab.h"
+#include "nn/lstm.h"
+#include "nn/optimizer.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace querc::embed {
+
+/// The paper's second embedder (§3, Figure 2): an LSTM encoder-decoder
+/// trained to reproduce the input token sequence. After training, a query's
+/// representation is the hidden state of the final encoder LSTM cell.
+///
+/// The decoder is trained with teacher forcing and (by default) a sampled-
+/// softmax / negative-sampling output loss so vocabulary size does not
+/// dominate training cost; a full-softmax mode exists for small vocabularies
+/// and for exact reconstruction metrics.
+class LstmAutoencoderEmbedder : public Embedder {
+ public:
+  struct Options {
+    size_t hidden_dim = 24;  // embedding dimensionality (encoder state)
+    size_t token_dim = 16;   // token embedding size
+    int epochs = 3;
+    double learning_rate = 2e-3;
+    int negative = 16;         // sampled-softmax negatives
+    bool full_softmax = false; // exact CE loss (slow for big vocabularies)
+    size_t max_sequence = 48;  // truncate longer queries
+    size_t min_count = 2;
+    uint64_t seed = 11;
+  };
+
+  explicit LstmAutoencoderEmbedder(const Options& options);
+  LstmAutoencoderEmbedder(LstmAutoencoderEmbedder&&) noexcept = default;
+  LstmAutoencoderEmbedder& operator=(LstmAutoencoderEmbedder&&) noexcept =
+      default;
+
+  util::Status Train(
+      const std::vector<std::vector<std::string>>& docs) override;
+
+  nn::Vec Embed(const std::vector<std::string>& words) const override;
+
+  size_t dim() const override { return options_.hidden_dim; }
+  std::string name() const override { return "lstm-autoencoder"; }
+
+  /// Mean per-token training loss of the last epoch (negative-sampling
+  /// logistic loss, or cross-entropy in full-softmax mode).
+  double last_epoch_loss() const { return last_epoch_loss_; }
+
+  /// Greedy-decodes the autoencoder's reconstruction of `words` (up to
+  /// max_sequence tokens); used to test that the network actually learned
+  /// to reproduce inputs. Requires full_softmax mode for exact argmax.
+  std::vector<std::string> Reconstruct(
+      const std::vector<std::string>& words) const;
+
+  const Vocabulary& vocabulary() const { return vocab_; }
+
+  util::Status Save(std::ostream& out) const;
+  static util::StatusOr<LstmAutoencoderEmbedder> Load(std::istream& in);
+
+ private:
+  /// Trains on one encoded document; returns (loss, token count).
+  std::pair<double, size_t> TrainDocument(const std::vector<size_t>& ids,
+                                          util::Rng& rng);
+
+  void BuildNetwork(util::Rng& rng);
+
+  Options options_;
+  Vocabulary vocab_;
+  nn::Tensor token_embed_;  // V x E
+  std::unique_ptr<nn::LstmLayer> encoder_;
+  std::unique_ptr<nn::LstmLayer> decoder_;
+  nn::Tensor out_;  // V x H output table (sampled softmax + full softmax)
+  nn::Tensor out_bias_;  // V x 1 (full softmax only)
+  std::unique_ptr<nn::AdamOptimizer> optimizer_;
+  double last_epoch_loss_ = 0.0;
+  bool trained_ = false;
+};
+
+}  // namespace querc::embed
+
+#endif  // QUERC_EMBED_LSTM_AUTOENCODER_H_

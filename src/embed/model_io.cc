@@ -1,0 +1,65 @@
+#include "embed/model_io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "embed/doc2vec.h"
+#include "embed/lstm_autoencoder.h"
+#include "nn/serialize.h"
+
+namespace querc::embed {
+
+namespace {
+// Must match the classes' private magic numbers (checked by tests).
+constexpr uint64_t kDoc2VecMagic = 0x51444f4332564543ULL;   // "QDOC2VEC"
+constexpr uint64_t kLstmMagic = 0x514c53544d414532ULL;      // "QLSTMAE2"
+}  // namespace
+
+util::Status SaveEmbedder(const Embedder& embedder, std::ostream& out) {
+  if (const auto* d2v = dynamic_cast<const Doc2VecEmbedder*>(&embedder)) {
+    return d2v->Save(out);
+  }
+  if (const auto* lstm =
+          dynamic_cast<const LstmAutoencoderEmbedder*>(&embedder)) {
+    return lstm->Save(out);
+  }
+  return util::Status::Unimplemented(
+      "no persistence for embedder type: " + embedder.name());
+}
+
+util::Status SaveEmbedderFile(const Embedder& embedder,
+                              const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return util::Status::IoError("cannot open " + path);
+  return SaveEmbedder(embedder, f);
+}
+
+util::StatusOr<std::unique_ptr<Embedder>> LoadEmbedder(std::istream& in) {
+  uint64_t magic = 0;
+  QUERC_RETURN_IF_ERROR(nn::ReadU64(in, magic));
+  in.seekg(-static_cast<std::streamoff>(sizeof(magic)), std::ios::cur);
+  if (!in) return util::Status::IoError("stream not seekable");
+  if (magic == kDoc2VecMagic) {
+    auto loaded = Doc2VecEmbedder::Load(in);
+    if (!loaded.ok()) return loaded.status();
+    return std::unique_ptr<Embedder>(
+        std::make_unique<Doc2VecEmbedder>(std::move(loaded).value()));
+  }
+  if (magic == kLstmMagic) {
+    auto loaded = LstmAutoencoderEmbedder::Load(in);
+    if (!loaded.ok()) return loaded.status();
+    return std::unique_ptr<Embedder>(std::make_unique<LstmAutoencoderEmbedder>(
+        std::move(loaded).value()));
+  }
+  return util::Status::Corruption("unknown embedder model magic");
+}
+
+util::StatusOr<std::unique_ptr<Embedder>> LoadEmbedderFile(
+    const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return util::Status::IoError("cannot open " + path);
+  return LoadEmbedder(f);
+}
+
+}  // namespace querc::embed

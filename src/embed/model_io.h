@@ -1,0 +1,28 @@
+#ifndef QUERC_EMBED_MODEL_IO_H_
+#define QUERC_EMBED_MODEL_IO_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "embed/embedder.h"
+#include "util/statusor.h"
+
+namespace querc::embed {
+
+/// Polymorphic embedder persistence. Save dispatches on the concrete type
+/// (Doc2Vec or LSTM autoencoder — FeatureEmbedder is stateless apart from
+/// scaling and is rebuilt from options instead); Load sniffs the magic
+/// number and reconstructs the right class.
+
+util::Status SaveEmbedder(const Embedder& embedder, std::ostream& out);
+util::Status SaveEmbedderFile(const Embedder& embedder,
+                              const std::string& path);
+
+util::StatusOr<std::unique_ptr<Embedder>> LoadEmbedder(std::istream& in);
+util::StatusOr<std::unique_ptr<Embedder>> LoadEmbedderFile(
+    const std::string& path);
+
+}  // namespace querc::embed
+
+#endif  // QUERC_EMBED_MODEL_IO_H_

@@ -1,0 +1,54 @@
+#include "embed/tfidf_embedder.h"
+
+#include <cmath>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace querc::embed {
+
+TfidfEmbedder::TfidfEmbedder(const Options& options)
+    : options_(options), idf_(options.buckets, 1.0) {}
+
+size_t TfidfEmbedder::Bucket(const std::string& word) const {
+  return util::Fnv1a64(word) % options_.buckets;
+}
+
+util::Status TfidfEmbedder::Train(
+    const std::vector<std::vector<std::string>>& docs) {
+  if (docs.empty()) {
+    return util::Status::InvalidArgument("tfidf: empty corpus");
+  }
+  std::vector<double> doc_freq(options_.buckets, 0.0);
+  std::set<size_t> seen;
+  for (const auto& doc : docs) {
+    seen.clear();
+    for (const auto& w : doc) seen.insert(Bucket(w));
+    for (size_t b : seen) doc_freq[b] += 1.0;
+  }
+  const double n = static_cast<double>(docs.size());
+  for (size_t b = 0; b < options_.buckets; ++b) {
+    // Smoothed idf, always positive.
+    idf_[b] = std::log((1.0 + n) / (1.0 + doc_freq[b])) + 1.0;
+  }
+  trained_ = true;
+  return util::Status::OK();
+}
+
+nn::Vec TfidfEmbedder::Embed(const std::vector<std::string>& words) const {
+  nn::Vec v(options_.buckets, 0.0);
+  for (const auto& w : words) v[Bucket(w)] += 1.0;
+  for (size_t b = 0; b < v.size(); ++b) {
+    if (v[b] > 0.0) {
+      double tf = options_.sublinear_tf ? 1.0 + std::log(v[b]) : v[b];
+      v[b] = tf * (trained_ ? idf_[b] : 1.0);
+    }
+  }
+  double norm = nn::L2Norm(v);
+  if (norm > 0.0) {
+    for (double& x : v) x /= norm;
+  }
+  return v;
+}
+
+}  // namespace querc::embed

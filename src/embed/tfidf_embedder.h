@@ -1,0 +1,51 @@
+#ifndef QUERC_EMBED_TFIDF_EMBEDDER_H_
+#define QUERC_EMBED_TFIDF_EMBEDDER_H_
+
+#include <string>
+#include <vector>
+
+#include "embed/embedder.h"
+
+namespace querc::embed {
+
+/// Hashed TF-IDF bag-of-words embedder — one of the non-neural
+/// alternatives the paper's §6 defers to future work ("non-negative
+/// matrix factorization (NMF), bag-of-words representations, and LDA
+/// have been shown to be less effective than neural-network-based
+/// methods"). Tokens hash into a fixed number of buckets; bucket values
+/// are term frequency x inverse document frequency, L2-normalized.
+///
+/// Serves as a stronger classical baseline than FeatureEmbedder (it sees
+/// the full vocabulary, not hand-picked counters) while sharing its
+/// blindness to token order.
+class TfidfEmbedder : public Embedder {
+ public:
+  struct Options {
+    size_t buckets = 64;
+    /// Sub-linear term frequency: tf = 1 + log(count).
+    bool sublinear_tf = true;
+  };
+
+  explicit TfidfEmbedder(const Options& options);
+
+  /// Fits document frequencies on the corpus.
+  util::Status Train(
+      const std::vector<std::vector<std::string>>& docs) override;
+
+  nn::Vec Embed(const std::vector<std::string>& words) const override;
+
+  size_t dim() const override { return options_.buckets; }
+  std::string name() const override { return "tfidf"; }
+
+ private:
+  size_t Bucket(const std::string& word) const;
+
+  Options options_;
+  /// Per-bucket inverse document frequency; 1.0 before training.
+  nn::Vec idf_;
+  bool trained_ = false;
+};
+
+}  // namespace querc::embed
+
+#endif  // QUERC_EMBED_TFIDF_EMBEDDER_H_

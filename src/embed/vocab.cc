@@ -1,0 +1,108 @@
+#include "embed/vocab.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <map>
+#include <ostream>
+
+#include "nn/serialize.h"
+
+namespace querc::embed {
+
+Vocabulary Vocabulary::Build(const std::vector<std::vector<std::string>>& docs,
+                             size_t min_count) {
+  std::map<std::string, uint64_t> raw_counts;
+  uint64_t total = 0;
+  for (const auto& doc : docs) {
+    for (const auto& w : doc) {
+      ++raw_counts[w];
+      ++total;
+    }
+  }
+
+  Vocabulary vocab;
+  vocab.total_tokens_ = total;
+  vocab.words_ = {kUnknown, kStartOfSequence, kEndOfSequence};
+  vocab.counts_ = {0, 0, 0};
+  for (const auto& [word, count] : raw_counts) {
+    if (count >= min_count) {
+      vocab.words_.push_back(word);
+      vocab.counts_.push_back(count);
+    } else {
+      vocab.counts_[0] += count;  // folded into <unk>
+    }
+  }
+  for (size_t i = 0; i < vocab.words_.size(); ++i) {
+    vocab.index_[vocab.words_[i]] = i;
+  }
+  vocab.BuildSamplingTable();
+  return vocab;
+}
+
+size_t Vocabulary::Id(const std::string& word) const {
+  auto it = index_.find(word);
+  return it == index_.end() ? UnknownId() : it->second;
+}
+
+std::vector<size_t> Vocabulary::Encode(
+    const std::vector<std::string>& words) const {
+  std::vector<size_t> ids;
+  ids.reserve(words.size());
+  for (const auto& w : words) ids.push_back(Id(w));
+  return ids;
+}
+
+void Vocabulary::BuildSamplingTable() {
+  sampling_cdf_.assign(words_.size(), 0.0);
+  double acc = 0.0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    // Special tokens and <unk> participate with their (possibly zero)
+    // counts; pow(0, 0.75) == 0, so they are never drawn unless folded.
+    acc += std::pow(static_cast<double>(counts_[i]), 0.75);
+    sampling_cdf_[i] = acc;
+  }
+  if (acc > 0.0) {
+    for (double& v : sampling_cdf_) v /= acc;
+  }
+}
+
+size_t Vocabulary::SampleNegative(util::Rng& rng) const {
+  if (sampling_cdf_.empty() || sampling_cdf_.back() <= 0.0) return UnknownId();
+  double u = rng.UniformDouble();
+  auto it = std::lower_bound(sampling_cdf_.begin(), sampling_cdf_.end(), u);
+  return static_cast<size_t>(std::distance(sampling_cdf_.begin(), it));
+}
+
+util::Status Vocabulary::Save(std::ostream& out) const {
+  QUERC_RETURN_IF_ERROR(nn::WriteU64(out, words_.size()));
+  QUERC_RETURN_IF_ERROR(nn::WriteU64(out, total_tokens_));
+  for (size_t i = 0; i < words_.size(); ++i) {
+    QUERC_RETURN_IF_ERROR(nn::WriteString(out, words_[i]));
+    QUERC_RETURN_IF_ERROR(nn::WriteU64(out, counts_[i]));
+  }
+  return util::Status::OK();
+}
+
+util::Status Vocabulary::Load(std::istream& in, Vocabulary* vocab) {
+  uint64_t n = 0;
+  QUERC_RETURN_IF_ERROR(nn::ReadU64(in, n));
+  QUERC_RETURN_IF_ERROR(nn::ReadU64(in, vocab->total_tokens_));
+  if (n < 3 || n > (1ULL << 28)) {
+    return util::Status::Corruption("vocabulary size implausible");
+  }
+  vocab->words_.resize(n);
+  vocab->counts_.resize(n);
+  vocab->index_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    QUERC_RETURN_IF_ERROR(nn::ReadString(in, vocab->words_[i]));
+    uint64_t c = 0;
+    QUERC_RETURN_IF_ERROR(nn::ReadU64(in, c));
+    vocab->counts_[i] = c;
+    vocab->index_[vocab->words_[i]] = i;
+  }
+  vocab->BuildSamplingTable();
+  return util::Status::OK();
+}
+
+}  // namespace querc::embed

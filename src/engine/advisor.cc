@@ -1,0 +1,260 @@
+#include "engine/advisor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace querc::engine {
+
+namespace {
+
+/// A deduplicated query: parsed shape plus its multiplicity in the input.
+struct DistinctQuery {
+  sql::QueryShape shape;
+  double weight = 1.0;
+};
+
+/// Collects per-table filter columns from a shape tree.
+void CollectCandidates(const sql::QueryShape& shape, const Catalog& catalog,
+                       std::set<std::pair<std::string, std::string>>& out) {
+  for (const sql::Predicate& p : shape.filters) {
+    if (p.column.empty()) continue;
+    std::string table;
+    if (!p.qualifier.empty()) table = shape.ResolveQualifier(p.qualifier);
+    if (table.empty()) table = catalog.TableOfColumn(p.column);
+    if (table.empty()) continue;
+    const TableStats* stats = catalog.Table(table);
+    if (stats == nullptr || stats->Column(p.column) == nullptr) continue;
+    // Tiny tables never benefit from an index in the cost model.
+    if (stats->row_count < 1000) continue;
+    out.emplace(table, p.column);
+  }
+  for (const sql::QueryShape& sub : shape.subqueries) {
+    CollectCandidates(sub, catalog, out);
+  }
+}
+
+}  // namespace
+
+AdvisorResult TuningAdvisor::Recommend(
+    const std::vector<std::string>& workload_texts,
+    sql::Dialect dialect) const {
+  AdvisorResult result;
+
+  const double raw_budget =
+      (options_.budget_minutes - options_.startup_minutes) *
+      options_.whatif_calls_per_minute;
+  if (raw_budget <= 0.0) {
+    result.log.push_back("budget below startup overhead: no recommendation");
+    return result;
+  }
+  int64_t budget = static_cast<int64_t>(raw_budget);
+
+  // 1. Built-in compression: dedup exact texts.
+  std::map<std::string, double> multiplicity;
+  for (const std::string& text : workload_texts) ++multiplicity[text];
+  std::vector<DistinctQuery> queries;
+  queries.reserve(multiplicity.size());
+  for (const auto& [text, weight] : multiplicity) {
+    DistinctQuery q;
+    q.shape = sql::AnalyzeText(text, dialect);
+    q.weight = weight;
+    queries.push_back(std::move(q));
+  }
+  result.log.push_back(util::StrFormat(
+      "input: %zu queries, %zu distinct after compression",
+      workload_texts.size(), queries.size()));
+
+  // 2. Candidate enumeration (syntactic, free).
+  std::set<std::pair<std::string, std::string>> candidate_set;
+  for (const DistinctQuery& q : queries) {
+    CollectCandidates(q.shape, model_->catalog(), candidate_set);
+  }
+  std::vector<Index> candidates;
+  for (const auto& [table, column] : candidate_set) {
+    candidates.push_back(Index{table, {column}});
+  }
+  result.log.push_back(
+      util::StrFormat("candidates: %zu", candidates.size()));
+
+  // 3. Cheap pre-scoring: estimated benefit of each candidate alone
+  // (heuristic, does not consume budget — models DTA's per-query candidate
+  // selection).
+  std::vector<std::pair<double, size_t>> scored;
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    IndexConfig solo = {candidates[c]};
+    double benefit = 0.0;
+    for (const DistinctQuery& q : queries) {
+      double base = model_->Cost(q.shape, {}).estimated_seconds;
+      double with = model_->Cost(q.shape, solo).estimated_seconds;
+      benefit += q.weight * (base - with);
+    }
+    scored.emplace_back(-benefit, c);  // ascending sort => descending benefit
+  }
+  std::sort(scored.begin(), scored.end());
+
+  // 4. Budgeted greedy selection by marginal ESTIMATED benefit.
+  auto est_total = [&](const IndexConfig& config, int64_t& calls) {
+    double total = 0.0;
+    for (const DistinctQuery& q : queries) {
+      total += q.weight * model_->Cost(q.shape, config).estimated_seconds;
+      ++calls;
+    }
+    return total;
+  };
+
+  std::vector<bool> selected(candidates.size(), false);
+  for (int round = 0; round < options_.max_rounds &&
+                      static_cast<int>(result.config.size()) <
+                          options_.max_indexes;
+       ++round) {
+    if (result.whatif_calls_used +
+            static_cast<int64_t>(queries.size()) > budget) {
+      result.log.push_back(util::StrFormat(
+          "round %d: budget exhausted before base costing", round + 1));
+      break;
+    }
+    double base_cost = est_total(result.config, result.whatif_calls_used);
+
+    double best_benefit = options_.min_benefit_seconds;
+    int best_candidate = -1;
+    bool ran_out = false;
+    double used_storage = ConfigSizeMb(model_->catalog(), result.config);
+    for (const auto& [neg_score, c] : scored) {
+      (void)neg_score;
+      if (selected[c]) continue;
+      if (options_.max_storage_mb > 0.0 &&
+          used_storage + IndexSizeMb(model_->catalog(), candidates[c]) >
+              options_.max_storage_mb) {
+        continue;  // would not fit the storage budget
+      }
+      if (result.whatif_calls_used +
+              static_cast<int64_t>(queries.size()) > budget) {
+        ran_out = true;
+        break;  // partial round: pick among candidates evaluated so far
+      }
+      IndexConfig trial = result.config;
+      trial.push_back(candidates[c]);
+      double trial_cost = est_total(trial, result.whatif_calls_used);
+      double benefit = base_cost - trial_cost;
+      if (benefit > best_benefit) {
+        best_benefit = benefit;
+        best_candidate = static_cast<int>(c);
+      }
+    }
+    if (best_candidate < 0) {
+      if (!ran_out) {
+        result.log.push_back(util::StrFormat(
+            "round %d: no candidate with positive benefit; stopping",
+            round + 1));
+        result.rounds_completed = round + 1;
+        break;
+      }
+      result.log.push_back(util::StrFormat(
+          "round %d: budget exhausted, nothing selected", round + 1));
+      break;
+    }
+    selected[static_cast<size_t>(best_candidate)] = true;
+    result.config.push_back(candidates[static_cast<size_t>(best_candidate)]);
+    result.rounds_completed = round + 1;
+    result.log.push_back(util::StrFormat(
+        "round %d: selected %s (est benefit %.2fs)%s", round + 1,
+        candidates[static_cast<size_t>(best_candidate)].ToString().c_str(),
+        best_benefit, ran_out ? " [partial round]" : ""));
+    if (ran_out) break;
+  }
+
+  // 5. Refinement: high-fidelity (actual-cost) pruning of harmful indexes.
+  // Needs (1 + selected) workload passes.
+  const int64_t refine_cost =
+      static_cast<int64_t>(queries.size()) *
+      static_cast<int64_t>(1 + result.config.size());
+  if (!result.config.empty() &&
+      result.whatif_calls_used + refine_cost <= budget) {
+    auto act_total = [&](const IndexConfig& config) {
+      double total = 0.0;
+      for (const DistinctQuery& q : queries) {
+        total += q.weight * model_->Cost(q.shape, config).actual_seconds;
+        ++result.whatif_calls_used;
+      }
+      return total;
+    };
+    double current = act_total(result.config);
+    for (size_t i = 0; i < result.config.size();) {
+      IndexConfig without = result.config;
+      without.erase(without.begin() + static_cast<long>(i));
+      double alt = act_total(without);
+      if (alt < current) {
+        result.log.push_back(util::StrFormat(
+            "refinement: dropped %s (actual cost %.2fs -> %.2fs)",
+            result.config[i].ToString().c_str(), current, alt));
+        result.config = std::move(without);
+        current = alt;
+      } else {
+        ++i;
+      }
+    }
+    result.completed_refinement = true;
+  } else if (!result.config.empty()) {
+    result.log.push_back("refinement skipped: budget exhausted");
+  }
+
+  // 6. Optional DTA-style merge phase: fuse same-table single-column
+  // indexes into composites when the fusion lowers the ESTIMATED workload
+  // cost. Each trial costs one workload pass.
+  if (options_.enable_index_merging && result.config.size() >= 2) {
+    bool merged_any = true;
+    while (merged_any) {
+      merged_any = false;
+      double base = 0.0;
+      {
+        if (result.whatif_calls_used +
+                static_cast<int64_t>(queries.size()) > budget) {
+          result.log.push_back("merging stopped: budget exhausted");
+          break;
+        }
+        base = est_total(result.config, result.whatif_calls_used);
+      }
+      for (size_t i = 0; i < result.config.size() && !merged_any; ++i) {
+        for (size_t j = 0; j < result.config.size() && !merged_any; ++j) {
+          if (i == j) continue;
+          const Index& a = result.config[i];
+          const Index& b = result.config[j];
+          if (a.table != b.table || a.key_columns.size() != 1 ||
+              b.key_columns.size() != 1) {
+            continue;
+          }
+          if (result.whatif_calls_used +
+                  static_cast<int64_t>(queries.size()) > budget) {
+            result.log.push_back("merging stopped: budget exhausted");
+            merged_any = false;
+            i = result.config.size();
+            break;
+          }
+          Index fused{a.table, {a.key_columns[0], b.key_columns[0]}};
+          IndexConfig trial;
+          for (size_t k = 0; k < result.config.size(); ++k) {
+            if (k != i && k != j) trial.push_back(result.config[k]);
+          }
+          trial.push_back(fused);
+          double trial_cost = est_total(trial, result.whatif_calls_used);
+          if (trial_cost < base) {
+            result.log.push_back(util::StrFormat(
+                "merge: %s + %s -> %s (est %.2fs -> %.2fs)",
+                a.ToString().c_str(), b.ToString().c_str(),
+                fused.ToString().c_str(), base, trial_cost));
+            result.config = std::move(trial);
+            merged_any = true;
+          }
+        }
+      }
+    }
+  }
+
+  result.storage_mb = ConfigSizeMb(model_->catalog(), result.config);
+  return result;
+}
+
+}  // namespace querc::engine

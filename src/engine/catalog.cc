@@ -1,0 +1,44 @@
+#include "engine/catalog.h"
+
+namespace querc::engine {
+
+double TableStats::RowWidthBytes() const {
+  double w = 0.0;
+  for (const auto& c : columns) w += c.avg_width_bytes;
+  return w;
+}
+
+const ColumnStats* TableStats::Column(const std::string& column_name) const {
+  for (const auto& c : columns) {
+    if (c.name == column_name) return &c;
+  }
+  return nullptr;
+}
+
+util::Status Catalog::AddTable(TableStats table) {
+  if (Table(table.name) != nullptr) {
+    return util::Status::AlreadyExists("table " + table.name);
+  }
+  tables_.push_back(std::move(table));
+  return util::Status::OK();
+}
+
+const TableStats* Catalog::Table(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+std::string Catalog::TableOfColumn(const std::string& column_name) const {
+  std::string owner;
+  for (const auto& t : tables_) {
+    if (t.Column(column_name) != nullptr) {
+      if (!owner.empty()) return "";  // ambiguous
+      owner = t.name;
+    }
+  }
+  return owner;
+}
+
+}  // namespace querc::engine

@@ -1,0 +1,63 @@
+#ifndef QUERC_ENGINE_CATALOG_H_
+#define QUERC_ENGINE_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace querc::engine {
+
+/// Column types understood by the cost model. Dates are stored as days
+/// since 1970-01-01 so range selectivities are plain arithmetic.
+enum class ColumnType { kInt, kFloat, kString, kDate };
+
+/// Statistics for one column, sufficient for selectivity estimation.
+struct ColumnStats {
+  std::string name;
+  ColumnType type = ColumnType::kInt;
+  double min_value = 0.0;   // numeric/date domain lower bound
+  double max_value = 0.0;   // numeric/date domain upper bound
+  uint64_t distinct_values = 1;
+  double avg_width_bytes = 8.0;
+};
+
+/// Statistics for one table.
+struct TableStats {
+  std::string name;
+  uint64_t row_count = 0;
+  std::vector<ColumnStats> columns;
+
+  /// Bytes per row (sum of column widths).
+  double RowWidthBytes() const;
+  /// Column by name, or nullptr.
+  const ColumnStats* Column(const std::string& column_name) const;
+};
+
+/// The schema + statistics catalog the simulated engine plans against.
+class Catalog {
+ public:
+  /// Registers a table. Fails on duplicate names.
+  util::Status AddTable(TableStats table);
+
+  const TableStats* Table(const std::string& name) const;
+
+  /// Resolves an unqualified column reference by scanning all tables;
+  /// returns the owning table name, or "" if absent/ambiguous. (TPC-H
+  /// column names are globally unique, so this is exact there.)
+  std::string TableOfColumn(const std::string& column_name) const;
+
+  const std::vector<TableStats>& tables() const { return tables_; }
+
+ private:
+  std::vector<TableStats> tables_;
+};
+
+/// The TPC-H scale-factor-1 catalog (row counts and column domains follow
+/// the spec's population rules).
+Catalog TpchCatalog();
+
+}  // namespace querc::engine
+
+#endif  // QUERC_ENGINE_CATALOG_H_

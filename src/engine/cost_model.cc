@@ -1,0 +1,296 @@
+#include "engine/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/string_util.h"
+#include "workload/tpch_gen.h"
+
+namespace querc::engine {
+
+namespace {
+
+/// Parses a predicate literal to a numeric value (numbers directly, ISO
+/// dates to days-since-epoch). Returns NaN when unparseable.
+double ParseLiteral(const std::string& text, ColumnType type) {
+  if (type == ColumnType::kDate || (text.size() == 10 && text[4] == '-')) {
+    if (text.size() == 10 && text[4] == '-' && text[7] == '-') {
+      int y = std::atoi(text.substr(0, 4).c_str());
+      int m = std::atoi(text.substr(5, 2).c_str());
+      int d = std::atoi(text.substr(8, 2).c_str());
+      if (y > 0 && m >= 1 && m <= 12 && d >= 1 && d <= 31) {
+        return static_cast<double>(workload::DaysFromCivil(y, m, d));
+      }
+    }
+    return std::nan("");
+  }
+  char* end = nullptr;
+  double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str()) return std::nan("");
+  return v;
+}
+
+bool IsHavingPredicate(const sql::Predicate& p) {
+  return util::StartsWith(p.op, "HAVING_");
+}
+
+}  // namespace
+
+CostModel::CostModel(const Catalog* catalog, const CostModelOptions& options)
+    : catalog_(catalog), options_(options) {}
+
+double CostModel::Selectivity(const sql::Predicate& pred,
+                              const ColumnStats* stats, bool estimated) const {
+  if (IsHavingPredicate(pred)) {
+    // The optimizer treats AGG(col) op literal as if it were col op
+    // literal — a wild underestimate. The engine cannot filter base rows
+    // on an aggregate at all.
+    return estimated ? options_.having_misestimate_selectivity : 1.0;
+  }
+  if (pred.op == "IS NULL") return 0.01;
+  if (pred.op == "IS NOT NULL") return 0.99;
+  if (pred.op == "IN_SUBQUERY" || pred.op == "EXISTS_SUBQUERY") {
+    return options_.semi_join_selectivity;
+  }
+  if (pred.op == "LIKE" || pred.op == "NOT LIKE") {
+    bool prefix =
+        !pred.literals.empty() && !pred.literals[0].empty() &&
+        pred.literals[0][0] != '%';
+    double s = prefix ? options_.like_prefix_selectivity
+                      : options_.like_contains_selectivity;
+    return pred.op == "LIKE" ? s : 1.0 - s;
+  }
+
+  double ndv = stats != nullptr
+                   ? std::max<double>(1.0, static_cast<double>(
+                                               stats->distinct_values))
+                   : 0.0;
+  if (pred.op == "=") {
+    return stats != nullptr ? 1.0 / ndv : options_.default_selectivity;
+  }
+  if (pred.op == "<>") {
+    return stats != nullptr ? 1.0 - 1.0 / ndv : 1.0 - options_.default_selectivity;
+  }
+  if (pred.op == "IN") {
+    if (stats != nullptr && !pred.literals.empty()) {
+      return std::min(1.0, static_cast<double>(pred.literals.size()) / ndv);
+    }
+    return options_.default_selectivity;
+  }
+
+  // Range operators.
+  if (pred.op == "<" || pred.op == ">" || pred.op == "<=" ||
+      pred.op == ">=" || pred.op == "BETWEEN") {
+    if (stats == nullptr || stats->max_value <= stats->min_value ||
+        pred.literals.empty()) {
+      return pred.op == "BETWEEN" ? 0.25 : options_.default_selectivity;
+    }
+    double domain = stats->max_value - stats->min_value;
+    double v0 = ParseLiteral(pred.literals[0], stats->type);
+    if (std::isnan(v0)) {
+      return pred.op == "BETWEEN" ? 0.25 : options_.default_selectivity;
+    }
+    if (pred.op == "BETWEEN") {
+      double v1 = pred.literals.size() > 1
+                      ? ParseLiteral(pred.literals[1], stats->type)
+                      : std::nan("");
+      if (std::isnan(v1)) return 0.25;
+      double lo = std::max(stats->min_value, std::min(v0, v1));
+      double hi = std::min(stats->max_value, std::max(v0, v1));
+      return std::clamp((hi - lo) / domain, 0.0, 1.0);
+    }
+    double frac = std::clamp((v0 - stats->min_value) / domain, 0.0, 1.0);
+    if (pred.op == "<" || pred.op == "<=") return std::max(frac, 1e-6);
+    return std::max(1.0 - frac, 1e-6);
+  }
+  return options_.default_selectivity;
+}
+
+void CostModel::CostLevel(const sql::QueryShape& shape,
+                          const IndexConfig& config, QueryCost& out) const {
+  // Deduplicate table references at this level.
+  std::vector<std::string> tables;
+  for (const std::string& t : shape.tables) {
+    if (catalog_->Table(t) != nullptr &&
+        std::find(tables.begin(), tables.end(), t) == tables.end()) {
+      tables.push_back(t);
+    }
+  }
+
+  double est_driver_rows = 0.0;  // largest access output (group/sort driver)
+  double act_driver_rows = 0.0;
+  double est_total_rows = 0.0;
+  double act_total_rows = 0.0;
+
+  for (const std::string& table_name : tables) {
+    const TableStats* table = catalog_->Table(table_name);
+    double rows = static_cast<double>(table->row_count);
+
+    // Predicates attached to this table.
+    std::vector<const sql::Predicate*> preds;
+    for (const sql::Predicate& p : shape.filters) {
+      if (p.column.empty()) continue;
+      std::string owner;
+      if (!p.qualifier.empty()) {
+        owner = shape.ResolveQualifier(p.qualifier);
+      }
+      if (owner.empty()) owner = catalog_->TableOfColumn(p.column);
+      if (owner == table_name && table->Column(p.column) != nullptr) {
+        preds.push_back(&p);
+      }
+    }
+
+    double est_sel = 1.0;
+    double act_sel = 1.0;
+    for (const sql::Predicate* p : preds) {
+      const ColumnStats* stats = table->Column(p->column);
+      est_sel *= Selectivity(*p, stats, /*estimated=*/true);
+      act_sel *= Selectivity(*p, stats, /*estimated=*/false);
+    }
+
+    TableAccess access;
+    access.table = table_name;
+
+    // Option A: sequential scan.
+    double scan_cost = rows * options_.seconds_per_scanned_row;
+    access.estimated_cost = scan_cost;
+    access.actual_cost = scan_cost;
+    access.estimated_rows = rows * est_sel;
+    access.actual_rows = rows * act_sel;
+
+    // Option B: best applicable index (leading key column must carry a
+    // predicate). The optimizer compares by ESTIMATED cost.
+    for (const Index& index : config) {
+      if (index.table != table_name || index.key_columns.empty()) continue;
+      // Combine every predicate on the leading key column (range filters
+      // arrive as separate >= and < predicates).
+      double lead_est = 1.0;
+      double lead_act = 1.0;
+      bool having = false;
+      bool any_lead = false;
+      for (const sql::Predicate* p : preds) {
+        if (p->column != index.key_columns[0]) continue;
+        any_lead = true;
+        const ColumnStats* stats = table->Column(p->column);
+        lead_est *= Selectivity(*p, stats, /*estimated=*/true);
+        lead_act *= Selectivity(*p, stats, /*estimated=*/false);
+        having = having || IsHavingPredicate(*p);
+      }
+      if (!any_lead) continue;
+      // Composite indexes: predicates on the non-leading key columns
+      // narrow the range scanned within the index, cutting fetches.
+      for (size_t kc = 1; kc < index.key_columns.size(); ++kc) {
+        for (const sql::Predicate* p : preds) {
+          if (p->column != index.key_columns[kc]) continue;
+          if (IsHavingPredicate(*p)) continue;
+          const ColumnStats* stats = table->Column(p->column);
+          lead_est *= Selectivity(*p, stats, /*estimated=*/true);
+          lead_act *= Selectivity(*p, stats, /*estimated=*/false);
+        }
+      }
+      double est_cost = options_.seconds_per_seek +
+                        rows * lead_est * options_.seconds_per_fetched_row;
+      double act_cost;
+      if (having) {
+        // Bad plan: the engine must fetch effectively everything through
+        // random accesses and re-aggregate — worse than scanning.
+        act_cost = scan_cost * options_.bad_plan_penalty;
+      } else {
+        act_cost = options_.seconds_per_seek +
+                   rows * lead_act * options_.seconds_per_fetched_row;
+      }
+      if (est_cost < access.estimated_cost) {
+        access.used_index = true;
+        access.index = index;
+        access.estimated_cost = est_cost;
+        access.actual_cost = act_cost;
+        access.estimated_rows = rows * est_sel;
+        access.actual_rows = rows * act_sel;
+        access.misestimated = having;
+      }
+    }
+
+    out.estimated_seconds += access.estimated_cost;
+    out.actual_seconds += access.actual_cost;
+    if (access.misestimated) out.used_bad_plan = true;
+
+    est_driver_rows = std::max(est_driver_rows, access.estimated_rows);
+    act_driver_rows = std::max(act_driver_rows, access.actual_rows);
+    est_total_rows += access.estimated_rows;
+    act_total_rows += access.actual_rows;
+    out.accesses.push_back(std::move(access));
+  }
+
+  // Join cost: hash joins over the combined access outputs, one pass per
+  // join edge.
+  double join_edges = static_cast<double>(
+      std::max<size_t>(shape.joins.size(),
+                       tables.size() > 1 ? tables.size() - 1 : 0));
+  if (join_edges > 0) {
+    out.estimated_seconds +=
+        join_edges * est_total_rows * options_.seconds_per_joined_row;
+    out.actual_seconds +=
+        join_edges * act_total_rows * options_.seconds_per_joined_row;
+  }
+
+  // Aggregation (hash aggregate over the driver input).
+  if (!shape.group_by_columns.empty() || !shape.aggregate_functions.empty()) {
+    out.estimated_seconds +=
+        est_driver_rows * options_.seconds_per_aggregated_row;
+    out.actual_seconds +=
+        act_driver_rows * options_.seconds_per_aggregated_row;
+  }
+
+  // Final sort for ORDER BY (post-aggregation output, capped: grouped
+  // outputs are far smaller than their inputs).
+  if (!shape.order_by_columns.empty()) {
+    double est_out = shape.group_by_columns.empty()
+                         ? est_driver_rows
+                         : std::min(est_driver_rows, 1e5);
+    double act_out = shape.group_by_columns.empty()
+                         ? act_driver_rows
+                         : std::min(act_driver_rows, 1e5);
+    auto sort_cost = [&](double n) {
+      return n > 1 ? n * std::log2(n) * options_.sort_coefficient : 0.0;
+    };
+    out.estimated_seconds += sort_cost(est_out);
+    out.actual_seconds += sort_cost(act_out);
+  }
+}
+
+QueryCost CostModel::Cost(const sql::QueryShape& shape,
+                          const IndexConfig& config) const {
+  QueryCost cost;
+  // Post-order: subqueries execute (once — treated as uncorrelated) and
+  // their cost adds to the total.
+  std::vector<const sql::QueryShape*> stack = {&shape};
+  while (!stack.empty()) {
+    const sql::QueryShape* s = stack.back();
+    stack.pop_back();
+    CostLevel(*s, config, cost);
+    for (const sql::QueryShape& sub : s->subqueries) stack.push_back(&sub);
+  }
+  return cost;
+}
+
+QueryCost CostModel::CostText(const std::string& text,
+                              const IndexConfig& config,
+                              sql::Dialect dialect) const {
+  return Cost(sql::AnalyzeText(text, dialect), config);
+}
+
+WorkloadRuntime RunWorkload(const CostModel& model,
+                            const std::vector<std::string>& texts,
+                            const IndexConfig& config, sql::Dialect dialect) {
+  WorkloadRuntime result;
+  result.per_query_seconds.reserve(texts.size());
+  for (const std::string& text : texts) {
+    double seconds = model.CostText(text, config, dialect).actual_seconds;
+    result.per_query_seconds.push_back(seconds);
+    result.total_seconds += seconds;
+  }
+  return result;
+}
+
+}  // namespace querc::engine

@@ -1,0 +1,50 @@
+#include "engine/explain.h"
+
+#include "util/string_util.h"
+
+namespace querc::engine {
+
+std::string ExplainQuery(const CostModel& model, const std::string& text,
+                         const IndexConfig& config, sql::Dialect dialect) {
+  QueryCost cost = model.CostText(text, config, dialect);
+  std::string out = util::StrFormat(
+      "plan for: %.80s%s\n", text.c_str(), text.size() > 80 ? "..." : "");
+  double access_est = 0.0;
+  double access_act = 0.0;
+  for (const TableAccess& access : cost.accesses) {
+    access_est += access.estimated_cost;
+    access_act += access.actual_cost;
+    if (access.used_index) {
+      out += util::StrFormat(
+          "  INDEX SEEK  %-10s via %-28s est_rows=%.0f act_rows=%.0f "
+          "est=%.4fs act=%.4fs%s\n",
+          access.table.c_str(), access.index.ToString().c_str(),
+          access.estimated_rows, access.actual_rows, access.estimated_cost,
+          access.actual_cost,
+          access.misestimated ? "  ** CARDINALITY MISESTIMATE **" : "");
+    } else {
+      out += util::StrFormat(
+          "  TABLE SCAN  %-10s est_rows=%.0f act_rows=%.0f est=%.4fs "
+          "act=%.4fs\n",
+          access.table.c_str(), access.estimated_rows, access.actual_rows,
+          access.estimated_cost, access.actual_cost);
+    }
+  }
+  double other_est = cost.estimated_seconds - access_est;
+  double other_act = cost.actual_seconds - access_act;
+  if (other_act > 1e-12 || other_est > 1e-12) {
+    out += util::StrFormat(
+        "  JOIN/AGG/SORT                est=%.4fs act=%.4fs\n", other_est,
+        other_act);
+  }
+  out += util::StrFormat("  TOTAL                        est=%.4fs act=%.4fs\n",
+                         cost.estimated_seconds, cost.actual_seconds);
+  if (cost.used_bad_plan) {
+    out +=
+        "  WARNING: the optimizer chose an index off a misestimated "
+        "HAVING-aggregate cardinality; actual cost exceeds the scan plan.\n";
+  }
+  return out;
+}
+
+}  // namespace querc::engine

@@ -1,0 +1,20 @@
+#ifndef QUERC_ENGINE_EXPLAIN_H_
+#define QUERC_ENGINE_EXPLAIN_H_
+
+#include <string>
+
+#include "engine/cost_model.h"
+
+namespace querc::engine {
+
+/// Renders a human-readable plan/cost explanation for `text` under
+/// `config`: one line per table access (scan or index, cardinalities,
+/// est/actual cost), join/aggregate/sort surcharges implied by the totals,
+/// and a warning when the optimizer walked into a misestimated plan.
+std::string ExplainQuery(const CostModel& model, const std::string& text,
+                         const IndexConfig& config,
+                         sql::Dialect dialect = sql::Dialect::kSqlServer);
+
+}  // namespace querc::engine
+
+#endif  // QUERC_ENGINE_EXPLAIN_H_

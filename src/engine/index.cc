@@ -1,0 +1,51 @@
+#include "engine/index.h"
+
+#include <algorithm>
+
+#include "engine/catalog.h"
+
+namespace querc::engine {
+
+std::string Index::ToString() const {
+  std::string s = table + "(";
+  for (size_t i = 0; i < key_columns.size(); ++i) {
+    if (i > 0) s += ",";
+    s += key_columns[i];
+  }
+  s += ")";
+  return s;
+}
+
+bool ContainsIndex(const IndexConfig& config, const Index& index) {
+  return std::find(config.begin(), config.end(), index) != config.end();
+}
+
+double IndexSizeMb(const Catalog& catalog, const Index& index) {
+  const TableStats* table = catalog.Table(index.table);
+  if (table == nullptr) return 0.0;
+  double key_width = 8.0;  // row locator
+  for (const std::string& column : index.key_columns) {
+    const ColumnStats* stats = table->Column(column);
+    if (stats == nullptr) return 0.0;
+    key_width += stats->avg_width_bytes;
+  }
+  return static_cast<double>(table->row_count) * key_width / (1024.0 * 1024.0);
+}
+
+double ConfigSizeMb(const Catalog& catalog, const IndexConfig& config) {
+  double total = 0.0;
+  for (const Index& index : config) total += IndexSizeMb(catalog, index);
+  return total;
+}
+
+std::string ConfigToString(const IndexConfig& config) {
+  std::string s = "{";
+  for (size_t i = 0; i < config.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += config[i].ToString();
+  }
+  s += "}";
+  return s;
+}
+
+}  // namespace querc::engine

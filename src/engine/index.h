@@ -1,0 +1,42 @@
+#ifndef QUERC_ENGINE_INDEX_H_
+#define QUERC_ENGINE_INDEX_H_
+
+#include <string>
+#include <vector>
+
+namespace querc::engine {
+
+/// A (simulated) secondary B-tree index: `table(key_columns...)`.
+struct Index {
+  std::string table;
+  std::vector<std::string> key_columns;
+
+  /// "table(col1,col2)" — stable identity string.
+  std::string ToString() const;
+
+  friend bool operator==(const Index& a, const Index& b) {
+    return a.table == b.table && a.key_columns == b.key_columns;
+  }
+};
+
+/// A set of indexes the engine plans against.
+using IndexConfig = std::vector<Index>;
+
+/// True if `config` contains `index`.
+bool ContainsIndex(const IndexConfig& config, const Index& index);
+
+/// Renders the whole configuration ("{a(x), b(y,z)}").
+std::string ConfigToString(const IndexConfig& config);
+
+class Catalog;  // engine/catalog.h
+
+/// Estimated on-disk size of `index` in MB: rows x (key widths + rowid).
+/// Returns 0 for unknown tables/columns.
+double IndexSizeMb(const Catalog& catalog, const Index& index);
+
+/// Total size of a configuration in MB.
+double ConfigSizeMb(const Catalog& catalog, const IndexConfig& config);
+
+}  // namespace querc::engine
+
+#endif  // QUERC_ENGINE_INDEX_H_

@@ -1,0 +1,137 @@
+#include "engine/catalog.h"
+#include "workload/tpch_gen.h"  // DaysFromCivil
+
+namespace querc::engine {
+
+namespace {
+
+using workload::DaysFromCivil;
+
+ColumnStats Int(const std::string& name, double lo, double hi, uint64_t ndv,
+                double width = 8) {
+  return {name, ColumnType::kInt, lo, hi, ndv, width};
+}
+
+ColumnStats Float(const std::string& name, double lo, double hi, uint64_t ndv,
+                  double width = 8) {
+  return {name, ColumnType::kFloat, lo, hi, ndv, width};
+}
+
+ColumnStats Str(const std::string& name, uint64_t ndv, double width) {
+  return {name, ColumnType::kString, 0, 0, ndv, width};
+}
+
+ColumnStats Date(const std::string& name, int y0, int y1, double width = 8) {
+  double lo = static_cast<double>(DaysFromCivil(y0, 1, 1));
+  double hi = static_cast<double>(DaysFromCivil(y1, 12, 31));
+  return {name, ColumnType::kDate, lo, hi,
+          static_cast<uint64_t>(hi - lo + 1), width};
+}
+
+}  // namespace
+
+Catalog TpchCatalog() {
+  Catalog catalog;
+
+  TableStats region;
+  region.name = "region";
+  region.row_count = 5;
+  region.columns = {Int("r_regionkey", 0, 4, 5), Str("r_name", 5, 12),
+                    Str("r_comment", 5, 80)};
+  (void)catalog.AddTable(std::move(region));
+
+  TableStats nation;
+  nation.name = "nation";
+  nation.row_count = 25;
+  nation.columns = {Int("n_nationkey", 0, 24, 25), Str("n_name", 25, 16),
+                    Int("n_regionkey", 0, 4, 5), Str("n_comment", 25, 80)};
+  (void)catalog.AddTable(std::move(nation));
+
+  TableStats supplier;
+  supplier.name = "supplier";
+  supplier.row_count = 10000;
+  supplier.columns = {Int("s_suppkey", 1, 10000, 10000),
+                      Str("s_name", 10000, 18),
+                      Str("s_address", 10000, 25),
+                      Int("s_nationkey", 0, 24, 25),
+                      Str("s_phone", 10000, 15),
+                      Float("s_acctbal", -999.99, 9999.99, 9956),
+                      Str("s_comment", 10000, 70)};
+  (void)catalog.AddTable(std::move(supplier));
+
+  TableStats customer;
+  customer.name = "customer";
+  customer.row_count = 150000;
+  customer.columns = {Int("c_custkey", 1, 150000, 150000),
+                      Str("c_name", 150000, 18),
+                      Str("c_address", 150000, 25),
+                      Int("c_nationkey", 0, 24, 25),
+                      Str("c_phone", 150000, 15),
+                      Float("c_acctbal", -999.99, 9999.99, 140187),
+                      Str("c_mktsegment", 5, 10),
+                      Str("c_comment", 150000, 73)};
+  (void)catalog.AddTable(std::move(customer));
+
+  TableStats part;
+  part.name = "part";
+  part.row_count = 200000;
+  part.columns = {Int("p_partkey", 1, 200000, 200000),
+                  Str("p_name", 199997, 33),
+                  Str("p_mfgr", 5, 25),
+                  Str("p_brand", 25, 10),
+                  Str("p_type", 150, 21),
+                  Int("p_size", 1, 50, 50),
+                  Str("p_container", 40, 10),
+                  Float("p_retailprice", 901.0, 2098.99, 20899),
+                  Str("p_comment", 131753, 14)};
+  (void)catalog.AddTable(std::move(part));
+
+  TableStats partsupp;
+  partsupp.name = "partsupp";
+  partsupp.row_count = 800000;
+  partsupp.columns = {Int("ps_partkey", 1, 200000, 200000),
+                      Int("ps_suppkey", 1, 10000, 10000),
+                      Int("ps_availqty", 1, 9999, 9999),
+                      Float("ps_supplycost", 1.0, 1000.0, 99865),
+                      Str("ps_comment", 799124, 124)};
+  (void)catalog.AddTable(std::move(partsupp));
+
+  TableStats orders;
+  orders.name = "orders";
+  orders.row_count = 1500000;
+  orders.columns = {Int("o_orderkey", 1, 6000000, 1500000),
+                    Int("o_custkey", 1, 150000, 99996),
+                    Str("o_orderstatus", 3, 1),
+                    Float("o_totalprice", 857.71, 555285.16, 1464556),
+                    Date("o_orderdate", 1992, 1998),
+                    Str("o_orderpriority", 5, 15),
+                    Str("o_clerk", 1000, 15),
+                    Int("o_shippriority", 0, 0, 1),
+                    Str("o_comment", 1482071, 49)};
+  (void)catalog.AddTable(std::move(orders));
+
+  TableStats lineitem;
+  lineitem.name = "lineitem";
+  lineitem.row_count = 6001215;
+  lineitem.columns = {Int("l_orderkey", 1, 6000000, 1500000),
+                      Int("l_partkey", 1, 200000, 200000),
+                      Int("l_suppkey", 1, 10000, 10000),
+                      Int("l_linenumber", 1, 7, 7),
+                      Float("l_quantity", 1, 50, 50),
+                      Float("l_extendedprice", 901.0, 104949.5, 933900),
+                      Float("l_discount", 0.0, 0.10, 11),
+                      Float("l_tax", 0.0, 0.08, 9),
+                      Str("l_returnflag", 3, 1),
+                      Str("l_linestatus", 2, 1),
+                      Date("l_shipdate", 1992, 1998),
+                      Date("l_commitdate", 1992, 1998),
+                      Date("l_receiptdate", 1992, 1998),
+                      Str("l_shipinstruct", 4, 25),
+                      Str("l_shipmode", 7, 10),
+                      Str("l_comment", 4580667, 27)};
+  (void)catalog.AddTable(std::move(lineitem));
+
+  return catalog;
+}
+
+}  // namespace querc::engine

@@ -1,0 +1,71 @@
+#include "ml/crossval.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace querc::ml {
+
+double CrossValResult::MeanAccuracy() const {
+  if (fold_accuracies.empty()) return 0.0;
+  double s = 0.0;
+  for (double a : fold_accuracies) s += a;
+  return s / static_cast<double>(fold_accuracies.size());
+}
+
+CrossValResult StratifiedKFold(
+    const Dataset& data, int folds,
+    const std::function<std::unique_ptr<VectorClassifier>()>& factory,
+    uint64_t seed) {
+  assert(folds >= 2);
+  util::Rng rng(seed);
+
+  // Group indices by class, shuffle within class, deal round-robin into
+  // folds so each fold matches the global class proportions.
+  std::map<int, std::vector<size_t>> by_class;
+  for (size_t i = 0; i < data.size(); ++i) by_class[data.y[i]].push_back(i);
+  std::vector<int> fold_of(data.size(), 0);
+  for (auto& [label, indices] : by_class) {
+    (void)label;
+    rng.Shuffle(indices);
+    for (size_t j = 0; j < indices.size(); ++j) {
+      fold_of[indices[j]] = static_cast<int>(j % static_cast<size_t>(folds));
+    }
+  }
+
+  CrossValResult result;
+  result.oof_predictions.assign(data.size(), -1);
+  for (int fold = 0; fold < folds; ++fold) {
+    Dataset train;
+    std::vector<size_t> test_indices;
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (fold_of[i] == fold) {
+        test_indices.push_back(i);
+      } else {
+        train.x.push_back(data.x[i]);
+        train.y.push_back(data.y[i]);
+      }
+    }
+    if (train.x.empty() || test_indices.empty()) {
+      result.fold_accuracies.push_back(0.0);
+      continue;
+    }
+    std::unique_ptr<VectorClassifier> clf = factory();
+    clf->Fit(train);
+    std::vector<int> actual;
+    std::vector<int> predicted;
+    for (size_t i : test_indices) {
+      int p = clf->Predict(data.x[i]);
+      result.oof_predictions[i] = p;
+      actual.push_back(data.y[i]);
+      predicted.push_back(p);
+    }
+    result.fold_accuracies.push_back(Accuracy(actual, predicted));
+  }
+  return result;
+}
+
+}  // namespace querc::ml

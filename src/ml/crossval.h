@@ -1,0 +1,31 @@
+#ifndef QUERC_ML_CROSSVAL_H_
+#define QUERC_ML_CROSSVAL_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace querc::ml {
+
+/// Result of a k-fold cross-validation run.
+struct CrossValResult {
+  std::vector<double> fold_accuracies;
+  /// Out-of-fold prediction for every sample (index-aligned with the
+  /// dataset), enabling per-group breakdowns like the paper's Table 2.
+  std::vector<int> oof_predictions;
+
+  double MeanAccuracy() const;
+};
+
+/// Stratified k-fold cross-validation: folds preserve class proportions.
+/// `factory` builds a fresh untrained classifier per fold.
+CrossValResult StratifiedKFold(
+    const Dataset& data, int folds,
+    const std::function<std::unique_ptr<VectorClassifier>()>& factory,
+    uint64_t seed = 17);
+
+}  // namespace querc::ml
+
+#endif  // QUERC_ML_CROSSVAL_H_

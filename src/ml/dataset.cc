@@ -1,0 +1,27 @@
+#include "ml/dataset.h"
+
+namespace querc::ml {
+
+int LabelEncoder::FitId(const std::string& label) {
+  auto it = index_.find(label);
+  if (it != index_.end()) return it->second;
+  int id = static_cast<int>(labels_.size());
+  index_[label] = id;
+  labels_.push_back(label);
+  return id;
+}
+
+int LabelEncoder::Id(const std::string& label) const {
+  auto it = index_.find(label);
+  return it == index_.end() ? -1 : it->second;
+}
+
+std::vector<int> LabelEncoder::FitTransform(
+    const std::vector<std::string>& column) {
+  std::vector<int> out;
+  out.reserve(column.size());
+  for (const auto& label : column) out.push_back(FitId(label));
+  return out;
+}
+
+}  // namespace querc::ml

@@ -1,0 +1,58 @@
+#ifndef QUERC_ML_DATASET_H_
+#define QUERC_ML_DATASET_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace querc::ml {
+
+/// Maps string labels to dense integer class ids and back.
+class LabelEncoder {
+ public:
+  /// Returns the id for `label`, assigning the next id on first sight.
+  int FitId(const std::string& label);
+
+  /// Returns the id for `label`, or -1 if never seen.
+  int Id(const std::string& label) const;
+
+  const std::string& Label(int id) const { return labels_[id]; }
+  size_t num_classes() const { return labels_.size(); }
+
+  /// Fit-encodes a whole column.
+  std::vector<int> FitTransform(const std::vector<std::string>& column);
+
+ private:
+  std::unordered_map<std::string, int> index_;
+  std::vector<std::string> labels_;
+};
+
+/// A labeled vector dataset.
+struct Dataset {
+  std::vector<nn::Vec> x;
+  std::vector<int> y;
+
+  size_t size() const { return x.size(); }
+  size_t dim() const { return x.empty() ? 0 : x[0].size(); }
+};
+
+/// Abstract multi-class classifier over dense vectors — the "labeler" half
+/// of a Querc classifier pair.
+class VectorClassifier {
+ public:
+  virtual ~VectorClassifier() = default;
+
+  /// Trains on the dataset; `num_classes` is max(y)+1.
+  virtual void Fit(const Dataset& data) = 0;
+
+  /// Predicts the class id for one vector.
+  virtual int Predict(const nn::Vec& v) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace querc::ml
+
+#endif  // QUERC_ML_DATASET_H_

@@ -1,0 +1,164 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace querc::ml {
+
+namespace {
+
+/// k-means++ seeding: first centroid uniform, then proportional to squared
+/// distance from the nearest chosen centroid.
+std::vector<nn::Vec> SeedPlusPlus(const std::vector<nn::Vec>& points, size_t k,
+                                  util::Rng& rng) {
+  std::vector<nn::Vec> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[rng.NextUint64(points.size())]);
+  std::vector<double> d2(points.size(),
+                         std::numeric_limits<double>::infinity());
+  while (centroids.size() < k) {
+    for (size_t i = 0; i < points.size(); ++i) {
+      d2[i] = std::min(d2[i], nn::SquaredDistance(points[i],
+                                                  centroids.back()));
+    }
+    size_t pick = rng.WeightedIndex(d2);
+    centroids.push_back(points[pick]);
+  }
+  return centroids;
+}
+
+KMeansResult RunOnce(const std::vector<nn::Vec>& points, size_t k,
+                     const KMeansOptions& options, util::Rng& rng) {
+  const size_t n = points.size();
+  const size_t dim = points[0].size();
+  KMeansResult result;
+  result.centroids = SeedPlusPlus(points, k, rng);
+  result.assignment.assign(n, -1);
+
+  double prev_inertia = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Assignment step.
+    double inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (size_t c = 0; c < k; ++c) {
+        double d = nn::SquaredDistance(points[i], result.centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = static_cast<int>(c);
+        }
+      }
+      result.assignment[i] = best_c;
+      inertia += best;
+    }
+    result.inertia = inertia;
+    result.iterations = iter + 1;
+
+    // Update step.
+    std::vector<nn::Vec> sums(k, nn::Vec(dim, 0.0));
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      size_t c = static_cast<size_t>(result.assignment[i]);
+      nn::Axpy(1.0, points[i], sums[c]);
+      ++counts[c];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        result.centroids[c] = points[rng.NextUint64(n)];
+        continue;
+      }
+      for (double& v : sums[c]) v /= static_cast<double>(counts[c]);
+      result.centroids[c] = std::move(sums[c]);
+    }
+
+    if (prev_inertia - inertia < options.tolerance * std::max(1.0, inertia)) {
+      break;
+    }
+    prev_inertia = inertia;
+  }
+  return result;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const std::vector<nn::Vec>& points, size_t k,
+                    const KMeansOptions& options) {
+  assert(!points.empty());
+  k = std::clamp<size_t>(k, 1, points.size());
+  util::Rng rng(options.seed);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  for (int trial = 0; trial < std::max(1, options.num_seeding_trials);
+       ++trial) {
+    KMeansResult r = RunOnce(points, k, options, rng);
+    if (r.inertia < best.inertia) best = std::move(r);
+  }
+  return best;
+}
+
+std::vector<size_t> NearestPointToCentroids(const std::vector<nn::Vec>& points,
+                                            const KMeansResult& result) {
+  std::vector<size_t> nearest(result.centroids.size(), 0);
+  std::vector<double> best(result.centroids.size(),
+                           std::numeric_limits<double>::infinity());
+  // First pass: restrict witnesses to the centroid's own cluster members.
+  for (size_t i = 0; i < points.size(); ++i) {
+    size_t c = static_cast<size_t>(result.assignment[i]);
+    double d = nn::SquaredDistance(points[i], result.centroids[c]);
+    if (d < best[c]) {
+      best[c] = d;
+      nearest[c] = i;
+    }
+  }
+  // Fallback for clusters that own no points: globally nearest point.
+  for (size_t c = 0; c < result.centroids.size(); ++c) {
+    if (best[c] == std::numeric_limits<double>::infinity()) {
+      for (size_t i = 0; i < points.size(); ++i) {
+        double d = nn::SquaredDistance(points[i], result.centroids[c]);
+        if (d < best[c]) {
+          best[c] = d;
+          nearest[c] = i;
+        }
+      }
+    }
+  }
+  return nearest;
+}
+
+ElbowResult ElbowMethod(const std::vector<nn::Vec>& points,
+                        const ElbowOptions& options) {
+  ElbowResult result;
+  double prev_inertia = -1.0;
+  double max_drop = 0.0;
+  size_t prev_k = 0;
+  for (size_t k = options.k_min;
+       k <= std::min(options.k_max, points.size()); k += options.k_step) {
+    KMeansResult km = KMeans(points, k, options.kmeans);
+    result.ks.push_back(k);
+    result.inertias.push_back(km.inertia);
+    if (prev_inertia == 0.0) {
+      // Perfect clustering already reached at the previous k.
+      result.chosen_k = prev_k;
+      return result;
+    }
+    if (prev_inertia > 0.0) {
+      // "Rate of change plateaus": the improvement this step is small
+      // relative to the largest improvement seen so far.
+      double drop = prev_inertia - km.inertia;
+      max_drop = std::max(max_drop, drop);
+      if (max_drop > 0.0 && drop < options.plateau_threshold * max_drop) {
+        result.chosen_k = prev_k;
+        return result;
+      }
+    }
+    prev_inertia = km.inertia;
+    prev_k = k;
+  }
+  result.chosen_k = prev_k;
+  return result;
+}
+
+}  // namespace querc::ml

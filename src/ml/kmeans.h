@@ -1,0 +1,63 @@
+#ifndef QUERC_ML_KMEANS_H_
+#define QUERC_ML_KMEANS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace querc::ml {
+
+/// Result of one K-means run.
+struct KMeansResult {
+  std::vector<nn::Vec> centroids;
+  std::vector<int> assignment;  // cluster id per point
+  double inertia = 0.0;         // sum of squared distances to centroids
+  int iterations = 0;
+};
+
+struct KMeansOptions {
+  int max_iterations = 100;
+  double tolerance = 1e-6;  // stop when inertia improvement falls below
+  uint64_t seed = 97;
+  int num_seeding_trials = 1;  // best-of-N restarts
+};
+
+/// Lloyd's algorithm with k-means++ seeding. `k` is clamped to
+/// [1, points.size()].
+KMeansResult KMeans(const std::vector<nn::Vec>& points, size_t k,
+                    const KMeansOptions& options = {});
+
+/// Index of the point nearest each centroid (the "witness" of each
+/// cluster, used by the workload summarizer). Result has one entry per
+/// centroid; clusters that own no points fall back to the globally nearest
+/// point.
+std::vector<size_t> NearestPointToCentroids(const std::vector<nn::Vec>& points,
+                                            const KMeansResult& result);
+
+/// The paper's intentionally simple elbow method: runs K-means for
+/// increasing k and picks the k where the relative drop in inertia
+/// plateaus (falls below `plateau_threshold`).
+struct ElbowOptions {
+  size_t k_min = 2;
+  size_t k_max = 40;
+  size_t k_step = 2;
+  /// Plateau when this step's inertia drop falls below `threshold` times
+  /// the largest drop observed so far (the knee of the curve).
+  double plateau_threshold = 0.10;
+  KMeansOptions kmeans;
+};
+
+struct ElbowResult {
+  size_t chosen_k = 0;
+  std::vector<size_t> ks;
+  std::vector<double> inertias;
+};
+
+ElbowResult ElbowMethod(const std::vector<nn::Vec>& points,
+                        const ElbowOptions& options = {});
+
+}  // namespace querc::ml
+
+#endif  // QUERC_ML_KMEANS_H_

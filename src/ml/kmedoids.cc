@@ -1,0 +1,125 @@
+#include "ml/kmedoids.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace querc::ml {
+
+KMedoidsResult KMedoids(size_t n,
+                        const std::function<double(size_t, size_t)>& distance,
+                        size_t k, const KMedoidsOptions& options) {
+  assert(n > 0);
+  k = std::clamp<size_t>(k, 1, n);
+  util::Rng rng(options.seed);
+
+  // Cache the (symmetric) distance matrix.
+  std::vector<double> d(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double v = distance(i, j);
+      d[i * n + j] = v;
+      d[j * n + i] = v;
+    }
+  }
+  auto dist = [&](size_t i, size_t j) { return d[i * n + j]; };
+
+  // Greedy BUILD phase: first medoid minimizes total distance; each
+  // subsequent medoid maximizes cost reduction.
+  KMedoidsResult result;
+  std::vector<bool> is_medoid(n, false);
+  {
+    size_t best = 0;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n; ++i) {
+      double cost = 0.0;
+      for (size_t j = 0; j < n; ++j) cost += dist(i, j);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = i;
+      }
+    }
+    result.medoids.push_back(best);
+    is_medoid[best] = true;
+  }
+  std::vector<double> nearest(n);
+  auto refresh_nearest = [&] {
+    for (size_t j = 0; j < n; ++j) {
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t m : result.medoids) best = std::min(best, dist(m, j));
+      nearest[j] = best;
+    }
+  };
+  refresh_nearest();
+  while (result.medoids.size() < k) {
+    size_t best = 0;
+    double best_gain = -std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < n; ++i) {
+      if (is_medoid[i]) continue;
+      double gain = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        gain += std::max(0.0, nearest[j] - dist(i, j));
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    result.medoids.push_back(best);
+    is_medoid[best] = true;
+    refresh_nearest();
+  }
+
+  // SWAP phase: replace a medoid with a non-medoid while it lowers cost.
+  auto total_cost = [&] {
+    double cost = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t m : result.medoids) best = std::min(best, dist(m, j));
+      cost += best;
+    }
+    return cost;
+  };
+  double cost = total_cost();
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    bool improved = false;
+    for (size_t mi = 0; mi < result.medoids.size() && !improved; ++mi) {
+      for (size_t cand = 0; cand < n && !improved; ++cand) {
+        if (is_medoid[cand]) continue;
+        size_t old = result.medoids[mi];
+        result.medoids[mi] = cand;
+        double new_cost = total_cost();
+        if (new_cost + 1e-12 < cost) {
+          cost = new_cost;
+          is_medoid[old] = false;
+          is_medoid[cand] = true;
+          improved = true;
+        } else {
+          result.medoids[mi] = old;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+
+  // Final assignment.
+  result.assignment.assign(n, 0);
+  result.total_cost = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    double best = std::numeric_limits<double>::infinity();
+    int best_m = 0;
+    for (size_t mi = 0; mi < result.medoids.size(); ++mi) {
+      double v = dist(result.medoids[mi], j);
+      if (v < best) {
+        best = v;
+        best_m = static_cast<int>(mi);
+      }
+    }
+    result.assignment[j] = best_m;
+    result.total_cost += best;
+  }
+  return result;
+}
+
+}  // namespace querc::ml

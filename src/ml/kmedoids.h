@@ -1,0 +1,36 @@
+#ifndef QUERC_ML_KMEDOIDS_H_
+#define QUERC_ML_KMEDOIDS_H_
+
+#include <functional>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace querc::ml {
+
+/// K-medoids (PAM-style alternate/swap heuristic) over an arbitrary
+/// distance function — the clustering core of the Chaudhuri et al. workload
+/// compression baseline, which requires a *custom distance function per
+/// workload* (the specialization the paper's learned embeddings remove).
+struct KMedoidsOptions {
+  int max_iterations = 50;
+  uint64_t seed = 131;
+};
+
+struct KMedoidsResult {
+  std::vector<size_t> medoids;  // indices of the representative points
+  std::vector<int> assignment;  // medoid index position per point
+  double total_cost = 0.0;      // sum of distances to assigned medoids
+  int iterations = 0;
+};
+
+/// Clusters `n` points given `distance(i, j)`. Distances are cached in an
+/// n x n matrix, so this is intended for workload-summary sizes (<= a few
+/// thousand queries).
+KMedoidsResult KMedoids(size_t n,
+                        const std::function<double(size_t, size_t)>& distance,
+                        size_t k, const KMedoidsOptions& options = {});
+
+}  // namespace querc::ml
+
+#endif  // QUERC_ML_KMEDOIDS_H_

@@ -1,0 +1,44 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace querc::ml {
+
+void KnnClassifier::Fit(const Dataset& data) {
+  assert(!data.x.empty());
+  train_ = data;
+  num_classes_ = 0;
+  for (int y : data.y) num_classes_ = std::max(num_classes_, y + 1);
+}
+
+std::vector<size_t> KnnClassifier::Neighbors(const nn::Vec& v, int k) const {
+  std::vector<std::pair<double, size_t>> dists;
+  dists.reserve(train_.size());
+  for (size_t i = 0; i < train_.size(); ++i) {
+    dists.emplace_back(nn::SquaredDistance(v, train_.x[i]), i);
+  }
+  size_t kk = std::min<size_t>(static_cast<size_t>(std::max(1, k)),
+                               dists.size());
+  std::partial_sort(dists.begin(), dists.begin() + static_cast<long>(kk),
+                    dists.end());
+  std::vector<size_t> out;
+  out.reserve(kk);
+  for (size_t i = 0; i < kk; ++i) out.push_back(dists[i].second);
+  return out;
+}
+
+int KnnClassifier::Predict(const nn::Vec& v) const {
+  std::vector<size_t> nbrs = Neighbors(v, options_.k);
+  std::vector<int> votes(static_cast<size_t>(num_classes_), 0);
+  for (size_t i : nbrs) ++votes[static_cast<size_t>(train_.y[i])];
+  int best = 0;
+  for (size_t c = 1; c < votes.size(); ++c) {
+    if (votes[c] > votes[static_cast<size_t>(best)]) {
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace querc::ml

@@ -1,0 +1,36 @@
+#ifndef QUERC_ML_KNN_H_
+#define QUERC_ML_KNN_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace querc::ml {
+
+/// Brute-force k-nearest-neighbor classifier (Euclidean). Simple, exact;
+/// used as an alternative labeler and by the query recommender.
+class KnnClassifier : public VectorClassifier {
+ public:
+  struct Options {
+    int k = 5;
+  };
+
+  explicit KnnClassifier(const Options& options) : options_(options) {}
+
+  void Fit(const Dataset& data) override;
+  int Predict(const nn::Vec& v) const override;
+  std::string name() const override { return "knn"; }
+
+  /// Indices of the k nearest training points, nearest first.
+  std::vector<size_t> Neighbors(const nn::Vec& v, int k) const;
+
+ private:
+  Options options_;
+  Dataset train_;
+  int num_classes_ = 0;
+};
+
+}  // namespace querc::ml
+
+#endif  // QUERC_ML_KNN_H_

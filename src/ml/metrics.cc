@@ -1,0 +1,95 @@
+#include "ml/metrics.h"
+
+#include <cassert>
+
+namespace querc::ml {
+
+double Accuracy(const std::vector<int>& actual,
+                const std::vector<int>& predicted) {
+  assert(actual.size() == predicted.size());
+  if (actual.empty()) return 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    if (actual[i] == predicted[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(actual.size());
+}
+
+std::vector<std::vector<int>> ConfusionMatrix(const std::vector<int>& actual,
+                                              const std::vector<int>& predicted,
+                                              int num_classes) {
+  assert(actual.size() == predicted.size());
+  std::vector<std::vector<int>> counts(
+      static_cast<size_t>(num_classes),
+      std::vector<int>(static_cast<size_t>(num_classes), 0));
+  for (size_t i = 0; i < actual.size(); ++i) {
+    if (actual[i] >= 0 && actual[i] < num_classes && predicted[i] >= 0 &&
+        predicted[i] < num_classes) {
+      ++counts[static_cast<size_t>(actual[i])]
+              [static_cast<size_t>(predicted[i])];
+    }
+  }
+  return counts;
+}
+
+std::vector<double> PerClassRecall(
+    const std::vector<std::vector<int>>& confusion) {
+  std::vector<double> recall(confusion.size(), 0.0);
+  for (size_t c = 0; c < confusion.size(); ++c) {
+    long total = 0;
+    for (int v : confusion[c]) total += v;
+    if (total > 0) {
+      recall[c] = static_cast<double>(confusion[c][c]) /
+                  static_cast<double>(total);
+    }
+  }
+  return recall;
+}
+
+std::map<std::string, double> GroupedAccuracy(
+    const std::vector<int>& actual, const std::vector<int>& predicted,
+    const std::vector<std::string>& groups) {
+  assert(actual.size() == predicted.size() && actual.size() == groups.size());
+  std::map<std::string, std::pair<long, long>> tally;  // hits, total
+  for (size_t i = 0; i < actual.size(); ++i) {
+    auto& [hits, total] = tally[groups[i]];
+    if (actual[i] == predicted[i]) ++hits;
+    ++total;
+  }
+  std::map<std::string, double> out;
+  for (const auto& [group, ht] : tally) {
+    out[group] = ht.second > 0 ? static_cast<double>(ht.first) /
+                                     static_cast<double>(ht.second)
+                               : 0.0;
+  }
+  return out;
+}
+
+double MacroF1(const std::vector<int>& actual,
+               const std::vector<int>& predicted, int num_classes) {
+  auto cm = ConfusionMatrix(actual, predicted, num_classes);
+  double f1_sum = 0.0;
+  int classes_present = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    long tp = cm[static_cast<size_t>(c)][static_cast<size_t>(c)];
+    long actual_c = 0;
+    long predicted_c = 0;
+    for (int j = 0; j < num_classes; ++j) {
+      actual_c += cm[static_cast<size_t>(c)][static_cast<size_t>(j)];
+      predicted_c += cm[static_cast<size_t>(j)][static_cast<size_t>(c)];
+    }
+    if (actual_c == 0) continue;
+    ++classes_present;
+    double precision =
+        predicted_c > 0
+            ? static_cast<double>(tp) / static_cast<double>(predicted_c)
+            : 0.0;
+    double recall = static_cast<double>(tp) / static_cast<double>(actual_c);
+    if (precision + recall > 0.0) {
+      f1_sum += 2.0 * precision * recall / (precision + recall);
+    }
+  }
+  return classes_present > 0 ? f1_sum / classes_present : 0.0;
+}
+
+}  // namespace querc::ml

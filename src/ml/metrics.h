@@ -1,0 +1,34 @@
+#ifndef QUERC_ML_METRICS_H_
+#define QUERC_ML_METRICS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace querc::ml {
+
+/// Fraction of positions where predicted == actual. Empty input -> 0.
+double Accuracy(const std::vector<int>& actual,
+                const std::vector<int>& predicted);
+
+/// Row-major confusion matrix: counts[actual][predicted].
+std::vector<std::vector<int>> ConfusionMatrix(
+    const std::vector<int>& actual, const std::vector<int>& predicted,
+    int num_classes);
+
+/// Per-class recall (diagonal / row sum); classes with no samples get 0.
+std::vector<double> PerClassRecall(
+    const std::vector<std::vector<int>>& confusion);
+
+/// Accuracy restricted to positions whose group key matches, per group.
+std::map<std::string, double> GroupedAccuracy(
+    const std::vector<int>& actual, const std::vector<int>& predicted,
+    const std::vector<std::string>& groups);
+
+/// Macro-averaged F1 over all classes present in `actual`.
+double MacroF1(const std::vector<int>& actual,
+               const std::vector<int>& predicted, int num_classes);
+
+}  // namespace querc::ml
+
+#endif  // QUERC_ML_METRICS_H_

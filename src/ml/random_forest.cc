@@ -1,0 +1,246 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "nn/serialize.h"
+
+namespace querc::ml {
+
+namespace {
+
+/// Gini impurity of the label counts.
+double Gini(const std::vector<int>& counts, int total) {
+  if (total == 0) return 0.0;
+  double g = 1.0;
+  for (int c : counts) {
+    double p = static_cast<double>(c) / static_cast<double>(total);
+    g -= p * p;
+  }
+  return g;
+}
+
+int Majority(const std::vector<int>& counts) {
+  int best = 0;
+  for (size_t c = 1; c < counts.size(); ++c) {
+    if (counts[c] > counts[static_cast<size_t>(best)]) {
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void RandomForestClassifier::Fit(const Dataset& data) {
+  assert(!data.x.empty());
+  num_classes_ = 0;
+  for (int label : data.y) num_classes_ = std::max(num_classes_, label + 1);
+
+  util::Rng rng(options_.seed);
+  trees_.clear();
+  trees_.resize(static_cast<size_t>(options_.num_trees));
+  for (auto& tree : trees_) {
+    util::Rng tree_rng = rng.Fork();
+    std::vector<size_t> indices;
+    indices.reserve(data.size());
+    if (options_.bootstrap) {
+      for (size_t i = 0; i < data.size(); ++i) {
+        indices.push_back(tree_rng.NextUint64(data.size()));
+      }
+    } else {
+      for (size_t i = 0; i < data.size(); ++i) indices.push_back(i);
+    }
+    GrowNode(tree, data, indices, 0, tree_rng);
+  }
+}
+
+int RandomForestClassifier::GrowNode(Tree& tree, const Dataset& data,
+                                     const std::vector<size_t>& indices,
+                                     int depth, util::Rng& rng) {
+  int node_id = static_cast<int>(tree.nodes.size());
+  tree.nodes.emplace_back();
+
+  std::vector<int> counts(static_cast<size_t>(num_classes_), 0);
+  for (size_t i : indices) ++counts[static_cast<size_t>(data.y[i])];
+  int majority = Majority(counts);
+  double impurity = Gini(counts, static_cast<int>(indices.size()));
+
+  auto make_leaf = [&] {
+    tree.nodes[static_cast<size_t>(node_id)].label = majority;
+    return node_id;
+  };
+  if (depth >= options_.max_depth ||
+      static_cast<int>(indices.size()) < options_.min_samples_split ||
+      impurity <= 0.0) {
+    return make_leaf();
+  }
+
+  const size_t dim = data.dim();
+  int mtry = options_.num_candidate_features > 0
+                 ? options_.num_candidate_features
+                 : std::max(1, static_cast<int>(std::sqrt(
+                                   static_cast<double>(dim))));
+
+  // Extra-trees: one random threshold per sampled feature.
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_score = std::numeric_limits<double>::infinity();
+  std::vector<int> left_counts(static_cast<size_t>(num_classes_));
+  std::vector<int> right_counts(static_cast<size_t>(num_classes_));
+  for (int trial = 0; trial < mtry; ++trial) {
+    size_t f = rng.NextUint64(dim);
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (size_t i : indices) {
+      lo = std::min(lo, data.x[i][f]);
+      hi = std::max(hi, data.x[i][f]);
+    }
+    if (hi <= lo) continue;
+    double threshold = rng.UniformDouble(lo, hi);
+    std::fill(left_counts.begin(), left_counts.end(), 0);
+    std::fill(right_counts.begin(), right_counts.end(), 0);
+    int nl = 0;
+    int nr = 0;
+    for (size_t i : indices) {
+      if (data.x[i][f] <= threshold) {
+        ++left_counts[static_cast<size_t>(data.y[i])];
+        ++nl;
+      } else {
+        ++right_counts[static_cast<size_t>(data.y[i])];
+        ++nr;
+      }
+    }
+    if (nl == 0 || nr == 0) continue;
+    double score = (nl * Gini(left_counts, nl) + nr * Gini(right_counts, nr)) /
+                   static_cast<double>(indices.size());
+    if (score < best_score) {
+      best_score = score;
+      best_feature = static_cast<int>(f);
+      best_threshold = threshold;
+    }
+  }
+  if (best_feature < 0 || best_score >= impurity) return make_leaf();
+
+  std::vector<size_t> left;
+  std::vector<size_t> right;
+  for (size_t i : indices) {
+    if (data.x[i][static_cast<size_t>(best_feature)] <= best_threshold) {
+      left.push_back(i);
+    } else {
+      right.push_back(i);
+    }
+  }
+  int left_id = GrowNode(tree, data, left, depth + 1, rng);
+  int right_id = GrowNode(tree, data, right, depth + 1, rng);
+  Node& node = tree.nodes[static_cast<size_t>(node_id)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left_id;
+  node.right = right_id;
+  node.label = majority;
+  return node_id;
+}
+
+int RandomForestClassifier::TreePredict(const Tree& tree, const nn::Vec& v) {
+  int node = 0;
+  for (;;) {
+    const Node& n = tree.nodes[static_cast<size_t>(node)];
+    if (n.feature < 0) return n.label;
+    node = v[static_cast<size_t>(n.feature)] <= n.threshold ? n.left : n.right;
+  }
+}
+
+std::vector<double> RandomForestClassifier::PredictProba(
+    const nn::Vec& v) const {
+  std::vector<double> votes(static_cast<size_t>(num_classes_), 0.0);
+  if (trees_.empty()) return votes;
+  for (const auto& tree : trees_) {
+    ++votes[static_cast<size_t>(TreePredict(tree, v))];
+  }
+  for (double& x : votes) x /= static_cast<double>(trees_.size());
+  return votes;
+}
+
+namespace {
+constexpr uint64_t kForestMagic = 0x5146524553543031ULL;  // "QFREST01"
+}  // namespace
+
+util::Status RandomForestClassifier::Save(std::ostream& out) const {
+  QUERC_RETURN_IF_ERROR(nn::WriteU64(out, kForestMagic));
+  QUERC_RETURN_IF_ERROR(nn::WriteU64(out, static_cast<uint64_t>(num_classes_)));
+  QUERC_RETURN_IF_ERROR(nn::WriteU64(out, trees_.size()));
+  for (const Tree& tree : trees_) {
+    QUERC_RETURN_IF_ERROR(nn::WriteU64(out, tree.nodes.size()));
+    for (const Node& node : tree.nodes) {
+      QUERC_RETURN_IF_ERROR(
+          nn::WriteU64(out, static_cast<uint64_t>(
+                                static_cast<int64_t>(node.feature))));
+      QUERC_RETURN_IF_ERROR(nn::WriteF64(out, node.threshold));
+      QUERC_RETURN_IF_ERROR(
+          nn::WriteU64(out, static_cast<uint64_t>(
+                                static_cast<int64_t>(node.left))));
+      QUERC_RETURN_IF_ERROR(
+          nn::WriteU64(out, static_cast<uint64_t>(
+                                static_cast<int64_t>(node.right))));
+      QUERC_RETURN_IF_ERROR(
+          nn::WriteU64(out, static_cast<uint64_t>(node.label)));
+    }
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<RandomForestClassifier> RandomForestClassifier::Load(
+    std::istream& in) {
+  uint64_t magic = 0;
+  QUERC_RETURN_IF_ERROR(nn::ReadU64(in, magic));
+  if (magic != kForestMagic) {
+    return util::Status::Corruption("random forest: bad magic");
+  }
+  RandomForestClassifier forest((Options()));
+  uint64_t num_classes = 0;
+  uint64_t num_trees = 0;
+  QUERC_RETURN_IF_ERROR(nn::ReadU64(in, num_classes));
+  QUERC_RETURN_IF_ERROR(nn::ReadU64(in, num_trees));
+  if (num_classes > (1u << 24) || num_trees > (1u << 20)) {
+    return util::Status::Corruption("random forest: implausible sizes");
+  }
+  forest.num_classes_ = static_cast<int>(num_classes);
+  forest.trees_.resize(num_trees);
+  for (Tree& tree : forest.trees_) {
+    uint64_t num_nodes = 0;
+    QUERC_RETURN_IF_ERROR(nn::ReadU64(in, num_nodes));
+    if (num_nodes > (1u << 26)) {
+      return util::Status::Corruption("random forest: implausible tree");
+    }
+    tree.nodes.resize(num_nodes);
+    for (Node& node : tree.nodes) {
+      uint64_t feature = 0, left = 0, right = 0, label = 0;
+      QUERC_RETURN_IF_ERROR(nn::ReadU64(in, feature));
+      QUERC_RETURN_IF_ERROR(nn::ReadF64(in, node.threshold));
+      QUERC_RETURN_IF_ERROR(nn::ReadU64(in, left));
+      QUERC_RETURN_IF_ERROR(nn::ReadU64(in, right));
+      QUERC_RETURN_IF_ERROR(nn::ReadU64(in, label));
+      node.feature = static_cast<int>(static_cast<int64_t>(feature));
+      node.left = static_cast<int>(static_cast<int64_t>(left));
+      node.right = static_cast<int>(static_cast<int64_t>(right));
+      node.label = static_cast<int>(label);
+    }
+  }
+  return forest;
+}
+
+int RandomForestClassifier::Predict(const nn::Vec& v) const {
+  std::vector<double> votes = PredictProba(v);
+  size_t best = 0;
+  for (size_t c = 1; c < votes.size(); ++c) {
+    if (votes[c] > votes[best]) best = c;
+  }
+  return static_cast<int>(best);
+}
+
+}  // namespace querc::ml

@@ -1,0 +1,74 @@
+#ifndef QUERC_ML_RANDOM_FOREST_H_
+#define QUERC_ML_RANDOM_FOREST_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "util/rng.h"
+#include "util/statusor.h"
+
+namespace querc::ml {
+
+/// A forest of randomized decision trees — the paper's labeler for the
+/// §5.2 account/user prediction tasks ("randomized decision trees"). Uses
+/// the extremely-randomized-trees scheme: at each node, `num_candidate_
+/// features` features are sampled and each gets one uniform-random split
+/// threshold; the candidate with the best Gini impurity reduction wins.
+class RandomForestClassifier : public VectorClassifier {
+ public:
+  struct Options {
+    int num_trees = 40;
+    int max_depth = 16;
+    int min_samples_split = 4;
+    /// Features sampled per node; 0 => sqrt(dim).
+    int num_candidate_features = 0;
+    /// Fraction of the training set bootstrapped per tree (with
+    /// replacement); 1.0 and bootstrap=false => full set.
+    bool bootstrap = true;
+    uint64_t seed = 53;
+  };
+
+  explicit RandomForestClassifier(const Options& options)
+      : options_(options) {}
+
+  void Fit(const Dataset& data) override;
+  int Predict(const nn::Vec& v) const override;
+  std::string name() const override { return "random-forest"; }
+
+  /// Per-class vote fractions (valid after Fit).
+  std::vector<double> PredictProba(const nn::Vec& v) const;
+
+  int num_classes() const { return num_classes_; }
+
+  /// Persists the fitted forest (binary; options are not persisted — a
+  /// loaded forest predicts but is not refittable with original options).
+  util::Status Save(std::ostream& out) const;
+  static util::StatusOr<RandomForestClassifier> Load(std::istream& in);
+
+ private:
+  struct Node {
+    int feature = -1;       // -1 => leaf
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    int label = 0;          // majority label at leaf
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  int GrowNode(Tree& tree, const Dataset& data,
+               const std::vector<size_t>& indices, int depth, util::Rng& rng);
+  static int TreePredict(const Tree& tree, const nn::Vec& v);
+
+  Options options_;
+  std::vector<Tree> trees_;
+  int num_classes_ = 0;
+};
+
+}  // namespace querc::ml
+
+#endif  // QUERC_ML_RANDOM_FOREST_H_

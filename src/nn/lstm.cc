@@ -1,0 +1,158 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+namespace querc::nn {
+
+LstmLayer::LstmLayer(size_t input_dim, size_t hidden_dim,
+                     const std::string& name, util::Rng& rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      wx_(4 * hidden_dim, input_dim, name + ".wx"),
+      wh_(4 * hidden_dim, hidden_dim, name + ".wh"),
+      b_(4 * hidden_dim, 1, name + ".b"),
+      h_(hidden_dim, 0.0),
+      c_(hidden_dim, 0.0) {
+  wx_.XavierInit(rng);
+  wh_.XavierInit(rng);
+  // Forget-gate bias = 1.
+  for (size_t j = 0; j < hidden_dim_; ++j) b_.at(hidden_dim_ + j, 0) = 1.0;
+}
+
+void LstmLayer::Reset() {
+  std::fill(h_.begin(), h_.end(), 0.0);
+  std::fill(c_.begin(), c_.end(), 0.0);
+  cache_.clear();
+}
+
+void LstmLayer::SetState(const Vec& h, const Vec& c) {
+  h_ = h;
+  c_ = c;
+}
+
+const Vec& LstmLayer::Forward(const Vec& x) {
+  const size_t hd = hidden_dim_;
+  StepCache step;
+  step.x = x;
+  step.h_prev = h_;
+  step.c_prev = c_;
+
+  // z = Wx * x + Wh * h_prev + b
+  Vec z(4 * hd, 0.0);
+  for (size_t r = 0; r < 4 * hd; ++r) {
+    z[r] = Dot(wx_.row(r), x.data(), input_dim_) +
+           Dot(wh_.row(r), h_.data(), hd) + b_.at(r, 0);
+  }
+
+  step.i.resize(hd);
+  step.f.resize(hd);
+  step.g.resize(hd);
+  step.o.resize(hd);
+  step.c.resize(hd);
+  step.tanh_c.resize(hd);
+  for (size_t j = 0; j < hd; ++j) {
+    step.i[j] = Sigmoid(z[j]);
+    step.f[j] = Sigmoid(z[hd + j]);
+    step.g[j] = std::tanh(z[2 * hd + j]);
+    step.o[j] = Sigmoid(z[3 * hd + j]);
+    step.c[j] = step.f[j] * step.c_prev[j] + step.i[j] * step.g[j];
+    step.tanh_c[j] = std::tanh(step.c[j]);
+  }
+  c_ = step.c;
+  for (size_t j = 0; j < hd; ++j) h_[j] = step.o[j] * step.tanh_c[j];
+
+  cache_.push_back(std::move(step));
+  return h_;
+}
+
+void LstmLayer::InferStep(const Vec& x, Vec* h, Vec* c) const {
+  const size_t hd = hidden_dim_;
+  Vec z(4 * hd, 0.0);
+  for (size_t r = 0; r < 4 * hd; ++r) {
+    z[r] = Dot(wx_.row(r), x.data(), input_dim_) +
+           Dot(wh_.row(r), h->data(), hd) + b_.at(r, 0);
+  }
+  for (size_t j = 0; j < hd; ++j) {
+    double i_g = Sigmoid(z[j]);
+    double f_g = Sigmoid(z[hd + j]);
+    double g_g = std::tanh(z[2 * hd + j]);
+    double o_g = Sigmoid(z[3 * hd + j]);
+    (*c)[j] = f_g * (*c)[j] + i_g * g_g;
+    (*h)[j] = o_g * std::tanh((*c)[j]);
+  }
+}
+
+void LstmLayer::InferSequence(const std::vector<Vec>& xs, Vec* h_out,
+                              Vec* c_out) const {
+  Vec h(hidden_dim_, 0.0);
+  Vec c(hidden_dim_, 0.0);
+  for (const Vec& x : xs) InferStep(x, &h, &c);
+  if (h_out != nullptr) *h_out = std::move(h);
+  if (c_out != nullptr) *c_out = std::move(c);
+}
+
+LstmLayer::BackwardResult LstmLayer::Backward(
+    const std::vector<Vec>& dh_per_step, const Vec& dh_final,
+    const Vec& dc_final) {
+  const size_t hd = hidden_dim_;
+  const size_t steps = cache_.size();
+  BackwardResult result;
+  result.dx.resize(steps);
+
+  Vec dh_next(hd, 0.0);  // gradient flowing from step t+1 into h_t
+  Vec dc_next(hd, 0.0);
+  if (!dh_final.empty()) dh_next = dh_final;
+  if (!dc_final.empty()) dc_next = dc_final;
+
+  Vec dz(4 * hd, 0.0);
+  for (size_t t = steps; t-- > 0;) {
+    const StepCache& s = cache_[t];
+    Vec dh = dh_next;
+    if (t < dh_per_step.size() && !dh_per_step[t].empty()) {
+      Axpy(1.0, dh_per_step[t], dh);
+    }
+    Vec dc = dc_next;
+    for (size_t j = 0; j < hd; ++j) {
+      double dtanh_c = dh[j] * s.o[j];
+      dc[j] += dtanh_c * (1.0 - s.tanh_c[j] * s.tanh_c[j]);
+      double d_o = dh[j] * s.tanh_c[j];
+      double d_i = dc[j] * s.g[j];
+      double d_f = dc[j] * s.c_prev[j];
+      double d_g = dc[j] * s.i[j];
+      dz[j] = d_i * s.i[j] * (1.0 - s.i[j]);
+      dz[hd + j] = d_f * s.f[j] * (1.0 - s.f[j]);
+      dz[2 * hd + j] = d_g * (1.0 - s.g[j] * s.g[j]);
+      dz[3 * hd + j] = d_o * s.o[j] * (1.0 - s.o[j]);
+    }
+
+    // Parameter gradients.
+    for (size_t r = 0; r < 4 * hd; ++r) {
+      if (dz[r] == 0.0) continue;
+      Axpy(dz[r], s.x.data(), wx_.grad_row(r), input_dim_);
+      Axpy(dz[r], s.h_prev.data(), wh_.grad_row(r), hd);
+      b_.grad_at(r, 0) += dz[r];
+    }
+
+    // Input gradient.
+    Vec dx(input_dim_, 0.0);
+    for (size_t r = 0; r < 4 * hd; ++r) {
+      if (dz[r] == 0.0) continue;
+      Axpy(dz[r], wx_.row(r), dx.data(), input_dim_);
+    }
+    result.dx[t] = std::move(dx);
+
+    // State gradients for step t-1.
+    std::fill(dh_next.begin(), dh_next.end(), 0.0);
+    for (size_t r = 0; r < 4 * hd; ++r) {
+      if (dz[r] == 0.0) continue;
+      Axpy(dz[r], wh_.row(r), dh_next.data(), hd);
+    }
+    for (size_t j = 0; j < hd; ++j) dc_next[j] = dc[j] * s.f[j];
+  }
+
+  result.dh_init = std::move(dh_next);
+  result.dc_init = std::move(dc_next);
+  return result;
+}
+
+}  // namespace querc::nn

@@ -1,0 +1,95 @@
+#ifndef QUERC_NN_LSTM_H_
+#define QUERC_NN_LSTM_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace querc::nn {
+
+/// A single LSTM layer processing one sequence at a time (batch size 1 —
+/// queries are short and the training sets laptop-scale, so we optimize for
+/// clarity and exact BPTT over throughput).
+///
+/// Gate layout in the stacked weight matrices: rows [0,H) input gate i,
+/// [H,2H) forget gate f, [2H,3H) candidate g (tanh), [3H,4H) output gate o.
+/// The forget-gate bias is initialized to +1 (standard trick so memory is
+/// kept early in training).
+class LstmLayer {
+ public:
+  LstmLayer(size_t input_dim, size_t hidden_dim, const std::string& name,
+            util::Rng& rng);
+
+  size_t input_dim() const { return input_dim_; }
+  size_t hidden_dim() const { return hidden_dim_; }
+
+  /// Clears cached activations and resets (h, c) to zero. Call before each
+  /// new sequence.
+  void Reset();
+
+  /// Sets the initial (h, c) state (e.g. the decoder seeded from the
+  /// encoder). Must be called after Reset() and before the first Forward().
+  void SetState(const Vec& h, const Vec& c);
+
+  /// Processes one timestep; returns the new hidden state. Activations are
+  /// cached for Backward().
+  const Vec& Forward(const Vec& x);
+
+  const Vec& hidden() const { return h_; }
+  const Vec& cell() const { return c_; }
+  size_t steps() const { return cache_.size(); }
+
+  /// Result of backpropagation through the cached sequence.
+  struct BackwardResult {
+    /// Gradient w.r.t. each input vector, in forward order.
+    std::vector<Vec> dx;
+    /// Gradients w.r.t. the initial hidden/cell state (flows into an
+    /// upstream encoder when this layer is a decoder).
+    Vec dh_init;
+    Vec dc_init;
+  };
+
+  /// Backpropagates through all cached steps. `dh_per_step[t]` is the loss
+  /// gradient w.r.t. the hidden state emitted at step t (may be empty =>
+  /// zero). `dh_final` / `dc_final` are extra gradients injected into the
+  /// last step's state (empty => zero). Parameter gradients accumulate into
+  /// the tensors; call Reset() before reusing the layer.
+  BackwardResult Backward(const std::vector<Vec>& dh_per_step,
+                          const Vec& dh_final = {}, const Vec& dc_final = {});
+
+  /// Stateless const forward over a whole sequence: computes the final
+  /// hidden/cell state without touching the layer's cache or state. Used
+  /// for inference (Embedder::Embed is const).
+  void InferSequence(const std::vector<Vec>& xs, Vec* h_out, Vec* c_out) const;
+
+  /// Stateless const single step: advances (*h, *c) by input `x`.
+  void InferStep(const Vec& x, Vec* h, Vec* c) const;
+
+  /// Trainable parameters, for optimizer registration and serialization.
+  std::vector<Tensor*> Params() { return {&wx_, &wh_, &b_}; }
+  std::vector<const Tensor*> Params() const { return {&wx_, &wh_, &b_}; }
+
+ private:
+  struct StepCache {
+    Vec x;
+    Vec h_prev;
+    Vec c_prev;
+    Vec i, f, g, o;  // post-activation gates
+    Vec c;           // new cell
+    Vec tanh_c;      // tanh(new cell)
+  };
+
+  size_t input_dim_;
+  size_t hidden_dim_;
+  Tensor wx_;  // 4H x I
+  Tensor wh_;  // 4H x H
+  Tensor b_;   // 4H x 1
+  Vec h_;
+  Vec c_;
+  std::vector<StepCache> cache_;
+};
+
+}  // namespace querc::nn
+
+#endif  // QUERC_NN_LSTM_H_

@@ -1,0 +1,62 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace querc::nn {
+
+void ClipGradients(const std::vector<Tensor*>& tensors, double clip_norm) {
+  if (clip_norm <= 0.0) return;
+  double total = 0.0;
+  for (const Tensor* t : tensors) {
+    for (double g : t->grad()) total += g * g;
+  }
+  total = std::sqrt(total);
+  if (total <= clip_norm || total == 0.0) return;
+  double scale = clip_norm / total;
+  for (Tensor* t : tensors) {
+    for (double& g : t->grad()) g *= scale;
+  }
+}
+
+void SgdOptimizer::Step() {
+  ClipGradients(tensors_, options_.clip_norm);
+  for (Tensor* t : tensors_) {
+    Axpy(-options_.learning_rate, t->grad(), t->value());
+    t->ZeroGrad();
+  }
+}
+
+void AdamOptimizer::Register(Tensor* tensor) {
+  Slot slot;
+  slot.tensor = tensor;
+  slot.m.assign(tensor->size(), 0.0);
+  slot.v.assign(tensor->size(), 0.0);
+  slots_.push_back(std::move(slot));
+}
+
+void AdamOptimizer::Step() {
+  std::vector<Tensor*> tensors;
+  tensors.reserve(slots_.size());
+  for (auto& s : slots_) tensors.push_back(s.tensor);
+  ClipGradients(tensors, options_.clip_norm);
+
+  ++step_;
+  const double bc1 = 1.0 - std::pow(options_.beta1, static_cast<double>(step_));
+  const double bc2 = 1.0 - std::pow(options_.beta2, static_cast<double>(step_));
+  for (auto& slot : slots_) {
+    Vec& value = slot.tensor->value();
+    Vec& grad = slot.tensor->grad();
+    for (size_t i = 0; i < value.size(); ++i) {
+      slot.m[i] = options_.beta1 * slot.m[i] + (1.0 - options_.beta1) * grad[i];
+      slot.v[i] =
+          options_.beta2 * slot.v[i] + (1.0 - options_.beta2) * grad[i] * grad[i];
+      double m_hat = slot.m[i] / bc1;
+      double v_hat = slot.v[i] / bc2;
+      value[i] -=
+          options_.learning_rate * m_hat / (std::sqrt(v_hat) + options_.epsilon);
+    }
+    slot.tensor->ZeroGrad();
+  }
+}
+
+}  // namespace querc::nn

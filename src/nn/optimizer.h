@@ -1,0 +1,87 @@
+#ifndef QUERC_NN_OPTIMIZER_H_
+#define QUERC_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace querc::nn {
+
+/// Interface for optimizers that update a fixed set of registered Tensors
+/// from their accumulated gradients, then zero the gradients.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Registers a parameter tensor. Must happen before the first Step();
+  /// the tensor must outlive the optimizer.
+  virtual void Register(Tensor* tensor) = 0;
+
+  /// Applies one update from the accumulated gradients and zeroes them.
+  virtual void Step() = 0;
+
+  /// Current learning rate (after any decay).
+  virtual double learning_rate() const = 0;
+};
+
+/// Plain SGD with optional global-norm gradient clipping.
+class SgdOptimizer : public Optimizer {
+ public:
+  struct Options {
+    double learning_rate = 0.05;
+    /// If > 0, scale gradients so their global L2 norm is at most this.
+    double clip_norm = 5.0;
+  };
+
+  explicit SgdOptimizer(const Options& options) : options_(options) {}
+
+  void Register(Tensor* tensor) override { tensors_.push_back(tensor); }
+  void Step() override;
+  double learning_rate() const override { return options_.learning_rate; }
+
+  void set_learning_rate(double lr) { options_.learning_rate = lr; }
+
+ private:
+  Options options_;
+  std::vector<Tensor*> tensors_;
+};
+
+/// Adam (Kingma & Ba) with bias correction and global-norm clipping.
+class AdamOptimizer : public Optimizer {
+ public:
+  struct Options {
+    double learning_rate = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    double clip_norm = 5.0;
+  };
+
+  explicit AdamOptimizer(const Options& options) : options_(options) {}
+
+  void Register(Tensor* tensor) override;
+  void Step() override;
+  double learning_rate() const override { return options_.learning_rate; }
+
+  void set_learning_rate(double lr) { options_.learning_rate = lr; }
+  int64_t step_count() const { return step_; }
+
+ private:
+  struct Slot {
+    Tensor* tensor;
+    Vec m;
+    Vec v;
+  };
+
+  Options options_;
+  std::vector<Slot> slots_;
+  int64_t step_ = 0;
+};
+
+/// Scales all registered tensors' gradients so the global L2 norm is at
+/// most `clip_norm` (no-op when clip_norm <= 0). Exposed for tests.
+void ClipGradients(const std::vector<Tensor*>& tensors, double clip_norm);
+
+}  // namespace querc::nn
+
+#endif  // QUERC_NN_OPTIMIZER_H_

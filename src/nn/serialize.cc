@@ -1,0 +1,78 @@
+#include "nn/serialize.h"
+
+#include <istream>
+#include <ostream>
+
+namespace querc::nn {
+
+util::Status WriteU64(std::ostream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  if (!out) return util::Status::IoError("write failed");
+  return util::Status::OK();
+}
+
+util::Status ReadU64(std::istream& in, uint64_t& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) return util::Status::IoError("read failed (u64)");
+  return util::Status::OK();
+}
+
+util::Status WriteF64(std::ostream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  if (!out) return util::Status::IoError("write failed");
+  return util::Status::OK();
+}
+
+util::Status ReadF64(std::istream& in, double& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) return util::Status::IoError("read failed (f64)");
+  return util::Status::OK();
+}
+
+util::Status WriteString(std::ostream& out, const std::string& s) {
+  QUERC_RETURN_IF_ERROR(WriteU64(out, s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+  if (!out) return util::Status::IoError("write failed (string)");
+  return util::Status::OK();
+}
+
+util::Status ReadString(std::istream& in, std::string& s) {
+  uint64_t len = 0;
+  QUERC_RETURN_IF_ERROR(ReadU64(in, len));
+  if (len > (1ULL << 32)) {
+    return util::Status::Corruption("string length implausible");
+  }
+  s.resize(len);
+  in.read(s.data(), static_cast<std::streamsize>(len));
+  if (!in) return util::Status::IoError("read failed (string body)");
+  return util::Status::OK();
+}
+
+util::Status WriteTensor(std::ostream& out, const Tensor& tensor) {
+  QUERC_RETURN_IF_ERROR(WriteU64(out, tensor.rows()));
+  QUERC_RETURN_IF_ERROR(WriteU64(out, tensor.cols()));
+  QUERC_RETURN_IF_ERROR(WriteString(out, tensor.name()));
+  out.write(reinterpret_cast<const char*>(tensor.value().data()),
+            static_cast<std::streamsize>(tensor.size() * sizeof(double)));
+  if (!out) return util::Status::IoError("write failed (tensor values)");
+  return util::Status::OK();
+}
+
+util::Status ReadTensor(std::istream& in, Tensor& tensor) {
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  std::string name;
+  QUERC_RETURN_IF_ERROR(ReadU64(in, rows));
+  QUERC_RETURN_IF_ERROR(ReadU64(in, cols));
+  QUERC_RETURN_IF_ERROR(ReadString(in, name));
+  if (rows * cols > (1ULL << 31)) {
+    return util::Status::Corruption("tensor size implausible");
+  }
+  tensor = Tensor(rows, cols, name);
+  in.read(reinterpret_cast<char*>(tensor.value().data()),
+          static_cast<std::streamsize>(tensor.size() * sizeof(double)));
+  if (!in) return util::Status::IoError("read failed (tensor values)");
+  return util::Status::OK();
+}
+
+}  // namespace querc::nn

@@ -1,0 +1,33 @@
+#ifndef QUERC_NN_SERIALIZE_H_
+#define QUERC_NN_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/status.h"
+
+namespace querc::nn {
+
+/// Binary tensor (de)serialization. Format per tensor:
+///   u64 rows, u64 cols, u64 name_len, name bytes, rows*cols f64 values.
+/// Gradients are not persisted. Streams are little-endian native; models
+/// are an experiment artifact, not an interchange format.
+
+util::Status WriteTensor(std::ostream& out, const Tensor& tensor);
+util::Status ReadTensor(std::istream& in, Tensor& tensor);
+
+/// Writes/reads a string with a u64 length prefix.
+util::Status WriteString(std::ostream& out, const std::string& s);
+util::Status ReadString(std::istream& in, std::string& s);
+
+/// Writes/reads a raw u64 / f64.
+util::Status WriteU64(std::ostream& out, uint64_t v);
+util::Status ReadU64(std::istream& in, uint64_t& v);
+util::Status WriteF64(std::ostream& out, double v);
+util::Status ReadF64(std::istream& in, double& v);
+
+}  // namespace querc::nn
+
+#endif  // QUERC_NN_SERIALIZE_H_

@@ -1,0 +1,160 @@
+#ifndef QUERC_NN_TENSOR_H_
+#define QUERC_NN_TENSOR_H_
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace querc::nn {
+
+/// Dense vector of doubles; all sequence activations use this.
+using Vec = std::vector<double>;
+
+/// A trainable parameter matrix: value and gradient stored side by side,
+/// row-major. Activations never use Tensor — only parameters do, so the
+/// optimizer can walk a flat list of these.
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(size_t rows, size_t cols, std::string name = "")
+      : rows_(rows),
+        cols_(cols),
+        name_(std::move(name)),
+        value_(rows * cols, 0.0),
+        grad_(rows * cols, 0.0) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return value_.size(); }
+  const std::string& name() const { return name_; }
+
+  double& at(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return value_[r * cols_ + c];
+  }
+  double at(size_t r, size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return value_[r * cols_ + c];
+  }
+  double& grad_at(size_t r, size_t c) {
+    assert(r < rows_ && c < cols_);
+    return grad_[r * cols_ + c];
+  }
+
+  /// Raw row pointers (rows are contiguous).
+  double* row(size_t r) { return value_.data() + r * cols_; }
+  const double* row(size_t r) const { return value_.data() + r * cols_; }
+  double* grad_row(size_t r) { return grad_.data() + r * cols_; }
+
+  Vec& value() { return value_; }
+  const Vec& value() const { return value_; }
+  Vec& grad() { return grad_; }
+  const Vec& grad() const { return grad_; }
+
+  void ZeroGrad() { std::fill(grad_.begin(), grad_.end(), 0.0); }
+
+  /// Xavier/Glorot uniform initialization: U(-s, s), s = sqrt(6/(in+out)).
+  void XavierInit(util::Rng& rng) {
+    double s = std::sqrt(6.0 / static_cast<double>(rows_ + cols_));
+    for (double& v : value_) v = rng.UniformDouble(-s, s);
+  }
+
+  /// Small uniform init used for embedding tables: U(-0.5/d, 0.5/d).
+  void EmbeddingInit(util::Rng& rng) {
+    double s = 0.5 / static_cast<double>(cols_);
+    for (double& v : value_) v = rng.UniformDouble(-s, s);
+  }
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::string name_;
+  Vec value_;
+  Vec grad_;
+};
+
+// ---- Vector helpers (free functions; sizes asserted) ----
+
+inline double Dot(const double* a, const double* b, size_t n) {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+inline double Dot(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  return Dot(a.data(), b.data(), a.size());
+}
+
+/// y += alpha * x
+inline void Axpy(double alpha, const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+inline void Axpy(double alpha, const Vec& x, Vec& y) {
+  assert(x.size() == y.size());
+  Axpy(alpha, x.data(), y.data(), x.size());
+}
+
+/// out = W * x  (W is rows x cols, x has cols entries, out has rows).
+inline void MatVec(const Tensor& w, const Vec& x, Vec& out) {
+  assert(x.size() == w.cols());
+  out.assign(w.rows(), 0.0);
+  for (size_t r = 0; r < w.rows(); ++r) {
+    out[r] = Dot(w.row(r), x.data(), w.cols());
+  }
+}
+
+/// out += W^T * dy  (accumulates the input gradient for out = W x).
+inline void MatTVecAccum(const Tensor& w, const Vec& dy, Vec& out) {
+  assert(dy.size() == w.rows());
+  assert(out.size() == w.cols());
+  for (size_t r = 0; r < w.rows(); ++r) {
+    Axpy(dy[r], w.row(r), out.data(), w.cols());
+  }
+}
+
+/// dW += dy ⊗ x  (accumulates the weight gradient for out = W x).
+inline void OuterAccum(Tensor& w, const Vec& dy, const Vec& x) {
+  assert(dy.size() == w.rows());
+  assert(x.size() == w.cols());
+  for (size_t r = 0; r < w.rows(); ++r) {
+    Axpy(dy[r], x.data(), w.grad_row(r), w.cols());
+  }
+}
+
+inline double L2Norm(const Vec& v) { return std::sqrt(Dot(v, v)); }
+
+/// Cosine similarity; 0 when either vector is all-zero.
+inline double CosineSimilarity(const Vec& a, const Vec& b) {
+  double na = L2Norm(a);
+  double nb = L2Norm(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+/// Squared Euclidean distance.
+inline double SquaredDistance(const Vec& a, const Vec& b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+inline double Sigmoid(double x) {
+  if (x >= 0) {
+    return 1.0 / (1.0 + std::exp(-x));
+  }
+  double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+}  // namespace querc::nn
+
+#endif  // QUERC_NN_TENSOR_H_

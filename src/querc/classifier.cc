@@ -1,0 +1,40 @@
+#include "querc/classifier.h"
+
+namespace querc::core {
+
+Classifier::Classifier(std::string task_name,
+                       std::shared_ptr<const embed::Embedder> embedder,
+                       std::unique_ptr<ml::VectorClassifier> labeler)
+    : task_name_(std::move(task_name)),
+      embedder_(std::move(embedder)),
+      labeler_(std::move(labeler)) {}
+
+util::Status Classifier::Train(const workload::Workload& corpus,
+                               const LabelExtractor& label_of) {
+  if (corpus.empty()) {
+    return util::Status::InvalidArgument(task_name_ +
+                                         ": empty training corpus");
+  }
+  ml::Dataset data;
+  data.x.reserve(corpus.size());
+  data.y.reserve(corpus.size());
+  for (const auto& q : corpus) {
+    data.x.push_back(embedder_->EmbedQuery(q.text, q.dialect));
+    data.y.push_back(labels_.FitId(label_of(q)));
+  }
+  labeler_->Fit(data);
+  trained_ = true;
+  return util::Status::OK();
+}
+
+int Classifier::PredictId(const workload::LabeledQuery& query) const {
+  if (!trained_) return -1;
+  return labeler_->Predict(embedder_->EmbedQuery(query.text, query.dialect));
+}
+
+std::string Classifier::Predict(const workload::LabeledQuery& query) const {
+  int id = PredictId(query);
+  return id >= 0 ? labels_.Label(id) : std::string();
+}
+
+}  // namespace querc::core

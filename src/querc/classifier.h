@@ -1,0 +1,54 @@
+#ifndef QUERC_QUERC_CLASSIFIER_H_
+#define QUERC_QUERC_CLASSIFIER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "embed/embedder.h"
+#include "ml/dataset.h"
+#include "util/statusor.h"
+#include "workload/workload.h"
+
+namespace querc::core {
+
+/// Extracts the training label from a logged query (e.g. the user id).
+using LabelExtractor = std::function<std::string(const workload::LabeledQuery&)>;
+
+/// A Querc classifier is a pre-trained (embedder, labeler) pair (§2). The
+/// embedder is shared (possibly across applications — it is expensive to
+/// train and carries the cross-workload knowledge); the labeler is a cheap
+/// per-task model over the embedding space.
+class Classifier {
+ public:
+  /// `embedder` must already be trained; `labeler` is fitted by Train().
+  Classifier(std::string task_name,
+             std::shared_ptr<const embed::Embedder> embedder,
+             std::unique_ptr<ml::VectorClassifier> labeler);
+
+  /// Fits the labeler on `corpus` using `label_of` as ground truth.
+  util::Status Train(const workload::Workload& corpus,
+                     const LabelExtractor& label_of);
+
+  /// Predicts the label string for one query. Requires Train() succeeded.
+  std::string Predict(const workload::LabeledQuery& query) const;
+
+  /// Embeds and predicts, returning the class id (-1 before training).
+  int PredictId(const workload::LabeledQuery& query) const;
+
+  const std::string& task_name() const { return task_name_; }
+  const embed::Embedder& embedder() const { return *embedder_; }
+  const ml::LabelEncoder& labels() const { return labels_; }
+  bool trained() const { return trained_; }
+
+ private:
+  std::string task_name_;
+  std::shared_ptr<const embed::Embedder> embedder_;
+  std::unique_ptr<ml::VectorClassifier> labeler_;
+  ml::LabelEncoder labels_;
+  bool trained_ = false;
+};
+
+}  // namespace querc::core
+
+#endif  // QUERC_QUERC_CLASSIFIER_H_

@@ -1,0 +1,72 @@
+#include "querc/drift.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace querc::core {
+
+util::Status DriftDetector::SetReference(
+    const workload::Workload& reference) {
+  if (reference.empty()) {
+    return util::Status::InvalidArgument("drift: empty reference window");
+  }
+  reference_ = embed::EmbedWorkload(*embedder_, reference);
+  const size_t dim = reference_[0].size();
+  reference_centroid_.assign(dim, 0.0);
+  for (const nn::Vec& v : reference_) {
+    nn::Axpy(1.0, v, reference_centroid_);
+  }
+  for (double& x : reference_centroid_) {
+    x /= static_cast<double>(reference_.size());
+  }
+  double dispersion = 0.0;
+  for (const nn::Vec& v : reference_) {
+    dispersion += std::sqrt(nn::SquaredDistance(v, reference_centroid_));
+  }
+  reference_dispersion_ =
+      std::max(1e-9, dispersion / static_cast<double>(reference_.size()));
+  return util::Status::OK();
+}
+
+DriftDetector::Report DriftDetector::Check(
+    const workload::Workload& recent) const {
+  Report report;
+  report.reference_size = reference_.size();
+  if (reference_.empty() || recent.empty()) return report;
+
+  // Deterministic stride subsample of the recent window.
+  size_t stride = std::max<size_t>(1, recent.size() / options_.max_window);
+  std::vector<nn::Vec> vectors;
+  for (size_t i = 0; i < recent.size(); i += stride) {
+    vectors.push_back(
+        embedder_->EmbedQuery(recent[i].text, recent[i].dialect));
+  }
+  report.recent_size = vectors.size();
+
+  const size_t dim = reference_centroid_.size();
+  nn::Vec centroid(dim, 0.0);
+  for (const nn::Vec& v : vectors) nn::Axpy(1.0, v, centroid);
+  for (double& x : centroid) x /= static_cast<double>(vectors.size());
+  report.centroid_shift =
+      std::sqrt(nn::SquaredDistance(centroid, reference_centroid_)) /
+      reference_dispersion_;
+
+  double total_nn = 0.0;
+  for (const nn::Vec& v : vectors) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const nn::Vec& r : reference_) {
+      best = std::min(best, nn::SquaredDistance(v, r));
+    }
+    total_nn += std::sqrt(best);
+  }
+  report.novelty = total_nn / static_cast<double>(vectors.size()) /
+                   reference_dispersion_;
+
+  report.retrain_recommended =
+      report.centroid_shift > options_.centroid_threshold ||
+      report.novelty > options_.novelty_threshold;
+  return report;
+}
+
+}  // namespace querc::core

@@ -1,0 +1,62 @@
+#ifndef QUERC_QUERC_DRIFT_H_
+#define QUERC_QUERC_DRIFT_H_
+
+#include <memory>
+
+#include "embed/embedder.h"
+#include "workload/workload.h"
+
+namespace querc::core {
+
+/// Workload drift detection in embedding space. The paper's architecture
+/// trains models "infrequently as a batch job" (§2) — which raises the
+/// operational question this component answers: has the workload moved
+/// far enough from the training window that models should be retrained?
+///
+/// Drift is measured between a reference window (what the deployed models
+/// were trained on) and a recent window, using two complementary signals:
+///  - centroid shift: distance between the windows' mean embeddings,
+///    normalized by the reference dispersion — detects wholesale shifts;
+///  - novelty: mean distance from each recent query to its nearest
+///    reference query, normalized likewise — detects new query families
+///    even when the bulk of traffic is unchanged.
+class DriftDetector {
+ public:
+  struct Options {
+    /// Retraining is recommended when either score exceeds its threshold.
+    double centroid_threshold = 0.5;
+    double novelty_threshold = 1.0;
+    /// Recent windows larger than this are subsampled (deterministic
+    /// stride) to bound the O(recent x reference) novelty computation.
+    size_t max_window = 2000;
+  };
+
+  struct Report {
+    double centroid_shift = 0.0;  // normalized, ~0 when stationary
+    double novelty = 0.0;         // normalized mean NN distance
+    bool retrain_recommended = false;
+    size_t reference_size = 0;
+    size_t recent_size = 0;
+  };
+
+  DriftDetector(std::shared_ptr<const embed::Embedder> embedder,
+                const Options& options)
+      : embedder_(std::move(embedder)), options_(options) {}
+
+  /// Fixes the reference window (typically the current training set).
+  util::Status SetReference(const workload::Workload& reference);
+
+  /// Scores a recent window against the reference.
+  Report Check(const workload::Workload& recent) const;
+
+ private:
+  std::shared_ptr<const embed::Embedder> embedder_;
+  Options options_;
+  std::vector<nn::Vec> reference_;
+  nn::Vec reference_centroid_;
+  double reference_dispersion_ = 1.0;  // mean distance to the centroid
+};
+
+}  // namespace querc::core
+
+#endif  // QUERC_QUERC_DRIFT_H_

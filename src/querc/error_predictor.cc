@@ -1,0 +1,37 @@
+#include "querc/error_predictor.h"
+
+namespace querc::core {
+
+util::Status ErrorPredictor::Train(const workload::Workload& history) {
+  if (history.empty()) {
+    return util::Status::InvalidArgument("error predictor: empty history");
+  }
+  // Ensure "" (no error) is class 0 regardless of log order.
+  codes_.FitId("");
+  ml::Dataset data;
+  for (const auto& q : history) {
+    data.x.push_back(embedder_->EmbedQuery(q.text, q.dialect));
+    data.y.push_back(codes_.FitId(q.error_code));
+  }
+  forest_.Fit(data);
+  trained_ = true;
+  return util::Status::OK();
+}
+
+std::string ErrorPredictor::PredictError(
+    const workload::LabeledQuery& query) const {
+  if (!trained_) return "";
+  int id = forest_.Predict(embedder_->EmbedQuery(query.text, query.dialect));
+  return codes_.Label(id);
+}
+
+double ErrorPredictor::FailureProbability(
+    const workload::LabeledQuery& query) const {
+  if (!trained_) return 0.0;
+  std::vector<double> proba =
+      forest_.PredictProba(embedder_->EmbedQuery(query.text, query.dialect));
+  // Class 0 is "no error"; everything else is some failure.
+  return proba.empty() ? 0.0 : 1.0 - proba[0];
+}
+
+}  // namespace querc::core

@@ -1,0 +1,58 @@
+#ifndef QUERC_QUERC_ERROR_PREDICTOR_H_
+#define QUERC_QUERC_ERROR_PREDICTOR_H_
+
+#include <memory>
+#include <string>
+
+#include "embed/embedder.h"
+#include "ml/dataset.h"
+#include "ml/random_forest.h"
+#include "util/status.h"
+#include "workload/workload.h"
+
+namespace querc::core {
+
+/// Error prediction (§4): syntactic patterns correlate with resource
+/// errors and engine bugs; predicting the likely error code from syntax
+/// lets the router send the query to an instrumented / roomier / more
+/// stable runtime preemptively. Label "" means "completes without error".
+class ErrorPredictor {
+ public:
+  struct Options {
+    /// Probability threshold above which a query is routed defensively.
+    double risk_threshold = 0.5;
+    ml::RandomForestClassifier::Options forest;
+  };
+
+  ErrorPredictor(std::shared_ptr<const embed::Embedder> embedder,
+                 const Options& options)
+      : embedder_(std::move(embedder)),
+        options_(options),
+        forest_(options.forest) {}
+
+  /// Trains on logged queries (error_code from the query logs).
+  util::Status Train(const workload::Workload& history);
+
+  /// Most likely error code ("" = none expected).
+  std::string PredictError(const workload::LabeledQuery& query) const;
+
+  /// Probability the query fails with any error.
+  double FailureProbability(const workload::LabeledQuery& query) const;
+
+  /// True when the failure probability exceeds the risk threshold — the
+  /// caller should route to the instrumented environment.
+  bool ShouldRouteDefensively(const workload::LabeledQuery& query) const {
+    return FailureProbability(query) >= options_.risk_threshold;
+  }
+
+ private:
+  std::shared_ptr<const embed::Embedder> embedder_;
+  Options options_;
+  ml::RandomForestClassifier forest_;
+  ml::LabelEncoder codes_;
+  bool trained_ = false;
+};
+
+}  // namespace querc::core
+
+#endif  // QUERC_QUERC_ERROR_PREDICTOR_H_

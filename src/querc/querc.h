@@ -1,0 +1,36 @@
+#ifndef QUERC_QUERC_QUERC_H_
+#define QUERC_QUERC_QUERC_H_
+
+/// Umbrella header for the Querc database-agnostic workload management
+/// service: include this to get the whole public API.
+///
+/// Layering (bottom-up):
+///   util/     -- Status, RNG, tables, threading
+///   sql/      -- dialect-aware lexing, normalization, structural analysis
+///   nn/       -- tensors, optimizers, LSTM, losses (from scratch)
+///   embed/    -- Doc2Vec / LSTM-autoencoder / feature-engineered embedders
+///   ml/       -- k-means (+elbow), k-medoids, random forests, kNN, CV
+///   engine/   -- simulated relational engine: catalog, cost model, advisor
+///   workload/ -- data model + TPC-H and Snowflake-style generators
+///   querc/    -- the service: classifiers, QWorkers, training module,
+///                and the applications from the paper's §4/§5
+
+#include "embed/doc2vec.h"
+#include "embed/embedder.h"
+#include "embed/feature_embedder.h"
+#include "embed/lstm_autoencoder.h"
+#include "querc/classifier.h"
+#include "querc/error_predictor.h"
+#include "querc/qworker.h"
+#include "querc/drift.h"
+#include "querc/recommender.h"
+#include "querc/resource_allocator.h"
+#include "querc/routing.h"
+#include "querc/security_audit.h"
+#include "querc/summarizer.h"
+#include "querc/training_module.h"
+#include "workload/snowflake_gen.h"
+#include "workload/tpch_gen.h"
+#include "workload/workload.h"
+
+#endif  // QUERC_QUERC_QUERC_H_

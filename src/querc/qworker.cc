@@ -1,0 +1,37 @@
+#include "querc/qworker.h"
+
+namespace querc::core {
+
+void QWorker::Deploy(std::shared_ptr<const Classifier> classifier) {
+  classifiers_[classifier->task_name()] = std::move(classifier);
+}
+
+bool QWorker::Undeploy(const std::string& task_name) {
+  return classifiers_.erase(task_name) > 0;
+}
+
+ProcessedQuery QWorker::Process(const workload::LabeledQuery& query) {
+  ProcessedQuery out;
+  out.query = query;
+  for (const auto& [task, classifier] : classifiers_) {
+    out.predictions[task] = classifier->Predict(query);
+  }
+  ++processed_count_;
+
+  window_.push_back(query);
+  while (window_.size() > options_.window_size) window_.pop_front();
+
+  if (options_.forward_to_database && database_) database_(query);
+  if (training_) training_(out);
+  return out;
+}
+
+std::vector<ProcessedQuery> QWorker::ProcessBatch(
+    const workload::Workload& batch) {
+  std::vector<ProcessedQuery> out;
+  out.reserve(batch.size());
+  for (const auto& q : batch) out.push_back(Process(q));
+  return out;
+}
+
+}  // namespace querc::core

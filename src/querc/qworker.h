@@ -1,0 +1,79 @@
+#ifndef QUERC_QUERC_QWORKER_H_
+#define QUERC_QUERC_QWORKER_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "querc/classifier.h"
+#include "workload/workload.h"
+
+namespace querc::core {
+
+/// A query annotated with the labels Querc's classifiers predicted.
+struct ProcessedQuery {
+  workload::LabeledQuery query;
+  /// task name -> predicted label.
+  std::map<std::string, std::string> predictions;
+};
+
+/// The per-application stream worker of Figure 1: runs every deployed
+/// classifier over each arriving query, forwards the query downstream (to
+/// the database — here a callback), and tees labeled queries to the
+/// training module's collector. QWorkers hold only a small bounded window
+/// of recent queries (for windowed tasks such as recommendation), so they
+/// can be load-balanced and parallelized in the usual ways.
+class QWorker {
+ public:
+  struct Options {
+    std::string application;
+    /// Bounded recent-query window retained for windowed labeling tasks.
+    size_t window_size = 32;
+    /// When false (the "forked" deployment of §2), queries are NOT
+    /// forwarded to the database — Querc stays off the critical path.
+    bool forward_to_database = true;
+  };
+
+  using DatabaseSink = std::function<void(const workload::LabeledQuery&)>;
+  using TrainingSink = std::function<void(const ProcessedQuery&)>;
+
+  explicit QWorker(const Options& options) : options_(options) {}
+
+  /// Installs (or replaces) a classifier under its task name. Deployment
+  /// of retrained models is a swap of this pointer.
+  void Deploy(std::shared_ptr<const Classifier> classifier);
+
+  /// Removes a classifier by task name; returns whether it existed.
+  bool Undeploy(const std::string& task_name);
+
+  void set_database_sink(DatabaseSink sink) { database_ = std::move(sink); }
+  void set_training_sink(TrainingSink sink) { training_ = std::move(sink); }
+
+  /// Processes one arriving query through every deployed classifier.
+  ProcessedQuery Process(const workload::LabeledQuery& query);
+
+  /// Processes a batch ("query(X, t)" in the paper's notation).
+  std::vector<ProcessedQuery> ProcessBatch(const workload::Workload& batch);
+
+  /// The bounded window of the most recent queries seen.
+  const std::deque<workload::LabeledQuery>& window() const { return window_; }
+
+  const std::string& application() const { return options_.application; }
+  size_t num_classifiers() const { return classifiers_.size(); }
+  size_t processed_count() const { return processed_count_; }
+
+ private:
+  Options options_;
+  std::map<std::string, std::shared_ptr<const Classifier>> classifiers_;
+  DatabaseSink database_;
+  TrainingSink training_;
+  std::deque<workload::LabeledQuery> window_;
+  size_t processed_count_ = 0;
+};
+
+}  // namespace querc::core
+
+#endif  // QUERC_QUERC_QWORKER_H_

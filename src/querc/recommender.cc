@@ -1,0 +1,76 @@
+#include "querc/recommender.h"
+
+#include <algorithm>
+#include <map>
+
+namespace querc::core {
+
+util::Status QueryRecommender::Train(const workload::Workload& history) {
+  if (history.empty()) {
+    return util::Status::InvalidArgument("recommender: empty history");
+  }
+  history_ = history;
+  // Sort per-user by timestamp to derive transition pairs.
+  std::vector<size_t> order(history.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (history[a].user != history[b].user) {
+      return history[a].user < history[b].user;
+    }
+    return history[a].timestamp < history[b].timestamp;
+  });
+
+  next_of_.assign(history.size(), -1);
+  for (size_t k = 0; k + 1 < order.size(); ++k) {
+    size_t cur = order[k];
+    size_t nxt = order[k + 1];
+    if (history[cur].user == history[nxt].user) {
+      next_of_[cur] = static_cast<int>(nxt);
+    }
+  }
+
+  vectors_.clear();
+  vectors_.reserve(history.size());
+  for (const auto& q : history) {
+    vectors_.push_back(embedder_->EmbedQuery(q.text, q.dialect));
+  }
+  trained_ = true;
+  return util::Status::OK();
+}
+
+std::vector<QueryRecommender::Recommendation> QueryRecommender::Recommend(
+    const workload::LabeledQuery& current) const {
+  std::vector<Recommendation> out;
+  if (!trained_) return out;
+  nn::Vec v = embedder_->EmbedQuery(current.text, current.dialect);
+
+  // k nearest historical queries (brute force).
+  std::vector<std::pair<double, size_t>> dists;
+  dists.reserve(vectors_.size());
+  for (size_t i = 0; i < vectors_.size(); ++i) {
+    dists.emplace_back(nn::SquaredDistance(v, vectors_[i]), i);
+  }
+  size_t k = std::min<size_t>(static_cast<size_t>(options_.neighbors),
+                              dists.size());
+  std::partial_sort(dists.begin(), dists.begin() + static_cast<long>(k),
+                    dists.end());
+
+  // Vote over the successors of the neighbors.
+  std::map<std::string, double> votes;
+  for (size_t i = 0; i < k; ++i) {
+    int next = next_of_[dists[i].second];
+    if (next < 0) continue;
+    votes[history_[static_cast<size_t>(next)].text] += 1.0;
+  }
+  for (const auto& [text, score] : votes) out.push_back({text, score});
+  std::sort(out.begin(), out.end(),
+            [](const Recommendation& a, const Recommendation& b) {
+              return a.score > b.score;
+            });
+  if (out.size() > static_cast<size_t>(options_.max_recommendations)) {
+    out.resize(static_cast<size_t>(options_.max_recommendations));
+  }
+  return out;
+}
+
+}  // namespace querc::core

@@ -1,0 +1,54 @@
+#ifndef QUERC_QUERC_RECOMMENDER_H_
+#define QUERC_QUERC_RECOMMENDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "embed/embedder.h"
+#include "ml/knn.h"
+#include "workload/workload.h"
+
+namespace querc::core {
+
+/// Query recommendation (§4): predict the next query from the user's
+/// recent history, à la SQL QueRIE. The model is non-parametric: the
+/// session history is embedded; for an incoming query we find its nearest
+/// historical occurrences and recommend the queries that followed them
+/// (within the same user's session).
+class QueryRecommender {
+ public:
+  struct Options {
+    int neighbors = 10;
+    int max_recommendations = 3;
+  };
+
+  struct Recommendation {
+    std::string text;
+    double score = 0.0;  // neighbor-frequency weight
+  };
+
+  QueryRecommender(std::shared_ptr<const embed::Embedder> embedder,
+                   const Options& options)
+      : embedder_(std::move(embedder)), options_(options) {}
+
+  /// Indexes the history. Queries are grouped by user and ordered by
+  /// timestamp to derive (query -> next query) transitions.
+  util::Status Train(const workload::Workload& history);
+
+  /// Recommends follow-up queries for `current`.
+  std::vector<Recommendation> Recommend(
+      const workload::LabeledQuery& current) const;
+
+ private:
+  std::shared_ptr<const embed::Embedder> embedder_;
+  Options options_;
+  std::vector<nn::Vec> vectors_;       // embedding of history[i]
+  std::vector<int> next_of_;           // index of the query that followed, -1
+  workload::Workload history_;
+  bool trained_ = false;
+};
+
+}  // namespace querc::core
+
+#endif  // QUERC_QUERC_RECOMMENDER_H_

@@ -1,0 +1,85 @@
+#include "querc/resource_allocator.h"
+
+#include <algorithm>
+
+namespace querc::core {
+
+namespace {
+double Quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  double pos = q * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+}  // namespace
+
+const char* ResourceAllocator::BucketName(Bucket b) {
+  switch (b) {
+    case Bucket::kSmall:
+      return "small";
+    case Bucket::kMedium:
+      return "medium";
+    case Bucket::kLarge:
+      return "large";
+  }
+  return "?";
+}
+
+ResourceAllocator::Bucket ResourceAllocator::BucketOf(
+    double value, const double bounds[2]) const {
+  if (value <= bounds[0]) return Bucket::kSmall;
+  if (value <= bounds[1]) return Bucket::kMedium;
+  return Bucket::kLarge;
+}
+
+util::Status ResourceAllocator::Train(const workload::Workload& history) {
+  if (history.empty()) {
+    return util::Status::InvalidArgument("resource allocator: empty history");
+  }
+  std::vector<double> runtimes;
+  std::vector<double> memories;
+  for (const auto& q : history) {
+    runtimes.push_back(q.runtime_seconds);
+    memories.push_back(q.memory_mb);
+  }
+  runtime_bounds_[0] = Quantile(runtimes, options_.small_quantile);
+  runtime_bounds_[1] = Quantile(runtimes, options_.large_quantile);
+  memory_bounds_[0] = Quantile(memories, options_.small_quantile);
+  memory_bounds_[1] = Quantile(memories, options_.large_quantile);
+  memory_bucket_caps_[0] = memory_bounds_[0];
+  memory_bucket_caps_[1] = memory_bounds_[1];
+  memory_bucket_caps_[2] = Quantile(memories, 0.99);
+
+  ml::Dataset runtime_data;
+  ml::Dataset memory_data;
+  for (const auto& q : history) {
+    nn::Vec v = embedder_->EmbedQuery(q.text, q.dialect);
+    runtime_data.x.push_back(v);
+    runtime_data.y.push_back(
+        static_cast<int>(BucketOf(q.runtime_seconds, runtime_bounds_)));
+    memory_data.x.push_back(std::move(v));
+    memory_data.y.push_back(
+        static_cast<int>(BucketOf(q.memory_mb, memory_bounds_)));
+  }
+  runtime_forest_.Fit(runtime_data);
+  memory_forest_.Fit(memory_data);
+  trained_ = true;
+  return util::Status::OK();
+}
+
+ResourceAllocator::Hint ResourceAllocator::Allocate(
+    const workload::LabeledQuery& query) const {
+  Hint hint;
+  if (!trained_) return hint;
+  nn::Vec v = embedder_->EmbedQuery(query.text, query.dialect);
+  hint.runtime_bucket = static_cast<Bucket>(runtime_forest_.Predict(v));
+  hint.memory_bucket = static_cast<Bucket>(memory_forest_.Predict(v));
+  hint.suggested_memory_mb =
+      memory_bucket_caps_[static_cast<int>(hint.memory_bucket)];
+  return hint;
+}
+
+}  // namespace querc::core

@@ -1,0 +1,72 @@
+#ifndef QUERC_QUERC_RESOURCE_ALLOCATOR_H_
+#define QUERC_QUERC_RESOURCE_ALLOCATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "embed/embedder.h"
+#include "ml/dataset.h"
+#include "ml/random_forest.h"
+#include "util/status.h"
+#include "workload/workload.h"
+
+namespace querc::core {
+
+/// Resource allocation hints (§4): query structure alone cannot predict
+/// exact runtime or memory, but a coarse bucket (small / medium / large)
+/// is learnable and is enough for speculative scheduling and load
+/// balancing. Buckets are fitted as quantiles of the training logs.
+class ResourceAllocator {
+ public:
+  enum class Bucket { kSmall = 0, kMedium = 1, kLarge = 2 };
+
+  struct Options {
+    /// Quantile boundaries between small/medium and medium/large.
+    double small_quantile = 0.5;
+    double large_quantile = 0.9;
+    ml::RandomForestClassifier::Options forest;
+  };
+
+  struct Hint {
+    Bucket runtime_bucket = Bucket::kSmall;
+    Bucket memory_bucket = Bucket::kSmall;
+    /// Suggested memory grant: the fitted upper bound of the bucket.
+    double suggested_memory_mb = 0.0;
+  };
+
+  ResourceAllocator(std::shared_ptr<const embed::Embedder> embedder,
+                    const Options& options)
+      : embedder_(std::move(embedder)),
+        options_(options),
+        runtime_forest_(options.forest),
+        memory_forest_(options.forest) {}
+
+  /// Fits bucket boundaries (quantiles of history) and the two bucket
+  /// classifiers.
+  util::Status Train(const workload::Workload& history);
+
+  /// Allocation hint for one incoming query.
+  Hint Allocate(const workload::LabeledQuery& query) const;
+
+  static const char* BucketName(Bucket b);
+
+  double runtime_small_bound() const { return runtime_bounds_[0]; }
+  double runtime_large_bound() const { return runtime_bounds_[1]; }
+
+ private:
+  Bucket BucketOf(double value, const double bounds[2]) const;
+
+  std::shared_ptr<const embed::Embedder> embedder_;
+  Options options_;
+  ml::RandomForestClassifier runtime_forest_;
+  ml::RandomForestClassifier memory_forest_;
+  double runtime_bounds_[2] = {0.0, 0.0};
+  double memory_bounds_[2] = {0.0, 0.0};
+  double memory_bucket_caps_[3] = {0.0, 0.0, 0.0};
+  bool trained_ = false;
+};
+
+}  // namespace querc::core
+
+#endif  // QUERC_QUERC_RESOURCE_ALLOCATOR_H_

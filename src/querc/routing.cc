@@ -1,0 +1,46 @@
+#include "querc/routing.h"
+
+namespace querc::core {
+
+util::Status RoutingPolicyChecker::Train(const workload::Workload& history) {
+  if (history.empty()) {
+    return util::Status::InvalidArgument("routing: empty history");
+  }
+  ml::Dataset data;
+  for (const auto& q : history) {
+    data.x.push_back(embedder_->EmbedQuery(q.text, q.dialect));
+    data.y.push_back(clusters_.FitId(q.cluster));
+  }
+  forest_.Fit(data);
+  trained_ = true;
+  return util::Status::OK();
+}
+
+std::string RoutingPolicyChecker::PredictCluster(
+    const workload::LabeledQuery& query) const {
+  if (!trained_) return "";
+  int id = forest_.Predict(embedder_->EmbedQuery(query.text, query.dialect));
+  return clusters_.Label(id);
+}
+
+std::vector<RoutingPolicyChecker::Misrouting> RoutingPolicyChecker::Check(
+    const workload::Workload& batch) const {
+  std::vector<Misrouting> out;
+  if (!trained_) return out;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const auto& q = batch[i];
+    nn::Vec v = embedder_->EmbedQuery(q.text, q.dialect);
+    std::vector<double> proba = forest_.PredictProba(v);
+    size_t best = 0;
+    for (size_t c = 1; c < proba.size(); ++c) {
+      if (proba[c] > proba[best]) best = c;
+    }
+    const std::string& predicted = clusters_.Label(static_cast<int>(best));
+    if (predicted != q.cluster && proba[best] >= options_.min_confidence) {
+      out.push_back({i, q.cluster, predicted, proba[best]});
+    }
+  }
+  return out;
+}
+
+}  // namespace querc::core

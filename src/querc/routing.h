@@ -1,0 +1,61 @@
+#ifndef QUERC_QUERC_ROUTING_H_
+#define QUERC_QUERC_ROUTING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "embed/embedder.h"
+#include "ml/dataset.h"
+#include "ml/random_forest.h"
+#include "util/status.h"
+#include "workload/workload.h"
+
+namespace querc::core {
+
+/// Query-routing policy checking (§4): policies mapping queries to cluster
+/// resources are manually encoded and drift as clusters and tenants evolve.
+/// Under the hypothesis that queries following one policy look alike, a
+/// classifier trained on historical (query -> cluster) assignments can
+/// predict the expected cluster; disagreement with the assigned cluster
+/// signals a possible policy misconfiguration.
+class RoutingPolicyChecker {
+ public:
+  struct Options {
+    double min_confidence = 0.6;
+    ml::RandomForestClassifier::Options forest;
+  };
+
+  struct Misrouting {
+    size_t query_index = 0;
+    std::string assigned_cluster;
+    std::string predicted_cluster;
+    double confidence = 0.0;
+  };
+
+  RoutingPolicyChecker(std::shared_ptr<const embed::Embedder> embedder,
+                       const Options& options)
+      : embedder_(std::move(embedder)),
+        options_(options),
+        forest_(options.forest) {}
+
+  /// Learns the routing policy from correctly routed history.
+  util::Status Train(const workload::Workload& history);
+
+  /// Cluster this query is expected to route to ("" before Train()).
+  std::string PredictCluster(const workload::LabeledQuery& query) const;
+
+  /// Checks a batch against the learned policy.
+  std::vector<Misrouting> Check(const workload::Workload& batch) const;
+
+ private:
+  std::shared_ptr<const embed::Embedder> embedder_;
+  Options options_;
+  ml::RandomForestClassifier forest_;
+  ml::LabelEncoder clusters_;
+  bool trained_ = false;
+};
+
+}  // namespace querc::core
+
+#endif  // QUERC_QUERC_ROUTING_H_

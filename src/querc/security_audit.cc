@@ -1,0 +1,49 @@
+#include "querc/security_audit.h"
+
+namespace querc::core {
+
+util::Status SecurityAuditor::Train(const workload::Workload& history) {
+  if (history.empty()) {
+    return util::Status::InvalidArgument("security audit: empty history");
+  }
+  ml::Dataset data;
+  data.x.reserve(history.size());
+  data.y.reserve(history.size());
+  for (const auto& q : history) {
+    data.x.push_back(embedder_->EmbedQuery(q.text, q.dialect));
+    data.y.push_back(users_.FitId(q.user));
+  }
+  forest_.Fit(data);
+  trained_ = true;
+  return util::Status::OK();
+}
+
+std::string SecurityAuditor::PredictUser(
+    const workload::LabeledQuery& query) const {
+  if (!trained_) return "";
+  int id = forest_.Predict(embedder_->EmbedQuery(query.text, query.dialect));
+  return users_.Label(id);
+}
+
+std::vector<SecurityAuditor::Flag> SecurityAuditor::Audit(
+    const workload::Workload& batch) const {
+  std::vector<Flag> flags;
+  if (!trained_) return flags;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const auto& q = batch[i];
+    nn::Vec v = embedder_->EmbedQuery(q.text, q.dialect);
+    std::vector<double> proba = forest_.PredictProba(v);
+    size_t best = 0;
+    for (size_t c = 1; c < proba.size(); ++c) {
+      if (proba[c] > proba[best]) best = c;
+    }
+    const std::string& predicted = users_.Label(static_cast<int>(best));
+    if (predicted != q.user && proba[best] >= options_.min_confidence) {
+      flags.push_back(
+          {i, q.user, predicted, proba[best]});
+    }
+  }
+  return flags;
+}
+
+}  // namespace querc::core

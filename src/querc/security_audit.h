@@ -1,0 +1,64 @@
+#ifndef QUERC_QUERC_SECURITY_AUDIT_H_
+#define QUERC_QUERC_SECURITY_AUDIT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "embed/embedder.h"
+#include "ml/dataset.h"
+#include "ml/random_forest.h"
+#include "util/status.h"
+#include "workload/workload.h"
+
+namespace querc::core {
+
+/// Security auditing (§4, §5.2): predict the issuing user from query
+/// syntax alone; when the prediction disagrees (with enough of the forest
+/// behind it), the query is flagged as anomalous — a possible compromised
+/// account.
+class SecurityAuditor {
+ public:
+  struct Options {
+    /// Minimum predicted-class vote fraction for a disagreement to become
+    /// a flag (low-confidence disagreements are noise, not anomalies).
+    double min_confidence = 0.5;
+    ml::RandomForestClassifier::Options forest;
+  };
+
+  struct Flag {
+    size_t query_index = 0;
+    std::string actual_user;
+    std::string predicted_user;
+    double confidence = 0.0;
+  };
+
+  SecurityAuditor(std::shared_ptr<const embed::Embedder> embedder,
+                  const Options& options)
+      : embedder_(std::move(embedder)),
+        options_(options),
+        forest_(options.forest) {}
+
+  /// Fits the user model on historical (trusted) queries.
+  util::Status Train(const workload::Workload& history);
+
+  /// Predicted user for one query (empty before Train()).
+  std::string PredictUser(const workload::LabeledQuery& query) const;
+
+  /// Audits a batch: returns flags for queries whose predicted user
+  /// confidently disagrees with the recorded user, in input order.
+  std::vector<Flag> Audit(const workload::Workload& batch) const;
+
+  const ml::LabelEncoder& users() const { return users_; }
+
+ private:
+  std::shared_ptr<const embed::Embedder> embedder_;
+  Options options_;
+  ml::RandomForestClassifier forest_;
+  ml::LabelEncoder users_;
+  bool trained_ = false;
+};
+
+}  // namespace querc::core
+
+#endif  // QUERC_QUERC_SECURITY_AUDIT_H_

@@ -1,0 +1,41 @@
+#include "querc/summarizer.h"
+
+#include <algorithm>
+
+namespace querc::core {
+
+WorkloadSummarizer::Summary WorkloadSummarizer::Summarize(
+    const workload::Workload& workload) const {
+  return SummarizeVectors(workload, embed::EmbedWorkload(*embedder_, workload));
+}
+
+WorkloadSummarizer::Summary WorkloadSummarizer::SummarizeVectors(
+    const workload::Workload& workload,
+    const std::vector<nn::Vec>& vectors) const {
+  Summary summary;
+  if (workload.empty()) return summary;
+
+  size_t k = options_.fixed_k;
+  if (k == 0) {
+    ml::ElbowOptions elbow = options_.elbow;
+    elbow.kmeans = options_.kmeans;
+    k = ml::ElbowMethod(vectors, elbow).chosen_k;
+    if (k == 0) k = std::min<size_t>(8, workload.size());
+  }
+
+  ml::KMeansResult km = ml::KMeans(vectors, k, options_.kmeans);
+  summary.chosen_k = km.centroids.size();
+  summary.inertia = km.inertia;
+  summary.witness_indices = ml::NearestPointToCentroids(vectors, km);
+
+  // Dedup witnesses (empty clusters can fall back to the same point).
+  std::sort(summary.witness_indices.begin(), summary.witness_indices.end());
+  summary.witness_indices.erase(
+      std::unique(summary.witness_indices.begin(),
+                  summary.witness_indices.end()),
+      summary.witness_indices.end());
+  for (size_t i : summary.witness_indices) summary.queries.Add(workload[i]);
+  return summary;
+}
+
+}  // namespace querc::core

@@ -1,0 +1,54 @@
+#ifndef QUERC_QUERC_SUMMARIZER_H_
+#define QUERC_QUERC_SUMMARIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "embed/embedder.h"
+#include "ml/kmeans.h"
+#include "workload/workload.h"
+
+namespace querc::core {
+
+/// Workload summarization for index recommendation (§5.1): embed every
+/// query, K-means the vectors (K from the elbow method unless fixed), and
+/// keep the query nearest each centroid as the cluster's witness. The
+/// summary replaces the full workload as tuning-advisor input.
+class WorkloadSummarizer {
+ public:
+  struct Options {
+    /// 0 => choose K with the elbow method; otherwise use this K.
+    size_t fixed_k = 0;
+    ml::ElbowOptions elbow;
+    ml::KMeansOptions kmeans;
+  };
+
+  struct Summary {
+    /// Indices into the input workload, one witness per cluster.
+    std::vector<size_t> witness_indices;
+    workload::Workload queries;
+    size_t chosen_k = 0;
+    double inertia = 0.0;
+  };
+
+  WorkloadSummarizer(std::shared_ptr<const embed::Embedder> embedder,
+                     const Options& options)
+      : embedder_(std::move(embedder)), options_(options) {}
+
+  /// Summarizes `workload`. This is an offline task (no real-time
+  /// labeling); the embedder may have been trained on a completely
+  /// different workload or dialect (transfer learning).
+  Summary Summarize(const workload::Workload& workload) const;
+
+  /// Summary from pre-computed vectors (lets callers reuse embeddings).
+  Summary SummarizeVectors(const workload::Workload& workload,
+                           const std::vector<nn::Vec>& vectors) const;
+
+ private:
+  std::shared_ptr<const embed::Embedder> embedder_;
+  Options options_;
+};
+
+}  // namespace querc::core
+
+#endif  // QUERC_QUERC_SUMMARIZER_H_

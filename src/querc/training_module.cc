@@ -1,0 +1,118 @@
+#include "querc/training_module.h"
+
+#include <atomic>
+
+#include "ml/random_forest.h"
+
+namespace querc::core {
+
+TrainingModule::TrainingModule(const Options& options)
+    : options_(options), pool_(options.training_threads) {}
+
+void TrainingModule::Collect(const std::string& application,
+                             const ProcessedQuery& query) {
+  std::lock_guard<std::mutex> lock(mu_);
+  workload::Workload& set = training_sets_[application];
+  set.Add(query.query);
+  if (set.size() > options_.max_queries_per_application) {
+    // Drop the oldest half to amortize the erase.
+    auto& qs = set.queries();
+    qs.erase(qs.begin(), qs.begin() + static_cast<long>(qs.size() / 2));
+  }
+}
+
+void TrainingModule::ImportLogs(const std::string& application,
+                                const workload::Workload& logs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  training_sets_[application].Append(logs);
+}
+
+const workload::Workload& TrainingModule::TrainingSet(
+    const std::string& application) const {
+  static const workload::Workload kEmpty;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = training_sets_.find(application);
+  return it == training_sets_.end() ? kEmpty : it->second;
+}
+
+void TrainingModule::RegisterEmbedder(
+    const std::string& name,
+    std::shared_ptr<const embed::Embedder> embedder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  embedders_[name] = std::move(embedder);
+}
+
+std::shared_ptr<const embed::Embedder> TrainingModule::Embedder(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = embedders_.find(name);
+  return it == embedders_.end() ? nullptr : it->second;
+}
+
+util::StatusOr<std::shared_ptr<Classifier>> TrainingModule::Train(
+    const TrainJob& job) {
+  std::shared_ptr<const embed::Embedder> embedder =
+      Embedder(job.embedder_name);
+  if (embedder == nullptr) {
+    return util::Status::NotFound("embedder " + job.embedder_name);
+  }
+  workload::Workload corpus;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = training_sets_.find(job.application);
+    if (it == training_sets_.end() || it->second.empty()) {
+      return util::Status::FailedPrecondition(
+          "no training data for application " + job.application);
+    }
+    corpus = it->second;
+  }
+  std::unique_ptr<ml::VectorClassifier> labeler =
+      job.labeler_factory
+          ? job.labeler_factory()
+          : std::make_unique<ml::RandomForestClassifier>(
+                ml::RandomForestClassifier::Options{});
+  auto classifier = std::make_shared<Classifier>(job.task_name, embedder,
+                                                 std::move(labeler));
+  QUERC_RETURN_IF_ERROR(classifier->Train(corpus, job.label_of));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    models_[job.task_name] = classifier;
+  }
+  return classifier;
+}
+
+util::Status TrainingModule::TrainAndDeploy(const std::vector<TrainJob>& jobs,
+                                            QWorker& worker) {
+  std::vector<util::Status> statuses(jobs.size(), util::Status::OK());
+  std::vector<std::shared_ptr<Classifier>> trained(jobs.size());
+  std::atomic<size_t> next{0};
+  for (size_t t = 0; t < jobs.size(); ++t) {
+    pool_.Submit([this, &jobs, &statuses, &trained, &next] {
+      for (;;) {
+        size_t i = next.fetch_add(1);
+        if (i >= jobs.size()) return;
+        auto result = Train(jobs[i]);
+        if (result.ok()) {
+          trained[i] = std::move(result).value();
+        } else {
+          statuses[i] = result.status();
+        }
+      }
+    });
+  }
+  pool_.WaitIdle();
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (!statuses[i].ok()) return statuses[i];
+    worker.Deploy(trained[i]);
+  }
+  return util::Status::OK();
+}
+
+std::shared_ptr<Classifier> TrainingModule::Model(
+    const std::string& task_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(task_name);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+}  // namespace querc::core

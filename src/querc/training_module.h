@@ -1,0 +1,86 @@
+#ifndef QUERC_QUERC_TRAINING_MODULE_H_
+#define QUERC_QUERC_TRAINING_MODULE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "querc/classifier.h"
+#include "querc/qworker.h"
+#include "util/statusor.h"
+#include "util/thread_pool.h"
+#include "workload/workload.h"
+
+namespace querc::core {
+
+/// The "Training, Evaluation, and Offline Labeling" module of Figure 1.
+/// Collects labeled queries teed off the QWorkers (and periodic log
+/// imports from the databases), manages per-application training sets,
+/// runs batch training/evaluation jobs — model training is infrequent and
+/// offline by design (§2: the architecture is not built for continuous
+/// learning) — and deploys trained classifiers back to QWorkers.
+class TrainingModule {
+ public:
+  struct Options {
+    /// Per-application cap on retained training queries (oldest dropped).
+    size_t max_queries_per_application = 1 << 20;
+    size_t training_threads = 4;
+  };
+
+  explicit TrainingModule(const Options& options);
+
+  /// Sink endpoint for a QWorker's training tee.
+  void Collect(const std::string& application, const ProcessedQuery& query);
+
+  /// Bulk log import (the periodic query-log export path of §2).
+  void ImportLogs(const std::string& application,
+                  const workload::Workload& logs);
+
+  /// The retained training set for `application`.
+  const workload::Workload& TrainingSet(const std::string& application) const;
+
+  /// Registers a shared embedder under `name`. Embedders are trained once
+  /// on large (possibly combined, e.g. "EmbedderA(X,Y)") corpora and
+  /// shared across classifiers.
+  void RegisterEmbedder(const std::string& name,
+                        std::shared_ptr<const embed::Embedder> embedder);
+
+  std::shared_ptr<const embed::Embedder> Embedder(
+      const std::string& name) const;
+
+  /// Specification of one batch training job.
+  struct TrainJob {
+    std::string task_name;
+    std::string application;
+    std::string embedder_name;
+    LabelExtractor label_of;
+    /// Builds the (untrained) labeler; defaults to a random forest when
+    /// null.
+    std::function<std::unique_ptr<ml::VectorClassifier>()> labeler_factory;
+  };
+
+  /// Trains one classifier on the application's training set.
+  util::StatusOr<std::shared_ptr<Classifier>> Train(const TrainJob& job);
+
+  /// Trains several jobs in parallel on the module's thread pool and
+  /// deploys each result to `worker`. Returns the first error, if any.
+  util::Status TrainAndDeploy(const std::vector<TrainJob>& jobs,
+                              QWorker& worker);
+
+  /// Deployed-model registry (task name -> classifier).
+  std::shared_ptr<Classifier> Model(const std::string& task_name) const;
+
+ private:
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<std::string, workload::Workload> training_sets_;
+  std::map<std::string, std::shared_ptr<const embed::Embedder>> embedders_;
+  std::map<std::string, std::shared_ptr<Classifier>> models_;
+  util::ThreadPool pool_;
+};
+
+}  // namespace querc::core
+
+#endif  // QUERC_QUERC_TRAINING_MODULE_H_

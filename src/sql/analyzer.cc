@@ -1,0 +1,582 @@
+#include "sql/analyzer.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace querc::sql {
+
+namespace {
+
+/// Clauses tracked during the scan.
+enum class Clause {
+  kNone,
+  kSelect,
+  kFrom,
+  kWhere,
+  kGroupBy,
+  kHaving,
+  kOrderBy,
+};
+
+bool IsAggregate(const std::string& kw) {
+  return kw == "SUM" || kw == "AVG" || kw == "MIN" || kw == "MAX" ||
+         kw == "COUNT";
+}
+
+/// Recursive analyzer over tokens[begin, end).
+class AnalyzerImpl {
+ public:
+  AnalyzerImpl(const TokenList& tokens, size_t begin, size_t end)
+      : tokens_(tokens), begin_(begin), end_(end) {}
+
+  QueryShape Run() {
+    QueryShape shape;
+    shape.token_count = end_ - begin_;
+    Clause clause = Clause::kNone;
+    size_t i = begin_;
+    while (i < end_) {
+      const Token& t = tokens_[i];
+      // Subquery: '(' directly followed by SELECT.
+      if (t.IsPunct('(') && i + 1 < end_ &&
+          tokens_[i + 1].IsKeyword("SELECT")) {
+        size_t close = FindMatchingParen(i);
+        AnalyzerImpl sub(tokens_, i + 1, close);
+        // Check the token before '(' for IN / EXISTS to classify the
+        // predicate; the column (for IN) sits before that.
+        RecordSubqueryPredicate(shape, i);
+        shape.subqueries.push_back(sub.Run());
+        i = close < end_ ? close + 1 : end_;
+        continue;
+      }
+      if (t.type == TokenType::kKeyword) {
+        const std::string& kw = t.text;
+        if (kw == "SELECT") {
+          clause = Clause::kSelect;
+          shape.is_select = true;
+          ++i;
+          continue;
+        }
+        if (kw == "FROM") {
+          clause = Clause::kFrom;
+          i = ParseFromClause(shape, i + 1);
+          clause = ClauseAt(i);
+          continue;
+        }
+        if (kw == "WHERE") {
+          clause = Clause::kWhere;
+          i = ParsePredicates(shape, i + 1, /*is_having=*/false);
+          clause = ClauseAt(i);
+          continue;
+        }
+        if (kw == "GROUP" && NextIsKeyword(i, "BY")) {
+          clause = Clause::kGroupBy;
+          i = ParseColumnList(shape.group_by_columns, i + 2);
+          clause = ClauseAt(i);
+          continue;
+        }
+        if (kw == "ORDER" && NextIsKeyword(i, "BY")) {
+          clause = Clause::kOrderBy;
+          i = ParseColumnList(shape.order_by_columns, i + 2);
+          clause = ClauseAt(i);
+          continue;
+        }
+        if (kw == "HAVING") {
+          shape.has_having = true;
+          i = ParsePredicates(shape, i + 1, /*is_having=*/true);
+          clause = ClauseAt(i);
+          continue;
+        }
+        if (kw == "DISTINCT") {
+          shape.has_distinct = true;
+          ++i;
+          continue;
+        }
+        if (kw == "LIMIT" || kw == "TOP" || kw == "FETCH") {
+          shape.has_limit_or_top = true;
+          ++i;
+          continue;
+        }
+        if (kw == "UNION" || kw == "INTERSECT" || kw == "EXCEPT") {
+          ++shape.set_operation_count;
+          ++i;
+          continue;
+        }
+        if (IsAggregate(kw) && i + 1 < end_ && tokens_[i + 1].IsPunct('(')) {
+          shape.aggregate_functions.push_back(kw);
+          ++i;
+          continue;
+        }
+      }
+      if (clause == Clause::kSelect && IsIdentifier(t)) {
+        // Collect selected column references (qualified or bare).
+        auto [qual, col, next] = ParseColumnRef(i);
+        if (!col.empty()) {
+          shape.select_columns.push_back(col);
+          i = next;
+          continue;
+        }
+      }
+      if (clause == Clause::kSelect && t.IsOperator("*")) {
+        if (shape.select_columns.empty() ||
+            shape.select_columns.back() != "*") {
+          shape.select_columns.push_back("*");
+        }
+      }
+      ++i;
+    }
+    return shape;
+  }
+
+ private:
+  static bool IsIdentifier(const Token& t) {
+    return t.type == TokenType::kIdentifier ||
+           t.type == TokenType::kQuotedIdentifier;
+  }
+
+  bool NextIsKeyword(size_t i, const char* kw) const {
+    return i + 1 < end_ && tokens_[i + 1].IsKeyword(kw);
+  }
+
+  /// Returns the clause implied by the token at `i` (used after clause
+  /// sub-parsers hand control back).
+  Clause ClauseAt(size_t i) const {
+    if (i >= end_) return Clause::kNone;
+    return Clause::kNone;
+  }
+
+  size_t FindMatchingParen(size_t open) const {
+    int depth = 0;
+    for (size_t i = open; i < end_; ++i) {
+      if (tokens_[i].IsPunct('(')) ++depth;
+      if (tokens_[i].IsPunct(')')) {
+        if (--depth == 0) return i;
+      }
+    }
+    return end_;
+  }
+
+  /// When a subquery starts at '(' index `open`, classify the preceding
+  /// tokens as IN / NOT IN / EXISTS and record a predicate.
+  void RecordSubqueryPredicate(QueryShape& shape, size_t open) const {
+    if (open == begin_) return;
+    const Token& prev = tokens_[open - 1];
+    if (prev.IsKeyword("EXISTS")) {
+      Predicate p;
+      p.op = "EXISTS_SUBQUERY";
+      shape.filters.push_back(std::move(p));
+      return;
+    }
+    if (prev.IsKeyword("IN")) {
+      Predicate p;
+      p.op = "IN_SUBQUERY";
+      // Column reference sits before IN (and possibly NOT).
+      size_t j = open - 2;
+      if (j > begin_ && tokens_[j].IsKeyword("NOT")) --j;
+      if (j >= begin_ && IsIdentifier(tokens_[j])) {
+        p.column = util::ToLower(tokens_[j].text);
+        if (j >= begin_ + 2 && tokens_[j - 1].IsOperator(".") &&
+            IsIdentifier(tokens_[j - 2])) {
+          p.qualifier = util::ToLower(tokens_[j - 2].text);
+        }
+      }
+      shape.filters.push_back(std::move(p));
+    }
+  }
+
+  /// Parses `FROM table [AS] alias, table ... [JOIN table ON ...]`.
+  /// Returns the index of the first token past the clause.
+  size_t ParseFromClause(QueryShape& shape, size_t i) {
+    bool expect_table = true;
+    while (i < end_) {
+      const Token& t = tokens_[i];
+      if (t.type == TokenType::kKeyword) {
+        const std::string& kw = t.text;
+        if (kw == "WHERE" || kw == "GROUP" || kw == "ORDER" ||
+            kw == "HAVING" || kw == "LIMIT" || kw == "UNION" ||
+            kw == "INTERSECT" || kw == "EXCEPT" || kw == "FETCH") {
+          return i;
+        }
+        if (kw == "JOIN") {
+          expect_table = true;
+          ++i;
+          continue;
+        }
+        if (kw == "ON") {
+          i = ParsePredicates(shape, i + 1, /*is_having=*/false,
+                              /*stop_in_from=*/true);
+          continue;
+        }
+        // INNER/LEFT/RIGHT/FULL/OUTER/CROSS/NATURAL/AS/USING — skip.
+        ++i;
+        continue;
+      }
+      if (t.IsPunct('(')) {
+        // Derived table: handled by the main loop's subquery path only when
+        // it owns the tokens; here, skip balanced parens (subquery will be
+        // picked up when scanning resumes if it starts with SELECT).
+        if (i + 1 < end_ && tokens_[i + 1].IsKeyword("SELECT")) {
+          return i;  // hand back to the main loop to record the subquery
+        }
+        i = FindMatchingParen(i) + 1;
+        continue;
+      }
+      if (t.IsPunct(',')) {
+        expect_table = true;
+        ++i;
+        continue;
+      }
+      if (IsIdentifier(t)) {
+        std::string name = util::ToLower(t.text);
+        if (expect_table) {
+          shape.tables.push_back(name);
+          expect_table = false;
+        } else {
+          // Alias for the most recent table.
+          if (!shape.tables.empty()) {
+            shape.alias_to_table[name] = shape.tables.back();
+          }
+        }
+        ++i;
+        continue;
+      }
+      if (t.IsPunct(';')) return i;
+      ++i;
+    }
+    return i;
+  }
+
+  /// Parses a column reference at `i`: `[qual .] name`. Returns
+  /// {qualifier, column, next_index}; column empty if no ref begins at `i`.
+  std::tuple<std::string, std::string, size_t> ParseColumnRef(size_t i) const {
+    if (i >= end_ || !IsIdentifier(tokens_[i])) return {"", "", i};
+    std::string first = util::ToLower(tokens_[i].text);
+    if (i + 2 < end_ && tokens_[i + 1].IsOperator(".") &&
+        IsIdentifier(tokens_[i + 2])) {
+      return {first, util::ToLower(tokens_[i + 2].text), i + 3};
+    }
+    return {"", first, i + 1};
+  }
+
+  /// Scans predicate-bearing clause tokens (WHERE / ON / HAVING), recording
+  /// filters and equi-joins. Returns index of the token that terminates the
+  /// clause (a clause keyword or end).
+  size_t ParsePredicates(QueryShape& shape, size_t i, bool is_having,
+                         bool stop_in_from = false) {
+    while (i < end_) {
+      const Token& t = tokens_[i];
+      if (t.type == TokenType::kKeyword) {
+        const std::string& kw = t.text;
+        if (kw == "GROUP" || kw == "ORDER" || kw == "HAVING" ||
+            kw == "LIMIT" || kw == "UNION" || kw == "INTERSECT" ||
+            kw == "EXCEPT" || kw == "FETCH" || kw == "WHERE") {
+          return i;
+        }
+        if (stop_in_from && (kw == "JOIN" || kw == "INNER" || kw == "LEFT" ||
+                             kw == "RIGHT" || kw == "FULL" || kw == "CROSS" ||
+                             kw == "OUTER")) {
+          return i;
+        }
+        if (IsAggregate(kw) && i + 1 < end_ && tokens_[i + 1].IsPunct('(')) {
+          if (is_having) {
+            shape.aggregate_functions.push_back(kw);
+            // Record `AGG(col) op literal` as a HAVING predicate — the
+            // pattern behind the TPC-H Q18 cardinality misestimation the
+            // cost model reproduces.
+            size_t close = FindMatchingParen(i + 1);
+            std::string agg_col;
+            for (size_t k = i + 2; k < close; ++k) {
+              if (IsIdentifier(tokens_[k])) {
+                agg_col = util::ToLower(tokens_[k].text);
+                break;
+              }
+            }
+            if (!agg_col.empty() && close + 1 < end_ &&
+                tokens_[close + 1].type == TokenType::kOperator) {
+              const std::string& cmp = tokens_[close + 1].text;
+              if (cmp == "=" || cmp == "<" || cmp == ">" || cmp == "<=" ||
+                  cmp == ">=") {
+                Predicate p;
+                p.op = "HAVING_" + cmp;
+                p.column = agg_col;
+                if (close + 2 < end_ &&
+                    tokens_[close + 2].type == TokenType::kNumber) {
+                  p.literals.push_back(tokens_[close + 2].text);
+                }
+                shape.filters.push_back(std::move(p));
+              }
+            }
+            i = close < end_ ? close + 1 : end_;
+            continue;
+          }
+          ++i;
+          continue;
+        }
+      }
+      if (t.IsPunct('(') && i + 1 < end_ &&
+          tokens_[i + 1].IsKeyword("SELECT")) {
+        return i;  // main loop records the subquery
+      }
+      if (IsIdentifier(t)) {
+        size_t consumed = TryParsePredicate(shape, i, is_having);
+        if (consumed > i) {
+          i = consumed;
+          continue;
+        }
+      }
+      if (t.IsPunct(';')) return i;
+      ++i;
+    }
+    return i;
+  }
+
+  /// Attempts to parse one predicate starting at the column reference at
+  /// `i`. Returns the index after the predicate, or `i` if no pattern
+  /// matches.
+  size_t TryParsePredicate(QueryShape& shape, size_t i, bool is_having) {
+    auto [qual, col, after_ref] = ParseColumnRef(i);
+    if (col.empty() || after_ref >= end_) return i;
+    const Token& op_tok = tokens_[after_ref];
+
+    // IS [NOT] NULL
+    if (op_tok.IsKeyword("IS")) {
+      size_t j = after_ref + 1;
+      bool negated = false;
+      if (j < end_ && tokens_[j].IsKeyword("NOT")) {
+        negated = true;
+        ++j;
+      }
+      if (j < end_ && tokens_[j].IsKeyword("NULL")) {
+        Predicate p;
+        p.op = negated ? "IS NOT NULL" : "IS NULL";
+        p.qualifier = qual;
+        p.column = col;
+        if (!is_having) shape.filters.push_back(std::move(p));
+        return j + 1;
+      }
+      return i;
+    }
+
+    // [NOT] BETWEEN lit AND lit
+    {
+      size_t j = after_ref;
+      if (j < end_ && tokens_[j].IsKeyword("NOT") && j + 1 < end_ &&
+          tokens_[j + 1].IsKeyword("BETWEEN")) {
+        ++j;
+      }
+      if (j < end_ && tokens_[j].IsKeyword("BETWEEN")) {
+        size_t lo = j + 1;
+        // Operand may be a literal or an arithmetic expression; grab the
+        // first literal on each side of AND.
+        size_t and_pos = lo;
+        while (and_pos < end_ && !tokens_[and_pos].IsKeyword("AND")) {
+          ++and_pos;
+        }
+        if (and_pos < end_) {
+          Predicate p;
+          p.op = "BETWEEN";
+          p.qualifier = qual;
+          p.column = col;
+          for (size_t k = lo; k < and_pos; ++k) {
+            if (tokens_[k].type == TokenType::kNumber ||
+                tokens_[k].type == TokenType::kString) {
+              p.literals.push_back(tokens_[k].text);
+              p.literal_is_string = tokens_[k].type == TokenType::kString;
+              break;
+            }
+          }
+          size_t hi_end = and_pos + 1;
+          while (hi_end < end_ && (tokens_[hi_end].type == TokenType::kNumber ||
+                                   tokens_[hi_end].type == TokenType::kString ||
+                                   tokens_[hi_end].IsKeyword("INTERVAL") ||
+                                   tokens_[hi_end].IsOperator("+") ||
+                                   tokens_[hi_end].IsOperator("-") ||
+                                   tokens_[hi_end].IsKeyword("DATE") ||
+                                   tokens_[hi_end].IsKeyword("MONTH") ||
+                                   tokens_[hi_end].IsKeyword("YEAR") ||
+                                   tokens_[hi_end].IsKeyword("DAY"))) {
+            if (tokens_[hi_end].type == TokenType::kNumber ||
+                tokens_[hi_end].type == TokenType::kString) {
+              p.literals.push_back(tokens_[hi_end].text);
+            }
+            ++hi_end;
+          }
+          if (!is_having && !p.literals.empty()) {
+            shape.filters.push_back(std::move(p));
+          }
+          return hi_end;
+        }
+        return i;
+      }
+    }
+
+    // [NOT] LIKE 'pattern'
+    {
+      size_t j = after_ref;
+      bool negated = false;
+      if (j < end_ && tokens_[j].IsKeyword("NOT") && j + 1 < end_ &&
+          (tokens_[j + 1].IsKeyword("LIKE") ||
+           tokens_[j + 1].IsKeyword("ILIKE"))) {
+        negated = true;
+        ++j;
+      }
+      if (j < end_ &&
+          (tokens_[j].IsKeyword("LIKE") || tokens_[j].IsKeyword("ILIKE"))) {
+        ++j;
+        if (j < end_ && tokens_[j].type == TokenType::kString) {
+          Predicate p;
+          p.op = negated ? "NOT LIKE" : "LIKE";
+          p.qualifier = qual;
+          p.column = col;
+          p.literals.push_back(tokens_[j].text);
+          p.literal_is_string = true;
+          if (!is_having) shape.filters.push_back(std::move(p));
+          return j + 1;
+        }
+        return i;
+      }
+    }
+
+    // IN ( literal list )  — subquery IN handled by the main loop.
+    if (op_tok.IsKeyword("IN") ||
+        (op_tok.IsKeyword("NOT") && after_ref + 1 < end_ &&
+         tokens_[after_ref + 1].IsKeyword("IN"))) {
+      size_t j = op_tok.IsKeyword("IN") ? after_ref + 1 : after_ref + 2;
+      if (j < end_ && tokens_[j].IsPunct('(') &&
+          !(j + 1 < end_ && tokens_[j + 1].IsKeyword("SELECT"))) {
+        size_t close = FindMatchingParen(j);
+        Predicate p;
+        p.op = "IN";
+        p.qualifier = qual;
+        p.column = col;
+        for (size_t k = j + 1; k < close; ++k) {
+          if (tokens_[k].type == TokenType::kNumber ||
+              tokens_[k].type == TokenType::kString) {
+            p.literals.push_back(tokens_[k].text);
+            p.literal_is_string = tokens_[k].type == TokenType::kString;
+          }
+        }
+        if (!is_having) shape.filters.push_back(std::move(p));
+        return close < end_ ? close + 1 : end_;
+      }
+      return i;
+    }
+
+    // Comparison: col op (literal | column-ref)
+    if (op_tok.type == TokenType::kOperator &&
+        (op_tok.text == "=" || op_tok.text == "<" || op_tok.text == ">" ||
+         op_tok.text == "<=" || op_tok.text == ">=" || op_tok.text == "<>" ||
+         op_tok.text == "!=")) {
+      size_t j = after_ref + 1;
+      if (j < end_ && (tokens_[j].type == TokenType::kNumber ||
+                       tokens_[j].type == TokenType::kString ||
+                       tokens_[j].type == TokenType::kParameter ||
+                       tokens_[j].IsKeyword("DATE") ||
+                       tokens_[j].IsKeyword("INTERVAL"))) {
+        // Skip a DATE/INTERVAL type prefix before the literal.
+        if (tokens_[j].IsKeyword("DATE") || tokens_[j].IsKeyword("INTERVAL")) {
+          ++j;
+        }
+        Predicate p;
+        p.op = op_tok.text == "!=" ? "<>" : op_tok.text;
+        p.qualifier = qual;
+        p.column = col;
+        if (j < end_ && (tokens_[j].type == TokenType::kNumber ||
+                         tokens_[j].type == TokenType::kString)) {
+          p.literals.push_back(tokens_[j].text);
+          p.literal_is_string = tokens_[j].type == TokenType::kString;
+        }
+        if (!is_having) shape.filters.push_back(std::move(p));
+        return j < end_ ? j + 1 : end_;
+      }
+      // Column = column → join condition.
+      auto [q2, c2, after2] = ParseColumnRef(j);
+      if (!c2.empty() && op_tok.text == "=") {
+        // Only record as a join when the two sides reference different
+        // qualifiers (or either side is qualified).
+        if (!is_having && (qual != q2 || !qual.empty())) {
+          shape.joins.push_back({qual, col, q2, c2});
+        }
+        return after2;
+      }
+      return i;
+    }
+    return i;
+  }
+
+  /// Parses a comma-separated column list (GROUP BY / ORDER BY). Returns
+  /// the index of the terminating token.
+  size_t ParseColumnList(std::vector<std::string>& out, size_t i) {
+    while (i < end_) {
+      const Token& t = tokens_[i];
+      if (t.type == TokenType::kKeyword) {
+        const std::string& kw = t.text;
+        if (kw == "ASC" || kw == "DESC" || kw == "NULLS" || kw == "FIRST" ||
+            kw == "LAST" || kw == "BY") {
+          ++i;
+          continue;
+        }
+        return i;
+      }
+      if (IsIdentifier(t)) {
+        auto [qual, col, next] = ParseColumnRef(i);
+        (void)qual;
+        out.push_back(col);
+        i = next;
+        continue;
+      }
+      if (t.IsPunct(',') || t.type == TokenType::kNumber) {
+        ++i;  // positional refs and separators
+        continue;
+      }
+      if (t.IsPunct('(')) {
+        i = FindMatchingParen(i) + 1;
+        continue;
+      }
+      return i;
+    }
+    return i;
+  }
+
+  const TokenList& tokens_;
+  size_t begin_;
+  size_t end_;
+};
+
+}  // namespace
+
+int QueryShape::Depth() const {
+  int max_child = 0;
+  for (const QueryShape& s : subqueries) {
+    max_child = std::max(max_child, s.Depth());
+  }
+  return 1 + max_child;
+}
+
+int QueryShape::TotalSubqueries() const {
+  int n = static_cast<int>(subqueries.size());
+  for (const QueryShape& s : subqueries) n += s.TotalSubqueries();
+  return n;
+}
+
+std::string QueryShape::ResolveQualifier(const std::string& qualifier) const {
+  auto it = alias_to_table.find(qualifier);
+  if (it != alias_to_table.end()) return it->second;
+  if (std::find(tables.begin(), tables.end(), qualifier) != tables.end()) {
+    return qualifier;
+  }
+  return "";
+}
+
+QueryShape Analyze(const TokenList& tokens) {
+  AnalyzerImpl impl(tokens, 0, tokens.size());
+  return impl.Run();
+}
+
+QueryShape AnalyzeText(std::string_view text, Dialect dialect) {
+  LexOptions options;
+  options.dialect = dialect;
+  return Analyze(LexLenient(text, options));
+}
+
+}  // namespace querc::sql

@@ -1,0 +1,74 @@
+#ifndef QUERC_SQL_ANALYZER_H_
+#define QUERC_SQL_ANALYZER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sql/lexer.h"
+#include "sql/token.h"
+
+namespace querc::sql {
+
+/// A single-column filter or join condition extracted from WHERE/ON/HAVING.
+struct Predicate {
+  /// Filter operators use the SQL spelling ("=", "<", ">=", "BETWEEN",
+  /// "IN", "LIKE", "IS NULL", "IS NOT NULL"); subquery forms are
+  /// "IN_SUBQUERY" / "EXISTS_SUBQUERY".
+  std::string op;
+  std::string qualifier;  // table or alias prefix, lower-cased; "" if bare
+  std::string column;     // lower-cased column name
+  std::vector<std::string> literals;  // raw literal texts (numbers/strings)
+  bool literal_is_string = false;     // true if literals are string typed
+};
+
+/// An equi-join condition `left = right` between two column references.
+struct JoinCondition {
+  std::string left_qualifier;
+  std::string left_column;
+  std::string right_qualifier;
+  std::string right_column;
+};
+
+/// Structural summary of one (sub)query extracted by a clause-tracking scan
+/// of the token stream — deliberately *not* a full parser: this is exactly
+/// the kind of brittle task-specific extraction the paper argues learned
+/// embeddings replace. We keep it because (a) the feature-engineered
+/// baseline needs it and (b) the simulated engine costs queries from it.
+struct QueryShape {
+  bool is_select = false;
+  std::vector<std::string> tables;  // lower-cased base-table names, in order
+  std::map<std::string, std::string> alias_to_table;  // alias -> table
+  std::vector<std::string> select_columns;  // lower-cased; "*" for star
+  std::vector<Predicate> filters;
+  std::vector<JoinCondition> joins;
+  std::vector<std::string> group_by_columns;
+  std::vector<std::string> order_by_columns;
+  std::vector<std::string> aggregate_functions;  // SUM, AVG, ... in order
+  bool has_distinct = false;
+  bool has_having = false;
+  bool has_limit_or_top = false;
+  int set_operation_count = 0;  // UNION/INTERSECT/EXCEPT at this level
+  std::vector<QueryShape> subqueries;
+  size_t token_count = 0;
+
+  /// Maximum nesting depth; a flat query has depth 1.
+  int Depth() const;
+  /// Total number of subqueries at any depth.
+  int TotalSubqueries() const;
+  /// Resolves `qualifier` to a base table: alias lookup, else the qualifier
+  /// itself if it names a referenced table, else "" (caller falls back to
+  /// catalog column lookup).
+  std::string ResolveQualifier(const std::string& qualifier) const;
+};
+
+/// Analyzes a token stream (as produced by Lex/LexLenient).
+QueryShape Analyze(const TokenList& tokens);
+
+/// Convenience: lenient-lexes `text` under `dialect` and analyzes it.
+QueryShape AnalyzeText(std::string_view text,
+                       Dialect dialect = Dialect::kGeneric);
+
+}  // namespace querc::sql
+
+#endif  // QUERC_SQL_ANALYZER_H_

@@ -1,0 +1,94 @@
+#include "sql/dialect.h"
+
+#include <algorithm>
+#include <array>
+
+namespace querc::sql {
+
+namespace {
+
+// Sorted so we can binary-search. Keep this list sorted when editing.
+constexpr std::array<std::string_view, 88> kCommonKeywords = {
+    "ALL",      "AND",      "ANY",      "AS",       "ASC",      "AVG",
+    "BETWEEN",  "BY",       "CASE",     "CAST",     "COALESCE", "COUNT",
+    "CREATE",   "CROSS",    "CURRENT",  "DATE",     "DELETE",   "DESC",
+    "DISTINCT", "DROP",     "ELSE",     "END",      "ESCAPE",   "EXCEPT",
+    "EXISTS",   "EXTRACT",  "FALSE",    "FETCH",    "FIRST",    "FROM",
+    "FULL",     "GROUP",    "HAVING",   "IN",       "INDEX",    "INNER",
+    "INSERT",   "INTERSECT", "INTERVAL", "INTO",    "IS",       "JOIN",
+    "LAST",     "LEFT",     "LIKE",     "LIMIT",    "MAX",      "MIN",
+    "NATURAL",  "NOT",      "NULL",     "NULLS",    "OFFSET",   "ON",
+    "OR",       "ORDER",    "OUTER",    "OVER",     "PARTITION", "PRIMARY",
+    "RIGHT",    "ROW",      "ROWS",     "SELECT",   "SET",      "SOME",
+    "SUBSTRING", "SUM",     "TABLE",    "THEN",     "TRUE",     "TRUNCATE",
+    "UNION",    "UNIQUE",   "UPDATE",   "USING",    "VALUES",   "VIEW",
+    "WHEN",     "WHERE",    "WITH",     "YEAR",     "MONTH",    "DAY",
+    "HOUR",     "MINUTE",   "SECOND",   "KEY",
+};
+
+constexpr std::array<std::string_view, 8> kSqlServerExtra = {
+    "APPLY", "GETDATE", "IDENTITY", "NOLOCK",
+    "PIVOT", "TOP",     "UNPIVOT",  "DATEADD",
+};
+
+constexpr std::array<std::string_view, 8> kSnowflakeExtra = {
+    "FLATTEN", "ILIKE",   "LATERAL", "MATCH_RECOGNIZE",
+    "QUALIFY", "SAMPLE",  "TABLESAMPLE", "VARIANT",
+};
+
+template <size_t N>
+bool Contains(const std::array<std::string_view, N>& sorted_or_not,
+              std::string_view word) {
+  // Lists are small; linear scan keeps the constexpr tables order-agnostic.
+  return std::find(sorted_or_not.begin(), sorted_or_not.end(), word) !=
+         sorted_or_not.end();
+}
+
+bool GenericIsKeyword(std::string_view word) { return IsCommonKeyword(word); }
+
+bool SqlServerIsKeyword(std::string_view word) {
+  return IsCommonKeyword(word) || Contains(kSqlServerExtra, word);
+}
+
+bool SnowflakeIsKeyword(std::string_view word) {
+  return IsCommonKeyword(word) || Contains(kSnowflakeExtra, word);
+}
+
+constexpr DialectTraits kGenericTraits = {GenericIsKeyword, '\0', '\0', false,
+                                          false};
+constexpr DialectTraits kSqlServerTraits = {SqlServerIsKeyword, '[', ']', true,
+                                            false};
+constexpr DialectTraits kSnowflakeTraits = {SnowflakeIsKeyword, '\0', '\0',
+                                            false, true};
+
+}  // namespace
+
+std::string_view DialectName(Dialect dialect) {
+  switch (dialect) {
+    case Dialect::kGeneric:
+      return "generic";
+    case Dialect::kSqlServer:
+      return "sqlserver";
+    case Dialect::kSnowflake:
+      return "snowflake";
+  }
+  return "unknown";
+}
+
+const DialectTraits& GetDialectTraits(Dialect dialect) {
+  switch (dialect) {
+    case Dialect::kGeneric:
+      return kGenericTraits;
+    case Dialect::kSqlServer:
+      return kSqlServerTraits;
+    case Dialect::kSnowflake:
+      return kSnowflakeTraits;
+  }
+  return kGenericTraits;
+}
+
+bool IsCommonKeyword(std::string_view word) {
+  return Contains(kCommonKeywords, word);
+}
+
+}  // namespace querc::sql

@@ -1,0 +1,43 @@
+#ifndef QUERC_SQL_DIALECT_H_
+#define QUERC_SQL_DIALECT_H_
+
+#include <string>
+#include <string_view>
+
+namespace querc::sql {
+
+/// SQL dialects the lexer understands. Querc is database-agnostic: the
+/// embedders consume raw token streams, so adding a dialect only means
+/// teaching the *lexer* its quoting/keyword quirks — no per-application
+/// feature extractors.
+enum class Dialect {
+  kGeneric,    // ANSI-ish: "ident" quoting, standard keywords
+  kSqlServer,  // [ident] quoting, TOP, CROSS/OUTER APPLY, GETDATE
+  kSnowflake,  // "ident" quoting, ILIKE, QUALIFY, FLATTEN, ::casts, $1 params
+};
+
+/// Returns a stable name ("generic", "sqlserver", "snowflake").
+std::string_view DialectName(Dialect dialect);
+
+/// Per-dialect lexing traits.
+struct DialectTraits {
+  /// True if `word` (already upper-cased) is a keyword in this dialect.
+  bool (*is_keyword)(std::string_view word);
+  /// Opening character for quoted identifiers besides the ANSI `"`.
+  char extra_ident_open = '\0';
+  /// Matching closing character for `extra_ident_open`.
+  char extra_ident_close = '\0';
+  /// Whether `@name` / `$n` parameter markers are recognized.
+  bool at_parameters = false;
+  bool dollar_parameters = false;
+};
+
+/// Traits table lookup for `dialect`.
+const DialectTraits& GetDialectTraits(Dialect dialect);
+
+/// True if `word` (upper-cased) is a keyword shared by all dialects.
+bool IsCommonKeyword(std::string_view word);
+
+}  // namespace querc::sql
+
+#endif  // QUERC_SQL_DIALECT_H_

@@ -1,0 +1,33 @@
+#ifndef QUERC_SQL_LEXER_H_
+#define QUERC_SQL_LEXER_H_
+
+#include <string_view>
+
+#include "sql/dialect.h"
+#include "sql/token.h"
+#include "util/statusor.h"
+
+namespace querc::sql {
+
+/// Options controlling tokenization.
+struct LexOptions {
+  Dialect dialect = Dialect::kGeneric;
+  /// Emit kComment tokens instead of dropping comments.
+  bool keep_comments = false;
+};
+
+/// Tokenizes `text`. Never fails on well-formed SQL of any supported
+/// dialect; returns InvalidArgument for unterminated strings/comments and
+/// Corruption for bytes no rule matches. The final kEnd sentinel is NOT
+/// included in the result.
+util::StatusOr<TokenList> Lex(std::string_view text,
+                              const LexOptions& options = {});
+
+/// Lenient variant used by the embedding pipeline: unterminated constructs
+/// are closed at end-of-input and unknown bytes are skipped, so arbitrary
+/// log lines always produce a token stream.
+TokenList LexLenient(std::string_view text, const LexOptions& options = {});
+
+}  // namespace querc::sql
+
+#endif  // QUERC_SQL_LEXER_H_

@@ -1,0 +1,47 @@
+#include "sql/normalizer.h"
+
+#include "util/string_util.h"
+
+namespace querc::sql {
+
+std::vector<std::string> Normalize(const TokenList& tokens,
+                                   const NormalizeOptions& options) {
+  std::vector<std::string> words;
+  words.reserve(tokens.size());
+  for (const Token& t : tokens) {
+    switch (t.type) {
+      case TokenType::kComment:
+        if (!options.strip_comments) words.push_back(t.text);
+        break;
+      case TokenType::kNumber:
+        words.push_back(options.fold_literals ? kNumberPlaceholder : t.text);
+        break;
+      case TokenType::kString:
+        words.push_back(options.fold_literals ? kStringPlaceholder : t.text);
+        break;
+      case TokenType::kParameter:
+        words.push_back(options.fold_parameters ? kParamPlaceholder : t.text);
+        break;
+      case TokenType::kIdentifier:
+      case TokenType::kQuotedIdentifier:
+        words.push_back(options.lowercase_identifiers ? util::ToLower(t.text)
+                                                      : t.text);
+        break;
+      case TokenType::kKeyword:
+      case TokenType::kOperator:
+      case TokenType::kPunct:
+        words.push_back(t.text);
+        break;
+      case TokenType::kEnd:
+        break;
+    }
+  }
+  return words;
+}
+
+std::string NormalizedText(const TokenList& tokens,
+                           const NormalizeOptions& options) {
+  return util::Join(Normalize(tokens, options), " ");
+}
+
+}  // namespace querc::sql

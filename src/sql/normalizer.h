@@ -1,0 +1,46 @@
+#ifndef QUERC_SQL_NORMALIZER_H_
+#define QUERC_SQL_NORMALIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/token.h"
+
+namespace querc::sql {
+
+/// Options for turning a token stream into the canonical word sequence the
+/// embedders consume. The defaults match the paper's setting: literals are
+/// folded to placeholder words so the embedding captures query *structure
+/// and schema*, not parameter values.
+struct NormalizeOptions {
+  /// Replace every number literal with "<num>" and string literal with
+  /// "<str>". Keeps the vocabulary small and parameter-invariant.
+  bool fold_literals = true;
+  /// Lower-case identifiers so Lineitem/LINEITEM/lineitem coincide.
+  bool lowercase_identifiers = true;
+  /// Drop comments entirely (they rarely carry workload signal).
+  bool strip_comments = true;
+  /// Fold all parameter markers to "<param>".
+  bool fold_parameters = true;
+};
+
+/// Placeholder words produced by folding.
+inline constexpr const char* kNumberPlaceholder = "<num>";
+inline constexpr const char* kStringPlaceholder = "<str>";
+inline constexpr const char* kParamPlaceholder = "<param>";
+
+/// Converts tokens into the normalized word sequence. Keywords come out
+/// upper-case ("SELECT"), identifiers lower-case, operators/punctuation
+/// verbatim.
+std::vector<std::string> Normalize(const TokenList& tokens,
+                                   const NormalizeOptions& options = {});
+
+/// Joins the normalized words with single spaces; used as a stable
+/// fingerprint for duplicate detection (queries differing only in literal
+/// values share a fingerprint under the default options).
+std::string NormalizedText(const TokenList& tokens,
+                           const NormalizeOptions& options = {});
+
+}  // namespace querc::sql
+
+#endif  // QUERC_SQL_NORMALIZER_H_

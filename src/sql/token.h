@@ -1,0 +1,47 @@
+#ifndef QUERC_SQL_TOKEN_H_
+#define QUERC_SQL_TOKEN_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace querc::sql {
+
+/// Lexical classes produced by the dialect-aware lexer.
+enum class TokenType {
+  kKeyword,           // SELECT, FROM, GROUP, ...
+  kIdentifier,        // bare identifiers: lineitem, l_orderkey
+  kQuotedIdentifier,  // "Name", [Name], `Name` (quotes stripped)
+  kNumber,            // 42, 3.14, 1e-5
+  kString,            // 'abc' (quotes stripped, '' unescaped)
+  kOperator,          // = <> <= >= || :: + - * / % .
+  kPunct,             // ( ) , ;
+  kParameter,         // ? or :name / @name / $1 placeholders
+  kComment,           // -- ... or /* ... */ (only if kept)
+  kEnd,               // end-of-input sentinel
+};
+
+/// Returns a stable name for `type` (e.g. "Keyword").
+const char* TokenTypeName(TokenType type);
+
+/// One lexical token. `text` holds the canonical content: keywords are
+/// upper-cased, quoted identifiers/strings have their delimiters stripped.
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  size_t offset = 0;  // byte offset of the token start in the input
+
+  bool IsKeyword(const char* kw) const;
+  bool IsPunct(char c) const {
+    return type == TokenType::kPunct && text.size() == 1 && text[0] == c;
+  }
+  bool IsOperator(const char* op) const {
+    return type == TokenType::kOperator && text == op;
+  }
+};
+
+using TokenList = std::vector<Token>;
+
+}  // namespace querc::sql
+
+#endif  // QUERC_SQL_TOKEN_H_

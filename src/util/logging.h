@@ -1,0 +1,45 @@
+#ifndef QUERC_UTIL_LOGGING_H_
+#define QUERC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace querc::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log-line builder; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace querc::util
+
+#define QUERC_LOG(level)                                            \
+  ::querc::util::internal_logging::LogMessage(                      \
+      ::querc::util::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // QUERC_UTIL_LOGGING_H_

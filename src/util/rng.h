@@ -1,0 +1,172 @@
+#ifndef QUERC_UTIL_RNG_H_
+#define QUERC_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+namespace querc::util {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256** seeded via
+/// SplitMix64). Every randomized component in the library takes an explicit
+/// seed so experiments and tests reproduce bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator; identical seeds give identical streams.
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+    has_gaussian_ = false;
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). `bound` must be > 0.
+  uint64_t NextUint64(uint64_t bound) {
+    // Lemire's nearly-divisionless method would be overkill; modulo bias is
+    // negligible for the bounds used here but we still reject the tail.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+      uint64_t r = NextUint64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    NextUint64(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * UniformDouble();
+  }
+
+  /// Standard normal via Box-Muller (cached second deviate).
+  double Gaussian() {
+    if (has_gaussian_) {
+      has_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u1 = 0.0;
+    do {
+      u1 = UniformDouble();
+    } while (u1 <= 1e-300);
+    const double u2 = UniformDouble();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    cached_gaussian_ = r * std::sin(2.0 * std::numbers::pi * u2);
+    has_gaussian_ = true;
+    return r * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// True with probability `p`.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextUint64(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples an index from unnormalized non-negative weights. Returns
+  /// `weights.size() - 1` if rounding pushes past the end; returns 0 for an
+  /// all-zero weight vector.
+  size_t WeightedIndex(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (total <= 0.0) return 0;
+    double target = UniformDouble() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (target < acc) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Zipf-distributed rank in [0, n) with exponent `s`. Linear-time CDF walk
+  /// over a lazily cached table; suitable for the catalog/workload sizes used
+  /// here.
+  size_t Zipf(size_t n, double s) {
+    if (n == 0) return 0;
+    if (zipf_cdf_n_ != n || zipf_cdf_s_ != s) {
+      zipf_cdf_.resize(n);
+      double acc = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+        zipf_cdf_[i] = acc;
+      }
+      for (auto& c : zipf_cdf_) c /= acc;
+      zipf_cdf_n_ = n;
+      zipf_cdf_s_ = s;
+    }
+    const double u = UniformDouble();
+    // Binary search the CDF.
+    size_t lo = 0, hi = n - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (zipf_cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Derives an independent child generator; useful for giving each worker
+  /// or module its own deterministic stream.
+  Rng Fork() { return Rng(NextUint64()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4] = {};
+  bool has_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+  std::vector<double> zipf_cdf_;
+  size_t zipf_cdf_n_ = 0;
+  double zipf_cdf_s_ = -1.0;
+};
+
+}  // namespace querc::util
+
+#endif  // QUERC_UTIL_RNG_H_

@@ -1,0 +1,76 @@
+#ifndef QUERC_UTIL_STATUSOR_H_
+#define QUERC_UTIL_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace querc::util {
+
+/// Holds either a value of type `T` or a non-OK `Status` explaining why the
+/// value is absent. Accessing `value()` on an error StatusOr aborts in debug
+/// builds; callers must check `ok()` first.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  /// Constructs from a value; the status is OK.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in the error state.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace querc::util
+
+/// Evaluates `rexpr` (a StatusOr); on error returns the status, otherwise
+/// move-assigns the value into `lhs`.
+#define QUERC_ASSIGN_OR_RETURN(lhs, rexpr)             \
+  auto QUERC_CONCAT_(_querc_sor_, __LINE__) = (rexpr); \
+  if (!QUERC_CONCAT_(_querc_sor_, __LINE__).ok())      \
+    return QUERC_CONCAT_(_querc_sor_, __LINE__).status(); \
+  lhs = std::move(QUERC_CONCAT_(_querc_sor_, __LINE__)).value()
+
+#define QUERC_CONCAT_INNER_(a, b) a##b
+#define QUERC_CONCAT_(a, b) QUERC_CONCAT_INNER_(a, b)
+
+#endif  // QUERC_UTIL_STATUSOR_H_

@@ -1,0 +1,32 @@
+#ifndef QUERC_UTIL_STOPWATCH_H_
+#define QUERC_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace querc::util {
+
+/// Wall-clock stopwatch for instrumentation (real time, not simulated time;
+/// the engine's simulated runtimes live in `engine/`).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace querc::util
+
+#endif  // QUERC_UTIL_STOPWATCH_H_

@@ -1,0 +1,96 @@
+#include "util/table_writer.h"
+
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace querc::util {
+
+namespace {
+
+std::string CsvEscape(const std::string& field) {
+  bool needs_quotes = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+TableWriter::TableWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TableWriter::AddRow(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TableWriter::Num(double v, int precision) {
+  return StrFormat("%.*f", precision, v);
+}
+
+std::string TableWriter::ToAscii() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto rule = [&] {
+    std::string s = "+";
+    for (size_t w : widths) {
+      s += std::string(w + 2, '-');
+      s += '+';
+    }
+    s += '\n';
+    return s;
+  };
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      s += ' ';
+      s += row[c];
+      s += std::string(widths[c] - row[c].size() + 1, ' ');
+      s += '|';
+    }
+    s += '\n';
+    return s;
+  };
+  std::string out = rule() + render_row(header_) + rule();
+  for (const auto& row : rows_) out += render_row(row);
+  out += rule();
+  return out;
+}
+
+std::string TableWriter::ToCsv() const {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += CsvEscape(row[c]);
+    }
+    out += '\n';
+  };
+  append_row(header_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+Status TableWriter::WriteCsv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return Status::IoError("cannot open " + path);
+  f << ToCsv();
+  if (!f) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace querc::util

@@ -1,0 +1,42 @@
+#ifndef QUERC_UTIL_TABLE_WRITER_H_
+#define QUERC_UTIL_TABLE_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace querc::util {
+
+/// Accumulates rows and renders them either as an aligned ASCII table
+/// (for terminal bench reports mirroring the paper's tables/figures) or as
+/// CSV (for downstream plotting).
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string Num(double v, int precision = 2);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders an aligned, boxed ASCII table.
+  std::string ToAscii() const;
+
+  /// Renders RFC-4180-style CSV (quotes fields containing , " or newline).
+  std::string ToCsv() const;
+
+  /// Writes the CSV rendering to `path`.
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace querc::util
+
+#endif  // QUERC_UTIL_TABLE_WRITER_H_

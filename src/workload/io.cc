@@ -1,0 +1,145 @@
+#include "workload/io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace querc::workload {
+
+namespace {
+
+constexpr const char* kHeader =
+    "text,dialect,timestamp,user,account,cluster,error_code,"
+    "runtime_seconds,memory_mb,template_id";
+
+std::string Escape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// RFC-4180 record reader: handles quoted fields with embedded commas,
+/// doubled quotes, and newlines. Returns false at end-of-stream.
+bool ReadRecord(std::istream& in, std::vector<std::string>* fields) {
+  fields->clear();
+  std::string field;
+  bool in_quotes = false;
+  bool any = false;
+  int c;
+  while ((c = in.get()) != EOF) {
+    any = true;
+    char ch = static_cast<char>(c);
+    if (in_quotes) {
+      if (ch == '"') {
+        if (in.peek() == '"') {
+          field += '"';
+          in.get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += ch;
+      }
+      continue;
+    }
+    if (ch == '"') {
+      in_quotes = true;
+    } else if (ch == ',') {
+      fields->push_back(std::move(field));
+      field.clear();
+    } else if (ch == '\n') {
+      fields->push_back(std::move(field));
+      return true;
+    } else if (ch == '\r') {
+      // swallow (handles \r\n)
+    } else {
+      field += ch;
+    }
+  }
+  if (!any) return false;
+  fields->push_back(std::move(field));
+  return true;
+}
+
+}  // namespace
+
+util::StatusOr<sql::Dialect> ParseDialect(const std::string& name) {
+  if (name == "generic") return sql::Dialect::kGeneric;
+  if (name == "sqlserver") return sql::Dialect::kSqlServer;
+  if (name == "snowflake") return sql::Dialect::kSnowflake;
+  return util::Status::InvalidArgument("unknown dialect: " + name);
+}
+
+util::Status WriteWorkloadCsv(const Workload& workload, std::ostream& out) {
+  out << kHeader << "\n";
+  for (const auto& q : workload) {
+    out << Escape(q.text) << ',' << sql::DialectName(q.dialect) << ','
+        << q.timestamp << ',' << Escape(q.user) << ',' << Escape(q.account)
+        << ',' << Escape(q.cluster) << ',' << Escape(q.error_code) << ','
+        << util::StrFormat("%.6g", q.runtime_seconds) << ','
+        << util::StrFormat("%.6g", q.memory_mb) << ',' << q.template_id
+        << "\n";
+  }
+  if (!out) return util::Status::IoError("workload csv write failed");
+  return util::Status::OK();
+}
+
+util::Status WriteWorkloadCsvFile(const Workload& workload,
+                                  const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return util::Status::IoError("cannot open " + path);
+  return WriteWorkloadCsv(workload, f);
+}
+
+util::StatusOr<Workload> ReadWorkloadCsv(std::istream& in) {
+  std::vector<std::string> fields;
+  if (!ReadRecord(in, &fields)) {
+    return util::Status::InvalidArgument("workload csv: empty input");
+  }
+  if (fields.empty() || fields[0] != "text") {
+    return util::Status::Corruption(
+        "workload csv: missing/invalid header row");
+  }
+  Workload workload;
+  size_t line = 1;
+  while (ReadRecord(in, &fields)) {
+    ++line;
+    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
+    if (fields.size() != 10) {
+      return util::Status::Corruption(util::StrFormat(
+          "workload csv: row %zu has %zu fields, expected 10", line,
+          fields.size()));
+    }
+    LabeledQuery q;
+    q.text = fields[0];
+    QUERC_ASSIGN_OR_RETURN(q.dialect, ParseDialect(fields[1]));
+    q.timestamp = std::strtoll(fields[2].c_str(), nullptr, 10);
+    q.user = fields[3];
+    q.account = fields[4];
+    q.cluster = fields[5];
+    q.error_code = fields[6];
+    q.runtime_seconds = std::strtod(fields[7].c_str(), nullptr);
+    q.memory_mb = std::strtod(fields[8].c_str(), nullptr);
+    q.template_id = static_cast<int>(std::strtol(fields[9].c_str(), nullptr,
+                                                 10));
+    workload.Add(std::move(q));
+  }
+  return workload;
+}
+
+util::StatusOr<Workload> ReadWorkloadCsvFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return util::Status::IoError("cannot open " + path);
+  return ReadWorkloadCsv(f);
+}
+
+}  // namespace querc::workload

@@ -1,0 +1,31 @@
+#ifndef QUERC_WORKLOAD_IO_H_
+#define QUERC_WORKLOAD_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "util/statusor.h"
+#include "workload/workload.h"
+
+namespace querc::workload {
+
+/// CSV (de)serialization for labeled workloads — the interchange format
+/// the CLI tool and external log exporters use. Columns:
+///   text,dialect,timestamp,user,account,cluster,error_code,
+///   runtime_seconds,memory_mb,template_id
+/// Fields follow RFC-4180 quoting (quotes doubled, embedded commas and
+/// newlines allowed inside quoted fields).
+
+util::Status WriteWorkloadCsv(const Workload& workload, std::ostream& out);
+util::Status WriteWorkloadCsvFile(const Workload& workload,
+                                  const std::string& path);
+
+util::StatusOr<Workload> ReadWorkloadCsv(std::istream& in);
+util::StatusOr<Workload> ReadWorkloadCsvFile(const std::string& path);
+
+/// Parses one dialect name ("generic", "sqlserver", "snowflake").
+util::StatusOr<sql::Dialect> ParseDialect(const std::string& name);
+
+}  // namespace querc::workload
+
+#endif  // QUERC_WORKLOAD_IO_H_

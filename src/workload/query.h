@@ -1,0 +1,37 @@
+#ifndef QUERC_WORKLOAD_QUERY_H_
+#define QUERC_WORKLOAD_QUERY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sql/dialect.h"
+
+namespace querc::workload {
+
+/// The paper's data model (§2): "A labeled query is a tuple (Q, c1, c2, ...)
+/// where ci is a label." We give the labels that appear in the paper's
+/// applications named fields; arbitrary extra labels can ride in `extra`.
+struct LabeledQuery {
+  /// Raw SQL text — the only input the embedders ever see.
+  std::string text;
+  /// Dialect hint used by the lexer (arrives with the log stream).
+  sql::Dialect dialect = sql::Dialect::kGeneric;
+
+  // ---- typical arrival metadata ----
+  int64_t timestamp = 0;     // seconds since epoch (synthetic clock)
+  std::string user;          // issuing user id
+  std::string account;       // customer/tenant id
+  std::string cluster;       // cluster that executed the query (routing)
+
+  // ---- verbose log labels used for training auxiliary tasks ----
+  std::string error_code;    // "" = completed without error
+  double runtime_seconds = 0.0;
+  double memory_mb = 0.0;
+
+  // ---- generator-internal ground truth (never shown to models) ----
+  int template_id = -1;      // e.g. TPC-H query number 1..22
+};
+
+}  // namespace querc::workload
+
+#endif  // QUERC_WORKLOAD_QUERY_H_

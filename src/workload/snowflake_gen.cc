@@ -1,0 +1,588 @@
+#include "workload/snowflake_gen.h"
+
+#include <algorithm>
+#include <array>
+
+#include "util/string_util.h"
+#include "workload/tpch_gen.h"  // date helpers
+
+namespace querc::workload {
+
+using util::StrFormat;
+
+namespace {
+
+constexpr std::array<const char*, 15> kTableStems = {
+    "orders",    "events",   "sessions",  "payments", "inventory",
+    "clicks",    "shipments", "products", "logs",     "metrics",
+    "transactions", "campaigns", "subscriptions", "invoices", "devices"};
+
+constexpr std::array<const char*, 20> kColumnStems = {
+    "id",         "user_id",  "event_type", "amount",   "created_at",
+    "updated_at", "status",   "category",   "region_id", "price",
+    "quantity",   "score",    "duration_ms", "country",  "device",
+    "channel",    "revenue",  "cost",       "ts",        "session_id"};
+
+constexpr std::array<const char*, 8> kStringValues = {
+    "active", "pending", "failed", "completed",
+    "mobile", "desktop", "paid",   "trial"};
+
+constexpr std::array<const char*, 4> kAggs = {"SUM", "AVG", "COUNT", "MAX"};
+
+enum class ColumnKind { kInt, kFloat, kString, kDate };
+
+struct SynthColumn {
+  std::string name;
+  ColumnKind kind;
+};
+
+struct SynthTable {
+  std::string name;
+  std::vector<SynthColumn> columns;
+};
+
+struct SynthSchema {
+  std::vector<SynthTable> tables;
+};
+
+/// Per-user syntactic habits (token-level, visible to any embedder).
+struct UserStyle {
+  size_t select_rotation = 0;  // rotation applied to the select list
+  size_t pred_rotation = 0;    // rotation applied to the WHERE conjuncts
+  bool use_limit = false;      // appends a LIMIT when the template has none
+  bool order_by_first = false; // appends ORDER BY <first select item>
+};
+
+/// A parameterized query template stored as clause components; the final
+/// text is assembled per instantiation so user style can reorder pieces
+/// and literal slots get fresh values.
+struct QueryTemplate {
+  enum class Slot { kNone, kInt, kFloat, kString, kDate };
+
+  std::vector<std::string> select_items;
+  std::string from_clause;  // "FROM t JOIN u ON ..." (order fixed)
+  /// WHERE conjuncts: text prefix + literal slot (kNone => self-contained).
+  std::vector<std::pair<std::string, Slot>> predicates;
+  std::string group_by;  // "" or " GROUP BY x"
+  std::string order_by;  // "" or " ORDER BY x"
+  std::string limit;     // "" or " LIMIT n"
+
+  int join_count = 0;
+  double base_runtime = 1.0;
+  double base_memory = 64.0;
+  double error_rate = 0.0;
+  std::string error_code;
+
+  std::string Instantiate(util::Rng& rng, const UserStyle& style) const {
+    std::string sql = "SELECT ";
+    for (size_t i = 0; i < select_items.size(); ++i) {
+      if (i > 0) sql += ", ";
+      sql += select_items[(i + style.select_rotation) % select_items.size()];
+    }
+    sql += " ";
+    sql += from_clause;
+    if (!predicates.empty()) {
+      sql += " WHERE ";
+      for (size_t i = 0; i < predicates.size(); ++i) {
+        if (i > 0) sql += " AND ";
+        const auto& [prefix, slot] =
+            predicates[(i + style.pred_rotation) % predicates.size()];
+        sql += prefix;
+        switch (slot) {
+          case Slot::kNone:
+            break;
+          case Slot::kInt:
+            sql += StrFormat("%d", static_cast<int>(rng.UniformInt(1, 100000)));
+            break;
+          case Slot::kFloat:
+            sql += StrFormat("%.2f", rng.UniformDouble(0.0, 1000.0));
+            break;
+          case Slot::kString:
+            sql += StrFormat(
+                "'%s'", kStringValues[rng.NextUint64(kStringValues.size())]);
+            break;
+          case Slot::kDate:
+            sql += StrFormat(
+                "'%s'",
+                FormatDate(DaysFromCivil(2017, 1, 1) + rng.UniformInt(0, 540))
+                    .c_str());
+            break;
+        }
+      }
+    }
+    sql += group_by;
+    if (!order_by.empty()) {
+      sql += order_by;
+    } else if (style.order_by_first && group_by.empty()) {
+      // Order-invariant choice (lexicographic min): the style must add the
+      // same token regardless of clause rotation, or it would leak the
+      // rotation into the token BAG.
+      sql += " ORDER BY " +
+             *std::min_element(select_items.begin(), select_items.end());
+    }
+    if (!limit.empty()) {
+      sql += limit;
+    } else if (style.use_limit) {
+      sql += " LIMIT 100";
+    }
+    return sql;
+  }
+};
+
+SynthSchema MakeSchema(const std::string& account_tag, int num_tables,
+                       double shared_table_fraction, util::Rng& rng) {
+  SynthSchema schema;
+  std::vector<size_t> stems(kTableStems.size());
+  for (size_t i = 0; i < stems.size(); ++i) stems[i] = i;
+  rng.Shuffle(stems);
+  for (int t = 0; t < num_tables; ++t) {
+    SynthTable table;
+    const char* stem = kTableStems[stems[static_cast<size_t>(t) %
+                                         stems.size()]];
+    // Shared-name tables look identical across accounts; private ones
+    // carry the account tag.
+    if (rng.Bernoulli(shared_table_fraction)) {
+      table.name = stem;
+    } else {
+      table.name = StrFormat("%s_%s", stem, account_tag.c_str());
+    }
+    int num_cols = static_cast<int>(rng.UniformInt(4, 9));
+    std::vector<size_t> cols(kColumnStems.size());
+    for (size_t i = 0; i < cols.size(); ++i) cols[i] = i;
+    rng.Shuffle(cols);
+    for (int c = 0; c < num_cols; ++c) {
+      SynthColumn col;
+      col.name = kColumnStems[cols[static_cast<size_t>(c)]];
+      if (col.name == "created_at" || col.name == "updated_at" ||
+          col.name == "ts") {
+        col.kind = ColumnKind::kDate;
+      } else if (col.name == "status" || col.name == "category" ||
+                 col.name == "country" || col.name == "device" ||
+                 col.name == "channel" || col.name == "event_type") {
+        col.kind = ColumnKind::kString;
+      } else if (col.name == "amount" || col.name == "price" ||
+                 col.name == "revenue" || col.name == "cost" ||
+                 col.name == "score") {
+        col.kind = ColumnKind::kFloat;
+      } else {
+        col.kind = ColumnKind::kInt;
+      }
+      table.columns.push_back(std::move(col));
+    }
+    schema.tables.push_back(std::move(table));
+  }
+  return schema;
+}
+
+QueryTemplate::Slot SlotFor(ColumnKind kind) {
+  switch (kind) {
+    case ColumnKind::kInt:
+      return QueryTemplate::Slot::kInt;
+    case ColumnKind::kFloat:
+      return QueryTemplate::Slot::kFloat;
+    case ColumnKind::kString:
+      return QueryTemplate::Slot::kString;
+    case ColumnKind::kDate:
+      return QueryTemplate::Slot::kDate;
+  }
+  return QueryTemplate::Slot::kInt;
+}
+
+const char* OpFor(ColumnKind kind, util::Rng& rng) {
+  if (kind == ColumnKind::kString) return "=";
+  switch (rng.UniformInt(0, 3)) {
+    case 0:
+      return "=";
+    case 1:
+      return ">";
+    case 2:
+      return "<";
+    default:
+      return ">=";
+  }
+}
+
+/// Builds one random SELECT template over the account schema.
+QueryTemplate MakeTemplate(const SynthSchema& schema, util::Rng& rng) {
+  QueryTemplate tpl;
+  int num_tables = static_cast<int>(rng.UniformInt(1, 3));
+  num_tables = std::min<int>(num_tables,
+                             static_cast<int>(schema.tables.size()));
+  std::vector<size_t> picks(schema.tables.size());
+  for (size_t i = 0; i < picks.size(); ++i) picks[i] = i;
+  rng.Shuffle(picks);
+
+  const SynthTable& t0 = schema.tables[picks[0]];
+  bool group_by = rng.Bernoulli(0.4);
+  if (group_by) {
+    const std::string& group_col =
+        t0.columns[rng.NextUint64(t0.columns.size())].name;
+    const char* agg = kAggs[rng.NextUint64(kAggs.size())];
+    const std::string& agg_col =
+        t0.columns[rng.NextUint64(t0.columns.size())].name;
+    tpl.select_items.push_back(group_col);
+    tpl.select_items.push_back(
+        StrFormat("%s(%s) AS agg_val", agg, agg_col.c_str()));
+    tpl.group_by = " GROUP BY " + group_col;
+    if (rng.Bernoulli(0.5)) tpl.order_by = " ORDER BY agg_val DESC";
+  } else {
+    int n_cols = static_cast<int>(
+        rng.UniformInt(2, std::min<int64_t>(5, t0.columns.size())));
+    for (int c = 0; c < n_cols; ++c) {
+      std::string col = t0.columns[rng.NextUint64(t0.columns.size())].name;
+      if (std::find(tpl.select_items.begin(), tpl.select_items.end(), col) ==
+          tpl.select_items.end()) {
+        tpl.select_items.push_back(std::move(col));
+      }
+    }
+    if (tpl.select_items.empty()) tpl.select_items.push_back(t0.columns[0].name);
+    if (rng.Bernoulli(0.3)) {
+      tpl.order_by = " ORDER BY " + t0.columns[0].name;
+    }
+  }
+
+  tpl.from_clause = "FROM " + t0.name;
+  for (int j = 1; j < num_tables; ++j) {
+    const SynthTable& tj = schema.tables[picks[static_cast<size_t>(j)]];
+    if (tj.name == t0.name) continue;
+    tpl.from_clause += StrFormat(" JOIN %s ON %s.user_id = %s.user_id",
+                                 tj.name.c_str(), t0.name.c_str(),
+                                 tj.name.c_str());
+    ++tpl.join_count;
+  }
+
+  int num_preds = static_cast<int>(rng.UniformInt(1, 3));
+  for (int p = 0; p < num_preds; ++p) {
+    const SynthColumn& col = t0.columns[rng.NextUint64(t0.columns.size())];
+    tpl.predicates.emplace_back(
+        StrFormat("%s %s ", col.name.c_str(), OpFor(col.kind, rng)),
+        SlotFor(col.kind));
+  }
+
+  if (rng.Bernoulli(0.3)) {
+    tpl.limit = StrFormat(" LIMIT %d", static_cast<int>(rng.UniformInt(10, 1000)));
+  }
+
+  tpl.base_runtime =
+      std::exp(rng.Gaussian(0.0, 0.8)) * (1.0 + 2.0 * tpl.join_count);
+  tpl.base_memory =
+      std::exp(rng.Gaussian(3.5, 0.7)) * (1.0 + tpl.join_count);
+  if (tpl.join_count >= 2 && rng.Bernoulli(0.4)) {
+    tpl.error_rate = 0.3;
+    tpl.error_code = "OOM";
+  } else if (rng.Bernoulli(0.08)) {
+    tpl.error_rate = 0.5;
+    tpl.error_code = rng.Bernoulli(0.5) ? "TIMEOUT" : "INTERNAL";
+  }
+  return tpl;
+}
+
+/// Produces an ORDER VARIANT of `tpl`: the select list and WHERE conjuncts
+/// are rotated by `rotation`, yielding a query with the identical token
+/// multiset but a different token sequence. After literal folding, a
+/// bag-of-words embedder cannot tell a template from its variants.
+QueryTemplate OrderVariant(const QueryTemplate& tpl, size_t rotation) {
+  QueryTemplate out = tpl;
+  if (!out.select_items.empty()) {
+    std::rotate(out.select_items.begin(),
+                out.select_items.begin() +
+                    static_cast<long>(rotation % out.select_items.size()),
+                out.select_items.end());
+  }
+  if (!out.predicates.empty()) {
+    std::rotate(out.predicates.begin(),
+                out.predicates.begin() +
+                    static_cast<long>(rotation % out.predicates.size()),
+                out.predicates.end());
+  }
+  return out;
+}
+
+/// Variant of a global family for one account: clause rotations derived
+/// from the account index (accounts sharing a rotation pair stay
+/// indistinguishable even to order-sensitive models — a few such ties are
+/// realistic and expected).
+QueryTemplate AccountFamilyVariant(const QueryTemplate& family,
+                                   int account_index) {
+  size_t n_sel = std::max<size_t>(1, family.select_items.size());
+  size_t sel_rot = static_cast<size_t>(account_index) % n_sel;
+  size_t pred_rot = (static_cast<size_t>(account_index) / n_sel) %
+                    std::max<size_t>(1, family.predicates.size());
+  QueryTemplate out = OrderVariant(family, sel_rot);
+  if (!out.predicates.empty()) {
+    std::rotate(out.predicates.begin(),
+                out.predicates.begin() +
+                    static_cast<long>(pred_rot % out.predicates.size()),
+                out.predicates.end());
+  }
+  return out;
+}
+
+/// Builds the global query families shared across tenants: wide SELECTs
+/// over generically named tables with 5 select items and 3 predicates, so
+/// the (select, predicate) rotation grid offers 15 distinguishable
+/// variants — enough to give each of the paper's 13 accounts its own.
+std::vector<QueryTemplate> MakeGlobalFamilies(int count, uint64_t seed) {
+  util::Rng rng(seed);
+  // A plain shared schema: generic table names, no account tags.
+  SynthSchema schema = MakeSchema("", /*num_tables=*/8,
+                                  /*shared_table_fraction=*/1.0, rng);
+  std::vector<QueryTemplate> families;
+  families.reserve(static_cast<size_t>(count));
+  for (int f = 0; f < count; ++f) {
+    const SynthTable& t0 =
+        schema.tables[static_cast<size_t>(f) % schema.tables.size()];
+    QueryTemplate tpl;
+    std::vector<size_t> cols(t0.columns.size());
+    for (size_t i = 0; i < cols.size(); ++i) cols[i] = i;
+    rng.Shuffle(cols);
+    for (size_t i = 0; i < cols.size() && tpl.select_items.size() < 5; ++i) {
+      tpl.select_items.push_back(t0.columns[cols[i]].name);
+    }
+    while (tpl.select_items.size() < 5) {
+      tpl.select_items.push_back(t0.columns[0].name + "_v");
+    }
+    tpl.from_clause = "FROM " + t0.name;
+    for (int p = 0; p < 3; ++p) {
+      const SynthColumn& col = t0.columns[rng.NextUint64(t0.columns.size())];
+      tpl.predicates.emplace_back(
+          StrFormat("%s %s ", col.name.c_str(), OpFor(col.kind, rng)),
+          SlotFor(col.kind));
+    }
+    tpl.base_runtime = std::exp(rng.Gaussian(0.0, 0.5));
+    tpl.base_memory = std::exp(rng.Gaussian(3.5, 0.5));
+    families.push_back(std::move(tpl));
+  }
+  return families;
+}
+
+}  // namespace
+
+std::vector<SnowflakeGenerator::AccountSpec>
+SnowflakeGenerator::Table2Accounts() {
+  // Paper Table 2 rows: {#queries, #users, accuracy}. Sizes scaled by 1/20.
+  // The three large low-accuracy accounts get high shared-query rates; the
+  // high-accuracy accounts get none or little.
+  struct Row {
+    int queries;
+    int users;
+    double shared_rate;
+  };
+  constexpr Row kRows[] = {
+      {73881 / 20, 28, 0.62}, {55333 / 20, 10, 0.72}, {18487 / 20, 46, 0.75},
+      {5471 / 20, 21, 0.03},  {4213 / 20, 6, 0.45},   {3894 / 20, 12, 0.00},
+      {3373 / 20, 9, 0.00},   {2867 / 20, 6, 0.00},   {1953 / 20, 15, 0.10},
+      {1924 / 20, 4, 0.02},   {1776 / 20, 9, 0.05},   {1699 / 20, 5, 0.00},
+      {1108 / 20, 12, 0.02},
+  };
+  std::vector<AccountSpec> specs;
+  int i = 0;
+  for (const Row& row : kRows) {
+    AccountSpec spec;
+    spec.name = StrFormat("acct%02d", i++);
+    spec.num_users = row.users;
+    spec.num_queries = row.queries;
+    spec.shared_query_rate = row.shared_rate;
+    spec.num_tables = 6;
+    spec.shared_table_fraction = 0.8;
+    // Enough templates that each user can have a distinctive repertoire.
+    spec.templates_per_account = std::max(8, row.users * 2);
+    spec.templates_per_user = 3;
+    spec.shared_pool_size = std::max(6, row.users);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::vector<SnowflakeGenerator::AccountSpec>
+SnowflakeGenerator::UniformAccounts(int num_accounts, int queries_per_account,
+                                    int users_per_account) {
+  std::vector<AccountSpec> specs;
+  for (int i = 0; i < num_accounts; ++i) {
+    AccountSpec spec;
+    spec.name = StrFormat("train%02d", i);
+    spec.num_users = users_per_account;
+    spec.num_queries = queries_per_account;
+    spec.shared_query_rate = 0.1;
+    spec.shared_table_fraction = 0.8;
+    spec.templates_per_account = std::max(8, users_per_account * 2);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+Workload SnowflakeGenerator::Generate() const {
+  util::Rng rng(options_.seed);
+  std::vector<LabeledQuery> all;
+
+  // Global query families shared across tenants (see AccountSpec).
+  int max_families = 0;
+  for (const AccountSpec& spec : options_.accounts) {
+    max_families = std::max(max_families, spec.global_family_templates);
+  }
+  std::vector<QueryTemplate> families =
+      MakeGlobalFamilies(max_families, options_.seed ^ 0xfa111e5ULL);
+
+  int account_index = 0;
+  for (const AccountSpec& spec : options_.accounts) {
+    util::Rng acct_rng = rng.Fork();
+    SynthSchema schema = MakeSchema(spec.name, spec.num_tables,
+                                    spec.shared_table_fraction, acct_rng);
+
+    std::vector<QueryTemplate> templates;
+    templates.reserve(static_cast<size_t>(spec.templates_per_account));
+    for (int t = 0; t < spec.templates_per_account; ++t) {
+      templates.push_back(MakeTemplate(schema, acct_rng));
+    }
+    // Colliding pairs: odd-indexed templates become order variants of
+    // their predecessor (same bag, different sequence).
+    for (size_t t = 1; t < templates.size(); t += 2) {
+      if (acct_rng.Bernoulli(spec.colliding_pair_rate)) {
+        size_t rotation = 1 + acct_rng.NextUint64(3);
+        templates[t] = OrderVariant(templates[t - 1], rotation);
+      }
+    }
+    // Global families, rotated per account.
+    for (int f = 0; f < spec.global_family_templates &&
+                    f < static_cast<int>(families.size());
+         ++f) {
+      templates.push_back(
+          AccountFamilyVariant(families[static_cast<size_t>(f)],
+                               account_index));
+    }
+
+    // Frozen shared texts: instantiated once (neutral style), reused
+    // verbatim by any user — the property that makes those users nearly
+    // indistinguishable.
+    std::vector<size_t> shared_template_ids;
+    std::vector<std::string> shared_texts;
+    size_t family_count = static_cast<size_t>(
+        std::min<int>(spec.global_family_templates,
+                      static_cast<int>(families.size())));
+    size_t own_template_count = templates.size() - family_count;
+    for (int s = 0; s < spec.shared_pool_size; ++s) {
+      // Shared dashboards are disproportionately built on the global
+      // families (the same dashboards exist at many tenants) — that is
+      // what makes their texts collide across accounts up to rotation.
+      size_t tid;
+      if (family_count > 0 && acct_rng.Bernoulli(0.6)) {
+        tid = own_template_count + acct_rng.NextUint64(family_count);
+      } else {
+        tid = acct_rng.NextUint64(own_template_count);
+      }
+      shared_template_ids.push_back(tid);
+      shared_texts.push_back(templates[tid].Instantiate(acct_rng, {}));
+    }
+
+    // Per-user repertoires (Zipf-weighted template subsets) and styles.
+    struct UserProfile {
+      std::string name;
+      std::vector<size_t> template_ids;
+      std::vector<double> weights;
+      /// User-specific Zipf preferences over the account's shared-text
+      /// pool: real users don't sample shared dashboards uniformly, which
+      /// is why the paper's repetitive accounts still show ~30-50% user
+      /// accuracy rather than chance.
+      std::vector<double> shared_weights;
+      UserStyle style;
+    };
+    std::vector<UserProfile> users;
+    // Template layout: [0, own_template_count) account templates,
+    // [own_template_count, family_end) global-family variants, and
+    // user-private templates appended at the tail below.
+    const size_t family_end = templates.size();
+    for (int u = 0; u < spec.num_users; ++u) {
+      UserProfile profile;
+      profile.name = StrFormat("%s_user%02d", spec.name.c_str(), u);
+      // Repertoire: a Zipf-weighted subset of the account's own templates
+      // plus one shared global-family template (dashboards everyone runs).
+      std::vector<size_t> ids(own_template_count);
+      for (size_t i = 0; i < ids.size(); ++i) ids[i] = i;
+      acct_rng.Shuffle(ids);
+      int n = std::min<int>(spec.templates_per_user,
+                            static_cast<int>(ids.size()));
+      for (int k = 0; k < n; ++k) {
+        profile.template_ids.push_back(ids[static_cast<size_t>(k)]);
+        profile.weights.push_back(1.0 / static_cast<double>(k + 1));
+      }
+      if (own_template_count < family_end) {
+        size_t family_id =
+            own_template_count +
+            acct_rng.NextUint64(family_end - own_template_count);
+        profile.template_ids.push_back(family_id);
+        profile.weights.push_back(0.5);
+      }
+      // User-private ad-hoc templates. Users mostly derive their personal
+      // variants from account queries (copy-paste-and-reorder), so most
+      // private templates are ORDER VARIANTS of an account template —
+      // bag-identical to it, distinguishable only by token order. A
+      // minority are genuinely new queries.
+      for (int p = 0; p < spec.private_templates_per_user; ++p) {
+        if (own_template_count > 0 && acct_rng.Bernoulli(0.7)) {
+          size_t base = acct_rng.NextUint64(own_template_count);
+          templates.push_back(
+              OrderVariant(templates[base], 1 + acct_rng.NextUint64(4)));
+        } else {
+          templates.push_back(MakeTemplate(schema, acct_rng));
+        }
+        profile.template_ids.push_back(templates.size() - 1);
+        profile.weights.push_back(2.0 / (p + 1.0));
+      }
+      if (!shared_texts.empty()) {
+        // Steep (quadratic Zipf) per-user preference over the pool.
+        profile.shared_weights.resize(shared_texts.size());
+        for (size_t s = 0; s < shared_texts.size(); ++s) {
+          profile.shared_weights[s] =
+              1.0 / (static_cast<double>(s + 1) * static_cast<double>(s + 1));
+        }
+        acct_rng.Shuffle(profile.shared_weights);
+      }
+      // Styles only ADD tokens (visible to any embedder); clause rotations
+      // are reserved for colliding pairs / family variants so the bag vs
+      // order distinction stays clean.
+      profile.style.use_limit = acct_rng.Bernoulli(0.3);
+      profile.style.order_by_first = acct_rng.Bernoulli(0.3);
+      users.push_back(std::move(profile));
+    }
+
+    const std::string cluster = StrFormat(
+        "cluster%d", account_index % std::max(1, options_.num_clusters));
+    for (int qi = 0; qi < spec.num_queries; ++qi) {
+      const UserProfile& user = users[acct_rng.NextUint64(users.size())];
+      LabeledQuery q;
+      q.dialect = sql::Dialect::kSnowflake;
+      q.account = spec.name;
+      q.user = user.name;
+      q.cluster = cluster;
+
+      size_t tid;
+      if (acct_rng.Bernoulli(spec.shared_query_rate) &&
+          !shared_texts.empty()) {
+        size_t s = acct_rng.WeightedIndex(user.shared_weights);
+        q.text = shared_texts[s];
+        tid = shared_template_ids[s];
+      } else {
+        tid = user.template_ids[acct_rng.WeightedIndex(user.weights)];
+        q.text = templates[tid].Instantiate(acct_rng, user.style);
+      }
+      const QueryTemplate& tpl = templates[tid];
+      q.template_id = static_cast<int>(tid);
+      q.runtime_seconds =
+          tpl.base_runtime * std::exp(acct_rng.Gaussian(0.0, 0.3));
+      q.memory_mb = tpl.base_memory * std::exp(acct_rng.Gaussian(0.0, 0.2));
+      if (acct_rng.Bernoulli(tpl.error_rate)) q.error_code = tpl.error_code;
+      all.push_back(std::move(q));
+    }
+    ++account_index;
+  }
+
+  rng.Shuffle(all);
+  int64_t clock = DaysFromCivil(2018, 9, 1) * 86400;
+  for (auto& q : all) {
+    q.timestamp = clock;
+    clock += static_cast<int64_t>(rng.UniformInt(1, 10));
+  }
+  return Workload(std::move(all));
+}
+
+}  // namespace querc::workload

@@ -1,0 +1,479 @@
+#include "workload/tpch_gen.h"
+
+#include <array>
+
+#include "util/string_util.h"
+
+namespace querc::workload {
+
+using util::StrFormat;
+
+namespace {
+
+constexpr std::array<const char*, 5> kSegments = {
+    "BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"};
+
+constexpr std::array<const char*, 5> kRegions = {"AFRICA", "AMERICA", "ASIA",
+                                                 "EUROPE", "MIDDLE EAST"};
+
+constexpr std::array<const char*, 25> kNations = {
+    "ALGERIA", "ARGENTINA", "BRAZIL",  "CANADA",       "EGYPT",
+    "ETHIOPIA", "FRANCE",   "GERMANY", "INDIA",        "INDONESIA",
+    "IRAN",     "IRAQ",     "JAPAN",   "JORDAN",       "KENYA",
+    "MOROCCO",  "MOZAMBIQUE", "PERU",  "CHINA",        "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+
+constexpr std::array<const char*, 6> kTypeSyllable1 = {
+    "STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"};
+constexpr std::array<const char*, 5> kTypeSyllable2 = {
+    "ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"};
+constexpr std::array<const char*, 5> kTypeSyllable3 = {"TIN", "NICKEL",
+                                                       "BRASS", "STEEL",
+                                                       "COPPER"};
+
+constexpr std::array<const char*, 5> kContainerSize = {"SM", "LG", "MED",
+                                                       "JUMBO", "WRAP"};
+constexpr std::array<const char*, 8> kContainerType = {
+    "CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"};
+
+constexpr std::array<const char*, 7> kShipModes = {
+    "REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"};
+
+constexpr std::array<const char*, 16> kColors = {
+    "almond", "antique", "aquamarine", "azure",  "beige",  "bisque",
+    "black",  "blanched", "blue",      "blush",  "brown",  "burlywood",
+    "chiffon", "chocolate", "coral",   "cornflower"};
+
+constexpr std::array<const char*, 5> kPriorities = {
+    "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"};
+
+template <typename Array>
+const char* Pick(const Array& values, util::Rng& rng) {
+  return values[static_cast<size_t>(rng.NextUint64(values.size()))];
+}
+
+std::string Brand(util::Rng& rng) {
+  return StrFormat("Brand#%d%d", static_cast<int>(rng.UniformInt(1, 5)),
+                   static_cast<int>(rng.UniformInt(1, 5)));
+}
+
+std::string Type(util::Rng& rng) {
+  return StrFormat("%s %s %s", Pick(kTypeSyllable1, rng),
+                   Pick(kTypeSyllable2, rng), Pick(kTypeSyllable3, rng));
+}
+
+std::string Container(util::Rng& rng) {
+  return StrFormat("%s %s", Pick(kContainerSize, rng),
+                   Pick(kContainerType, rng));
+}
+
+/// Random date 'YYYY-01-01' plus a uniform month offset within the TPC-H
+/// population window.
+std::string DateIn(util::Rng& rng, int year_lo, int year_hi) {
+  int year = static_cast<int>(rng.UniformInt(year_lo, year_hi));
+  int month = static_cast<int>(rng.UniformInt(1, 12));
+  int day = static_cast<int>(rng.UniformInt(1, 28));
+  return FormatDate(DaysFromCivil(year, month, day));
+}
+
+std::string FirstOfMonth(util::Rng& rng, int year_lo, int year_hi) {
+  int year = static_cast<int>(rng.UniformInt(year_lo, year_hi));
+  int month = static_cast<int>(rng.UniformInt(1, 12));
+  return FormatDate(DaysFromCivil(year, month, 1));
+}
+
+std::string PlusMonths(const std::string& iso, int months) {
+  int y = std::stoi(iso.substr(0, 4));
+  int m = std::stoi(iso.substr(5, 2));
+  int d = std::stoi(iso.substr(8, 2));
+  int total = (y * 12 + (m - 1)) + months;
+  return FormatDate(DaysFromCivil(total / 12, total % 12 + 1, d));
+}
+
+std::string PlusDays(const std::string& iso, int days) {
+  int y = std::stoi(iso.substr(0, 4));
+  int m = std::stoi(iso.substr(5, 2));
+  int d = std::stoi(iso.substr(8, 2));
+  return FormatDate(DaysFromCivil(y, m, d) + days);
+}
+
+}  // namespace
+
+int64_t DaysFromCivil(int y, int m, int d) {
+  // Howard Hinnant's civil-from-days inverse.
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2u) / 5u +
+      static_cast<unsigned>(d) - 1u;
+  const unsigned doe = yoe * 365u + yoe / 4u - yoe / 100u + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* year, int* month, int* day) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *day = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  *month = static_cast<int>(mp < 10 ? mp + 3 : mp - 9);
+  *year = static_cast<int>(y + (*month <= 2));
+}
+
+std::string FormatDate(int64_t days) {
+  int y, m, d;
+  CivilFromDays(days, &y, &m, &d);
+  return StrFormat("%04d-%02d-%02d", y, m, d);
+}
+
+std::string TpchGenerator::Instantiate(int q, util::Rng& rng) {
+  switch (q) {
+    case 1: {
+      int delta = static_cast<int>(rng.UniformInt(60, 120));
+      std::string cutoff = PlusDays("1998-12-01", -delta);
+      return StrFormat(
+          "SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty, "
+          "SUM(l_extendedprice) AS sum_base_price, "
+          "SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price, "
+          "SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS "
+          "sum_charge, AVG(l_quantity) AS avg_qty, AVG(l_extendedprice) AS "
+          "avg_price, AVG(l_discount) AS avg_disc, COUNT(*) AS count_order "
+          "FROM lineitem WHERE l_shipdate <= '%s' "
+          "GROUP BY l_returnflag, l_linestatus "
+          "ORDER BY l_returnflag, l_linestatus",
+          cutoff.c_str());
+    }
+    case 2: {
+      int size = static_cast<int>(rng.UniformInt(1, 50));
+      const char* syl3 = Pick(kTypeSyllable3, rng);
+      const char* region = Pick(kRegions, rng);
+      return StrFormat(
+          "SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, "
+          "s_phone, s_comment FROM part, supplier, partsupp, nation, region "
+          "WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey AND "
+          "p_size = %d AND p_type LIKE '%%%s' AND s_nationkey = n_nationkey "
+          "AND n_regionkey = r_regionkey AND r_name = '%s' AND "
+          "ps_supplycost = (SELECT MIN(ps_supplycost) FROM partsupp, "
+          "supplier, nation, region WHERE p_partkey = ps_partkey AND "
+          "s_suppkey = ps_suppkey AND s_nationkey = n_nationkey AND "
+          "n_regionkey = r_regionkey AND r_name = '%s') "
+          "ORDER BY s_acctbal DESC, n_name, s_name, p_partkey",
+          size, syl3, region, region);
+    }
+    case 3: {
+      const char* segment = Pick(kSegments, rng);
+      std::string date = DateIn(rng, 1995, 1995);
+      return StrFormat(
+          "SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS "
+          "revenue, o_orderdate, o_shippriority FROM customer, orders, "
+          "lineitem WHERE c_mktsegment = '%s' AND c_custkey = o_custkey AND "
+          "l_orderkey = o_orderkey AND o_orderdate < '%s' AND l_shipdate > "
+          "'%s' GROUP BY l_orderkey, o_orderdate, o_shippriority "
+          "ORDER BY revenue DESC, o_orderdate",
+          segment, date.c_str(), date.c_str());
+    }
+    case 4: {
+      std::string date = FirstOfMonth(rng, 1993, 1997);
+      std::string hi = PlusMonths(date, 3);
+      return StrFormat(
+          "SELECT o_orderpriority, COUNT(*) AS order_count FROM orders "
+          "WHERE o_orderdate >= '%s' AND o_orderdate < '%s' AND EXISTS "
+          "(SELECT * FROM lineitem WHERE l_orderkey = o_orderkey AND "
+          "l_commitdate < l_receiptdate) GROUP BY o_orderpriority "
+          "ORDER BY o_orderpriority",
+          date.c_str(), hi.c_str());
+    }
+    case 5: {
+      const char* region = Pick(kRegions, rng);
+      std::string date = FormatDate(
+          DaysFromCivil(static_cast<int>(rng.UniformInt(1993, 1997)), 1, 1));
+      std::string hi = PlusMonths(date, 12);
+      return StrFormat(
+          "SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue "
+          "FROM customer, orders, lineitem, supplier, nation, region WHERE "
+          "c_custkey = o_custkey AND l_orderkey = o_orderkey AND l_suppkey = "
+          "s_suppkey AND c_nationkey = s_nationkey AND s_nationkey = "
+          "n_nationkey AND n_regionkey = r_regionkey AND r_name = '%s' AND "
+          "o_orderdate >= '%s' AND o_orderdate < '%s' GROUP BY n_name "
+          "ORDER BY revenue DESC",
+          region, date.c_str(), hi.c_str());
+    }
+    case 6: {
+      std::string date = FormatDate(
+          DaysFromCivil(static_cast<int>(rng.UniformInt(1993, 1997)), 1, 1));
+      std::string hi = PlusMonths(date, 12);
+      double discount = 0.02 + 0.01 * static_cast<double>(rng.UniformInt(0, 7));
+      int quantity = static_cast<int>(rng.UniformInt(24, 25));
+      return StrFormat(
+          "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem "
+          "WHERE l_shipdate >= '%s' AND l_shipdate < '%s' AND l_discount "
+          "BETWEEN %.2f AND %.2f AND l_quantity < %d",
+          date.c_str(), hi.c_str(), discount - 0.01, discount + 0.01,
+          quantity);
+    }
+    case 7: {
+      const char* n1 = Pick(kNations, rng);
+      const char* n2 = Pick(kNations, rng);
+      return StrFormat(
+          "SELECT supp_nation, cust_nation, l_year, SUM(volume) AS revenue "
+          "FROM (SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation, "
+          "l_shipdate AS l_year, l_extendedprice * (1 - l_discount) AS "
+          "volume FROM supplier, lineitem, orders, customer, nation n1, "
+          "nation n2 WHERE s_suppkey = l_suppkey AND o_orderkey = l_orderkey "
+          "AND c_custkey = o_custkey AND s_nationkey = n1.n_nationkey AND "
+          "c_nationkey = n2.n_nationkey AND n1.n_name = '%s' AND n2.n_name = "
+          "'%s' AND l_shipdate BETWEEN '1995-01-01' AND '1996-12-31') AS "
+          "shipping GROUP BY supp_nation, cust_nation, l_year "
+          "ORDER BY supp_nation, cust_nation, l_year",
+          n1, n2);
+    }
+    case 8: {
+      const char* nation = Pick(kNations, rng);
+      const char* region = Pick(kRegions, rng);
+      std::string type = Type(rng);
+      return StrFormat(
+          "SELECT o_year, SUM(volume) AS mkt_share FROM (SELECT o_orderdate "
+          "AS o_year, l_extendedprice * (1 - l_discount) AS volume, "
+          "n2.n_name AS nation FROM part, supplier, lineitem, orders, "
+          "customer, nation n1, nation n2, region WHERE p_partkey = "
+          "l_partkey AND s_suppkey = l_suppkey AND l_orderkey = o_orderkey "
+          "AND o_custkey = c_custkey AND c_nationkey = n1.n_nationkey AND "
+          "n1.n_regionkey = r_regionkey AND r_name = '%s' AND s_nationkey = "
+          "n2.n_nationkey AND o_orderdate BETWEEN '1995-01-01' AND "
+          "'1996-12-31' AND p_type = '%s' AND n2.n_name = '%s') AS "
+          "all_nations GROUP BY o_year ORDER BY o_year",
+          region, type.c_str(), nation);
+    }
+    case 9: {
+      const char* color = Pick(kColors, rng);
+      return StrFormat(
+          "SELECT nation, o_year, SUM(amount) AS sum_profit FROM (SELECT "
+          "n_name AS nation, o_orderdate AS o_year, l_extendedprice * (1 - "
+          "l_discount) - ps_supplycost * l_quantity AS amount FROM part, "
+          "supplier, lineitem, partsupp, orders, nation WHERE s_suppkey = "
+          "l_suppkey AND ps_suppkey = l_suppkey AND ps_partkey = l_partkey "
+          "AND p_partkey = l_partkey AND o_orderkey = l_orderkey AND "
+          "s_nationkey = n_nationkey AND p_name LIKE '%%%s%%') AS profit "
+          "GROUP BY nation, o_year ORDER BY nation, o_year DESC",
+          color);
+    }
+    case 10: {
+      std::string date = FirstOfMonth(rng, 1993, 1994);
+      std::string hi = PlusMonths(date, 3);
+      return StrFormat(
+          "SELECT c_custkey, c_name, SUM(l_extendedprice * (1 - l_discount)) "
+          "AS revenue, c_acctbal, n_name, c_address, c_phone, c_comment FROM "
+          "customer, orders, lineitem, nation WHERE c_custkey = o_custkey "
+          "AND l_orderkey = o_orderkey AND o_orderdate >= '%s' AND "
+          "o_orderdate < '%s' AND l_returnflag = 'R' AND c_nationkey = "
+          "n_nationkey GROUP BY c_custkey, c_name, c_acctbal, c_phone, "
+          "n_name, c_address, c_comment ORDER BY revenue DESC",
+          date.c_str(), hi.c_str());
+    }
+    case 11: {
+      const char* nation = Pick(kNations, rng);
+      return StrFormat(
+          "SELECT ps_partkey, SUM(ps_supplycost * ps_availqty) AS value "
+          "FROM partsupp, supplier, nation WHERE ps_suppkey = s_suppkey AND "
+          "s_nationkey = n_nationkey AND n_name = '%s' GROUP BY ps_partkey "
+          "HAVING SUM(ps_supplycost * ps_availqty) > (SELECT "
+          "SUM(ps_supplycost * ps_availqty) * 0.0001 FROM partsupp, "
+          "supplier, nation WHERE ps_suppkey = s_suppkey AND s_nationkey = "
+          "n_nationkey AND n_name = '%s') ORDER BY value DESC",
+          nation, nation);
+    }
+    case 12: {
+      const char* m1 = Pick(kShipModes, rng);
+      const char* m2 = Pick(kShipModes, rng);
+      std::string date = FormatDate(
+          DaysFromCivil(static_cast<int>(rng.UniformInt(1993, 1997)), 1, 1));
+      std::string hi = PlusMonths(date, 12);
+      return StrFormat(
+          "SELECT l_shipmode, SUM(CASE WHEN o_orderpriority = '1-URGENT' OR "
+          "o_orderpriority = '2-HIGH' THEN 1 ELSE 0 END) AS high_line_count, "
+          "SUM(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority "
+          "<> '2-HIGH' THEN 1 ELSE 0 END) AS low_line_count FROM orders, "
+          "lineitem WHERE o_orderkey = l_orderkey AND l_shipmode IN ('%s', "
+          "'%s') AND l_commitdate < l_receiptdate AND l_shipdate < "
+          "l_commitdate AND l_receiptdate >= '%s' AND l_receiptdate < '%s' "
+          "GROUP BY l_shipmode ORDER BY l_shipmode",
+          m1, m2, date.c_str(), hi.c_str());
+    }
+    case 13: {
+      const char* w1 = rng.Bernoulli(0.5) ? "special" : "pending";
+      const char* w2 = rng.Bernoulli(0.5) ? "packages" : "requests";
+      return StrFormat(
+          "SELECT c_count, COUNT(*) AS custdist FROM (SELECT c_custkey, "
+          "COUNT(o_orderkey) AS c_count FROM customer LEFT OUTER JOIN orders "
+          "ON c_custkey = o_custkey AND o_comment NOT LIKE '%%%s%%%s%%' "
+          "GROUP BY c_custkey) AS c_orders GROUP BY c_count "
+          "ORDER BY custdist DESC, c_count DESC",
+          w1, w2);
+    }
+    case 14: {
+      std::string date = FirstOfMonth(rng, 1993, 1997);
+      std::string hi = PlusMonths(date, 1);
+      return StrFormat(
+          "SELECT 100.00 * SUM(CASE WHEN p_type LIKE 'PROMO%%' THEN "
+          "l_extendedprice * (1 - l_discount) ELSE 0 END) / "
+          "SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue FROM "
+          "lineitem, part WHERE l_partkey = p_partkey AND l_shipdate >= "
+          "'%s' AND l_shipdate < '%s'",
+          date.c_str(), hi.c_str());
+    }
+    case 15: {
+      std::string date = FirstOfMonth(rng, 1993, 1997);
+      std::string hi = PlusMonths(date, 3);
+      return StrFormat(
+          "SELECT s_suppkey, s_name, s_address, s_phone, total_revenue FROM "
+          "supplier, (SELECT l_suppkey AS supplier_no, SUM(l_extendedprice * "
+          "(1 - l_discount)) AS total_revenue FROM lineitem WHERE l_shipdate "
+          ">= '%s' AND l_shipdate < '%s' GROUP BY l_suppkey) AS revenue "
+          "WHERE s_suppkey = supplier_no ORDER BY s_suppkey",
+          date.c_str(), hi.c_str());
+    }
+    case 16: {
+      std::string brand = Brand(rng);
+      const char* syl1 = Pick(kTypeSyllable1, rng);
+      int s1 = static_cast<int>(rng.UniformInt(1, 10));
+      int s2 = static_cast<int>(rng.UniformInt(11, 20));
+      int s3 = static_cast<int>(rng.UniformInt(21, 30));
+      int s4 = static_cast<int>(rng.UniformInt(31, 40));
+      return StrFormat(
+          "SELECT p_brand, p_type, p_size, COUNT(DISTINCT ps_suppkey) AS "
+          "supplier_cnt FROM partsupp, part WHERE p_partkey = ps_partkey AND "
+          "p_brand <> '%s' AND p_type NOT LIKE '%s%%' AND p_size IN (%d, %d, "
+          "%d, %d) AND ps_suppkey NOT IN (SELECT s_suppkey FROM supplier "
+          "WHERE s_comment LIKE '%%Customer%%Complaints%%') GROUP BY "
+          "p_brand, p_type, p_size ORDER BY supplier_cnt DESC, p_brand, "
+          "p_type, p_size",
+          brand.c_str(), syl1, s1, s2, s3, s4);
+    }
+    case 17: {
+      std::string brand = Brand(rng);
+      std::string container = Container(rng);
+      return StrFormat(
+          "SELECT SUM(l_extendedprice) / 7.0 AS avg_yearly FROM lineitem, "
+          "part WHERE p_partkey = l_partkey AND p_brand = '%s' AND "
+          "p_container = '%s' AND l_quantity < (SELECT 0.2 * AVG(l_quantity) "
+          "FROM lineitem WHERE l_partkey = p_partkey)",
+          brand.c_str(), container.c_str());
+    }
+    case 18: {
+      int quantity = static_cast<int>(rng.UniformInt(312, 315));
+      return StrFormat(
+          "SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, "
+          "SUM(l_quantity) FROM customer, orders, lineitem WHERE o_orderkey "
+          "IN (SELECT l_orderkey FROM lineitem GROUP BY l_orderkey HAVING "
+          "SUM(l_quantity) > %d) AND c_custkey = o_custkey AND o_orderkey = "
+          "l_orderkey GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, "
+          "o_totalprice ORDER BY o_totalprice DESC, o_orderdate",
+          quantity);
+    }
+    case 19: {
+      std::string b1 = Brand(rng);
+      std::string b2 = Brand(rng);
+      std::string b3 = Brand(rng);
+      int q1 = static_cast<int>(rng.UniformInt(1, 10));
+      int q2 = static_cast<int>(rng.UniformInt(10, 20));
+      int q3 = static_cast<int>(rng.UniformInt(20, 30));
+      return StrFormat(
+          "SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue FROM "
+          "lineitem, part WHERE (p_partkey = l_partkey AND p_brand = '%s' "
+          "AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG') AND "
+          "l_quantity >= %d AND l_quantity <= %d AND p_size BETWEEN 1 AND 5 "
+          "AND l_shipmode IN ('AIR', 'AIR REG') AND l_shipinstruct = "
+          "'DELIVER IN PERSON') OR (p_partkey = l_partkey AND p_brand = "
+          "'%s' AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED "
+          "PACK') AND l_quantity >= %d AND l_quantity <= %d AND p_size "
+          "BETWEEN 1 AND 10 AND l_shipmode IN ('AIR', 'AIR REG') AND "
+          "l_shipinstruct = 'DELIVER IN PERSON') OR (p_partkey = l_partkey "
+          "AND p_brand = '%s' AND p_container IN ('LG CASE', 'LG BOX', 'LG "
+          "PACK', 'LG PKG') AND l_quantity >= %d AND l_quantity <= %d AND "
+          "p_size BETWEEN 1 AND 15 AND l_shipmode IN ('AIR', 'AIR REG') AND "
+          "l_shipinstruct = 'DELIVER IN PERSON')",
+          b1.c_str(), q1, q1 + 10, b2.c_str(), q2, q2 + 10, b3.c_str(), q3,
+          q3 + 10);
+    }
+    case 20: {
+      const char* color = Pick(kColors, rng);
+      const char* nation = Pick(kNations, rng);
+      std::string date = FormatDate(
+          DaysFromCivil(static_cast<int>(rng.UniformInt(1993, 1997)), 1, 1));
+      std::string hi = PlusMonths(date, 12);
+      return StrFormat(
+          "SELECT s_name, s_address FROM supplier, nation WHERE s_suppkey IN "
+          "(SELECT ps_suppkey FROM partsupp WHERE ps_partkey IN (SELECT "
+          "p_partkey FROM part WHERE p_name LIKE '%s%%') AND ps_availqty > "
+          "(SELECT 0.5 * SUM(l_quantity) FROM lineitem WHERE l_partkey = "
+          "ps_partkey AND l_suppkey = ps_suppkey AND l_shipdate >= '%s' AND "
+          "l_shipdate < '%s')) AND s_nationkey = n_nationkey AND n_name = "
+          "'%s' ORDER BY s_name",
+          color, date.c_str(), hi.c_str(), nation);
+    }
+    case 21: {
+      const char* nation = Pick(kNations, rng);
+      return StrFormat(
+          "SELECT s_name, COUNT(*) AS numwait FROM supplier, lineitem l1, "
+          "orders, nation WHERE s_suppkey = l1.l_suppkey AND o_orderkey = "
+          "l1.l_orderkey AND o_orderstatus = 'F' AND l1.l_receiptdate > "
+          "l1.l_commitdate AND EXISTS (SELECT * FROM lineitem l2 WHERE "
+          "l2.l_orderkey = l1.l_orderkey AND l2.l_suppkey <> l1.l_suppkey) "
+          "AND NOT EXISTS (SELECT * FROM lineitem l3 WHERE l3.l_orderkey = "
+          "l1.l_orderkey AND l3.l_suppkey <> l1.l_suppkey AND "
+          "l3.l_receiptdate > l3.l_commitdate) AND s_nationkey = n_nationkey "
+          "AND n_name = '%s' GROUP BY s_name ORDER BY numwait DESC, s_name",
+          nation);
+    }
+    case 22: {
+      int c1 = static_cast<int>(rng.UniformInt(10, 34));
+      int c2 = static_cast<int>(rng.UniformInt(10, 34));
+      int c3 = static_cast<int>(rng.UniformInt(10, 34));
+      int c4 = static_cast<int>(rng.UniformInt(10, 34));
+      int c5 = static_cast<int>(rng.UniformInt(10, 34));
+      int c6 = static_cast<int>(rng.UniformInt(10, 34));
+      int c7 = static_cast<int>(rng.UniformInt(10, 34));
+      return StrFormat(
+          "SELECT cntrycode, COUNT(*) AS numcust, SUM(c_acctbal) AS "
+          "totacctbal FROM (SELECT SUBSTRING(c_phone, 1, 2) AS cntrycode, "
+          "c_acctbal FROM customer WHERE SUBSTRING(c_phone, 1, 2) IN ('%d', "
+          "'%d', '%d', '%d', '%d', '%d', '%d') AND c_acctbal > (SELECT "
+          "AVG(c_acctbal) FROM customer WHERE c_acctbal > 0.00 AND "
+          "SUBSTRING(c_phone, 1, 2) IN ('%d', '%d', '%d', '%d', '%d', '%d', "
+          "'%d')) AND NOT EXISTS (SELECT * FROM orders WHERE o_custkey = "
+          "c_custkey)) AS custsale GROUP BY cntrycode ORDER BY cntrycode",
+          c1, c2, c3, c4, c5, c6, c7, c1, c2, c3, c4, c5, c6, c7);
+    }
+    default:
+      return "";
+  }
+}
+
+Workload TpchGenerator::Generate() const {
+  util::Rng rng(options_.seed);
+  Workload workload;
+  int64_t clock = DaysFromCivil(2018, 6, 1) * 86400;
+  // Template-major order, matching Figure 4's x-axis where all instances of
+  // a template are adjacent (Q18 occupies positions ~640-680).
+  for (int q = 1; q <= kNumTemplates; ++q) {
+    for (int sweep = 0; sweep < options_.instances_per_template; ++sweep) {
+      LabeledQuery query;
+      query.text = Instantiate(q, rng);
+      query.dialect = sql::Dialect::kSqlServer;
+      query.timestamp = clock;
+      query.user = options_.user;
+      query.account = options_.account;
+      query.cluster = "tpch_cluster";
+      query.template_id = q;
+      clock += static_cast<int64_t>(rng.UniformInt(1, 30));
+      workload.Add(std::move(query));
+    }
+  }
+  return workload;
+}
+
+}  // namespace querc::workload

@@ -1,0 +1,51 @@
+#ifndef QUERC_WORKLOAD_TPCH_GEN_H_
+#define QUERC_WORKLOAD_TPCH_GEN_H_
+
+#include <string>
+
+#include "util/rng.h"
+#include "workload/workload.h"
+
+namespace querc::workload {
+
+/// Generates TPC-H query streams: all 22 templates with parameter
+/// substitution following the spec's value domains (segments, regions,
+/// brands, date windows, ...). Text targets the SQL Server dialect used in
+/// the paper's §5.1 experiment.
+class TpchGenerator {
+ public:
+  struct Options {
+    uint64_t seed = 42;
+    /// Queries are emitted as round-robin template sweeps (1..22, 1..22,
+    /// ...) like the paper's workload of repeated template instances.
+    int instances_per_template = 38;  // ~840 queries total, as in Figure 4
+    /// User id attached to every query (single-tenant workload).
+    std::string user = "tpch";
+    std::string account = "tpch_account";
+  };
+
+  explicit TpchGenerator(const Options& options) : options_(options) {}
+
+  /// Emits the full workload: instances_per_template sweeps over Q1..Q22.
+  Workload Generate() const;
+
+  /// Emits a single instance of template `query_number` (1..22) using
+  /// `rng` for parameter substitution. Returns empty text if out of range.
+  static std::string Instantiate(int query_number, util::Rng& rng);
+
+  static constexpr int kNumTemplates = 22;
+
+ private:
+  Options options_;
+};
+
+/// Date helpers shared with the Snowflake generator (proleptic Gregorian,
+/// days since 1970-01-01).
+int64_t DaysFromCivil(int year, int month, int day);
+void CivilFromDays(int64_t days, int* year, int* month, int* day);
+/// Formats days-since-epoch as 'YYYY-MM-DD' (without quotes).
+std::string FormatDate(int64_t days);
+
+}  // namespace querc::workload
+
+#endif  // QUERC_WORKLOAD_TPCH_GEN_H_

@@ -1,0 +1,53 @@
+#include "workload/workload.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sql/lexer.h"
+#include "sql/normalizer.h"
+
+namespace querc::workload {
+
+std::map<std::string, size_t> Workload::CountBy(
+    const std::string& (*label)(const LabeledQuery&)) const {
+  std::map<std::string, size_t> counts;
+  for (const auto& q : queries_) ++counts[label(q)];
+  return counts;
+}
+
+size_t Workload::DistinctShapes() const {
+  std::unordered_set<std::string> shapes;
+  for (const auto& q : queries_) {
+    sql::LexOptions options;
+    options.dialect = q.dialect;
+    shapes.insert(sql::NormalizedText(sql::LexLenient(q.text, options)));
+  }
+  return shapes.size();
+}
+
+Workload Workload::FilterByAccount(const std::string& account) const {
+  Workload out;
+  for (const auto& q : queries_) {
+    if (q.account == account) out.Add(q);
+  }
+  return out;
+}
+
+double Workload::SharedTextFraction() const {
+  if (queries_.empty()) return 0.0;
+  // text -> set of users
+  std::unordered_map<std::string, std::unordered_set<std::string>> users_by_text;
+  for (const auto& q : queries_) users_by_text[q.text].insert(q.user);
+  size_t shared = 0;
+  for (const auto& q : queries_) {
+    if (users_by_text[q.text].size() > 1) ++shared;
+  }
+  return static_cast<double>(shared) / static_cast<double>(queries_.size());
+}
+
+const std::string& UserOf(const LabeledQuery& q) { return q.user; }
+const std::string& AccountOf(const LabeledQuery& q) { return q.account; }
+const std::string& ClusterOf(const LabeledQuery& q) { return q.cluster; }
+const std::string& ErrorOf(const LabeledQuery& q) { return q.error_code; }
+
+}  // namespace querc::workload

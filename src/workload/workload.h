@@ -1,0 +1,62 @@
+#ifndef QUERC_WORKLOAD_WORKLOAD_H_
+#define QUERC_WORKLOAD_WORKLOAD_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workload/query.h"
+
+namespace querc::workload {
+
+/// An ordered batch of labeled queries plus summary statistics helpers.
+class Workload {
+ public:
+  Workload() = default;
+  explicit Workload(std::vector<LabeledQuery> queries)
+      : queries_(std::move(queries)) {}
+
+  void Add(LabeledQuery q) { queries_.push_back(std::move(q)); }
+  void Append(const Workload& other) {
+    queries_.insert(queries_.end(), other.queries_.begin(),
+                    other.queries_.end());
+  }
+
+  size_t size() const { return queries_.size(); }
+  bool empty() const { return queries_.empty(); }
+  const LabeledQuery& operator[](size_t i) const { return queries_[i]; }
+  LabeledQuery& operator[](size_t i) { return queries_[i]; }
+  const std::vector<LabeledQuery>& queries() const { return queries_; }
+  std::vector<LabeledQuery>& queries() { return queries_; }
+
+  auto begin() const { return queries_.begin(); }
+  auto end() const { return queries_.end(); }
+
+  /// Count of distinct values of a label extractor, e.g. per-account sizes.
+  std::map<std::string, size_t> CountBy(
+      const std::string& (*label)(const LabeledQuery&)) const;
+
+  /// Number of distinct normalized-query fingerprints (literals folded).
+  size_t DistinctShapes() const;
+
+  /// Sub-workload of queries whose account matches.
+  Workload FilterByAccount(const std::string& account) const;
+
+  /// Fraction of queries whose exact text is issued by more than one user
+  /// (the property the paper blames for poor user-prediction accounts).
+  double SharedTextFraction() const;
+
+ private:
+  std::vector<LabeledQuery> queries_;
+};
+
+/// Label extractors compatible with Workload::CountBy.
+const std::string& UserOf(const LabeledQuery& q);
+const std::string& AccountOf(const LabeledQuery& q);
+const std::string& ClusterOf(const LabeledQuery& q);
+const std::string& ErrorOf(const LabeledQuery& q);
+
+}  // namespace querc::workload
+
+#endif  // QUERC_WORKLOAD_WORKLOAD_H_

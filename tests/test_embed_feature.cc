@@ -1,0 +1,96 @@
+#include "embed/feature_embedder.h"
+
+#include <gtest/gtest.h>
+
+#include "embed/embedder.h"
+
+namespace querc::embed {
+namespace {
+
+FeatureEmbedder MakeEmbedder() {
+  FeatureEmbedder::Options options;
+  return FeatureEmbedder(options);
+}
+
+std::vector<std::string> Tokens(const std::string& sql) {
+  return TokenizeForEmbedding(sql, sql::Dialect::kGeneric);
+}
+
+TEST(FeatureEmbedderTest, DimMatchesConfiguration) {
+  FeatureEmbedder::Options options;
+  options.table_hash_buckets = 4;
+  options.column_hash_buckets = 6;
+  FeatureEmbedder e(options);
+  EXPECT_EQ(e.dim(), FeatureEmbedder::FixedFeatureNames().size() + 10);
+  EXPECT_EQ(e.Embed(Tokens("SELECT 1")).size(), e.dim());
+}
+
+TEST(FeatureEmbedderTest, CountsTablesJoinsAndFilters) {
+  FeatureEmbedder e = MakeEmbedder();
+  nn::Vec f = e.RawFeatures(Tokens(
+      "SELECT a FROM t1, t2 WHERE t1.x = t2.y AND t1.k = 5 AND t1.z < 9"));
+  // Feature layout documented by FixedFeatureNames().
+  EXPECT_EQ(f[0], 2.0);   // tables
+  EXPECT_EQ(f[1], 1.0);   // joins
+  EXPECT_EQ(f[10], 1.0);  // eq filters
+  EXPECT_EQ(f[11], 1.0);  // range filters
+}
+
+TEST(FeatureEmbedderTest, GroupByAndAggregates) {
+  FeatureEmbedder e = MakeEmbedder();
+  nn::Vec f = e.RawFeatures(Tokens(
+      "SELECT a, SUM(b), AVG(c) FROM t GROUP BY a ORDER BY a"));
+  EXPECT_EQ(f[2], 1.0);  // group by cols
+  EXPECT_EQ(f[3], 1.0);  // order by cols
+  EXPECT_EQ(f[4], 2.0);  // aggregates
+}
+
+TEST(FeatureEmbedderTest, SubqueryDepthCounted) {
+  FeatureEmbedder e = MakeEmbedder();
+  nn::Vec flat = e.RawFeatures(Tokens("SELECT a FROM t"));
+  nn::Vec nested = e.RawFeatures(Tokens(
+      "SELECT a FROM t WHERE x IN (SELECT y FROM u)"));
+  EXPECT_EQ(flat[16], 1.0);
+  EXPECT_EQ(nested[16], 2.0);
+  EXPECT_EQ(nested[14], 1.0);  // subquery filter
+}
+
+TEST(FeatureEmbedderTest, DistinctTablesHashDifferently) {
+  FeatureEmbedder e = MakeEmbedder();
+  nn::Vec a = e.RawFeatures(Tokens("SELECT x FROM lineitem"));
+  nn::Vec b = e.RawFeatures(Tokens("SELECT x FROM region"));
+  EXPECT_NE(a, b);  // hashed table buckets differ (with high probability)
+}
+
+TEST(FeatureEmbedderTest, TrainScalesFeatures) {
+  FeatureEmbedder e = MakeEmbedder();
+  std::vector<std::vector<std::string>> corpus = {
+      Tokens("SELECT a FROM t"),
+      Tokens("SELECT a, b FROM t, u WHERE t.x = u.y"),
+      Tokens("SELECT SUM(a) FROM t GROUP BY b"),
+  };
+  ASSERT_TRUE(e.Train(corpus).ok());
+  // After scaling, features with nonzero variance change magnitude.
+  nn::Vec raw = e.RawFeatures(corpus[1]);
+  nn::Vec scaled = e.Embed(corpus[1]);
+  EXPECT_EQ(raw.size(), scaled.size());
+  EXPECT_NE(raw, scaled);
+}
+
+TEST(FeatureEmbedderTest, EmptyCorpusTrainFails) {
+  FeatureEmbedder e = MakeEmbedder();
+  EXPECT_FALSE(e.Train({}).ok());
+}
+
+TEST(FeatureEmbedderTest, TokenCountFeature) {
+  FeatureEmbedder e = MakeEmbedder();
+  auto toks = Tokens("SELECT a FROM t");
+  EXPECT_EQ(e.RawFeatures(toks)[17], static_cast<double>(toks.size()));
+}
+
+TEST(FeatureEmbedderTest, FixedFeatureNamesMatchCount) {
+  EXPECT_EQ(FeatureEmbedder::FixedFeatureNames().size(), 18u);
+}
+
+}  // namespace
+}  // namespace querc::embed

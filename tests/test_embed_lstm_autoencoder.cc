@@ -1,0 +1,142 @@
+#include "embed/lstm_autoencoder.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace querc::embed {
+namespace {
+
+std::vector<std::vector<std::string>> TwoGroupCorpus(int per_group = 25) {
+  std::vector<std::vector<std::string>> docs;
+  for (int i = 0; i < per_group; ++i) {
+    docs.push_back({"SELECT", "a", "FROM", "t", "WHERE", "b", "=", "<num>"});
+    docs.push_back({"UPDATE", "u", "SET", "c", "=", "<str>"});
+  }
+  return docs;
+}
+
+LstmAutoencoderEmbedder::Options SmallOptions() {
+  LstmAutoencoderEmbedder::Options options;
+  options.hidden_dim = 12;
+  options.token_dim = 8;
+  options.epochs = 8;
+  options.min_count = 1;
+  options.seed = 33;
+  return options;
+}
+
+TEST(LstmAeTest, TrainsAndEmbeds) {
+  LstmAutoencoderEmbedder embedder(SmallOptions());
+  ASSERT_TRUE(embedder.Train(TwoGroupCorpus()).ok());
+  nn::Vec v = embedder.Embed({"SELECT", "a", "FROM", "t"});
+  EXPECT_EQ(v.size(), 12u);
+}
+
+TEST(LstmAeTest, TrainingLossDecreases) {
+  auto corpus = TwoGroupCorpus();
+  LstmAutoencoderEmbedder::Options short_opts = SmallOptions();
+  short_opts.epochs = 1;
+  LstmAutoencoderEmbedder one_epoch(short_opts);
+  ASSERT_TRUE(one_epoch.Train(corpus).ok());
+
+  LstmAutoencoderEmbedder::Options long_opts = SmallOptions();
+  long_opts.epochs = 10;
+  LstmAutoencoderEmbedder ten_epochs(long_opts);
+  ASSERT_TRUE(ten_epochs.Train(corpus).ok());
+  EXPECT_LT(ten_epochs.last_epoch_loss(), one_epoch.last_epoch_loss());
+}
+
+TEST(LstmAeTest, SimilarQueriesCloserThanDissimilar) {
+  LstmAutoencoderEmbedder::Options options = SmallOptions();
+  options.full_softmax = true;  // exact loss separates the groups faster
+  options.epochs = 25;
+  options.learning_rate = 5e-3;
+  LstmAutoencoderEmbedder embedder(options);
+  ASSERT_TRUE(embedder.Train(TwoGroupCorpus()).ok());
+  nn::Vec s1 = embedder.Embed(
+      {"SELECT", "a", "FROM", "t", "WHERE", "b", "=", "<num>"});
+  nn::Vec s2 = embedder.Embed({"SELECT", "a", "FROM", "t"});
+  nn::Vec u1 = embedder.Embed({"UPDATE", "u", "SET", "c", "=", "<str>"});
+  EXPECT_GT(nn::CosineSimilarity(s1, s2), nn::CosineSimilarity(s1, u1));
+}
+
+TEST(LstmAeTest, EmbedIsDeterministic) {
+  LstmAutoencoderEmbedder embedder(SmallOptions());
+  ASSERT_TRUE(embedder.Train(TwoGroupCorpus()).ok());
+  std::vector<std::string> doc = {"SELECT", "a", "FROM", "t"};
+  EXPECT_EQ(embedder.Embed(doc), embedder.Embed(doc));
+}
+
+TEST(LstmAeTest, FullSoftmaxReconstructsTrainingSequences) {
+  // The autoencoder's defining property (paper Figure 2): reproduce the
+  // input. On a tiny memorizable corpus with full softmax it must recover
+  // most of a training sequence.
+  std::vector<std::vector<std::string>> corpus;
+  for (int i = 0; i < 40; ++i) {
+    corpus.push_back({"SELECT", "a", "FROM", "t"});
+    corpus.push_back({"DROP", "TABLE", "u"});
+  }
+  LstmAutoencoderEmbedder::Options options = SmallOptions();
+  options.full_softmax = true;
+  options.epochs = 30;
+  options.learning_rate = 5e-3;
+  LstmAutoencoderEmbedder embedder(options);
+  ASSERT_TRUE(embedder.Train(corpus).ok());
+  std::vector<std::string> rec = embedder.Reconstruct({"SELECT", "a", "FROM",
+                                                       "t"});
+  ASSERT_FALSE(rec.empty());
+  size_t hits = 0;
+  std::vector<std::string> expected = {"SELECT", "a", "FROM", "t"};
+  for (size_t i = 0; i < std::min(rec.size(), expected.size()); ++i) {
+    if (rec[i] == expected[i]) ++hits;
+  }
+  EXPECT_GE(hits, 3u) << "reconstruction too lossy";
+}
+
+TEST(LstmAeTest, EmptyCorpusFails) {
+  LstmAutoencoderEmbedder embedder(SmallOptions());
+  EXPECT_FALSE(embedder.Train({}).ok());
+}
+
+TEST(LstmAeTest, EmbedBeforeTrainReturnsZeros) {
+  LstmAutoencoderEmbedder embedder(SmallOptions());
+  nn::Vec v = embedder.Embed({"x"});
+  for (double x : v) EXPECT_EQ(x, 0.0);
+}
+
+TEST(LstmAeTest, LongSequencesTruncatedSafely) {
+  LstmAutoencoderEmbedder::Options options = SmallOptions();
+  options.max_sequence = 6;
+  LstmAutoencoderEmbedder embedder(options);
+  std::vector<std::vector<std::string>> corpus;
+  std::vector<std::string> long_doc;
+  for (int i = 0; i < 50; ++i) long_doc.push_back("tok" + std::to_string(i % 9));
+  for (int i = 0; i < 10; ++i) corpus.push_back(long_doc);
+  ASSERT_TRUE(embedder.Train(corpus).ok());
+  EXPECT_EQ(embedder.Embed(long_doc).size(), options.hidden_dim);
+}
+
+TEST(LstmAeTest, SaveLoadPreservesEmbeddings) {
+  LstmAutoencoderEmbedder embedder(SmallOptions());
+  ASSERT_TRUE(embedder.Train(TwoGroupCorpus()).ok());
+  std::stringstream ss;
+  ASSERT_TRUE(embedder.Save(ss).ok());
+  auto loaded = LstmAutoencoderEmbedder::Load(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::vector<std::string> doc = {"SELECT", "a", "FROM", "t"};
+  nn::Vec original = embedder.Embed(doc);
+  nn::Vec restored = loaded->Embed(doc);
+  ASSERT_EQ(original.size(), restored.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(original[i], restored[i], 1e-12);
+  }
+}
+
+TEST(LstmAeTest, LoadRejectsBadMagic) {
+  std::stringstream ss("nope");
+  EXPECT_FALSE(LstmAutoencoderEmbedder::Load(ss).ok());
+}
+
+}  // namespace
+}  // namespace querc::embed

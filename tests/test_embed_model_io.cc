@@ -1,0 +1,80 @@
+#include "embed/model_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "embed/doc2vec.h"
+#include "embed/feature_embedder.h"
+#include "embed/lstm_autoencoder.h"
+
+namespace querc::embed {
+namespace {
+
+std::vector<std::vector<std::string>> Corpus() {
+  std::vector<std::vector<std::string>> docs;
+  for (int i = 0; i < 20; ++i) {
+    docs.push_back({"SELECT", "a", "FROM", "t", "WHERE", "b", "=", "<num>"});
+    docs.push_back({"SELECT", "c", "FROM", "u"});
+  }
+  return docs;
+}
+
+TEST(ModelIoTest, RoundTripsDoc2Vec) {
+  Doc2VecEmbedder::Options options;
+  options.dim = 12;
+  options.epochs = 4;
+  options.min_count = 1;
+  Doc2VecEmbedder embedder(options);
+  ASSERT_TRUE(embedder.Train(Corpus()).ok());
+
+  std::stringstream ss;
+  ASSERT_TRUE(SaveEmbedder(embedder, ss).ok());
+  auto loaded = LoadEmbedder(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->name(), embedder.name());
+  EXPECT_EQ((*loaded)->dim(), embedder.dim());
+  std::vector<std::string> doc = {"SELECT", "a", "FROM", "t"};
+  EXPECT_EQ((*loaded)->Embed(doc), embedder.Embed(doc));
+}
+
+TEST(ModelIoTest, RoundTripsLstm) {
+  LstmAutoencoderEmbedder::Options options;
+  options.hidden_dim = 10;
+  options.token_dim = 8;
+  options.epochs = 2;
+  options.min_count = 1;
+  LstmAutoencoderEmbedder embedder(options);
+  ASSERT_TRUE(embedder.Train(Corpus()).ok());
+
+  std::stringstream ss;
+  ASSERT_TRUE(SaveEmbedder(embedder, ss).ok());
+  auto loaded = LoadEmbedder(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->name(), "lstm-autoencoder");
+  std::vector<std::string> doc = {"SELECT", "a", "FROM", "t"};
+  EXPECT_EQ((*loaded)->Embed(doc), embedder.Embed(doc));
+}
+
+TEST(ModelIoTest, FeatureEmbedderHasNoPersistence) {
+  FeatureEmbedder embedder{FeatureEmbedder::Options{}};
+  std::stringstream ss;
+  EXPECT_EQ(SaveEmbedder(embedder, ss).code(),
+            util::StatusCode::kUnimplemented);
+}
+
+TEST(ModelIoTest, LoadRejectsUnknownMagic) {
+  std::stringstream ss("garbage that is at least eight bytes long");
+  auto loaded = LoadEmbedder(ss);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kCorruption);
+}
+
+TEST(ModelIoTest, FileHelpersReportIoErrors) {
+  FeatureEmbedder embedder{FeatureEmbedder::Options{}};
+  EXPECT_FALSE(SaveEmbedderFile(embedder, "/no/such/dir/m.bin").ok());
+  EXPECT_FALSE(LoadEmbedderFile("/no/such/file.bin").ok());
+}
+
+}  // namespace
+}  // namespace querc::embed

@@ -1,0 +1,76 @@
+#include "embed/tfidf_embedder.h"
+
+#include <gtest/gtest.h>
+
+namespace querc::embed {
+namespace {
+
+std::vector<std::vector<std::string>> Corpus() {
+  std::vector<std::vector<std::string>> docs;
+  for (int i = 0; i < 20; ++i) {
+    docs.push_back({"SELECT", "revenue", "FROM", "sales"});
+    docs.push_back({"SELECT", "clicks", "FROM", "events"});
+  }
+  docs.push_back({"DROP", "TABLE", "rare_table"});
+  return docs;
+}
+
+TEST(TfidfTest, EmbedsToUnitNorm) {
+  TfidfEmbedder embedder{TfidfEmbedder::Options{}};
+  ASSERT_TRUE(embedder.Train(Corpus()).ok());
+  nn::Vec v = embedder.Embed({"SELECT", "revenue", "FROM", "sales"});
+  EXPECT_EQ(v.size(), embedder.dim());
+  EXPECT_NEAR(nn::L2Norm(v), 1.0, 1e-9);
+}
+
+TEST(TfidfTest, OrderInvariant) {
+  TfidfEmbedder embedder{TfidfEmbedder::Options{}};
+  ASSERT_TRUE(embedder.Train(Corpus()).ok());
+  EXPECT_EQ(embedder.Embed({"a", "b", "c"}), embedder.Embed({"c", "a", "b"}));
+}
+
+TEST(TfidfTest, RareTokensWeighHeavier) {
+  TfidfEmbedder::Options options;
+  options.buckets = 256;  // few collisions on this tiny vocabulary
+  TfidfEmbedder embedder(options);
+  ASSERT_TRUE(embedder.Train(Corpus()).ok());
+  // "rare_table" appears in 1/41 docs, "SELECT" in 40/41: the rare doc's
+  // vector should be closer to itself than to the common docs, and a
+  // common-vs-rare pair must be farther apart than two common docs.
+  nn::Vec common1 = embedder.Embed({"SELECT", "revenue", "FROM", "sales"});
+  nn::Vec common2 = embedder.Embed({"SELECT", "clicks", "FROM", "events"});
+  nn::Vec rare = embedder.Embed({"DROP", "TABLE", "rare_table"});
+  EXPECT_GT(nn::CosineSimilarity(common1, common2),
+            nn::CosineSimilarity(common1, rare));
+}
+
+TEST(TfidfTest, SimilarQueriesCloser) {
+  TfidfEmbedder embedder{TfidfEmbedder::Options{}};
+  ASSERT_TRUE(embedder.Train(Corpus()).ok());
+  nn::Vec a = embedder.Embed({"SELECT", "revenue", "FROM", "sales"});
+  nn::Vec b = embedder.Embed({"SELECT", "revenue", "FROM", "sales",
+                              "WHERE", "x"});
+  nn::Vec c = embedder.Embed({"DROP", "TABLE", "rare_table"});
+  EXPECT_GT(nn::CosineSimilarity(a, b), nn::CosineSimilarity(a, c));
+}
+
+TEST(TfidfTest, UntrainedStillEmbedsWithoutIdf) {
+  TfidfEmbedder embedder{TfidfEmbedder::Options{}};
+  nn::Vec v = embedder.Embed({"SELECT", "a"});
+  EXPECT_NEAR(nn::L2Norm(v), 1.0, 1e-9);
+}
+
+TEST(TfidfTest, EmptyInputIsZeroVector) {
+  TfidfEmbedder embedder{TfidfEmbedder::Options{}};
+  ASSERT_TRUE(embedder.Train(Corpus()).ok());
+  nn::Vec v = embedder.Embed({});
+  EXPECT_EQ(nn::L2Norm(v), 0.0);
+}
+
+TEST(TfidfTest, EmptyCorpusFails) {
+  TfidfEmbedder embedder{TfidfEmbedder::Options{}};
+  EXPECT_FALSE(embedder.Train({}).ok());
+}
+
+}  // namespace
+}  // namespace querc::embed

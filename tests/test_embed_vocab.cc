@@ -1,0 +1,102 @@
+#include "embed/vocab.h"
+
+#include <map>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace querc::embed {
+namespace {
+
+std::vector<std::vector<std::string>> Corpus() {
+  return {{"select", "a", "from", "t"},
+          {"select", "b", "from", "t"},
+          {"select", "a", "from", "u"}};
+}
+
+TEST(VocabTest, BuildAssignsSpecialsFirst) {
+  Vocabulary v = Vocabulary::Build(Corpus());
+  EXPECT_EQ(v.Word(v.UnknownId()), Vocabulary::kUnknown);
+  EXPECT_EQ(v.Word(v.SosId()), Vocabulary::kStartOfSequence);
+  EXPECT_EQ(v.Word(v.EosId()), Vocabulary::kEndOfSequence);
+  EXPECT_EQ(v.size(), 3u + 6u);  // specials + {select,a,from,t,b,u}
+  EXPECT_EQ(v.total_tokens(), 12u);
+}
+
+TEST(VocabTest, IdRoundTrip) {
+  Vocabulary v = Vocabulary::Build(Corpus());
+  size_t id = v.Id("select");
+  EXPECT_GE(id, 3u);
+  EXPECT_EQ(v.Word(id), "select");
+  EXPECT_EQ(v.Count(id), 3u);
+}
+
+TEST(VocabTest, UnknownWordsMapToUnk) {
+  Vocabulary v = Vocabulary::Build(Corpus());
+  EXPECT_EQ(v.Id("nonexistent"), v.UnknownId());
+}
+
+TEST(VocabTest, MinCountFoldsRareWords) {
+  Vocabulary v = Vocabulary::Build(Corpus(), /*min_count=*/2);
+  // b and u occur once -> folded into <unk>.
+  EXPECT_EQ(v.Id("b"), v.UnknownId());
+  EXPECT_EQ(v.Id("u"), v.UnknownId());
+  EXPECT_NE(v.Id("select"), v.UnknownId());
+  EXPECT_EQ(v.Count(v.UnknownId()), 2u);
+}
+
+TEST(VocabTest, EncodeSequence) {
+  Vocabulary v = Vocabulary::Build(Corpus());
+  auto ids = v.Encode({"select", "zzz", "t"});
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], v.Id("select"));
+  EXPECT_EQ(ids[1], v.UnknownId());
+  EXPECT_EQ(ids[2], v.Id("t"));
+}
+
+TEST(VocabTest, NegativeSamplingFollowsPowerLaw) {
+  // One dominant word and one rare word: the dominant word must be drawn
+  // far more often, but sub-proportionally (0.75 exponent).
+  std::vector<std::vector<std::string>> corpus;
+  for (int i = 0; i < 81; ++i) corpus.push_back({"common"});
+  corpus.push_back({"rare"});
+  Vocabulary v = Vocabulary::Build(corpus);
+  util::Rng rng(3);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[v.SampleNegative(rng)];
+  double ratio = static_cast<double>(counts[v.Id("common")]) /
+                 std::max(1, counts[v.Id("rare")]);
+  // 81^0.75 = 27; allow generous noise.
+  EXPECT_GT(ratio, 15.0);
+  EXPECT_LT(ratio, 50.0);
+}
+
+TEST(VocabTest, SamplingNeverReturnsZeroCountSpecials) {
+  Vocabulary v = Vocabulary::Build(Corpus());
+  util::Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    size_t id = v.SampleNegative(rng);
+    EXPECT_GE(id, 3u);  // specials have zero counts here
+  }
+}
+
+TEST(VocabTest, SaveLoadRoundTrip) {
+  Vocabulary v = Vocabulary::Build(Corpus(), 2);
+  std::stringstream ss;
+  ASSERT_TRUE(v.Save(ss).ok());
+  Vocabulary loaded;
+  ASSERT_TRUE(Vocabulary::Load(ss, &loaded).ok());
+  EXPECT_EQ(loaded.size(), v.size());
+  EXPECT_EQ(loaded.Id("select"), v.Id("select"));
+  EXPECT_EQ(loaded.Count(loaded.Id("from")), 3u);
+  EXPECT_EQ(loaded.total_tokens(), v.total_tokens());
+}
+
+TEST(VocabTest, LoadRejectsGarbage) {
+  std::stringstream ss("not a vocab");
+  Vocabulary v;
+  EXPECT_FALSE(Vocabulary::Load(ss, &v).ok());
+}
+
+}  // namespace
+}  // namespace querc::embed

@@ -1,0 +1,161 @@
+#include "engine/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/index.h"
+#include "workload/tpch_gen.h"
+
+namespace querc::engine {
+namespace {
+
+class AdvisorTest : public ::testing::Test {
+ protected:
+  AdvisorTest() : catalog_(TpchCatalog()), model_(&catalog_) {
+    workload::TpchGenerator::Options options;
+    options.instances_per_template = 6;
+    workload::TpchGenerator gen(options);
+    for (const auto& q : gen.Generate()) texts_.push_back(q.text);
+  }
+
+  Catalog catalog_;
+  CostModel model_;
+  std::vector<std::string> texts_;
+};
+
+TEST(IndexTest, ToStringAndEquality) {
+  Index a{"lineitem", {"l_shipdate"}};
+  Index b{"lineitem", {"l_shipdate"}};
+  Index c{"lineitem", {"l_quantity"}};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.ToString(), "lineitem(l_shipdate)");
+  Index multi{"t", {"a", "b"}};
+  EXPECT_EQ(multi.ToString(), "t(a,b)");
+  IndexConfig config = {a, c};
+  EXPECT_TRUE(ContainsIndex(config, b));
+  EXPECT_FALSE(ContainsIndex(config, {"orders", {"o_orderdate"}}));
+  EXPECT_EQ(ConfigToString({a, c}),
+            "{lineitem(l_shipdate), lineitem(l_quantity)}");
+}
+
+TEST_F(AdvisorTest, BudgetBelowStartupYieldsNothing) {
+  AdvisorOptions options;
+  options.budget_minutes = 2.0;
+  TuningAdvisor advisor(&model_, options);
+  AdvisorResult result = advisor.Recommend(texts_);
+  EXPECT_TRUE(result.config.empty());
+  EXPECT_EQ(result.whatif_calls_used, 0);
+}
+
+TEST_F(AdvisorTest, LargeBudgetRefinesAndDropsBadIndex) {
+  AdvisorOptions options;
+  options.budget_minutes = 30.0;
+  TuningAdvisor advisor(&model_, options);
+  AdvisorResult result = advisor.Recommend(texts_);
+  ASSERT_FALSE(result.config.empty());
+  EXPECT_TRUE(result.completed_refinement);
+  // The misestimation-prone Q18 index must not survive refinement.
+  EXPECT_FALSE(ContainsIndex(result.config, {"lineitem", {"l_quantity"}}))
+      << ConfigToString(result.config);
+  // The genuinely useful date index must.
+  EXPECT_TRUE(ContainsIndex(result.config, {"lineitem", {"l_shipdate"}}))
+      << ConfigToString(result.config);
+  // And the refined config must actually help.
+  WorkloadRuntime base = RunWorkload(model_, texts_, {});
+  WorkloadRuntime tuned = RunWorkload(model_, texts_, result.config);
+  EXPECT_LT(tuned.total_seconds, base.total_seconds);
+}
+
+TEST_F(AdvisorTest, RecommendationQualityImprovesWithBudget) {
+  auto runtime_at = [&](double minutes) {
+    AdvisorOptions options;
+    options.budget_minutes = minutes;
+    TuningAdvisor advisor(&model_, options);
+    return RunWorkload(model_, texts_, advisor.Recommend(texts_).config)
+        .total_seconds;
+  };
+  double small = runtime_at(3.0);
+  double large = runtime_at(30.0);
+  EXPECT_LE(large, small);
+}
+
+TEST_F(AdvisorTest, CallsNeverExceedBudget) {
+  AdvisorOptions options;
+  options.budget_minutes = 3.1;
+  TuningAdvisor advisor(&model_, options);
+  AdvisorResult result = advisor.Recommend(texts_);
+  double budget_calls = (options.budget_minutes - options.startup_minutes) *
+                        options.whatif_calls_per_minute;
+  EXPECT_LE(static_cast<double>(result.whatif_calls_used),
+            budget_calls + texts_.size());
+}
+
+TEST_F(AdvisorTest, SmallInputConvergesFast) {
+  // A handful of queries must reach a refined recommendation within the
+  // 3-minute budget where the full workload cannot — the Figure 3 lever.
+  std::vector<std::string> summary(texts_.begin(), texts_.begin() + 22);
+  AdvisorOptions options;
+  options.budget_minutes = 3.0;
+  TuningAdvisor advisor(&model_, options);
+  AdvisorResult on_summary = advisor.Recommend(summary);
+  EXPECT_TRUE(on_summary.completed_refinement);
+
+  // With vastly more queries, same budget: no refinement.
+  std::vector<std::string> big;
+  for (int rep = 0; rep < 8; ++rep) {
+    big.insert(big.end(), texts_.begin(), texts_.end());
+  }
+  workload::TpchGenerator::Options many;
+  many.instances_per_template = 40;
+  many.seed = 321;
+  for (const auto& q : workload::TpchGenerator(many).Generate()) {
+    big.push_back(q.text);
+  }
+  AdvisorResult on_full = advisor.Recommend(big);
+  EXPECT_FALSE(on_full.completed_refinement);
+}
+
+TEST_F(AdvisorTest, DedupCompressesRepeatedTexts) {
+  std::vector<std::string> repeated;
+  for (int i = 0; i < 50; ++i) repeated.push_back(texts_[0]);
+  AdvisorOptions options;
+  options.budget_minutes = 10.0;
+  TuningAdvisor advisor(&model_, options);
+  AdvisorResult result = advisor.Recommend(repeated);
+  // Log records 50 -> 1 compression.
+  bool found = false;
+  for (const auto& line : result.log) {
+    found |= line.find("50 queries, 1 distinct") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(AdvisorTest, MaxIndexCapRespected) {
+  AdvisorOptions options;
+  options.budget_minutes = 60.0;
+  options.max_indexes = 2;
+  TuningAdvisor advisor(&model_, options);
+  AdvisorResult result = advisor.Recommend(texts_);
+  EXPECT_LE(result.config.size(), 2u);
+}
+
+TEST_F(AdvisorTest, EmptyWorkloadGivesEmptyConfig) {
+  AdvisorOptions options;
+  options.budget_minutes = 10.0;
+  TuningAdvisor advisor(&model_, options);
+  AdvisorResult result = advisor.Recommend({});
+  EXPECT_TRUE(result.config.empty());
+}
+
+TEST_F(AdvisorTest, DeterministicAcrossRuns) {
+  AdvisorOptions options;
+  options.budget_minutes = 5.0;
+  TuningAdvisor advisor(&model_, options);
+  AdvisorResult a = advisor.Recommend(texts_);
+  AdvisorResult b = advisor.Recommend(texts_);
+  EXPECT_EQ(ConfigToString(a.config), ConfigToString(b.config));
+  EXPECT_EQ(a.whatif_calls_used, b.whatif_calls_used);
+}
+
+}  // namespace
+}  // namespace querc::engine

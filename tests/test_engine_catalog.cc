@@ -1,0 +1,95 @@
+#include "engine/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace querc::engine {
+namespace {
+
+TEST(CatalogTest, AddAndLookup) {
+  Catalog catalog;
+  TableStats t;
+  t.name = "t";
+  t.row_count = 100;
+  t.columns = {{"a", ColumnType::kInt, 0, 9, 10, 8},
+               {"b", ColumnType::kString, 0, 0, 5, 16}};
+  ASSERT_TRUE(catalog.AddTable(t).ok());
+  EXPECT_FALSE(catalog.AddTable(t).ok());  // duplicate
+
+  const TableStats* found = catalog.Table("t");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->row_count, 100u);
+  EXPECT_EQ(found->RowWidthBytes(), 24.0);
+  EXPECT_NE(found->Column("a"), nullptr);
+  EXPECT_EQ(found->Column("zzz"), nullptr);
+  EXPECT_EQ(catalog.Table("nope"), nullptr);
+}
+
+TEST(CatalogTest, TableOfColumnResolvesUniqueAndFlagsAmbiguous) {
+  Catalog catalog;
+  TableStats t1;
+  t1.name = "t1";
+  t1.columns = {{"unique_col", ColumnType::kInt, 0, 1, 2, 8},
+                {"shared", ColumnType::kInt, 0, 1, 2, 8}};
+  TableStats t2;
+  t2.name = "t2";
+  t2.columns = {{"shared", ColumnType::kInt, 0, 1, 2, 8}};
+  ASSERT_TRUE(catalog.AddTable(t1).ok());
+  ASSERT_TRUE(catalog.AddTable(t2).ok());
+  EXPECT_EQ(catalog.TableOfColumn("unique_col"), "t1");
+  EXPECT_EQ(catalog.TableOfColumn("shared"), "");   // ambiguous
+  EXPECT_EQ(catalog.TableOfColumn("missing"), "");  // absent
+}
+
+TEST(TpchCatalogTest, AllEightTablesPresent) {
+  Catalog catalog = TpchCatalog();
+  const char* tables[] = {"region",   "nation", "supplier", "customer",
+                          "part",     "partsupp", "orders", "lineitem"};
+  for (const char* name : tables) {
+    EXPECT_NE(catalog.Table(name), nullptr) << name;
+  }
+  EXPECT_EQ(catalog.tables().size(), 8u);
+}
+
+TEST(TpchCatalogTest, ScaleFactorOneRowCounts) {
+  Catalog catalog = TpchCatalog();
+  EXPECT_EQ(catalog.Table("lineitem")->row_count, 6001215u);
+  EXPECT_EQ(catalog.Table("orders")->row_count, 1500000u);
+  EXPECT_EQ(catalog.Table("customer")->row_count, 150000u);
+  EXPECT_EQ(catalog.Table("part")->row_count, 200000u);
+  EXPECT_EQ(catalog.Table("supplier")->row_count, 10000u);
+  EXPECT_EQ(catalog.Table("nation")->row_count, 25u);
+  EXPECT_EQ(catalog.Table("region")->row_count, 5u);
+}
+
+TEST(TpchCatalogTest, ColumnsResolveUnambiguously) {
+  // TPC-H column prefixes make every column globally unique.
+  Catalog catalog = TpchCatalog();
+  EXPECT_EQ(catalog.TableOfColumn("l_shipdate"), "lineitem");
+  EXPECT_EQ(catalog.TableOfColumn("o_orderdate"), "orders");
+  EXPECT_EQ(catalog.TableOfColumn("c_mktsegment"), "customer");
+  EXPECT_EQ(catalog.TableOfColumn("ps_supplycost"), "partsupp");
+}
+
+TEST(TpchCatalogTest, DateDomainsSane) {
+  Catalog catalog = TpchCatalog();
+  const ColumnStats* shipdate =
+      catalog.Table("lineitem")->Column("l_shipdate");
+  ASSERT_NE(shipdate, nullptr);
+  EXPECT_EQ(shipdate->type, ColumnType::kDate);
+  EXPECT_LT(shipdate->min_value, shipdate->max_value);
+  // Domain covers 1992..1998 => ~2557 days.
+  EXPECT_NEAR(shipdate->max_value - shipdate->min_value, 2557, 5);
+}
+
+TEST(TpchCatalogTest, SelectiveColumnsHaveSmallNdv) {
+  Catalog catalog = TpchCatalog();
+  EXPECT_EQ(catalog.Table("customer")->Column("c_mktsegment")->distinct_values,
+            5u);
+  EXPECT_EQ(catalog.Table("lineitem")->Column("l_returnflag")->distinct_values,
+            3u);
+  EXPECT_EQ(catalog.Table("lineitem")->Column("l_shipmode")->distinct_values,
+            7u);
+}
+
+}  // namespace
+}  // namespace querc::engine

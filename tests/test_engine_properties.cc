@@ -1,0 +1,143 @@
+// Property-style sweeps over the engine: invariants that must hold for
+// EVERY TPC-H template under assorted index configurations.
+
+#include <gtest/gtest.h>
+
+#include "engine/advisor.h"
+#include "engine/cost_model.h"
+#include "util/rng.h"
+#include "workload/tpch_gen.h"
+
+namespace querc::engine {
+namespace {
+
+const Catalog& SharedCatalog() {
+  static const Catalog* catalog = new Catalog(TpchCatalog());
+  return *catalog;
+}
+
+IndexConfig AssortedConfig() {
+  return {{"lineitem", {"l_shipdate"}},
+          {"lineitem", {"l_quantity"}},
+          {"orders", {"o_orderdate"}},
+          {"orders", {"o_orderkey"}},
+          {"customer", {"c_mktsegment"}},
+          {"part", {"p_size", "p_brand"}},
+          {"partsupp", {"ps_supplycost"}}};
+}
+
+class TemplateInvariantsTest : public ::testing::TestWithParam<int> {
+ protected:
+  sql::QueryShape Shape() {
+    util::Rng rng(900 + static_cast<uint64_t>(GetParam()));
+    return sql::AnalyzeText(
+        workload::TpchGenerator::Instantiate(GetParam(), rng),
+        sql::Dialect::kSqlServer);
+  }
+};
+
+TEST_P(TemplateInvariantsTest, CostsArePositiveAndFinite) {
+  CostModel model(&SharedCatalog());
+  for (const IndexConfig& config :
+       {IndexConfig{}, AssortedConfig()}) {
+    QueryCost cost = model.Cost(Shape(), config);
+    EXPECT_GT(cost.actual_seconds, 0.0);
+    EXPECT_GT(cost.estimated_seconds, 0.0);
+    EXPECT_TRUE(std::isfinite(cost.actual_seconds));
+    EXPECT_TRUE(std::isfinite(cost.estimated_seconds));
+  }
+}
+
+TEST_P(TemplateInvariantsTest, OptimizerNeverRaisesEstimatedCost) {
+  // The optimizer picks plans by estimated cost, so adding indexes can
+  // only lower (or keep) the ESTIMATED cost — never raise it.
+  CostModel model(&SharedCatalog());
+  sql::QueryShape shape = Shape();
+  double bare = model.Cost(shape, {}).estimated_seconds;
+  double indexed = model.Cost(shape, AssortedConfig()).estimated_seconds;
+  EXPECT_LE(indexed, bare + 1e-9);
+}
+
+TEST_P(TemplateInvariantsTest, IrrelevantIndexIsANoop) {
+  CostModel model(&SharedCatalog());
+  sql::QueryShape shape = Shape();
+  // An index on a column no TPC-H query filters by (comments).
+  IndexConfig irrelevant = {{"supplier", {"s_comment"}}};
+  EXPECT_DOUBLE_EQ(model.Cost(shape, {}).actual_seconds,
+                   model.Cost(shape, irrelevant).actual_seconds);
+}
+
+TEST_P(TemplateInvariantsTest, CostingIsDeterministic) {
+  CostModel model(&SharedCatalog());
+  sql::QueryShape shape = Shape();
+  QueryCost a = model.Cost(shape, AssortedConfig());
+  QueryCost b = model.Cost(shape, AssortedConfig());
+  EXPECT_DOUBLE_EQ(a.actual_seconds, b.actual_seconds);
+  EXPECT_DOUBLE_EQ(a.estimated_seconds, b.estimated_seconds);
+}
+
+TEST_P(TemplateInvariantsTest, EstimateMatchesActualWithoutMisestimation) {
+  // Whenever the chosen plan used no misestimated index, estimated and
+  // actual must agree exactly (the simulator's ground truth IS the stats).
+  CostModel model(&SharedCatalog());
+  QueryCost cost = model.Cost(Shape(), AssortedConfig());
+  if (!cost.used_bad_plan) {
+    EXPECT_NEAR(cost.estimated_seconds, cost.actual_seconds,
+                1e-9 * std::max(1.0, cost.actual_seconds));
+  } else {
+    EXPECT_GT(cost.actual_seconds, cost.estimated_seconds);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTemplates, TemplateInvariantsTest,
+                         ::testing::Range(1, 23));
+
+// Selectivity must always be a probability, for every operator shape.
+class SelectivityRangeTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SelectivityRangeTest, WithinUnitInterval) {
+  CostModel model(&SharedCatalog());
+  const ColumnStats* stats =
+      SharedCatalog().Table("lineitem")->Column("l_quantity");
+  sql::Predicate p;
+  p.op = GetParam();
+  p.column = "l_quantity";
+  p.literals = {"25", "40"};
+  for (bool estimated : {false, true}) {
+    double s = model.Selectivity(p, stats, estimated);
+    EXPECT_GE(s, 0.0) << p.op;
+    EXPECT_LE(s, 1.0) << p.op;
+    // And without stats.
+    s = model.Selectivity(p, nullptr, estimated);
+    EXPECT_GE(s, 0.0) << p.op;
+    EXPECT_LE(s, 1.0) << p.op;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Operators, SelectivityRangeTest,
+                         ::testing::Values("=", "<>", "<", ">", "<=", ">=",
+                                           "BETWEEN", "IN", "LIKE",
+                                           "NOT LIKE", "IS NULL",
+                                           "IS NOT NULL", "IN_SUBQUERY",
+                                           "EXISTS_SUBQUERY", "HAVING_>"));
+
+TEST(SelectivityMonotonicityTest, RangeGrowsWithBound) {
+  CostModel model(&SharedCatalog());
+  const ColumnStats* stats =
+      SharedCatalog().Table("lineitem")->Column("l_shipdate");
+  double prev = 0.0;
+  for (int year = 1992; year <= 1999; ++year) {
+    sql::Predicate p;
+    p.op = "<";
+    p.column = "l_shipdate";
+    p.literals = {std::to_string(year) + "-01-01"};
+    double s = model.Selectivity(p, stats, false);
+    EXPECT_GE(s, prev - 1e-12) << year;
+    prev = s;
+  }
+  EXPECT_GT(prev, 0.95);  // past the domain max
+}
+
+}  // namespace
+}  // namespace querc::engine

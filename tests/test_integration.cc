@@ -1,0 +1,173 @@
+// End-to-end integration tests: miniature versions of the paper's two
+// experiments wired through the real pipeline (generators -> embedders ->
+// labelers / summarizer -> advisor -> engine).
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "embed/doc2vec.h"
+#include "embed/lstm_autoencoder.h"
+#include "engine/advisor.h"
+#include "engine/cost_model.h"
+#include "ml/crossval.h"
+#include "ml/random_forest.h"
+#include "querc/summarizer.h"
+#include "workload/snowflake_gen.h"
+#include "workload/tpch_gen.h"
+
+namespace querc {
+namespace {
+
+using workload::Workload;
+
+// ---------- §5.2-style labeling ----------
+
+Workload SmallSnowflake() {
+  workload::SnowflakeGenerator::Options options;
+  options.seed = 5;
+  options.accounts = workload::SnowflakeGenerator::UniformAccounts(
+      /*num_accounts=*/4, /*queries_per_account=*/150, /*users_per_account=*/3);
+  return workload::SnowflakeGenerator(options).Generate();
+}
+
+double AccountLabelAccuracy(const embed::Embedder& embedder,
+                            const Workload& wl) {
+  ml::Dataset data;
+  ml::LabelEncoder accounts;
+  data.x = embed::EmbedWorkload(embedder, wl);
+  for (const auto& q : wl) data.y.push_back(accounts.FitId(q.account));
+  auto cv = ml::StratifiedKFold(data, 3, [] {
+    return std::make_unique<ml::RandomForestClassifier>(
+        ml::RandomForestClassifier::Options{.num_trees = 20});
+  });
+  return cv.MeanAccuracy();
+}
+
+TEST(IntegrationLabeling, Doc2VecAccountPredictionBeatsMajority) {
+  Workload wl = SmallSnowflake();
+  embed::Doc2VecEmbedder::Options options;
+  options.dim = 16;
+  options.epochs = 6;
+  options.min_count = 1;
+  embed::Doc2VecEmbedder embedder(options);
+  ASSERT_TRUE(embed::TrainOnWorkload(embedder, wl).ok());
+  double acc = AccountLabelAccuracy(embedder, wl);
+  // 4 balanced accounts: majority baseline = 0.25. Schemas are private per
+  // account, so learned features should make this nearly trivial.
+  EXPECT_GT(acc, 0.7) << "doc2vec account labeling accuracy " << acc;
+}
+
+TEST(IntegrationLabeling, LstmAccountPredictionBeatsMajority) {
+  Workload wl = SmallSnowflake();
+  embed::LstmAutoencoderEmbedder::Options options;
+  options.hidden_dim = 16;
+  options.token_dim = 12;
+  options.epochs = 3;
+  options.min_count = 1;
+  embed::LstmAutoencoderEmbedder embedder(options);
+  ASSERT_TRUE(embed::TrainOnWorkload(embedder, wl).ok());
+  double acc = AccountLabelAccuracy(embedder, wl);
+  EXPECT_GT(acc, 0.7) << "lstm account labeling accuracy " << acc;
+}
+
+// ---------- §5.1-style summarization for index selection ----------
+
+TEST(IntegrationSummarization, SummaryBeatsNativeAdvisorAtTightBudget) {
+  workload::TpchGenerator::Options gen_options;
+  gen_options.instances_per_template = 20;  // 440 queries
+  workload::TpchGenerator gen(gen_options);
+  Workload wl = gen.Generate();
+  std::vector<std::string> texts;
+  for (const auto& q : wl) texts.push_back(q.text);
+
+  engine::Catalog catalog = engine::TpchCatalog();
+  engine::CostModel model(&catalog);
+
+  // Train a small Doc2Vec on this workload and summarize.
+  auto embedder = std::make_shared<embed::Doc2VecEmbedder>([&] {
+    embed::Doc2VecEmbedder::Options options;
+    options.dim = 16;
+    options.epochs = 6;
+    options.min_count = 1;
+    return options;
+  }());
+  ASSERT_TRUE(embed::TrainOnWorkload(*embedder, wl).ok());
+
+  core::WorkloadSummarizer::Options sum_options;
+  sum_options.elbow.k_min = 4;
+  sum_options.elbow.k_max = 40;
+  sum_options.elbow.k_step = 4;
+  core::WorkloadSummarizer summarizer(embedder, sum_options);
+  auto summary = summarizer.Summarize(wl);
+  ASSERT_GT(summary.queries.size(), 3u);
+  ASSERT_LT(summary.queries.size(), wl.size() / 4);
+
+  std::vector<std::string> summary_texts;
+  for (const auto& q : summary.queries) summary_texts.push_back(q.text);
+
+  engine::AdvisorOptions tight;
+  tight.budget_minutes = 3.0;
+  engine::TuningAdvisor advisor(&model, tight);
+  auto native = advisor.Recommend(texts);
+  auto summarized = advisor.Recommend(summary_texts);
+
+  double baseline = engine::RunWorkload(model, texts, {}).total_seconds;
+  double native_rt =
+      engine::RunWorkload(model, texts, native.config).total_seconds;
+  double summary_rt =
+      engine::RunWorkload(model, texts, summarized.config).total_seconds;
+
+  // The summary reaches a refined (pruned) recommendation at 3 minutes and
+  // beats both the baseline and the native advisor's 3-minute config.
+  EXPECT_TRUE(summarized.completed_refinement);
+  EXPECT_LT(summary_rt, baseline);
+  EXPECT_LT(summary_rt, native_rt);
+}
+
+// ---------- transfer learning ----------
+
+TEST(IntegrationTransfer, SnowflakeTrainedEmbedderStillSummarizesTpch) {
+  // Embedder trained on a completely unrelated workload / dialect must
+  // still produce a summary whose advisor output helps TPC-H (Figure 3's
+  // lstm-Snowflake / doc2vec-Snowflake lines).
+  Workload snowflake = SmallSnowflake();
+  auto embedder = std::make_shared<embed::Doc2VecEmbedder>([&] {
+    embed::Doc2VecEmbedder::Options options;
+    options.dim = 16;
+    options.epochs = 6;
+    options.min_count = 1;
+    return options;
+  }());
+  ASSERT_TRUE(embed::TrainOnWorkload(*embedder, snowflake).ok());
+
+  workload::TpchGenerator::Options gen_options;
+  gen_options.instances_per_template = 15;
+  Workload tpch = workload::TpchGenerator(gen_options).Generate();
+  std::vector<std::string> texts;
+  for (const auto& q : tpch) texts.push_back(q.text);
+
+  core::WorkloadSummarizer::Options sum_options;
+  sum_options.fixed_k = 26;
+  core::WorkloadSummarizer summarizer(embedder, sum_options);
+  auto summary = summarizer.Summarize(tpch);
+  ASSERT_GE(summary.queries.size(), 8u);
+
+  std::vector<std::string> summary_texts;
+  for (const auto& q : summary.queries) summary_texts.push_back(q.text);
+
+  engine::Catalog catalog = engine::TpchCatalog();
+  engine::CostModel model(&catalog);
+  engine::AdvisorOptions tight;
+  tight.budget_minutes = 3.0;
+  engine::TuningAdvisor advisor(&model, tight);
+  auto rec = advisor.Recommend(summary_texts);
+
+  double baseline = engine::RunWorkload(model, texts, {}).total_seconds;
+  double transfer_rt =
+      engine::RunWorkload(model, texts, rec.config).total_seconds;
+  EXPECT_LT(transfer_rt, baseline);
+}
+
+}  // namespace
+}  // namespace querc

@@ -1,0 +1,172 @@
+// Architecture-level integration test mirroring the paper's Figure 1:
+// three applications X, Y, Z with separate query streams and databases.
+// X and Y share EmbedderA trained on their combined workloads
+// ("EmbedderA(X,Y)"); Z declines log sharing and uses its own EmbedderB(Z).
+// Each application's QWorker runs classifiers deployed by the central
+// training module; labeled queries tee back into the training sets.
+
+#include <map>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "embed/doc2vec.h"
+#include "ml/knn.h"
+#include "querc/qworker.h"
+#include "querc/training_module.h"
+#include "workload/snowflake_gen.h"
+
+namespace querc::core {
+namespace {
+
+workload::Workload AppWorkload(const char* name, uint64_t seed) {
+  workload::SnowflakeGenerator::Options options;
+  options.seed = seed;
+  workload::SnowflakeGenerator::AccountSpec spec;
+  spec.name = name;
+  spec.num_users = 4;
+  spec.num_queries = 400;
+  spec.shared_query_rate = 0.05;
+  options.accounts = {spec};
+  return workload::SnowflakeGenerator(options).Generate();
+}
+
+std::shared_ptr<embed::Doc2VecEmbedder> MakeEmbedder() {
+  embed::Doc2VecEmbedder::Options options;
+  options.dim = 16;
+  options.epochs = 6;
+  options.min_count = 1;
+  return std::make_shared<embed::Doc2VecEmbedder>(options);
+}
+
+TEST(ServiceIntegrationTest, Figure1Topology) {
+  // --- workloads ---
+  workload::Workload x = AppWorkload("appx", 1001);
+  workload::Workload y = AppWorkload("appy", 1002);
+  workload::Workload z = AppWorkload("appz", 1003);
+
+  // --- central training module ---
+  TrainingModule module({});
+  module.ImportLogs("X", x);
+  module.ImportLogs("Y", y);
+  module.ImportLogs("Z", z);
+
+  // EmbedderA(X,Y): trained on the combined X+Y workload.
+  auto embedder_a = MakeEmbedder();
+  workload::Workload xy = x;
+  xy.Append(y);
+  ASSERT_TRUE(embed::TrainOnWorkload(*embedder_a, xy).ok());
+  module.RegisterEmbedder("EmbedderA", embedder_a);
+
+  // EmbedderB(Z): application Z does not permit log sharing.
+  auto embedder_b = MakeEmbedder();
+  ASSERT_TRUE(embed::TrainOnWorkload(*embedder_b, z).ok());
+  module.RegisterEmbedder("EmbedderB", embedder_b);
+
+  // --- per-application QWorkers with user classifiers ---
+  auto make_job = [](const char* task, const char* app, const char* emb) {
+    TrainingModule::TrainJob job;
+    job.task_name = task;
+    job.application = app;
+    job.embedder_name = emb;
+    job.label_of = workload::UserOf;
+    job.labeler_factory = [] {
+      return std::make_unique<ml::KnnClassifier>(
+          ml::KnnClassifier::Options{.k = 3});
+    };
+    return job;
+  };
+
+  QWorker worker_x({.application = "X"});
+  QWorker worker_y({.application = "Y"});
+  QWorker worker_z({.application = "Z"});
+  ASSERT_TRUE(
+      module.TrainAndDeploy({make_job("user", "X", "EmbedderA")}, worker_x)
+          .ok());
+  // The shared embedder really is shared: X's model references EmbedderA
+  // itself, not a copy. (The registry keys on task name, so read it before
+  // Y/Z overwrite the "user" slot.)
+  EXPECT_EQ(&module.Model("user")->embedder(), embedder_a.get());
+  ASSERT_TRUE(
+      module.TrainAndDeploy({make_job("user", "Y", "EmbedderA")}, worker_y)
+          .ok());
+  ASSERT_TRUE(
+      module.TrainAndDeploy({make_job("user", "Z", "EmbedderB")}, worker_z)
+          .ok());
+
+  // Tee processed queries back into the module (the Figure 1 loop).
+  worker_x.set_training_sink(
+      [&](const ProcessedQuery& pq) { module.Collect("X", pq); });
+  size_t before = module.TrainingSet("X").size();
+
+  // --- stream fresh batches through each worker ---
+  auto accuracy_on = [&](QWorker& worker, const workload::Workload& wl) {
+    size_t correct = 0;
+    size_t total = 0;
+    for (size_t i = 0; i < wl.size() && i < 150; ++i) {
+      ProcessedQuery out = worker.Process(wl[i]);
+      correct += out.predictions.at("user") == wl[i].user ? 1 : 0;
+      ++total;
+    }
+    return static_cast<double>(correct) / static_cast<double>(total);
+  };
+  // In-sample streams (the workers were trained on these applications).
+  EXPECT_GT(accuracy_on(worker_x, x), 0.5);
+  EXPECT_GT(accuracy_on(worker_y, y), 0.5);
+  EXPECT_GT(accuracy_on(worker_z, z), 0.5);
+
+  // The tee populated X's training set for the next batch job.
+  EXPECT_EQ(module.TrainingSet("X").size(), before + 150);
+}
+
+TEST(ServiceIntegrationTest, RetrainingImprovesColdStartApplication) {
+  // An application that starts with a model trained on ANOTHER
+  // application's data (transfer bootstrap), then retrains once its own
+  // logs accumulate — accuracy must improve.
+  workload::Workload x = AppWorkload("appx", 2001);
+  workload::Workload z = AppWorkload("appz", 2002);
+
+  auto embedder = MakeEmbedder();
+  workload::Workload both = x;
+  both.Append(z);
+  ASSERT_TRUE(embed::TrainOnWorkload(*embedder, both).ok());
+
+  TrainingModule module({});
+  module.RegisterEmbedder("shared", embedder);
+  module.ImportLogs("Z", x);  // cold start: only X's logs available
+
+  auto job = [&] {
+    TrainingModule::TrainJob j;
+    j.task_name = "user";
+    j.application = "Z";
+    j.embedder_name = "shared";
+    j.label_of = workload::UserOf;
+    j.labeler_factory = [] {
+      return std::make_unique<ml::KnnClassifier>(
+          ml::KnnClassifier::Options{.k = 3});
+    };
+    return j;
+  }();
+
+  QWorker worker({.application = "Z"});
+  ASSERT_TRUE(module.TrainAndDeploy({job}, worker).ok());
+  auto accuracy = [&](QWorker& w) {
+    size_t correct = 0;
+    for (size_t i = 0; i < 150; ++i) {
+      correct +=
+          w.Process(z[i]).predictions.at("user") == z[i].user ? 1 : 0;
+    }
+    return static_cast<double>(correct) / 150.0;
+  };
+  double cold = accuracy(worker);  // X's users are not Z's users: ~0
+
+  // Z's own logs arrive; retrain and redeploy (model swap).
+  module.ImportLogs("Z", z);
+  ASSERT_TRUE(module.TrainAndDeploy({job}, worker).ok());
+  double warm = accuracy(worker);
+  EXPECT_GT(warm, cold + 0.3);
+  EXPECT_GT(warm, 0.5);
+}
+
+}  // namespace
+}  // namespace querc::core

@@ -1,0 +1,157 @@
+#include "ml/random_forest.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+#include "util/rng.h"
+
+namespace querc::ml {
+namespace {
+
+/// Binary-separable dataset: class = x0 > 0.
+Dataset Separable(int n, util::Rng& rng, double noise = 0.0) {
+  Dataset data;
+  for (int i = 0; i < n; ++i) {
+    double x0 = rng.UniformDouble(-1, 1);
+    double x1 = rng.UniformDouble(-1, 1);
+    data.x.push_back({x0 + rng.Gaussian(0, noise), x1});
+    data.y.push_back(x0 > 0 ? 1 : 0);
+  }
+  return data;
+}
+
+TEST(ForestTest, LearnsSeparableData) {
+  util::Rng rng(3);
+  Dataset train = Separable(400, rng);
+  Dataset test = Separable(200, rng);
+  RandomForestClassifier forest(RandomForestClassifier::Options{});
+  forest.Fit(train);
+  std::vector<int> pred;
+  for (const auto& v : test.x) pred.push_back(forest.Predict(v));
+  EXPECT_GT(Accuracy(test.y, pred), 0.9);
+}
+
+TEST(ForestTest, MultiClassQuadrants) {
+  util::Rng rng(5);
+  Dataset train;
+  for (int i = 0; i < 600; ++i) {
+    double x = rng.UniformDouble(-1, 1);
+    double y = rng.UniformDouble(-1, 1);
+    train.x.push_back({x, y});
+    train.y.push_back((x > 0 ? 1 : 0) + (y > 0 ? 2 : 0));
+  }
+  RandomForestClassifier forest(RandomForestClassifier::Options{});
+  forest.Fit(train);
+  EXPECT_EQ(forest.num_classes(), 4);
+  EXPECT_EQ(forest.Predict({0.5, 0.5}), 3);
+  EXPECT_EQ(forest.Predict({-0.5, -0.5}), 0);
+  EXPECT_EQ(forest.Predict({0.5, -0.5}), 1);
+  EXPECT_EQ(forest.Predict({-0.5, 0.5}), 2);
+}
+
+TEST(ForestTest, ProbaSumsToOne) {
+  util::Rng rng(7);
+  Dataset train = Separable(100, rng);
+  RandomForestClassifier forest(RandomForestClassifier::Options{});
+  forest.Fit(train);
+  std::vector<double> proba = forest.PredictProba({0.9, 0.0});
+  double sum = 0.0;
+  for (double p : proba) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(proba[1], 0.8);  // far into class-1 territory
+}
+
+TEST(ForestTest, DeterministicPerSeed) {
+  util::Rng rng(9);
+  Dataset train = Separable(200, rng);
+  RandomForestClassifier::Options options;
+  options.seed = 77;
+  RandomForestClassifier a(options);
+  RandomForestClassifier b(options);
+  a.Fit(train);
+  b.Fit(train);
+  util::Rng probe_rng(1);
+  for (int i = 0; i < 50; ++i) {
+    nn::Vec v = {probe_rng.UniformDouble(-1, 1),
+                 probe_rng.UniformDouble(-1, 1)};
+    EXPECT_EQ(a.Predict(v), b.Predict(v));
+  }
+}
+
+TEST(ForestTest, SingleClassAlwaysPredictsIt) {
+  Dataset train;
+  for (int i = 0; i < 20; ++i) {
+    train.x.push_back({static_cast<double>(i)});
+    train.y.push_back(0);
+  }
+  RandomForestClassifier forest(RandomForestClassifier::Options{});
+  forest.Fit(train);
+  EXPECT_EQ(forest.Predict({3.0}), 0);
+  EXPECT_EQ(forest.num_classes(), 1);
+}
+
+TEST(ForestTest, ConstantFeaturesFallBackToMajority) {
+  Dataset train;
+  for (int i = 0; i < 30; ++i) {
+    train.x.push_back({1.0, 1.0});
+    train.y.push_back(i < 20 ? 0 : 1);
+  }
+  RandomForestClassifier forest(RandomForestClassifier::Options{});
+  forest.Fit(train);
+  EXPECT_EQ(forest.Predict({1.0, 1.0}), 0);  // 2/3 majority
+}
+
+TEST(ForestTest, DepthLimitRespectedWithoutCrash) {
+  util::Rng rng(11);
+  Dataset train = Separable(300, rng, /*noise=*/0.5);
+  RandomForestClassifier::Options options;
+  options.max_depth = 2;
+  options.num_trees = 10;
+  RandomForestClassifier forest(options);
+  forest.Fit(train);
+  // Shallow forest still beats random on noisy-but-separable data.
+  Dataset test = Separable(200, rng, 0.5);
+  std::vector<int> pred;
+  for (const auto& v : test.x) pred.push_back(forest.Predict(v));
+  EXPECT_GT(Accuracy(test.y, pred), 0.6);
+}
+
+TEST(ForestTest, NoBootstrapModeWorks) {
+  util::Rng rng(13);
+  Dataset train = Separable(200, rng);
+  RandomForestClassifier::Options options;
+  options.bootstrap = false;
+  RandomForestClassifier forest(options);
+  forest.Fit(train);
+  EXPECT_EQ(forest.Predict({0.9, 0.0}), 1);
+  EXPECT_EQ(forest.Predict({-0.9, 0.0}), 0);
+}
+
+
+TEST(ForestTest, SaveLoadPreservesPredictions) {
+  util::Rng rng(17);
+  Dataset train = Separable(200, rng);
+  RandomForestClassifier forest(RandomForestClassifier::Options{});
+  forest.Fit(train);
+  std::stringstream ss;
+  ASSERT_TRUE(forest.Save(ss).ok());
+  auto loaded = RandomForestClassifier::Load(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_classes(), forest.num_classes());
+  util::Rng probe(23);
+  for (int i = 0; i < 100; ++i) {
+    nn::Vec v = {probe.UniformDouble(-1, 1), probe.UniformDouble(-1, 1)};
+    EXPECT_EQ(loaded->Predict(v), forest.Predict(v));
+    EXPECT_EQ(loaded->PredictProba(v), forest.PredictProba(v));
+  }
+}
+
+TEST(ForestTest, LoadRejectsGarbage) {
+  std::stringstream ss("definitely not a forest");
+  EXPECT_FALSE(RandomForestClassifier::Load(ss).ok());
+}
+
+}  // namespace
+}  // namespace querc::ml

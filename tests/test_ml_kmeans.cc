@@ -1,0 +1,119 @@
+#include "ml/kmeans.h"
+
+#include <gtest/gtest.h>
+
+namespace querc::ml {
+namespace {
+
+/// Three well-separated Gaussian blobs in 2D.
+std::vector<nn::Vec> Blobs(int per_cluster, util::Rng& rng) {
+  std::vector<nn::Vec> points;
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < per_cluster; ++i) {
+      points.push_back({centers[c][0] + rng.Gaussian(0, 0.5),
+                        centers[c][1] + rng.Gaussian(0, 0.5)});
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, RecoversSeparatedClusters) {
+  util::Rng rng(3);
+  auto points = Blobs(40, rng);
+  KMeansResult result = KMeans(points, 3);
+  ASSERT_EQ(result.centroids.size(), 3u);
+  // Every point must share its cluster with its blob-mates.
+  for (int c = 0; c < 3; ++c) {
+    int first = result.assignment[static_cast<size_t>(c) * 40];
+    for (int i = 0; i < 40; ++i) {
+      EXPECT_EQ(result.assignment[static_cast<size_t>(c) * 40 +
+                                  static_cast<size_t>(i)],
+                first);
+    }
+  }
+  // Inertia for tight blobs is small.
+  EXPECT_LT(result.inertia / static_cast<double>(points.size()), 1.0);
+}
+
+TEST(KMeansTest, KClampedToPointCount) {
+  std::vector<nn::Vec> points = {{0.0}, {1.0}};
+  KMeansResult result = KMeans(points, 10);
+  EXPECT_EQ(result.centroids.size(), 2u);
+}
+
+TEST(KMeansTest, SingleCluster) {
+  std::vector<nn::Vec> points = {{0.0}, {2.0}, {4.0}};
+  KMeansResult result = KMeans(points, 1);
+  ASSERT_EQ(result.centroids.size(), 1u);
+  EXPECT_NEAR(result.centroids[0][0], 2.0, 1e-9);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  util::Rng rng(5);
+  auto points = Blobs(20, rng);
+  KMeansOptions options;
+  options.seed = 42;
+  KMeansResult a = KMeans(points, 3, options);
+  KMeansResult b = KMeans(points, 3, options);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeansTest, MoreRestartsNeverWorse) {
+  util::Rng rng(7);
+  auto points = Blobs(30, rng);
+  KMeansOptions one;
+  one.num_seeding_trials = 1;
+  KMeansOptions five;
+  five.num_seeding_trials = 5;
+  EXPECT_LE(KMeans(points, 5, five).inertia, KMeans(points, 5, one).inertia);
+}
+
+TEST(KMeansTest, WitnessesAreClusterMembers) {
+  util::Rng rng(9);
+  auto points = Blobs(25, rng);
+  KMeansResult result = KMeans(points, 3);
+  auto witnesses = NearestPointToCentroids(points, result);
+  ASSERT_EQ(witnesses.size(), 3u);
+  for (size_t c = 0; c < 3; ++c) {
+    size_t w = witnesses[c];
+    ASSERT_LT(w, points.size());
+    EXPECT_EQ(result.assignment[w], static_cast<int>(c));
+    // The witness must be the in-cluster point closest to the centroid.
+    double wd = nn::SquaredDistance(points[w], result.centroids[c]);
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (result.assignment[i] == static_cast<int>(c)) {
+        EXPECT_LE(wd, nn::SquaredDistance(points[i], result.centroids[c]) +
+                          1e-12);
+      }
+    }
+  }
+}
+
+TEST(ElbowTest, FindsTrueClusterCountOnBlobs) {
+  util::Rng rng(11);
+  auto points = Blobs(40, rng);
+  ElbowOptions options;
+  options.k_min = 2;
+  options.k_max = 12;
+  options.k_step = 1;
+  ElbowResult result = ElbowMethod(points, options);
+  // The drop plateaus right after the true K=3.
+  EXPECT_GE(result.chosen_k, 3u);
+  EXPECT_LE(result.chosen_k, 5u);
+  EXPECT_EQ(result.ks.size(), result.inertias.size());
+  // Inertia is non-increasing in k (with best-of restarts it may wiggle
+  // slightly; require the broad trend).
+  EXPECT_GT(result.inertias.front(), result.inertias.back());
+}
+
+TEST(ElbowTest, TinyInputDoesNotCrash) {
+  std::vector<nn::Vec> points = {{0.0}, {1.0}, {2.0}};
+  ElbowResult result = ElbowMethod(points);
+  EXPECT_GE(result.chosen_k, 1u);
+  EXPECT_LE(result.chosen_k, 3u);
+}
+
+}  // namespace
+}  // namespace querc::ml

@@ -1,0 +1,139 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "ml/crossval.h"
+#include "ml/knn.h"
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+#include "util/rng.h"
+
+namespace querc::ml {
+namespace {
+
+TEST(LabelEncoderTest, AssignsDenseIds) {
+  LabelEncoder enc;
+  EXPECT_EQ(enc.FitId("alice"), 0);
+  EXPECT_EQ(enc.FitId("bob"), 1);
+  EXPECT_EQ(enc.FitId("alice"), 0);
+  EXPECT_EQ(enc.num_classes(), 2u);
+  EXPECT_EQ(enc.Label(1), "bob");
+  EXPECT_EQ(enc.Id("carol"), -1);
+  auto ids = enc.FitTransform({"bob", "carol", "alice"});
+  EXPECT_EQ(ids, (std::vector<int>{1, 2, 0}));
+}
+
+TEST(KnnTest, NearestNeighborWins) {
+  Dataset train;
+  train.x = {{0.0}, {1.0}, {10.0}, {11.0}};
+  train.y = {0, 0, 1, 1};
+  KnnClassifier knn(KnnClassifier::Options{.k = 1});
+  knn.Fit(train);
+  EXPECT_EQ(knn.Predict({0.5}), 0);
+  EXPECT_EQ(knn.Predict({10.5}), 1);
+}
+
+TEST(KnnTest, MajorityOfKVotes) {
+  Dataset train;
+  train.x = {{0.0}, {0.1}, {0.2}, {5.0}};
+  train.y = {1, 1, 1, 0};
+  KnnClassifier knn(KnnClassifier::Options{.k = 3});
+  knn.Fit(train);
+  EXPECT_EQ(knn.Predict({0.05}), 1);
+}
+
+TEST(KnnTest, NeighborsSortedByDistance) {
+  Dataset train;
+  train.x = {{0.0}, {3.0}, {1.0}};
+  train.y = {0, 0, 0};
+  KnnClassifier knn(KnnClassifier::Options{.k = 3});
+  knn.Fit(train);
+  auto nbrs = knn.Neighbors({0.9}, 3);
+  EXPECT_EQ(nbrs, (std::vector<size_t>{2, 0, 1}));
+}
+
+TEST(MetricsTest, Accuracy) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 2, 3}, {1, 2, 0}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+}
+
+TEST(MetricsTest, ConfusionMatrixAndRecall) {
+  auto cm = ConfusionMatrix({0, 0, 1, 1}, {0, 1, 1, 1}, 2);
+  EXPECT_EQ(cm[0][0], 1);
+  EXPECT_EQ(cm[0][1], 1);
+  EXPECT_EQ(cm[1][1], 2);
+  auto recall = PerClassRecall(cm);
+  EXPECT_DOUBLE_EQ(recall[0], 0.5);
+  EXPECT_DOUBLE_EQ(recall[1], 1.0);
+}
+
+TEST(MetricsTest, GroupedAccuracy) {
+  auto grouped = GroupedAccuracy({0, 0, 1, 1}, {0, 1, 1, 0},
+                                 {"a", "a", "b", "b"});
+  EXPECT_DOUBLE_EQ(grouped["a"], 0.5);
+  EXPECT_DOUBLE_EQ(grouped["b"], 0.5);
+}
+
+TEST(MetricsTest, MacroF1PerfectAndWorst) {
+  EXPECT_DOUBLE_EQ(MacroF1({0, 1, 0, 1}, {0, 1, 0, 1}, 2), 1.0);
+  EXPECT_DOUBLE_EQ(MacroF1({0, 0}, {1, 1}, 2), 0.0);
+}
+
+Dataset StripedData(int n, util::Rng& rng) {
+  Dataset data;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.UniformDouble(0, 3);
+    data.x.push_back({x});
+    data.y.push_back(static_cast<int>(x));
+  }
+  return data;
+}
+
+TEST(CrossValTest, StratifiedFoldsCoverEverySample) {
+  util::Rng rng(3);
+  Dataset data = StripedData(120, rng);
+  auto result = StratifiedKFold(data, 4, [] {
+    return std::make_unique<KnnClassifier>(KnnClassifier::Options{.k = 3});
+  });
+  EXPECT_EQ(result.fold_accuracies.size(), 4u);
+  EXPECT_EQ(result.oof_predictions.size(), data.size());
+  for (int p : result.oof_predictions) EXPECT_GE(p, 0);
+  EXPECT_GT(result.MeanAccuracy(), 0.9);
+}
+
+TEST(CrossValTest, OofAccuracyMatchesFoldMean) {
+  util::Rng rng(5);
+  Dataset data = StripedData(90, rng);
+  auto result = StratifiedKFold(data, 3, [] {
+    return std::make_unique<RandomForestClassifier>(
+        RandomForestClassifier::Options{.num_trees = 10});
+  });
+  double oof_acc = Accuracy(data.y, result.oof_predictions);
+  EXPECT_NEAR(oof_acc, result.MeanAccuracy(), 0.05);
+}
+
+TEST(CrossValTest, RareClassStillInEveryTrainFold) {
+  // 3 samples of a rare class with 3 folds: each fold holds exactly one,
+  // so training always sees the other two — stratification guarantee.
+  Dataset data;
+  util::Rng rng(7);
+  for (int i = 0; i < 60; ++i) {
+    data.x.push_back({rng.UniformDouble(0, 1)});
+    data.y.push_back(0);
+  }
+  for (int i = 0; i < 3; ++i) {
+    data.x.push_back({100.0 + static_cast<double>(i)});
+    data.y.push_back(1);
+  }
+  auto result = StratifiedKFold(data, 3, [] {
+    return std::make_unique<KnnClassifier>(KnnClassifier::Options{.k = 1});
+  });
+  // All rare-class members classified correctly out-of-fold (their single
+  // nearest neighbor is always another rare-class member).
+  for (size_t i = 60; i < 63; ++i) {
+    EXPECT_EQ(result.oof_predictions[i], 1);
+  }
+}
+
+}  // namespace
+}  // namespace querc::ml

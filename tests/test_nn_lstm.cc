@@ -1,0 +1,198 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace querc::nn {
+namespace {
+
+// Scalar loss used for gradient checking: L = sum over steps of
+// dot(h_t, probe_t) with fixed pseudo-random probes.
+double ForwardLoss(LstmLayer& lstm, const std::vector<Vec>& inputs,
+                   const std::vector<Vec>& probes) {
+  lstm.Reset();
+  double loss = 0.0;
+  for (size_t t = 0; t < inputs.size(); ++t) {
+    const Vec& h = lstm.Forward(inputs[t]);
+    loss += Dot(h, probes[t]);
+  }
+  return loss;
+}
+
+TEST(LstmTest, ForwardDeterministicAndStateful) {
+  util::Rng rng(3);
+  LstmLayer lstm(4, 5, "t", rng);
+  Vec x = {0.1, -0.2, 0.3, 0.4};
+  lstm.Reset();
+  Vec h1 = lstm.Forward(x);
+  Vec h2 = lstm.Forward(x);  // second step sees nonzero state
+  EXPECT_NE(h1, h2);
+  lstm.Reset();
+  EXPECT_EQ(lstm.Forward(x), h1);  // deterministic restart
+  EXPECT_EQ(lstm.steps(), 1u);
+}
+
+TEST(LstmTest, HiddenBounded) {
+  util::Rng rng(5);
+  LstmLayer lstm(3, 8, "t", rng);
+  lstm.Reset();
+  for (int i = 0; i < 50; ++i) {
+    const Vec& h = lstm.Forward({10.0, -10.0, 10.0});
+    for (double v : h) {
+      EXPECT_LT(std::abs(v), 1.0);  // |h| = |o * tanh(c)| < 1
+    }
+  }
+}
+
+TEST(LstmTest, InferSequenceMatchesForward) {
+  util::Rng rng(7);
+  LstmLayer lstm(3, 4, "t", rng);
+  std::vector<Vec> xs = {{0.1, 0.2, 0.3}, {-0.1, 0.0, 0.5}, {0.4, 0.4, 0.4}};
+  lstm.Reset();
+  for (const Vec& x : xs) lstm.Forward(x);
+  Vec h;
+  Vec c;
+  lstm.InferSequence(xs, &h, &c);
+  for (size_t i = 0; i < h.size(); ++i) {
+    EXPECT_NEAR(h[i], lstm.hidden()[i], 1e-12);
+    EXPECT_NEAR(c[i], lstm.cell()[i], 1e-12);
+  }
+}
+
+TEST(LstmTest, SetStateSeedsDecoder) {
+  util::Rng rng(9);
+  LstmLayer lstm(2, 3, "t", rng);
+  Vec h0 = {0.5, -0.5, 0.25};
+  Vec c0 = {1.0, 0.0, -1.0};
+  lstm.Reset();
+  lstm.SetState(h0, c0);
+  EXPECT_EQ(lstm.hidden(), h0);
+  EXPECT_EQ(lstm.cell(), c0);
+  Vec h_seeded = lstm.Forward({0.1, 0.1});
+  lstm.Reset();
+  Vec h_zero = lstm.Forward({0.1, 0.1});
+  EXPECT_NE(h_seeded, h_zero);
+}
+
+// Finite-difference gradient check of full BPTT: parameter, input, and
+// initial-state gradients must all match central differences.
+TEST(LstmTest, GradientCheck) {
+  util::Rng rng(11);
+  const size_t in_dim = 3;
+  const size_t hid = 4;
+  const size_t steps = 5;
+  LstmLayer lstm(in_dim, hid, "gc", rng);
+
+  std::vector<Vec> inputs(steps);
+  std::vector<Vec> probes(steps);
+  for (size_t t = 0; t < steps; ++t) {
+    inputs[t].resize(in_dim);
+    probes[t].resize(hid);
+    for (auto& v : inputs[t]) v = rng.UniformDouble(-1, 1);
+    for (auto& v : probes[t]) v = rng.UniformDouble(-1, 1);
+  }
+
+  // Analytic gradients.
+  ForwardLoss(lstm, inputs, probes);
+  auto result = lstm.Backward(probes);
+
+  const double eps = 1e-6;
+  // Parameter gradients.
+  for (Tensor* param : lstm.Params()) {
+    for (size_t i = 0; i < param->size(); i += 7) {  // sample every 7th
+      double saved = param->value()[i];
+      param->value()[i] = saved + eps;
+      double up = ForwardLoss(lstm, inputs, probes);
+      param->value()[i] = saved - eps;
+      double down = ForwardLoss(lstm, inputs, probes);
+      param->value()[i] = saved;
+      double numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR(param->grad()[i], numeric, 1e-5)
+          << param->name() << "[" << i << "]";
+    }
+  }
+  // Input gradients.
+  for (size_t t = 0; t < steps; ++t) {
+    for (size_t i = 0; i < in_dim; ++i) {
+      double saved = inputs[t][i];
+      inputs[t][i] = saved + eps;
+      double up = ForwardLoss(lstm, inputs, probes);
+      inputs[t][i] = saved - eps;
+      double down = ForwardLoss(lstm, inputs, probes);
+      inputs[t][i] = saved;
+      double numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR(result.dx[t][i], numeric, 1e-5) << "dx[" << t << "]";
+    }
+  }
+}
+
+// Gradient w.r.t. the initial state (the path the decoder uses to reach
+// the encoder).
+TEST(LstmTest, InitialStateGradientCheck) {
+  util::Rng rng(13);
+  const size_t dim = 2;
+  const size_t hid = 3;
+  LstmLayer lstm(dim, hid, "gc2", rng);
+  std::vector<Vec> inputs = {{0.2, -0.1}, {0.1, 0.4}};
+  std::vector<Vec> probes = {{0.3, 0.3, -0.2}, {0.1, -0.5, 0.2}};
+  Vec h0 = {0.1, -0.2, 0.3};
+  Vec c0 = {0.4, 0.0, -0.3};
+
+  auto loss_from = [&](const Vec& h, const Vec& c) {
+    lstm.Reset();
+    lstm.SetState(h, c);
+    double loss = 0.0;
+    for (size_t t = 0; t < inputs.size(); ++t) {
+      loss += Dot(lstm.Forward(inputs[t]), probes[t]);
+    }
+    return loss;
+  };
+
+  loss_from(h0, c0);
+  auto result = lstm.Backward(probes);
+  for (Tensor* p : lstm.Params()) p->ZeroGrad();
+
+  const double eps = 1e-6;
+  for (size_t i = 0; i < hid; ++i) {
+    Vec hp = h0;
+    hp[i] += eps;
+    Vec hm = h0;
+    hm[i] -= eps;
+    double numeric = (loss_from(hp, c0) - loss_from(hm, c0)) / (2 * eps);
+    EXPECT_NEAR(result.dh_init[i], numeric, 1e-5) << "dh_init[" << i << "]";
+
+    Vec cp = c0;
+    cp[i] += eps;
+    Vec cm = c0;
+    cm[i] -= eps;
+    numeric = (loss_from(h0, cp) - loss_from(h0, cm)) / (2 * eps);
+    EXPECT_NEAR(result.dc_init[i], numeric, 1e-5) << "dc_init[" << i << "]";
+  }
+}
+
+TEST(LstmTest, BackwardWithFinalStateInjection) {
+  util::Rng rng(17);
+  LstmLayer lstm(2, 3, "t", rng);
+  lstm.Reset();
+  lstm.Forward({0.1, 0.2});
+  Vec dh_final = {1.0, 0.0, 0.0};
+  auto result = lstm.Backward({}, dh_final);
+  // Some gradient must flow to the input.
+  double mag = 0.0;
+  for (double v : result.dx[0]) mag += std::abs(v);
+  EXPECT_GT(mag, 0.0);
+}
+
+TEST(LstmTest, ForgetBiasInitializedToOne) {
+  util::Rng rng(19);
+  LstmLayer lstm(2, 4, "t", rng);
+  Tensor* b = lstm.Params()[2];
+  for (size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(b->at(4 + j, 0), 1.0);  // forget block is rows [H, 2H)
+    EXPECT_EQ(b->at(j, 0), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace querc::nn

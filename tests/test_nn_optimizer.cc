@@ -1,0 +1,103 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace querc::nn {
+namespace {
+
+TEST(SgdTest, SingleStepMovesAgainstGradient) {
+  Tensor t(1, 2);
+  t.at(0, 0) = 1.0;
+  t.at(0, 1) = -1.0;
+  t.grad_at(0, 0) = 0.5;
+  t.grad_at(0, 1) = -0.5;
+  SgdOptimizer::Options options;
+  options.learning_rate = 0.1;
+  options.clip_norm = 0.0;  // disabled
+  SgdOptimizer opt(options);
+  opt.Register(&t);
+  opt.Step();
+  EXPECT_NEAR(t.at(0, 0), 0.95, 1e-12);
+  EXPECT_NEAR(t.at(0, 1), -0.95, 1e-12);
+  // Gradients zeroed after the step.
+  EXPECT_EQ(t.grad_at(0, 0), 0.0);
+}
+
+TEST(ClipTest, ScalesWhenAboveNorm) {
+  Tensor t(1, 2);
+  t.grad_at(0, 0) = 3.0;
+  t.grad_at(0, 1) = 4.0;  // norm 5
+  ClipGradients({&t}, 1.0);
+  EXPECT_NEAR(t.grad_at(0, 0), 0.6, 1e-12);
+  EXPECT_NEAR(t.grad_at(0, 1), 0.8, 1e-12);
+}
+
+TEST(ClipTest, NoopWhenBelowNormOrDisabled) {
+  Tensor t(1, 1);
+  t.grad_at(0, 0) = 0.5;
+  ClipGradients({&t}, 1.0);
+  EXPECT_EQ(t.grad_at(0, 0), 0.5);
+  t.grad_at(0, 0) = 100.0;
+  ClipGradients({&t}, 0.0);
+  EXPECT_EQ(t.grad_at(0, 0), 100.0);
+}
+
+// Minimize f(x) = (x - 3)^2 with each optimizer; both must converge.
+template <typename Opt>
+double Minimize(Opt& opt, Tensor& x, int steps) {
+  for (int i = 0; i < steps; ++i) {
+    x.grad_at(0, 0) = 2.0 * (x.at(0, 0) - 3.0);
+    opt.Step();
+  }
+  return x.at(0, 0);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Tensor x(1, 1);
+  SgdOptimizer::Options options;
+  options.learning_rate = 0.1;
+  SgdOptimizer opt(options);
+  opt.Register(&x);
+  EXPECT_NEAR(Minimize(opt, x, 200), 3.0, 1e-6);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Tensor x(1, 1);
+  AdamOptimizer::Options options;
+  options.learning_rate = 0.1;
+  AdamOptimizer opt(options);
+  opt.Register(&x);
+  EXPECT_NEAR(Minimize(opt, x, 500), 3.0, 1e-4);
+  EXPECT_EQ(opt.step_count(), 500);
+}
+
+TEST(AdamTest, BiasCorrectionMakesFirstStepLearningRateSized) {
+  Tensor x(1, 1);
+  AdamOptimizer::Options options;
+  options.learning_rate = 0.01;
+  AdamOptimizer opt(options);
+  opt.Register(&x);
+  x.grad_at(0, 0) = 12345.0;  // any positive gradient
+  opt.Step();
+  // With bias correction, the first update is ~ -lr regardless of scale
+  // (clip_norm rescales the gradient but not its sign/direction).
+  EXPECT_NEAR(x.at(0, 0), -0.01, 1e-6);
+}
+
+TEST(AdamTest, MultipleTensors) {
+  Tensor a(1, 1);
+  Tensor b(1, 1);
+  AdamOptimizer opt(AdamOptimizer::Options{});
+  opt.Register(&a);
+  opt.Register(&b);
+  a.grad_at(0, 0) = 1.0;
+  b.grad_at(0, 0) = -1.0;
+  opt.Step();
+  EXPECT_LT(a.at(0, 0), 0.0);
+  EXPECT_GT(b.at(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace querc::nn

@@ -1,0 +1,101 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace querc::nn {
+namespace {
+
+TEST(TensorTest, ShapeAndAccess) {
+  Tensor t(2, 3, "w");
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.name(), "w");
+  t.at(1, 2) = 5.0;
+  EXPECT_EQ(t.at(1, 2), 5.0);
+  EXPECT_EQ(t.row(1)[2], 5.0);
+}
+
+TEST(TensorTest, ZeroGrad) {
+  Tensor t(2, 2);
+  t.grad_at(0, 0) = 3.0;
+  t.ZeroGrad();
+  for (double g : t.grad()) EXPECT_EQ(g, 0.0);
+}
+
+TEST(TensorTest, XavierInitWithinBounds) {
+  util::Rng rng(5);
+  Tensor t(64, 64);
+  t.XavierInit(rng);
+  double bound = std::sqrt(6.0 / 128.0);
+  double sum = 0.0;
+  for (double v : t.value()) {
+    EXPECT_LE(std::abs(v), bound);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / static_cast<double>(t.size()), 0.0, 0.01);
+}
+
+TEST(VecOpsTest, Dot) {
+  Vec a = {1, 2, 3};
+  Vec b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+}
+
+TEST(VecOpsTest, Axpy) {
+  Vec x = {1, 2};
+  Vec y = {10, 20};
+  Axpy(2.0, x, y);
+  EXPECT_EQ(y, (Vec{12, 24}));
+}
+
+TEST(VecOpsTest, MatVec) {
+  Tensor w(2, 3);
+  // [[1,2,3],[4,5,6]]
+  double vals[] = {1, 2, 3, 4, 5, 6};
+  std::copy(vals, vals + 6, w.value().begin());
+  Vec x = {1, 1, 1};
+  Vec out;
+  MatVec(w, x, out);
+  EXPECT_EQ(out, (Vec{6, 15}));
+}
+
+TEST(VecOpsTest, MatTVecAccumMatchesTranspose) {
+  Tensor w(2, 3);
+  double vals[] = {1, 2, 3, 4, 5, 6};
+  std::copy(vals, vals + 6, w.value().begin());
+  Vec dy = {1, 2};
+  Vec out(3, 0.0);
+  MatTVecAccum(w, dy, out);
+  EXPECT_EQ(out, (Vec{9, 12, 15}));
+}
+
+TEST(VecOpsTest, OuterAccum) {
+  Tensor w(2, 2);
+  Vec dy = {1, 2};
+  Vec x = {3, 4};
+  OuterAccum(w, dy, x);
+  EXPECT_EQ(w.grad(), (Vec{3, 4, 6, 8}));
+}
+
+TEST(VecOpsTest, CosineSimilarity) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 0}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 0}, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 0}, {-1, 0}), -1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0, 0}, {1, 0}), 0.0);
+}
+
+TEST(VecOpsTest, SquaredDistance) {
+  EXPECT_DOUBLE_EQ(SquaredDistance({1, 2}, {4, 6}), 25.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(VecOpsTest, SigmoidStableAtExtremes) {
+  EXPECT_NEAR(Sigmoid(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(Sigmoid(100.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-100.0), 0.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-2.0) + Sigmoid(2.0), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace querc::nn

@@ -1,0 +1,234 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "embed/feature_embedder.h"
+#include "querc/error_predictor.h"
+#include "querc/recommender.h"
+#include "querc/resource_allocator.h"
+#include "querc/routing.h"
+#include "querc/security_audit.h"
+#include "querc/summarizer.h"
+#include "workload/snowflake_gen.h"
+
+namespace querc::core {
+namespace {
+
+std::shared_ptr<const embed::Embedder> FeatureEmbedderPtr() {
+  return std::make_shared<embed::FeatureEmbedder>(
+      embed::FeatureEmbedder::Options{});
+}
+
+workload::LabeledQuery Query(const std::string& text, const std::string& user,
+                             const std::string& cluster = "c0") {
+  workload::LabeledQuery q;
+  q.text = text;
+  q.user = user;
+  q.cluster = cluster;
+  return q;
+}
+
+// Two users with clearly different syntactic habits.
+workload::Workload TwoUserHistory(int n = 20) {
+  workload::Workload wl;
+  for (int i = 0; i < n; ++i) {
+    wl.Add(Query("SELECT a FROM t WHERE x = " + std::to_string(i), "alice",
+                 "c0"));
+    wl.Add(Query("SELECT u.a, v.b, SUM(v.c) FROM u, v WHERE u.k = v.k "
+                 "GROUP BY u.a, v.b ORDER BY u.a",
+                 "bob", "c1"));
+  }
+  return wl;
+}
+
+TEST(SecurityAuditorTest, FlagsCrossUserQuery) {
+  SecurityAuditor auditor(FeatureEmbedderPtr(), {});
+  ASSERT_TRUE(auditor.Train(TwoUserHistory()).ok());
+  EXPECT_EQ(auditor.PredictUser(Query("SELECT a FROM t WHERE x = 99", "?")),
+            "alice");
+
+  workload::Workload batch;
+  // bob's account suddenly issues an alice-shaped query.
+  batch.Add(Query("SELECT a FROM t WHERE x = 123", "bob"));
+  // and a normal bob query.
+  batch.Add(Query("SELECT u.a, v.b, SUM(v.c) FROM u, v WHERE u.k = v.k "
+                  "GROUP BY u.a, v.b ORDER BY u.a",
+                  "bob"));
+  auto flags = auditor.Audit(batch);
+  ASSERT_EQ(flags.size(), 1u);
+  EXPECT_EQ(flags[0].query_index, 0u);
+  EXPECT_EQ(flags[0].actual_user, "bob");
+  EXPECT_EQ(flags[0].predicted_user, "alice");
+  EXPECT_GE(flags[0].confidence, 0.5);
+}
+
+TEST(SecurityAuditorTest, UntrainedIsInert) {
+  SecurityAuditor auditor(FeatureEmbedderPtr(), {});
+  EXPECT_EQ(auditor.PredictUser(Query("SELECT 1", "x")), "");
+  workload::Workload batch;
+  batch.Add(Query("SELECT 1", "x"));
+  EXPECT_TRUE(auditor.Audit(batch).empty());
+  EXPECT_FALSE(auditor.Train({}).ok());
+}
+
+TEST(RoutingTest, DetectsMisroutedQuery) {
+  RoutingPolicyChecker checker(FeatureEmbedderPtr(), {});
+  ASSERT_TRUE(checker.Train(TwoUserHistory()).ok());
+  EXPECT_EQ(checker.PredictCluster(Query("SELECT a FROM t WHERE x = 5", "?")),
+            "c0");
+  workload::Workload batch;
+  // An alice-shaped query recorded as running on bob's cluster.
+  batch.Add(Query("SELECT a FROM t WHERE x = 77", "alice", "c1"));
+  batch.Add(Query("SELECT a FROM t WHERE x = 78", "alice", "c0"));
+  auto misroutings = checker.Check(batch);
+  ASSERT_EQ(misroutings.size(), 1u);
+  EXPECT_EQ(misroutings[0].query_index, 0u);
+  EXPECT_EQ(misroutings[0].assigned_cluster, "c1");
+  EXPECT_EQ(misroutings[0].predicted_cluster, "c0");
+}
+
+TEST(ErrorPredictorTest, LearnsSyntaxErrorCorrelation) {
+  workload::Workload history;
+  for (int i = 0; i < 25; ++i) {
+    auto ok = Query("SELECT a FROM t WHERE x = 1", "u");
+    history.Add(ok);
+    auto oom = Query(
+        "SELECT a, b, c FROM t1, t2, t3 WHERE t1.k = t2.k AND t2.j = t3.j "
+        "GROUP BY a, b, c ORDER BY a",
+        "u");
+    oom.error_code = "OOM";
+    history.Add(oom);
+  }
+  ErrorPredictor predictor(FeatureEmbedderPtr(), {});
+  ASSERT_TRUE(predictor.Train(history).ok());
+  auto risky = Query(
+      "SELECT a, b, c FROM t1, t2, t3 WHERE t1.k = t2.k AND t2.j = t3.j "
+      "GROUP BY a, b, c ORDER BY a",
+      "u");
+  auto safe = Query("SELECT a FROM t WHERE x = 9", "u");
+  EXPECT_EQ(predictor.PredictError(risky), "OOM");
+  EXPECT_EQ(predictor.PredictError(safe), "");
+  EXPECT_GT(predictor.FailureProbability(risky),
+            predictor.FailureProbability(safe));
+  EXPECT_TRUE(predictor.ShouldRouteDefensively(risky));
+  EXPECT_FALSE(predictor.ShouldRouteDefensively(safe));
+}
+
+TEST(ResourceAllocatorTest, BucketsTrackQueryWeight) {
+  workload::Workload history;
+  for (int i = 0; i < 30; ++i) {
+    auto light = Query("SELECT a FROM t WHERE x = 1", "u");
+    light.runtime_seconds = 0.1;
+    light.memory_mb = 10;
+    history.Add(light);
+    auto heavy = Query(
+        "SELECT a, SUM(b) FROM t1, t2, t3 WHERE t1.k = t2.k AND t2.j = t3.j "
+        "GROUP BY a ORDER BY a",
+        "u");
+    heavy.runtime_seconds = 100.0;
+    heavy.memory_mb = 4000;
+    history.Add(heavy);
+  }
+  ResourceAllocator allocator(FeatureEmbedderPtr(), {});
+  ASSERT_TRUE(allocator.Train(history).ok());
+  auto light_hint = allocator.Allocate(Query("SELECT a FROM t WHERE x = 2", "u"));
+  auto heavy_hint = allocator.Allocate(Query(
+      "SELECT a, SUM(b) FROM t1, t2, t3 WHERE t1.k = t2.k AND t2.j = t3.j "
+      "GROUP BY a ORDER BY a",
+      "u"));
+  EXPECT_LT(static_cast<int>(light_hint.runtime_bucket),
+            static_cast<int>(heavy_hint.runtime_bucket));
+  EXPECT_LT(light_hint.suggested_memory_mb, heavy_hint.suggested_memory_mb);
+  EXPECT_STREQ(ResourceAllocator::BucketName(light_hint.runtime_bucket),
+               "small");
+}
+
+TEST(RecommenderTest, SuggestsObservedSuccessor) {
+  workload::Workload history;
+  int64_t t = 0;
+  for (int session = 0; session < 10; ++session) {
+    auto first = Query("SELECT a FROM t WHERE x = 1", "alice");
+    first.timestamp = t++;
+    auto second = Query("SELECT a, b FROM t, u WHERE t.k = u.k", "alice");
+    second.timestamp = t++;
+    history.Add(first);
+    history.Add(second);
+  }
+  QueryRecommender recommender(FeatureEmbedderPtr(), {});
+  ASSERT_TRUE(recommender.Train(history).ok());
+  auto recs = recommender.Recommend(Query("SELECT a FROM t WHERE x = 5",
+                                          "alice"));
+  ASSERT_FALSE(recs.empty());
+  EXPECT_EQ(recs[0].text, "SELECT a, b FROM t, u WHERE t.k = u.k");
+  EXPECT_GT(recs[0].score, 0.0);
+}
+
+TEST(RecommenderTest, NoCrossUserTransitions) {
+  workload::Workload history;
+  auto a = Query("SELECT a FROM t", "alice");
+  a.timestamp = 0;
+  auto b = Query("DROP TABLE secret", "bob");
+  b.timestamp = 1;
+  history.Add(a);
+  history.Add(b);
+  QueryRecommender recommender(FeatureEmbedderPtr(), {});
+  ASSERT_TRUE(recommender.Train(history).ok());
+  // alice's only query has no same-user successor: nothing to recommend.
+  auto recs = recommender.Recommend(Query("SELECT a FROM t", "alice"));
+  for (const auto& r : recs) EXPECT_NE(r.text, "DROP TABLE secret");
+}
+
+TEST(SummarizerTest, FixedKPicksWitnessesFromWorkload) {
+  workload::Workload wl;
+  for (int i = 0; i < 30; ++i) {
+    wl.Add(Query("SELECT a FROM t WHERE x = " + std::to_string(i), "u"));
+    wl.Add(Query("SELECT SUM(b) FROM big1, big2 WHERE big1.k = big2.k "
+                 "GROUP BY c",
+                 "u"));
+  }
+  WorkloadSummarizer::Options options;
+  options.fixed_k = 2;
+  WorkloadSummarizer summarizer(FeatureEmbedderPtr(), options);
+  auto summary = summarizer.Summarize(wl);
+  EXPECT_EQ(summary.chosen_k, 2u);
+  ASSERT_EQ(summary.queries.size(), 2u);
+  for (size_t idx : summary.witness_indices) ASSERT_LT(idx, wl.size());
+  // One witness per structural family.
+  bool has_simple = false;
+  bool has_join = false;
+  for (const auto& q : summary.queries) {
+    has_simple |= q.text.find("FROM t ") != std::string::npos;
+    has_join |= q.text.find("big1") != std::string::npos;
+  }
+  EXPECT_TRUE(has_simple);
+  EXPECT_TRUE(has_join);
+}
+
+TEST(SummarizerTest, ElbowPathProducesReasonableK) {
+  workload::Workload wl;
+  for (int i = 0; i < 20; ++i) {
+    wl.Add(Query("SELECT a FROM t WHERE x = " + std::to_string(i), "u"));
+    wl.Add(Query("SELECT SUM(b) FROM u1, u2 WHERE u1.k = u2.k GROUP BY c",
+                 "u"));
+    wl.Add(Query("SELECT DISTINCT z FROM w ORDER BY z", "u"));
+  }
+  WorkloadSummarizer::Options options;  // fixed_k = 0 -> elbow
+  options.elbow.k_min = 2;
+  options.elbow.k_max = 12;
+  options.elbow.k_step = 1;
+  WorkloadSummarizer summarizer(FeatureEmbedderPtr(), options);
+  auto summary = summarizer.Summarize(wl);
+  EXPECT_GE(summary.chosen_k, 2u);
+  EXPECT_LE(summary.chosen_k, 8u);
+  EXPECT_LE(summary.queries.size(), summary.chosen_k);
+}
+
+TEST(SummarizerTest, EmptyWorkload) {
+  WorkloadSummarizer summarizer(FeatureEmbedderPtr(), {});
+  auto summary = summarizer.Summarize({});
+  EXPECT_TRUE(summary.queries.empty());
+  EXPECT_EQ(summary.chosen_k, 0u);
+}
+
+}  // namespace
+}  // namespace querc::core

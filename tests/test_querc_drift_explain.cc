@@ -1,0 +1,120 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "embed/feature_embedder.h"
+#include "engine/explain.h"
+#include "querc/drift.h"
+#include "workload/snowflake_gen.h"
+
+namespace querc {
+namespace {
+
+workload::LabeledQuery Query(const std::string& text) {
+  workload::LabeledQuery q;
+  q.text = text;
+  return q;
+}
+
+std::shared_ptr<const embed::Embedder> FeatureEmbedderPtr() {
+  return std::make_shared<embed::FeatureEmbedder>(
+      embed::FeatureEmbedder::Options{});
+}
+
+workload::Workload SelectWorkload(int n) {
+  workload::Workload wl;
+  for (int i = 0; i < n; ++i) {
+    wl.Add(Query("SELECT a FROM t WHERE x = " + std::to_string(i)));
+    wl.Add(Query("SELECT b, c FROM u, v WHERE u.k = v.k"));
+  }
+  return wl;
+}
+
+TEST(DriftTest, StationaryWindowIsQuiet) {
+  core::DriftDetector detector(FeatureEmbedderPtr(), {});
+  ASSERT_TRUE(detector.SetReference(SelectWorkload(40)).ok());
+  auto report = detector.Check(SelectWorkload(40));
+  EXPECT_LT(report.centroid_shift, 0.2);
+  EXPECT_FALSE(report.retrain_recommended);
+  EXPECT_EQ(report.reference_size, 80u);
+  EXPECT_EQ(report.recent_size, 80u);
+}
+
+TEST(DriftTest, NewQueryFamilyTriggersRetraining) {
+  core::DriftDetector detector(FeatureEmbedderPtr(), {});
+  ASSERT_TRUE(detector.SetReference(SelectWorkload(40)).ok());
+  workload::Workload shifted;
+  for (int i = 0; i < 60; ++i) {
+    shifted.Add(Query(
+        "SELECT p, q, r, SUM(s) FROM w1, w2, w3 WHERE w1.k = w2.k AND "
+        "w2.j = w3.j GROUP BY p, q, r HAVING SUM(s) > 10 ORDER BY p"));
+  }
+  auto report = detector.Check(shifted);
+  EXPECT_TRUE(report.retrain_recommended);
+  EXPECT_GT(report.novelty, 0.5);
+}
+
+TEST(DriftTest, PartialDriftScoresBetween) {
+  core::DriftDetector detector(FeatureEmbedderPtr(), {});
+  ASSERT_TRUE(detector.SetReference(SelectWorkload(40)).ok());
+  workload::Workload mixed = SelectWorkload(30);
+  for (int i = 0; i < 20; ++i) {
+    mixed.Add(Query("SELECT DISTINCT z FROM brand_new_table ORDER BY z"));
+  }
+  auto stationary = detector.Check(SelectWorkload(40));
+  auto report = detector.Check(mixed);
+  EXPECT_GT(report.novelty, stationary.novelty);
+}
+
+TEST(DriftTest, EmptyReferenceFails) {
+  core::DriftDetector detector(FeatureEmbedderPtr(), {});
+  EXPECT_FALSE(detector.SetReference({}).ok());
+}
+
+TEST(DriftTest, SubsamplingBoundsWindow) {
+  core::DriftDetector::Options options;
+  options.max_window = 10;
+  core::DriftDetector detector(FeatureEmbedderPtr(), options);
+  ASSERT_TRUE(detector.SetReference(SelectWorkload(20)).ok());
+  auto report = detector.Check(SelectWorkload(100));  // 200 queries
+  EXPECT_LE(report.recent_size, 20u);
+}
+
+TEST(ExplainTest, ShowsScanAndIndexAndWarning) {
+  engine::Catalog catalog = engine::TpchCatalog();
+  engine::CostModel model(&catalog);
+
+  std::string scan = engine::ExplainQuery(
+      model, "SELECT * FROM lineitem WHERE l_quantity < 10", {});
+  EXPECT_NE(scan.find("TABLE SCAN"), std::string::npos);
+  EXPECT_NE(scan.find("lineitem"), std::string::npos);
+  EXPECT_EQ(scan.find("WARNING"), std::string::npos);
+
+  engine::IndexConfig config = {{"lineitem", {"l_shipdate"}}};
+  std::string seek = engine::ExplainQuery(
+      model,
+      "SELECT * FROM lineitem WHERE l_shipdate >= '1998-06-01' AND "
+      "l_shipdate < '1998-07-01'",
+      config);
+  EXPECT_NE(seek.find("INDEX SEEK"), std::string::npos);
+  EXPECT_NE(seek.find("lineitem(l_shipdate)"), std::string::npos);
+
+  engine::IndexConfig bad = {{"lineitem", {"l_quantity"}}};
+  std::string warn = engine::ExplainQuery(
+      model,
+      "SELECT l_orderkey FROM lineitem GROUP BY l_orderkey HAVING "
+      "SUM(l_quantity) > 300",
+      bad);
+  EXPECT_NE(warn.find("CARDINALITY MISESTIMATE"), std::string::npos);
+  EXPECT_NE(warn.find("WARNING"), std::string::npos);
+}
+
+TEST(ExplainTest, TotalsLineAlwaysPresent) {
+  engine::Catalog catalog = engine::TpchCatalog();
+  engine::CostModel model(&catalog);
+  std::string out = engine::ExplainQuery(model, "SELECT 1", {});
+  EXPECT_NE(out.find("TOTAL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace querc

@@ -1,0 +1,138 @@
+#include "querc/qworker.h"
+
+#include <gtest/gtest.h>
+
+#include "embed/feature_embedder.h"
+#include "ml/knn.h"
+#include "querc/classifier.h"
+#include "workload/workload.h"
+
+namespace querc::core {
+namespace {
+
+workload::LabeledQuery Query(const std::string& text,
+                             const std::string& user = "u1") {
+  workload::LabeledQuery q;
+  q.text = text;
+  q.user = user;
+  return q;
+}
+
+std::shared_ptr<Classifier> TrainedUserClassifier() {
+  auto embedder = std::make_shared<embed::FeatureEmbedder>(
+      embed::FeatureEmbedder::Options{});
+  auto classifier = std::make_shared<Classifier>(
+      "user", embedder,
+      std::make_unique<ml::KnnClassifier>(ml::KnnClassifier::Options{.k = 1}));
+  workload::Workload history;
+  for (int i = 0; i < 10; ++i) {
+    history.Add(Query("SELECT a FROM t WHERE x = 1", "alice"));
+    history.Add(Query("SELECT b, c, d FROM u, v WHERE u.k = v.k", "bob"));
+  }
+  EXPECT_TRUE(classifier->Train(history, workload::UserOf).ok());
+  return classifier;
+}
+
+TEST(ClassifierTest, TrainPredictRoundTrip) {
+  auto classifier = TrainedUserClassifier();
+  EXPECT_TRUE(classifier->trained());
+  EXPECT_EQ(classifier->Predict(Query("SELECT a FROM t WHERE x = 9")),
+            "alice");
+  EXPECT_EQ(
+      classifier->Predict(Query("SELECT b, c, d FROM u, v WHERE u.k = v.k")),
+      "bob");
+  EXPECT_EQ(classifier->task_name(), "user");
+  EXPECT_EQ(classifier->labels().num_classes(), 2u);
+}
+
+TEST(ClassifierTest, EmptyCorpusFails) {
+  auto embedder = std::make_shared<embed::FeatureEmbedder>(
+      embed::FeatureEmbedder::Options{});
+  Classifier classifier(
+      "t", embedder,
+      std::make_unique<ml::KnnClassifier>(ml::KnnClassifier::Options{}));
+  EXPECT_FALSE(classifier.Train({}, workload::UserOf).ok());
+  EXPECT_EQ(classifier.PredictId(Query("SELECT 1")), -1);
+  EXPECT_EQ(classifier.Predict(Query("SELECT 1")), "");
+}
+
+TEST(QWorkerTest, ProcessRunsAllClassifiersAndSinks) {
+  QWorker::Options options;
+  options.application = "appX";
+  QWorker worker(options);
+  worker.Deploy(TrainedUserClassifier());
+
+  std::vector<std::string> to_db;
+  std::vector<std::string> to_training;
+  worker.set_database_sink([&](const workload::LabeledQuery& q) {
+    to_db.push_back(q.text);
+  });
+  worker.set_training_sink([&](const ProcessedQuery& pq) {
+    to_training.push_back(pq.predictions.at("user"));
+  });
+
+  ProcessedQuery out = worker.Process(Query("SELECT a FROM t WHERE x = 3"));
+  EXPECT_EQ(out.predictions.at("user"), "alice");
+  ASSERT_EQ(to_db.size(), 1u);
+  ASSERT_EQ(to_training.size(), 1u);
+  EXPECT_EQ(to_training[0], "alice");
+  EXPECT_EQ(worker.processed_count(), 1u);
+  EXPECT_EQ(worker.num_classifiers(), 1u);
+}
+
+TEST(QWorkerTest, ForkedModeSkipsDatabase) {
+  QWorker::Options options;
+  options.application = "appX";
+  options.forward_to_database = false;  // "forked" deployment (§2)
+  QWorker worker(options);
+  int db_calls = 0;
+  int training_calls = 0;
+  worker.set_database_sink(
+      [&](const workload::LabeledQuery&) { ++db_calls; });
+  worker.set_training_sink([&](const ProcessedQuery&) { ++training_calls; });
+  worker.Process(Query("SELECT 1"));
+  EXPECT_EQ(db_calls, 0);
+  EXPECT_EQ(training_calls, 1);
+}
+
+TEST(QWorkerTest, WindowIsBounded) {
+  QWorker::Options options;
+  options.application = "appX";
+  options.window_size = 3;
+  QWorker worker(options);
+  for (int i = 0; i < 10; ++i) {
+    worker.Process(Query("SELECT " + std::to_string(i)));
+  }
+  ASSERT_EQ(worker.window().size(), 3u);
+  EXPECT_EQ(worker.window().back().text, "SELECT 9");
+  EXPECT_EQ(worker.window().front().text, "SELECT 7");
+}
+
+TEST(QWorkerTest, DeployReplacesAndUndeployRemoves) {
+  QWorker::Options options;
+  options.application = "appX";
+  QWorker worker(options);
+  worker.Deploy(TrainedUserClassifier());
+  worker.Deploy(TrainedUserClassifier());  // same task name: replace
+  EXPECT_EQ(worker.num_classifiers(), 1u);
+  EXPECT_TRUE(worker.Undeploy("user"));
+  EXPECT_FALSE(worker.Undeploy("user"));
+  EXPECT_EQ(worker.num_classifiers(), 0u);
+}
+
+TEST(QWorkerTest, ProcessBatch) {
+  QWorker::Options options;
+  options.application = "appX";
+  QWorker worker(options);
+  worker.Deploy(TrainedUserClassifier());
+  workload::Workload batch;
+  batch.Add(Query("SELECT a FROM t WHERE x = 1"));
+  batch.Add(Query("SELECT b, c, d FROM u, v WHERE u.k = v.k"));
+  auto results = worker.ProcessBatch(batch);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].predictions.at("user"), "alice");
+  EXPECT_EQ(results[1].predictions.at("user"), "bob");
+}
+
+}  // namespace
+}  // namespace querc::core

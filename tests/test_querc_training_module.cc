@@ -1,0 +1,164 @@
+#include "querc/training_module.h"
+
+#include <gtest/gtest.h>
+
+#include "embed/feature_embedder.h"
+#include "ml/knn.h"
+
+namespace querc::core {
+namespace {
+
+workload::LabeledQuery Query(const std::string& text, const std::string& user,
+                             const std::string& cluster = "c0") {
+  workload::LabeledQuery q;
+  q.text = text;
+  q.user = user;
+  q.cluster = cluster;
+  return q;
+}
+
+workload::Workload History() {
+  workload::Workload wl;
+  for (int i = 0; i < 8; ++i) {
+    wl.Add(Query("SELECT a FROM t WHERE x = 1", "alice", "c0"));
+    wl.Add(Query("SELECT b, c, d FROM u, v WHERE u.k = v.k", "bob", "c1"));
+  }
+  return wl;
+}
+
+std::shared_ptr<const embed::Embedder> FeatureEmbedderPtr() {
+  return std::make_shared<embed::FeatureEmbedder>(
+      embed::FeatureEmbedder::Options{});
+}
+
+TEST(TrainingModuleTest, CollectAccumulates) {
+  TrainingModule module({});
+  ProcessedQuery pq;
+  pq.query = Query("SELECT 1", "u");
+  module.Collect("appX", pq);
+  module.Collect("appX", pq);
+  module.Collect("appY", pq);
+  EXPECT_EQ(module.TrainingSet("appX").size(), 2u);
+  EXPECT_EQ(module.TrainingSet("appY").size(), 1u);
+  EXPECT_EQ(module.TrainingSet("missing").size(), 0u);
+}
+
+TEST(TrainingModuleTest, CollectCapsRetention) {
+  TrainingModule::Options options;
+  options.max_queries_per_application = 10;
+  TrainingModule module(options);
+  ProcessedQuery pq;
+  pq.query = Query("SELECT 1", "u");
+  for (int i = 0; i < 25; ++i) module.Collect("appX", pq);
+  EXPECT_LE(module.TrainingSet("appX").size(), 10u);
+}
+
+TEST(TrainingModuleTest, EmbedderRegistry) {
+  TrainingModule module({});
+  EXPECT_EQ(module.Embedder("shared"), nullptr);
+  module.RegisterEmbedder("shared", FeatureEmbedderPtr());
+  EXPECT_NE(module.Embedder("shared"), nullptr);
+}
+
+TEST(TrainingModuleTest, TrainProducesWorkingModel) {
+  TrainingModule module({});
+  module.RegisterEmbedder("shared", FeatureEmbedderPtr());
+  module.ImportLogs("appX", History());
+
+  TrainingModule::TrainJob job;
+  job.task_name = "user";
+  job.application = "appX";
+  job.embedder_name = "shared";
+  job.label_of = workload::UserOf;
+  job.labeler_factory = [] {
+    return std::make_unique<ml::KnnClassifier>(
+        ml::KnnClassifier::Options{.k = 1});
+  };
+  auto result = module.Train(job);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ((*result)->Predict(Query("SELECT a FROM t WHERE x = 7", "?")),
+            "alice");
+  // Registered in the model registry.
+  EXPECT_NE(module.Model("user"), nullptr);
+  EXPECT_EQ(module.Model("nope"), nullptr);
+}
+
+TEST(TrainingModuleTest, TrainFailsWithoutEmbedderOrData) {
+  TrainingModule module({});
+  TrainingModule::TrainJob job;
+  job.task_name = "user";
+  job.application = "appX";
+  job.embedder_name = "missing";
+  job.label_of = workload::UserOf;
+  EXPECT_EQ(module.Train(job).status().code(), util::StatusCode::kNotFound);
+
+  module.RegisterEmbedder("shared", FeatureEmbedderPtr());
+  job.embedder_name = "shared";
+  EXPECT_EQ(module.Train(job).status().code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+TEST(TrainingModuleTest, TrainAndDeployParallelJobs) {
+  TrainingModule module({});
+  module.RegisterEmbedder("shared", FeatureEmbedderPtr());
+  module.ImportLogs("appX", History());
+
+  auto knn_factory = [] {
+    return std::make_unique<ml::KnnClassifier>(
+        ml::KnnClassifier::Options{.k = 1});
+  };
+  TrainingModule::TrainJob user_job;
+  user_job.task_name = "user";
+  user_job.application = "appX";
+  user_job.embedder_name = "shared";
+  user_job.label_of = workload::UserOf;
+  user_job.labeler_factory = knn_factory;
+  TrainingModule::TrainJob cluster_job = user_job;
+  cluster_job.task_name = "cluster";
+  cluster_job.label_of = workload::ClusterOf;
+
+  QWorker::Options wopts;
+  wopts.application = "appX";
+  QWorker worker(wopts);
+  ASSERT_TRUE(module.TrainAndDeploy({user_job, cluster_job}, worker).ok());
+  EXPECT_EQ(worker.num_classifiers(), 2u);
+
+  ProcessedQuery out = worker.Process(Query("SELECT a FROM t WHERE x = 2", "?"));
+  EXPECT_EQ(out.predictions.at("user"), "alice");
+  EXPECT_EQ(out.predictions.at("cluster"), "c0");
+}
+
+TEST(TrainingModuleTest, TrainAndDeployPropagatesError) {
+  TrainingModule module({});
+  module.RegisterEmbedder("shared", FeatureEmbedderPtr());
+  // No training data imported.
+  TrainingModule::TrainJob job;
+  job.task_name = "user";
+  job.application = "appX";
+  job.embedder_name = "shared";
+  job.label_of = workload::UserOf;
+  QWorker::Options wopts;
+  wopts.application = "appX";
+  QWorker worker(wopts);
+  EXPECT_FALSE(module.TrainAndDeploy({job}, worker).ok());
+  EXPECT_EQ(worker.num_classifiers(), 0u);
+}
+
+TEST(TrainingModuleTest, DefaultLabelerIsRandomForest) {
+  TrainingModule module({});
+  module.RegisterEmbedder("shared", FeatureEmbedderPtr());
+  module.ImportLogs("appX", History());
+  TrainingModule::TrainJob job;
+  job.task_name = "user";
+  job.application = "appX";
+  job.embedder_name = "shared";
+  job.label_of = workload::UserOf;
+  // No labeler_factory: default to the paper's randomized decision trees.
+  auto result = module.Train(job);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->Predict(Query("SELECT a FROM t WHERE x = 4", "?")),
+            "alice");
+}
+
+}  // namespace
+}  // namespace querc::core

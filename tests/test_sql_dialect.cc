@@ -1,0 +1,65 @@
+#include "sql/dialect.h"
+
+#include <gtest/gtest.h>
+
+namespace querc::sql {
+namespace {
+
+TEST(DialectTest, Names) {
+  EXPECT_EQ(DialectName(Dialect::kGeneric), "generic");
+  EXPECT_EQ(DialectName(Dialect::kSqlServer), "sqlserver");
+  EXPECT_EQ(DialectName(Dialect::kSnowflake), "snowflake");
+}
+
+TEST(DialectTest, CommonKeywordsEverywhere) {
+  for (Dialect d : {Dialect::kGeneric, Dialect::kSqlServer,
+                    Dialect::kSnowflake}) {
+    const DialectTraits& traits = GetDialectTraits(d);
+    for (const char* kw : {"SELECT", "FROM", "WHERE", "GROUP", "ORDER",
+                           "JOIN", "HAVING", "UNION", "BETWEEN", "LIKE"}) {
+      EXPECT_TRUE(traits.is_keyword(kw)) << DialectName(d) << " " << kw;
+    }
+    EXPECT_FALSE(traits.is_keyword("LINEITEM"));
+    EXPECT_FALSE(traits.is_keyword(""));
+  }
+}
+
+TEST(DialectTest, SqlServerExtensions) {
+  const DialectTraits& traits = GetDialectTraits(Dialect::kSqlServer);
+  EXPECT_TRUE(traits.is_keyword("TOP"));
+  EXPECT_TRUE(traits.is_keyword("APPLY"));
+  EXPECT_TRUE(traits.is_keyword("DATEADD"));
+  EXPECT_FALSE(traits.is_keyword("QUALIFY"));  // Snowflake-only
+  EXPECT_EQ(traits.extra_ident_open, '[');
+  EXPECT_EQ(traits.extra_ident_close, ']');
+  EXPECT_TRUE(traits.at_parameters);
+  EXPECT_FALSE(traits.dollar_parameters);
+}
+
+TEST(DialectTest, SnowflakeExtensions) {
+  const DialectTraits& traits = GetDialectTraits(Dialect::kSnowflake);
+  EXPECT_TRUE(traits.is_keyword("QUALIFY"));
+  EXPECT_TRUE(traits.is_keyword("ILIKE"));
+  EXPECT_TRUE(traits.is_keyword("FLATTEN"));
+  EXPECT_FALSE(traits.is_keyword("TOP"));  // SQL Server-only
+  EXPECT_EQ(traits.extra_ident_open, '\0');
+  EXPECT_FALSE(traits.at_parameters);
+  EXPECT_TRUE(traits.dollar_parameters);
+}
+
+TEST(DialectTest, GenericIsTheIntersectionBaseline) {
+  const DialectTraits& traits = GetDialectTraits(Dialect::kGeneric);
+  EXPECT_FALSE(traits.is_keyword("TOP"));
+  EXPECT_FALSE(traits.is_keyword("QUALIFY"));
+  EXPECT_FALSE(traits.at_parameters);
+  EXPECT_FALSE(traits.dollar_parameters);
+}
+
+TEST(DialectTest, IsCommonKeywordIsCaseSensitiveUpper) {
+  // Callers upper-case before asking (the lexer does this).
+  EXPECT_TRUE(IsCommonKeyword("SELECT"));
+  EXPECT_FALSE(IsCommonKeyword("select"));
+}
+
+}  // namespace
+}  // namespace querc::sql

@@ -1,0 +1,203 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace querc::sql {
+namespace {
+
+TokenList MustLex(std::string_view text, Dialect dialect = Dialect::kGeneric,
+                  bool keep_comments = false) {
+  LexOptions options;
+  options.dialect = dialect;
+  options.keep_comments = keep_comments;
+  auto result = Lex(text, options);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(result).value() : TokenList{};
+}
+
+TEST(LexerTest, BasicSelect) {
+  TokenList t = MustLex("SELECT a, b FROM t WHERE a = 1");
+  ASSERT_EQ(t.size(), 10u);
+  EXPECT_TRUE(t[0].IsKeyword("SELECT"));
+  EXPECT_EQ(t[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(t[1].text, "a");
+  EXPECT_TRUE(t[2].IsPunct(','));
+  EXPECT_TRUE(t[4].IsKeyword("FROM"));
+  EXPECT_TRUE(t[6].IsKeyword("WHERE"));
+  EXPECT_TRUE(t[8].IsOperator("="));
+  EXPECT_EQ(t[9].type, TokenType::kNumber);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitiveAndUppercased) {
+  TokenList t = MustLex("select FrOm wHeRe");
+  EXPECT_EQ(t[0].text, "SELECT");
+  EXPECT_EQ(t[1].text, "FROM");
+  EXPECT_EQ(t[2].text, "WHERE");
+}
+
+TEST(LexerTest, IdentifiersKeepCase) {
+  TokenList t = MustLex("SELECT MyColumn FROM MyTable");
+  EXPECT_EQ(t[1].text, "MyColumn");
+  EXPECT_EQ(t[3].text, "MyTable");
+}
+
+TEST(LexerTest, StringLiteralWithEscape) {
+  TokenList t = MustLex("SELECT 'it''s a test'");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[1].type, TokenType::kString);
+  EXPECT_EQ(t[1].text, "it's a test");
+}
+
+TEST(LexerTest, UnterminatedStringIsErrorInStrictMode) {
+  auto result = Lex("SELECT 'oops");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(LexerTest, LenientClosesUnterminatedString) {
+  TokenList t = LexLenient("SELECT 'oops");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[1].text, "oops");
+}
+
+TEST(LexerTest, Numbers) {
+  TokenList t = MustLex("SELECT 42, 3.14, 1e5, 2.5e-3, .5");
+  EXPECT_EQ(t[1].text, "42");
+  EXPECT_EQ(t[3].text, "3.14");
+  EXPECT_EQ(t[5].text, "1e5");
+  EXPECT_EQ(t[7].text, "2.5e-3");
+  EXPECT_EQ(t[9].text, ".5");
+  for (size_t i = 1; i < t.size(); i += 2) {
+    EXPECT_EQ(t[i].type, TokenType::kNumber) << i;
+  }
+}
+
+TEST(LexerTest, NumberFollowedByIdentifierLetterE) {
+  TokenList t = MustLex("SELECT 5 edge");
+  EXPECT_EQ(t[1].text, "5");
+  EXPECT_EQ(t[2].text, "edge");
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  TokenList t = MustLex("a <= b >= c <> d != e || f :: g");
+  EXPECT_TRUE(t[1].IsOperator("<="));
+  EXPECT_TRUE(t[3].IsOperator(">="));
+  EXPECT_TRUE(t[5].IsOperator("<>"));
+  EXPECT_TRUE(t[7].IsOperator("!="));
+  EXPECT_TRUE(t[9].IsOperator("||"));
+  EXPECT_TRUE(t[11].IsOperator("::"));
+}
+
+TEST(LexerTest, LineCommentsDroppedByDefault) {
+  TokenList t = MustLex("SELECT 1 -- trailing comment\n, 2");
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[3].text, "2");
+}
+
+TEST(LexerTest, BlockCommentsKeptWhenRequested) {
+  TokenList t =
+      MustLex("SELECT /* hint */ 1", Dialect::kGeneric, /*keep=*/true);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[1].type, TokenType::kComment);
+  EXPECT_EQ(t[1].text, "/* hint */");
+}
+
+TEST(LexerTest, UnterminatedBlockCommentStrictFails) {
+  EXPECT_FALSE(Lex("SELECT 1 /* oops").ok());
+}
+
+TEST(LexerTest, QuotedIdentifierAnsi) {
+  TokenList t = MustLex("SELECT \"My Col\" FROM \"T\"");
+  EXPECT_EQ(t[1].type, TokenType::kQuotedIdentifier);
+  EXPECT_EQ(t[1].text, "My Col");
+}
+
+TEST(LexerTest, SqlServerBracketQuoting) {
+  TokenList t = MustLex("SELECT [Order Details] FROM [T]",
+                        Dialect::kSqlServer);
+  EXPECT_EQ(t[1].type, TokenType::kQuotedIdentifier);
+  EXPECT_EQ(t[1].text, "Order Details");
+}
+
+TEST(LexerTest, BracketsNotQuotesInGenericDialect) {
+  // '[' has no lexical rule in the generic dialect: strict mode rejects it.
+  EXPECT_FALSE(Lex("SELECT [x]").ok());
+  // Lenient mode skips it.
+  TokenList t = LexLenient("SELECT [x]");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[1].text, "x");
+}
+
+TEST(LexerTest, SqlServerKeywords) {
+  TokenList t = MustLex("SELECT TOP 5 a FROM t", Dialect::kSqlServer);
+  EXPECT_TRUE(t[1].IsKeyword("TOP"));
+  // TOP is an identifier in the generic dialect.
+  TokenList g = MustLex("SELECT TOP 5 a FROM t", Dialect::kGeneric);
+  EXPECT_EQ(g[1].type, TokenType::kIdentifier);
+}
+
+TEST(LexerTest, SnowflakeKeywordsAndParams) {
+  TokenList t = MustLex("SELECT a FROM t WHERE a ILIKE 'x' QUALIFY b = $1",
+                        Dialect::kSnowflake);
+  bool saw_ilike = false;
+  bool saw_qualify = false;
+  bool saw_param = false;
+  for (const Token& tok : t) {
+    saw_ilike |= tok.IsKeyword("ILIKE");
+    saw_qualify |= tok.IsKeyword("QUALIFY");
+    saw_param |= tok.type == TokenType::kParameter && tok.text == "$1";
+  }
+  EXPECT_TRUE(saw_ilike);
+  EXPECT_TRUE(saw_qualify);
+  EXPECT_TRUE(saw_param);
+}
+
+TEST(LexerTest, AtParametersSqlServer) {
+  TokenList t = MustLex("SELECT @UserId", Dialect::kSqlServer);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[1].type, TokenType::kParameter);
+  EXPECT_EQ(t[1].text, "@UserId");
+}
+
+TEST(LexerTest, QuestionMarkParameter) {
+  TokenList t = MustLex("WHERE a = ?");
+  EXPECT_EQ(t.back().type, TokenType::kParameter);
+}
+
+TEST(LexerTest, OffsetsPointIntoInput) {
+  std::string text = "SELECT abc";
+  TokenList t = MustLex(text);
+  EXPECT_EQ(t[0].offset, 0u);
+  EXPECT_EQ(t[1].offset, 7u);
+}
+
+TEST(LexerTest, EmptyInputGivesNoTokens) {
+  EXPECT_TRUE(MustLex("").empty());
+  EXPECT_TRUE(MustLex("   \n\t ").empty());
+}
+
+TEST(LexerTest, UnknownByteStrictFails) {
+  auto result = Lex("SELECT \x01");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kCorruption);
+}
+
+// The lexer must cleanly tokenize arbitrary garbage in lenient mode — it
+// sits in front of the embedding pipeline which must never crash on log
+// noise.
+class LenientFuzzTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(LenientFuzzTest, NeverFailsOnGarbage) {
+  TokenList t = LexLenient(GetParam());
+  (void)t;
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Garbage, LenientFuzzTest,
+    ::testing::Values("", "'", "\"", "/*", "--", "[[[", "'''",
+                      "SELECT 'a /* b -- c", "\x01\x02\xff",
+                      "((((((((((", "1e", "@@@@", "$$$", "::::"));
+
+}  // namespace
+}  // namespace querc::sql

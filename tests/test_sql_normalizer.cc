@@ -1,0 +1,76 @@
+#include "sql/normalizer.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+
+namespace querc::sql {
+namespace {
+
+std::vector<std::string> NormalizeText(std::string_view text,
+                                       const NormalizeOptions& options = {}) {
+  return Normalize(LexLenient(text), options);
+}
+
+TEST(NormalizerTest, FoldsLiterals) {
+  auto words = NormalizeText("SELECT a FROM t WHERE b = 5 AND c = 'x'");
+  std::vector<std::string> expected = {"SELECT", "a", "FROM",  "t",
+                                       "WHERE",  "b", "=",     kNumberPlaceholder,
+                                       "AND",    "c", "=",     kStringPlaceholder};
+  EXPECT_EQ(words, expected);
+}
+
+TEST(NormalizerTest, LowercasesIdentifiersButNotKeywords) {
+  auto words = NormalizeText("SELECT MyCol FROM MyTable");
+  EXPECT_EQ(words[0], "SELECT");
+  EXPECT_EQ(words[1], "mycol");
+  EXPECT_EQ(words[3], "mytable");
+}
+
+TEST(NormalizerTest, OptionsDisableFolding) {
+  NormalizeOptions options;
+  options.fold_literals = false;
+  auto words = NormalizeText("SELECT 42", options);
+  EXPECT_EQ(words[1], "42");
+}
+
+TEST(NormalizerTest, OptionsPreserveIdentifierCase) {
+  NormalizeOptions options;
+  options.lowercase_identifiers = false;
+  auto words = NormalizeText("SELECT MyCol", options);
+  EXPECT_EQ(words[1], "MyCol");
+}
+
+TEST(NormalizerTest, ParametersFold) {
+  auto words = NormalizeText("WHERE a = ?");
+  EXPECT_EQ(words.back(), kParamPlaceholder);
+}
+
+TEST(NormalizerTest, CommentsStripped) {
+  LexOptions lex;
+  lex.keep_comments = true;
+  auto tokens = LexLenient("SELECT 1 -- note", lex);
+  auto words = Normalize(tokens);
+  EXPECT_EQ(words.size(), 2u);
+  NormalizeOptions keep;
+  keep.strip_comments = false;
+  EXPECT_EQ(Normalize(tokens, keep).size(), 3u);
+}
+
+TEST(NormalizerTest, ParameterInstancesShareFingerprint) {
+  // The fingerprint property the workload-dedup logic relies on: two
+  // instances of one template differing only in literals normalize
+  // identically.
+  std::string a = "SELECT x FROM t WHERE d >= '1994-01-01' AND q < 24";
+  std::string b = "SELECT x FROM t WHERE d >= '1997-06-15' AND q < 7";
+  EXPECT_EQ(NormalizedText(LexLenient(a)), NormalizedText(LexLenient(b)));
+}
+
+TEST(NormalizerTest, DifferentStructureDifferentFingerprint) {
+  std::string a = "SELECT x FROM t WHERE q < 24";
+  std::string b = "SELECT x FROM t WHERE q > 24";
+  EXPECT_NE(NormalizedText(LexLenient(a)), NormalizedText(LexLenient(b)));
+}
+
+}  // namespace
+}  // namespace querc::sql

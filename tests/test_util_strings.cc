@@ -1,0 +1,67 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace querc::util {
+namespace {
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("SeLeCt * FROM T"), "select * from t");
+  EXPECT_EQ(ToUpper("select"), "SELECT");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("nospace"), "nospace");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("SELECT *", "SELECT"));
+  EXPECT_FALSE(StartsWith("SE", "SELECT"));
+  EXPECT_TRUE(EndsWith("q.sql", ".sql"));
+  EXPECT_FALSE(EndsWith("sql", ".sql"));
+}
+
+TEST(StringUtilTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a%b%c", "%", "%%"), "a%%b%%c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(ReplaceAll("none", "x", "y"), "none");
+}
+
+TEST(StringUtilTest, Fnv1aIsStableAndSpreads) {
+  EXPECT_EQ(Fnv1a64("lineitem"), Fnv1a64("lineitem"));
+  EXPECT_NE(Fnv1a64("lineitem"), Fnv1a64("orders"));
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace querc::util

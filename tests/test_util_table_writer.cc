@@ -1,0 +1,64 @@
+#include "util/table_writer.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace querc::util {
+namespace {
+
+TEST(TableWriterTest, AsciiAlignsColumns) {
+  TableWriter t({"method", "runtime"});
+  t.AddRow({"full", "1223.4"});
+  t.AddRow({"lstmTPCH", "930.6"});
+  std::string out = t.ToAscii();
+  EXPECT_NE(out.find("| method   |"), std::string::npos);
+  EXPECT_NE(out.find("| lstmTPCH |"), std::string::npos);
+  // Header, 2 rows, 3 rules = 6 lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 6);
+}
+
+TEST(TableWriterTest, CsvEscapesSpecials) {
+  TableWriter t({"a", "b"});
+  t.AddRow({"with,comma", "with\"quote"});
+  std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TableWriterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TableWriter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TableWriter::Num(3.14159, 0), "3");
+  EXPECT_EQ(TableWriter::Num(100.0, 1), "100.0");
+}
+
+TEST(TableWriterTest, WriteCsvRoundTrips) {
+  TableWriter t({"k", "v"});
+  t.AddRow({"x", "1"});
+  std::string path = testing::TempDir() + "/querc_table_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "k,v");
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,1");
+  std::remove(path.c_str());
+}
+
+TEST(TableWriterTest, WriteCsvBadPathFails) {
+  TableWriter t({"a"});
+  EXPECT_FALSE(t.WriteCsv("/nonexistent_dir_xyz/f.csv").ok());
+}
+
+TEST(TableWriterTest, NumRows) {
+  TableWriter t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace querc::util

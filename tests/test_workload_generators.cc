@@ -1,0 +1,201 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "workload/snowflake_gen.h"
+#include "workload/tpch_gen.h"
+
+namespace querc::workload {
+namespace {
+
+TEST(DateHelpersTest, RoundTrip) {
+  int64_t days = DaysFromCivil(1995, 6, 17);
+  int y, m, d;
+  CivilFromDays(days, &y, &m, &d);
+  EXPECT_EQ(y, 1995);
+  EXPECT_EQ(m, 6);
+  EXPECT_EQ(d, 17);
+  EXPECT_EQ(FormatDate(days), "1995-06-17");
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+}
+
+TEST(DateHelpersTest, LeapYear) {
+  EXPECT_EQ(DaysFromCivil(2000, 3, 1) - DaysFromCivil(2000, 2, 28), 2);
+  EXPECT_EQ(DaysFromCivil(1900, 3, 1) - DaysFromCivil(1900, 2, 28), 1);
+}
+
+// Every TPC-H template must lex cleanly under the STRICT SQL Server lexer:
+// the generator emits real SQL, not just strings.
+class TpchLexTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpchLexTest, StrictLexClean) {
+  util::Rng rng(100 + static_cast<uint64_t>(GetParam()));
+  for (int i = 0; i < 5; ++i) {
+    std::string text = TpchGenerator::Instantiate(GetParam(), rng);
+    ASSERT_FALSE(text.empty());
+    sql::LexOptions options;
+    options.dialect = sql::Dialect::kSqlServer;
+    auto result = sql::Lex(text, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString() << "\n" << text;
+    EXPECT_GT(result->size(), 10u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTemplates, TpchLexTest, ::testing::Range(1, 23));
+
+TEST(TpchGeneratorTest, WorkloadShapeAndOrder) {
+  TpchGenerator::Options options;
+  options.instances_per_template = 5;
+  TpchGenerator gen(options);
+  Workload wl = gen.Generate();
+  EXPECT_EQ(wl.size(), 22u * 5u);
+  // Template-major order: first 5 queries are template 1.
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(wl[i].template_id, 1);
+  EXPECT_EQ(wl[5].template_id, 2);
+  // Timestamps increase.
+  for (size_t i = 1; i < wl.size(); ++i) {
+    EXPECT_GT(wl[i].timestamp, wl[i - 1].timestamp);
+  }
+  // Dialect tagged.
+  EXPECT_EQ(wl[0].dialect, sql::Dialect::kSqlServer);
+}
+
+TEST(TpchGeneratorTest, ParametersVaryAcrossInstances) {
+  TpchGenerator::Options options;
+  options.instances_per_template = 10;
+  TpchGenerator gen(options);
+  Workload wl = gen.Generate();
+  std::set<std::string> q6_texts;
+  for (const auto& q : wl) {
+    if (q.template_id == 6) q6_texts.insert(q.text);
+  }
+  EXPECT_GE(q6_texts.size(), 8u);  // nearly all instances distinct
+}
+
+TEST(TpchGeneratorTest, DeterministicPerSeed) {
+  TpchGenerator::Options options;
+  options.instances_per_template = 3;
+  Workload a = TpchGenerator(options).Generate();
+  Workload b = TpchGenerator(options).Generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].text, b[i].text);
+  options.seed = 99;
+  Workload c = TpchGenerator(options).Generate();
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) any_diff |= a[i].text != c[i].text;
+  EXPECT_TRUE(any_diff);
+}
+
+SnowflakeGenerator::Options SmallSnowflake() {
+  SnowflakeGenerator::Options options;
+  options.seed = 7;
+  SnowflakeGenerator::AccountSpec a;
+  a.name = "acme";
+  a.num_users = 4;
+  a.num_queries = 200;
+  a.shared_query_rate = 0.0;
+  SnowflakeGenerator::AccountSpec b;
+  b.name = "globex";
+  b.num_users = 3;
+  b.num_queries = 150;
+  b.shared_query_rate = 0.8;
+  options.accounts = {a, b};
+  return options;
+}
+
+TEST(SnowflakeGeneratorTest, CountsAndLabels) {
+  Workload wl = SnowflakeGenerator(SmallSnowflake()).Generate();
+  EXPECT_EQ(wl.size(), 350u);
+  auto by_account = wl.CountBy(AccountOf);
+  EXPECT_EQ(by_account["acme"], 200u);
+  EXPECT_EQ(by_account["globex"], 150u);
+  auto by_user = wl.CountBy(UserOf);
+  EXPECT_EQ(by_user.size(), 7u);
+  for (const auto& q : wl) {
+    EXPECT_FALSE(q.text.empty());
+    EXPECT_FALSE(q.cluster.empty());
+    EXPECT_GT(q.runtime_seconds, 0.0);
+    EXPECT_GT(q.memory_mb, 0.0);
+    EXPECT_EQ(q.dialect, sql::Dialect::kSnowflake);
+  }
+}
+
+TEST(SnowflakeGeneratorTest, SharedQueryRateControlsTextSharing) {
+  Workload wl = SnowflakeGenerator(SmallSnowflake()).Generate();
+  Workload acme = wl.FilterByAccount("acme");
+  Workload globex = wl.FilterByAccount("globex");
+  // globex at 0.8 shared rate has far more cross-user identical text.
+  EXPECT_GT(globex.SharedTextFraction(), 0.5);
+  EXPECT_LT(acme.SharedTextFraction(), globex.SharedTextFraction());
+}
+
+TEST(SnowflakeGeneratorTest, SchemasAreAccountPrivate) {
+  Workload wl = SnowflakeGenerator(SmallSnowflake()).Generate();
+  // Table names embed the account tag, so no query text of one account
+  // names the other account's tables.
+  for (const auto& q : wl) {
+    if (q.account == "acme") {
+      EXPECT_EQ(q.text.find("_globex"), std::string::npos) << q.text;
+    } else {
+      EXPECT_EQ(q.text.find("_acme"), std::string::npos) << q.text;
+    }
+  }
+}
+
+TEST(SnowflakeGeneratorTest, QueriesLexCleanlyAsSnowflake) {
+  Workload wl = SnowflakeGenerator(SmallSnowflake()).Generate();
+  sql::LexOptions options;
+  options.dialect = sql::Dialect::kSnowflake;
+  for (size_t i = 0; i < wl.size(); i += 10) {
+    auto result = sql::Lex(wl[i].text, options);
+    ASSERT_TRUE(result.ok()) << wl[i].text;
+  }
+}
+
+TEST(SnowflakeGeneratorTest, Table2AccountMixMatchesPaper) {
+  auto specs = SnowflakeGenerator::Table2Accounts();
+  ASSERT_EQ(specs.size(), 13u);
+  EXPECT_EQ(specs[0].num_users, 28);
+  EXPECT_EQ(specs[2].num_users, 46);
+  // The three big accounts carry high shared rates.
+  EXPECT_GT(specs[0].shared_query_rate, 0.5);
+  EXPECT_GT(specs[1].shared_query_rate, 0.5);
+  EXPECT_GT(specs[2].shared_query_rate, 0.5);
+  // Most small accounts do not.
+  EXPECT_LT(specs[5].shared_query_rate, 0.1);
+  // Sizes descend like the paper's table.
+  EXPECT_GT(specs[0].num_queries, specs[1].num_queries);
+  EXPECT_GT(specs[1].num_queries, specs[12].num_queries);
+}
+
+TEST(SnowflakeGeneratorTest, ErrorsCorrelateWithTemplates) {
+  SnowflakeGenerator::Options options;
+  options.seed = 11;
+  options.accounts =
+      SnowflakeGenerator::UniformAccounts(4, 500, 5);
+  Workload wl = SnowflakeGenerator(options).Generate();
+  // Errors exist and are concentrated: per (account, template) the error
+  // rate is either ~0 or substantial, because templates carry the risk.
+  size_t errors = 0;
+  for (const auto& q : wl) errors += q.error_code.empty() ? 0 : 1;
+  EXPECT_GT(errors, 0u);
+  EXPECT_LT(errors, wl.size() / 2);
+}
+
+TEST(WorkloadTest, DistinctShapesFoldsParameters) {
+  Workload wl;
+  LabeledQuery a;
+  a.text = "SELECT x FROM t WHERE y = 5";
+  LabeledQuery b;
+  b.text = "SELECT x FROM t WHERE y = 99";
+  LabeledQuery c;
+  c.text = "SELECT z FROM t";
+  wl.Add(a);
+  wl.Add(b);
+  wl.Add(c);
+  EXPECT_EQ(wl.DistinctShapes(), 2u);
+}
+
+}  // namespace
+}  // namespace querc::workload

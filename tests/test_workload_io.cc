@@ -1,0 +1,120 @@
+#include "workload/io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "workload/snowflake_gen.h"
+#include "workload/tpch_gen.h"
+
+namespace querc::workload {
+namespace {
+
+LabeledQuery Make(const std::string& text) {
+  LabeledQuery q;
+  q.text = text;
+  q.dialect = sql::Dialect::kSnowflake;
+  q.timestamp = 1234567;
+  q.user = "alice";
+  q.account = "acme";
+  q.cluster = "c0";
+  q.error_code = "OOM";
+  q.runtime_seconds = 1.5;
+  q.memory_mb = 256.0;
+  q.template_id = 7;
+  return q;
+}
+
+TEST(WorkloadIoTest, RoundTripPreservesEverything) {
+  Workload wl;
+  wl.Add(Make("SELECT a FROM t WHERE x = 'it''s, tricky'"));
+  wl.Add(Make("SELECT b\nFROM u -- embedded newline and \"quotes\""));
+  std::stringstream ss;
+  ASSERT_TRUE(WriteWorkloadCsv(wl, ss).ok());
+  auto loaded = ReadWorkloadCsv(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 2u);
+  const LabeledQuery& q = (*loaded)[0];
+  EXPECT_EQ(q.text, "SELECT a FROM t WHERE x = 'it''s, tricky'");
+  EXPECT_EQ(q.dialect, sql::Dialect::kSnowflake);
+  EXPECT_EQ(q.timestamp, 1234567);
+  EXPECT_EQ(q.user, "alice");
+  EXPECT_EQ(q.account, "acme");
+  EXPECT_EQ(q.cluster, "c0");
+  EXPECT_EQ(q.error_code, "OOM");
+  EXPECT_DOUBLE_EQ(q.runtime_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(q.memory_mb, 256.0);
+  EXPECT_EQ(q.template_id, 7);
+  EXPECT_EQ((*loaded)[1].text,
+            "SELECT b\nFROM u -- embedded newline and \"quotes\"");
+}
+
+TEST(WorkloadIoTest, GeneratedWorkloadRoundTrips) {
+  SnowflakeGenerator::Options options;
+  options.seed = 3;
+  options.accounts = SnowflakeGenerator::UniformAccounts(2, 100, 3);
+  Workload wl = SnowflakeGenerator(options).Generate();
+  std::stringstream ss;
+  ASSERT_TRUE(WriteWorkloadCsv(wl, ss).ok());
+  auto loaded = ReadWorkloadCsv(ss);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), wl.size());
+  for (size_t i = 0; i < wl.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].text, wl[i].text);
+    EXPECT_EQ((*loaded)[i].user, wl[i].user);
+    EXPECT_EQ((*loaded)[i].account, wl[i].account);
+    EXPECT_EQ((*loaded)[i].error_code, wl[i].error_code);
+  }
+}
+
+TEST(WorkloadIoTest, EmptyWorkloadRoundTrips) {
+  std::stringstream ss;
+  ASSERT_TRUE(WriteWorkloadCsv(Workload(), ss).ok());
+  auto loaded = ReadWorkloadCsv(ss);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+TEST(WorkloadIoTest, RejectsMissingHeader) {
+  std::stringstream ss("not,a,workload\n1,2,3\n");
+  EXPECT_FALSE(ReadWorkloadCsv(ss).ok());
+}
+
+TEST(WorkloadIoTest, RejectsWrongArity) {
+  std::stringstream ss(
+      "text,dialect,timestamp,user,account,cluster,error_code,"
+      "runtime_seconds,memory_mb,template_id\nonly,three,fields\n");
+  auto result = ReadWorkloadCsv(ss);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kCorruption);
+}
+
+TEST(WorkloadIoTest, RejectsUnknownDialect) {
+  std::stringstream ss(
+      "text,dialect,timestamp,user,account,cluster,error_code,"
+      "runtime_seconds,memory_mb,template_id\n"
+      "SELECT 1,oracle,0,u,a,c,,0,0,-1\n");
+  EXPECT_FALSE(ReadWorkloadCsv(ss).ok());
+}
+
+TEST(WorkloadIoTest, ParseDialectNames) {
+  EXPECT_EQ(*ParseDialect("generic"), sql::Dialect::kGeneric);
+  EXPECT_EQ(*ParseDialect("sqlserver"), sql::Dialect::kSqlServer);
+  EXPECT_EQ(*ParseDialect("snowflake"), sql::Dialect::kSnowflake);
+  EXPECT_FALSE(ParseDialect("mysql").ok());
+}
+
+TEST(WorkloadIoTest, FileRoundTrip) {
+  Workload wl;
+  wl.Add(Make("SELECT 1"));
+  std::string path = testing::TempDir() + "/querc_workload_io_test.csv";
+  ASSERT_TRUE(WriteWorkloadCsvFile(wl, path).ok());
+  auto loaded = ReadWorkloadCsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 1u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadWorkloadCsvFile("/no/such/file.csv").ok());
+}
+
+}  // namespace
+}  // namespace querc::workload

@@ -1,0 +1,198 @@
+// Tests for the structural knobs of the Snowflake-style generator that
+// drive the Table 1 / Table 2 reproduction: colliding template pairs
+// (bag-identical, order-distinct), cross-account global families, user-
+// private templates, and skewed shared-pool preferences.
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "embed/embedder.h"
+#include "workload/snowflake_gen.h"
+
+namespace querc::workload {
+namespace {
+
+/// Canonical order-insensitive fingerprint (sorted normalized tokens).
+std::string BagFingerprint(const LabeledQuery& q) {
+  auto words = embed::TokenizeForEmbedding(q.text, q.dialect);
+  std::sort(words.begin(), words.end());
+  std::string fp;
+  for (const auto& w : words) {
+    fp += w;
+    fp += ' ';
+  }
+  return fp;
+}
+
+/// Order-sensitive fingerprint.
+std::string SeqFingerprint(const LabeledQuery& q) {
+  auto words = embed::TokenizeForEmbedding(q.text, q.dialect);
+  std::string fp;
+  for (const auto& w : words) {
+    fp += w;
+    fp += ' ';
+  }
+  return fp;
+}
+
+SnowflakeGenerator::Options MultiAccountOptions() {
+  SnowflakeGenerator::Options options;
+  options.seed = 31;
+  options.accounts = SnowflakeGenerator::UniformAccounts(
+      /*num_accounts=*/5, /*queries_per_account=*/400,
+      /*users_per_account=*/6);
+  return options;
+}
+
+TEST(WorkloadStructureTest, BagCollisionsSpanAccounts) {
+  // Global families must create bags observed under multiple accounts.
+  Workload wl = SnowflakeGenerator(MultiAccountOptions()).Generate();
+  std::map<std::string, std::set<std::string>> accounts_by_bag;
+  for (const auto& q : wl) accounts_by_bag[BagFingerprint(q)].insert(q.account);
+  size_t cross_account_queries = 0;
+  for (const auto& q : wl) {
+    if (accounts_by_bag[BagFingerprint(q)].size() > 1) {
+      ++cross_account_queries;
+    }
+  }
+  EXPECT_GT(cross_account_queries, wl.size() / 20)
+      << "global families should produce cross-account bag collisions";
+}
+
+TEST(WorkloadStructureTest, SequenceStillSeparatesAccounts) {
+  // Order must resolve (almost) every cross-account bag collision: the
+  // sequence-oracle account accuracy must be near 1.
+  Workload wl = SnowflakeGenerator(MultiAccountOptions()).Generate();
+  std::map<std::string, std::map<std::string, int>> accounts_by_seq;
+  for (const auto& q : wl) ++accounts_by_seq[SeqFingerprint(q)][q.account];
+  long hits = 0;
+  for (const auto& [seq, counts] : accounts_by_seq) {
+    int best = 0;
+    for (const auto& [account, c] : counts) best = std::max(best, c);
+    hits += best;
+  }
+  double seq_oracle = static_cast<double>(hits) /
+                      static_cast<double>(wl.size());
+  EXPECT_GT(seq_oracle, 0.97);
+}
+
+TEST(WorkloadStructureTest, BagOracleBelowSequenceOracleForUsers) {
+  // Colliding pairs + family sharing must open a measurable gap between
+  // the bag and sequence ceilings on the USER task (Table 1's mechanism).
+  Workload wl = SnowflakeGenerator(MultiAccountOptions()).Generate();
+  auto oracle = [&](auto fingerprint) {
+    std::map<std::string, std::map<std::string, int>> by_fp;
+    for (const auto& q : wl) ++by_fp[fingerprint(q)][q.user];
+    long hits = 0;
+    for (const auto& [fp, counts] : by_fp) {
+      int best = 0;
+      for (const auto& [user, c] : counts) best = std::max(best, c);
+      hits += best;
+    }
+    return static_cast<double>(hits) / static_cast<double>(wl.size());
+  };
+  double bag = oracle(BagFingerprint);
+  double seq = oracle(SeqFingerprint);
+  EXPECT_LT(bag, seq - 0.02)
+      << "bag=" << bag << " seq=" << seq
+      << ": order variants should carry user signal invisible to bags";
+}
+
+TEST(WorkloadStructureTest, ZeroCollisionKnobsRemoveBagGap) {
+  SnowflakeGenerator::Options options = MultiAccountOptions();
+  for (auto& spec : options.accounts) {
+    spec.colliding_pair_rate = 0.0;
+    spec.global_family_templates = 0;
+    spec.private_templates_per_user = 0;
+  }
+  Workload wl = SnowflakeGenerator(options).Generate();
+  std::map<std::string, std::set<std::string>> users_by_bag;
+  std::map<std::string, std::set<std::string>> users_by_seq;
+  for (const auto& q : wl) {
+    users_by_bag[BagFingerprint(q)].insert(q.user);
+    users_by_seq[SeqFingerprint(q)].insert(q.user);
+  }
+  // Without order-variant machinery, bag and sequence fingerprints carry
+  // the same information (both collapse to template identity).
+  EXPECT_EQ(users_by_bag.size(), users_by_seq.size());
+}
+
+TEST(WorkloadStructureTest, PrivateTemplatesConcentrateOnOneUser) {
+  SnowflakeGenerator::Options options = MultiAccountOptions();
+  Workload wl = SnowflakeGenerator(options).Generate();
+  // Some sequence fingerprints must be user-exclusive with substantial
+  // counts (the private ad-hoc templates).
+  std::map<std::string, std::map<std::string, int>> users_by_seq;
+  for (const auto& q : wl) ++users_by_seq[SeqFingerprint(q)][q.user];
+  int exclusive_heavy = 0;
+  for (const auto& [seq, counts] : users_by_seq) {
+    if (counts.size() == 1 && counts.begin()->second >= 5) ++exclusive_heavy;
+  }
+  EXPECT_GE(exclusive_heavy, 5);
+}
+
+TEST(WorkloadStructureTest, SharedPoolPreferencesAreSkewed) {
+  // Within a high-shared-rate account, a user's shared queries must
+  // concentrate on few texts (quadratic-Zipf preference), so shared texts
+  // still carry partial user signal.
+  SnowflakeGenerator::Options options;
+  options.seed = 67;
+  SnowflakeGenerator::AccountSpec spec;
+  spec.name = "rep";
+  spec.num_users = 8;
+  spec.num_queries = 4000;
+  spec.shared_query_rate = 1.0;  // every query from the shared pool
+  spec.shared_pool_size = 8;
+  options.accounts = {spec};
+  Workload wl = SnowflakeGenerator(options).Generate();
+
+  std::map<std::string, std::map<std::string, int>> texts_by_user;
+  for (const auto& q : wl) ++texts_by_user[q.user][q.text];
+  for (const auto& [user, counts] : texts_by_user) {
+    int total = 0;
+    int top = 0;
+    for (const auto& [text, c] : counts) {
+      total += c;
+      top = std::max(top, c);
+    }
+    if (total < 100) continue;
+    // Uniform over 8 texts would put ~12.5% on the top text; the skewed
+    // preference puts far more.
+    EXPECT_GT(static_cast<double>(top) / total, 0.3) << user;
+  }
+}
+
+TEST(WorkloadStructureTest, Table2OracleCeilingsMatchPaperShape) {
+  // The Table 2 generator's structural ceilings: bag-of-words account
+  // oracle near the paper's Doc2Vec result, sequence oracle near-perfect.
+  SnowflakeGenerator::Options options;
+  options.seed = 77;
+  options.accounts = SnowflakeGenerator::Table2Accounts();
+  Workload wl = SnowflakeGenerator(options).Generate();
+  std::map<std::string, std::map<std::string, int>> by_bag;
+  std::map<std::string, std::map<std::string, int>> by_seq;
+  for (const auto& q : wl) {
+    ++by_bag[BagFingerprint(q)][q.account];
+    ++by_seq[SeqFingerprint(q)][q.account];
+  }
+  auto oracle = [&](const auto& m) {
+    long hits = 0;
+    for (const auto& [fp, counts] : m) {
+      int best = 0;
+      for (const auto& [label, c] : counts) best = std::max(best, c);
+      hits += best;
+    }
+    return static_cast<double>(hits) / static_cast<double>(wl.size());
+  };
+  double bag = oracle(by_bag);
+  double seq = oracle(by_seq);
+  EXPECT_GT(bag, 0.70);
+  EXPECT_LT(bag, 0.90);  // the Doc2Vec regime
+  EXPECT_GT(seq, 0.99);  // the LSTM regime
+}
+
+}  // namespace
+}  // namespace querc::workload

@@ -1,0 +1,374 @@
+// querc — command-line front end for the Querc workload-management
+// library. Workloads travel as CSV (workload/io.h), trained embedders as
+// binary model files (embed/model_io.h).
+//
+//   querc generate   --kind tpch|snowflake [--seed N] [--accounts N]
+//                    [--queries N] [--users N] --out workload.csv
+//   querc train      --embedder doc2vec|dbow|lstm --workload w.csv
+//                    --model m.bin [--dim N] [--epochs N]
+//   querc summarize  --model m.bin --workload w.csv [--k N]
+//                    [--out summary.csv]
+//   querc tune       --workload w.csv [--budget MIN] [--merge]
+//                    [--storage MB]
+//   querc audit      --model m.bin --history h.csv --batch b.csv
+//                    [--confidence F]
+//   querc label      --model m.bin --history h.csv --batch b.csv
+//                    --task user|account|cluster
+//   querc info       --model m.bin
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "embed/model_io.h"
+#include "engine/advisor.h"
+#include "engine/explain.h"
+#include "engine/cost_model.h"
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+#include "querc/querc.h"
+#include "querc/drift.h"
+#include "util/string_util.h"
+#include "workload/io.h"
+
+namespace querc::cli {
+namespace {
+
+/// Minimal --flag value parser: flags are "--name value"; bare "--name"
+/// is a boolean.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) continue;
+      key = key.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "true";
+      }
+    }
+  }
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  bool GetBool(const std::string& key) const {
+    return values_.count(key) > 0;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const util::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+util::StatusOr<workload::Workload> LoadWorkload(const Args& args,
+                                                const std::string& flag) {
+  std::string path = args.Get(flag);
+  if (path.empty()) {
+    return util::Status::InvalidArgument("missing --" + flag);
+  }
+  return workload::ReadWorkloadCsvFile(path);
+}
+
+int CmdGenerate(const Args& args) {
+  std::string kind = args.Get("kind", "snowflake");
+  std::string out = args.Get("out");
+  if (out.empty()) return Fail(util::Status::InvalidArgument("missing --out"));
+  workload::Workload wl;
+  if (kind == "tpch") {
+    workload::TpchGenerator::Options options;
+    options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+    options.instances_per_template = args.GetInt("instances", 38);
+    wl = workload::TpchGenerator(options).Generate();
+  } else if (kind == "snowflake") {
+    workload::SnowflakeGenerator::Options options;
+    options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+    options.accounts = workload::SnowflakeGenerator::UniformAccounts(
+        args.GetInt("accounts", 5), args.GetInt("queries", 500),
+        args.GetInt("users", 5));
+    wl = workload::SnowflakeGenerator(options).Generate();
+  } else if (kind == "table2") {
+    workload::SnowflakeGenerator::Options options;
+    options.seed = static_cast<uint64_t>(args.GetInt("seed", 77));
+    options.accounts = workload::SnowflakeGenerator::Table2Accounts();
+    wl = workload::SnowflakeGenerator(options).Generate();
+  } else {
+    return Fail(util::Status::InvalidArgument("unknown --kind " + kind));
+  }
+  util::Status status = workload::WriteWorkloadCsvFile(wl, out);
+  if (!status.ok()) return Fail(status);
+  std::printf("wrote %zu queries (%zu distinct shapes) to %s\n", wl.size(),
+              wl.DistinctShapes(), out.c_str());
+  return 0;
+}
+
+int CmdTrain(const Args& args) {
+  auto wl = LoadWorkload(args, "workload");
+  if (!wl.ok()) return Fail(wl.status());
+  std::string model_path = args.Get("model");
+  if (model_path.empty()) {
+    return Fail(util::Status::InvalidArgument("missing --model"));
+  }
+  std::string kind = args.Get("embedder", "lstm");
+  std::unique_ptr<embed::Embedder> embedder;
+  if (kind == "doc2vec" || kind == "dbow") {
+    embed::Doc2VecEmbedder::Options options;
+    options.dim = static_cast<size_t>(args.GetInt("dim", 24));
+    options.epochs = args.GetInt("epochs", 10);
+    options.mode = kind == "dbow" ? embed::Doc2VecEmbedder::Mode::kDbow
+                                  : embed::Doc2VecEmbedder::Mode::kDm;
+    embedder = std::make_unique<embed::Doc2VecEmbedder>(options);
+  } else if (kind == "lstm") {
+    embed::LstmAutoencoderEmbedder::Options options;
+    options.hidden_dim = static_cast<size_t>(args.GetInt("dim", 32));
+    options.epochs = args.GetInt("epochs", 8);
+    embedder = std::make_unique<embed::LstmAutoencoderEmbedder>(options);
+  } else {
+    return Fail(util::Status::InvalidArgument("unknown --embedder " + kind));
+  }
+  std::printf("training %s on %zu queries...\n", embedder->name().c_str(),
+              wl->size());
+  util::Status status = embed::TrainOnWorkload(*embedder, *wl);
+  if (!status.ok()) return Fail(status);
+  status = embed::SaveEmbedderFile(*embedder, model_path);
+  if (!status.ok()) return Fail(status);
+  std::printf("saved %s (dim=%zu) to %s\n", embedder->name().c_str(),
+              embedder->dim(), model_path.c_str());
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  auto embedder = embed::LoadEmbedderFile(args.Get("model"));
+  if (!embedder.ok()) return Fail(embedder.status());
+  std::printf("model: %s, dim=%zu\n", (*embedder)->name().c_str(),
+              (*embedder)->dim());
+  return 0;
+}
+
+int CmdSummarize(const Args& args) {
+  auto embedder = embed::LoadEmbedderFile(args.Get("model"));
+  if (!embedder.ok()) return Fail(embedder.status());
+  auto wl = LoadWorkload(args, "workload");
+  if (!wl.ok()) return Fail(wl.status());
+
+  core::WorkloadSummarizer::Options options;
+  options.fixed_k = static_cast<size_t>(args.GetInt("k", 0));
+  std::shared_ptr<const embed::Embedder> shared(std::move(*embedder));
+  core::WorkloadSummarizer summarizer(shared, options);
+  auto summary = summarizer.Summarize(*wl);
+  std::printf("summary: K=%zu witnesses from %zu queries\n",
+              summary.queries.size(), wl->size());
+  std::string out = args.Get("out");
+  if (!out.empty()) {
+    util::Status status = workload::WriteWorkloadCsvFile(summary.queries, out);
+    if (!status.ok()) return Fail(status);
+    std::printf("wrote witnesses to %s\n", out.c_str());
+  } else {
+    for (const auto& q : summary.queries) {
+      std::printf("  %.100s%s\n", q.text.c_str(),
+                  q.text.size() > 100 ? "..." : "");
+    }
+  }
+  return 0;
+}
+
+int CmdTune(const Args& args) {
+  auto wl = LoadWorkload(args, "workload");
+  if (!wl.ok()) return Fail(wl.status());
+  std::vector<std::string> texts;
+  for (const auto& q : *wl) texts.push_back(q.text);
+
+  engine::Catalog catalog = engine::TpchCatalog();
+  engine::CostModel model(&catalog);
+  engine::AdvisorOptions options;
+  options.budget_minutes = args.GetDouble("budget", 10.0);
+  options.max_storage_mb = args.GetDouble("storage", 0.0);
+  options.enable_index_merging = args.GetBool("merge");
+  engine::TuningAdvisor advisor(&model, options);
+  auto rec = advisor.Recommend(texts);
+
+  double baseline = engine::RunWorkload(model, texts, {}).total_seconds;
+  double tuned = engine::RunWorkload(model, texts, rec.config).total_seconds;
+  std::printf("recommendation: %s\n", engine::ConfigToString(rec.config).c_str());
+  std::printf("storage: %.1f MB, refined: %s\n", rec.storage_mb,
+              rec.completed_refinement ? "yes" : "no");
+  std::printf("workload runtime: %.1fs -> %.1fs (%.0f%%)\n", baseline, tuned,
+              100.0 * tuned / std::max(baseline, 1e-9));
+  for (const auto& line : rec.log) std::printf("  %s\n", line.c_str());
+  return 0;
+}
+
+int CmdAudit(const Args& args) {
+  auto embedder = embed::LoadEmbedderFile(args.Get("model"));
+  if (!embedder.ok()) return Fail(embedder.status());
+  auto history = LoadWorkload(args, "history");
+  if (!history.ok()) return Fail(history.status());
+  auto batch = LoadWorkload(args, "batch");
+  if (!batch.ok()) return Fail(batch.status());
+
+  core::SecurityAuditor::Options options;
+  options.min_confidence = args.GetDouble("confidence", 0.6);
+  std::shared_ptr<const embed::Embedder> shared(std::move(*embedder));
+  core::SecurityAuditor auditor(shared, options);
+  util::Status status = auditor.Train(*history);
+  if (!status.ok()) return Fail(status);
+  auto flags = auditor.Audit(*batch);
+  std::printf("%zu of %zu queries flagged for audit\n", flags.size(),
+              batch->size());
+  for (const auto& flag : flags) {
+    std::printf("  #%zu recorded=%s predicted=%s confidence=%.2f\n",
+                flag.query_index, flag.actual_user.c_str(),
+                flag.predicted_user.c_str(), flag.confidence);
+  }
+  return 0;
+}
+
+int CmdLabel(const Args& args) {
+  auto embedder = embed::LoadEmbedderFile(args.Get("model"));
+  if (!embedder.ok()) return Fail(embedder.status());
+  auto history = LoadWorkload(args, "history");
+  if (!history.ok()) return Fail(history.status());
+  auto batch = LoadWorkload(args, "batch");
+  if (!batch.ok()) return Fail(batch.status());
+
+  std::string task = args.Get("task", "user");
+  core::LabelExtractor extractor;
+  if (task == "user") {
+    extractor = workload::UserOf;
+  } else if (task == "account") {
+    extractor = workload::AccountOf;
+  } else if (task == "cluster") {
+    extractor = workload::ClusterOf;
+  } else {
+    return Fail(util::Status::InvalidArgument("unknown --task " + task));
+  }
+
+  std::shared_ptr<const embed::Embedder> shared(std::move(*embedder));
+  core::Classifier classifier(
+      task, shared,
+      std::make_unique<ml::RandomForestClassifier>(
+          ml::RandomForestClassifier::Options{}));
+  util::Status status = classifier.Train(*history, extractor);
+  if (!status.ok()) return Fail(status);
+
+  size_t correct = 0;
+  for (const auto& q : *batch) {
+    std::string predicted = classifier.Predict(q);
+    if (predicted == extractor(q)) ++correct;
+  }
+  std::printf("%s labeling: %zu/%zu correct (%.1f%%) on the batch\n",
+              task.c_str(), correct, batch->size(),
+              100.0 * static_cast<double>(correct) /
+                  static_cast<double>(std::max<size_t>(1, batch->size())));
+  return 0;
+}
+
+int CmdExplain(const Args& args) {
+  auto wl = LoadWorkload(args, "workload");
+  if (!wl.ok()) return Fail(wl.status());
+  engine::Catalog catalog = engine::TpchCatalog();
+  engine::CostModel model(&catalog);
+  engine::IndexConfig config;
+  // --index table:col1[,col2] may repeat via comma-separated list in one
+  // flag: "--indexes lineitem:l_shipdate;orders:o_orderdate".
+  std::string spec = args.Get("indexes");
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string one = spec.substr(pos, end - pos);
+    pos = end + 1;
+    size_t colon = one.find(':');
+    if (colon == std::string::npos) continue;
+    engine::Index index;
+    index.table = one.substr(0, colon);
+    for (const std::string& col :
+         util::Split(one.substr(colon + 1), ',')) {
+      if (!col.empty()) index.key_columns.push_back(col);
+    }
+    config.push_back(std::move(index));
+  }
+  size_t limit = static_cast<size_t>(args.GetInt("limit", 5));
+  for (size_t i = 0; i < wl->size() && i < limit; ++i) {
+    std::printf("%s\n",
+                engine::ExplainQuery(model, (*wl)[i].text, config).c_str());
+  }
+  return 0;
+}
+
+int CmdDrift(const Args& args) {
+  auto embedder = embed::LoadEmbedderFile(args.Get("model"));
+  if (!embedder.ok()) return Fail(embedder.status());
+  auto reference = LoadWorkload(args, "reference");
+  if (!reference.ok()) return Fail(reference.status());
+  auto recent = LoadWorkload(args, "recent");
+  if (!recent.ok()) return Fail(recent.status());
+
+  std::shared_ptr<const embed::Embedder> shared(std::move(*embedder));
+  core::DriftDetector detector(shared, {});
+  util::Status status = detector.SetReference(*reference);
+  if (!status.ok()) return Fail(status);
+  auto report = detector.Check(*recent);
+  std::printf("reference=%zu recent=%zu\n", report.reference_size,
+              report.recent_size);
+  std::printf("centroid_shift=%.3f novelty=%.3f -> retrain %s\n",
+              report.centroid_shift, report.novelty,
+              report.retrain_recommended ? "RECOMMENDED" : "not needed");
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: querc <command> [flags]\n"
+      "  generate   --kind tpch|snowflake|table2 --out w.csv [--seed N]\n"
+      "  train      --embedder doc2vec|dbow|lstm --workload w.csv --model m.bin\n"
+      "  info       --model m.bin\n"
+      "  summarize  --model m.bin --workload w.csv [--k N] [--out s.csv]\n"
+      "  tune       --workload w.csv [--budget MIN] [--merge] [--storage MB]\n"
+      "  audit      --model m.bin --history h.csv --batch b.csv\n"
+      "  label      --model m.bin --history h.csv --batch b.csv --task t\n"
+      "  explain    --workload w.csv [--indexes t:c1,c2;t2:c] [--limit N]\n"
+      "  drift      --model m.bin --reference r.csv --recent n.csv\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  Args args(argc, argv);
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "train") return CmdTrain(args);
+  if (command == "info") return CmdInfo(args);
+  if (command == "summarize") return CmdSummarize(args);
+  if (command == "tune") return CmdTune(args);
+  if (command == "audit") return CmdAudit(args);
+  if (command == "label") return CmdLabel(args);
+  if (command == "explain") return CmdExplain(args);
+  if (command == "drift") return CmdDrift(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace querc::cli
+
+int main(int argc, char** argv) { return querc::cli::Main(argc, argv); }
