@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "bench/bench_common.h"
@@ -14,6 +15,7 @@
 #include "ml/random_forest.h"
 #include "querc/classifier.h"
 #include "querc/qworker.h"
+#include "querc/qworker_pool.h"
 #include "sql/analyzer.h"
 #include "sql/lexer.h"
 #include "sql/normalizer.h"
@@ -104,23 +106,32 @@ void BM_EmbedLstm(benchmark::State& state) {
 }
 BENCHMARK(BM_EmbedLstm);
 
+/// One trained (LSTM embedder, forest labeler) user classifier, shared by
+/// the QWorker and QWorkerPool benchmarks so training cost is paid once.
+std::shared_ptr<const core::Classifier> SharedUserClassifier() {
+  static const std::shared_ptr<const core::Classifier> classifier = [] {
+    auto embedder = std::make_shared<embed::LstmAutoencoderEmbedder>([] {
+      auto o = LstmBenchOptions();
+      o.epochs = 1;
+      return o;
+    }());
+    (void)embed::TrainOnWorkload(*embedder, SharedWorkload());
+    auto c = std::make_shared<core::Classifier>(
+        "user", embedder,
+        std::make_unique<ml::RandomForestClassifier>(
+            ml::RandomForestClassifier::Options{.num_trees = 20}));
+    (void)c->Train(SharedWorkload(), workload::UserOf);
+    return c;
+  }();
+  return classifier;
+}
+
 void BM_QWorkerProcess(benchmark::State& state) {
   // End-to-end online path: embed + label through a deployed classifier.
   core::QWorker::Options options;
   options.application = "bench";
   core::QWorker worker(options);
-  auto embedder = std::make_shared<embed::LstmAutoencoderEmbedder>([&] {
-    auto o = LstmBenchOptions();
-    o.epochs = 1;
-    return o;
-  }());
-  (void)embed::TrainOnWorkload(*embedder, SharedWorkload());
-  auto classifier = std::make_shared<core::Classifier>(
-      "user", embedder,
-      std::make_unique<ml::RandomForestClassifier>(
-          ml::RandomForestClassifier::Options{.num_trees = 20}));
-  (void)classifier->Train(SharedWorkload(), workload::UserOf);
-  worker.Deploy(classifier);
+  worker.Deploy(SharedUserClassifier());
 
   size_t i = 0;
   for (auto _ : state) {
@@ -132,6 +143,63 @@ void BM_QWorkerProcess(benchmark::State& state) {
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_QWorkerProcess);
+
+/// End-to-end sharded service layer: one whole workload batch fanned out
+/// across N QWorker shards on the pool's thread pool. Arg = shard count;
+/// the scaling curve is the paper's "parallelized in the usual ways"
+/// claim made measurable.
+void BM_QWorkerPoolProcessBatch(benchmark::State& state) {
+  core::QWorkerPool::Options options;
+  options.application = "bench-pool";
+  options.num_shards = static_cast<size_t>(state.range(0));
+  // Round-robin spreads the batch uniformly so the benchmark measures
+  // scaling, not the workload's tenant skew.
+  options.partition = core::QWorkerPool::Partition::kRoundRobin;
+  core::QWorkerPool pool(options);
+  pool.Deploy(SharedUserClassifier());
+
+  const workload::Workload& batch = SharedWorkload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.ProcessBatch(batch));
+  }
+  state.counters["queries_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(batch.size()),
+      benchmark::Counter::kIsRate);
+  auto stats = pool.Stats();
+  double max_shard_mean = 0.0;
+  for (const auto& s : stats) {
+    max_shard_mean = std::max(max_shard_mean, s.latency.mean_ms());
+  }
+  state.counters["shard_mean_ms"] = max_shard_mean;
+}
+BENCHMARK(BM_QWorkerPoolProcessBatch)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
+/// Same pool, tenant-affine sharding: accounts hash to shards, so skewed
+/// tenants bound the speedup — the load-balancing trade-off in one number.
+void BM_QWorkerPoolByAccount(benchmark::State& state) {
+  core::QWorkerPool::Options options;
+  options.application = "bench-pool-acct";
+  options.num_shards = static_cast<size_t>(state.range(0));
+  options.partition = core::QWorkerPool::Partition::kByAccount;
+  core::QWorkerPool pool(options);
+  pool.Deploy(SharedUserClassifier());
+
+  const workload::Workload& batch = SharedWorkload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.ProcessBatch(batch));
+  }
+  state.counters["queries_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(batch.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_QWorkerPoolByAccount)->Arg(4)->UseRealTime();
 
 void BM_KMeansSummarize(benchmark::State& state) {
   const embed::Embedder& embedder = SharedEmbedder(false);

@@ -8,6 +8,12 @@
 // application's QWorker; processed queries tee back for the next batch
 // training job. A drift check decides when retraining is due.
 //
+// X, the busiest application, runs a sharded QWorkerPool: its stream is
+// hashed across 4 QWorker shards and batches are labeled in parallel —
+// the paper's "QWorkers can be load-balanced and parallelized in the
+// usual ways" (§2). Deployments are snapshot swaps, so the training
+// module can hot-swap retrained classifiers while queries are in flight.
+//
 // Build & run:  ./build/examples/full_service
 
 #include <cstdio>
@@ -78,14 +84,18 @@ int main() {
     return j;  // default labeler: randomized decision forest
   };
 
-  // --- per-application workers; X gets user + cluster classifiers ---
-  core::QWorker worker_x({.application = "X"});
+  // --- per-application workers; X is sharded, gets user + cluster ---
+  core::QWorkerPool::Options pool_options;
+  pool_options.application = "X";
+  pool_options.num_shards = 4;
+  pool_options.partition = core::QWorkerPool::Partition::kByUser;
+  core::QWorkerPool pool_x(pool_options);
   core::QWorker worker_y({.application = "Y"});
   core::QWorker worker_z({.application = "Z", .forward_to_database = false});
   util::Status status = module.TrainAndDeploy(
       {job("X", "EmbedderA", workload::UserOf, "user"),
        job("X", "EmbedderA", workload::ClusterOf, "cluster")},
-      worker_x);
+      pool_x);
   if (!status.ok()) return 1;
   (void)module.TrainAndDeploy({job("Y", "EmbedderA", workload::UserOf,
                                    "user")},
@@ -95,22 +105,30 @@ int main() {
                               worker_z);
 
   // Tee labeled queries back to the training module (Figure 1's loop).
-  worker_x.set_training_sink([&](const core::ProcessedQuery& pq) {
+  // Collect() locks internally, so the sink is safe to call from every
+  // shard concurrently.
+  pool_x.set_training_sink([&](const core::ProcessedQuery& pq) {
     module.Collect("X", pq);
   });
 
-  // --- steady state: batches arrive, workers label them ---
+  // --- steady state: a batch arrives, shards label it in parallel ---
+  workload::Workload batch;
+  for (size_t i = 0; i < 200; ++i) batch.Add(x[i]);
+  auto outputs = pool_x.ProcessBatch(batch);
   int correct = 0;
   int total = 0;
-  for (size_t i = 0; i < 200; ++i) {
-    auto out = worker_x.Process(x[i]);
-    correct += out.predictions.at("user") == x[i].user ? 1 : 0;
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    correct += outputs[i].predictions.at("user") == batch[i].user ? 1 : 0;
     ++total;
   }
-  std::printf("X stream: %d/%d user predictions correct; worker holds %zu "
-              "classifiers, window %zu\n",
-              correct, total, worker_x.num_classifiers(),
-              worker_x.window().size());
+  std::printf("X stream: %d/%d user predictions correct across %zu shards\n",
+              correct, total, pool_x.num_shards());
+  for (const auto& s : pool_x.Stats()) {
+    std::printf("  shard %zu: %zu queries, %zu classifiers, latency "
+                "min/mean/max %.3f/%.3f/%.3f ms\n",
+                s.shard, s.processed, s.num_classifiers, s.latency.min_ms,
+                s.latency.mean_ms(), s.latency.max_ms);
+  }
 
   // --- drift check: should we retrain? ---
   core::DriftDetector detector(embedder_a, {});

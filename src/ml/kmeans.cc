@@ -18,11 +18,17 @@ std::vector<nn::Vec> SeedPlusPlus(const std::vector<nn::Vec>& points, size_t k,
   std::vector<double> d2(points.size(),
                          std::numeric_limits<double>::infinity());
   while (centroids.size() < k) {
+    double total = 0.0;
     for (size_t i = 0; i < points.size(); ++i) {
       d2[i] = std::min(d2[i], nn::SquaredDistance(points[i],
                                                   centroids.back()));
+      total += d2[i];
     }
-    size_t pick = rng.WeightedIndex(d2);
+    // All weights zero (every point coincides with a chosen centroid, or
+    // k exceeds the number of distinct points): the weighted draw is
+    // undefined, so fall back to a uniform pick.
+    size_t pick = total > 0.0 ? rng.WeightedIndex(d2)
+                              : rng.NextUint64(points.size());
     centroids.push_back(points[pick]);
   }
   return centroids;
@@ -131,15 +137,24 @@ std::vector<size_t> NearestPointToCentroids(const std::vector<nn::Vec>& points,
 ElbowResult ElbowMethod(const std::vector<nn::Vec>& points,
                         const ElbowOptions& options) {
   ElbowResult result;
+  if (points.empty()) return result;
+  // Clamp the sweep range so the loop always runs at least once; with
+  // k_min > points.size() it would otherwise never execute and return
+  // chosen_k == 0, which crashes downstream summarizers.
+  const size_t k_max = std::clamp<size_t>(options.k_max, 1, points.size());
+  const size_t k_min = std::clamp<size_t>(options.k_min, 1, k_max);
+  const size_t k_step = std::max<size_t>(1, options.k_step);
+  // Exact float-zero comparison misses "perfect" clusterings whose
+  // inertia is a rounding hair above 0; use a tolerance instead.
+  constexpr double kInertiaEps = 1e-12;
   double prev_inertia = -1.0;
   double max_drop = 0.0;
   size_t prev_k = 0;
-  for (size_t k = options.k_min;
-       k <= std::min(options.k_max, points.size()); k += options.k_step) {
+  for (size_t k = k_min; k <= k_max; k += k_step) {
     KMeansResult km = KMeans(points, k, options.kmeans);
     result.ks.push_back(k);
     result.inertias.push_back(km.inertia);
-    if (prev_inertia == 0.0) {
+    if (prev_inertia >= 0.0 && prev_inertia <= kInertiaEps) {
       // Perfect clustering already reached at the previous k.
       result.chosen_k = prev_k;
       return result;

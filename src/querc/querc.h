@@ -22,6 +22,7 @@
 #include "querc/classifier.h"
 #include "querc/error_predictor.h"
 #include "querc/qworker.h"
+#include "querc/qworker_pool.h"
 #include "querc/drift.h"
 #include "querc/recommender.h"
 #include "querc/resource_allocator.h"

@@ -1,28 +1,103 @@
 #include "querc/qworker.h"
 
+#include "util/stopwatch.h"
+
 namespace querc::core {
 
+QWorker::QWorker(const Options& options) : options_(options) {
+  classifiers_.store(std::make_shared<const ClassifierMap>());
+}
+
 void QWorker::Deploy(std::shared_ptr<const Classifier> classifier) {
-  classifiers_[classifier->task_name()] = std::move(classifier);
+  std::lock_guard<std::mutex> lock(deploy_mu_);
+  auto next = std::make_shared<ClassifierMap>(
+      *classifiers_.load());
+  (*next)[classifier->task_name()] = std::move(classifier);
+  classifiers_.store(std::move(next));
+}
+
+void QWorker::DeployAll(
+    const std::vector<std::shared_ptr<const Classifier>>& classifiers) {
+  std::lock_guard<std::mutex> lock(deploy_mu_);
+  auto next = std::make_shared<ClassifierMap>(
+      *classifiers_.load());
+  for (const auto& classifier : classifiers) {
+    (*next)[classifier->task_name()] = classifier;
+  }
+  classifiers_.store(std::move(next));
 }
 
 bool QWorker::Undeploy(const std::string& task_name) {
-  return classifiers_.erase(task_name) > 0;
+  std::lock_guard<std::mutex> lock(deploy_mu_);
+  auto current = classifiers_.load();
+  if (current->find(task_name) == current->end()) return false;
+  auto next = std::make_shared<ClassifierMap>(*current);
+  next->erase(task_name);
+  classifiers_.store(std::move(next));
+  return true;
+}
+
+void QWorker::set_database_sink(DatabaseSink sink) {
+  database_.store(std::make_shared<const DatabaseSink>(std::move(sink)));
+}
+
+void QWorker::set_training_sink(TrainingSink sink) {
+  training_.store(std::make_shared<const TrainingSink>(std::move(sink)));
+}
+
+std::shared_ptr<const QWorker::ClassifierMap> QWorker::classifiers() const {
+  return classifiers_.load();
+}
+
+size_t QWorker::num_classifiers() const {
+  return classifiers_.load()->size();
+}
+
+std::deque<workload::LabeledQuery> QWorker::window() const {
+  std::lock_guard<std::mutex> lock(window_mu_);
+  return window_;
+}
+
+LatencyStats QWorker::latency() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
 }
 
 ProcessedQuery QWorker::Process(const workload::LabeledQuery& query) {
+  util::Stopwatch timer;
   ProcessedQuery out;
   out.query = query;
-  for (const auto& [task, classifier] : classifiers_) {
+  // One snapshot load pins the classifier set for this whole query:
+  // a racing Deploy/Undeploy publishes a *new* map and cannot mutate the
+  // one we hold, so the prediction set is always internally consistent.
+  std::shared_ptr<const ClassifierMap> classifiers =
+      classifiers_.load();
+  for (const auto& [task, classifier] : *classifiers) {
     out.predictions[task] = classifier->Predict(query);
   }
-  ++processed_count_;
+  processed_count_.fetch_add(1, std::memory_order_relaxed);
 
-  window_.push_back(query);
-  while (window_.size() > options_.window_size) window_.pop_front();
+  {
+    std::lock_guard<std::mutex> lock(window_mu_);
+    window_.push_back(query);
+    while (window_.size() > options_.window_size) window_.pop_front();
+  }
 
-  if (options_.forward_to_database && database_) database_(query);
-  if (training_) training_(out);
+  if (options_.forward_to_database) {
+    auto database = database_.load();
+    if (database && *database) (*database)(query);
+  }
+  auto training = training_.load();
+  if (training && *training) (*training)(out);
+
+  double ms = timer.ElapsedMillis();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (stats_.count == 0 || ms < stats_.min_ms) stats_.min_ms = ms;
+    if (ms > stats_.max_ms) stats_.max_ms = ms;
+    stats_.total_ms += ms;
+    ++stats_.count;
+  }
   return out;
 }
 

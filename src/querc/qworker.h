@@ -1,14 +1,17 @@
 #ifndef QUERC_QUERC_QWORKER_H_
 #define QUERC_QUERC_QWORKER_H_
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "querc/classifier.h"
+#include "util/atomic_shared_ptr.h"
 #include "workload/workload.h"
 
 namespace querc::core {
@@ -20,12 +23,38 @@ struct ProcessedQuery {
   std::map<std::string, std::string> predictions;
 };
 
+/// Per-worker latency accounting for the throughput bench and the pool's
+/// per-shard stats. Times cover the full Process() call (predict + window
+/// + sinks), in wall-clock milliseconds.
+struct LatencyStats {
+  size_t count = 0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+  double total_ms = 0.0;
+
+  double mean_ms() const {
+    return count == 0 ? 0.0 : total_ms / static_cast<double>(count);
+  }
+};
+
 /// The per-application stream worker of Figure 1: runs every deployed
 /// classifier over each arriving query, forwards the query downstream (to
 /// the database — here a callback), and tees labeled queries to the
 /// training module's collector. QWorkers hold only a small bounded window
 /// of recent queries (for windowed tasks such as recommendation), so they
 /// can be load-balanced and parallelized in the usual ways.
+///
+/// Concurrency model: `Process`/`ProcessBatch` may be called from many
+/// threads concurrently with `Deploy`/`Undeploy`/`DeployAll` and the sink
+/// setters. The deployed classifier set is an immutable snapshot map
+/// behind a util::AtomicSharedPtr slot: writers copy-on-write under a
+/// mutex and publish the new map in one store, readers take one snapshot
+/// load per query — so every query sees a *consistent* classifier set,
+/// never a half-applied deployment, and a deployment never blocks on
+/// in-flight queries (it swaps the pointer and returns; old snapshots die
+/// with their last reader). Sinks
+/// installed via the setters must themselves be thread-safe if the worker
+/// is shared across threads.
 class QWorker {
  public:
   struct Options {
@@ -39,39 +68,62 @@ class QWorker {
 
   using DatabaseSink = std::function<void(const workload::LabeledQuery&)>;
   using TrainingSink = std::function<void(const ProcessedQuery&)>;
+  using ClassifierMap =
+      std::map<std::string, std::shared_ptr<const Classifier>>;
 
-  explicit QWorker(const Options& options) : options_(options) {}
+  explicit QWorker(const Options& options);
 
   /// Installs (or replaces) a classifier under its task name. Deployment
-  /// of retrained models is a swap of this pointer.
+  /// of retrained models is an atomic snapshot swap; in-flight queries
+  /// keep the classifier set they started with.
   void Deploy(std::shared_ptr<const Classifier> classifier);
+
+  /// Installs several classifiers in ONE snapshot swap: no concurrent
+  /// query can observe some of them deployed and others not.
+  void DeployAll(
+      const std::vector<std::shared_ptr<const Classifier>>& classifiers);
 
   /// Removes a classifier by task name; returns whether it existed.
   bool Undeploy(const std::string& task_name);
 
-  void set_database_sink(DatabaseSink sink) { database_ = std::move(sink); }
-  void set_training_sink(TrainingSink sink) { training_ = std::move(sink); }
+  void set_database_sink(DatabaseSink sink);
+  void set_training_sink(TrainingSink sink);
 
   /// Processes one arriving query through every deployed classifier.
+  /// Thread-safe; may race with deployments (see class comment).
   ProcessedQuery Process(const workload::LabeledQuery& query);
 
   /// Processes a batch ("query(X, t)" in the paper's notation).
   std::vector<ProcessedQuery> ProcessBatch(const workload::Workload& batch);
 
-  /// The bounded window of the most recent queries seen.
-  const std::deque<workload::LabeledQuery>& window() const { return window_; }
+  /// A snapshot copy of the bounded window of most recent queries seen.
+  std::deque<workload::LabeledQuery> window() const;
+
+  /// The current deployed-classifier snapshot.
+  std::shared_ptr<const ClassifierMap> classifiers() const;
 
   const std::string& application() const { return options_.application; }
-  size_t num_classifiers() const { return classifiers_.size(); }
-  size_t processed_count() const { return processed_count_; }
+  size_t num_classifiers() const;
+  size_t processed_count() const {
+    return processed_count_.load(std::memory_order_relaxed);
+  }
+  /// Latency accounting since construction (min/mean/max per Process).
+  LatencyStats latency() const;
 
  private:
   Options options_;
-  std::map<std::string, std::shared_ptr<const Classifier>> classifiers_;
-  DatabaseSink database_;
-  TrainingSink training_;
+  /// Immutable published snapshot; writers serialize on deploy_mu_ and
+  /// copy-on-write, readers snapshot-load. Never null.
+  util::AtomicSharedPtr<const ClassifierMap> classifiers_;
+  std::mutex deploy_mu_;
+  /// Sinks are published the same way so setters can race with Process.
+  util::AtomicSharedPtr<const DatabaseSink> database_;
+  util::AtomicSharedPtr<const TrainingSink> training_;
+  mutable std::mutex window_mu_;
   std::deque<workload::LabeledQuery> window_;
-  size_t processed_count_ = 0;
+  std::atomic<size_t> processed_count_{0};
+  mutable std::mutex stats_mu_;
+  LatencyStats stats_;
 };
 
 }  // namespace querc::core

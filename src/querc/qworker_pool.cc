@@ -1,0 +1,121 @@
+#include "querc/qworker_pool.h"
+
+namespace querc::core {
+
+namespace {
+
+/// FNV-1a 64-bit: stable across runs and platforms (std::hash is not
+/// guaranteed to be), so shard assignment is reproducible.
+uint64_t HashKey(const std::string& key) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+QWorkerPool::QWorkerPool(const Options& options,
+                         util::ThreadPool* thread_pool)
+    : options_(options) {
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  if (thread_pool == nullptr) {
+    owned_pool_ = std::make_unique<util::ThreadPool>(options_.num_shards);
+    pool_ = owned_pool_.get();
+  } else {
+    pool_ = thread_pool;
+  }
+  shards_.reserve(options_.num_shards);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    QWorker::Options worker = options_.worker;
+    worker.application = options_.application + "/" + std::to_string(s);
+    shards_.push_back(std::make_unique<QWorker>(worker));
+  }
+}
+
+void QWorkerPool::Deploy(const std::shared_ptr<const Classifier>& classifier) {
+  for (auto& shard : shards_) shard->Deploy(classifier);
+}
+
+void QWorkerPool::DeployAll(
+    const std::vector<std::shared_ptr<const Classifier>>& classifiers) {
+  for (auto& shard : shards_) shard->DeployAll(classifiers);
+}
+
+bool QWorkerPool::Undeploy(const std::string& task_name) {
+  bool any = false;
+  for (auto& shard : shards_) any = shard->Undeploy(task_name) || any;
+  return any;
+}
+
+void QWorkerPool::set_database_sink(QWorker::DatabaseSink sink) {
+  for (auto& shard : shards_) shard->set_database_sink(sink);
+}
+
+void QWorkerPool::set_training_sink(QWorker::TrainingSink sink) {
+  for (auto& shard : shards_) shard->set_training_sink(sink);
+}
+
+size_t QWorkerPool::ShardOf(const workload::LabeledQuery& query) {
+  switch (options_.partition) {
+    case Partition::kByAccount:
+      return HashKey(query.account) % shards_.size();
+    case Partition::kByUser:
+      return HashKey(query.user) % shards_.size();
+    case Partition::kRoundRobin:
+      return round_robin_.fetch_add(1, std::memory_order_relaxed) %
+             shards_.size();
+  }
+  return 0;
+}
+
+ProcessedQuery QWorkerPool::Process(const workload::LabeledQuery& query) {
+  return shards_[ShardOf(query)]->Process(query);
+}
+
+std::vector<ProcessedQuery> QWorkerPool::ProcessBatch(
+    const workload::Workload& batch) {
+  std::vector<ProcessedQuery> out(batch.size());
+  if (batch.empty()) return out;
+  // Partition first so each shard's sub-stream keeps its arrival order
+  // (windowed tasks depend on per-shard ordering), then one parallel
+  // task per non-empty shard.
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    by_shard[ShardOf(batch[i])].push_back(i);
+  }
+  std::vector<size_t> live;
+  for (size_t s = 0; s < by_shard.size(); ++s) {
+    if (!by_shard[s].empty()) live.push_back(s);
+  }
+  pool_->ParallelFor(live.size(), [&](size_t t) {
+    size_t s = live[t];
+    QWorker& shard = *shards_[s];
+    for (size_t i : by_shard[s]) out[i] = shard.Process(batch[i]);
+  });
+  return out;
+}
+
+size_t QWorkerPool::processed_count() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->processed_count();
+  return total;
+}
+
+std::vector<ShardStats> QWorkerPool::Stats() const {
+  std::vector<ShardStats> stats;
+  stats.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    ShardStats one;
+    one.shard = s;
+    one.processed = shards_[s]->processed_count();
+    one.num_classifiers = shards_[s]->num_classifiers();
+    one.latency = shards_[s]->latency();
+    stats.push_back(one);
+  }
+  return stats;
+}
+
+}  // namespace querc::core

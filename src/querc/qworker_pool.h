@@ -1,0 +1,111 @@
+#ifndef QUERC_QUERC_QWORKER_POOL_H_
+#define QUERC_QUERC_QWORKER_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "querc/qworker.h"
+#include "util/thread_pool.h"
+
+namespace querc::core {
+
+/// Per-shard statistics snapshot exposed for benchmarks and ops.
+struct ShardStats {
+  size_t shard = 0;
+  size_t processed = 0;
+  size_t num_classifiers = 0;
+  LatencyStats latency;
+};
+
+/// Sharded, thread-safe QWorker service layer: the paper's remark that
+/// QWorkers "can be load-balanced and parallelized in the usual ways"
+/// (§2, Figure 1), made concrete. Arriving queries are hashed across N
+/// QWorker shards — by account (default: one tenant's stream stays on one
+/// shard, preserving its bounded window), by user, or round-robin — and
+/// batches fan out over a shared util::ThreadPool with one task per
+/// shard. Deployments apply to every shard; each shard's classifier set
+/// is an immutable snapshot (see QWorker), so Deploy/Undeploy can race
+/// Process/ProcessBatch safely and every query sees a consistent set.
+class QWorkerPool {
+ public:
+  /// How queries are assigned to shards.
+  enum class Partition {
+    kByAccount,  ///< hash(query.account): per-tenant stream affinity
+    kByUser,     ///< hash(query.user): per-user stream affinity
+    kRoundRobin  ///< ignore identity, spread uniformly
+  };
+
+  struct Options {
+    std::string application;
+    size_t num_shards = 4;
+    Partition partition = Partition::kByAccount;
+    /// Per-shard QWorker settings. `worker.application` is derived from
+    /// `application` plus the shard index (e.g. "appX/3").
+    QWorker::Options worker;
+  };
+
+  /// `thread_pool` may be null, in which case the pool owns a private
+  /// ThreadPool with one thread per shard. A shared pool (e.g. the
+  /// TrainingModule's) can be passed to bound total service threads.
+  explicit QWorkerPool(const Options& options,
+                       util::ThreadPool* thread_pool = nullptr);
+
+  QWorkerPool(const QWorkerPool&) = delete;
+  QWorkerPool& operator=(const QWorkerPool&) = delete;
+
+  /// Deploys `classifier` to every shard (one snapshot swap per shard).
+  void Deploy(const std::shared_ptr<const Classifier>& classifier);
+
+  /// Deploys a set of classifiers to every shard, each shard in one
+  /// snapshot swap (no shard can expose a partially-applied set).
+  void DeployAll(
+      const std::vector<std::shared_ptr<const Classifier>>& classifiers);
+
+  /// Undeploys from every shard; returns whether any shard had the task.
+  bool Undeploy(const std::string& task_name);
+
+  /// Installs the sink on every shard. The sink must be thread-safe: it
+  /// is invoked concurrently from all shards.
+  void set_database_sink(QWorker::DatabaseSink sink);
+  void set_training_sink(QWorker::TrainingSink sink);
+
+  /// Shard a single query by the partition policy and process it inline
+  /// on the calling thread (the hot online path: no queueing, no lock on
+  /// the classifier read).
+  ProcessedQuery Process(const workload::LabeledQuery& query);
+
+  /// Partitions `batch` across shards and processes the per-shard
+  /// sub-batches in parallel on the thread pool (the calling thread
+  /// participates). Results are returned in the original batch order.
+  std::vector<ProcessedQuery> ProcessBatch(const workload::Workload& batch);
+
+  /// Shard index the partition policy routes `query` to. Deterministic
+  /// for kByAccount/kByUser; for kRoundRobin this *consumes* a ticket.
+  size_t ShardOf(const workload::LabeledQuery& query);
+
+  size_t num_shards() const { return shards_.size(); }
+  QWorker& shard(size_t i) { return *shards_[i]; }
+  const QWorker& shard(size_t i) const { return *shards_[i]; }
+
+  /// Total queries processed across shards.
+  size_t processed_count() const;
+
+  /// Per-shard stats snapshot (processed count, min/mean/max latency).
+  std::vector<ShardStats> Stats() const;
+
+  const std::string& application() const { return options_.application; }
+
+ private:
+  Options options_;
+  std::unique_ptr<util::ThreadPool> owned_pool_;
+  util::ThreadPool* pool_;  // never null
+  std::vector<std::unique_ptr<QWorker>> shards_;
+  std::atomic<uint64_t> round_robin_{0};
+};
+
+}  // namespace querc::core
+
+#endif  // QUERC_QUERC_QWORKER_POOL_H_

@@ -1,7 +1,5 @@
 #include "querc/training_module.h"
 
-#include <atomic>
-
 #include "ml/random_forest.h"
 
 namespace querc::core {
@@ -81,30 +79,41 @@ util::StatusOr<std::shared_ptr<Classifier>> TrainingModule::Train(
   return classifier;
 }
 
+util::Status TrainingModule::TrainAll(
+    const std::vector<TrainJob>& jobs,
+    std::vector<std::shared_ptr<const Classifier>>* trained) {
+  std::vector<util::Status> statuses(jobs.size(), util::Status::OK());
+  trained->assign(jobs.size(), nullptr);
+  // ParallelFor (latch-based) rather than Submit+WaitIdle: WaitIdle is
+  // global, so a concurrent training batch from another thread could
+  // make this one return early or block on unrelated work.
+  pool_.ParallelFor(jobs.size(), [this, &jobs, &statuses, trained](size_t i) {
+    auto result = Train(jobs[i]);
+    if (result.ok()) {
+      (*trained)[i] = std::move(result).value();
+    } else {
+      statuses[i] = result.status();
+    }
+  });
+  for (const util::Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  return util::Status::OK();
+}
+
 util::Status TrainingModule::TrainAndDeploy(const std::vector<TrainJob>& jobs,
                                             QWorker& worker) {
-  std::vector<util::Status> statuses(jobs.size(), util::Status::OK());
-  std::vector<std::shared_ptr<Classifier>> trained(jobs.size());
-  std::atomic<size_t> next{0};
-  for (size_t t = 0; t < jobs.size(); ++t) {
-    pool_.Submit([this, &jobs, &statuses, &trained, &next] {
-      for (;;) {
-        size_t i = next.fetch_add(1);
-        if (i >= jobs.size()) return;
-        auto result = Train(jobs[i]);
-        if (result.ok()) {
-          trained[i] = std::move(result).value();
-        } else {
-          statuses[i] = result.status();
-        }
-      }
-    });
-  }
-  pool_.WaitIdle();
-  for (size_t i = 0; i < jobs.size(); ++i) {
-    if (!statuses[i].ok()) return statuses[i];
-    worker.Deploy(trained[i]);
-  }
+  std::vector<std::shared_ptr<const Classifier>> trained;
+  QUERC_RETURN_IF_ERROR(TrainAll(jobs, &trained));
+  worker.DeployAll(trained);
+  return util::Status::OK();
+}
+
+util::Status TrainingModule::TrainAndDeploy(const std::vector<TrainJob>& jobs,
+                                            QWorkerPool& pool) {
+  std::vector<std::shared_ptr<const Classifier>> trained;
+  QUERC_RETURN_IF_ERROR(TrainAll(jobs, &trained));
+  pool.DeployAll(trained);
   return util::Status::OK();
 }
 

@@ -9,6 +9,7 @@
 
 #include "querc/classifier.h"
 #include "querc/qworker.h"
+#include "querc/qworker_pool.h"
 #include "util/statusor.h"
 #include "util/thread_pool.h"
 #include "workload/workload.h"
@@ -65,14 +66,29 @@ class TrainingModule {
   util::StatusOr<std::shared_ptr<Classifier>> Train(const TrainJob& job);
 
   /// Trains several jobs in parallel on the module's thread pool and
-  /// deploys each result to `worker`. Returns the first error, if any.
+  /// deploys the results to `worker` in one snapshot swap (queries racing
+  /// the deployment see either none or all of the new classifiers).
+  /// Returns the first error, if any; nothing is deployed on error.
   util::Status TrainAndDeploy(const std::vector<TrainJob>& jobs,
                               QWorker& worker);
+
+  /// Same, deploying to every shard of a QWorkerPool.
+  util::Status TrainAndDeploy(const std::vector<TrainJob>& jobs,
+                              QWorkerPool& pool);
+
+  /// The pool shared by training jobs (and offered to QWorkerPools that
+  /// want to bound total service threads).
+  util::ThreadPool& thread_pool() { return pool_; }
 
   /// Deployed-model registry (task name -> classifier).
   std::shared_ptr<Classifier> Model(const std::string& task_name) const;
 
  private:
+  /// Trains all jobs in parallel; fills `trained` (same order as `jobs`)
+  /// and returns the first error.
+  util::Status TrainAll(const std::vector<TrainJob>& jobs,
+                        std::vector<std::shared_ptr<const Classifier>>* trained);
+
   Options options_;
   mutable std::mutex mu_;
   std::map<std::string, workload::Workload> training_sets_;

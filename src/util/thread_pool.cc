@@ -1,8 +1,62 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <exception>
+#include <memory>
+
+#include "util/logging.h"
 
 namespace querc::util {
+
+namespace {
+
+/// Shared state of one ParallelFor batch. Heap-allocated and owned via
+/// shared_ptr by every shard task *and* the caller, so a worker that
+/// wakes up after the batch already drained (its `next` fetch returns
+/// >= n) still touches valid memory.
+struct Batch {
+  explicit Batch(size_t total, const std::function<void(size_t)>& f)
+      : n(total), fn(f) {}
+
+  const size_t n;
+  /// The caller blocks until the batch drains, so the reference stays
+  /// valid for exactly as long as any shard can dereference it.
+  const std::function<void(size_t)>& fn;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;  // first exception; guarded by mu
+
+  /// Claims indices until the batch is exhausted. Returns true if this
+  /// call finished the batch (done hit n).
+  bool RunShard() {
+    bool finished = false;
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        finished = true;
+      }
+    }
+    return finished;
+  }
+
+  void NotifyDone() {
+    // Empty critical section: pairs with the caller's wait so the
+    // notification cannot fire between its predicate check and sleep.
+    { std::lock_guard<std::mutex> lock(mu); }
+    cv.notify_all();
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -36,18 +90,26 @@ void ThreadPool::WaitIdle() {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  std::atomic<size_t> next{0};
-  size_t shards = std::min(n, threads_.size());
-  for (size_t s = 0; s < shards; ++s) {
-    Submit([&next, n, &fn] {
-      for (;;) {
-        size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
-        fn(i);
-      }
+  auto batch = std::make_shared<Batch>(n, fn);
+  // One helper per pool thread beyond the caller; never more than n - 1
+  // since the caller takes a share of the loop itself.
+  size_t helpers = std::min(n - 1, threads_.size());
+  for (size_t s = 0; s < helpers; ++s) {
+    Submit([batch] {
+      if (batch->RunShard()) batch->NotifyDone();
     });
   }
-  WaitIdle();
+  // The calling thread participates: if it is itself a pool worker (a
+  // nested ParallelFor) or every worker is busy elsewhere, it can drain
+  // the entire batch alone — no deadlock.
+  if (batch->RunShard()) batch->NotifyDone();
+  {
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->cv.wait(lock, [&] {
+      return batch->done.load(std::memory_order_acquire) == n;
+    });
+    if (batch->error) std::rethrow_exception(batch->error);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
@@ -61,7 +123,14 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      // A throwing Submit() task previously escaped into std::terminate.
+      // ParallelFor batches capture and rethrow their own exceptions; a
+      // bare Submit has no one to rethrow to, so log and keep the worker.
+      QUERC_LOG(Error) << "ThreadPool task threw an exception; dropped";
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       --active_;

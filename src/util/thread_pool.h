@@ -11,9 +11,22 @@
 
 namespace querc::util {
 
-/// Fixed-size worker pool used by the training module for parallel model
-/// training/evaluation. Tasks are void() closures; `WaitIdle` blocks until
-/// every submitted task has finished.
+/// Fixed-size worker pool used by the training module and the QWorker
+/// pool for parallel training/evaluation and batch labeling. Tasks are
+/// void() closures; `WaitIdle` blocks until every submitted task has
+/// finished.
+///
+/// Concurrency contract:
+///   - `Submit` tasks must not throw; an escaping exception is caught and
+///     logged (it previously reached `std::terminate`).
+///   - `ParallelFor` tracks its own batch with a completion latch, so two
+///     concurrent batches from different threads never observe each
+///     other's work, and the *calling thread participates* in the loop —
+///     calling `ParallelFor` from inside a pool worker is safe (no
+///     deadlock) because the caller can drain the whole batch itself.
+///   - The first exception thrown by `fn` in a `ParallelFor` batch is
+///     captured and rethrown on the calling thread after the batch
+///     completes; remaining indices still run.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least 1).
@@ -28,13 +41,19 @@ class ThreadPool {
   /// Enqueues a task for execution on some worker.
   void Submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and no task is running.
+  /// Blocks until the queue is empty and no task is running. Global: a
+  /// caller may also wait out tasks submitted by other threads. Batch
+  /// users should prefer `ParallelFor`, which waits on its own latch.
   void WaitIdle();
 
   size_t num_threads() const { return threads_.size(); }
 
-  /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
-  /// The callable is shared by all workers; it must be thread-safe.
+  /// Runs `fn(i)` for i in [0, n) across the pool and the calling thread,
+  /// returning when all n calls have finished. The callable is shared by
+  /// all workers; it must be thread-safe. Safe to call from inside a pool
+  /// worker (the caller participates) and concurrently from several
+  /// threads (each batch has its own completion latch). Rethrows the
+  /// first exception thrown by `fn` once the batch has drained.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:

@@ -115,5 +115,61 @@ TEST(ElbowTest, TinyInputDoesNotCrash) {
   EXPECT_LE(result.chosen_k, 3u);
 }
 
+// Regression: with k_min > points.size() the sweep loop never ran and
+// ElbowMethod returned chosen_k == 0, which crashes downstream
+// summarizers that call KMeans(points, chosen_k). The range is clamped
+// so at least one k is always evaluated.
+TEST(ElbowTest, KMinLargerThanPointCount) {
+  std::vector<nn::Vec> points = {{0.0}, {5.0}};
+  ElbowOptions options;
+  options.k_min = 10;
+  options.k_max = 40;
+  ElbowResult result = ElbowMethod(points, options);
+  EXPECT_GE(result.chosen_k, 1u);
+  EXPECT_LE(result.chosen_k, points.size());
+  ASSERT_FALSE(result.ks.empty());
+}
+
+// Regression: the perfect-clustering early exit compared inertia to 0.0
+// exactly; identical points (inertia exactly or nearly 0 at every k) must
+// terminate with a valid k rather than fall through with chosen_k == 0.
+TEST(ElbowTest, AllPointsIdentical) {
+  std::vector<nn::Vec> points(6, nn::Vec{2.0, 2.0});
+  ElbowOptions options;
+  options.k_min = 1;
+  options.k_max = 6;
+  options.k_step = 1;
+  ElbowResult result = ElbowMethod(points, options);
+  EXPECT_GE(result.chosen_k, 1u);
+  EXPECT_LE(result.chosen_k, points.size());
+}
+
+TEST(ElbowTest, EmptyInputReturnsZero) {
+  ElbowResult result = ElbowMethod({});
+  EXPECT_EQ(result.chosen_k, 0u);
+  EXPECT_TRUE(result.ks.empty());
+}
+
+// Regression: k-means++ seeding drew from an all-zero weight vector when
+// every point coincides with an already-chosen centroid (identical points,
+// or k > distinct points); it now falls back to a uniform pick.
+TEST(KMeansTest, AllPointsIdenticalDoesNotCrash) {
+  std::vector<nn::Vec> points(5, nn::Vec{1.0, 1.0, 1.0});
+  KMeansResult result = KMeans(points, 3);
+  ASSERT_EQ(result.centroids.size(), 3u);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+  for (const auto& c : result.centroids) {
+    EXPECT_NEAR(c[0], 1.0, 1e-12);
+  }
+}
+
+TEST(KMeansTest, KExceedsDistinctPoints) {
+  std::vector<nn::Vec> points = {{0.0}, {0.0}, {0.0}, {7.0}};
+  KMeansResult result = KMeans(points, 4);
+  ASSERT_EQ(result.centroids.size(), 4u);
+  // Both distinct values are represented and total inertia is zero.
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
 }  // namespace
 }  // namespace querc::ml

@@ -1,0 +1,332 @@
+#include "querc/qworker_pool.h"
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "embed/feature_embedder.h"
+#include "ml/knn.h"
+#include "querc/classifier.h"
+#include "querc/training_module.h"
+#include "workload/workload.h"
+
+namespace querc::core {
+namespace {
+
+workload::LabeledQuery Query(const std::string& text,
+                             const std::string& user = "u1",
+                             const std::string& account = "acct1") {
+  workload::LabeledQuery q;
+  q.text = text;
+  q.user = user;
+  q.account = account;
+  return q;
+}
+
+std::shared_ptr<Classifier> TrainedUserClassifier() {
+  auto embedder = std::make_shared<embed::FeatureEmbedder>(
+      embed::FeatureEmbedder::Options{});
+  auto classifier = std::make_shared<Classifier>(
+      "user", embedder,
+      std::make_unique<ml::KnnClassifier>(ml::KnnClassifier::Options{.k = 1}));
+  workload::Workload history;
+  for (int i = 0; i < 10; ++i) {
+    history.Add(Query("SELECT a FROM t WHERE x = 1", "alice"));
+    history.Add(Query("SELECT b, c, d FROM u, v WHERE u.k = v.k", "bob"));
+  }
+  EXPECT_TRUE(classifier->Train(history, workload::UserOf).ok());
+  return classifier;
+}
+
+/// A classifier whose every prediction is the fixed string `version` —
+/// the probe used by the hot-swap consistency tests below.
+std::shared_ptr<const Classifier> VersionedClassifier(
+    const std::string& task, const std::string& version) {
+  auto embedder = std::make_shared<embed::FeatureEmbedder>(
+      embed::FeatureEmbedder::Options{});
+  auto classifier = std::make_shared<Classifier>(
+      task, embedder,
+      std::make_unique<ml::KnnClassifier>(ml::KnnClassifier::Options{.k = 1}));
+  workload::Workload history;
+  for (int i = 0; i < 4; ++i) {
+    history.Add(Query("SELECT x FROM t WHERE id = " + std::to_string(i)));
+  }
+  EXPECT_TRUE(
+      classifier
+          ->Train(history,
+                  [version](const workload::LabeledQuery&) { return version; })
+          .ok());
+  return classifier;
+}
+
+TEST(QWorkerPoolTest, AccountShardingIsDeterministicAndAffine) {
+  QWorkerPool::Options options;
+  options.application = "appX";
+  options.num_shards = 4;
+  options.partition = QWorkerPool::Partition::kByAccount;
+  QWorkerPool pool(options);
+  EXPECT_EQ(pool.num_shards(), 4u);
+
+  size_t first = pool.ShardOf(Query("SELECT 1", "u1", "tenantA"));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(pool.ShardOf(Query("SELECT other", "u9", "tenantA")), first)
+        << "same account must always route to the same shard";
+  }
+}
+
+TEST(QWorkerPoolTest, RoundRobinSpreadsUniformly) {
+  QWorkerPool::Options options;
+  options.application = "appX";
+  options.num_shards = 4;
+  options.partition = QWorkerPool::Partition::kRoundRobin;
+  QWorkerPool pool(options);
+  pool.Deploy(TrainedUserClassifier());
+
+  workload::Workload batch;
+  for (int i = 0; i < 40; ++i) batch.Add(Query("SELECT a FROM t WHERE x = 1"));
+  auto out = pool.ProcessBatch(batch);
+  ASSERT_EQ(out.size(), 40u);
+  for (const auto& s : pool.Stats()) {
+    EXPECT_EQ(s.processed, 10u);
+    EXPECT_EQ(s.num_classifiers, 1u);
+    EXPECT_GT(s.latency.max_ms, 0.0);
+    EXPECT_EQ(s.latency.count, 10u);
+  }
+  EXPECT_EQ(pool.processed_count(), 40u);
+}
+
+TEST(QWorkerPoolTest, ProcessBatchPreservesInputOrder) {
+  QWorkerPool::Options options;
+  options.application = "appX";
+  options.num_shards = 3;
+  options.partition = QWorkerPool::Partition::kByUser;
+  QWorkerPool pool(options);
+  pool.Deploy(TrainedUserClassifier());
+
+  workload::Workload batch;
+  for (int i = 0; i < 60; ++i) {
+    bool alice = i % 2 == 0;
+    batch.Add(Query(alice ? "SELECT a FROM t WHERE x = 1"
+                          : "SELECT b, c, d FROM u, v WHERE u.k = v.k",
+                    "user" + std::to_string(i % 7)));
+  }
+  auto out = pool.ProcessBatch(batch);
+  ASSERT_EQ(out.size(), batch.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].query.text, batch[i].text) << "result order torn at " << i;
+    EXPECT_EQ(out[i].predictions.at("user"), i % 2 == 0 ? "alice" : "bob");
+  }
+}
+
+TEST(QWorkerPoolTest, PoolMatchesSingleWorkerPredictions) {
+  auto classifier = TrainedUserClassifier();
+  QWorker worker({.application = "solo"});
+  worker.Deploy(classifier);
+
+  QWorkerPool::Options options;
+  options.application = "sharded";
+  options.num_shards = 4;
+  options.partition = QWorkerPool::Partition::kByAccount;
+  QWorkerPool pool(options);
+  pool.Deploy(classifier);
+
+  workload::Workload batch;
+  for (int i = 0; i < 30; ++i) {
+    batch.Add(Query(i % 3 == 0 ? "SELECT a FROM t WHERE x = 1"
+                               : "SELECT b, c, d FROM u, v WHERE u.k = v.k",
+                    "u" + std::to_string(i % 5),
+                    "acct" + std::to_string(i % 6)));
+  }
+  auto solo = worker.ProcessBatch(batch);
+  auto sharded = pool.ProcessBatch(batch);
+  ASSERT_EQ(solo.size(), sharded.size());
+  for (size_t i = 0; i < solo.size(); ++i) {
+    EXPECT_EQ(solo[i].predictions, sharded[i].predictions);
+  }
+}
+
+TEST(QWorkerPoolTest, UndeployRemovesFromEveryShard) {
+  QWorkerPool::Options options;
+  options.application = "appX";
+  options.num_shards = 3;
+  QWorkerPool pool(options);
+  pool.Deploy(TrainedUserClassifier());
+  for (size_t s = 0; s < pool.num_shards(); ++s) {
+    EXPECT_EQ(pool.shard(s).num_classifiers(), 1u);
+  }
+  EXPECT_TRUE(pool.Undeploy("user"));
+  EXPECT_FALSE(pool.Undeploy("user"));
+  for (size_t s = 0; s < pool.num_shards(); ++s) {
+    EXPECT_EQ(pool.shard(s).num_classifiers(), 0u);
+  }
+}
+
+TEST(QWorkerPoolTest, SharedExternalThreadPool) {
+  util::ThreadPool shared(2);
+  QWorkerPool::Options options;
+  options.application = "appX";
+  options.num_shards = 4;
+  options.partition = QWorkerPool::Partition::kRoundRobin;
+  QWorkerPool pool(options, &shared);
+  pool.Deploy(TrainedUserClassifier());
+  workload::Workload batch;
+  for (int i = 0; i < 20; ++i) batch.Add(Query("SELECT a FROM t WHERE x = 1"));
+  auto out = pool.ProcessBatch(batch);
+  ASSERT_EQ(out.size(), 20u);
+  EXPECT_EQ(pool.processed_count(), 20u);
+}
+
+TEST(QWorkerPoolTest, TrainingSinkReceivesEveryQuery) {
+  QWorkerPool::Options options;
+  options.application = "appX";
+  options.num_shards = 4;
+  options.partition = QWorkerPool::Partition::kRoundRobin;
+  options.worker.forward_to_database = false;
+  QWorkerPool pool(options);
+  pool.Deploy(TrainedUserClassifier());
+  std::atomic<int> teed{0};
+  pool.set_training_sink(
+      [&teed](const ProcessedQuery&) { teed.fetch_add(1); });
+  workload::Workload batch;
+  for (int i = 0; i < 25; ++i) batch.Add(Query("SELECT a FROM t WHERE x = 1"));
+  (void)pool.ProcessBatch(batch);
+  EXPECT_EQ(teed.load(), 25);
+}
+
+// The acceptance-criterion test: Deploy of retrained classifiers races an
+// in-flight stream of Process calls. Two tasks ("t1", "t2") are always
+// retrained and deployed *together* via DeployAll as matching versions;
+// because deployment swaps one immutable snapshot, every processed query
+// must observe t1 and t2 at the SAME version — a torn read (t1 of one
+// generation, t2 of another) fails the test.
+TEST(QWorkerPoolTest, HotSwapDuringInFlightProcessingIsAtomic) {
+  auto t1_v1 = VersionedClassifier("t1", "v1");
+  auto t2_v1 = VersionedClassifier("t2", "v1");
+  auto t1_v2 = VersionedClassifier("t1", "v2");
+  auto t2_v2 = VersionedClassifier("t2", "v2");
+
+  QWorkerPool::Options options;
+  options.application = "appX";
+  options.num_shards = 2;
+  options.partition = QWorkerPool::Partition::kRoundRobin;
+  options.worker.forward_to_database = false;
+  QWorkerPool pool(options);
+  pool.DeployAll({t1_v1, t2_v1});
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::atomic<int> processed{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      workload::LabeledQuery q = Query("SELECT x FROM t WHERE id = 3");
+      while (!stop.load(std::memory_order_relaxed)) {
+        ProcessedQuery out = pool.Process(q);
+        const std::string& a = out.predictions.at("t1");
+        const std::string& b = out.predictions.at("t2");
+        if (a != b) torn.fetch_add(1);
+        processed.fetch_add(1);
+      }
+    });
+  }
+
+  // Writer: hot-swap the full classifier set back and forth while the
+  // readers hammer Process. Keep swapping until the readers have labeled
+  // a few thousand queries so swaps genuinely overlap in-flight work.
+  int swap = 0;
+  while (processed.load() < 2000 && swap < 1000000) {
+    if (swap % 2 == 0) {
+      pool.DeployAll({t1_v2, t2_v2});
+    } else {
+      pool.DeployAll({t1_v1, t2_v1});
+    }
+    ++swap;
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(torn.load(), 0)
+      << "a query observed classifiers from two different deployments";
+  EXPECT_GT(processed.load(), 0);
+  // After the final swap, new queries see the last-deployed generation.
+  auto out = pool.Process(Query("SELECT x FROM t WHERE id = 3"));
+  EXPECT_EQ(out.predictions.at("t1"), out.predictions.at("t2"));
+}
+
+// Deploy/Undeploy racing Process must never crash or tear: each query
+// either sees the task (with a live classifier) or does not see it.
+TEST(QWorkerPoolTest, ConcurrentDeployUndeployRacingProcess) {
+  auto classifier = TrainedUserClassifier();
+  QWorkerPool::Options options;
+  options.application = "appX";
+  options.num_shards = 2;
+  options.partition = QWorkerPool::Partition::kRoundRobin;
+  options.worker.forward_to_database = false;
+  QWorkerPool pool(options);
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      pool.Deploy(classifier);
+      pool.Undeploy("user");
+    }
+  });
+
+  workload::Workload batch;
+  for (int i = 0; i < 50; ++i) batch.Add(Query("SELECT a FROM t WHERE x = 1"));
+  for (int round = 0; round < 30; ++round) {
+    auto out = pool.ProcessBatch(batch);
+    for (const auto& pq : out) {
+      auto it = pq.predictions.find("user");
+      if (it != pq.predictions.end()) {
+        EXPECT_EQ(it->second, "alice");
+      }
+    }
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST(QWorkerPoolTest, TrainingModuleDeploysToEveryShard) {
+  auto embedder = std::make_shared<embed::FeatureEmbedder>(
+      embed::FeatureEmbedder::Options{});
+  workload::Workload history;
+  for (int i = 0; i < 10; ++i) {
+    history.Add(Query("SELECT a FROM t WHERE x = 1", "alice"));
+    history.Add(Query("SELECT b, c, d FROM u, v WHERE u.k = v.k", "bob"));
+  }
+
+  TrainingModule module({});
+  module.RegisterEmbedder("E", embedder);
+  module.ImportLogs("X", history);
+
+  TrainingModule::TrainJob job;
+  job.task_name = "user";
+  job.application = "X";
+  job.embedder_name = "E";
+  job.label_of = workload::UserOf;
+  job.labeler_factory = [] {
+    return std::make_unique<ml::KnnClassifier>(
+        ml::KnnClassifier::Options{.k = 1});
+  };
+
+  QWorkerPool::Options options;
+  options.application = "X";
+  options.num_shards = 3;
+  QWorkerPool pool(options);
+  ASSERT_TRUE(module.TrainAndDeploy({job}, pool).ok());
+  for (size_t s = 0; s < pool.num_shards(); ++s) {
+    EXPECT_EQ(pool.shard(s).num_classifiers(), 1u);
+  }
+  auto out = pool.Process(Query("SELECT a FROM t WHERE x = 2"));
+  EXPECT_EQ(out.predictions.at("user"), "alice");
+}
+
+}  // namespace
+}  // namespace querc::core

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -55,6 +57,99 @@ TEST(ThreadPoolTest, DestructorDrainsOutstandingWork) {
     }
   }
   EXPECT_EQ(counter.load(), 50);
+}
+
+// Regression: the old implementation waited on global pool idleness, so a
+// ParallelFor issued from *inside* a pool worker blocked a worker that was
+// itself needed to drain the queue — a deadlock for any nested parallel
+// path (e.g. training jobs reaching the summarizer's parallel loops). The
+// caller now participates in its own batch, so nesting always completes.
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(4, [&pool, &inner_total](size_t) {
+    pool.ParallelFor(8, [&inner_total](size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 4 * 8);
+}
+
+TEST(ThreadPoolTest, NestedParallelForOnSingleThreadPool) {
+  ThreadPool pool(1);
+  std::atomic<int> inner_total{0};
+  pool.ParallelFor(3, [&pool, &inner_total](size_t) {
+    pool.ParallelFor(5, [&inner_total](size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 3 * 5);
+}
+
+TEST(ThreadPoolTest, ParallelForFromSubmittedTaskCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.Submit([&pool, &total] {
+    pool.ParallelFor(16, [&total](size_t) { total.fetch_add(1); });
+  });
+  pool.WaitIdle();
+  EXPECT_EQ(total.load(), 16);
+}
+
+// Regression: WaitIdle-based batches could return while *their own* tasks
+// were still running if another thread's batch kept the pool non-idle in
+// a lucky interleaving — or block on the other batch's work. Each batch
+// now has a private completion latch: when ParallelFor returns, exactly
+// its n calls have finished, regardless of concurrent batches.
+TEST(ThreadPoolTest, ConcurrentBatchesFromTwoThreadsAreIndependent) {
+  ThreadPool pool(3);
+  constexpr int kPerBatch = 400;
+  std::atomic<int> a{0};
+  std::atomic<int> b{0};
+  int a_at_return = -1;
+  int b_at_return = -1;
+  std::thread ta([&] {
+    pool.ParallelFor(kPerBatch, [&a](size_t) { a.fetch_add(1); });
+    a_at_return = a.load();
+  });
+  std::thread tb([&] {
+    pool.ParallelFor(kPerBatch, [&b](size_t) { b.fetch_add(1); });
+    b_at_return = b.load();
+  });
+  ta.join();
+  tb.join();
+  // Each caller observed its own batch fully drained at return time.
+  EXPECT_EQ(a_at_return, kPerBatch);
+  EXPECT_EQ(b_at_return, kPerBatch);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstTaskException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  try {
+    pool.ParallelFor(64, [&ran](size_t i) {
+      ran.fetch_add(1);
+      if (i == 7) throw std::runtime_error("task 7 failed");
+    });
+    FAIL() << "expected ParallelFor to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 7 failed");
+  }
+  // The batch still drained: every index ran despite the exception.
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmitTaskExceptionDoesNotKillWorker) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  // Previously an escaping exception left WorkerLoop via std::terminate.
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForMoreShardsThanIndices) {
+  ThreadPool pool(8);
+  std::atomic<int> ran{0};
+  pool.ParallelFor(2, [&ran](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 2);
 }
 
 }  // namespace

@@ -14,6 +14,8 @@
 //                    [--confidence F]
 //   querc label      --model m.bin --history h.csv --batch b.csv
 //                    --task user|account|cluster
+//   querc pool       --model m.bin --history h.csv --batch b.csv
+//                    [--task t] [--shards N] [--partition account|user|rr]
 //   querc info       --model m.bin
 
 #include <cstdio>
@@ -31,6 +33,7 @@
 #include "ml/random_forest.h"
 #include "querc/querc.h"
 #include "querc/drift.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "workload/io.h"
 
@@ -282,6 +285,78 @@ int CmdLabel(const Args& args) {
   return 0;
 }
 
+/// Trains a classifier like `label`, then runs the batch through a
+/// sharded QWorkerPool and reports per-shard throughput/latency — a
+/// command-line view of the parallel service layer.
+int CmdPool(const Args& args) {
+  auto embedder = embed::LoadEmbedderFile(args.Get("model"));
+  if (!embedder.ok()) return Fail(embedder.status());
+  auto history = LoadWorkload(args, "history");
+  if (!history.ok()) return Fail(history.status());
+  auto batch = LoadWorkload(args, "batch");
+  if (!batch.ok()) return Fail(batch.status());
+
+  std::string task = args.Get("task", "user");
+  core::LabelExtractor extractor;
+  if (task == "user") {
+    extractor = workload::UserOf;
+  } else if (task == "account") {
+    extractor = workload::AccountOf;
+  } else if (task == "cluster") {
+    extractor = workload::ClusterOf;
+  } else {
+    return Fail(util::Status::InvalidArgument("unknown --task " + task));
+  }
+
+  std::shared_ptr<const embed::Embedder> shared(std::move(*embedder));
+  auto classifier = std::make_shared<core::Classifier>(
+      task, shared,
+      std::make_unique<ml::RandomForestClassifier>(
+          ml::RandomForestClassifier::Options{}));
+  util::Status status = classifier->Train(*history, extractor);
+  if (!status.ok()) return Fail(status);
+
+  core::QWorkerPool::Options options;
+  options.application = "cli";
+  options.num_shards = static_cast<size_t>(args.GetInt("shards", 4));
+  std::string partition = args.Get("partition", "account");
+  if (partition == "account") {
+    options.partition = core::QWorkerPool::Partition::kByAccount;
+  } else if (partition == "user") {
+    options.partition = core::QWorkerPool::Partition::kByUser;
+  } else if (partition == "rr") {
+    options.partition = core::QWorkerPool::Partition::kRoundRobin;
+  } else {
+    return Fail(
+        util::Status::InvalidArgument("unknown --partition " + partition));
+  }
+  core::QWorkerPool pool(options);
+  pool.Deploy(classifier);
+
+  util::Stopwatch timer;
+  auto outputs = pool.ProcessBatch(*batch);
+  double seconds = timer.ElapsedSeconds();
+
+  size_t correct = 0;
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    if (outputs[i].predictions.at(task) == extractor((*batch)[i])) ++correct;
+  }
+  std::printf("%s labeling via %zu-shard pool (%s partition): %zu/%zu "
+              "correct (%.1f%%), %.0f queries/sec\n",
+              task.c_str(), pool.num_shards(), partition.c_str(), correct,
+              batch->size(),
+              100.0 * static_cast<double>(correct) /
+                  static_cast<double>(std::max<size_t>(1, batch->size())),
+              static_cast<double>(batch->size()) / std::max(seconds, 1e-9));
+  for (const auto& s : pool.Stats()) {
+    std::printf("  shard %zu: %zu queries, latency min/mean/max "
+                "%.3f/%.3f/%.3f ms\n",
+                s.shard, s.processed, s.latency.min_ms, s.latency.mean_ms(),
+                s.latency.max_ms);
+  }
+  return 0;
+}
+
 int CmdExplain(const Args& args) {
   auto wl = LoadWorkload(args, "workload");
   if (!wl.ok()) return Fail(wl.status());
@@ -347,6 +422,8 @@ int Usage() {
       "  tune       --workload w.csv [--budget MIN] [--merge] [--storage MB]\n"
       "  audit      --model m.bin --history h.csv --batch b.csv\n"
       "  label      --model m.bin --history h.csv --batch b.csv --task t\n"
+      "  pool       --model m.bin --history h.csv --batch b.csv [--task t]\n"
+      "             [--shards N] [--partition account|user|rr]\n"
       "  explain    --workload w.csv [--indexes t:c1,c2;t2:c] [--limit N]\n"
       "  drift      --model m.bin --reference r.csv --recent n.csv\n");
   return 2;
@@ -363,6 +440,7 @@ int Main(int argc, char** argv) {
   if (command == "tune") return CmdTune(args);
   if (command == "audit") return CmdAudit(args);
   if (command == "label") return CmdLabel(args);
+  if (command == "pool") return CmdPool(args);
   if (command == "explain") return CmdExplain(args);
   if (command == "drift") return CmdDrift(args);
   return Usage();
