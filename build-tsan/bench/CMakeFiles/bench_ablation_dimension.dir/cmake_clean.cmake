@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dimension.dir/bench_ablation_dimension.cc.o"
+  "CMakeFiles/bench_ablation_dimension.dir/bench_ablation_dimension.cc.o.d"
+  "bench_ablation_dimension"
+  "bench_ablation_dimension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dimension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_summarizers.dir/bench_ablation_summarizers.cc.o"
+  "CMakeFiles/bench_ablation_summarizers.dir/bench_ablation_summarizers.cc.o.d"
+  "bench_ablation_summarizers"
+  "bench_ablation_summarizers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_summarizers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_index_selection.dir/bench_fig3_index_selection.cc.o"
+  "CMakeFiles/bench_fig3_index_selection.dir/bench_fig3_index_selection.cc.o.d"
+  "bench_fig3_index_selection"
+  "bench_fig3_index_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_index_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

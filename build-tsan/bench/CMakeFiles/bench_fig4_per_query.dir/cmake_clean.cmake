@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_per_query.dir/bench_fig4_per_query.cc.o"
+  "CMakeFiles/bench_fig4_per_query.dir/bench_fig4_per_query.cc.o.d"
+  "bench_fig4_per_query"
+  "bench_fig4_per_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_per_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

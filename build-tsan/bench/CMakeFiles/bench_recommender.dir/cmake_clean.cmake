@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recommender.dir/bench_recommender.cc.o"
+  "CMakeFiles/bench_recommender.dir/bench_recommender.cc.o.d"
+  "bench_recommender"
+  "bench_recommender.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recommender.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

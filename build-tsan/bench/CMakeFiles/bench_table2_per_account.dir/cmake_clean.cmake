@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_per_account.dir/bench_table2_per_account.cc.o"
+  "CMakeFiles/bench_table2_per_account.dir/bench_table2_per_account.cc.o.d"
+  "bench_table2_per_account"
+  "bench_table2_per_account.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_per_account.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_service.dir/full_service.cpp.o"
+  "CMakeFiles/full_service.dir/full_service.cpp.o.d"
+  "full_service"
+  "full_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_routing.dir/query_routing.cpp.o"
+  "CMakeFiles/query_routing.dir/query_routing.cpp.o.d"
+  "query_routing"
+  "query_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/security_audit.dir/security_audit.cpp.o"
+  "CMakeFiles/security_audit.dir/security_audit.cpp.o.d"
+  "security_audit"
+  "security_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

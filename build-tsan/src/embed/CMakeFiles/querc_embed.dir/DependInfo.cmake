@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/doc2vec.cc" "src/embed/CMakeFiles/querc_embed.dir/doc2vec.cc.o" "gcc" "src/embed/CMakeFiles/querc_embed.dir/doc2vec.cc.o.d"
+  "/root/repo/src/embed/embedder.cc" "src/embed/CMakeFiles/querc_embed.dir/embedder.cc.o" "gcc" "src/embed/CMakeFiles/querc_embed.dir/embedder.cc.o.d"
+  "/root/repo/src/embed/feature_embedder.cc" "src/embed/CMakeFiles/querc_embed.dir/feature_embedder.cc.o" "gcc" "src/embed/CMakeFiles/querc_embed.dir/feature_embedder.cc.o.d"
+  "/root/repo/src/embed/lstm_autoencoder.cc" "src/embed/CMakeFiles/querc_embed.dir/lstm_autoencoder.cc.o" "gcc" "src/embed/CMakeFiles/querc_embed.dir/lstm_autoencoder.cc.o.d"
+  "/root/repo/src/embed/model_io.cc" "src/embed/CMakeFiles/querc_embed.dir/model_io.cc.o" "gcc" "src/embed/CMakeFiles/querc_embed.dir/model_io.cc.o.d"
+  "/root/repo/src/embed/tfidf_embedder.cc" "src/embed/CMakeFiles/querc_embed.dir/tfidf_embedder.cc.o" "gcc" "src/embed/CMakeFiles/querc_embed.dir/tfidf_embedder.cc.o.d"
+  "/root/repo/src/embed/vocab.cc" "src/embed/CMakeFiles/querc_embed.dir/vocab.cc.o" "gcc" "src/embed/CMakeFiles/querc_embed.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/nn/CMakeFiles/querc_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sql/CMakeFiles/querc_sql.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workload/CMakeFiles/querc_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/querc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/querc_embed.dir/doc2vec.cc.o"
+  "CMakeFiles/querc_embed.dir/doc2vec.cc.o.d"
+  "CMakeFiles/querc_embed.dir/embedder.cc.o"
+  "CMakeFiles/querc_embed.dir/embedder.cc.o.d"
+  "CMakeFiles/querc_embed.dir/feature_embedder.cc.o"
+  "CMakeFiles/querc_embed.dir/feature_embedder.cc.o.d"
+  "CMakeFiles/querc_embed.dir/lstm_autoencoder.cc.o"
+  "CMakeFiles/querc_embed.dir/lstm_autoencoder.cc.o.d"
+  "CMakeFiles/querc_embed.dir/model_io.cc.o"
+  "CMakeFiles/querc_embed.dir/model_io.cc.o.d"
+  "CMakeFiles/querc_embed.dir/tfidf_embedder.cc.o"
+  "CMakeFiles/querc_embed.dir/tfidf_embedder.cc.o.d"
+  "CMakeFiles/querc_embed.dir/vocab.cc.o"
+  "CMakeFiles/querc_embed.dir/vocab.cc.o.d"
+  "libquerc_embed.a"
+  "libquerc_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/querc_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

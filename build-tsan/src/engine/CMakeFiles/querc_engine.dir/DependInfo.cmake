@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/advisor.cc" "src/engine/CMakeFiles/querc_engine.dir/advisor.cc.o" "gcc" "src/engine/CMakeFiles/querc_engine.dir/advisor.cc.o.d"
+  "/root/repo/src/engine/catalog.cc" "src/engine/CMakeFiles/querc_engine.dir/catalog.cc.o" "gcc" "src/engine/CMakeFiles/querc_engine.dir/catalog.cc.o.d"
+  "/root/repo/src/engine/cost_model.cc" "src/engine/CMakeFiles/querc_engine.dir/cost_model.cc.o" "gcc" "src/engine/CMakeFiles/querc_engine.dir/cost_model.cc.o.d"
+  "/root/repo/src/engine/explain.cc" "src/engine/CMakeFiles/querc_engine.dir/explain.cc.o" "gcc" "src/engine/CMakeFiles/querc_engine.dir/explain.cc.o.d"
+  "/root/repo/src/engine/index.cc" "src/engine/CMakeFiles/querc_engine.dir/index.cc.o" "gcc" "src/engine/CMakeFiles/querc_engine.dir/index.cc.o.d"
+  "/root/repo/src/engine/tpch_catalog.cc" "src/engine/CMakeFiles/querc_engine.dir/tpch_catalog.cc.o" "gcc" "src/engine/CMakeFiles/querc_engine.dir/tpch_catalog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sql/CMakeFiles/querc_sql.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workload/CMakeFiles/querc_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/querc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/querc_engine.dir/advisor.cc.o"
+  "CMakeFiles/querc_engine.dir/advisor.cc.o.d"
+  "CMakeFiles/querc_engine.dir/catalog.cc.o"
+  "CMakeFiles/querc_engine.dir/catalog.cc.o.d"
+  "CMakeFiles/querc_engine.dir/cost_model.cc.o"
+  "CMakeFiles/querc_engine.dir/cost_model.cc.o.d"
+  "CMakeFiles/querc_engine.dir/explain.cc.o"
+  "CMakeFiles/querc_engine.dir/explain.cc.o.d"
+  "CMakeFiles/querc_engine.dir/index.cc.o"
+  "CMakeFiles/querc_engine.dir/index.cc.o.d"
+  "CMakeFiles/querc_engine.dir/tpch_catalog.cc.o"
+  "CMakeFiles/querc_engine.dir/tpch_catalog.cc.o.d"
+  "libquerc_engine.a"
+  "libquerc_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/querc_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/crossval.cc" "src/ml/CMakeFiles/querc_ml.dir/crossval.cc.o" "gcc" "src/ml/CMakeFiles/querc_ml.dir/crossval.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/querc_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/querc_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/kmeans.cc" "src/ml/CMakeFiles/querc_ml.dir/kmeans.cc.o" "gcc" "src/ml/CMakeFiles/querc_ml.dir/kmeans.cc.o.d"
+  "/root/repo/src/ml/kmedoids.cc" "src/ml/CMakeFiles/querc_ml.dir/kmedoids.cc.o" "gcc" "src/ml/CMakeFiles/querc_ml.dir/kmedoids.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/ml/CMakeFiles/querc_ml.dir/knn.cc.o" "gcc" "src/ml/CMakeFiles/querc_ml.dir/knn.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/querc_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/querc_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/querc_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/querc_ml.dir/random_forest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/nn/CMakeFiles/querc_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/querc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/querc_ml.dir/crossval.cc.o"
+  "CMakeFiles/querc_ml.dir/crossval.cc.o.d"
+  "CMakeFiles/querc_ml.dir/dataset.cc.o"
+  "CMakeFiles/querc_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/querc_ml.dir/kmeans.cc.o"
+  "CMakeFiles/querc_ml.dir/kmeans.cc.o.d"
+  "CMakeFiles/querc_ml.dir/kmedoids.cc.o"
+  "CMakeFiles/querc_ml.dir/kmedoids.cc.o.d"
+  "CMakeFiles/querc_ml.dir/knn.cc.o"
+  "CMakeFiles/querc_ml.dir/knn.cc.o.d"
+  "CMakeFiles/querc_ml.dir/metrics.cc.o"
+  "CMakeFiles/querc_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/querc_ml.dir/random_forest.cc.o"
+  "CMakeFiles/querc_ml.dir/random_forest.cc.o.d"
+  "libquerc_ml.a"
+  "libquerc_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/querc_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libquerc_ml.a"
+)

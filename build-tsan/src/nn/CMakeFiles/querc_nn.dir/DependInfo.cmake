@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/lstm.cc" "src/nn/CMakeFiles/querc_nn.dir/lstm.cc.o" "gcc" "src/nn/CMakeFiles/querc_nn.dir/lstm.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/querc_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/querc_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/querc_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/querc_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/softmax.cc" "src/nn/CMakeFiles/querc_nn.dir/softmax.cc.o" "gcc" "src/nn/CMakeFiles/querc_nn.dir/softmax.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/querc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/querc_nn.dir/lstm.cc.o"
+  "CMakeFiles/querc_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/querc_nn.dir/optimizer.cc.o"
+  "CMakeFiles/querc_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/querc_nn.dir/serialize.cc.o"
+  "CMakeFiles/querc_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/querc_nn.dir/softmax.cc.o"
+  "CMakeFiles/querc_nn.dir/softmax.cc.o.d"
+  "libquerc_nn.a"
+  "libquerc_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/querc_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

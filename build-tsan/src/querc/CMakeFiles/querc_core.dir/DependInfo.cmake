@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/querc/classifier.cc" "src/querc/CMakeFiles/querc_core.dir/classifier.cc.o" "gcc" "src/querc/CMakeFiles/querc_core.dir/classifier.cc.o.d"
+  "/root/repo/src/querc/drift.cc" "src/querc/CMakeFiles/querc_core.dir/drift.cc.o" "gcc" "src/querc/CMakeFiles/querc_core.dir/drift.cc.o.d"
+  "/root/repo/src/querc/error_predictor.cc" "src/querc/CMakeFiles/querc_core.dir/error_predictor.cc.o" "gcc" "src/querc/CMakeFiles/querc_core.dir/error_predictor.cc.o.d"
+  "/root/repo/src/querc/qworker.cc" "src/querc/CMakeFiles/querc_core.dir/qworker.cc.o" "gcc" "src/querc/CMakeFiles/querc_core.dir/qworker.cc.o.d"
+  "/root/repo/src/querc/qworker_pool.cc" "src/querc/CMakeFiles/querc_core.dir/qworker_pool.cc.o" "gcc" "src/querc/CMakeFiles/querc_core.dir/qworker_pool.cc.o.d"
+  "/root/repo/src/querc/recommender.cc" "src/querc/CMakeFiles/querc_core.dir/recommender.cc.o" "gcc" "src/querc/CMakeFiles/querc_core.dir/recommender.cc.o.d"
+  "/root/repo/src/querc/resource_allocator.cc" "src/querc/CMakeFiles/querc_core.dir/resource_allocator.cc.o" "gcc" "src/querc/CMakeFiles/querc_core.dir/resource_allocator.cc.o.d"
+  "/root/repo/src/querc/routing.cc" "src/querc/CMakeFiles/querc_core.dir/routing.cc.o" "gcc" "src/querc/CMakeFiles/querc_core.dir/routing.cc.o.d"
+  "/root/repo/src/querc/security_audit.cc" "src/querc/CMakeFiles/querc_core.dir/security_audit.cc.o" "gcc" "src/querc/CMakeFiles/querc_core.dir/security_audit.cc.o.d"
+  "/root/repo/src/querc/summarizer.cc" "src/querc/CMakeFiles/querc_core.dir/summarizer.cc.o" "gcc" "src/querc/CMakeFiles/querc_core.dir/summarizer.cc.o.d"
+  "/root/repo/src/querc/training_module.cc" "src/querc/CMakeFiles/querc_core.dir/training_module.cc.o" "gcc" "src/querc/CMakeFiles/querc_core.dir/training_module.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/embed/CMakeFiles/querc_embed.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ml/CMakeFiles/querc_ml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workload/CMakeFiles/querc_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/querc_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sql/CMakeFiles/querc_sql.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nn/CMakeFiles/querc_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

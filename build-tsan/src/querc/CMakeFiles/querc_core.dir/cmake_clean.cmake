@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/querc_core.dir/classifier.cc.o"
+  "CMakeFiles/querc_core.dir/classifier.cc.o.d"
+  "CMakeFiles/querc_core.dir/drift.cc.o"
+  "CMakeFiles/querc_core.dir/drift.cc.o.d"
+  "CMakeFiles/querc_core.dir/error_predictor.cc.o"
+  "CMakeFiles/querc_core.dir/error_predictor.cc.o.d"
+  "CMakeFiles/querc_core.dir/qworker.cc.o"
+  "CMakeFiles/querc_core.dir/qworker.cc.o.d"
+  "CMakeFiles/querc_core.dir/qworker_pool.cc.o"
+  "CMakeFiles/querc_core.dir/qworker_pool.cc.o.d"
+  "CMakeFiles/querc_core.dir/recommender.cc.o"
+  "CMakeFiles/querc_core.dir/recommender.cc.o.d"
+  "CMakeFiles/querc_core.dir/resource_allocator.cc.o"
+  "CMakeFiles/querc_core.dir/resource_allocator.cc.o.d"
+  "CMakeFiles/querc_core.dir/routing.cc.o"
+  "CMakeFiles/querc_core.dir/routing.cc.o.d"
+  "CMakeFiles/querc_core.dir/security_audit.cc.o"
+  "CMakeFiles/querc_core.dir/security_audit.cc.o.d"
+  "CMakeFiles/querc_core.dir/summarizer.cc.o"
+  "CMakeFiles/querc_core.dir/summarizer.cc.o.d"
+  "CMakeFiles/querc_core.dir/training_module.cc.o"
+  "CMakeFiles/querc_core.dir/training_module.cc.o.d"
+  "libquerc_core.a"
+  "libquerc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/querc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

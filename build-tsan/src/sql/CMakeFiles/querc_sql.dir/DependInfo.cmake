@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/analyzer.cc" "src/sql/CMakeFiles/querc_sql.dir/analyzer.cc.o" "gcc" "src/sql/CMakeFiles/querc_sql.dir/analyzer.cc.o.d"
+  "/root/repo/src/sql/dialect.cc" "src/sql/CMakeFiles/querc_sql.dir/dialect.cc.o" "gcc" "src/sql/CMakeFiles/querc_sql.dir/dialect.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/sql/CMakeFiles/querc_sql.dir/lexer.cc.o" "gcc" "src/sql/CMakeFiles/querc_sql.dir/lexer.cc.o.d"
+  "/root/repo/src/sql/normalizer.cc" "src/sql/CMakeFiles/querc_sql.dir/normalizer.cc.o" "gcc" "src/sql/CMakeFiles/querc_sql.dir/normalizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/util/CMakeFiles/querc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

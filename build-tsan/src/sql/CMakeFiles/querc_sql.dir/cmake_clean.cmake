@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/querc_sql.dir/analyzer.cc.o"
+  "CMakeFiles/querc_sql.dir/analyzer.cc.o.d"
+  "CMakeFiles/querc_sql.dir/dialect.cc.o"
+  "CMakeFiles/querc_sql.dir/dialect.cc.o.d"
+  "CMakeFiles/querc_sql.dir/lexer.cc.o"
+  "CMakeFiles/querc_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/querc_sql.dir/normalizer.cc.o"
+  "CMakeFiles/querc_sql.dir/normalizer.cc.o.d"
+  "libquerc_sql.a"
+  "libquerc_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/querc_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/querc_util.dir/logging.cc.o"
+  "CMakeFiles/querc_util.dir/logging.cc.o.d"
+  "CMakeFiles/querc_util.dir/status.cc.o"
+  "CMakeFiles/querc_util.dir/status.cc.o.d"
+  "CMakeFiles/querc_util.dir/string_util.cc.o"
+  "CMakeFiles/querc_util.dir/string_util.cc.o.d"
+  "CMakeFiles/querc_util.dir/table_writer.cc.o"
+  "CMakeFiles/querc_util.dir/table_writer.cc.o.d"
+  "CMakeFiles/querc_util.dir/thread_pool.cc.o"
+  "CMakeFiles/querc_util.dir/thread_pool.cc.o.d"
+  "libquerc_util.a"
+  "libquerc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/querc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

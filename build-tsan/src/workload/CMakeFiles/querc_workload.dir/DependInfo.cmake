@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/io.cc" "src/workload/CMakeFiles/querc_workload.dir/io.cc.o" "gcc" "src/workload/CMakeFiles/querc_workload.dir/io.cc.o.d"
+  "/root/repo/src/workload/snowflake_gen.cc" "src/workload/CMakeFiles/querc_workload.dir/snowflake_gen.cc.o" "gcc" "src/workload/CMakeFiles/querc_workload.dir/snowflake_gen.cc.o.d"
+  "/root/repo/src/workload/tpch_gen.cc" "src/workload/CMakeFiles/querc_workload.dir/tpch_gen.cc.o" "gcc" "src/workload/CMakeFiles/querc_workload.dir/tpch_gen.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/workload/CMakeFiles/querc_workload.dir/workload.cc.o" "gcc" "src/workload/CMakeFiles/querc_workload.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sql/CMakeFiles/querc_sql.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/querc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/querc_workload.dir/io.cc.o"
+  "CMakeFiles/querc_workload.dir/io.cc.o.d"
+  "CMakeFiles/querc_workload.dir/snowflake_gen.cc.o"
+  "CMakeFiles/querc_workload.dir/snowflake_gen.cc.o.d"
+  "CMakeFiles/querc_workload.dir/tpch_gen.cc.o"
+  "CMakeFiles/querc_workload.dir/tpch_gen.cc.o.d"
+  "CMakeFiles/querc_workload.dir/workload.cc.o"
+  "CMakeFiles/querc_workload.dir/workload.cc.o.d"
+  "libquerc_workload.a"
+  "libquerc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/querc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_embed_doc2vec.dir/test_embed_doc2vec.cc.o"
+  "CMakeFiles/test_embed_doc2vec.dir/test_embed_doc2vec.cc.o.d"
+  "test_embed_doc2vec"
+  "test_embed_doc2vec.pdb"
+  "test_embed_doc2vec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_embed_doc2vec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

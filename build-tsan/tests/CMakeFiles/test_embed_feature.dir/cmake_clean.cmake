@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_embed_feature.dir/test_embed_feature.cc.o"
+  "CMakeFiles/test_embed_feature.dir/test_embed_feature.cc.o.d"
+  "test_embed_feature"
+  "test_embed_feature.pdb"
+  "test_embed_feature[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_embed_feature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_embed_lstm_autoencoder.cc" "tests/CMakeFiles/test_embed_lstm_autoencoder.dir/test_embed_lstm_autoencoder.cc.o" "gcc" "tests/CMakeFiles/test_embed_lstm_autoencoder.dir/test_embed_lstm_autoencoder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/querc/CMakeFiles/querc_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/engine/CMakeFiles/querc_engine.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ml/CMakeFiles/querc_ml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/embed/CMakeFiles/querc_embed.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workload/CMakeFiles/querc_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/nn/CMakeFiles/querc_nn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sql/CMakeFiles/querc_sql.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/util/CMakeFiles/querc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

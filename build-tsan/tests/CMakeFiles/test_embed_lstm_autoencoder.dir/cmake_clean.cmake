@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_embed_lstm_autoencoder.dir/test_embed_lstm_autoencoder.cc.o"
+  "CMakeFiles/test_embed_lstm_autoencoder.dir/test_embed_lstm_autoencoder.cc.o.d"
+  "test_embed_lstm_autoencoder"
+  "test_embed_lstm_autoencoder.pdb"
+  "test_embed_lstm_autoencoder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_embed_lstm_autoencoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_embed_lstm_autoencoder.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_embed_model_io.dir/test_embed_model_io.cc.o"
+  "CMakeFiles/test_embed_model_io.dir/test_embed_model_io.cc.o.d"
+  "test_embed_model_io"
+  "test_embed_model_io.pdb"
+  "test_embed_model_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_embed_model_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

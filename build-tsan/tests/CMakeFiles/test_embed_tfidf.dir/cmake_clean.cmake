@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_embed_tfidf.dir/test_embed_tfidf.cc.o"
+  "CMakeFiles/test_embed_tfidf.dir/test_embed_tfidf.cc.o.d"
+  "test_embed_tfidf"
+  "test_embed_tfidf.pdb"
+  "test_embed_tfidf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_embed_tfidf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

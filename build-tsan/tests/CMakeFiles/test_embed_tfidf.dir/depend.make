@@ -1,0 +1,2 @@
+# Empty dependencies file for test_embed_tfidf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_embed_vocab.dir/test_embed_vocab.cc.o"
+  "CMakeFiles/test_embed_vocab.dir/test_embed_vocab.cc.o.d"
+  "test_embed_vocab"
+  "test_embed_vocab.pdb"
+  "test_embed_vocab[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_embed_vocab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_advisor.dir/test_engine_advisor.cc.o"
+  "CMakeFiles/test_engine_advisor.dir/test_engine_advisor.cc.o.d"
+  "test_engine_advisor"
+  "test_engine_advisor.pdb"
+  "test_engine_advisor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_service.dir/test_integration_service.cc.o"
+  "CMakeFiles/test_integration_service.dir/test_integration_service.cc.o.d"
+  "test_integration_service"
+  "test_integration_service.pdb"
+  "test_integration_service[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

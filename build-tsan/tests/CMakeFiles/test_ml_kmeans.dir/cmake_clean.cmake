@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_kmeans.dir/test_ml_kmeans.cc.o"
+  "CMakeFiles/test_ml_kmeans.dir/test_ml_kmeans.cc.o.d"
+  "test_ml_kmeans"
+  "test_ml_kmeans.pdb"
+  "test_ml_kmeans[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

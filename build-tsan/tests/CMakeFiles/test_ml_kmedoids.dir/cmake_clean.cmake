@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_kmedoids.dir/test_ml_kmedoids.cc.o"
+  "CMakeFiles/test_ml_kmedoids.dir/test_ml_kmedoids.cc.o.d"
+  "test_ml_kmedoids"
+  "test_ml_kmedoids.pdb"
+  "test_ml_kmedoids[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_kmedoids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml_knn_crossval_metrics.dir/test_ml_knn_crossval_metrics.cc.o"
+  "CMakeFiles/test_ml_knn_crossval_metrics.dir/test_ml_knn_crossval_metrics.cc.o.d"
+  "test_ml_knn_crossval_metrics"
+  "test_ml_knn_crossval_metrics.pdb"
+  "test_ml_knn_crossval_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml_knn_crossval_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_lstm.dir/test_nn_lstm.cc.o"
+  "CMakeFiles/test_nn_lstm.dir/test_nn_lstm.cc.o.d"
+  "test_nn_lstm"
+  "test_nn_lstm.pdb"
+  "test_nn_lstm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_lstm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

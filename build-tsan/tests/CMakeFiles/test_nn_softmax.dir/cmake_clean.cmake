@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_softmax.dir/test_nn_softmax.cc.o"
+  "CMakeFiles/test_nn_softmax.dir/test_nn_softmax.cc.o.d"
+  "test_nn_softmax"
+  "test_nn_softmax.pdb"
+  "test_nn_softmax[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_softmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_querc_applications.dir/test_querc_applications.cc.o"
+  "CMakeFiles/test_querc_applications.dir/test_querc_applications.cc.o.d"
+  "test_querc_applications"
+  "test_querc_applications.pdb"
+  "test_querc_applications[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_querc_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_querc_drift_explain.dir/test_querc_drift_explain.cc.o"
+  "CMakeFiles/test_querc_drift_explain.dir/test_querc_drift_explain.cc.o.d"
+  "test_querc_drift_explain"
+  "test_querc_drift_explain.pdb"
+  "test_querc_drift_explain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_querc_drift_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

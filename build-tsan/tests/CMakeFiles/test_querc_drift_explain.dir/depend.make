@@ -1,0 +1,2 @@
+# Empty dependencies file for test_querc_drift_explain.
+# This may be replaced when dependencies are built.

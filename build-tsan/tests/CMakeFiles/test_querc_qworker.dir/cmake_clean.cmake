@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_querc_qworker.dir/test_querc_qworker.cc.o"
+  "CMakeFiles/test_querc_qworker.dir/test_querc_qworker.cc.o.d"
+  "test_querc_qworker"
+  "test_querc_qworker.pdb"
+  "test_querc_qworker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_querc_qworker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

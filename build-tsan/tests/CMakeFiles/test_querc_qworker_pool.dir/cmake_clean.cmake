@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_querc_qworker_pool.dir/test_querc_qworker_pool.cc.o"
+  "CMakeFiles/test_querc_qworker_pool.dir/test_querc_qworker_pool.cc.o.d"
+  "test_querc_qworker_pool"
+  "test_querc_qworker_pool.pdb"
+  "test_querc_qworker_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_querc_qworker_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_querc_training_module.dir/test_querc_training_module.cc.o"
+  "CMakeFiles/test_querc_training_module.dir/test_querc_training_module.cc.o.d"
+  "test_querc_training_module"
+  "test_querc_training_module.pdb"
+  "test_querc_training_module[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_querc_training_module.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

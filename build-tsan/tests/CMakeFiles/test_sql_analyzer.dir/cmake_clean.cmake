@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sql_analyzer.dir/test_sql_analyzer.cc.o"
+  "CMakeFiles/test_sql_analyzer.dir/test_sql_analyzer.cc.o.d"
+  "test_sql_analyzer"
+  "test_sql_analyzer.pdb"
+  "test_sql_analyzer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sql_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sql_dialect.dir/test_sql_dialect.cc.o"
+  "CMakeFiles/test_sql_dialect.dir/test_sql_dialect.cc.o.d"
+  "test_sql_dialect"
+  "test_sql_dialect.pdb"
+  "test_sql_dialect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sql_dialect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

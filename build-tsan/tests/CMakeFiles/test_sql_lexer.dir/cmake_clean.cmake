@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sql_lexer.dir/test_sql_lexer.cc.o"
+  "CMakeFiles/test_sql_lexer.dir/test_sql_lexer.cc.o.d"
+  "test_sql_lexer"
+  "test_sql_lexer.pdb"
+  "test_sql_lexer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sql_lexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

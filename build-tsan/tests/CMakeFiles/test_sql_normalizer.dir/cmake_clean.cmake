@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sql_normalizer.dir/test_sql_normalizer.cc.o"
+  "CMakeFiles/test_sql_normalizer.dir/test_sql_normalizer.cc.o.d"
+  "test_sql_normalizer"
+  "test_sql_normalizer.pdb"
+  "test_sql_normalizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sql_normalizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

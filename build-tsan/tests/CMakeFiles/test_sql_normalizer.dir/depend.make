@@ -1,0 +1,2 @@
+# Empty dependencies file for test_sql_normalizer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_table_writer.dir/test_util_table_writer.cc.o"
+  "CMakeFiles/test_util_table_writer.dir/test_util_table_writer.cc.o.d"
+  "test_util_table_writer"
+  "test_util_table_writer.pdb"
+  "test_util_table_writer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_table_writer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

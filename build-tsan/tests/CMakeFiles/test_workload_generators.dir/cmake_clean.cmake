@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_generators.dir/test_workload_generators.cc.o"
+  "CMakeFiles/test_workload_generators.dir/test_workload_generators.cc.o.d"
+  "test_workload_generators"
+  "test_workload_generators.pdb"
+  "test_workload_generators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_io.dir/test_workload_io.cc.o"
+  "CMakeFiles/test_workload_io.dir/test_workload_io.cc.o.d"
+  "test_workload_io"
+  "test_workload_io.pdb"
+  "test_workload_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

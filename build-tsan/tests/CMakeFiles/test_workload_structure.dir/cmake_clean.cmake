@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_structure.dir/test_workload_structure.cc.o"
+  "CMakeFiles/test_workload_structure.dir/test_workload_structure.cc.o.d"
+  "test_workload_structure"
+  "test_workload_structure.pdb"
+  "test_workload_structure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/querc.dir/querc_cli.cc.o"
+  "CMakeFiles/querc.dir/querc_cli.cc.o.d"
+  "querc"
+  "querc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/querc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-tsan/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_generate "/usr/bin/cmake" "-E" "env" "/root/repo/build-tsan/tools/querc" "generate" "--kind" "snowflake" "--accounts" "2" "--queries" "120" "--users" "3" "--out" "/root/repo/build-tsan/tools/cli_test_wl.csv")
+set_tests_properties(cli_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_train "/root/repo/build-tsan/tools/querc" "train" "--embedder" "dbow" "--workload" "/root/repo/build-tsan/tools/cli_test_wl.csv" "--model" "/root/repo/build-tsan/tools/cli_test_m.bin" "--epochs" "3")
+set_tests_properties(cli_train PROPERTIES  DEPENDS "cli_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_info "/root/repo/build-tsan/tools/querc" "info" "--model" "/root/repo/build-tsan/tools/cli_test_m.bin")
+set_tests_properties(cli_info PROPERTIES  DEPENDS "cli_train" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_summarize "/root/repo/build-tsan/tools/querc" "summarize" "--model" "/root/repo/build-tsan/tools/cli_test_m.bin" "--workload" "/root/repo/build-tsan/tools/cli_test_wl.csv" "--k" "4")
+set_tests_properties(cli_summarize PROPERTIES  DEPENDS "cli_train" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_label "/root/repo/build-tsan/tools/querc" "label" "--model" "/root/repo/build-tsan/tools/cli_test_m.bin" "--history" "/root/repo/build-tsan/tools/cli_test_wl.csv" "--batch" "/root/repo/build-tsan/tools/cli_test_wl.csv" "--task" "account")
+set_tests_properties(cli_label PROPERTIES  DEPENDS "cli_train" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_generate_tpch "/root/repo/build-tsan/tools/querc" "generate" "--kind" "tpch" "--instances" "3" "--out" "/root/repo/build-tsan/tools/cli_test_tpch.csv")
+set_tests_properties(cli_generate_tpch PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_tune "/root/repo/build-tsan/tools/querc" "tune" "--workload" "/root/repo/build-tsan/tools/cli_test_tpch.csv" "--budget" "8" "--merge")
+set_tests_properties(cli_tune PROPERTIES  DEPENDS "cli_generate_tpch" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_command "/root/repo/build-tsan/tools/querc" "frobnicate")
+set_tests_properties(cli_bad_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_explain "/root/repo/build-tsan/tools/querc" "explain" "--workload" "/root/repo/build-tsan/tools/cli_test_tpch.csv" "--indexes" "lineitem:l_shipdate" "--limit" "2")
+set_tests_properties(cli_explain PROPERTIES  DEPENDS "cli_generate_tpch" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;30;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_drift "/root/repo/build-tsan/tools/querc" "drift" "--model" "/root/repo/build-tsan/tools/cli_test_m.bin" "--reference" "/root/repo/build-tsan/tools/cli_test_wl.csv" "--recent" "/root/repo/build-tsan/tools/cli_test_wl.csv")
+set_tests_properties(cli_drift PROPERTIES  DEPENDS "cli_train" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;33;add_test;/root/repo/tools/CMakeLists.txt;0;")
