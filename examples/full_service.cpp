@@ -20,6 +20,9 @@
 #include <memory>
 
 #include "ml/random_forest.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/stats_reporter.h"
 #include "querc/drift.h"
 #include "querc/querc.h"
 
@@ -125,10 +128,33 @@ int main() {
               correct, total, pool_x.num_shards());
   for (const auto& s : pool_x.Stats()) {
     std::printf("  shard %zu: %zu queries, %zu classifiers, latency "
-                "min/mean/max %.3f/%.3f/%.3f ms\n",
-                s.shard, s.processed, s.num_classifiers, s.latency.min_ms,
-                s.latency.mean_ms(), s.latency.max_ms);
+                "p50/p99/max %.3f/%.3f/%.3f ms\n",
+                s.shard, s.processed, s.num_classifiers, s.p50_ms, s.p99_ms,
+                s.histogram.max);
   }
+  obs::HistogramSnapshot pooled = pool_x.MergedLatency();
+  std::printf("  pooled: count=%llu p50=%.3f p99=%.3f max=%.3f ms\n",
+              static_cast<unsigned long long>(pooled.count), pooled.p50(),
+              pooled.p99(), pooled.max);
+
+  // --- telemetry: the same run seen through the obs registry ---
+  // Every pipeline stage the batch passed through recorded a span into
+  // querc_stage_ms{stage=...}; one summary line shows the whole shape.
+  std::printf("pipeline stages (ms):\n");
+  auto stages = obs::MetricsRegistry::Global().Collect("querc_stage_ms");
+  for (const auto& sample : stages.histograms) {
+    std::string stage;
+    for (const auto& [key, value] : sample.labels) {
+      if (key == "stage") stage = value;
+    }
+    std::printf("  %-14s n=%-6llu p50=%.3f p99=%.3f max=%.3f\n",
+                stage.c_str(),
+                static_cast<unsigned long long>(sample.snapshot.count),
+                sample.snapshot.p50(), sample.snapshot.p99(),
+                sample.snapshot.max);
+  }
+  obs::StatsReporter reporter;
+  std::printf("%s\n", reporter.SummaryLine().substr(0, 200).c_str());
 
   // --- drift check: should we retrain? ---
   core::DriftDetector detector(embedder_a, {});

@@ -1,5 +1,6 @@
 #include "embed/embedder.h"
 
+#include "obs/trace.h"
 #include "sql/lexer.h"
 #include "sql/normalizer.h"
 
@@ -9,7 +10,15 @@ std::vector<std::string> TokenizeForEmbedding(std::string_view text,
                                               sql::Dialect dialect) {
   sql::LexOptions options;
   options.dialect = dialect;
-  return sql::Normalize(sql::LexLenient(text, options));
+  sql::TokenList tokens;
+  {
+    static obs::Histogram& hist = obs::StageHistogram("lex");
+    obs::Span span(&hist, "lex");
+    tokens = sql::LexLenient(text, options);
+  }
+  static obs::Histogram& hist = obs::StageHistogram("normalize");
+  obs::Span span(&hist, "normalize");
+  return sql::Normalize(tokens);
 }
 
 std::vector<std::vector<std::string>> TokenizeWorkload(

@@ -4,11 +4,33 @@
 #include <map>
 #include <set>
 
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 namespace querc::engine {
 
 namespace {
+
+/// One advisor run = one increment of runs_total plus `whatif_calls_used`
+/// increments of the call counter; the gauge keeps the last run's budget
+/// consumption (0..1) for dashboards.
+void RecordAdvisorRun(int64_t whatif_calls_used, int64_t budget) {
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter& runs = registry.GetCounter(
+      "querc_advisor_runs_total", {}, "TuningAdvisor::Recommend invocations");
+  static obs::Counter& calls = registry.GetCounter(
+      "querc_advisor_whatif_calls_total", {},
+      "What-if optimizer calls consumed across all advisor runs");
+  static obs::Gauge& consumed = registry.GetGauge(
+      "querc_advisor_budget_consumed_ratio", {},
+      "Fraction of the what-if call budget used by the last advisor run");
+  runs.Increment();
+  calls.Increment(static_cast<uint64_t>(std::max<int64_t>(
+      0, whatif_calls_used)));
+  consumed.Set(budget <= 0 ? 0.0
+                           : static_cast<double>(whatif_calls_used) /
+                                 static_cast<double>(budget));
+}
 
 /// A deduplicated query: parsed shape plus its multiplicity in the input.
 struct DistinctQuery {
@@ -48,6 +70,7 @@ AdvisorResult TuningAdvisor::Recommend(
       options_.whatif_calls_per_minute;
   if (raw_budget <= 0.0) {
     result.log.push_back("budget below startup overhead: no recommendation");
+    RecordAdvisorRun(0, 0);
     return result;
   }
   int64_t budget = static_cast<int64_t>(raw_budget);
@@ -254,6 +277,7 @@ AdvisorResult TuningAdvisor::Recommend(
   }
 
   result.storage_mb = ConfigSizeMb(model_->catalog(), result.config);
+  RecordAdvisorRun(result.whatif_calls_used, budget);
   return result;
 }
 

@@ -1,0 +1,33 @@
+#ifndef QUERC_OBS_EXPORT_H_
+#define QUERC_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace querc::obs {
+
+/// Renders the registry in the Prometheus text exposition format
+/// (version 0.0.4): one `# TYPE` (and `# HELP` when registered) comment
+/// per family, `name{labels} value` samples, and for histograms the
+/// cumulative `_bucket{le=...}` series (empty buckets elided) plus `_sum`
+/// and `_count`. `prefix` restricts the export to metric names starting
+/// with it ("" = everything).
+std::string ExportPrometheus(const MetricsRegistry& registry,
+                             const std::string& prefix = "");
+std::string ExportPrometheus();
+
+/// Renders the registry as a JSON snapshot:
+///   {"counters": [{"name","labels","value"}, ...],
+///    "gauges":   [...],
+///    "histograms": [{"name","labels","count","sum","min","max","mean",
+///                    "p50","p90","p99"}, ...]}
+/// Histograms export summary statistics rather than raw buckets — the
+/// machine-readable form consumed by bench trajectories and dashboards.
+std::string ExportJson(const MetricsRegistry& registry,
+                       const std::string& prefix = "");
+std::string ExportJson();
+
+}  // namespace querc::obs
+
+#endif  // QUERC_OBS_EXPORT_H_

@@ -1,0 +1,212 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace querc::obs {
+
+namespace {
+
+void AtomicAdd(std::atomic<double>& slot, double delta) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (!slot.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+size_t Histogram::BucketIndex(double value) {
+  if (!(value >= kMinTracked)) return 0;  // also catches NaN and v <= 0
+  double octaves = std::log2(value / kMinTracked);
+  auto idx = static_cast<size_t>(octaves * kBucketsPerOctave);
+  if (idx >= kLogBuckets) return kNumBuckets - 1;
+  return idx + 1;
+}
+
+double Histogram::BucketUpperBound(size_t i) {
+  if (i == 0) return kMinTracked;
+  if (i >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  return kMinTracked *
+         std::exp2(static_cast<double>(i) / kBucketsPerOctave);
+}
+
+double Histogram::BucketLowerBound(size_t i) {
+  if (i == 0) return 0.0;
+  return kMinTracked *
+         std::exp2(static_cast<double>(i - 1) / kBucketsPerOctave);
+}
+
+void Histogram::Record(double value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, value);
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kNumBuckets);
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snap.buckets[i];
+  }
+  // Derive the count from the buckets so the snapshot is internally
+  // consistent even when racing writers have bumped count_ but not yet
+  // their bucket (or vice versa).
+  snap.count = total;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  double min = min_.load(std::memory_order_relaxed);
+  // min_ idles at +inf until the first sample; a snapshot racing that
+  // first Record can still see it, so treat non-finite as "no data yet".
+  snap.min = (total == 0 || !std::isfinite(min)) ? 0.0 : min;
+  snap.max = total == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(count);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    cum += buckets[i];
+    if (static_cast<double>(cum) >= target) {
+      double lower = Histogram::BucketLowerBound(i);
+      double upper = Histogram::BucketUpperBound(i);
+      // The overflow bucket has no finite upper bound; the observed max
+      // is the best available estimate.
+      if (std::isinf(upper)) upper = max;
+      double in_bucket =
+          target - static_cast<double>(cum - buckets[i]);
+      double fraction =
+          std::clamp(in_bucket / static_cast<double>(buckets[i]), 0.0, 1.0);
+      double value = lower + fraction * (upper - lower);
+      return std::clamp(value, min, max);
+    }
+  }
+  return max;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  if (buckets.empty()) buckets.resize(other.buckets.size());
+  for (size_t i = 0; i < buckets.size() && i < other.buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  min = count == 0 ? other.min : std::min(min, other.min);
+  max = count == 0 ? other.max : std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+namespace {
+
+Labels Canonical(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+template <typename T>
+T& GetOrCreate(std::map<std::pair<std::string, Labels>, std::unique_ptr<T>>&
+                   metrics,
+               const std::string& name, const Labels& labels) {
+  auto key = std::make_pair(name, Canonical(labels));
+  auto it = metrics.find(key);
+  if (it == metrics.end()) {
+    it = metrics.emplace(std::move(key), std::make_unique<T>()).first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!help.empty()) help_.emplace(name, help);
+  return GetOrCreate(counters_, name, labels);
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name, const Labels& labels,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!help.empty()) help_.emplace(name, help);
+  return GetOrCreate(gauges_, name, labels);
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const Labels& labels,
+                                         const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!help.empty()) help_.emplace(name, help);
+  return GetOrCreate(histograms_, name, labels);
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::Collect(
+    const std::string& prefix) const {
+  auto matches = [&prefix](const std::string& name) {
+    return prefix.empty() || name.rfind(prefix, 0) == 0;
+  };
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, counter] : counters_) {
+    if (!matches(key.first)) continue;
+    snap.counters.push_back({key.first, key.second, counter->value()});
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    if (!matches(key.first)) continue;
+    snap.gauges.push_back({key.first, key.second, gauge->value()});
+  }
+  for (const auto& [key, histogram] : histograms_) {
+    if (!matches(key.first)) continue;
+    snap.histograms.push_back({key.first, key.second, histogram->Snapshot()});
+  }
+  for (const auto& [name, help] : help_) {
+    if (matches(name)) snap.help.emplace(name, help);
+  }
+  return snap;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, counter] : counters_) counter->Reset();
+  for (auto& [key, gauge] : gauges_) gauge->Reset();
+  for (auto& [key, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace querc::obs

@@ -1,0 +1,182 @@
+#ifndef QUERC_OBS_METRICS_H_
+#define QUERC_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace querc::obs {
+
+/// Sorted (key, value) pairs identifying one time series within a metric
+/// family, e.g. {{"stage", "embed"}}. Keys and values must be stable
+/// strings; cardinality should stay small (shards, stages — not users).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing event count. All operations are single atomic
+/// RMWs — safe to hammer from every shard with no lock.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A value that can go up and down (queue depths, last-run ratios).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time copy of a histogram, safe to aggregate and query off the
+/// hot path. Percentiles interpolate within the owning bucket and are
+/// clamped to the observed [min, max], so a single-sample histogram
+/// reports that exact sample at every quantile.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<uint64_t> buckets;
+
+  double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  /// q in [0, 1]; returns 0 for an empty snapshot.
+  double Percentile(double q) const;
+  double p50() const { return Percentile(0.50); }
+  double p90() const { return Percentile(0.90); }
+  double p99() const { return Percentile(0.99); }
+
+  /// Pointwise sum; merging per-shard snapshots yields the pooled view.
+  void Merge(const HistogramSnapshot& other);
+};
+
+/// Log-bucketed histogram tuned for latencies in milliseconds: bucket
+/// bounds grow geometrically (4 buckets per octave, ~19% relative error)
+/// from 1 microsecond to ~70 minutes, with underflow and overflow buckets.
+/// The record path is a handful of relaxed atomic RMWs — no mutex — so it
+/// can sit on QWorker::Process with every shard writing concurrently.
+class Histogram {
+ public:
+  static constexpr size_t kBucketsPerOctave = 4;
+  static constexpr size_t kOctaves = 32;
+  static constexpr size_t kLogBuckets = kBucketsPerOctave * kOctaves;
+  /// underflow + log-spaced + overflow.
+  static constexpr size_t kNumBuckets = kLogBuckets + 2;
+  /// Lower bound of the first log-spaced bucket (1us when recording ms).
+  static constexpr double kMinTracked = 1e-3;
+
+  void Record(double value);
+
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+  /// Bucket index `value` lands in; exposed for boundary tests.
+  static size_t BucketIndex(double value);
+  /// Inclusive upper bound of bucket `i` (+inf for the overflow bucket).
+  static double BucketUpperBound(size_t i);
+  /// Lower bound of bucket `i` (0 for the underflow bucket).
+  static double BucketLowerBound(size_t i);
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<double> sum_{0.0};
+  /// Idles at +inf so the first Record's AtomicMin claims it race-free;
+  /// Snapshot reports 0 while empty.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{0.0};
+  std::atomic<uint64_t> count_{0};
+};
+
+/// Name + labels -> metric instance map. Registration (first Get* for a
+/// key) takes a mutex; returned references are stable for the registry's
+/// lifetime, so hot paths resolve a metric once (e.g. into a function-
+/// local static reference) and then touch only the metric's atomics.
+///
+/// The process-wide instance is `MetricsRegistry::Global()`; tests and
+/// exporter goldens can construct private registries.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  /// `help`, when non-empty, is remembered for the family (first caller
+  /// wins) and emitted by the Prometheus exporter.
+  Counter& GetCounter(const std::string& name, const Labels& labels = {},
+                      const std::string& help = "");
+  Gauge& GetGauge(const std::string& name, const Labels& labels = {},
+                  const std::string& help = "");
+  Histogram& GetHistogram(const std::string& name, const Labels& labels = {},
+                          const std::string& help = "");
+
+  struct CounterSample {
+    std::string name;
+    Labels labels;
+    uint64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    Labels labels;
+    double value = 0.0;
+  };
+  struct HistogramSample {
+    std::string name;
+    Labels labels;
+    HistogramSnapshot snapshot;
+  };
+  /// Everything the exporters need, captured in one pass. Samples are
+  /// sorted by (name, labels).
+  struct Snapshot {
+    std::vector<CounterSample> counters;
+    std::vector<GaugeSample> gauges;
+    std::vector<HistogramSample> histograms;
+    std::map<std::string, std::string> help;
+  };
+
+  /// Collects all metrics whose name starts with `prefix` ("" = all).
+  Snapshot Collect(const std::string& prefix = "") const;
+
+  /// Zeroes every metric without invalidating references — used by tests
+  /// and benches that want a clean slate over the global registry.
+  void ResetAll();
+
+ private:
+  using Key = std::pair<std::string, Labels>;
+
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::string> help_;
+};
+
+}  // namespace querc::obs
+
+#endif  // QUERC_OBS_METRICS_H_

@@ -1,0 +1,96 @@
+#include "obs/stats_reporter.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace querc::obs {
+
+namespace {
+
+std::string Short(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g", v);
+  return buf;
+}
+
+std::string SampleName(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string out = name + "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key + "=" + value;
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+StatsReporter::StatsReporter() : StatsReporter(Options()) {}
+
+StatsReporter::StatsReporter(const Options& options) : options_(options) {
+  if (!options_.sink) {
+    options_.sink = [](const std::string& line) {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    };
+  }
+  if (options_.registry == nullptr) {
+    options_.registry = &MetricsRegistry::Global();
+  }
+}
+
+StatsReporter::~StatsReporter() { Stop(); }
+
+void StatsReporter::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void StatsReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!thread_.joinable()) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  options_.sink(SummaryLine());
+}
+
+void StatsReporter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cv_.wait_for(lock, options_.interval, [this] { return stop_; })) {
+      return;  // final line is emitted by Stop() after the join
+    }
+    lock.unlock();
+    options_.sink(SummaryLine());
+    lock.lock();
+  }
+}
+
+std::string StatsReporter::SummaryLine() const {
+  MetricsRegistry::Snapshot snap = options_.registry->Collect(options_.prefix);
+  std::ostringstream os;
+  os << "stats:";
+  for (const auto& sample : snap.counters) {
+    os << " " << SampleName(sample.name, sample.labels) << "="
+       << sample.value;
+  }
+  for (const auto& sample : snap.gauges) {
+    os << " " << SampleName(sample.name, sample.labels) << "="
+       << Short(sample.value);
+  }
+  for (const auto& sample : snap.histograms) {
+    const HistogramSnapshot& h = sample.snapshot;
+    os << " " << SampleName(sample.name, sample.labels) << "[n=" << h.count
+       << " p50=" << Short(h.p50()) << " p99=" << Short(h.p99())
+       << " max=" << Short(h.max) << "]";
+  }
+  return os.str();
+}
+
+}  // namespace querc::obs

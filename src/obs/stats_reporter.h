@@ -1,0 +1,62 @@
+#ifndef QUERC_OBS_STATS_REPORTER_H_
+#define QUERC_OBS_STATS_REPORTER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace querc::obs {
+
+/// Periodic one-line stats logger: every `interval` it snapshots the
+/// registry and emits a single summary line (counters and gauges as
+/// name=value, histograms as name[n= p50= p99= max=]) through `sink`.
+/// Stop() — and destruction — flushes one final line so short runs still
+/// report. The reporter thread only reads metric atomics; it never blocks
+/// the hot paths it observes.
+class StatsReporter {
+ public:
+  struct Options {
+    std::chrono::milliseconds interval{10000};
+    /// Only metrics whose name starts with this appear in the line.
+    std::string prefix = "querc_";
+    /// Destination for each summary line; defaults to stderr.
+    std::function<void(const std::string&)> sink;
+    /// Registry to observe; defaults to MetricsRegistry::Global().
+    MetricsRegistry* registry = nullptr;
+  };
+
+  StatsReporter();  // all-default Options
+  explicit StatsReporter(const Options& options);
+  ~StatsReporter();
+
+  StatsReporter(const StatsReporter&) = delete;
+  StatsReporter& operator=(const StatsReporter&) = delete;
+
+  /// Launches the reporter thread; no-op if already running.
+  void Start();
+
+  /// Emits a final summary line and joins the thread; no-op if stopped.
+  void Stop();
+
+  /// The summary line for the current metric values (also used by each
+  /// periodic tick); exposed for tests and one-shot callers.
+  std::string SummaryLine() const;
+
+ private:
+  void Loop();
+
+  Options options_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace querc::obs
+
+#endif  // QUERC_OBS_STATS_REPORTER_H_

@@ -1,0 +1,63 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace querc::obs {
+
+namespace {
+
+thread_local Trace* g_current_trace = nullptr;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Histogram& StageHistogram(const std::string& stage) {
+  return MetricsRegistry::Global().GetHistogram(
+      "querc_stage_ms", {{"stage", stage}},
+      "Per-stage latency of the query pipeline in milliseconds");
+}
+
+void Span::End() {
+  if (hist_ == nullptr) return;
+  double ms = MsSince(start_);
+  hist_->Record(ms);
+  if (stage_ != nullptr && g_current_trace != nullptr) {
+    g_current_trace->AddStage(stage_, ms);
+  }
+  hist_ = nullptr;
+}
+
+Trace::Trace(const char* name, Histogram* total_hist)
+    : name_(name),
+      total_hist_(total_hist),
+      parent_(g_current_trace),
+      start_(Clock::now()) {
+  g_current_trace = this;
+}
+
+Trace::~Trace() {
+  if (total_hist_ != nullptr) total_hist_->Record(ElapsedMs());
+  g_current_trace = parent_;
+}
+
+Trace* Trace::Current() { return g_current_trace; }
+
+double Trace::ElapsedMs() const { return MsSince(start_); }
+
+std::string Trace::Summary() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3fms", ElapsedMs());
+  std::string out = std::string(name_) + " " + buf;
+  for (const auto& [stage, ms] : stages_) {
+    std::snprintf(buf, sizeof(buf), " %s=%.3fms", stage, ms);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace querc::obs

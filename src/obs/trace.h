@@ -1,0 +1,90 @@
+#ifndef QUERC_OBS_TRACE_H_
+#define QUERC_OBS_TRACE_H_
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace querc::obs {
+
+/// The histogram `querc_stage_ms{stage=<stage>}` in the global registry —
+/// one time series per pipeline stage (lex, normalize, embed, classify,
+/// sink_database, sink_training, ...). Takes the registry mutex; hot call
+/// sites should cache the reference in a function-local static.
+Histogram& StageHistogram(const std::string& stage);
+
+class Trace;
+
+/// Scoped stage timer: records its elapsed milliseconds into `hist` when
+/// it ends (destruction or End()). When constructed with a stage name and
+/// a Trace is active on this thread, the (stage, ms) pair is also appended
+/// to that trace's per-query breakdown. `stage` must outlive the trace —
+/// pass a string literal. The record path touches only the histogram's
+/// atomics: no mutex.
+class Span {
+ public:
+  explicit Span(Histogram* hist, const char* stage = nullptr)
+      : hist_(hist), stage_(stage), start_(Clock::now()) {}
+  ~Span() { End(); }
+
+  Span(Span&& other) noexcept
+      : hist_(other.hist_), stage_(other.stage_), start_(other.start_) {
+    other.hist_ = nullptr;
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span& operator=(Span&&) = delete;
+
+  /// Records once; further calls (and destruction) are no-ops.
+  void End();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Histogram* hist_;
+  const char* stage_;
+  Clock::time_point start_;
+};
+
+/// Per-request trace: marks this thread as "inside request `name`" for its
+/// scope, collects the stage spans recorded on the way (lex → normalize →
+/// embed → classify → sink), and optionally records the total duration
+/// into `total_hist`. Traces nest (the previous trace is restored on
+/// destruction); each trace is confined to the thread that created it.
+class Trace {
+ public:
+  explicit Trace(const char* name, Histogram* total_hist = nullptr);
+  ~Trace();
+
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  /// The innermost live trace on this thread, or nullptr.
+  static Trace* Current();
+
+  const char* name() const { return name_; }
+  double ElapsedMs() const;
+
+  /// Stage timings recorded so far, in completion order.
+  const std::vector<std::pair<const char*, double>>& stages() const {
+    return stages_;
+  }
+  void AddStage(const char* stage, double ms) { stages_.emplace_back(stage, ms); }
+
+  /// One-line rendering: "name total_ms stage=ms stage=ms ...".
+  std::string Summary() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  const char* name_;
+  Histogram* total_hist_;
+  Trace* parent_;
+  Clock::time_point start_;
+  std::vector<std::pair<const char*, double>> stages_;
+};
+
+}  // namespace querc::obs
+
+#endif  // QUERC_OBS_TRACE_H_

@@ -1,5 +1,7 @@
 #include "querc/classifier.h"
 
+#include "obs/trace.h"
+
 namespace querc::core {
 
 Classifier::Classifier(std::string task_name,
@@ -29,7 +31,15 @@ util::Status Classifier::Train(const workload::Workload& corpus,
 
 int Classifier::PredictId(const workload::LabeledQuery& query) const {
   if (!trained_) return -1;
-  return labeler_->Predict(embedder_->EmbedQuery(query.text, query.dialect));
+  nn::Vec embedded;
+  {
+    static obs::Histogram& hist = obs::StageHistogram("embed");
+    obs::Span span(&hist, "embed");
+    embedded = embedder_->EmbedQuery(query.text, query.dialect);
+  }
+  static obs::Histogram& hist = obs::StageHistogram("classify");
+  obs::Span span(&hist, "classify");
+  return labeler_->Predict(embedded);
 }
 
 std::string Classifier::Predict(const workload::LabeledQuery& query) const {

@@ -1,8 +1,28 @@
 #include "querc/qworker.h"
 
-#include "util/stopwatch.h"
+#include "obs/trace.h"
 
 namespace querc::core {
+
+namespace {
+
+/// Registry metrics shared by every worker; resolved once, then the hot
+/// path touches only their atomics (no registry mutex, no lock).
+obs::Histogram& GlobalProcessHistogram() {
+  static obs::Histogram& hist = obs::MetricsRegistry::Global().GetHistogram(
+      "querc_qworker_process_ms", {},
+      "End-to-end QWorker::Process latency in milliseconds, all workers");
+  return hist;
+}
+
+obs::Counter& GlobalQueriesCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "querc_qworker_queries_total", {},
+      "Queries processed by all QWorkers");
+  return counter;
+}
+
+}  // namespace
 
 QWorker::QWorker(const Options& options) : options_(options) {
   classifiers_.store(std::make_shared<const ClassifierMap>());
@@ -59,12 +79,21 @@ std::deque<workload::LabeledQuery> QWorker::window() const {
 }
 
 LatencyStats QWorker::latency() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  obs::HistogramSnapshot snap = latency_hist_.Snapshot();
+  LatencyStats stats;
+  stats.count = snap.count;
+  stats.min_ms = snap.min;
+  stats.max_ms = snap.max;
+  stats.total_ms = snap.sum;
+  return stats;
 }
 
 ProcessedQuery QWorker::Process(const workload::LabeledQuery& query) {
-  util::Stopwatch timer;
+  // The trace scopes this thread's stage spans (embed/classify inside the
+  // classifiers, lex/normalize inside the embedder, the sinks below) to
+  // this query; all recording is atomic histogram increments — no mutex
+  // is taken for telemetry on this path.
+  obs::Trace trace("qworker_process");
   ProcessedQuery out;
   out.query = query;
   // One snapshot load pins the classifier set for this whole query:
@@ -85,19 +114,23 @@ ProcessedQuery QWorker::Process(const workload::LabeledQuery& query) {
 
   if (options_.forward_to_database) {
     auto database = database_.load();
-    if (database && *database) (*database)(query);
+    if (database && *database) {
+      static obs::Histogram& hist = obs::StageHistogram("sink_database");
+      obs::Span span(&hist, "sink_database");
+      (*database)(query);
+    }
   }
   auto training = training_.load();
-  if (training && *training) (*training)(out);
-
-  double ms = timer.ElapsedMillis();
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    if (stats_.count == 0 || ms < stats_.min_ms) stats_.min_ms = ms;
-    if (ms > stats_.max_ms) stats_.max_ms = ms;
-    stats_.total_ms += ms;
-    ++stats_.count;
+  if (training && *training) {
+    static obs::Histogram& hist = obs::StageHistogram("sink_training");
+    obs::Span span(&hist, "sink_training");
+    (*training)(out);
   }
+
+  double ms = trace.ElapsedMs();
+  latency_hist_.Record(ms);
+  GlobalProcessHistogram().Record(ms);
+  GlobalQueriesCounter().Increment();
   return out;
 }
 

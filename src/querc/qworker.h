@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "querc/classifier.h"
 #include "util/atomic_shared_ptr.h"
 #include "workload/workload.h"
@@ -25,7 +26,10 @@ struct ProcessedQuery {
 
 /// Per-worker latency accounting for the throughput bench and the pool's
 /// per-shard stats. Times cover the full Process() call (predict + window
-/// + sinks), in wall-clock milliseconds.
+/// + sinks), in wall-clock milliseconds. Since the obs subsystem landed
+/// this is a thin view over the worker's latency histogram (see
+/// QWorker::latency_snapshot() for percentiles); it is kept so existing
+/// callers migrate incrementally.
 struct LatencyStats {
   size_t count = 0;
   double min_ms = 0.0;
@@ -107,8 +111,16 @@ class QWorker {
   size_t processed_count() const {
     return processed_count_.load(std::memory_order_relaxed);
   }
-  /// Latency accounting since construction (min/mean/max per Process).
+  /// Latency accounting since construction (min/mean/max per Process) —
+  /// a compatibility view over latency_snapshot().
   LatencyStats latency() const;
+
+  /// Full latency histogram snapshot (count, sum, min/max, p50/p90/p99)
+  /// since construction. Lock-free to read; the record side is atomic
+  /// bucket increments on the Process hot path.
+  obs::HistogramSnapshot latency_snapshot() const {
+    return latency_hist_.Snapshot();
+  }
 
  private:
   Options options_;
@@ -122,8 +134,9 @@ class QWorker {
   mutable std::mutex window_mu_;
   std::deque<workload::LabeledQuery> window_;
   std::atomic<size_t> processed_count_{0};
-  mutable std::mutex stats_mu_;
-  LatencyStats stats_;
+  /// Per-worker Process latency; also mirrored into the global registry's
+  /// querc_qworker_process_ms so exporters see the service-wide view.
+  obs::Histogram latency_hist_;
 };
 
 }  // namespace querc::core

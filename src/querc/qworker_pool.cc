@@ -1,8 +1,25 @@
 #include "querc/qworker_pool.h"
 
+#include "obs/trace.h"
+#include "util/stopwatch.h"
+
 namespace querc::core {
 
 namespace {
+
+obs::Histogram& BatchHistogram() {
+  static obs::Histogram& hist = obs::MetricsRegistry::Global().GetHistogram(
+      "querc_pool_batch_ms", {},
+      "Wall-clock time of one QWorkerPool::ProcessBatch fan-out");
+  return hist;
+}
+
+obs::Counter& BatchCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "querc_pool_batches_total", {},
+      "Batches fanned out across QWorkerPool shards");
+  return counter;
+}
 
 /// FNV-1a 64-bit: stable across runs and platforms (std::hash is not
 /// guaranteed to be), so shard assignment is reproducible.
@@ -79,12 +96,17 @@ std::vector<ProcessedQuery> QWorkerPool::ProcessBatch(
     const workload::Workload& batch) {
   std::vector<ProcessedQuery> out(batch.size());
   if (batch.empty()) return out;
+  util::Stopwatch timer;
   // Partition first so each shard's sub-stream keeps its arrival order
   // (windowed tasks depend on per-shard ordering), then one parallel
   // task per non-empty shard.
   std::vector<std::vector<size_t>> by_shard(shards_.size());
-  for (size_t i = 0; i < batch.size(); ++i) {
-    by_shard[ShardOf(batch[i])].push_back(i);
+  {
+    static obs::Histogram& hist = obs::StageHistogram("pool_partition");
+    obs::Span span(&hist, "pool_partition");
+    for (size_t i = 0; i < batch.size(); ++i) {
+      by_shard[ShardOf(batch[i])].push_back(i);
+    }
   }
   std::vector<size_t> live;
   for (size_t s = 0; s < by_shard.size(); ++s) {
@@ -95,6 +117,8 @@ std::vector<ProcessedQuery> QWorkerPool::ProcessBatch(
     QWorker& shard = *shards_[s];
     for (size_t i : by_shard[s]) out[i] = shard.Process(batch[i]);
   });
+  BatchHistogram().Record(timer.ElapsedMillis());
+  BatchCounter().Increment();
   return out;
 }
 
@@ -112,10 +136,25 @@ std::vector<ShardStats> QWorkerPool::Stats() const {
     one.shard = s;
     one.processed = shards_[s]->processed_count();
     one.num_classifiers = shards_[s]->num_classifiers();
-    one.latency = shards_[s]->latency();
+    one.histogram = shards_[s]->latency_snapshot();
+    one.latency.count = one.histogram.count;
+    one.latency.min_ms = one.histogram.min;
+    one.latency.max_ms = one.histogram.max;
+    one.latency.total_ms = one.histogram.sum;
+    one.p50_ms = one.histogram.p50();
+    one.p90_ms = one.histogram.p90();
+    one.p99_ms = one.histogram.p99();
     stats.push_back(one);
   }
   return stats;
+}
+
+obs::HistogramSnapshot QWorkerPool::MergedLatency() const {
+  obs::HistogramSnapshot merged;
+  for (const auto& shard : shards_) {
+    merged.Merge(shard->latency_snapshot());
+  }
+  return merged;
 }
 
 }  // namespace querc::core

@@ -12,12 +12,18 @@
 
 namespace querc::core {
 
-/// Per-shard statistics snapshot exposed for benchmarks and ops.
+/// Per-shard statistics snapshot exposed for benchmarks and ops. The
+/// `latency` min/mean/max view is derived from `histogram`, which also
+/// carries tail percentiles (p50/p90/p99 via HistogramSnapshot).
 struct ShardStats {
   size_t shard = 0;
   size_t processed = 0;
   size_t num_classifiers = 0;
   LatencyStats latency;
+  obs::HistogramSnapshot histogram;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
 };
 
 /// Sharded, thread-safe QWorker service layer: the paper's remark that
@@ -93,8 +99,13 @@ class QWorkerPool {
   /// Total queries processed across shards.
   size_t processed_count() const;
 
-  /// Per-shard stats snapshot (processed count, min/mean/max latency).
+  /// Per-shard stats snapshot (processed count, min/mean/max latency,
+  /// p50/p90/p99 from the shard's latency histogram).
   std::vector<ShardStats> Stats() const;
+
+  /// Pooled view: every shard's latency histogram merged into one
+  /// snapshot, so service-level percentiles reflect all shards.
+  obs::HistogramSnapshot MergedLatency() const;
 
   const std::string& application() const { return options_.application; }
 

@@ -1,8 +1,47 @@
 #include "querc/training_module.h"
 
 #include "ml/random_forest.h"
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
 
 namespace querc::core {
+
+namespace {
+
+obs::Histogram& TrainHistogram() {
+  static obs::Histogram& hist = obs::MetricsRegistry::Global().GetHistogram(
+      "querc_training_train_ms", {},
+      "Duration of one TrainingModule::Train job in milliseconds");
+  return hist;
+}
+
+obs::Histogram& DeployHistogram() {
+  static obs::Histogram& hist = obs::MetricsRegistry::Global().GetHistogram(
+      "querc_training_deploy_ms", {},
+      "Duration of the deploy step of TrainAndDeploy in milliseconds");
+  return hist;
+}
+
+obs::Counter& TrainJobsCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "querc_training_jobs_total", {}, "Training jobs attempted");
+  return counter;
+}
+
+obs::Counter& TrainFailuresCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "querc_training_failures_total", {}, "Training jobs that failed");
+  return counter;
+}
+
+obs::Counter& DeploysCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "querc_training_deploys_total", {},
+      "Classifier deployments published to workers/pools");
+  return counter;
+}
+
+}  // namespace
 
 TrainingModule::TrainingModule(const Options& options)
     : options_(options), pool_(options.training_threads) {}
@@ -49,18 +88,24 @@ std::shared_ptr<const embed::Embedder> TrainingModule::Embedder(
 
 util::StatusOr<std::shared_ptr<Classifier>> TrainingModule::Train(
     const TrainJob& job) {
+  util::Stopwatch timer;
+  TrainJobsCounter().Increment();
+  auto fail = [](util::Status status) {
+    TrainFailuresCounter().Increment();
+    return status;
+  };
   std::shared_ptr<const embed::Embedder> embedder =
       Embedder(job.embedder_name);
   if (embedder == nullptr) {
-    return util::Status::NotFound("embedder " + job.embedder_name);
+    return fail(util::Status::NotFound("embedder " + job.embedder_name));
   }
   workload::Workload corpus;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = training_sets_.find(job.application);
     if (it == training_sets_.end() || it->second.empty()) {
-      return util::Status::FailedPrecondition(
-          "no training data for application " + job.application);
+      return fail(util::Status::FailedPrecondition(
+          "no training data for application " + job.application));
     }
     corpus = it->second;
   }
@@ -71,11 +116,15 @@ util::StatusOr<std::shared_ptr<Classifier>> TrainingModule::Train(
                 ml::RandomForestClassifier::Options{});
   auto classifier = std::make_shared<Classifier>(job.task_name, embedder,
                                                  std::move(labeler));
-  QUERC_RETURN_IF_ERROR(classifier->Train(corpus, job.label_of));
+  if (util::Status status = classifier->Train(corpus, job.label_of);
+      !status.ok()) {
+    return fail(std::move(status));
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     models_[job.task_name] = classifier;
   }
+  TrainHistogram().Record(timer.ElapsedMillis());
   return classifier;
 }
 
@@ -105,7 +154,10 @@ util::Status TrainingModule::TrainAndDeploy(const std::vector<TrainJob>& jobs,
                                             QWorker& worker) {
   std::vector<std::shared_ptr<const Classifier>> trained;
   QUERC_RETURN_IF_ERROR(TrainAll(jobs, &trained));
+  util::Stopwatch timer;
   worker.DeployAll(trained);
+  DeployHistogram().Record(timer.ElapsedMillis());
+  DeploysCounter().Increment();
   return util::Status::OK();
 }
 
@@ -113,7 +165,10 @@ util::Status TrainingModule::TrainAndDeploy(const std::vector<TrainJob>& jobs,
                                             QWorkerPool& pool) {
   std::vector<std::shared_ptr<const Classifier>> trained;
   QUERC_RETURN_IF_ERROR(TrainAll(jobs, &trained));
+  util::Stopwatch timer;
   pool.DeployAll(trained);
+  DeployHistogram().Record(timer.ElapsedMillis());
+  DeploysCounter().Increment();
   return util::Status::OK();
 }
 

@@ -1,13 +1,17 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 namespace querc::util {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<bool> g_timestamps{false};
+std::atomic<bool> g_thread_ids{false};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -27,6 +31,24 @@ const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
   return slash != nullptr ? slash + 1 : path;
 }
+
+/// "2026-08-06T12:34:56.789Z" for the current wall-clock instant.
+std::string IsoTimestamp() {
+  using std::chrono::system_clock;
+  auto now = system_clock::now();
+  std::time_t seconds = system_clock::to_time_t(now);
+  auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    now.time_since_epoch())
+                    .count() %
+                1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, static_cast<int>(millis));
+  return buf;
+}
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -37,6 +59,14 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+void SetLogTimestamps(bool enabled) {
+  g_timestamps.store(enabled, std::memory_order_relaxed);
+}
+
+void SetLogThreadIds(bool enabled) {
+  g_thread_ids.store(enabled, std::memory_order_relaxed);
+}
+
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -44,6 +74,12 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
                g_min_level.load(std::memory_order_relaxed)),
       level_(level) {
   if (enabled_) {
+    if (g_timestamps.load(std::memory_order_relaxed)) {
+      stream_ << IsoTimestamp() << " ";
+    }
+    if (g_thread_ids.load(std::memory_order_relaxed)) {
+      stream_ << "[tid " << std::this_thread::get_id() << "] ";
+    }
     stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
             << "] ";
   }
@@ -51,7 +87,14 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    // One fwrite of the complete record (newline included) keeps
+    // concurrent writers — e.g. QWorkerPool shards — from interleaving
+    // fragments of each other's lines; POSIX stdio locks the stream per
+    // call, so the record lands contiguously.
+    stream_ << "\n";
+    std::string record = stream_.str();
+    std::fwrite(record.data(), 1, record.size(), stderr);
+    std::fflush(stderr);
   }
 }
 

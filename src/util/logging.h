@@ -12,9 +12,21 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// When enabled, every record is prefixed with an ISO-8601 UTC timestamp
+/// at millisecond resolution (e.g. "2026-08-06T12:34:56.789Z "). Off by
+/// default to keep example/CLI output stable.
+void SetLogTimestamps(bool enabled);
+
+/// When enabled, every record carries the emitting thread's id
+/// ("[tid 140213...] ") — useful when QWorkerPool shards interleave.
+void SetLogThreadIds(bool enabled);
+
 namespace internal_logging {
 
-/// Stream-style log-line builder; emits to stderr on destruction.
+/// Stream-style log-line builder. The whole record (prefix + message +
+/// newline) is emitted by ONE fwrite to stderr followed by a flush, so
+/// records from concurrent threads — e.g. QWorkerPool shards — never
+/// interleave mid-line.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

@@ -4,11 +4,35 @@
 #include <exception>
 #include <memory>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace querc::util {
 
 namespace {
+
+/// Shared by every pool in the process: the queue depth gauge counts
+/// tasks submitted but not yet started, the histogram times task bodies.
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& gauge = obs::MetricsRegistry::Global().GetGauge(
+      "querc_threadpool_queue_depth", {},
+      "Tasks submitted to ThreadPools but not yet running");
+  return gauge;
+}
+
+obs::Histogram& TaskHistogram() {
+  static obs::Histogram& hist = obs::MetricsRegistry::Global().GetHistogram(
+      "querc_threadpool_task_ms", {},
+      "Execution time of ThreadPool task bodies in milliseconds");
+  return hist;
+}
+
+obs::Counter& TaskCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "querc_threadpool_tasks_total", {}, "Tasks executed by ThreadPools");
+  return counter;
+}
 
 /// Shared state of one ParallelFor batch. Heap-allocated and owned via
 /// shared_ptr by every shard task *and* the caller, so a worker that
@@ -80,6 +104,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::unique_lock<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
   }
+  QueueDepthGauge().Add(1.0);
   work_cv_.notify_one();
 }
 
@@ -123,7 +148,9 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++active_;
     }
+    QueueDepthGauge().Add(-1.0);
     try {
+      obs::Span span(&TaskHistogram());
       task();
     } catch (...) {
       // A throwing Submit() task previously escaped into std::terminate.
@@ -131,6 +158,7 @@ void ThreadPool::WorkerLoop() {
       // bare Submit has no one to rethrow to, so log and keep the worker.
       QUERC_LOG(Error) << "ThreadPool task threw an exception; dropped";
     }
+    TaskCounter().Increment();
     {
       std::unique_lock<std::mutex> lock(mu_);
       --active_;

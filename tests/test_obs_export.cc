@@ -1,0 +1,184 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace querc::obs {
+namespace {
+
+TEST(ExportPrometheus, CounterAndGaugeGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("requests_total", {}, "Requests served").Increment(7);
+  registry.GetCounter("requests_total", {{"shard", "1"}}).Increment(3);
+  registry.GetGauge("queue_depth").Set(2.0);
+
+  EXPECT_EQ(ExportPrometheus(registry),
+            "# HELP requests_total Requests served\n"
+            "# TYPE requests_total counter\n"
+            "requests_total 7\n"
+            "requests_total{shard=\"1\"} 3\n"
+            "# TYPE queue_depth gauge\n"
+            "queue_depth 2\n");
+}
+
+TEST(ExportPrometheus, HistogramGolden) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("lat_ms");
+  h.Record(0.5);
+  h.Record(0.5);
+  h.Record(2.0);
+
+  std::string upper05 = [] {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g",
+                  Histogram::BucketUpperBound(Histogram::BucketIndex(0.5)));
+    return std::string(buf);
+  }();
+  std::string upper2 = [] {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g",
+                  Histogram::BucketUpperBound(Histogram::BucketIndex(2.0)));
+    return std::string(buf);
+  }();
+  EXPECT_EQ(ExportPrometheus(registry),
+            "# TYPE lat_ms histogram\n"
+            "lat_ms_bucket{le=\"" + upper05 + "\"} 2\n"
+            "lat_ms_bucket{le=\"" + upper2 + "\"} 3\n"
+            "lat_ms_bucket{le=\"+Inf\"} 3\n"
+            "lat_ms_sum 3\n"
+            "lat_ms_count 3\n");
+}
+
+TEST(ExportPrometheus, EscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("c", {{"q", "say \"hi\"\\\n"}}).Increment();
+  EXPECT_EQ(ExportPrometheus(registry),
+            "# TYPE c counter\n"
+            "c{q=\"say \\\"hi\\\"\\\\\\n\"} 1\n");
+}
+
+/// Structural validator for the exposition format: every non-comment line
+/// is `name{labels} value`, each family's # TYPE precedes its samples,
+/// histogram le= bounds strictly increase and end at +Inf, and
+/// _bucket{+Inf} equals _count.
+void ValidateExposition(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::map<std::string, std::string> type_of;
+  // name, optional {labels}, space, value.
+  std::regex sample_re(
+      R"(^([A-Za-z_:][A-Za-z0-9_:]*)(\{[^}]*\})? (-?[0-9].*|\+Inf|-Inf|NaN)$)");
+  std::regex le_re(R"re(le="([^"]+)")re");
+  std::map<std::string, double> last_le;       // per histogram series
+  std::map<std::string, uint64_t> inf_bucket;  // _bucket{le="+Inf"} value
+  std::map<std::string, uint64_t> count_of;    // _count value
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream fields(line.substr(7));
+      std::string name;
+      std::string type;
+      fields >> name >> type;
+      ASSERT_TRUE(type == "counter" || type == "gauge" || type == "histogram")
+          << line;
+      type_of[name] = type;
+      continue;
+    }
+    if (line.rfind("# HELP ", 0) == 0) continue;
+    ASSERT_NE(line[0], '#') << "unknown comment: " << line;
+    std::smatch m;
+    ASSERT_TRUE(std::regex_match(line, m, sample_re)) << line;
+    std::string name = m[1];
+    std::string base = name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      size_t n = std::strlen(suffix);
+      if (name.size() > n && name.compare(name.size() - n, n, suffix) == 0 &&
+          type_of.count(name.substr(0, name.size() - n))) {
+        base = name.substr(0, name.size() - n);
+      }
+    }
+    ASSERT_TRUE(type_of.count(base)) << "sample before # TYPE: " << line;
+    if (type_of[base] == "histogram" && name == base + "_bucket") {
+      std::string labels = m[2];
+      std::smatch le;
+      ASSERT_TRUE(std::regex_search(labels, le, le_re)) << line;
+      double bound = le[1] == "+Inf"
+                         ? std::numeric_limits<double>::infinity()
+                         : std::stod(le[1]);
+      std::string series_key =
+          base;  // one histogram per label set in these tests
+      if (last_le.count(series_key)) {
+        EXPECT_GT(bound, last_le[series_key]) << "le not increasing: " << line;
+      }
+      last_le[series_key] = bound;
+      if (std::isinf(bound)) {
+        inf_bucket[series_key] =
+            static_cast<uint64_t>(std::stoull(m[3].str()));
+      }
+    }
+    if (type_of[base] == "histogram" && name == base + "_count") {
+      count_of[base] = static_cast<uint64_t>(std::stoull(m[3].str()));
+    }
+  }
+  for (const auto& [series, count] : count_of) {
+    ASSERT_TRUE(inf_bucket.count(series)) << series << " missing +Inf bucket";
+    EXPECT_EQ(inf_bucket[series], count) << series;
+  }
+  EXPECT_FALSE(count_of.empty()) << "expected at least one histogram";
+}
+
+TEST(ExportPrometheus, OutputParsesAsValidExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("querc_q_total", {}, "queries").Increment(11);
+  registry.GetGauge("querc_depth", {{"pool", "a"}}).Set(1.5);
+  Histogram& h = registry.GetHistogram("querc_lat_ms", {{"stage", "embed"}});
+  for (int i = 1; i <= 50; ++i) h.Record(0.1 * i);
+  ValidateExposition(ExportPrometheus(registry));
+}
+
+TEST(ExportPrometheus, PrefixFiltersFamilies) {
+  MetricsRegistry registry;
+  registry.GetCounter("querc_keep_total").Increment();
+  registry.GetCounter("drop_total").Increment();
+  std::string out = ExportPrometheus(registry, "querc_");
+  EXPECT_NE(out.find("querc_keep_total"), std::string::npos);
+  EXPECT_EQ(out.find("drop_total"), std::string::npos);
+}
+
+TEST(ExportJson, Golden) {
+  MetricsRegistry registry;
+  registry.GetCounter("n_total", {{"k", "v"}}).Increment(4);
+  registry.GetGauge("depth").Set(1.5);
+  registry.GetHistogram("ms").Record(2.0);
+  EXPECT_EQ(ExportJson(registry),
+            "{\"counters\":[{\"name\":\"n_total\",\"labels\":{\"k\":\"v\"},"
+            "\"value\":4}],"
+            "\"gauges\":[{\"name\":\"depth\",\"labels\":{},\"value\":1.5}],"
+            "\"histograms\":[{\"name\":\"ms\",\"labels\":{},\"count\":1,"
+            "\"sum\":2,\"min\":2,\"max\":2,\"mean\":2,\"p50\":2,\"p90\":2,"
+            "\"p99\":2}]}");
+}
+
+TEST(ExportJson, ReportsPercentiles) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("lat_ms");
+  for (int i = 1; i <= 100; ++i) h.Record(static_cast<double>(i));
+  std::string out = ExportJson(registry);
+  EXPECT_NE(out.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(out.find("\"count\":100"), std::string::npos);
+  EXPECT_NE(out.find("\"sum\":5050"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace querc::obs

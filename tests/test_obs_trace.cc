@@ -1,0 +1,155 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/stats_reporter.h"
+
+namespace querc::obs {
+namespace {
+
+TEST(Span, RecordsIntoHistogram) {
+  Histogram h;
+  {
+    Span span(&h);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_GE(snap.max, 0.5);
+}
+
+TEST(Span, EndRecordsOnceAndDisarmsDestructor) {
+  Histogram h;
+  {
+    Span span(&h);
+    span.End();
+    span.End();
+  }
+  EXPECT_EQ(h.Snapshot().count, 1u);
+}
+
+TEST(Span, MoveTransfersOwnership) {
+  Histogram h;
+  {
+    Span outer = [&h] { return Span(&h); }();
+    (void)outer;
+  }
+  // The moved-from temporary must not double-record.
+  EXPECT_EQ(h.Snapshot().count, 1u);
+}
+
+TEST(Trace, CurrentNestsAndRestores) {
+  EXPECT_EQ(Trace::Current(), nullptr);
+  {
+    Trace outer("outer");
+    EXPECT_EQ(Trace::Current(), &outer);
+    {
+      Trace inner("inner");
+      EXPECT_EQ(Trace::Current(), &inner);
+      EXPECT_STREQ(Trace::Current()->name(), "inner");
+    }
+    EXPECT_EQ(Trace::Current(), &outer);
+  }
+  EXPECT_EQ(Trace::Current(), nullptr);
+}
+
+TEST(Trace, IsConfinedToItsThread) {
+  Trace trace("main-thread");
+  std::atomic<Trace*> seen{&trace};
+  std::thread other([&seen] { seen.store(Trace::Current()); });
+  other.join();
+  EXPECT_EQ(seen.load(), nullptr);
+}
+
+TEST(Trace, CollectsStageBreakdownFromSpans) {
+  Histogram lex_hist;
+  Histogram embed_hist;
+  Trace trace("process");
+  {
+    Span span(&lex_hist, "lex");
+  }
+  {
+    Span span(&embed_hist, "embed");
+  }
+  ASSERT_EQ(trace.stages().size(), 2u);
+  EXPECT_STREQ(trace.stages()[0].first, "lex");
+  EXPECT_STREQ(trace.stages()[1].first, "embed");
+  std::string summary = trace.Summary();
+  EXPECT_NE(summary.find("process"), std::string::npos);
+  EXPECT_NE(summary.find("lex="), std::string::npos);
+  EXPECT_NE(summary.find("embed="), std::string::npos);
+}
+
+TEST(Trace, RecordsTotalIntoHistogram) {
+  Histogram total;
+  { Trace trace("timed", &total); }
+  EXPECT_EQ(total.Snapshot().count, 1u);
+}
+
+TEST(StageHistogram, SharesSeriesPerStage) {
+  Histogram& a = StageHistogram("unit_test_stage");
+  Histogram& b = StageHistogram("unit_test_stage");
+  EXPECT_EQ(&a, &b);
+  uint64_t before = a.Snapshot().count;
+  { Span span(&a, "unit_test_stage"); }
+  EXPECT_EQ(a.Snapshot().count, before + 1);
+}
+
+TEST(StatsReporter, SummaryLineReflectsRegistry) {
+  MetricsRegistry registry;
+  registry.GetCounter("querc_q_total").Increment(9);
+  registry.GetHistogram("querc_lat_ms").Record(2.0);
+  StatsReporter::Options options;
+  options.registry = &registry;
+  StatsReporter reporter(options);
+  std::string line = reporter.SummaryLine();
+  EXPECT_EQ(line.rfind("stats:", 0), 0u);
+  EXPECT_NE(line.find("querc_q_total=9"), std::string::npos);
+  EXPECT_NE(line.find("querc_lat_ms[n=1"), std::string::npos);
+}
+
+TEST(StatsReporter, PeriodicallyEmitsThroughSink) {
+  MetricsRegistry registry;
+  registry.GetCounter("querc_ticks_total").Increment();
+  std::mutex mu;
+  std::vector<std::string> lines;
+  StatsReporter::Options options;
+  options.registry = &registry;
+  options.interval = std::chrono::milliseconds(5);
+  options.sink = [&mu, &lines](const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    lines.push_back(line);
+  };
+  StatsReporter reporter(options);
+  reporter.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  reporter.Stop();
+  std::lock_guard<std::mutex> lock(mu);
+  // Several periodic lines plus the final flush from Stop().
+  ASSERT_GE(lines.size(), 2u);
+  for (const auto& line : lines) {
+    EXPECT_NE(line.find("querc_ticks_total=1"), std::string::npos);
+  }
+}
+
+TEST(StatsReporter, StopWithoutStartFlushesNothing) {
+  int calls = 0;
+  StatsReporter::Options options;
+  options.sink = [&calls](const std::string&) { ++calls; };
+  {
+    StatsReporter reporter(options);
+    reporter.Stop();
+  }
+  EXPECT_EQ(calls, 0);
+}
+
+}  // namespace
+}  // namespace querc::obs

@@ -11,6 +11,7 @@
 
 #include "embed/feature_embedder.h"
 #include "ml/knn.h"
+#include "obs/metrics.h"
 #include "querc/classifier.h"
 #include "querc/training_module.h"
 #include "workload/workload.h"
@@ -98,6 +99,39 @@ TEST(QWorkerPoolTest, RoundRobinSpreadsUniformly) {
     EXPECT_EQ(s.latency.count, 10u);
   }
   EXPECT_EQ(pool.processed_count(), 40u);
+}
+
+TEST(QWorkerPoolTest, StatsReportPercentilesFromHistograms) {
+  // Regression: ShardStats must carry real histogram percentiles, and the
+  // pooled view must merge every shard's samples.
+  QWorkerPool::Options options;
+  options.application = "appX";
+  options.num_shards = 4;
+  options.partition = QWorkerPool::Partition::kRoundRobin;
+  QWorkerPool pool(options);
+  pool.Deploy(TrainedUserClassifier());
+
+  workload::Workload batch;
+  for (int i = 0; i < 80; ++i) batch.Add(Query("SELECT a FROM t WHERE x = 1"));
+  pool.ProcessBatch(batch);
+
+  uint64_t total = 0;
+  for (const auto& s : pool.Stats()) {
+    EXPECT_EQ(s.histogram.count, 20u);
+    EXPECT_GT(s.p99_ms, 0.0);
+    EXPECT_LE(s.p50_ms, s.p90_ms);
+    EXPECT_LE(s.p90_ms, s.p99_ms);
+    EXPECT_LE(s.p99_ms, s.histogram.max);
+    // The thin LatencyStats view must agree with the histogram it wraps.
+    EXPECT_EQ(s.latency.count, s.histogram.count);
+    EXPECT_DOUBLE_EQ(s.latency.max_ms, s.histogram.max);
+    total += s.histogram.count;
+  }
+  obs::HistogramSnapshot pooled = pool.MergedLatency();
+  EXPECT_EQ(pooled.count, total);
+  EXPECT_EQ(pooled.count, 80u);
+  EXPECT_GT(pooled.p99(), 0.0);
+  EXPECT_GE(pooled.p99(), pooled.p50());
 }
 
 TEST(QWorkerPoolTest, ProcessBatchPreservesInputOrder) {

@@ -1,0 +1,103 @@
+#include "util/logging.h"
+
+#include <regex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace querc::util {
+namespace {
+
+/// Restores global logging knobs after each test.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_level_ = GetLogLevel(); }
+  void TearDown() override {
+    SetLogLevel(saved_level_);
+    SetLogTimestamps(false);
+    SetLogThreadIds(false);
+  }
+  LogLevel saved_level_ = LogLevel::kInfo;
+};
+
+TEST_F(LoggingTest, PlainRecordHasLevelFileAndLine) {
+  SetLogLevel(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  QUERC_LOG(Info) << "hello " << 42;
+  std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(std::regex_match(
+      out, std::regex(R"(\[INFO test_util_logging\.cc:\d+\] hello 42\n)")))
+      << out;
+}
+
+TEST_F(LoggingTest, BelowLevelIsDropped) {
+  SetLogLevel(LogLevel::kWarning);
+  testing::internal::CaptureStderr();
+  QUERC_LOG(Info) << "invisible";
+  QUERC_LOG(Error) << "visible";
+  std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("invisible"), std::string::npos);
+  EXPECT_NE(out.find("visible"), std::string::npos);
+}
+
+TEST_F(LoggingTest, TimestampPrefixIsIso8601Utc) {
+  SetLogLevel(LogLevel::kInfo);
+  SetLogTimestamps(true);
+  testing::internal::CaptureStderr();
+  QUERC_LOG(Info) << "stamped";
+  std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(std::regex_match(
+      out,
+      std::regex(
+          R"(\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z \[INFO .*\] stamped\n)")))
+      << out;
+}
+
+TEST_F(LoggingTest, ThreadIdPrefixWhenEnabled) {
+  SetLogLevel(LogLevel::kInfo);
+  SetLogThreadIds(true);
+  testing::internal::CaptureStderr();
+  QUERC_LOG(Info) << "tagged";
+  std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(std::regex_match(
+      out, std::regex(R"(\[tid [^\]]+\] \[INFO .*\] tagged\n)")))
+      << out;
+}
+
+TEST_F(LoggingTest, ConcurrentRecordsNeverInterleave) {
+  SetLogLevel(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        QUERC_LOG(Info) << "worker=" << t << " line=" << i << " tail";
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::string out = testing::internal::GetCapturedStderr();
+
+  // Every line must be one complete record: prefix, payload, "tail".
+  std::regex line_re(
+      R"(\[INFO test_util_logging\.cc:\d+\] worker=\d+ line=\d+ tail)");
+  size_t lines = 0;
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t eol = out.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos) << "unterminated record";
+    std::string line = out.substr(pos, eol - pos);
+    EXPECT_TRUE(std::regex_match(line, line_re)) << "mangled: " << line;
+    ++lines;
+    pos = eol + 1;
+  }
+  EXPECT_EQ(lines, static_cast<size_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace querc::util

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+
 namespace querc::util {
 namespace {
 
@@ -150,6 +152,31 @@ TEST(ThreadPoolTest, ParallelForMoreShardsThanIndices) {
   std::atomic<int> ran{0};
   pool.ParallelFor(2, [&ran](size_t) { ran.fetch_add(1); });
   EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPoolTest, PublishesTelemetryToGlobalRegistry) {
+  auto& registry = obs::MetricsRegistry::Global();
+  uint64_t tasks_before =
+      registry.GetCounter("querc_threadpool_tasks_total").value();
+  uint64_t recorded_before =
+      registry.GetHistogram("querc_threadpool_task_ms").Snapshot().count;
+
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 25; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+
+  EXPECT_EQ(counter.load(), 25);
+  EXPECT_EQ(registry.GetCounter("querc_threadpool_tasks_total").value(),
+            tasks_before + 25);
+  EXPECT_EQ(
+      registry.GetHistogram("querc_threadpool_task_ms").Snapshot().count,
+      recorded_before + 25);
+  // Nothing queued any more, so the depth gauge has drained back.
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("querc_threadpool_queue_depth").value(), 0.0);
 }
 
 }  // namespace

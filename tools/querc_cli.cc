@@ -16,6 +16,10 @@
 //                    --task user|account|cluster
 //   querc pool       --model m.bin --history h.csv --batch b.csv
 //                    [--task t] [--shards N] [--partition account|user|rr]
+//   querc stats      [--model m.bin --history h.csv --batch b.csv]
+//                    [--task t] [--shards N] [--partition account|user|rr]
+//                    [--repeat N] [--format text|prom|json] [--out file]
+//                    [--report-ms N]
 //   querc info       --model m.bin
 
 #include <cstdio>
@@ -31,6 +35,9 @@
 #include "engine/cost_model.h"
 #include "ml/metrics.h"
 #include "ml/random_forest.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/stats_reporter.h"
 #include "querc/querc.h"
 #include "querc/drift.h"
 #include "util/stopwatch.h"
@@ -350,9 +357,159 @@ int CmdPool(const Args& args) {
               static_cast<double>(batch->size()) / std::max(seconds, 1e-9));
   for (const auto& s : pool.Stats()) {
     std::printf("  shard %zu: %zu queries, latency min/mean/max "
-                "%.3f/%.3f/%.3f ms\n",
+                "%.3f/%.3f/%.3f ms, p50/p99 %.3f/%.3f ms\n",
                 s.shard, s.processed, s.latency.min_ms, s.latency.mean_ms(),
-                s.latency.max_ms);
+                s.latency.max_ms, s.p50_ms, s.p99_ms);
+  }
+  return 0;
+}
+
+/// One-stop observability demo. Runs a batch through a sharded
+/// QWorkerPool and dumps the telemetry: per-shard latency percentiles,
+/// the pooled histogram, per-stage span histograms, and optionally the
+/// whole registry as Prometheus exposition text or JSON. With no flags
+/// it is self-contained — it generates a snowflake workload and trains
+/// a small dbow embedder in-process; pass --model/--history/--batch to
+/// measure real inputs instead.
+int CmdStats(const Args& args) {
+  workload::Workload history;
+  workload::Workload batch;
+  std::shared_ptr<const embed::Embedder> shared;
+  if (!args.Get("model").empty()) {
+    auto embedder = embed::LoadEmbedderFile(args.Get("model"));
+    if (!embedder.ok()) return Fail(embedder.status());
+    auto h = LoadWorkload(args, "history");
+    if (!h.ok()) return Fail(h.status());
+    auto b = LoadWorkload(args, "batch");
+    if (!b.ok()) return Fail(b.status());
+    history = *std::move(h);
+    batch = *std::move(b);
+    shared = std::shared_ptr<const embed::Embedder>(std::move(*embedder));
+  } else {
+    workload::SnowflakeGenerator::Options options;
+    options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+    options.accounts = workload::SnowflakeGenerator::UniformAccounts(
+        args.GetInt("accounts", 4), args.GetInt("queries", 240),
+        args.GetInt("users", 3));
+    history = workload::SnowflakeGenerator(options).Generate();
+    batch = history;
+    embed::Doc2VecEmbedder::Options eopt;
+    eopt.dim = static_cast<size_t>(args.GetInt("dim", 16));
+    eopt.epochs = args.GetInt("epochs", 5);
+    eopt.mode = embed::Doc2VecEmbedder::Mode::kDbow;
+    auto trained = std::make_shared<embed::Doc2VecEmbedder>(eopt);
+    util::Status status = embed::TrainOnWorkload(*trained, history);
+    if (!status.ok()) return Fail(status);
+    shared = trained;
+  }
+
+  std::string task = args.Get("task", "user");
+  core::LabelExtractor extractor;
+  if (task == "user") {
+    extractor = workload::UserOf;
+  } else if (task == "account") {
+    extractor = workload::AccountOf;
+  } else if (task == "cluster") {
+    extractor = workload::ClusterOf;
+  } else {
+    return Fail(util::Status::InvalidArgument("unknown --task " + task));
+  }
+
+  auto classifier = std::make_shared<core::Classifier>(
+      task, shared,
+      std::make_unique<ml::RandomForestClassifier>(
+          ml::RandomForestClassifier::Options{}));
+  util::Status status = classifier->Train(history, extractor);
+  if (!status.ok()) return Fail(status);
+
+  core::QWorkerPool::Options options;
+  options.application = "cli";
+  options.num_shards = static_cast<size_t>(args.GetInt("shards", 4));
+  std::string partition = args.Get("partition", "account");
+  if (partition == "account") {
+    options.partition = core::QWorkerPool::Partition::kByAccount;
+  } else if (partition == "user") {
+    options.partition = core::QWorkerPool::Partition::kByUser;
+  } else if (partition == "rr") {
+    options.partition = core::QWorkerPool::Partition::kRoundRobin;
+  } else {
+    return Fail(
+        util::Status::InvalidArgument("unknown --partition " + partition));
+  }
+  core::QWorkerPool pool(options);
+  pool.Deploy(classifier);
+
+  obs::StatsReporter::Options ropt;
+  int report_ms = args.GetInt("report-ms", 0);
+  if (report_ms > 0) {
+    ropt.interval = std::chrono::milliseconds(report_ms);
+  }
+  obs::StatsReporter periodic(ropt);
+  if (report_ms > 0) periodic.Start();
+
+  int repeat = std::max(1, args.GetInt("repeat", 1));
+  util::Stopwatch timer;
+  for (int round = 0; round < repeat; ++round) {
+    pool.ProcessBatch(batch);
+  }
+  double total_ms = timer.ElapsedSeconds() * 1000.0;
+  if (report_ms > 0) periodic.Stop();
+
+  std::string format = args.Get("format", "text");
+  std::string export_text;
+  if (format == "prom") {
+    export_text = obs::ExportPrometheus();
+  } else if (format == "json") {
+    export_text = obs::ExportJson();
+  } else if (format != "text") {
+    return Fail(util::Status::InvalidArgument("unknown --format " + format));
+  }
+  if (!export_text.empty()) {
+    std::string out = args.Get("out");
+    if (out.empty()) {
+      std::fputs(export_text.c_str(), stdout);
+    } else {
+      std::FILE* f = std::fopen(out.c_str(), "w");
+      if (f == nullptr) {
+        return Fail(util::Status::Internal("cannot open --out " + out));
+      }
+      std::fputs(export_text.c_str(), f);
+      std::fclose(f);
+      std::printf("wrote %s metrics to %s\n", format.c_str(), out.c_str());
+    }
+    return 0;
+  }
+
+  std::printf("processed %zu queries x %d batch(es) across %zu shards "
+              "(%s partition) in %.1f ms\n",
+              batch.size(), repeat, pool.num_shards(), partition.c_str(),
+              total_ms);
+  std::printf("per-shard latency (ms):\n");
+  std::printf("  %5s %8s %8s %8s %8s %8s\n", "shard", "count", "p50", "p90",
+              "p99", "max");
+  for (const auto& s : pool.Stats()) {
+    std::printf("  %5zu %8llu %8.3f %8.3f %8.3f %8.3f\n", s.shard,
+                static_cast<unsigned long long>(s.histogram.count), s.p50_ms,
+                s.p90_ms, s.p99_ms, s.histogram.max);
+  }
+  obs::HistogramSnapshot pooled = pool.MergedLatency();
+  std::printf("pooled: count=%llu p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
+              static_cast<unsigned long long>(pooled.count), pooled.p50(),
+              pooled.p90(), pooled.p99(), pooled.max);
+
+  std::printf("pipeline stages (ms):\n");
+  std::printf("  %-14s %8s %8s %8s %8s\n", "stage", "count", "p50", "p99",
+              "max");
+  auto snap = obs::MetricsRegistry::Global().Collect("querc_stage_ms");
+  for (const auto& sample : snap.histograms) {
+    std::string stage = "?";
+    for (const auto& [key, value] : sample.labels) {
+      if (key == "stage") stage = value;
+    }
+    std::printf("  %-14s %8llu %8.3f %8.3f %8.3f\n", stage.c_str(),
+                static_cast<unsigned long long>(sample.snapshot.count),
+                sample.snapshot.p50(), sample.snapshot.p99(),
+                sample.snapshot.max);
   }
   return 0;
 }
@@ -424,6 +581,9 @@ int Usage() {
       "  label      --model m.bin --history h.csv --batch b.csv --task t\n"
       "  pool       --model m.bin --history h.csv --batch b.csv [--task t]\n"
       "             [--shards N] [--partition account|user|rr]\n"
+      "  stats      [--model m.bin --history h.csv --batch b.csv] [--task t]\n"
+      "             [--shards N] [--partition account|user|rr] [--repeat N]\n"
+      "             [--format text|prom|json] [--out f] [--report-ms N]\n"
       "  explain    --workload w.csv [--indexes t:c1,c2;t2:c] [--limit N]\n"
       "  drift      --model m.bin --reference r.csv --recent n.csv\n");
   return 2;
@@ -441,6 +601,7 @@ int Main(int argc, char** argv) {
   if (command == "audit") return CmdAudit(args);
   if (command == "label") return CmdLabel(args);
   if (command == "pool") return CmdPool(args);
+  if (command == "stats") return CmdStats(args);
   if (command == "explain") return CmdExplain(args);
   if (command == "drift") return CmdDrift(args);
   return Usage();
