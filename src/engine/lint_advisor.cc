@@ -1,0 +1,137 @@
+#include "engine/lint_advisor.h"
+
+#include <set>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace querc::engine {
+
+std::string CatalogSchemaProvider::TableOfColumn(
+    const std::string& column) const {
+  return catalog_->TableOfColumn(column);
+}
+
+bool CatalogSchemaProvider::HasTable(const std::string& table) const {
+  return catalog_->Table(table) != nullptr;
+}
+
+uint64_t CatalogSchemaProvider::TableRowCount(const std::string& table) const {
+  const TableStats* stats = catalog_->Table(table);
+  return stats == nullptr ? 0 : stats->row_count;
+}
+
+size_t CatalogSchemaProvider::TableColumnCount(
+    const std::string& table) const {
+  const TableStats* stats = catalog_->Table(table);
+  return stats == nullptr ? 0 : stats->columns.size();
+}
+
+namespace {
+
+/// Cross-checks each query's filter columns against the advisor's
+/// recommended configuration: a selective predicate on a large table that
+/// no recommended index can serve means the query will scan, and the
+/// diagnostic quotes the cost model's estimate for that plan.
+class IndexCoverageRule : public sql::lint::Rule {
+ public:
+  IndexCoverageRule(const CostModel* model, IndexConfig config,
+                    uint64_t min_table_rows)
+      : model_(model),
+        config_(std::move(config)),
+        min_table_rows_(min_table_rows) {}
+
+  std::string_view id() const override { return "index-coverage"; }
+  sql::lint::Severity severity() const override {
+    return sql::lint::Severity::kInfo;
+  }
+  std::string_view summary() const override {
+    return "filter column on a large table is covered by no recommended "
+           "index (query will scan)";
+  }
+
+  void Check(const sql::lint::QueryContext& ctx,
+             std::vector<sql::lint::Diagnostic>* out) const override {
+    std::set<std::pair<std::string, std::string>> reported;
+    CheckShape(*ctx.shape, *ctx.shape, ctx, &reported, out);
+  }
+
+ private:
+  bool Covered(const std::string& table, const std::string& column) const {
+    for (const Index& index : config_) {
+      if (index.table == table && !index.key_columns.empty() &&
+          index.key_columns.front() == column) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void CheckShape(const sql::QueryShape& root, const sql::QueryShape& shape,
+                  const sql::lint::QueryContext& ctx,
+                  std::set<std::pair<std::string, std::string>>* reported,
+                  std::vector<sql::lint::Diagnostic>* out) const {
+    const Catalog& catalog = model_->catalog();
+    for (const sql::Predicate& p : shape.filters) {
+      if (p.column.empty()) continue;
+      // HAVING-aggregate pseudo-predicates are exactly the pattern where
+      // an index misleads the optimizer (the Q18 effect); never suggest
+      // covering those.
+      if (util::StartsWith(p.op, "HAVING_") ||
+          util::StartsWith(p.op, "IS ")) {
+        continue;
+      }
+      std::string table = p.qualifier.empty()
+                              ? catalog.TableOfColumn(p.column)
+                              : shape.ResolveQualifier(p.qualifier);
+      const TableStats* stats = catalog.Table(table);
+      if (stats == nullptr || stats->row_count < min_table_rows_) continue;
+      if (stats->Column(p.column) == nullptr) continue;
+      if (Covered(table, p.column)) continue;
+      if (!reported->insert({table, p.column}).second) continue;
+      QueryCost cost = model_->Cost(root, config_);
+      out->push_back(sql::lint::Diagnostic{
+          std::string(id()), severity(), sql::lint::Span{},
+          util::StrFormat(
+              "filter on %s.%s is covered by no recommended index; the "
+              "plan scans %llu rows (estimated %.3f s under the "
+              "recommended configuration)",
+              table.c_str(), p.column.c_str(),
+              static_cast<unsigned long long>(stats->row_count),
+              cost.estimated_seconds),
+          util::StrFormat("consider an index on %s(%s), or relax the "
+                          "advisor budget/storage limits",
+                          table.c_str(), p.column.c_str()),
+          ctx.query_index});
+    }
+    for (const sql::QueryShape& sub : shape.subqueries) {
+      CheckShape(root, sub, ctx, reported, out);
+    }
+  }
+
+  const CostModel* model_;
+  IndexConfig config_;
+  uint64_t min_table_rows_;
+};
+
+}  // namespace
+
+AdvisorLintResult LintWorkloadWithAdvisor(
+    const std::vector<std::string>& texts, const CostModel& model,
+    const AdvisorLintOptions& options) {
+  AdvisorLintResult result;
+  TuningAdvisor advisor(&model, options.advisor);
+  result.advisor = advisor.Recommend(texts, options.lint.dialect);
+
+  CatalogSchemaProvider schema(&model.catalog());
+  sql::lint::RuleRegistry registry = sql::lint::RuleRegistry::Builtin();
+  registry.Register(std::make_unique<IndexCoverageRule>(
+      &model, result.advisor.config, options.min_table_rows));
+  // The registry is moved into the engine; the schema provider must only
+  // outlive this call, which it does (stack scope).
+  sql::lint::LintEngine engine(std::move(registry), options.lint, &schema);
+  result.report = engine.LintTexts(texts);
+  return result;
+}
+
+}  // namespace querc::engine

@@ -1,0 +1,57 @@
+#ifndef QUERC_ENGINE_LINT_ADVISOR_H_
+#define QUERC_ENGINE_LINT_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/advisor.h"
+#include "engine/catalog.h"
+#include "engine/cost_model.h"
+#include "sql/lint/engine.h"
+
+namespace querc::engine {
+
+/// Adapts the engine Catalog to the schema interface sql::lint rules
+/// consult (the sql layer deliberately knows nothing about the engine).
+class CatalogSchemaProvider : public sql::lint::SchemaProvider {
+ public:
+  explicit CatalogSchemaProvider(const Catalog* catalog)
+      : catalog_(catalog) {}
+
+  std::string TableOfColumn(const std::string& column) const override;
+  bool HasTable(const std::string& table) const override;
+  uint64_t TableRowCount(const std::string& table) const override;
+  size_t TableColumnCount(const std::string& table) const override;
+
+ private:
+  const Catalog* catalog_;
+};
+
+/// Options for the combined lint + advisor pass.
+struct AdvisorLintOptions {
+  sql::lint::LintOptions lint;
+  AdvisorOptions advisor;
+  /// Tables below this row count are ignored by the index-coverage
+  /// cross-check (scanning tiny tables is fine without an index).
+  uint64_t min_table_rows = 1000;
+};
+
+/// Result of linting a workload with the advisor in the loop.
+struct AdvisorLintResult {
+  sql::lint::LintReport report;
+  AdvisorResult advisor;
+};
+
+/// Runs the tuning advisor over `texts`, then lints the workload with the
+/// catalog as schema provider plus an extra index-coverage rule: a filter
+/// column on a large table that no recommended index covers yields an
+/// info diagnostic citing the cost model's estimated scan time. This is
+/// the "index-advisor cross-check" — diagnostics grounded in what the
+/// advisor actually recommended rather than generic heuristics.
+AdvisorLintResult LintWorkloadWithAdvisor(
+    const std::vector<std::string>& texts, const CostModel& model,
+    const AdvisorLintOptions& options = {});
+
+}  // namespace querc::engine
+
+#endif  // QUERC_ENGINE_LINT_ADVISOR_H_

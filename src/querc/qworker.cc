@@ -1,5 +1,7 @@
 #include "querc/qworker.h"
 
+#include <algorithm>
+
 #include "obs/trace.h"
 
 namespace querc::core {
@@ -26,6 +28,14 @@ obs::Counter& GlobalQueriesCounter() {
 
 QWorker::QWorker(const Options& options) : options_(options) {
   classifiers_.store(std::make_shared<const ClassifierMap>());
+  // Resolve one hit counter per lint rule up front; registration takes the
+  // registry mutex, but Process then increments plain atomics.
+  for (const auto& rule : lint_engine_.registry().rules()) {
+    std::string id(rule->id());
+    lint_counters_[id] = &obs::MetricsRegistry::Global().GetCounter(
+        "querc_lint_hits_total", {{"rule", id}},
+        "Lint diagnostics emitted per rule, all workers");
+  }
 }
 
 void QWorker::Deploy(std::shared_ptr<const Classifier> classifier) {
@@ -106,6 +116,37 @@ ProcessedQuery QWorker::Process(const workload::LabeledQuery& query) {
   }
   processed_count_.fetch_add(1, std::memory_order_relaxed);
 
+  if (options_.enable_lint) {
+    static obs::Histogram& lint_hist = obs::StageHistogram("lint");
+    obs::Span lint_span(&lint_hist, "lint");
+    sql::lint::QueryLint lint =
+        lint_engine_.LintQuery(query.text, 0, query.dialect);
+    if (!lint.diagnostics.empty()) {
+      lint_diagnostic_count_.fetch_add(lint.diagnostics.size(),
+                                       std::memory_order_relaxed);
+      for (const sql::lint::Diagnostic& d : lint.diagnostics) {
+        auto it = lint_counters_.find(d.rule_id);
+        if (it != lint_counters_.end()) it->second->Increment();
+      }
+      {
+        std::lock_guard<std::mutex> lock(lint_mu_);
+        auto it = lint_templates_.find(lint.fingerprint);
+        if (it == lint_templates_.end() &&
+            lint_templates_.size() < options_.lint_template_cap) {
+          it = lint_templates_.emplace(lint.fingerprint, LintTemplateStats{})
+                   .first;
+          it->second.fingerprint = lint.fingerprint;
+          it->second.example_text = query.text;
+        }
+        if (it != lint_templates_.end()) {
+          ++it->second.instances;
+          it->second.diagnostics += lint.diagnostics.size();
+        }
+      }
+      out.diagnostics = std::move(lint.diagnostics);
+    }
+  }
+
   {
     std::lock_guard<std::mutex> lock(window_mu_);
     window_.push_back(query);
@@ -132,6 +173,27 @@ ProcessedQuery QWorker::Process(const workload::LabeledQuery& query) {
   GlobalProcessHistogram().Record(ms);
   GlobalQueriesCounter().Increment();
   return out;
+}
+
+std::vector<LintTemplateStats> QWorker::TopOffendingTemplates(
+    size_t n) const {
+  std::vector<LintTemplateStats> templates;
+  {
+    std::lock_guard<std::mutex> lock(lint_mu_);
+    templates.reserve(lint_templates_.size());
+    for (const auto& [fingerprint, stats] : lint_templates_) {
+      templates.push_back(stats);
+    }
+  }
+  std::sort(templates.begin(), templates.end(),
+            [](const LintTemplateStats& a, const LintTemplateStats& b) {
+              if (a.diagnostics != b.diagnostics) {
+                return a.diagnostics > b.diagnostics;
+              }
+              return a.instances > b.instances;
+            });
+  if (templates.size() > n) templates.resize(n);
+  return templates;
 }
 
 std::vector<ProcessedQuery> QWorker::ProcessBatch(

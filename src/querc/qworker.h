@@ -12,6 +12,7 @@
 
 #include "obs/metrics.h"
 #include "querc/classifier.h"
+#include "sql/lint/engine.h"
 #include "util/atomic_shared_ptr.h"
 #include "workload/workload.h"
 
@@ -22,6 +23,18 @@ struct ProcessedQuery {
   workload::LabeledQuery query;
   /// task name -> predicted label.
   std::map<std::string, std::string> predictions;
+  /// Static-analysis findings from the worker's lint stage (empty when the
+  /// stage is disabled or the query is clean).
+  std::vector<sql::lint::Diagnostic> diagnostics;
+};
+
+/// Aggregated lint outcome for one normalized query template, tracked per
+/// worker so the pool can surface the worst offenders per shard.
+struct LintTemplateStats {
+  std::string fingerprint;
+  std::string example_text;  // raw text of the first offending instance
+  size_t instances = 0;      // offending queries seen for this template
+  size_t diagnostics = 0;    // total diagnostics across those instances
 };
 
 /// Per-worker latency accounting for the throughput bench and the pool's
@@ -68,6 +81,12 @@ class QWorker {
     /// When false (the "forked" deployment of §2), queries are NOT
     /// forwarded to the database — Querc stays off the critical path.
     bool forward_to_database = true;
+    /// Run the static-analysis lint stage on every query (per-rule hit
+    /// counters + querc_stage_ms{stage=lint}). Cheap: one lenient lex +
+    /// token scans, no allocation on clean queries beyond the token list.
+    bool enable_lint = true;
+    /// Offending templates tracked per worker (bounds lint memory).
+    size_t lint_template_cap = 256;
   };
 
   using DatabaseSink = std::function<void(const workload::LabeledQuery&)>;
@@ -122,6 +141,17 @@ class QWorker {
     return latency_hist_.Snapshot();
   }
 
+  /// Total lint diagnostics emitted by this worker since construction.
+  size_t lint_diagnostic_count() const {
+    return lint_diagnostic_count_.load(std::memory_order_relaxed);
+  }
+
+  /// The `n` templates with the most lint diagnostics, worst first.
+  std::vector<LintTemplateStats> TopOffendingTemplates(size_t n) const;
+
+  /// The lint engine this worker runs (builtin rules, worker dialect).
+  const sql::lint::LintEngine& lint_engine() const { return lint_engine_; }
+
  private:
   Options options_;
   /// Immutable published snapshot; writers serialize on deploy_mu_ and
@@ -137,6 +167,15 @@ class QWorker {
   /// Per-worker Process latency; also mirrored into the global registry's
   /// querc_qworker_process_ms so exporters see the service-wide view.
   obs::Histogram latency_hist_;
+
+  /// Lint stage. The engine is immutable after construction (safe to call
+  /// from every processing thread); per-rule counters are resolved once
+  /// here so the hot path touches only counter atomics.
+  sql::lint::LintEngine lint_engine_;
+  std::map<std::string, obs::Counter*> lint_counters_;
+  std::atomic<size_t> lint_diagnostic_count_{0};
+  mutable std::mutex lint_mu_;
+  std::map<std::string, LintTemplateStats> lint_templates_;
 };
 
 }  // namespace querc::core

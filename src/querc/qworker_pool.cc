@@ -1,5 +1,9 @@
 #include "querc/qworker_pool.h"
 
+#include <algorithm>
+#include <limits>
+#include <map>
+
 #include "obs/trace.h"
 #include "util/stopwatch.h"
 
@@ -128,7 +132,7 @@ size_t QWorkerPool::processed_count() const {
   return total;
 }
 
-std::vector<ShardStats> QWorkerPool::Stats() const {
+std::vector<ShardStats> QWorkerPool::Stats(size_t lint_top_n) const {
   std::vector<ShardStats> stats;
   stats.reserve(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
@@ -144,9 +148,48 @@ std::vector<ShardStats> QWorkerPool::Stats() const {
     one.p50_ms = one.histogram.p50();
     one.p90_ms = one.histogram.p90();
     one.p99_ms = one.histogram.p99();
+    one.lint_diagnostics = shards_[s]->lint_diagnostic_count();
+    one.top_offending_templates = shards_[s]->TopOffendingTemplates(lint_top_n);
     stats.push_back(one);
   }
   return stats;
+}
+
+std::vector<LintTemplateStats> QWorkerPool::TopOffendingTemplates(
+    size_t n) const {
+  // Merge per-shard aggregates by fingerprint: under round-robin one
+  // template's instances spread across shards and must sum back together.
+  std::map<std::string, LintTemplateStats> merged;
+  for (const auto& shard : shards_) {
+    for (LintTemplateStats& t :
+         shard->TopOffendingTemplates(std::numeric_limits<size_t>::max())) {
+      auto it = merged.find(t.fingerprint);
+      if (it == merged.end()) {
+        merged.emplace(t.fingerprint, std::move(t));
+      } else {
+        it->second.instances += t.instances;
+        it->second.diagnostics += t.diagnostics;
+      }
+    }
+  }
+  std::vector<LintTemplateStats> out;
+  out.reserve(merged.size());
+  for (auto& [fingerprint, stats] : merged) out.push_back(std::move(stats));
+  std::sort(out.begin(), out.end(),
+            [](const LintTemplateStats& a, const LintTemplateStats& b) {
+              if (a.diagnostics != b.diagnostics) {
+                return a.diagnostics > b.diagnostics;
+              }
+              return a.instances > b.instances;
+            });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+size_t QWorkerPool::lint_diagnostic_count() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->lint_diagnostic_count();
+  return total;
 }
 
 obs::HistogramSnapshot QWorkerPool::MergedLatency() const {

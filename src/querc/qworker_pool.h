@@ -24,6 +24,10 @@ struct ShardStats {
   double p50_ms = 0.0;
   double p90_ms = 0.0;
   double p99_ms = 0.0;
+  /// Lint diagnostics emitted by this shard's lint stage.
+  size_t lint_diagnostics = 0;
+  /// The shard's worst templates by lint diagnostics (bounded top-N).
+  std::vector<LintTemplateStats> top_offending_templates;
 };
 
 /// Sharded, thread-safe QWorker service layer: the paper's remark that
@@ -100,8 +104,17 @@ class QWorkerPool {
   size_t processed_count() const;
 
   /// Per-shard stats snapshot (processed count, min/mean/max latency,
-  /// p50/p90/p99 from the shard's latency histogram).
-  std::vector<ShardStats> Stats() const;
+  /// p50/p90/p99 from the shard's latency histogram, lint counts and the
+  /// shard's `lint_top_n` worst templates).
+  std::vector<ShardStats> Stats(size_t lint_top_n = 3) const;
+
+  /// Service-wide worst templates by lint diagnostics: per-shard
+  /// aggregates merged by fingerprint (a template routed to several shards
+  /// — e.g. under round-robin — sums across them), worst first.
+  std::vector<LintTemplateStats> TopOffendingTemplates(size_t n) const;
+
+  /// Total lint diagnostics across all shards.
+  size_t lint_diagnostic_count() const;
 
   /// Pooled view: every shard's latency histogram merged into one
   /// snapshot, so service-level percentiles reflect all shards.

@@ -1,0 +1,42 @@
+#ifndef QUERC_SQL_LINT_DIAGNOSTIC_H_
+#define QUERC_SQL_LINT_DIAGNOSTIC_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace querc::sql::lint {
+
+/// Diagnostic severities, ordered so comparisons express "at least as
+/// severe as". `kError` findings make `querc lint` exit nonzero (CI gate);
+/// `kWarning` is a probable problem; `kInfo` is an improvement opportunity.
+enum class Severity { kInfo = 0, kWarning = 1, kError = 2 };
+
+/// Stable lower-case name ("info", "warning", "error").
+std::string_view SeverityName(Severity severity);
+
+/// Parses a severity name; returns false (and leaves `out` alone) on an
+/// unknown name.
+bool ParseSeverity(std::string_view name, Severity* out);
+
+/// Byte range of the offending construct within the query text.
+/// `length == 0` means the diagnostic applies to the whole query.
+struct Span {
+  size_t offset = 0;
+  size_t length = 0;
+};
+
+/// One finding produced by a lint rule. `query_index` identifies the query
+/// within the linted batch (0 for single-query lints).
+struct Diagnostic {
+  std::string rule_id;
+  Severity severity = Severity::kWarning;
+  Span span;
+  std::string message;
+  std::string fix_hint;
+  size_t query_index = 0;
+};
+
+}  // namespace querc::sql::lint
+
+#endif  // QUERC_SQL_LINT_DIAGNOSTIC_H_

@@ -1,0 +1,182 @@
+#include "sql/lint/export.h"
+
+#include <set>
+
+#include "util/string_util.h"
+
+namespace querc::sql::lint {
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// SARIF "level" for a severity (SARIF has no "info"; it uses "note").
+const char* SarifLevel(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "warning";
+}
+
+void AppendDiagnosticJson(const Diagnostic& d, std::string* out) {
+  *out += util::StrFormat(
+      "{\"rule_id\":\"%s\",\"severity\":\"%s\",\"query_index\":%zu,"
+      "\"offset\":%zu,\"length\":%zu,\"message\":\"%s\",\"fix_hint\":\"%s\"}",
+      JsonEscape(d.rule_id).c_str(),
+      std::string(SeverityName(d.severity)).c_str(), d.query_index,
+      d.span.offset, d.span.length, JsonEscape(d.message).c_str(),
+      JsonEscape(d.fix_hint).c_str());
+}
+
+}  // namespace
+
+std::string FormatText(const LintReport& report) {
+  std::string out;
+  for (const Diagnostic& d : report.diagnostics) {
+    out += util::StrFormat("query %zu: %s: [%s] %s\n", d.query_index,
+                           std::string(SeverityName(d.severity)).c_str(),
+                           d.rule_id.c_str(), d.message.c_str());
+    if (!d.fix_hint.empty()) {
+      out += util::StrFormat("  fix: %s\n", d.fix_hint.c_str());
+    }
+  }
+  out += util::StrFormat(
+      "\n%zu queries linted, %zu diagnostics (%zu error, %zu warning, "
+      "%zu info)\n",
+      report.total_queries, report.diagnostics.size(),
+      report.CountAtLeast(Severity::kError),
+      report.CountAtLeast(Severity::kWarning) -
+          report.CountAtLeast(Severity::kError),
+      report.diagnostics.size() - report.CountAtLeast(Severity::kWarning));
+  if (!report.rule_hits.empty()) {
+    out += "rule hits:\n";
+    for (const auto& [rule, hits] : report.rule_hits) {
+      out += util::StrFormat("  %-28s %zu\n", rule.c_str(), hits);
+    }
+  }
+  if (!report.top_templates.empty()) {
+    out += "top offending templates:\n";
+    for (const TemplateLint& t : report.top_templates) {
+      std::string fp = t.fingerprint.size() > 72
+                           ? t.fingerprint.substr(0, 69) + "..."
+                           : t.fingerprint;
+      out += util::StrFormat(
+          "  %zu diagnostics over %zu instances (query %zu): %s\n",
+          t.diagnostics, t.instances, t.example_query, fp.c_str());
+    }
+  }
+  return out;
+}
+
+std::string FormatJson(const LintReport& report) {
+  std::string out = "{";
+  out += util::StrFormat("\"total_queries\":%zu,", report.total_queries);
+  out += "\"diagnostics\":[";
+  for (size_t i = 0; i < report.diagnostics.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendDiagnosticJson(report.diagnostics[i], &out);
+  }
+  out += "],\"rule_hits\":{";
+  bool first = true;
+  for (const auto& [rule, hits] : report.rule_hits) {
+    if (!first) out += ",";
+    first = false;
+    out += util::StrFormat("\"%s\":%zu", JsonEscape(rule).c_str(), hits);
+  }
+  out += "},\"top_templates\":[";
+  for (size_t i = 0; i < report.top_templates.size(); ++i) {
+    if (i > 0) out += ",";
+    const TemplateLint& t = report.top_templates[i];
+    out += util::StrFormat(
+        "{\"fingerprint\":\"%s\",\"instances\":%zu,\"diagnostics\":%zu,"
+        "\"example_query\":%zu}",
+        JsonEscape(t.fingerprint).c_str(), t.instances, t.diagnostics,
+        t.example_query);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string FormatSarif(const LintReport& report,
+                        const RuleRegistry& registry) {
+  std::string out =
+      "{\"version\":\"2.1.0\","
+      "\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/"
+      "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\","
+      "\"runs\":[{\"tool\":{\"driver\":{\"name\":\"querc-lint\","
+      "\"informationUri\":\"https://example.invalid/querc\","
+      "\"rules\":[";
+  // Emit metadata for every registered rule plus any rule id that appears
+  // only in the report (a custom registry may differ from the reporter's).
+  std::set<std::string> emitted;
+  bool first = true;
+  auto emit_rule = [&](std::string_view id, std::string_view summary,
+                       Severity severity) {
+    if (!emitted.insert(std::string(id)).second) return;
+    if (!first) out += ",";
+    first = false;
+    out += util::StrFormat(
+        "{\"id\":\"%s\",\"shortDescription\":{\"text\":\"%s\"},"
+        "\"defaultConfiguration\":{\"level\":\"%s\"}}",
+        JsonEscape(id).c_str(), JsonEscape(summary).c_str(),
+        SarifLevel(severity));
+  };
+  for (const auto& rule : registry.rules()) {
+    emit_rule(rule->id(), rule->summary(), rule->severity());
+  }
+  for (const auto& [rule, hits] : report.rule_hits) {
+    emit_rule(rule, "", Severity::kWarning);
+  }
+  out += "]}},\"results\":[";
+  for (size_t i = 0; i < report.diagnostics.size(); ++i) {
+    if (i > 0) out += ",";
+    const Diagnostic& d = report.diagnostics[i];
+    out += util::StrFormat(
+        "{\"ruleId\":\"%s\",\"level\":\"%s\","
+        "\"message\":{\"text\":\"%s\"},"
+        "\"locations\":[{\"physicalLocation\":{"
+        "\"artifactLocation\":{\"uri\":\"query/%zu\"},"
+        "\"region\":{\"charOffset\":%zu,\"charLength\":%zu}}}],"
+        "\"properties\":{\"queryIndex\":%zu,\"fixHint\":\"%s\"}}",
+        JsonEscape(d.rule_id).c_str(), SarifLevel(d.severity),
+        JsonEscape(d.message).c_str(), d.query_index, d.span.offset,
+        d.span.length, d.query_index, JsonEscape(d.fix_hint).c_str());
+  }
+  out += "]}]}";
+  return out;
+}
+
+}  // namespace querc::sql::lint

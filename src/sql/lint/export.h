@@ -1,0 +1,25 @@
+#ifndef QUERC_SQL_LINT_EXPORT_H_
+#define QUERC_SQL_LINT_EXPORT_H_
+
+#include <string>
+
+#include "sql/lint/engine.h"
+#include "sql/lint/rule.h"
+
+namespace querc::sql::lint {
+
+/// Human-readable report: one line per diagnostic plus summary sections.
+std::string FormatText(const LintReport& report);
+
+/// Machine-readable JSON: {"total_queries", "diagnostics": [...],
+/// "rule_hits": {...}, "top_templates": [...]}.
+std::string FormatJson(const LintReport& report);
+
+/// SARIF 2.1.0 log (the interchange format CI systems ingest). `registry`
+/// supplies rule metadata for tool.driver.rules.
+std::string FormatSarif(const LintReport& report,
+                        const RuleRegistry& registry);
+
+}  // namespace querc::sql::lint
+
+#endif  // QUERC_SQL_LINT_EXPORT_H_

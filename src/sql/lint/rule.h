@@ -1,0 +1,119 @@
+#ifndef QUERC_SQL_LINT_RULE_H_
+#define QUERC_SQL_LINT_RULE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sql/analyzer.h"
+#include "sql/lint/diagnostic.h"
+#include "sql/token.h"
+
+namespace querc::sql::lint {
+
+/// Optional schema facts rules may consult. The sql layer deliberately
+/// knows nothing about the engine's Catalog; engine/lint_advisor.h adapts
+/// it behind this interface. All rules must degrade gracefully (stay
+/// silent rather than guess) when no provider is installed.
+class SchemaProvider {
+ public:
+  virtual ~SchemaProvider() = default;
+
+  /// Base table owning `column` (lower-cased), or "" if unknown/ambiguous.
+  virtual std::string TableOfColumn(const std::string& column) const = 0;
+
+  /// Whether `table` (lower-cased) exists.
+  virtual bool HasTable(const std::string& table) const = 0;
+
+  /// Row count of `table`; 0 when unknown.
+  virtual uint64_t TableRowCount(const std::string& table) const = 0;
+
+  /// Column count of `table`; 0 when unknown.
+  virtual size_t TableColumnCount(const std::string& table) const = 0;
+};
+
+/// Everything a per-query rule may inspect: the raw text, the lenient
+/// token stream, the structural QueryShape, the normalized fingerprint
+/// (literals folded), and the optional schema provider.
+struct QueryContext {
+  std::string_view text;
+  const TokenList* tokens = nullptr;
+  const QueryShape* shape = nullptr;
+  std::string fingerprint;
+  size_t query_index = 0;
+  const SchemaProvider* schema = nullptr;
+};
+
+/// One normalized template observed across a linted workload.
+struct TemplateGroup {
+  std::string fingerprint;
+  std::vector<size_t> query_indices;  // into WorkloadContext::queries
+  size_t distinct_texts = 0;          // distinct raw texts (literal bindings)
+  bool has_parameters = false;        // any ?/@p/$1 marker in the template
+  size_t literal_tokens = 0;          // folded literal slots in the template
+};
+
+/// Workload-level view handed to Rule::CheckWorkload after every query has
+/// been analyzed individually.
+struct WorkloadContext {
+  const std::vector<QueryContext>* queries = nullptr;
+  const std::vector<TemplateGroup>* templates = nullptr;
+  /// Distinct literal bindings of one template before the
+  /// unparameterized-literals rule reports a hot spot.
+  size_t hot_template_threshold = 8;
+};
+
+/// A static-analysis rule. Rules are immutable after construction and must
+/// be safe to run from many threads concurrently (QWorker shards share one
+/// engine). Emit diagnostics by appending to `out`; never mutate state.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+
+  /// Stable kebab-case identifier ("cartesian-product").
+  virtual std::string_view id() const = 0;
+
+  /// Severity this rule's findings default to.
+  virtual Severity severity() const = 0;
+
+  /// One-line description for the rule catalog / SARIF rule metadata.
+  virtual std::string_view summary() const = 0;
+
+  /// Per-query check. Default: nothing (workload-only rules).
+  virtual void Check(const QueryContext& ctx,
+                     std::vector<Diagnostic>* out) const;
+
+  /// Whole-workload check, run once per batch. Default: nothing.
+  virtual void CheckWorkload(const WorkloadContext& ctx,
+                             std::vector<Diagnostic>* out) const;
+};
+
+/// Ordered rule collection. Registration replaces an existing rule with
+/// the same id, so callers can override a builtin with a tuned variant.
+class RuleRegistry {
+ public:
+  RuleRegistry() = default;
+  RuleRegistry(RuleRegistry&&) = default;
+  RuleRegistry& operator=(RuleRegistry&&) = default;
+  RuleRegistry(const RuleRegistry&) = delete;
+  RuleRegistry& operator=(const RuleRegistry&) = delete;
+
+  void Register(std::unique_ptr<const Rule> rule);
+  const Rule* Find(std::string_view id) const;
+  const std::vector<std::unique_ptr<const Rule>>& rules() const {
+    return rules_;
+  }
+
+  /// The nine built-in structural rules (everything except the engine's
+  /// index-coverage cross-check, which needs a cost model).
+  static RuleRegistry Builtin();
+
+ private:
+  std::vector<std::unique_ptr<const Rule>> rules_;
+};
+
+}  // namespace querc::sql::lint
+
+#endif  // QUERC_SQL_LINT_RULE_H_

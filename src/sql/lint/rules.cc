@@ -1,0 +1,917 @@
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+
+#include "sql/lint/rule.h"
+#include "util/string_util.h"
+
+namespace querc::sql::lint {
+
+void Rule::Check(const QueryContext&, std::vector<Diagnostic>*) const {}
+void Rule::CheckWorkload(const WorkloadContext&,
+                         std::vector<Diagnostic>*) const {}
+
+void RuleRegistry::Register(std::unique_ptr<const Rule> rule) {
+  for (auto& existing : rules_) {
+    if (existing->id() == rule->id()) {
+      existing = std::move(rule);
+      return;
+    }
+  }
+  rules_.push_back(std::move(rule));
+}
+
+const Rule* RuleRegistry::Find(std::string_view id) const {
+  for (const auto& rule : rules_) {
+    if (rule->id() == id) return rule.get();
+  }
+  return nullptr;
+}
+
+namespace {
+
+bool IsIdent(const Token& t) {
+  return t.type == TokenType::kIdentifier ||
+         t.type == TokenType::kQuotedIdentifier;
+}
+
+bool IsLiteral(const Token& t) {
+  return t.type == TokenType::kNumber || t.type == TokenType::kString;
+}
+
+bool IsComparisonOp(const Token& t) {
+  return t.type == TokenType::kOperator &&
+         (t.text == "=" || t.text == "<" || t.text == ">" || t.text == "<=" ||
+          t.text == ">=" || t.text == "<>" || t.text == "!=");
+}
+
+bool IsArithmeticOp(const Token& t) {
+  return t.type == TokenType::kOperator &&
+         (t.text == "+" || t.text == "-" || t.text == "*" || t.text == "/" ||
+          t.text == "%");
+}
+
+bool IsAggregateKeyword(const Token& t) {
+  return t.type == TokenType::kKeyword &&
+         (t.text == "SUM" || t.text == "AVG" || t.text == "MIN" ||
+          t.text == "MAX" || t.text == "COUNT");
+}
+
+/// Keywords that behave as scalar functions over a column (the lexer
+/// classifies them as keywords, so the identifier-head check misses them).
+bool IsScalarFunctionKeyword(const Token& t) {
+  return t.type == TokenType::kKeyword &&
+         (t.text == "SUBSTRING" || t.text == "CAST" || t.text == "EXTRACT" ||
+          t.text == "COALESCE" || t.text == "YEAR" || t.text == "MONTH" ||
+          t.text == "DAY" || t.text == "HOUR" || t.text == "MINUTE" ||
+          t.text == "SECOND" || t.text == "DATEADD" || t.text == "GETDATE");
+}
+
+/// Marks every token inside a predicate-bearing clause (WHERE / ON /
+/// HAVING) at any nesting level. Parenthesized regions inherit the state
+/// at their '(' except when they open a subquery, which starts fresh at
+/// its own SELECT.
+std::vector<char> PredicateMask(const TokenList& tokens) {
+  std::vector<char> mask(tokens.size(), 0);
+  std::vector<char> stack;
+  char in_pred = 0;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.type == TokenType::kKeyword) {
+      const std::string& kw = t.text;
+      if (kw == "WHERE" || kw == "ON" || kw == "HAVING") {
+        in_pred = 1;
+      } else if (kw == "SELECT" || kw == "FROM" || kw == "GROUP" ||
+                 kw == "ORDER" || kw == "LIMIT" || kw == "OFFSET" ||
+                 kw == "FETCH" || kw == "UNION" || kw == "INTERSECT" ||
+                 kw == "EXCEPT" || kw == "JOIN" || kw == "INNER" ||
+                 kw == "LEFT" || kw == "RIGHT" || kw == "FULL" ||
+                 kw == "CROSS" || kw == "OUTER") {
+        in_pred = 0;
+      }
+    } else if (t.IsPunct('(')) {
+      stack.push_back(in_pred);
+    } else if (t.IsPunct(')')) {
+      if (!stack.empty()) {
+        in_pred = stack.back();
+        stack.pop_back();
+      }
+    } else if (t.IsPunct(';')) {
+      in_pred = 0;
+    }
+    mask[i] = in_pred;
+  }
+  return mask;
+}
+
+/// Index of the '(' matching the ')' at `close`, or npos.
+size_t MatchingOpen(const TokenList& tokens, size_t close) {
+  int depth = 0;
+  for (size_t i = close + 1; i-- > 0;) {
+    if (tokens[i].IsPunct(')')) ++depth;
+    if (tokens[i].IsPunct('(')) {
+      if (--depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+/// Parses `[qual .] column` at `i`; returns next index, or `i` if no
+/// reference starts there.
+struct ColRef {
+  std::string qualifier;
+  std::string column;
+  size_t begin = 0;
+  size_t end = 0;  // one past the last token
+};
+
+bool ParseColRef(const TokenList& tokens, size_t i, ColRef* out) {
+  if (i >= tokens.size() || !IsIdent(tokens[i])) return false;
+  out->begin = i;
+  if (i + 2 < tokens.size() && tokens[i + 1].IsOperator(".") &&
+      IsIdent(tokens[i + 2])) {
+    out->qualifier = util::ToLower(tokens[i].text);
+    out->column = util::ToLower(tokens[i + 2].text);
+    out->end = i + 3;
+  } else {
+    out->qualifier.clear();
+    out->column = util::ToLower(tokens[i].text);
+    out->end = i + 1;
+  }
+  return true;
+}
+
+Span TokenSpan(const TokenList& tokens, size_t begin, size_t end_inclusive) {
+  Span span;
+  span.offset = tokens[begin].offset;
+  const Token& last = tokens[end_inclusive];
+  span.length = last.offset + last.text.size() - span.offset;
+  return span;
+}
+
+Diagnostic MakeDiagnostic(const Rule& rule, const QueryContext& ctx,
+                          Span span, std::string message,
+                          std::string fix_hint,
+                          Severity severity) {
+  Diagnostic d;
+  d.rule_id = std::string(rule.id());
+  d.severity = severity;
+  d.span = span;
+  d.message = std::move(message);
+  d.fix_hint = std::move(fix_hint);
+  d.query_index = ctx.query_index;
+  return d;
+}
+
+Diagnostic MakeDiagnostic(const Rule& rule, const QueryContext& ctx,
+                          Span span, std::string message,
+                          std::string fix_hint = "") {
+  return MakeDiagnostic(rule, ctx, span, std::move(message),
+                        std::move(fix_hint), rule.severity());
+}
+
+/// Is `table` one of the base tables referenced at this shape level?
+bool ShapeHasTable(const QueryShape& shape, const std::string& table) {
+  return std::find(shape.tables.begin(), shape.tables.end(), table) !=
+         shape.tables.end();
+}
+
+/// The analyzer records a `col = col` equality as a join only when a side
+/// carries a qualifier; a bare-bare equality (`c_custkey = o_custkey`, the
+/// TPC-H comma-join idiom) is dropped from QueryShape entirely. When the
+/// token stream shows such an equality anywhere in a predicate clause, the
+/// shape's join graph is incomplete and join-structure rules must stay
+/// silent rather than cry cartesian product.
+bool HasUnrecordedJoinEquality(const TokenList& tokens) {
+  std::vector<char> mask = PredicateMask(tokens);
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!mask[i]) continue;
+    // Skip identifiers that are the column part of a qualified reference.
+    if (i > 0 && tokens[i - 1].IsOperator(".")) continue;
+    ColRef left;
+    if (!ParseColRef(tokens, i, &left) || !left.qualifier.empty()) continue;
+    if (left.end >= tokens.size() || !tokens[left.end].IsOperator("=")) {
+      continue;
+    }
+    ColRef right;
+    if (!ParseColRef(tokens, left.end + 1, &right) ||
+        !right.qualifier.empty()) {
+      continue;
+    }
+    if (left.column != right.column) return true;
+  }
+  return false;
+}
+
+/// True when any token is the OR keyword (used to disable AND-conjunction
+/// reasoning: without tracking disjunction structure, flagging would be
+/// unsound).
+bool ContainsOr(const TokenList& tokens) {
+  for (const Token& t : tokens) {
+    if (t.IsKeyword("OR")) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// 1. cartesian-product: a FROM list with >= 2 tables and not a single join
+//    predicate anywhere at that level, or an explicit CROSS JOIN.
+// ---------------------------------------------------------------------------
+class CartesianProductRule : public Rule {
+ public:
+  std::string_view id() const override { return "cartesian-product"; }
+  Severity severity() const override { return Severity::kError; }
+  std::string_view summary() const override {
+    return "FROM references multiple tables with no join predicate "
+           "(cross product)";
+  }
+
+  void Check(const QueryContext& ctx,
+             std::vector<Diagnostic>* out) const override {
+    // A bare-bare equi-join in the text means the shape's join list is
+    // incomplete (see HasUnrecordedJoinEquality): "no join predicate"
+    // cannot be concluded from the shape, so only the explicit CROSS JOIN
+    // check runs.
+    if (!HasUnrecordedJoinEquality(*ctx.tokens)) {
+      CheckShape(*ctx.shape, ctx, out);
+    }
+    const TokenList& tokens = *ctx.tokens;
+    for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+      if (tokens[i].IsKeyword("CROSS") && tokens[i + 1].IsKeyword("JOIN")) {
+        out->push_back(MakeDiagnostic(
+            *this, ctx, TokenSpan(tokens, i, i + 1),
+            "explicit CROSS JOIN produces a cartesian product",
+            "replace with an inner join carrying a join predicate, or "
+            "confirm the cross product is intended"));
+      }
+    }
+  }
+
+ private:
+  void CheckShape(const QueryShape& shape, const QueryContext& ctx,
+                  std::vector<Diagnostic>* out) const {
+    // UNION/INTERSECT/EXCEPT collapse several FROM lists into one shape
+    // level; joins cannot be attributed soundly, so stay silent.
+    if (shape.set_operation_count == 0 && shape.tables.size() >= 2 &&
+        shape.joins.empty()) {
+      out->push_back(MakeDiagnostic(
+          *this, ctx, Span{},
+          util::StrFormat("%zu tables in FROM but no join predicate: the "
+                          "result is a cartesian product",
+                          shape.tables.size()),
+          "add join predicates (t1.key = t2.key) linking every table"));
+    }
+    for (const QueryShape& sub : shape.subqueries) CheckShape(sub, ctx, out);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// 2. missing-join-predicate: >= 2 tables, some joins present, but the join
+//    graph leaves a table disconnected. Runs only when every join side
+//    resolves to a table (via alias or schema), so it cannot guess.
+// ---------------------------------------------------------------------------
+class MissingJoinPredicateRule : public Rule {
+ public:
+  std::string_view id() const override { return "missing-join-predicate"; }
+  Severity severity() const override { return Severity::kWarning; }
+  std::string_view summary() const override {
+    return "join graph leaves a table unconnected (partial cartesian "
+           "product)";
+  }
+
+  void Check(const QueryContext& ctx,
+             std::vector<Diagnostic>* out) const override {
+    // An equi-join the analyzer dropped (bare = bare) makes connectivity
+    // analysis unsound: a "disconnected" table may be joined by exactly
+    // the edge that is missing from the shape.
+    if (HasUnrecordedJoinEquality(*ctx.tokens)) return;
+    CheckShape(*ctx.shape, ctx, out);
+  }
+
+ private:
+  /// Resolves one side of a join to a base table at this level. Returns
+  /// false when the side cannot be resolved (rule must give up on this
+  /// shape level — skipping an edge could make connected tables look
+  /// disconnected); `*table` is cleared when the side resolves to a table
+  /// outside this level's FROM list (a correlated outer reference: the
+  /// edge, not the level, is skipped).
+  bool ResolveSide(const QueryShape& shape, const QueryContext& ctx,
+                   const std::string& qualifier, const std::string& column,
+                   std::string* table) const {
+    if (!qualifier.empty()) {
+      *table = shape.ResolveQualifier(qualifier);
+      return !table->empty();
+    }
+    if (ctx.schema == nullptr) return false;
+    std::string owner = ctx.schema->TableOfColumn(column);
+    if (owner.empty()) return false;
+    *table = ShapeHasTable(shape, owner) ? owner : std::string();
+    return true;
+  }
+
+  void CheckShape(const QueryShape& shape, const QueryContext& ctx,
+                  std::vector<Diagnostic>* out) const {
+    if (shape.set_operation_count == 0 && shape.tables.size() >= 2 &&
+        !shape.joins.empty()) {
+      std::vector<std::string> tables(shape.tables);
+      std::sort(tables.begin(), tables.end());
+      tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
+      // Union-find over the (unique) table names of this level.
+      std::map<std::string, size_t> node;
+      for (size_t i = 0; i < tables.size(); ++i) node[tables[i]] = i;
+      std::vector<size_t> parent(tables.size());
+      for (size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+      auto find = [&](size_t x) {
+        while (parent[x] != x) x = parent[x] = parent[parent[x]];
+        return x;
+      };
+      bool sound = tables.size() >= 2;
+      for (const JoinCondition& j : shape.joins) {
+        std::string left;
+        std::string right;
+        if (!ResolveSide(shape, ctx, j.left_qualifier, j.left_column,
+                         &left) ||
+            !ResolveSide(shape, ctx, j.right_qualifier, j.right_column,
+                         &right)) {
+          sound = false;
+          break;
+        }
+        if (left.empty() || right.empty()) continue;  // outer reference
+        parent[find(node[left])] = find(node[right]);
+      }
+      if (sound) {
+        // Count component sizes; a table alone in its component has no
+        // join predicate reaching it.
+        std::vector<size_t> size(tables.size(), 0);
+        for (size_t i = 0; i < tables.size(); ++i) ++size[find(i)];
+        for (size_t i = 0; i < tables.size(); ++i) {
+          if (size[find(i)] == 1) {
+            out->push_back(MakeDiagnostic(
+                *this, ctx, Span{},
+                util::StrFormat("table '%s' is not connected to the rest "
+                                "of the join graph",
+                                tables[i].c_str()),
+                util::StrFormat("add a join predicate linking '%s' to "
+                                "another table in the FROM list",
+                                tables[i].c_str())));
+          }
+        }
+      }
+    }
+    for (const QueryShape& sub : shape.subqueries) CheckShape(sub, ctx, out);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// 3. non-sargable-predicate: a function call, cast, or arithmetic applied
+//    to the column side of a comparison/IN/LIKE/BETWEEN, which defeats
+//    index range scans.
+// ---------------------------------------------------------------------------
+class NonSargableRule : public Rule {
+ public:
+  std::string_view id() const override { return "non-sargable-predicate"; }
+  Severity severity() const override { return Severity::kWarning; }
+  std::string_view summary() const override {
+    return "function/cast/arithmetic on the column side of a predicate "
+           "defeats index use";
+  }
+
+  void Check(const QueryContext& ctx,
+             std::vector<Diagnostic>* out) const override {
+    const TokenList& tokens = *ctx.tokens;
+    std::vector<char> mask = PredicateMask(tokens);
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      if (!mask[i]) continue;
+      const Token& t = tokens[i];
+      bool is_pred_op = IsComparisonOp(t) || t.IsKeyword("IN") ||
+                        t.IsKeyword("LIKE") || t.IsKeyword("ILIKE") ||
+                        t.IsKeyword("BETWEEN");
+      if (!is_pred_op || i == 0) continue;
+
+      // Case A: `f(... col ...) op` — LHS is a parenthesized call.
+      if (tokens[i - 1].IsPunct(')')) {
+        size_t open = MatchingOpen(tokens, i - 1);
+        if (open == std::string::npos || open == 0) continue;
+        const Token& head = tokens[open - 1];
+        bool function_head =
+            (IsIdent(head) || IsScalarFunctionKeyword(head)) &&
+            !IsAggregateKeyword(head);
+        if (!function_head) continue;
+        bool wraps_column = false;
+        for (size_t k = open + 1; k < i - 1; ++k) {
+          if (IsIdent(tokens[k])) {
+            wraps_column = true;
+            break;
+          }
+        }
+        if (wraps_column) {
+          out->push_back(MakeDiagnostic(
+              *this, ctx, TokenSpan(tokens, open - 1, i - 1),
+              util::StrFormat("'%s(...)' wraps a column on the predicate's "
+                              "column side; the predicate is not sargable",
+                              head.text.c_str()),
+              "move the computation to the literal side so the bare column "
+              "can drive an index range scan"));
+        }
+        continue;
+      }
+
+      // Case B: `col :: type op` — cast on the column.
+      if (i >= 3 && tokens[i - 2].IsOperator("::") && IsIdent(tokens[i - 3])) {
+        out->push_back(MakeDiagnostic(
+            *this, ctx, TokenSpan(tokens, i - 3, i - 1),
+            "cast applied to the column side of a predicate is not "
+            "sargable",
+            "cast the literal instead of the column"));
+        continue;
+      }
+
+      // Case C: `col + lit op` / `lit + col op` — arithmetic on the column.
+      if (i >= 3 && IsArithmeticOp(tokens[i - 2])) {
+        const Token& a = tokens[i - 3];
+        const Token& b = tokens[i - 1];
+        bool column_involved = IsIdent(a) || IsIdent(b);
+        bool simple_operands = (IsIdent(a) || a.type == TokenType::kNumber) &&
+                               (IsIdent(b) || b.type == TokenType::kNumber);
+        if (column_involved && simple_operands) {
+          out->push_back(MakeDiagnostic(
+              *this, ctx, TokenSpan(tokens, i - 3, i - 1),
+              "arithmetic on the column side of a predicate is not "
+              "sargable",
+              "solve for the bare column (e.g. col > lit - 1 instead of "
+              "col + 1 > lit)"));
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// 4. select-star: a top-level `SELECT *` scan (subquery stars such as
+//    EXISTS (SELECT * ...) are idiomatic and ignored).
+// ---------------------------------------------------------------------------
+class SelectStarRule : public Rule {
+ public:
+  std::string_view id() const override { return "select-star"; }
+  Severity severity() const override { return Severity::kWarning; }
+  std::string_view summary() const override {
+    return "top-level SELECT * fetches every column of the scanned tables";
+  }
+
+  void Check(const QueryContext& ctx,
+             std::vector<Diagnostic>* out) const override {
+    const TokenList& tokens = *ctx.tokens;
+    int depth = 0;
+    bool in_top_select = false;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      const Token& t = tokens[i];
+      if (t.IsPunct('(')) ++depth;
+      if (t.IsPunct(')')) --depth;
+      if (depth != 0) continue;
+      if (t.IsKeyword("SELECT")) in_top_select = true;
+      if (t.IsKeyword("FROM")) in_top_select = false;
+      if (!in_top_select || !t.IsOperator("*") || i == 0) continue;
+      const Token& prev = tokens[i - 1];
+      // `SELECT *`, `SELECT a, *`, `SELECT t.*` — but not `a * b`.
+      if (prev.IsKeyword("SELECT") || prev.IsPunct(',') ||
+          prev.IsOperator(".")) {
+        std::string detail;
+        if (ctx.schema != nullptr) {
+          size_t widest = 0;
+          std::string widest_table;
+          for (const std::string& table : ctx.shape->tables) {
+            size_t cols = ctx.schema->TableColumnCount(table);
+            if (cols > widest) {
+              widest = cols;
+              widest_table = table;
+            }
+          }
+          if (widest >= 8) {
+            detail = util::StrFormat(" ('%s' has %zu columns)",
+                                     widest_table.c_str(), widest);
+          }
+        }
+        out->push_back(MakeDiagnostic(
+            *this, ctx, Span{t.offset, 1},
+            "SELECT * fetches every column of the scanned tables" + detail,
+            "name only the columns the application consumes"));
+        return;  // one diagnostic per query is enough
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// 5. or-equality-chain: `col = a OR col = b [OR col = c ...]`, rewritable
+//    to `col IN (a, b, c)`, which plans as one index probe set.
+// ---------------------------------------------------------------------------
+class OrEqualityChainRule : public Rule {
+ public:
+  std::string_view id() const override { return "or-equality-chain"; }
+  Severity severity() const override { return Severity::kInfo; }
+  std::string_view summary() const override {
+    return "OR of equalities on one column is rewritable to IN";
+  }
+
+  void Check(const QueryContext& ctx,
+             std::vector<Diagnostic>* out) const override {
+    const TokenList& tokens = *ctx.tokens;
+    std::vector<char> mask = PredicateMask(tokens);
+    size_t i = 0;
+    while (i < tokens.size()) {
+      ColRef first;
+      size_t literal_end = 0;
+      if (!mask[i] || !MatchEquality(tokens, i, &first, &literal_end)) {
+        ++i;
+        continue;
+      }
+      size_t chain = 1;
+      size_t pos = literal_end;
+      size_t last_literal = literal_end - 1;
+      while (pos < tokens.size() && tokens[pos].IsKeyword("OR")) {
+        ColRef next;
+        size_t next_end = 0;
+        if (!MatchEquality(tokens, pos + 1, &next, &next_end) ||
+            next.qualifier != first.qualifier ||
+            next.column != first.column) {
+          break;
+        }
+        ++chain;
+        last_literal = next_end - 1;
+        pos = next_end;
+      }
+      if (chain >= 2) {
+        std::string column = first.qualifier.empty()
+                                 ? first.column
+                                 : first.qualifier + "." + first.column;
+        out->push_back(MakeDiagnostic(
+            *this, ctx, TokenSpan(tokens, first.begin, last_literal),
+            util::StrFormat("%zu OR-ed equality predicates on '%s'",
+                            chain, column.c_str()),
+            util::StrFormat("rewrite as %s IN (...)", column.c_str())));
+        i = pos;
+      } else {
+        ++i;
+      }
+    }
+  }
+
+ private:
+  /// Matches `colref = literal` starting at `i`.
+  static bool MatchEquality(const TokenList& tokens, size_t i, ColRef* ref,
+                            size_t* end) {
+    if (!ParseColRef(tokens, i, ref)) return false;
+    if (ref->end >= tokens.size() || !tokens[ref->end].IsOperator("=")) {
+      return false;
+    }
+    size_t lit = ref->end + 1;
+    if (lit >= tokens.size() || !IsLiteral(tokens[lit])) return false;
+    *end = lit + 1;
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// 6. redundant-distinct: SELECT DISTINCT combined with GROUP BY at the
+//    same query level — grouping already deduplicates the output.
+// ---------------------------------------------------------------------------
+class RedundantDistinctRule : public Rule {
+ public:
+  std::string_view id() const override { return "redundant-distinct"; }
+  Severity severity() const override { return Severity::kWarning; }
+  std::string_view summary() const override {
+    return "SELECT DISTINCT is redundant when the level also has GROUP BY";
+  }
+
+  void Check(const QueryContext& ctx,
+             std::vector<Diagnostic>* out) const override {
+    const TokenList& tokens = *ctx.tokens;
+    struct Frame {
+      size_t distinct_token = std::string::npos;
+      bool group_by = false;
+    };
+    std::vector<Frame> stack(1);
+    auto emit = [&](const Frame& f) {
+      if (f.distinct_token != std::string::npos && f.group_by) {
+        out->push_back(MakeDiagnostic(
+            *this, ctx,
+            TokenSpan(tokens, f.distinct_token, f.distinct_token),
+            "DISTINCT is redundant: GROUP BY already deduplicates the "
+            "output rows",
+            "drop DISTINCT"));
+      }
+    };
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      const Token& t = tokens[i];
+      if (t.IsPunct('(')) {
+        stack.emplace_back();
+      } else if (t.IsPunct(')')) {
+        if (stack.size() > 1) {
+          emit(stack.back());
+          stack.pop_back();
+        }
+      } else if (t.IsKeyword("DISTINCT") && i > 0 &&
+                 tokens[i - 1].IsKeyword("SELECT")) {
+        stack.back().distinct_token = i;
+      } else if (t.IsKeyword("GROUP") && i + 1 < tokens.size() &&
+                 tokens[i + 1].IsKeyword("BY")) {
+        stack.back().group_by = true;
+      }
+    }
+    while (!stack.empty()) {
+      emit(stack.back());
+      stack.pop_back();
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// 7. predicate-contradiction: AND-ed predicates that can never be true
+//    (errors) and trivially-true/false predicates like 1 = 1 (warnings).
+//    Conjunction reasoning is skipped entirely for queries containing OR.
+// ---------------------------------------------------------------------------
+class ContradictionRule : public Rule {
+ public:
+  std::string_view id() const override { return "predicate-contradiction"; }
+  Severity severity() const override { return Severity::kError; }
+  std::string_view summary() const override {
+    return "predicates that are contradictory (always false) or "
+           "tautological (always true)";
+  }
+
+  void Check(const QueryContext& ctx,
+             std::vector<Diagnostic>* out) const override {
+    CheckTautologies(ctx, out);
+    if (!ContainsOr(*ctx.tokens)) CheckShape(*ctx.shape, ctx, out);
+  }
+
+ private:
+  void CheckTautologies(const QueryContext& ctx,
+                        std::vector<Diagnostic>* out) const {
+    const TokenList& tokens = *ctx.tokens;
+    std::vector<char> mask = PredicateMask(tokens);
+    for (size_t i = 0; i + 2 < tokens.size(); ++i) {
+      if (!mask[i]) continue;
+      // literal op literal with identical text: `1 = 1`, `1 <> 1`.
+      if (IsLiteral(tokens[i]) && IsComparisonOp(tokens[i + 1]) &&
+          IsLiteral(tokens[i + 2]) &&
+          tokens[i].type == tokens[i + 2].type &&
+          tokens[i].text == tokens[i + 2].text) {
+        bool always_true = tokens[i + 1].text == "=" ||
+                           tokens[i + 1].text == "<=" ||
+                           tokens[i + 1].text == ">=";
+        out->push_back(MakeDiagnostic(
+            *this, ctx, TokenSpan(tokens, i, i + 2),
+            always_true ? "predicate is always true"
+                        : "predicate is always false",
+            "remove the constant predicate",
+            always_true ? Severity::kWarning : Severity::kError));
+        continue;
+      }
+      // colref op colref with identical reference: `x = x`, `t.a <> t.a`.
+      ColRef left;
+      if (ParseColRef(tokens, i, &left) && left.end < tokens.size() &&
+          IsComparisonOp(tokens[left.end])) {
+        ColRef right;
+        if (ParseColRef(tokens, left.end + 1, &right) &&
+            left.qualifier == right.qualifier &&
+            left.column == right.column) {
+          const std::string& op = tokens[left.end].text;
+          bool always_true = op == "=" || op == "<=" || op == ">=";
+          out->push_back(MakeDiagnostic(
+              *this, ctx, TokenSpan(tokens, left.begin, right.end - 1),
+              always_true
+                  ? "column compared with itself: predicate is always true"
+                  : "column compared with itself: predicate is always "
+                    "false",
+              "remove or fix the self-comparison",
+              always_true ? Severity::kWarning : Severity::kError));
+        }
+      }
+    }
+  }
+
+  struct Bounds {
+    double lower = -1e308;
+    double upper = 1e308;
+    bool has_lower = false;
+    bool has_upper = false;
+    std::set<std::string> equals_string;
+    std::set<double> equals_number;
+  };
+
+  static bool ParseNumber(const std::string& text, double* out) {
+    char* end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (end == nullptr || *end != '\0' || end == text.c_str()) return false;
+    *out = v;
+    return true;
+  }
+
+  void CheckShape(const QueryShape& shape, const QueryContext& ctx,
+                  std::vector<Diagnostic>* out) const {
+    std::map<std::string, Bounds> bounds;
+    for (const Predicate& p : shape.filters) {
+      if (p.column.empty() || p.literals.empty()) continue;
+      std::string key = p.qualifier.empty()
+                            ? p.column
+                            : p.qualifier + "." + p.column;
+      Bounds& b = bounds[key];
+      double v = 0.0;
+      if (p.op == "=") {
+        if (p.literal_is_string) {
+          b.equals_string.insert(p.literals.front());
+        } else if (ParseNumber(p.literals.front(), &v)) {
+          b.equals_number.insert(v);
+        }
+      } else if (!p.literal_is_string &&
+                 ParseNumber(p.literals.front(), &v)) {
+        if (p.op == "<" || p.op == "<=") {
+          b.upper = std::min(b.upper, v);
+          b.has_upper = true;
+        } else if (p.op == ">" || p.op == ">=") {
+          b.lower = std::max(b.lower, v);
+          b.has_lower = true;
+        } else if (p.op == "BETWEEN" && p.literals.size() >= 2) {
+          double hi = 0.0;
+          if (ParseNumber(p.literals[1], &hi)) {
+            b.lower = std::max(b.lower, v);
+            b.upper = std::min(b.upper, hi);
+            b.has_lower = b.has_upper = true;
+          }
+        }
+      }
+    }
+    for (const auto& [column, b] : bounds) {
+      if (b.equals_string.size() > 1 || b.equals_number.size() > 1) {
+        out->push_back(MakeDiagnostic(
+            *this, ctx, Span{},
+            util::StrFormat("'%s' is required to equal two different "
+                            "values at once",
+                            column.c_str()),
+            "one of the conjoined equality predicates must be wrong"));
+        continue;
+      }
+      if (b.has_lower && b.has_upper && b.lower > b.upper) {
+        out->push_back(MakeDiagnostic(
+            *this, ctx, Span{},
+            util::StrFormat("range predicates on '%s' are contradictory "
+                            "(lower bound %g above upper bound %g)",
+                            column.c_str(), b.lower, b.upper),
+            "the conjunction selects no rows; fix the bounds"));
+        continue;
+      }
+      if (b.equals_number.size() == 1 && (b.has_lower || b.has_upper)) {
+        double v = *b.equals_number.begin();
+        if ((b.has_lower && v < b.lower) || (b.has_upper && v > b.upper)) {
+          out->push_back(MakeDiagnostic(
+              *this, ctx, Span{},
+              util::StrFormat("equality on '%s' falls outside its range "
+                              "predicates",
+                              column.c_str()),
+              "the conjunction selects no rows; fix the bounds"));
+        }
+      }
+    }
+    for (const QueryShape& sub : shape.subqueries) CheckShape(sub, ctx, out);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// 8. correlated-subquery: a subquery referencing columns or aliases of an
+//    enclosing level — a decorrelation (rewrite to join) candidate.
+// ---------------------------------------------------------------------------
+class CorrelatedSubqueryRule : public Rule {
+ public:
+  std::string_view id() const override { return "correlated-subquery"; }
+  Severity severity() const override { return Severity::kInfo; }
+  std::string_view summary() const override {
+    return "correlated subquery is a decorrelation (join rewrite) "
+           "candidate";
+  }
+
+  void Check(const QueryContext& ctx,
+             std::vector<Diagnostic>* out) const override {
+    std::vector<const QueryShape*> ancestors;
+    Walk(*ctx.shape, ctx, &ancestors, out);
+  }
+
+ private:
+  static bool ResolvesLocally(const QueryShape& shape,
+                              const std::string& qualifier) {
+    return !shape.ResolveQualifier(qualifier).empty();
+  }
+
+  /// A column (bare) or qualifier reference that is foreign to `shape` but
+  /// owned by an ancestor level.
+  std::string FindOuterReference(
+      const QueryShape& shape, const QueryContext& ctx,
+      const std::vector<const QueryShape*>& ancestors) const {
+    auto check_side = [&](const std::string& qualifier,
+                          const std::string& column) -> std::string {
+      if (!qualifier.empty()) {
+        if (ResolvesLocally(shape, qualifier)) return "";
+        for (const QueryShape* a : ancestors) {
+          if (ResolvesLocally(*a, qualifier)) {
+            return qualifier + "." + column;
+          }
+        }
+        return "";
+      }
+      if (ctx.schema == nullptr || column.empty()) return "";
+      std::string owner = ctx.schema->TableOfColumn(column);
+      if (owner.empty() || ShapeHasTable(shape, owner)) return "";
+      for (const QueryShape* a : ancestors) {
+        if (ShapeHasTable(*a, owner)) return column;
+      }
+      return "";
+    };
+    for (const JoinCondition& j : shape.joins) {
+      std::string ref = check_side(j.left_qualifier, j.left_column);
+      if (!ref.empty()) return ref;
+      ref = check_side(j.right_qualifier, j.right_column);
+      if (!ref.empty()) return ref;
+    }
+    for (const Predicate& p : shape.filters) {
+      std::string ref = check_side(p.qualifier, p.column);
+      if (!ref.empty()) return ref;
+    }
+    return "";
+  }
+
+  void Walk(const QueryShape& shape, const QueryContext& ctx,
+            std::vector<const QueryShape*>* ancestors,
+            std::vector<Diagnostic>* out) const {
+    if (!ancestors->empty()) {
+      std::string ref = FindOuterReference(shape, ctx, *ancestors);
+      if (!ref.empty()) {
+        out->push_back(MakeDiagnostic(
+            *this, ctx, Span{},
+            util::StrFormat("subquery is correlated on outer column '%s'",
+                            ref.c_str()),
+            "consider decorrelating: rewrite the subquery as a join or a "
+            "grouped derived table"));
+      }
+    }
+    ancestors->push_back(&shape);
+    for (const QueryShape& sub : shape.subqueries) {
+      Walk(sub, ctx, ancestors, out);
+    }
+    ancestors->pop_back();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// 9. unparameterized-literals: workload-level — one normalized template
+//    executed with many distinct literal bindings and no bind parameters.
+// ---------------------------------------------------------------------------
+class UnparameterizedLiteralsRule : public Rule {
+ public:
+  std::string_view id() const override { return "unparameterized-literals"; }
+  Severity severity() const override { return Severity::kInfo; }
+  std::string_view summary() const override {
+    return "hot template executed with many distinct literal bindings and "
+           "no bind parameters";
+  }
+
+  void CheckWorkload(const WorkloadContext& ctx,
+                     std::vector<Diagnostic>* out) const override {
+    for (const TemplateGroup& g : *ctx.templates) {
+      if (g.has_parameters || g.literal_tokens == 0) continue;
+      if (g.distinct_texts < ctx.hot_template_threshold) continue;
+      Diagnostic d;
+      d.rule_id = std::string(id());
+      d.severity = severity();
+      d.message = util::StrFormat(
+          "template executed %zu times with %zu distinct literal bindings "
+          "and no bind parameters",
+          g.query_indices.size(), g.distinct_texts);
+      d.fix_hint =
+          "replace the literals with bind parameters so plans and "
+          "embeddings cache per template";
+      d.query_index =
+          g.query_indices.empty() ? 0 : g.query_indices.front();
+      out->push_back(std::move(d));
+    }
+  }
+};
+
+}  // namespace
+
+RuleRegistry RuleRegistry::Builtin() {
+  RuleRegistry registry;
+  registry.Register(std::make_unique<CartesianProductRule>());
+  registry.Register(std::make_unique<MissingJoinPredicateRule>());
+  registry.Register(std::make_unique<NonSargableRule>());
+  registry.Register(std::make_unique<SelectStarRule>());
+  registry.Register(std::make_unique<OrEqualityChainRule>());
+  registry.Register(std::make_unique<RedundantDistinctRule>());
+  registry.Register(std::make_unique<ContradictionRule>());
+  registry.Register(std::make_unique<CorrelatedSubqueryRule>());
+  registry.Register(std::make_unique<UnparameterizedLiteralsRule>());
+  return registry;
+}
+
+}  // namespace querc::sql::lint

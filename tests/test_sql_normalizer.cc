@@ -66,6 +66,52 @@ TEST(NormalizerTest, ParameterInstancesShareFingerprint) {
   EXPECT_EQ(NormalizedText(LexLenient(a)), NormalizedText(LexLenient(b)));
 }
 
+TEST(NormalizerTest, NegativeLiteralSharesFingerprintWithPositive) {
+  // The lexer emits `-5` as operator '-' + number 5; the unary sign must
+  // fold into <num> so signed bindings of one template coincide.
+  std::string a = "SELECT x FROM t WHERE q < -5";
+  std::string b = "SELECT x FROM t WHERE q < 5";
+  EXPECT_EQ(NormalizedText(LexLenient(a)), NormalizedText(LexLenient(b)));
+  auto words = NormalizeText("WHERE q < -5");
+  std::vector<std::string> expected = {"WHERE", "q", "<", kNumberPlaceholder};
+  EXPECT_EQ(words, expected);
+}
+
+TEST(NormalizerTest, UnarySignFoldsAfterCommaParenAndKeyword) {
+  EXPECT_EQ(NormalizedText(LexLenient("IN (-1, -2, +3)")),
+            NormalizedText(LexLenient("IN (1, 2, 3)")));
+  EXPECT_EQ(NormalizedText(LexLenient("BETWEEN -5 AND -1")),
+            NormalizedText(LexLenient("BETWEEN 5 AND 1")));
+}
+
+TEST(NormalizerTest, BinaryMinusIsNotFolded) {
+  // `a - 5` is subtraction; folding the '-' would merge structurally
+  // different templates.
+  auto words = NormalizeText("SELECT a - 5 FROM t");
+  std::vector<std::string> expected = {"SELECT", "a", "-", kNumberPlaceholder,
+                                       "FROM", "t"};
+  EXPECT_EQ(words, expected);
+  // Same after a closing paren: `(a + b) - 5` stays binary.
+  auto paren = NormalizeText("SELECT (a + b) - 5 FROM t");
+  EXPECT_EQ(paren[6], "-");
+}
+
+TEST(NormalizerTest, UnfoldedStringsAreRequoted) {
+  NormalizeOptions options;
+  options.fold_literals = false;
+  auto words = NormalizeText("SELECT 'x'", options);
+  EXPECT_EQ(words[1], "'x'");
+  // An embedded quote the lexer unescaped must be re-escaped so the
+  // normalized text stays lexable.
+  auto escaped = NormalizeText("SELECT 'O''Brien'", options);
+  EXPECT_EQ(escaped[1], "'O''Brien'");
+}
+
+TEST(NormalizerTest, EscapedQuoteStringsFoldConsistently) {
+  EXPECT_EQ(NormalizedText(LexLenient("WHERE n = 'O''Brien'")),
+            NormalizedText(LexLenient("WHERE n = 'Smith'")));
+}
+
 TEST(NormalizerTest, DifferentStructureDifferentFingerprint) {
   std::string a = "SELECT x FROM t WHERE q < 24";
   std::string b = "SELECT x FROM t WHERE q > 24";

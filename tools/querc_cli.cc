@@ -20,6 +20,8 @@
 //                    [--task t] [--shards N] [--partition account|user|rr]
 //                    [--repeat N] [--format text|prom|json] [--out file]
 //                    [--report-ms N]
+//   querc lint       --workload w.csv | --stdin [--dialect d]
+//                    [--format text|json|sarif] [--advise] [--fail-on sev]
 //   querc info       --model m.bin
 
 #include <cstdio>
@@ -33,6 +35,9 @@
 #include "engine/advisor.h"
 #include "engine/explain.h"
 #include "engine/cost_model.h"
+#include "engine/lint_advisor.h"
+#include "sql/lexer.h"
+#include "sql/lint/export.h"
 #include "ml/metrics.h"
 #include "ml/random_forest.h"
 #include "obs/export.h"
@@ -511,7 +516,170 @@ int CmdStats(const Args& args) {
                 sample.snapshot.p50(), sample.snapshot.p99(),
                 sample.snapshot.max);
   }
+
+  auto lint_snap =
+      obs::MetricsRegistry::Global().Collect("querc_lint_hits_total");
+  std::printf("lint: %zu diagnostics across shards\n",
+              pool.lint_diagnostic_count());
+  std::printf("lint rule hits:\n");
+  for (const auto& sample : lint_snap.counters) {
+    if (sample.value == 0) continue;
+    std::string rule = "?";
+    for (const auto& [key, value] : sample.labels) {
+      if (key == "rule") rule = value;
+    }
+    std::printf("  %-28s %llu\n", rule.c_str(),
+                static_cast<unsigned long long>(sample.value));
+  }
+  for (const auto& t : pool.TopOffendingTemplates(3)) {
+    std::printf("  offender: %zu diagnostics over %zu instances: %.80s%s\n",
+                t.diagnostics, t.instances, t.example_text.c_str(),
+                t.example_text.size() > 80 ? "..." : "");
+  }
   return 0;
+}
+
+bool ParseDialect(const std::string& name, sql::Dialect* out) {
+  if (name == "generic") {
+    *out = sql::Dialect::kGeneric;
+  } else if (name == "sqlserver") {
+    *out = sql::Dialect::kSqlServer;
+  } else if (name == "snowflake") {
+    *out = sql::Dialect::kSnowflake;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Splits raw SQL input on top-level `;` statement separators using the
+/// lenient lexer (so semicolons inside string literals and comments do not
+/// split). Blank statements are dropped.
+std::vector<std::string> SplitStatements(const std::string& input,
+                                         sql::Dialect dialect) {
+  sql::LexOptions lex;
+  lex.dialect = dialect;
+  sql::TokenList tokens = sql::LexLenient(input, lex);
+  std::vector<std::string> statements;
+  size_t start = 0;
+  auto flush = [&](size_t end) {
+    std::string_view stmt = util::Trim(
+        std::string_view(input).substr(start, end - start));
+    if (!stmt.empty()) statements.emplace_back(stmt);
+  };
+  for (const sql::Token& t : tokens) {
+    if (t.IsPunct(';')) {
+      flush(t.offset);
+      start = t.offset + 1;
+    }
+  }
+  flush(input.size());
+  return statements;
+}
+
+/// `querc lint`: static analysis over a workload file or raw SQL on stdin.
+/// Exit code 1 when any diagnostic reaches the --fail-on severity floor
+/// (default error), so it slots into CI pipelines; 2 on usage errors.
+int CmdLint(const Args& args) {
+  sql::Dialect dialect = sql::Dialect::kGeneric;
+  if (!ParseDialect(args.Get("dialect", "generic"), &dialect)) {
+    return Fail(util::Status::InvalidArgument("unknown --dialect " +
+                                              args.Get("dialect")));
+  }
+
+  std::vector<std::string> texts;
+  if (args.GetBool("stdin")) {
+    std::string input;
+    char buffer[4096];
+    size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), stdin)) > 0) {
+      input.append(buffer, n);
+    }
+    texts = SplitStatements(input, dialect);
+  } else if (!args.Get("workload").empty()) {
+    auto wl = LoadWorkload(args, "workload");
+    if (!wl.ok()) return Fail(wl.status());
+    for (const auto& q : *wl) texts.push_back(q.text);
+  } else {
+    return Fail(util::Status::InvalidArgument(
+        "missing input: pass --workload w.csv or --stdin"));
+  }
+
+  sql::lint::LintOptions lint_options;
+  lint_options.dialect = dialect;
+  lint_options.hot_template_threshold =
+      static_cast<size_t>(args.GetInt("hot-threshold", 8));
+  lint_options.top_templates = static_cast<size_t>(args.GetInt("top", 5));
+
+  std::string catalog_kind = args.Get("catalog", "tpch");
+  if (catalog_kind != "tpch" && catalog_kind != "none") {
+    return Fail(
+        util::Status::InvalidArgument("unknown --catalog " + catalog_kind));
+  }
+  engine::Catalog catalog = engine::TpchCatalog();
+  engine::CatalogSchemaProvider schema(&catalog);
+
+  sql::lint::LintReport report;
+  std::string advisor_note;
+  if (args.GetBool("advise")) {
+    engine::CostModel model(&catalog);
+    engine::AdvisorLintOptions advisor_options;
+    advisor_options.lint = lint_options;
+    advisor_options.advisor.budget_minutes = args.GetDouble("budget", 10.0);
+    auto result = engine::LintWorkloadWithAdvisor(texts, model,
+                                                  advisor_options);
+    report = std::move(result.report);
+    advisor_note = "advisor recommendation: " +
+                   engine::ConfigToString(result.advisor.config) + "\n";
+  } else {
+    sql::lint::LintEngine engine(
+        lint_options, catalog_kind == "none" ? nullptr : &schema);
+    report = engine.LintTexts(texts);
+  }
+
+  // Mirror per-rule hits into the global registry so `querc stats` and the
+  // Prometheus/JSON exporters see them alongside the QWorker counters.
+  for (const auto& [rule, hits] : report.rule_hits) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("querc_lint_hits_total", {{"rule", rule}},
+                    "Lint diagnostics emitted per rule, all workers")
+        .Increment(hits);
+  }
+
+  std::string format = args.Get("format", "text");
+  std::string rendered;
+  if (format == "text") {
+    rendered = advisor_note + sql::lint::FormatText(report);
+  } else if (format == "json") {
+    rendered = sql::lint::FormatJson(report);
+  } else if (format == "sarif") {
+    sql::lint::RuleRegistry registry = sql::lint::RuleRegistry::Builtin();
+    rendered = sql::lint::FormatSarif(report, registry);
+  } else {
+    return Fail(util::Status::InvalidArgument("unknown --format " + format));
+  }
+
+  std::string out = args.Get("out");
+  if (out.empty()) {
+    std::fputs(rendered.c_str(), stdout);
+  } else {
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      return Fail(util::Status::Internal("cannot open --out " + out));
+    }
+    std::fputs(rendered.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s lint report to %s\n", format.c_str(), out.c_str());
+  }
+
+  std::string fail_on = args.Get("fail-on", "error");
+  if (fail_on == "never") return 0;
+  sql::lint::Severity floor = sql::lint::Severity::kError;
+  if (!sql::lint::ParseSeverity(fail_on, &floor)) {
+    return Fail(
+        util::Status::InvalidArgument("unknown --fail-on " + fail_on));
+  }
+  return report.CountAtLeast(floor) > 0 ? 1 : 0;
 }
 
 int CmdExplain(const Args& args) {
@@ -585,7 +753,11 @@ int Usage() {
       "             [--shards N] [--partition account|user|rr] [--repeat N]\n"
       "             [--format text|prom|json] [--out f] [--report-ms N]\n"
       "  explain    --workload w.csv [--indexes t:c1,c2;t2:c] [--limit N]\n"
-      "  drift      --model m.bin --reference r.csv --recent n.csv\n");
+      "  drift      --model m.bin --reference r.csv --recent n.csv\n"
+      "  lint       --workload w.csv | --stdin [--dialect d]\n"
+      "             [--format text|json|sarif] [--out f] [--catalog tpch|none]\n"
+      "             [--advise] [--budget MIN] [--fail-on error|warning|info|never]\n"
+      "             [--hot-threshold N] [--top N]\n");
   return 2;
 }
 
@@ -604,6 +776,7 @@ int Main(int argc, char** argv) {
   if (command == "stats") return CmdStats(args);
   if (command == "explain") return CmdExplain(args);
   if (command == "drift") return CmdDrift(args);
+  if (command == "lint") return CmdLint(args);
   return Usage();
 }
 

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (profile: .clang-tidy at the repo root) over the querc
+# sources using the compile_commands.json of an existing build tree.
+#
+#   tools/run_clang_tidy.sh [build_dir] [-- extra clang-tidy args]
+#
+# Exits 0 with a notice when clang-tidy is not installed, so CI stages
+# without the tool degrade gracefully instead of failing the build.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not found on PATH; skipping (ok)."
+  exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy: $build_dir/compile_commands.json missing;" \
+       "configuring with CMAKE_EXPORT_COMPILE_COMMANDS=ON..."
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        >/dev/null
+fi
+
+shift $(( $# > 0 ? 1 : 0 )) || true
+if [ "${1:-}" = "--" ]; then shift; fi
+
+# First-party sources only: third_party and generated files are out of
+# scope for the lint profile.
+mapfile -t sources < <(cd "$repo_root" && \
+  find src tools -name '*.cc' -not -path '*third_party*' | sort)
+
+echo "run_clang_tidy: checking ${#sources[@]} files against" \
+     "$repo_root/.clang-tidy"
+status=0
+for f in "${sources[@]}"; do
+  clang-tidy -p "$build_dir" --quiet "$@" "$repo_root/$f" || status=1
+done
+exit $status

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Builds and tests querc across the sanitizer matrix:
+#
+#   plain  : -DQUERC_WERROR=ON                   (the tier-1 configuration)
+#   asan   : -DQUERC_SANITIZE=address,undefined  (combined ASan+UBSan)
+#   tsan   : -DQUERC_SANITIZE=thread
+#
+# Each configuration gets its own build directory (build/, build-asan/,
+# build-tsan/) so incremental rebuilds stay cheap. Configurations can be
+# subset via QUERC_VERIFY_CONFIGS ("plain asan tsan" by default), and the
+# ctest filter via QUERC_VERIFY_TESTS (-R pattern, default: everything).
+#
+#   tools/verify_matrix.sh                       # full matrix
+#   QUERC_VERIFY_CONFIGS="plain" tools/verify_matrix.sh
+#   QUERC_VERIFY_TESTS="sql|lint" tools/verify_matrix.sh
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+configs="${QUERC_VERIFY_CONFIGS:-plain asan tsan}"
+test_filter="${QUERC_VERIFY_TESTS:-}"
+jobs="${QUERC_VERIFY_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+run_config() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "==== [$name] configure: $* ===="
+  cmake -B "$dir" -S "$repo_root" "$@" >/dev/null
+  echo "==== [$name] build ===="
+  cmake --build "$dir" -j "$jobs"
+  echo "==== [$name] ctest ===="
+  if [ -n "$test_filter" ]; then
+    (cd "$dir" && ctest --output-on-failure -j "$jobs" -R "$test_filter")
+  else
+    (cd "$dir" && ctest --output-on-failure -j "$jobs")
+  fi
+  # Smoke the lint CLI end to end under the instrumented binary: a query
+  # with a known error-severity finding must exit nonzero.
+  if printf 'SELECT a FROM orders, lineitem;' | \
+      "$dir/tools/querc" lint --stdin >/dev/null; then
+    echo "[$name] FAIL: querc lint did not gate on an error finding" >&2
+    return 1
+  fi
+  echo "==== [$name] ok ===="
+}
+
+for config in $configs; do
+  case "$config" in
+    plain)
+      run_config plain "$repo_root/build" -DQUERC_WERROR=ON ;;
+    asan)
+      run_config asan "$repo_root/build-asan" \
+        -DQUERC_SANITIZE=address,undefined ;;
+    tsan)
+      run_config tsan "$repo_root/build-tsan" -DQUERC_SANITIZE=thread ;;
+    *)
+      echo "verify_matrix: unknown config '$config'" >&2
+      exit 2 ;;
+  esac
+done
+echo "verify_matrix: all configs passed: $configs"
