@@ -1,0 +1,53 @@
+// Chaos soak benchmark: drives the fault-tolerant service layer through
+// the warmup / fault / recovery drill in querc/chaos.h and writes the
+// machine-readable report to BENCH_chaos.json (recovery time, shed rate,
+// p99 under fault). Exits nonzero when the drill fails — a service that
+// crashes, loses queries, or whose breakers never re-close is a
+// regression, so CI can gate on this binary directly.
+//
+// Usage: bench_chaos_soak [faults] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "querc/chaos.h"
+
+int main(int argc, char** argv) {
+  querc::core::ChaosOptions options;
+  options.num_shards = 2;
+  options.warmup_queries = 100;
+  options.fault_queries = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 400;
+  options.recovery_queries = 400;
+  options.sink_failure_rate = 0.2;
+  options.classifier_outage = true;
+  options.max_in_flight = 8;
+  options.seed = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 42;
+
+  querc::core::ChaosReport report = querc::core::RunChaosSoak(options);
+  std::string json = report.ToJson();
+  std::printf("%s\n", json.c_str());
+
+  const char* path = "BENCH_chaos.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (f != nullptr) {
+    std::fputs(json.c_str(), f);
+    std::fputs("\n", f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", path);
+  }
+
+  if (!report.ok()) {
+    std::fprintf(stderr,
+                 "chaos soak FAILED: tripped=%zu reclosed=%d shed=%zu "
+                 "silent_drops=%zu\n",
+                 report.breakers_tripped, report.breakers_reclosed ? 1 : 0,
+                 report.shed, report.silent_drops);
+    return 1;
+  }
+  std::fprintf(stderr,
+               "chaos soak OK: recovery %.1f ms, shed rate %.2f%%, p99 "
+               "under fault %.3f ms\n",
+               report.recovery_ms, 100.0 * report.shed_rate,
+               report.p99_fault_ms);
+  return 0;
+}

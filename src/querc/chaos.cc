@@ -1,0 +1,239 @@
+#include "querc/chaos.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "embed/feature_embedder.h"
+#include "ml/knn.h"
+#include "querc/classifier.h"
+#include "util/failpoint.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace querc::core {
+
+namespace {
+
+/// Percentile over a sample vector (nearest-rank); 0 when empty.
+double Percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(samples.size())));
+  rank = std::min(std::max<size_t>(rank, 1), samples.size());
+  return samples[rank - 1];
+}
+
+workload::LabeledQuery MakeQuery(util::Rng& rng, size_t i) {
+  workload::LabeledQuery q;
+  if (rng.Bernoulli(0.5)) {
+    q.text = "SELECT a FROM t WHERE x = 1";
+    q.user = "alice";
+  } else {
+    q.text = "SELECT b, c, d FROM u, v WHERE u.k = v.k";
+    q.user = "bob";
+  }
+  q.account = "acct" + std::to_string(i % 8);
+  return q;
+}
+
+std::shared_ptr<Classifier> TrainUserClassifier(const std::string& task) {
+  auto embedder = std::make_shared<embed::FeatureEmbedder>(
+      embed::FeatureEmbedder::Options{});
+  auto classifier = std::make_shared<Classifier>(
+      task, embedder,
+      std::make_unique<ml::KnnClassifier>(ml::KnnClassifier::Options{.k = 1}));
+  workload::Workload history;
+  for (int i = 0; i < 8; ++i) {
+    workload::LabeledQuery a;
+    a.text = "SELECT a FROM t WHERE x = 1";
+    a.user = "alice";
+    history.Add(a);
+    workload::LabeledQuery b;
+    b.text = "SELECT b, c, d FROM u, v WHERE u.k = v.k";
+    b.user = "bob";
+    history.Add(b);
+  }
+  if (!classifier->Train(history, workload::UserOf).ok()) return nullptr;
+  return classifier;
+}
+
+/// Folds one returned query into the report's accounting.
+void Account(const ProcessedQuery& pq, ChaosReport* report) {
+  ++report->returned;
+  if (pq.shed) ++report->shed;
+  if (!pq.database_status.ok() || !pq.training_status.ok()) {
+    ++report->sink_errors;
+  }
+  if (pq.deadline_exceeded) ++report->deadline_exceeded;
+  report->degraded += pq.degraded_tasks.size();
+  report->skipped += pq.skipped_tasks.size();
+}
+
+bool AllBreakersClosed(const QWorkerPool& pool) {
+  for (const auto& [name, state] : pool.BreakerStates()) {
+    if (state != CircuitBreaker::State::kClosed) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string ChaosReport::ToJson() const {
+  std::string out = "{\n";
+  out += util::StrFormat("  \"submitted\": %zu,\n", submitted);
+  out += util::StrFormat("  \"returned\": %zu,\n", returned);
+  out += util::StrFormat("  \"silent_drops\": %zu,\n", silent_drops);
+  out += util::StrFormat("  \"shed\": %zu,\n", shed);
+  out += util::StrFormat("  \"shed_rate\": %.4f,\n", shed_rate);
+  out += util::StrFormat("  \"sink_errors\": %zu,\n", sink_errors);
+  out += util::StrFormat("  \"degraded\": %zu,\n", degraded);
+  out += util::StrFormat("  \"skipped\": %zu,\n", skipped);
+  out += util::StrFormat("  \"deadline_exceeded\": %zu,\n", deadline_exceeded);
+  out += util::StrFormat("  \"breakers_tripped\": %zu,\n", breakers_tripped);
+  out += util::StrFormat("  \"breakers_reclosed\": %s,\n",
+                         breakers_reclosed ? "true" : "false");
+  out += util::StrFormat("  \"recovery_ms\": %.3f,\n", recovery_ms);
+  out += util::StrFormat("  \"p50_warmup_ms\": %.4f,\n", p50_warmup_ms);
+  out += util::StrFormat("  \"p99_warmup_ms\": %.4f,\n", p99_warmup_ms);
+  out += util::StrFormat("  \"p50_fault_ms\": %.4f,\n", p50_fault_ms);
+  out += util::StrFormat("  \"p99_fault_ms\": %.4f,\n", p99_fault_ms);
+  out += util::StrFormat("  \"p99_recovery_ms\": %.4f,\n", p99_recovery_ms);
+  out += util::StrFormat("  \"ok\": %s\n", ok() ? "true" : "false");
+  out += "}";
+  return out;
+}
+
+ChaosReport RunChaosSoak(const ChaosOptions& options) {
+  ChaosReport report;
+  util::Rng rng(options.seed);
+
+  QWorkerPool::Options pool_options;
+  pool_options.application = "chaos";
+  pool_options.num_shards = std::max<size_t>(1, options.num_shards);
+  // Round-robin so every shard's breakers see traffic (hash partitioning
+  // could starve a shard and stall its recovery).
+  pool_options.partition = QWorkerPool::Partition::kRoundRobin;
+  pool_options.max_in_flight = options.max_in_flight;
+  pool_options.shed_policy = QWorkerPool::ShedPolicy::kRejectNew;
+  pool_options.worker.enable_lint = true;
+  pool_options.worker.deadline_ms = options.deadline_ms;
+  // A soak-friendly breaker: trips on few samples, cools down quickly.
+  pool_options.worker.breaker.window = 16;
+  pool_options.worker.breaker.min_samples = 4;
+  pool_options.worker.breaker.failure_ratio = 0.5;
+  pool_options.worker.breaker.open_ms = options.breaker_open_ms;
+  pool_options.worker.breaker.half_open_probes = 2;
+  pool_options.worker.sink_retry.max_attempts = 2;
+  pool_options.worker.sink_retry.initial_backoff_ms = 0.1;
+  pool_options.worker.sink_retry.max_backoff_ms = 1.0;
+  QWorkerPool pool(pool_options);
+
+  auto primary = TrainUserClassifier("user");
+  auto fallback = TrainUserClassifier("user");
+  if (primary == nullptr || fallback == nullptr) return report;
+  pool.DeployAll({primary});
+  pool.DeployFallback(fallback);
+  pool.set_database_sink([](const workload::LabeledQuery&) {});
+  pool.set_training_sink([](const ProcessedQuery&) {});
+
+  auto process_one = [&](size_t i, std::vector<double>* latencies) {
+    workload::LabeledQuery q = MakeQuery(rng, i);
+    ++report.submitted;
+    util::Stopwatch sw;
+    ProcessedQuery pq = pool.Process(q);
+    if (latencies != nullptr) latencies->push_back(sw.ElapsedMillis());
+    Account(pq, &report);
+  };
+
+  // Phase 1: warmup — healthy baseline.
+  std::vector<double> warmup_lat;
+  warmup_lat.reserve(options.warmup_queries);
+  for (size_t i = 0; i < options.warmup_queries; ++i) {
+    process_one(i, &warmup_lat);
+  }
+
+  // Phase 2: fault — counted failpoints model a transient database-sink
+  // outage (>= sink_failure_rate of the phase) and a classifier outage;
+  // periodic oversized batches force the admission bound to shed.
+  auto& failpoints = util::Failpoints::Global();
+  {
+    util::FailpointSpec sink_fault;
+    sink_fault.action = util::FailAction::kError;
+    sink_fault.code = util::StatusCode::kUnavailable;
+    sink_fault.count = std::max<int64_t>(
+        8, static_cast<int64_t>(options.sink_failure_rate *
+                                static_cast<double>(options.fault_queries)));
+    failpoints.Arm("qworker.sink_database", sink_fault);
+    if (options.classifier_outage) {
+      util::FailpointSpec task_fault;
+      task_fault.action = util::FailAction::kError;
+      task_fault.code = util::StatusCode::kUnavailable;
+      task_fault.count =
+          static_cast<int64_t>(options.fault_queries);  // whole phase
+      failpoints.Arm("qworker.classifier_predict", task_fault);
+    }
+  }
+  std::vector<double> fault_lat;
+  fault_lat.reserve(options.fault_queries);
+  std::vector<std::string> tripped;
+  for (size_t i = 0; i < options.fault_queries; ++i) {
+    process_one(i, &fault_lat);
+    for (const auto& [name, state] : pool.BreakerStates()) {
+      if (state != CircuitBreaker::State::kClosed &&
+          std::find(tripped.begin(), tripped.end(), name) == tripped.end()) {
+        tripped.push_back(name);
+      }
+    }
+    if (options.max_in_flight > 0 && options.shed_burst_every > 0 &&
+        i % options.shed_burst_every == options.shed_burst_every - 1) {
+      workload::Workload burst;
+      for (size_t j = 0; j < 3 * options.max_in_flight; ++j) {
+        burst.Add(MakeQuery(rng, j));
+      }
+      report.submitted += burst.size();
+      for (const ProcessedQuery& pq : pool.ProcessBatch(burst)) {
+        Account(pq, &report);
+      }
+    }
+  }
+  report.breakers_tripped = tripped.size();
+
+  // Phase 3: recovery — faults gone; drive traffic until every breaker
+  // re-closes (pacing by the cooldown when one is still open).
+  failpoints.Disarm("qworker.sink_database");
+  failpoints.Disarm("qworker.classifier_predict");
+  std::vector<double> recovery_lat;
+  recovery_lat.reserve(options.recovery_queries);
+  util::Stopwatch recovery_sw;
+  for (size_t i = 0; i < options.recovery_queries; ++i) {
+    process_one(i, &recovery_lat);
+    if (AllBreakersClosed(pool)) {
+      report.breakers_reclosed = true;
+      report.recovery_ms = recovery_sw.ElapsedMillis();
+      break;
+    }
+    // A breaker still open is waiting out its cooldown; give it time
+    // instead of burning the query budget in microseconds.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  report.silent_drops = report.submitted - report.returned;
+  report.shed_rate =
+      report.submitted == 0
+          ? 0.0
+          : static_cast<double>(report.shed) /
+                static_cast<double>(report.submitted);
+  report.p50_warmup_ms = Percentile(warmup_lat, 0.50);
+  report.p99_warmup_ms = Percentile(warmup_lat, 0.99);
+  report.p50_fault_ms = Percentile(fault_lat, 0.50);
+  report.p99_fault_ms = Percentile(fault_lat, 0.99);
+  report.p99_recovery_ms = Percentile(recovery_lat, 0.99);
+  return report;
+}
+
+}  // namespace querc::core

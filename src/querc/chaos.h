@@ -1,0 +1,89 @@
+#ifndef QUERC_QUERC_CHAOS_H_
+#define QUERC_QUERC_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "querc/qworker_pool.h"
+
+namespace querc::core {
+
+/// One self-contained chaos soak: a sharded QWorkerPool with classifiers
+/// deployed (plus a fallback for one task) is driven through three phases
+/// — warmup (healthy), fault (failpoints arm a database-sink outage and a
+/// classifier outage while oversized batches force load shedding), and
+/// recovery (faults exhaust; the driver keeps sending traffic until every
+/// circuit breaker re-closes). The report proves the service degraded
+/// instead of failing: every submitted query is accounted for, breakers
+/// re-close, and tail latency under fault is measured.
+///
+/// Deterministic by construction: faults come from counted failpoints
+/// (`*N` specs), shedding from a fixed admission bound with fixed batch
+/// shapes, and the synthetic stream from a seeded generator. Only the
+/// breaker cooldown consults the real clock.
+struct ChaosOptions {
+  size_t num_shards = 2;
+  /// Per-phase query counts (individually processed, latency-sampled).
+  size_t warmup_queries = 100;
+  size_t fault_queries = 300;
+  size_t recovery_queries = 400;
+  /// Database-sink failpoint hit budget as a fraction of fault_queries
+  /// (>= 0.1 satisfies the "at least 10% sink failures" drill).
+  double sink_failure_rate = 0.2;
+  /// Arm a full classifier-task outage during the fault phase.
+  bool classifier_outage = true;
+  /// Admission bound; every `shed_burst_every` fault queries an oversized
+  /// batch (3x the bound) is submitted to force deterministic shedding.
+  size_t max_in_flight = 8;
+  size_t shed_burst_every = 50;
+  /// Breaker cooldown for the soak (short, so recovery is fast).
+  double breaker_open_ms = 25.0;
+  /// Per-Process deadline for the soak pool; 0 = unlimited.
+  double deadline_ms = 0.0;
+  uint64_t seed = 42;
+};
+
+/// Machine-readable outcome of one soak (also `BENCH_chaos.json`).
+struct ChaosReport {
+  // Accounting: every query submitted in any phase lands in exactly one
+  // returned ProcessedQuery; `silent_drops` counts the ones that did not.
+  size_t submitted = 0;
+  size_t returned = 0;
+  size_t silent_drops = 0;
+  size_t shed = 0;
+  size_t sink_errors = 0;       ///< non-OK database/training statuses
+  size_t degraded = 0;          ///< fallback-answered task predictions
+  size_t skipped = 0;           ///< tasks skipped with no prediction
+  size_t deadline_exceeded = 0;
+  double shed_rate = 0.0;       ///< shed / submitted
+  /// Milliseconds from the start of the recovery phase until every
+  /// breaker reported closed; < 0 when they never did.
+  double recovery_ms = -1.0;
+  bool breakers_reclosed = false;
+  /// Breakers that left closed state during the fault phase (the drill
+  /// must actually trip something to prove anything).
+  size_t breakers_tripped = 0;
+  // Latency percentiles of individually-processed queries, per phase.
+  double p50_warmup_ms = 0.0;
+  double p99_warmup_ms = 0.0;
+  double p50_fault_ms = 0.0;
+  double p99_fault_ms = 0.0;
+  double p99_recovery_ms = 0.0;
+
+  /// The drill passed: something tripped, everything re-closed, nothing
+  /// was silently dropped, and shedding actually engaged.
+  bool ok() const {
+    return breakers_tripped > 0 && breakers_reclosed && silent_drops == 0 &&
+           shed > 0;
+  }
+
+  std::string ToJson() const;
+};
+
+/// Runs the soak described by `options`. Arms and disarms its own
+/// failpoints (restoring a clean registry on exit).
+ChaosReport RunChaosSoak(const ChaosOptions& options);
+
+}  // namespace querc::core
+
+#endif  // QUERC_QUERC_CHAOS_H_

@@ -19,12 +19,14 @@
 #include "embed/embedder.h"
 #include "embed/feature_embedder.h"
 #include "embed/lstm_autoencoder.h"
+#include "querc/chaos.h"
 #include "querc/classifier.h"
 #include "querc/error_predictor.h"
 #include "querc/qworker.h"
 #include "querc/qworker_pool.h"
 #include "querc/drift.h"
 #include "querc/recommender.h"
+#include "querc/resilience.h"
 #include "querc/resource_allocator.h"
 #include "querc/routing.h"
 #include "querc/security_audit.h"

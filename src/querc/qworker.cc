@@ -1,8 +1,11 @@
 #include "querc/qworker.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "obs/trace.h"
+#include "util/failpoint.h"
 
 namespace querc::core {
 
@@ -24,10 +27,113 @@ obs::Counter& GlobalQueriesCounter() {
   return counter;
 }
 
+obs::Counter& DeadlineExceededCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "querc_deadline_exceeded_total", {},
+      "Queries forwarded with partial predictions after the Process "
+      "deadline expired");
+  return counter;
+}
+
+obs::Counter& RetriesCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "querc_retries_total", {}, "Sink retry attempts issued");
+  return counter;
+}
+
+obs::Counter& RetryBudgetExhaustedCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "querc_retry_budget_exhausted_total", {},
+      "Retries suppressed because the shard's retry budget was dry");
+  return counter;
+}
+
+obs::Counter& FallbackPredictionsCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "querc_fallback_predictions_total", {},
+      "Predictions served by a fallback classifier (primary degraded)");
+  return counter;
+}
+
+obs::Counter& ClassifierSkippedCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "querc_classifier_skipped_total", {},
+      "Tasks skipped with no prediction (breaker open, no fallback)");
+  return counter;
+}
+
+obs::Counter& LintAutodisabledCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "querc_lint_autodisabled_total", {},
+      "Queries whose lint stage was skipped under deadline pressure");
+  return counter;
+}
+
+obs::Counter& LintStageErrorsCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "querc_lint_stage_errors_total", {},
+      "Lint stage failures (injected or thrown); the query still flowed");
+  return counter;
+}
+
+obs::Counter& WorkerErrorsCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "querc_worker_errors_total", {},
+      "Queries whose Process call failed outright inside a batch");
+  return counter;
+}
+
+obs::Counter& SinkErrorsCounter(const char* sink) {
+  return obs::MetricsRegistry::Global().GetCounter(
+      "querc_sink_errors_total", {{"sink", sink}},
+      "Sink invocation failures (exception or injected), per sink");
+}
+
+obs::Counter& SinkSkippedCounter(const char* sink) {
+  return obs::MetricsRegistry::Global().GetCounter(
+      "querc_sink_skipped_total", {{"sink", sink}},
+      "Sink invocations refused by an open circuit breaker, per sink");
+}
+
+obs::Counter& ClassifierErrorsCounter(const std::string& task) {
+  return obs::MetricsRegistry::Global().GetCounter(
+      "querc_classifier_errors_total", {{"task", task}},
+      "Primary classifier prediction failures, per task");
+}
+
+/// Jitter source for retry backoff: one deterministic stream per thread,
+/// forked off a process-wide seed sequence (thread-safe without locking
+/// the worker).
+util::Rng& ThreadRng() {
+  static std::atomic<uint64_t> seeds{0x5eed5eed5eed5eedULL};
+  thread_local util::Rng rng(seeds.fetch_add(0x9e3779b97f4a7c15ULL,
+                                             std::memory_order_relaxed));
+  return rng;
+}
+
 }  // namespace
 
-QWorker::QWorker(const Options& options) : options_(options) {
+void LatencyStats::Merge(const LatencyStats& other) {
+  if (other.count == 0) return;
+  min_ms = count == 0 ? other.min_ms : std::min(min_ms, other.min_ms);
+  max_ms = count == 0 ? other.max_ms : std::max(max_ms, other.max_ms);
+  count += other.count;
+  total_ms += other.total_ms;
+}
+
+QWorker::QWorker(const Options& options)
+    : options_(options),
+      sink_retry_(options.sink_retry),
+      retry_budget_(options.retry_budget) {
   classifiers_.store(std::make_shared<const ClassifierMap>());
+  fallbacks_.store(std::make_shared<const ClassifierMap>());
+  task_breakers_.store(std::make_shared<const BreakerMap>());
+  if (options_.enable_breakers) {
+    database_breaker_ = std::make_unique<CircuitBreaker>(
+        options_.application + ":sink_database", options_.breaker);
+    training_breaker_ = std::make_unique<CircuitBreaker>(
+        options_.application + ":sink_training", options_.breaker);
+  }
   // Resolve one hit counter per lint rule up front; registration takes the
   // registry mutex, but Process then increments plain atomics.
   for (const auto& rule : lint_engine_.registry().rules()) {
@@ -40,20 +146,42 @@ QWorker::QWorker(const Options& options) : options_(options) {
 
 void QWorker::Deploy(std::shared_ptr<const Classifier> classifier) {
   std::lock_guard<std::mutex> lock(deploy_mu_);
-  auto next = std::make_shared<ClassifierMap>(
-      *classifiers_.load());
-  (*next)[classifier->task_name()] = std::move(classifier);
+  const std::string& task = classifier->task_name();
+  auto next = std::make_shared<ClassifierMap>(*classifiers_.load());
+  (*next)[task] = std::move(classifier);
+  if (options_.enable_breakers) {
+    auto breakers = task_breakers_.load();
+    if (breakers->find(task) == breakers->end()) {
+      auto next_breakers = std::make_shared<BreakerMap>(*breakers);
+      (*next_breakers)[task] = std::make_shared<CircuitBreaker>(
+          options_.application + ":task_" + task, options_.breaker);
+      task_breakers_.store(std::move(next_breakers));
+    }
+  }
   classifiers_.store(std::move(next));
 }
 
 void QWorker::DeployAll(
     const std::vector<std::shared_ptr<const Classifier>>& classifiers) {
   std::lock_guard<std::mutex> lock(deploy_mu_);
-  auto next = std::make_shared<ClassifierMap>(
-      *classifiers_.load());
+  auto next = std::make_shared<ClassifierMap>(*classifiers_.load());
+  std::shared_ptr<BreakerMap> next_breakers;
   for (const auto& classifier : classifiers) {
-    (*next)[classifier->task_name()] = classifier;
+    const std::string& task = classifier->task_name();
+    (*next)[task] = classifier;
+    if (options_.enable_breakers) {
+      const BreakerMap& current =
+          next_breakers ? *next_breakers : *task_breakers_.load();
+      if (current.find(task) == current.end()) {
+        if (!next_breakers) {
+          next_breakers = std::make_shared<BreakerMap>(current);
+        }
+        (*next_breakers)[task] = std::make_shared<CircuitBreaker>(
+            options_.application + ":task_" + task, options_.breaker);
+      }
+    }
   }
+  if (next_breakers) task_breakers_.store(std::move(next_breakers));
   classifiers_.store(std::move(next));
 }
 
@@ -64,6 +192,29 @@ bool QWorker::Undeploy(const std::string& task_name) {
   auto next = std::make_shared<ClassifierMap>(*current);
   next->erase(task_name);
   classifiers_.store(std::move(next));
+  auto breakers = task_breakers_.load();
+  if (breakers->find(task_name) != breakers->end()) {
+    auto next_breakers = std::make_shared<BreakerMap>(*breakers);
+    next_breakers->erase(task_name);
+    task_breakers_.store(std::move(next_breakers));
+  }
+  return true;
+}
+
+void QWorker::DeployFallback(std::shared_ptr<const Classifier> classifier) {
+  std::lock_guard<std::mutex> lock(deploy_mu_);
+  auto next = std::make_shared<ClassifierMap>(*fallbacks_.load());
+  (*next)[classifier->task_name()] = std::move(classifier);
+  fallbacks_.store(std::move(next));
+}
+
+bool QWorker::UndeployFallback(const std::string& task_name) {
+  std::lock_guard<std::mutex> lock(deploy_mu_);
+  auto current = fallbacks_.load();
+  if (current->find(task_name) == current->end()) return false;
+  auto next = std::make_shared<ClassifierMap>(*current);
+  next->erase(task_name);
+  fallbacks_.store(std::move(next));
   return true;
 }
 
@@ -79,6 +230,10 @@ std::shared_ptr<const QWorker::ClassifierMap> QWorker::classifiers() const {
   return classifiers_.load();
 }
 
+std::shared_ptr<const QWorker::ClassifierMap> QWorker::fallbacks() const {
+  return fallbacks_.load();
+}
+
 size_t QWorker::num_classifiers() const {
   return classifiers_.load()->size();
 }
@@ -92,10 +247,80 @@ LatencyStats QWorker::latency() const {
   obs::HistogramSnapshot snap = latency_hist_.Snapshot();
   LatencyStats stats;
   stats.count = snap.count;
-  stats.min_ms = snap.min;
+  if (snap.count > 0) stats.min_ms = snap.min;
   stats.max_ms = snap.max;
   stats.total_ms = snap.sum;
   return stats;
+}
+
+std::vector<std::pair<std::string, CircuitBreaker::State>>
+QWorker::BreakerStates() const {
+  std::vector<std::pair<std::string, CircuitBreaker::State>> out;
+  if (database_breaker_) {
+    out.emplace_back(database_breaker_->name(), database_breaker_->state());
+  }
+  if (training_breaker_) {
+    out.emplace_back(training_breaker_->name(), training_breaker_->state());
+  }
+  auto breakers = task_breakers_.load();
+  for (const auto& [task, breaker] : *breakers) {
+    out.emplace_back(breaker->name(), breaker->state());
+  }
+  return out;
+}
+
+util::Status QWorker::InvokeSink(const char* sink_label,
+                                 std::string_view failpoint_name,
+                                 CircuitBreaker* breaker,
+                                 const Deadline& deadline,
+                                 const std::function<void()>& call) {
+  double backoff_ms = 0.0;
+  for (int attempt = 1;; ++attempt) {
+    if (breaker != nullptr && !breaker->Allow()) {
+      SinkSkippedCounter(sink_label).Increment();
+      return util::Status::Unavailable(std::string(sink_label) +
+                                       " sink breaker open");
+    }
+    util::Status status = util::MaybeFail(failpoint_name);
+    if (status.ok()) {
+      try {
+        call();
+      } catch (const std::exception& e) {
+        status = util::Status::Internal(std::string(sink_label) +
+                                        " sink: " + e.what());
+      } catch (...) {
+        status =
+            util::Status::Internal(std::string(sink_label) + " sink threw");
+      }
+    }
+    if (status.ok()) {
+      if (breaker != nullptr) breaker->RecordSuccess();
+      retry_budget_.RecordSuccess();
+      return status;
+    }
+    if (breaker != nullptr) breaker->RecordFailure();
+    SinkErrorsCounter(sink_label).Increment();
+    if (attempt >= sink_retry_.max_attempts()) return status;
+    if (deadline.Expired()) return status;
+    if (!retry_budget_.TrySpend()) {
+      RetryBudgetExhaustedCounter().Increment();
+      return status;
+    }
+    RetriesCounter().Increment();
+    backoff_ms = sink_retry_.NextBackoffMs(backoff_ms, ThreadRng());
+    if (backoff_ms > 0.0) {
+      // Never sleep past the deadline: a retry that cannot finish in
+      // budget is not worth waiting for.
+      double sleep_ms = std::min(backoff_ms, deadline.RemainingMs());
+      if (sleep_ms > 0.0 && std::isfinite(sleep_ms)) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(sleep_ms));
+      } else if (std::isinf(sleep_ms)) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_ms));
+      }
+    }
+  }
 }
 
 ProcessedQuery QWorker::Process(const workload::LabeledQuery& query) {
@@ -106,22 +331,97 @@ ProcessedQuery QWorker::Process(const workload::LabeledQuery& query) {
   obs::Trace trace("qworker_process");
   ProcessedQuery out;
   out.query = query;
+  Deadline deadline;
+  if (options_.deadline_ms > 0.0) {
+    deadline = Deadline::After(options_.deadline_ms, options_.breaker.clock);
+  }
   // One snapshot load pins the classifier set for this whole query:
   // a racing Deploy/Undeploy publishes a *new* map and cannot mutate the
   // one we hold, so the prediction set is always internally consistent.
-  std::shared_ptr<const ClassifierMap> classifiers =
-      classifiers_.load();
+  std::shared_ptr<const ClassifierMap> classifiers = classifiers_.load();
+  std::shared_ptr<const BreakerMap> breakers = task_breakers_.load();
+  std::shared_ptr<const ClassifierMap> fallbacks = fallbacks_.load();
   for (const auto& [task, classifier] : *classifiers) {
-    out.predictions[task] = classifier->Predict(query);
+    if (deadline.Expired()) {
+      // Partial predictions beat a blocked query path: stop classifying
+      // and let the query flow downstream with what we have.
+      out.deadline_exceeded = true;
+      DeadlineExceededCounter().Increment();
+      break;
+    }
+    CircuitBreaker* breaker = nullptr;
+    if (auto it = breakers->find(task); it != breakers->end()) {
+      breaker = it->second.get();
+    }
+    bool attempted = false;
+    util::Status status;
+    if (breaker == nullptr || breaker->Allow()) {
+      attempted = true;
+      status = util::MaybeFail("qworker.classifier_predict");
+      std::string prediction;
+      if (status.ok()) {
+        try {
+          prediction = classifier->Predict(query);
+        } catch (const std::exception& e) {
+          status = util::Status::Internal(std::string("classifier ") + task +
+                                          ": " + e.what());
+        } catch (...) {
+          status =
+              util::Status::Internal("classifier " + task + " threw");
+        }
+      }
+      if (status.ok()) {
+        if (breaker != nullptr) breaker->RecordSuccess();
+        out.predictions[task] = std::move(prediction);
+        continue;
+      }
+      if (breaker != nullptr) breaker->RecordFailure();
+      ClassifierErrorsCounter(task).Increment();
+    }
+    (void)attempted;
+    // Degradation ladder: primary unavailable or failed — try the
+    // deployed fallback, else skip the task with a counter.
+    if (auto fit = fallbacks->find(task); fit != fallbacks->end()) {
+      try {
+        out.predictions[task] = fit->second->Predict(query);
+        out.degraded_tasks.push_back(task);
+        FallbackPredictionsCounter().Increment();
+        continue;
+      } catch (...) {
+        // Fall through to skip.
+      }
+    }
+    out.skipped_tasks.push_back(task);
+    ClassifierSkippedCounter().Increment();
   }
   processed_count_.fetch_add(1, std::memory_order_relaxed);
 
-  if (options_.enable_lint) {
+  bool run_lint = options_.enable_lint;
+  if (run_lint && !deadline.infinite()) {
+    // Lint is advisory; under deadline pressure it is the first stage to
+    // stand down.
+    if (out.deadline_exceeded ||
+        deadline.RemainingMs() <
+            options_.lint_min_deadline_fraction * options_.deadline_ms) {
+      run_lint = false;
+      LintAutodisabledCounter().Increment();
+    }
+  }
+  if (run_lint) {
     static obs::Histogram& lint_hist = obs::StageHistogram("lint");
     obs::Span lint_span(&lint_hist, "lint");
-    sql::lint::QueryLint lint =
-        lint_engine_.LintQuery(query.text, 0, query.dialect);
-    if (!lint.diagnostics.empty()) {
+    util::Status lint_status = util::MaybeFail("qworker.lint");
+    sql::lint::QueryLint lint;
+    if (lint_status.ok()) {
+      try {
+        lint = lint_engine_.LintQuery(query.text, 0, query.dialect);
+      } catch (...) {
+        lint_status = util::Status::Internal("lint stage threw");
+      }
+    }
+    if (!lint_status.ok()) {
+      LintStageErrorsCounter().Increment();
+    } else if (!lint.diagnostics.empty()) {
       lint_diagnostic_count_.fetch_add(lint.diagnostics.size(),
                                        std::memory_order_relaxed);
       for (const sql::lint::Diagnostic& d : lint.diagnostics) {
@@ -158,14 +458,20 @@ ProcessedQuery QWorker::Process(const workload::LabeledQuery& query) {
     if (database && *database) {
       static obs::Histogram& hist = obs::StageHistogram("sink_database");
       obs::Span span(&hist, "sink_database");
-      (*database)(query);
+      out.database_status =
+          InvokeSink("database", "qworker.sink_database",
+                     database_breaker_.get(), deadline,
+                     [&database, &query] { (*database)(query); });
     }
   }
   auto training = training_.load();
   if (training && *training) {
     static obs::Histogram& hist = obs::StageHistogram("sink_training");
     obs::Span span(&hist, "sink_training");
-    (*training)(out);
+    out.training_status =
+        InvokeSink("training", "qworker.sink_training",
+                   training_breaker_.get(), deadline,
+                   [&training, &out] { (*training)(out); });
   }
 
   double ms = trace.ElapsedMs();
@@ -200,7 +506,27 @@ std::vector<ProcessedQuery> QWorker::ProcessBatch(
     const workload::Workload& batch) {
   std::vector<ProcessedQuery> out;
   out.reserve(batch.size());
-  for (const auto& q : batch) out.push_back(Process(q));
+  for (const auto& q : batch) {
+    // A poisoned query must not lose the batch: Process itself converts
+    // sink/classifier faults to statuses, and anything that still
+    // escapes is caught here so the remaining queries proceed.
+    try {
+      out.push_back(Process(q));
+    } catch (const std::exception& e) {
+      ProcessedQuery failed;
+      failed.query = q;
+      failed.status = util::Status::Internal(std::string("Process: ") +
+                                             e.what());
+      WorkerErrorsCounter().Increment();
+      out.push_back(std::move(failed));
+    } catch (...) {
+      ProcessedQuery failed;
+      failed.query = q;
+      failed.status = util::Status::Internal("Process threw");
+      WorkerErrorsCounter().Increment();
+      out.push_back(std::move(failed));
+    }
+  }
   return out;
 }
 

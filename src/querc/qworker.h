@@ -4,21 +4,28 @@
 #include <atomic>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "querc/classifier.h"
+#include "querc/resilience.h"
 #include "sql/lint/engine.h"
 #include "util/atomic_shared_ptr.h"
+#include "util/status.h"
 #include "workload/workload.h"
 
 namespace querc::core {
 
-/// A query annotated with the labels Querc's classifiers predicted.
+/// A query annotated with the labels Querc's classifiers predicted, plus
+/// the per-query fault disposition: a query is never silently dropped —
+/// anything that went wrong on its way through the worker is recorded
+/// here (and mirrored in counters).
 struct ProcessedQuery {
   workload::LabeledQuery query;
   /// task name -> predicted label.
@@ -26,6 +33,35 @@ struct ProcessedQuery {
   /// Static-analysis findings from the worker's lint stage (empty when the
   /// stage is disabled or the query is clean).
   std::vector<sql::lint::Diagnostic> diagnostics;
+
+  /// Overall disposition. Non-OK only when the query never reached (or
+  /// never completed) a worker: shed at pool admission, or the worker
+  /// failed outright. Sink/classifier degradation is reported separately
+  /// below — the query itself still flowed.
+  util::Status status;
+  /// Outcome of the database forward (OK when disabled or no sink set).
+  util::Status database_status;
+  /// Outcome of the training tee (OK when no sink set).
+  util::Status training_status;
+  /// True when the pool shed this query at admission (status is
+  /// ResourceExhausted and no worker ever saw it).
+  bool shed = false;
+  /// True when the per-Process deadline expired before every classifier
+  /// ran: `predictions` is the partial prefix.
+  bool deadline_exceeded = false;
+  /// Tasks answered by the deployed *fallback* classifier because the
+  /// primary's breaker was open or the primary failed.
+  std::vector<std::string> degraded_tasks;
+  /// Tasks with no prediction at all (breaker open / primary failed, and
+  /// no fallback deployed).
+  std::vector<std::string> skipped_tasks;
+
+  /// True when nothing degraded anywhere along the path.
+  bool clean() const {
+    return status.ok() && database_status.ok() && training_status.ok() &&
+           !shed && !deadline_exceeded && degraded_tasks.empty() &&
+           skipped_tasks.empty();
+  }
 };
 
 /// Aggregated lint outcome for one normalized query template, tracked per
@@ -45,13 +81,21 @@ struct LintTemplateStats {
 /// callers migrate incrementally.
 struct LatencyStats {
   size_t count = 0;
-  double min_ms = 0.0;
+  /// Idles at +inf until the first sample so an empty or merged view can
+  /// never report a fake 0 ms minimum; display through min().
+  double min_ms = std::numeric_limits<double>::infinity();
   double max_ms = 0.0;
   double total_ms = 0.0;
 
   double mean_ms() const {
     return count == 0 ? 0.0 : total_ms / static_cast<double>(count);
   }
+  /// Display-safe minimum: 0.0 while empty (count == 0 guard).
+  double min() const { return count == 0 ? 0.0 : min_ms; }
+
+  /// Pointwise merge; an empty side contributes nothing (in particular
+  /// not its sentinel min).
+  void Merge(const LatencyStats& other);
 };
 
 /// The per-application stream worker of Figure 1: runs every deployed
@@ -61,6 +105,16 @@ struct LatencyStats {
 /// of recent queries (for windowed tasks such as recommendation), so they
 /// can be load-balanced and parallelized in the usual ways.
 ///
+/// Fault model: Querc may sit on the database's critical path (§2's
+/// query-rewriting deployment), so a QWorker degrades instead of failing:
+/// sink exceptions become util::Status (with capped-backoff retries under
+/// a per-worker retry budget and a per-sink circuit breaker), a tripped
+/// classifier breaker switches that task to a deployed fallback
+/// classifier (or skips it with a counter), the per-Process deadline
+/// forwards the query with partial predictions rather than blocking, and
+/// lint auto-disables under deadline pressure. Every degradation bumps a
+/// counter — no query outcome is silent.
+///
 /// Concurrency model: `Process`/`ProcessBatch` may be called from many
 /// threads concurrently with `Deploy`/`Undeploy`/`DeployAll` and the sink
 /// setters. The deployed classifier set is an immutable snapshot map
@@ -69,9 +123,9 @@ struct LatencyStats {
 /// load per query — so every query sees a *consistent* classifier set,
 /// never a half-applied deployment, and a deployment never blocks on
 /// in-flight queries (it swaps the pointer and returns; old snapshots die
-/// with their last reader). Sinks
-/// installed via the setters must themselves be thread-safe if the worker
-/// is shared across threads.
+/// with their last reader). Fallback classifiers and per-task breakers
+/// are published the same way. Sinks installed via the setters must
+/// themselves be thread-safe if the worker is shared across threads.
 class QWorker {
  public:
   struct Options {
@@ -87,12 +141,33 @@ class QWorker {
     bool enable_lint = true;
     /// Offending templates tracked per worker (bounds lint memory).
     size_t lint_template_cap = 256;
+
+    /// Wall-clock budget for one Process call in milliseconds; 0 =
+    /// unlimited. On expiry the remaining classifiers are skipped and the
+    /// query is forwarded with partial predictions
+    /// (querc_deadline_exceeded_total).
+    double deadline_ms = 0.0;
+    /// Under a deadline, lint is auto-disabled once less than this
+    /// fraction of the budget remains (querc_lint_autodisabled_total).
+    double lint_min_deadline_fraction = 0.5;
+    /// Sink retry schedule (capped exponential backoff, decorrelated
+    /// jitter). Attempts beyond the first also consume the worker's
+    /// retry budget, so retries cannot amplify an outage.
+    RetryOptions sink_retry{};
+    RetryBudgetOptions retry_budget{};
+    /// Breaker template stamped per sink and per classifier task.
+    CircuitBreakerOptions breaker{};
+    /// When false, no circuit breakers are created at all (sinks and
+    /// classifiers always run; retries/deadline still apply).
+    bool enable_breakers = true;
   };
 
   using DatabaseSink = std::function<void(const workload::LabeledQuery&)>;
   using TrainingSink = std::function<void(const ProcessedQuery&)>;
   using ClassifierMap =
       std::map<std::string, std::shared_ptr<const Classifier>>;
+  using BreakerMap =
+      std::map<std::string, std::shared_ptr<CircuitBreaker>>;
 
   explicit QWorker(const Options& options);
 
@@ -109,14 +184,28 @@ class QWorker {
   /// Removes a classifier by task name; returns whether it existed.
   bool Undeploy(const std::string& task_name);
 
+  /// Installs a (typically cheaper) fallback classifier for its task.
+  /// When the primary's breaker is open or the primary errors, the task
+  /// degrades to the fallback instead of going unanswered — the
+  /// Query2Vec result that labeling quality degrades gracefully with
+  /// cheaper embedders makes this principled.
+  void DeployFallback(std::shared_ptr<const Classifier> classifier);
+
+  /// Removes a fallback by task name; returns whether it existed.
+  bool UndeployFallback(const std::string& task_name);
+
   void set_database_sink(DatabaseSink sink);
   void set_training_sink(TrainingSink sink);
 
   /// Processes one arriving query through every deployed classifier.
-  /// Thread-safe; may race with deployments (see class comment).
+  /// Thread-safe; may race with deployments (see class comment). Never
+  /// throws for sink/classifier/deadline faults — those are reported in
+  /// the returned ProcessedQuery and in counters.
   ProcessedQuery Process(const workload::LabeledQuery& query);
 
-  /// Processes a batch ("query(X, t)" in the paper's notation).
+  /// Processes a batch ("query(X, t)" in the paper's notation). One
+  /// poisoned query cannot lose the batch: residual exceptions are caught
+  /// per query (status = Internal) and the rest of the batch proceeds.
   std::vector<ProcessedQuery> ProcessBatch(const workload::Workload& batch);
 
   /// A snapshot copy of the bounded window of most recent queries seen.
@@ -124,6 +213,9 @@ class QWorker {
 
   /// The current deployed-classifier snapshot.
   std::shared_ptr<const ClassifierMap> classifiers() const;
+
+  /// The current fallback-classifier snapshot.
+  std::shared_ptr<const ClassifierMap> fallbacks() const;
 
   const std::string& application() const { return options_.application; }
   size_t num_classifiers() const;
@@ -141,6 +233,11 @@ class QWorker {
     return latency_hist_.Snapshot();
   }
 
+  /// Every breaker this worker owns (sinks first, then deployed tasks)
+  /// with its current state, for `querc stats` and the chaos driver.
+  std::vector<std::pair<std::string, CircuitBreaker::State>> BreakerStates()
+      const;
+
   /// Total lint diagnostics emitted by this worker since construction.
   size_t lint_diagnostic_count() const {
     return lint_diagnostic_count_.load(std::memory_order_relaxed);
@@ -153,10 +250,20 @@ class QWorker {
   const sql::lint::LintEngine& lint_engine() const { return lint_engine_; }
 
  private:
+  /// Runs `call` through the sink fault machinery: breaker gate,
+  /// failpoint, exception→Status, retries under the budget and deadline.
+  util::Status InvokeSink(const char* sink_label,
+                          std::string_view failpoint_name,
+                          CircuitBreaker* breaker, const Deadline& deadline,
+                          const std::function<void()>& call);
+
   Options options_;
   /// Immutable published snapshot; writers serialize on deploy_mu_ and
   /// copy-on-write, readers snapshot-load. Never null.
   util::AtomicSharedPtr<const ClassifierMap> classifiers_;
+  /// Fallbacks and per-task breakers: same publication discipline.
+  util::AtomicSharedPtr<const ClassifierMap> fallbacks_;
+  util::AtomicSharedPtr<const BreakerMap> task_breakers_;
   std::mutex deploy_mu_;
   /// Sinks are published the same way so setters can race with Process.
   util::AtomicSharedPtr<const DatabaseSink> database_;
@@ -167,6 +274,12 @@ class QWorker {
   /// Per-worker Process latency; also mirrored into the global registry's
   /// querc_qworker_process_ms so exporters see the service-wide view.
   obs::Histogram latency_hist_;
+
+  /// Sink breakers (one per sink, named "<application>:sink_*").
+  std::unique_ptr<CircuitBreaker> database_breaker_;  // null when disabled
+  std::unique_ptr<CircuitBreaker> training_breaker_;
+  RetryPolicy sink_retry_;
+  RetryBudget retry_budget_;
 
   /// Lint stage. The engine is immutable after construction (safe to call
   /// from every processing thread); per-rule counters are resolved once

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "obs/trace.h"
+#include "util/failpoint.h"
 #include "util/stopwatch.h"
 
 namespace querc::core {
@@ -22,6 +23,27 @@ obs::Counter& BatchCounter() {
   static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
       "querc_pool_batches_total", {},
       "Batches fanned out across QWorkerPool shards");
+  return counter;
+}
+
+obs::Counter& ShedCounter(const char* policy) {
+  return obs::MetricsRegistry::Global().GetCounter(
+      "querc_shed_total", {{"policy", policy}},
+      "Queries shed at pool admission, per shed policy");
+}
+
+obs::Gauge& InFlightGauge() {
+  static obs::Gauge& gauge = obs::MetricsRegistry::Global().GetGauge(
+      "querc_pool_in_flight", {},
+      "Queries currently admitted and in flight across the pool");
+  return gauge;
+}
+
+obs::Counter& FanOutErrorsCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "querc_pool_fan_out_errors_total", {},
+      "Shard fan-out tasks that failed (injected or thrown); their "
+      "queries carry the error status");
   return counter;
 }
 
@@ -71,6 +93,17 @@ bool QWorkerPool::Undeploy(const std::string& task_name) {
   return any;
 }
 
+void QWorkerPool::DeployFallback(
+    const std::shared_ptr<const Classifier>& classifier) {
+  for (auto& shard : shards_) shard->DeployFallback(classifier);
+}
+
+bool QWorkerPool::UndeployFallback(const std::string& task_name) {
+  bool any = false;
+  for (auto& shard : shards_) any = shard->UndeployFallback(task_name) || any;
+  return any;
+}
+
 void QWorkerPool::set_database_sink(QWorker::DatabaseSink sink) {
   for (auto& shard : shards_) shard->set_database_sink(sink);
 }
@@ -92,8 +125,56 @@ size_t QWorkerPool::ShardOf(const workload::LabeledQuery& query) {
   return 0;
 }
 
+size_t QWorkerPool::TryAcquireSlots(size_t want) {
+  if (options_.max_in_flight == 0 || want == 0) {
+    in_flight_.fetch_add(want, std::memory_order_relaxed);
+    InFlightGauge().Add(static_cast<double>(want));
+    return want;
+  }
+  size_t cur = in_flight_.load(std::memory_order_relaxed);
+  for (;;) {
+    size_t free = options_.max_in_flight > cur
+                      ? options_.max_in_flight - cur
+                      : 0;
+    size_t got = std::min(want, free);
+    if (got == 0) return 0;
+    if (in_flight_.compare_exchange_weak(cur, cur + got,
+                                         std::memory_order_relaxed)) {
+      InFlightGauge().Add(static_cast<double>(got));
+      return got;
+    }
+  }
+}
+
+void QWorkerPool::ReleaseSlots(size_t n) {
+  if (n == 0) return;
+  in_flight_.fetch_sub(n, std::memory_order_relaxed);
+  InFlightGauge().Add(-static_cast<double>(n));
+}
+
+ProcessedQuery QWorkerPool::MakeShed(const workload::LabeledQuery& query) {
+  ProcessedQuery shed;
+  shed.query = query;
+  shed.shed = true;
+  shed.status = util::Status::ResourceExhausted("pool admission: shed");
+  shed_count_.fetch_add(1, std::memory_order_relaxed);
+  ShedCounter(options_.shed_policy == ShedPolicy::kRejectNew ? "reject_new"
+                                                             : "drop_oldest")
+      .Increment();
+  return shed;
+}
+
 ProcessedQuery QWorkerPool::Process(const workload::LabeledQuery& query) {
-  return shards_[ShardOf(query)]->Process(query);
+  if (TryAcquireSlots(1) == 0) return MakeShed(query);
+  ProcessedQuery out;
+  try {
+    out = shards_[ShardOf(query)]->Process(query);
+  } catch (...) {
+    ReleaseSlots(1);
+    throw;
+  }
+  ReleaseSlots(1);
+  return out;
 }
 
 std::vector<ProcessedQuery> QWorkerPool::ProcessBatch(
@@ -101,14 +182,34 @@ std::vector<ProcessedQuery> QWorkerPool::ProcessBatch(
   std::vector<ProcessedQuery> out(batch.size());
   if (batch.empty()) return out;
   util::Stopwatch timer;
-  // Partition first so each shard's sub-stream keeps its arrival order
-  // (windowed tasks depend on per-shard ordering), then one parallel
-  // task per non-empty shard.
+  // Bounded admission: reserve as many slots as fit, shed the rest per
+  // policy. Shed queries are returned in place (order preserved) with
+  // `shed = true` and ResourceExhausted — never silently dropped.
+  size_t admitted = TryAcquireSlots(batch.size());
+  size_t first = 0;  // first admitted index
+  size_t last = batch.size();  // one past the last admitted index
+  if (admitted < batch.size()) {
+    if (options_.shed_policy == ShedPolicy::kRejectNew) {
+      last = admitted;
+      for (size_t i = last; i < batch.size(); ++i) out[i] = MakeShed(batch[i]);
+    } else {
+      first = batch.size() - admitted;
+      for (size_t i = 0; i < first; ++i) out[i] = MakeShed(batch[i]);
+    }
+  }
+  if (admitted == 0) {
+    BatchHistogram().Record(timer.ElapsedMillis());
+    BatchCounter().Increment();
+    return out;
+  }
+  // Partition the admitted range so each shard's sub-stream keeps its
+  // arrival order (windowed tasks depend on per-shard ordering), then one
+  // parallel task per non-empty shard.
   std::vector<std::vector<size_t>> by_shard(shards_.size());
   {
     static obs::Histogram& hist = obs::StageHistogram("pool_partition");
     obs::Span span(&hist, "pool_partition");
-    for (size_t i = 0; i < batch.size(); ++i) {
+    for (size_t i = first; i < last; ++i) {
       by_shard[ShardOf(batch[i])].push_back(i);
     }
   }
@@ -119,8 +220,34 @@ std::vector<ProcessedQuery> QWorkerPool::ProcessBatch(
   pool_->ParallelFor(live.size(), [&](size_t t) {
     size_t s = live[t];
     QWorker& shard = *shards_[s];
-    for (size_t i : by_shard[s]) out[i] = shard.Process(batch[i]);
+    // A shard task that dies (injected fault or escaped exception) must
+    // not lose its queries: every index gets a status, and the other
+    // shards' tasks are unaffected.
+    util::Status task_status = util::MaybeFail("pool.fan_out");
+    if (task_status.ok()) {
+      for (size_t i : by_shard[s]) {
+        try {
+          out[i] = shard.Process(batch[i]);
+        } catch (const std::exception& e) {
+          out[i].query = batch[i];
+          out[i].status = util::Status::Internal(
+              std::string("shard fan-out: ") + e.what());
+          FanOutErrorsCounter().Increment();
+        } catch (...) {
+          out[i].query = batch[i];
+          out[i].status = util::Status::Internal("shard fan-out threw");
+          FanOutErrorsCounter().Increment();
+        }
+      }
+    } else {
+      FanOutErrorsCounter().Increment();
+      for (size_t i : by_shard[s]) {
+        out[i].query = batch[i];
+        out[i].status = task_status;
+      }
+    }
   });
+  ReleaseSlots(admitted);
   BatchHistogram().Record(timer.ElapsedMillis());
   BatchCounter().Increment();
   return out;
@@ -142,7 +269,9 @@ std::vector<ShardStats> QWorkerPool::Stats(size_t lint_top_n) const {
     one.num_classifiers = shards_[s]->num_classifiers();
     one.histogram = shards_[s]->latency_snapshot();
     one.latency.count = one.histogram.count;
-    one.latency.min_ms = one.histogram.min;
+    // An empty histogram snapshot reports min = 0; leave the stats
+    // sentinel (+inf) in place so merges can't absorb a fake 0 minimum.
+    if (one.histogram.count > 0) one.latency.min_ms = one.histogram.min;
     one.latency.max_ms = one.histogram.max;
     one.latency.total_ms = one.histogram.sum;
     one.p50_ms = one.histogram.p50();
@@ -190,6 +319,16 @@ size_t QWorkerPool::lint_diagnostic_count() const {
   size_t total = 0;
   for (const auto& shard : shards_) total += shard->lint_diagnostic_count();
   return total;
+}
+
+std::vector<std::pair<std::string, CircuitBreaker::State>>
+QWorkerPool::BreakerStates() const {
+  std::vector<std::pair<std::string, CircuitBreaker::State>> out;
+  for (const auto& shard : shards_) {
+    auto states = shard->BreakerStates();
+    out.insert(out.end(), states.begin(), states.end());
+  }
+  return out;
 }
 
 obs::HistogramSnapshot QWorkerPool::MergedLatency() const {

@@ -48,10 +48,22 @@ class QWorkerPool {
     kRoundRobin  ///< ignore identity, spread uniformly
   };
 
+  /// What happens to queries that do not fit under `max_in_flight`.
+  enum class ShedPolicy {
+    kRejectNew,   ///< shed the newest queries (tail of the batch)
+    kDropOldest,  ///< shed the oldest queries (head of the batch)
+  };
+
   struct Options {
     std::string application;
     size_t num_shards = 4;
     Partition partition = Partition::kByAccount;
+    /// Bounded admission: at most this many queries may be in flight
+    /// across the pool at once; the overflow is *shed* — returned
+    /// immediately with status ResourceExhausted and `shed = true`, never
+    /// silently dropped. 0 = unbounded (no admission control).
+    size_t max_in_flight = 0;
+    ShedPolicy shed_policy = ShedPolicy::kRejectNew;
     /// Per-shard QWorker settings. `worker.application` is derived from
     /// `application` plus the shard index (e.g. "appX/3").
     QWorker::Options worker;
@@ -76,6 +88,13 @@ class QWorkerPool {
 
   /// Undeploys from every shard; returns whether any shard had the task.
   bool Undeploy(const std::string& task_name);
+
+  /// Deploys a fallback classifier to every shard (used when the task's
+  /// primary breaker is open or the primary fails; see QWorker).
+  void DeployFallback(const std::shared_ptr<const Classifier>& classifier);
+
+  /// Removes a fallback from every shard; returns whether any had it.
+  bool UndeployFallback(const std::string& task_name);
 
   /// Installs the sink on every shard. The sink must be thread-safe: it
   /// is invoked concurrently from all shards.
@@ -120,14 +139,40 @@ class QWorkerPool {
   /// snapshot, so service-level percentiles reflect all shards.
   obs::HistogramSnapshot MergedLatency() const;
 
+  /// Every breaker across all shards with its current state (shard order,
+  /// sinks before tasks), for `querc stats` and the chaos driver.
+  std::vector<std::pair<std::string, CircuitBreaker::State>> BreakerStates()
+      const;
+
+  /// Queries shed at admission since construction.
+  size_t shed_count() const {
+    return shed_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Queries currently in flight (admitted, not yet returned).
+  size_t in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
   const std::string& application() const { return options_.application; }
 
  private:
+  /// Tries to reserve `want` admission slots; returns how many were
+  /// granted (== `want` when unbounded). Granted slots must be returned
+  /// via ReleaseSlots.
+  size_t TryAcquireSlots(size_t want);
+  void ReleaseSlots(size_t n);
+
+  /// A shed marker for `query`: ResourceExhausted, `shed = true`.
+  ProcessedQuery MakeShed(const workload::LabeledQuery& query);
+
   Options options_;
   std::unique_ptr<util::ThreadPool> owned_pool_;
   util::ThreadPool* pool_;  // never null
   std::vector<std::unique_ptr<QWorker>> shards_;
   std::atomic<uint64_t> round_robin_{0};
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<size_t> shed_count_{0};
 };
 
 }  // namespace querc::core

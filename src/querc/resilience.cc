@@ -1,0 +1,188 @@
+#include "querc/resilience.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace querc::core {
+
+namespace {
+
+obs::Counter& TransitionCounter(const std::string& name,
+                                CircuitBreaker::State to) {
+  return obs::MetricsRegistry::Global().GetCounter(
+      "querc_breaker_transitions_total",
+      {{"breaker", name}, {"to", std::string(CircuitBreaker::StateName(to))}},
+      "Circuit-breaker state transitions");
+}
+
+}  // namespace
+
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Deadline Deadline::After(double budget_ms, const ClockFn& clock) {
+  Deadline d;
+  d.clock_ = clock;
+  int64_t now = clock ? clock() : SteadyNowMicros();
+  d.deadline_us_ = now + static_cast<int64_t>(budget_ms * 1000.0);
+  return d;
+}
+
+bool Deadline::Expired() const {
+  if (infinite()) return false;
+  int64_t now = clock_ ? clock_() : SteadyNowMicros();
+  return now >= deadline_us_;
+}
+
+double Deadline::RemainingMs() const {
+  if (infinite()) return std::numeric_limits<double>::infinity();
+  int64_t now = clock_ ? clock_() : SteadyNowMicros();
+  return std::max<int64_t>(0, deadline_us_ - now) / 1000.0;
+}
+
+double RetryPolicy::NextBackoffMs(double prev_ms, util::Rng& rng) const {
+  double base = options_.initial_backoff_ms;
+  if (base <= 0.0) return 0.0;
+  // Decorrelated jitter: uniform in [base, prev * 3], so consecutive
+  // delays wander upward without the lockstep thundering herd of pure
+  // exponential backoff.
+  double hi = std::max(base, prev_ms * 3.0);
+  double next = rng.UniformDouble(base, std::max(hi, base + 1e-9));
+  return std::min(next, options_.max_backoff_ms);
+}
+
+bool RetryBudget::TrySpend() {
+  double cur = tokens_.load(std::memory_order_relaxed);
+  while (cur >= 1.0) {
+    if (tokens_.compare_exchange_weak(cur, cur - 1.0,
+                                      std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void RetryBudget::RecordSuccess() {
+  double cur = tokens_.load(std::memory_order_relaxed);
+  while (cur < options_.capacity) {
+    double next = std::min(options_.capacity,
+                           cur + options_.refill_per_success);
+    if (tokens_.compare_exchange_weak(cur, next,
+                                      std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+CircuitBreaker::CircuitBreaker(std::string name,
+                               const CircuitBreakerOptions& options)
+    : name_(std::move(name)),
+      options_(options),
+      window_(std::max<size_t>(1, options.window), false) {
+  if (!name_.empty()) {
+    state_gauge_ = &obs::MetricsRegistry::Global().GetGauge(
+        "querc_breaker_state", {{"breaker", name_}},
+        "Circuit-breaker state: 0 closed, 1 open, 2 half-open");
+    state_gauge_->Set(0.0);
+  }
+}
+
+std::string_view CircuitBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+int64_t CircuitBreaker::Now() const {
+  return options_.clock ? options_.clock() : SteadyNowMicros();
+}
+
+void CircuitBreaker::TransitionLocked(State next) {
+  if (state_ == next) return;
+  state_ = next;
+  if (state_gauge_ != nullptr) {
+    state_gauge_->Set(static_cast<double>(next));
+    TransitionCounter(name_, next).Increment();
+  }
+  if (next == State::kClosed) {
+    std::fill(window_.begin(), window_.end(), false);
+    window_next_ = 0;
+    window_count_ = 0;
+    window_failures_ = 0;
+  } else if (next == State::kHalfOpen) {
+    probes_in_flight_ = 0;
+    probe_successes_ = 0;
+  }
+}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (Now() < open_until_us_) return false;
+      TransitionLocked(State::kHalfOpen);
+      [[fallthrough]];
+    case State::kHalfOpen:
+      if (probes_in_flight_ >= options_.half_open_probes) return false;
+      ++probes_in_flight_;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) {
+    ++probe_successes_;
+    if (probe_successes_ >= options_.half_open_probes) {
+      TransitionLocked(State::kClosed);
+    }
+    return;
+  }
+  if (state_ != State::kClosed) return;
+  if (window_[window_next_]) --window_failures_;
+  window_[window_next_] = false;
+  window_next_ = (window_next_ + 1) % window_.size();
+  window_count_ = std::min(window_count_ + 1, window_.size());
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) {
+    // One failed probe re-opens for a fresh cooldown.
+    open_until_us_ =
+        Now() + static_cast<int64_t>(options_.open_ms * 1000.0);
+    TransitionLocked(State::kOpen);
+    return;
+  }
+  if (state_ != State::kClosed) return;
+  if (!window_[window_next_]) ++window_failures_;
+  window_[window_next_] = true;
+  window_next_ = (window_next_ + 1) % window_.size();
+  window_count_ = std::min(window_count_ + 1, window_.size());
+  if (window_count_ >= std::max<size_t>(1, options_.min_samples) &&
+      static_cast<double>(window_failures_) >=
+          options_.failure_ratio * static_cast<double>(window_count_)) {
+    open_until_us_ =
+        Now() + static_cast<int64_t>(options_.open_ms * 1000.0);
+    TransitionLocked(State::kOpen);
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+}  // namespace querc::core

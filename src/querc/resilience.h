@@ -1,0 +1,184 @@
+#ifndef QUERC_QUERC_RESILIENCE_H_
+#define QUERC_QUERC_RESILIENCE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace querc::core {
+
+/// Monotonic time source in microseconds. Null means the real steady
+/// clock; tests inject a fake so breaker/deadline transitions are
+/// deterministic.
+using ClockFn = std::function<int64_t()>;
+
+/// The real steady clock, in microseconds since an arbitrary epoch.
+int64_t SteadyNowMicros();
+
+/// A point in time by which work must finish. Querc sits on (or beside)
+/// the database's critical path, so when a budget expires the service
+/// *forwards the query with whatever predictions it has* instead of
+/// blocking the path — Deadline is how that policy is threaded through
+/// QWorker::Process and its stages.
+///
+/// A default-constructed Deadline is infinite and costs nothing to check
+/// (no clock read).
+class Deadline {
+ public:
+  Deadline() = default;
+
+  /// A deadline `budget_ms` from now on `clock` (null = steady clock).
+  static Deadline After(double budget_ms, const ClockFn& clock = nullptr);
+
+  bool infinite() const {
+    return deadline_us_ == std::numeric_limits<int64_t>::max();
+  }
+
+  /// True once the budget has been spent. Infinite deadlines are never
+  /// expired and short-circuit before any clock read.
+  bool Expired() const;
+
+  /// Microseconds of budget left; +inf when infinite, clamped at 0.
+  double RemainingMs() const;
+
+ private:
+  ClockFn clock_;  // null = SteadyNowMicros
+  int64_t deadline_us_ = std::numeric_limits<int64_t>::max();
+};
+
+/// Capped exponential backoff with decorrelated jitter: each delay is
+/// uniform in [base, prev * 3], clamped to the cap. Jitter draws from the
+/// caller's util::Rng so retry schedules reproduce under a fixed seed.
+struct RetryOptions {
+  /// Total tries including the first (1 = no retries).
+  int max_attempts = 3;
+  double initial_backoff_ms = 1.0;
+  double max_backoff_ms = 100.0;
+};
+
+class RetryPolicy {
+ public:
+  RetryPolicy() = default;
+  explicit RetryPolicy(const RetryOptions& options) : options_(options) {}
+
+  int max_attempts() const { return options_.max_attempts; }
+
+  /// The delay before the next attempt given the previous delay (pass 0
+  /// before the first retry).
+  double NextBackoffMs(double prev_ms, util::Rng& rng) const;
+
+ private:
+  RetryOptions options_;
+};
+
+/// A token bucket bounding how many retries a shard may issue relative to
+/// its successes, so retries cannot amplify an outage into a retry storm:
+/// each success refills a fraction of a token, each retry spends one, and
+/// when the bucket is empty failures surface immediately instead of
+/// retrying. Lock-free; safe to share across a shard's threads.
+struct RetryBudgetOptions {
+  double capacity = 10.0;
+  double refill_per_success = 0.1;
+};
+
+class RetryBudget {
+ public:
+  RetryBudget() : RetryBudget(RetryBudgetOptions{}) {}
+  explicit RetryBudget(const RetryBudgetOptions& options)
+      : options_(options), tokens_(options.capacity) {}
+
+  /// Consumes one token; false (no retry allowed) when the bucket is dry.
+  bool TrySpend();
+
+  /// Refills `refill_per_success`, saturating at capacity.
+  void RecordSuccess();
+
+  double tokens() const { return tokens_.load(std::memory_order_relaxed); }
+
+ private:
+  RetryBudgetOptions options_;
+  std::atomic<double> tokens_;
+};
+
+/// Classic three-state circuit breaker guarding one dependency (a sink, a
+/// classifier task):
+///
+///   closed    -> normal operation; outcomes feed a sliding window, and
+///                when the window's failure rate crosses the threshold the
+///                breaker opens.
+///   open      -> Allow() refuses instantly (callers degrade: fallback
+///                classifier, skip-with-counter) until `open_ms` elapses.
+///   half-open -> a bounded number of probe calls go through; all probes
+///                succeeding re-closes the breaker, any probe failing
+///                re-opens it for another cooldown.
+///
+/// State is exposed as the gauge `querc_breaker_state{breaker=<name>}`
+/// (0 closed, 1 open, 2 half-open) plus a transitions counter. All
+/// methods are thread-safe; the clock is injectable so state walks are
+/// deterministic in tests.
+struct CircuitBreakerOptions {
+  /// Sliding outcome window (most recent calls) evaluated in closed state.
+  size_t window = 32;
+  /// Don't open before this many outcomes are in the window.
+  size_t min_samples = 8;
+  /// Open when window failure rate reaches this fraction.
+  double failure_ratio = 0.5;
+  /// Cooldown before an open breaker lets probes through.
+  double open_ms = 1000.0;
+  /// Probes admitted in half-open; all must succeed to close.
+  size_t half_open_probes = 2;
+  ClockFn clock;  // null = SteadyNowMicros
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  /// `name` labels the obs gauge/counter series; "" disables metrics
+  /// (used by unit tests that run thousands of breakers).
+  CircuitBreaker(std::string name, const CircuitBreakerOptions& options);
+
+  /// Whether a call may proceed right now. May transition open→half-open
+  /// when the cooldown has elapsed.
+  bool Allow();
+
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const;
+  const std::string& name() const { return name_; }
+
+  /// Stable lowercase name for a state ("closed", "open", "half-open").
+  static std::string_view StateName(State state);
+
+ private:
+  int64_t Now() const;
+  void TransitionLocked(State next);
+
+  std::string name_;
+  CircuitBreakerOptions options_;
+  obs::Gauge* state_gauge_ = nullptr;  // null when metrics disabled
+
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  /// Ring buffer of recent outcomes (true = failure) in closed state.
+  std::vector<bool> window_;
+  size_t window_next_ = 0;
+  size_t window_count_ = 0;
+  size_t window_failures_ = 0;
+  int64_t open_until_us_ = 0;
+  size_t probes_in_flight_ = 0;
+  size_t probe_successes_ = 0;
+};
+
+}  // namespace querc::core
+
+#endif  // QUERC_QUERC_RESILIENCE_H_

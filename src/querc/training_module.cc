@@ -2,6 +2,7 @@
 
 #include "ml/random_forest.h"
 #include "obs/metrics.h"
+#include "util/failpoint.h"
 #include "util/stopwatch.h"
 
 namespace querc::core {
@@ -154,6 +155,10 @@ util::Status TrainingModule::TrainAndDeploy(const std::vector<TrainJob>& jobs,
                                             QWorker& worker) {
   std::vector<std::shared_ptr<const Classifier>> trained;
   QUERC_RETURN_IF_ERROR(TrainAll(jobs, &trained));
+  // Deployment can fail in real deployments (publish race, worker gone);
+  // the injected fault keeps trained models undeployed — callers keep the
+  // old classifier set, which is the desired fail-static behavior.
+  QUERC_RETURN_IF_ERROR(util::MaybeFail("training.deploy"));
   util::Stopwatch timer;
   worker.DeployAll(trained);
   DeployHistogram().Record(timer.ElapsedMillis());
@@ -165,6 +170,7 @@ util::Status TrainingModule::TrainAndDeploy(const std::vector<TrainJob>& jobs,
                                             QWorkerPool& pool) {
   std::vector<std::shared_ptr<const Classifier>> trained;
   QUERC_RETURN_IF_ERROR(TrainAll(jobs, &trained));
+  QUERC_RETURN_IF_ERROR(util::MaybeFail("training.deploy"));
   util::Stopwatch timer;
   pool.DeployAll(trained);
   DeployHistogram().Record(timer.ElapsedMillis());

@@ -1,0 +1,193 @@
+#include "util/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/string_util.h"
+
+namespace querc::util {
+
+std::atomic<int> Failpoints::armed_count_{0};
+
+namespace {
+
+/// Parses a StatusCode by its StatusCodeName ("Internal", "IoError", ...).
+bool ParseCode(std::string_view text, StatusCode* out) {
+  static constexpr StatusCode kCodes[] = {
+      StatusCode::kInvalidArgument,   StatusCode::kNotFound,
+      StatusCode::kAlreadyExists,     StatusCode::kFailedPrecondition,
+      StatusCode::kOutOfRange,        StatusCode::kUnimplemented,
+      StatusCode::kInternal,          StatusCode::kIoError,
+      StatusCode::kCorruption,        StatusCode::kUnavailable,
+      StatusCode::kResourceExhausted, StatusCode::kDeadlineExceeded,
+  };
+  for (StatusCode code : kCodes) {
+    if (text == StatusCodeName(code)) {
+      *out = code;
+      return true;
+    }
+  }
+  return false;
+}
+
+obs::Counter& TriggerCounter(const std::string& name) {
+  return obs::MetricsRegistry::Global().GetCounter(
+      "querc_failpoint_triggers_total", {{"point", name}},
+      "Times an armed failpoint's action fired");
+}
+
+}  // namespace
+
+Failpoints::Failpoints() {
+  if (const char* env = std::getenv("QUERC_FAILPOINTS");
+      env != nullptr && *env != '\0') {
+    // Malformed env specs are ignored rather than fatal: arming is a
+    // debugging affordance and must never take the service down itself.
+    (void)ParseAndArm(env);
+  }
+}
+
+Failpoints& Failpoints::Global() {
+  static Failpoints* instance = new Failpoints();
+  return *instance;
+}
+
+namespace {
+
+/// MaybeFail's disarmed fast path never constructs the registry, so the
+/// env var must be applied eagerly: without this, a process whose every
+/// failpoint check short-circuits on AnyArmed() would silently ignore
+/// QUERC_FAILPOINTS.
+[[maybe_unused]] const bool kEnvFailpointsApplied =
+    (Failpoints::Global(), true);
+
+}  // namespace
+
+void Failpoints::Arm(const std::string& name, FailpointSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end()) {
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+    it = points_.emplace(name, Armed_{}).first;
+  }
+  it->second.spec = std::move(spec);
+  it->second.remaining = it->second.spec.count;
+  it->second.hits = 0;
+}
+
+bool Failpoints::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (points_.erase(name) == 0) return false;
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Failpoints::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_count_.fetch_sub(static_cast<int>(points_.size()),
+                         std::memory_order_relaxed);
+  points_.clear();
+}
+
+Status Failpoints::ParseAndArm(std::string_view spec_list) {
+  for (const std::string& raw : Split(spec_list, ';')) {
+    std::string_view entry = Trim(raw);
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument("failpoint spec without '=': " +
+                                     std::string(entry));
+    }
+    std::string name(Trim(entry.substr(0, eq)));
+    std::string_view action = Trim(entry.substr(eq + 1));
+
+    FailpointSpec spec;
+    if (size_t star = action.rfind('*'); star != std::string_view::npos) {
+      std::string_view count = action.substr(star + 1);
+      spec.count = std::atoll(std::string(count).c_str());
+      if (spec.count <= 0) {
+        return Status::InvalidArgument("failpoint count must be positive: " +
+                                       std::string(entry));
+      }
+      action = action.substr(0, star);
+    }
+    std::string_view arg;
+    if (size_t colon = action.find(':'); colon != std::string_view::npos) {
+      arg = action.substr(colon + 1);
+      action = action.substr(0, colon);
+    }
+    if (action == "error") {
+      spec.action = FailAction::kError;
+      if (!arg.empty() && !ParseCode(arg, &spec.code)) {
+        return Status::InvalidArgument("unknown status code in failpoint: " +
+                                       std::string(arg));
+      }
+    } else if (action == "delay") {
+      spec.action = FailAction::kDelay;
+      spec.delay_ms = std::atof(std::string(arg).c_str());
+      if (spec.delay_ms < 0.0) spec.delay_ms = 0.0;
+    } else if (action == "crash") {
+      spec.action = FailAction::kCrash;
+    } else {
+      return Status::InvalidArgument("unknown failpoint action: " +
+                                     std::string(action));
+    }
+    Arm(name, std::move(spec));
+  }
+  return Status::OK();
+}
+
+uint64_t Failpoints::hits(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+std::vector<FailpointInfo> Failpoints::Armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FailpointInfo> out;
+  out.reserve(points_.size());
+  for (const auto& [name, armed] : points_) {
+    FailpointInfo info;
+    info.name = name;
+    info.spec = armed.spec;
+    info.hits = armed.hits;
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+Status Failpoints::Evaluate(std::string_view name) {
+  FailpointSpec spec;
+  std::string point;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(name);
+    if (it == points_.end()) return Status::OK();
+    if (it->second.remaining == 0) return Status::OK();
+    if (it->second.remaining > 0) --it->second.remaining;
+    ++it->second.hits;
+    spec = it->second.spec;
+    point = it->first;
+    // "Fail N times then succeed": the point stays registered (so hits()
+    // remains observable) but stops firing once its budget is spent.
+  }
+  TriggerCounter(point).Increment();
+  switch (spec.action) {
+    case FailAction::kError:
+      return Status(spec.code, spec.message.empty()
+                                   ? "failpoint " + point
+                                   : spec.message);
+    case FailAction::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(spec.delay_ms));
+      return Status::OK();
+    case FailAction::kCrash:
+      std::abort();
+  }
+  return Status::OK();
+}
+
+}  // namespace querc::util

@@ -1,0 +1,124 @@
+#ifndef QUERC_UTIL_FAILPOINT_H_
+#define QUERC_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace querc::util {
+
+/// Deterministic, process-wide fault injection ("failpoints"). Service code
+/// plants named injection sites on its failure-prone paths:
+///
+///   QUERC_RETURN_IF_ERROR(util::MaybeFail("qworker.sink_database"));
+///
+/// Disarmed (the production state) this costs one relaxed atomic load — no
+/// map lookup, no lock, no string construction. Tests, the `querc chaos`
+/// subcommand, and the env var `QUERC_FAILPOINTS` arm sites with actions:
+///
+///   error  -> return a non-OK Status (default Unavailable)
+///   delay  -> sleep for a fixed number of milliseconds, then succeed
+///   crash  -> std::abort() (process-death drills; never used in tests)
+///
+/// Env syntax (semicolon-separated, applied once at process start):
+///
+///   QUERC_FAILPOINTS="qworker.sink_database=error;classifier=delay:5"
+///   QUERC_FAILPOINTS="qworker.sink_database=error:Internal*3"
+///
+/// `*N` limits the action to the next N hits ("fail N times then
+/// succeed"): the point disarms itself after the Nth trigger, which is how
+/// chaos scenarios model transient outages deterministically.
+enum class FailAction {
+  kError,
+  kDelay,
+  kCrash,
+};
+
+/// What an armed failpoint does when hit.
+struct FailpointSpec {
+  FailAction action = FailAction::kError;
+  /// For kError: the status code to return.
+  StatusCode code = StatusCode::kUnavailable;
+  /// For kError: the message; "" -> "failpoint <name>".
+  std::string message;
+  /// For kDelay: how long to block before succeeding.
+  double delay_ms = 0.0;
+  /// Trigger at most this many times, then self-disarm; -1 = forever.
+  int64_t count = -1;
+};
+
+/// One armed point's observable state (for `querc stats` / debugging).
+struct FailpointInfo {
+  std::string name;
+  FailpointSpec spec;
+  uint64_t hits = 0;  ///< times the action actually fired
+};
+
+class Failpoints {
+ public:
+  Failpoints(const Failpoints&) = delete;
+  Failpoints& operator=(const Failpoints&) = delete;
+
+  /// The process-wide registry. First use applies QUERC_FAILPOINTS.
+  static Failpoints& Global();
+
+  /// Arms (or re-arms, resetting hit counts) `name` with `spec`.
+  void Arm(const std::string& name, FailpointSpec spec);
+
+  /// Disarms `name`; returns whether it was armed.
+  bool Disarm(const std::string& name);
+
+  /// Disarms everything (tests call this between cases).
+  void DisarmAll();
+
+  /// Parses the env/CLI syntax above and arms every listed point.
+  Status ParseAndArm(std::string_view spec_list);
+
+  /// Times `name`'s action has fired since it was last armed (0 while
+  /// disarmed — the fast path does not count).
+  uint64_t hits(const std::string& name) const;
+
+  /// Snapshot of every armed point, name-sorted.
+  std::vector<FailpointInfo> Armed() const;
+
+  /// True when at least one failpoint is armed anywhere in the process.
+  /// This is the only check on the hot path.
+  static bool AnyArmed() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Slow path: looks `name` up and runs its action. Called only when
+  /// AnyArmed(); prefer `MaybeFail` below.
+  Status Evaluate(std::string_view name);
+
+ private:
+  Failpoints();
+
+  struct Armed_ {
+    FailpointSpec spec;
+    int64_t remaining = -1;
+    uint64_t hits = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Armed_, std::less<>> points_;
+  static std::atomic<int> armed_count_;
+};
+
+/// The injection-site entry point. Returns OK (for free) unless `name` is
+/// armed, in which case the armed action runs: OK after a delay, a non-OK
+/// Status for error actions, no return for crash.
+inline Status MaybeFail(std::string_view name) {
+  if (!Failpoints::AnyArmed()) return Status::OK();
+  return Failpoints::Global().Evaluate(name);
+}
+
+}  // namespace querc::util
+
+#endif  // QUERC_UTIL_FAILPOINT_H_

@@ -24,6 +24,12 @@ std::string_view StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kCorruption:
       return "Corruption";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -21,6 +21,9 @@ enum class StatusCode {
   kInternal,
   kIoError,
   kCorruption,
+  kUnavailable,        ///< transient: a dependency is down (retryable)
+  kResourceExhausted,  ///< load shedding / quota: try again later
+  kDeadlineExceeded,   ///< a latency budget expired before completion
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -69,6 +72,15 @@ class Status {
   }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

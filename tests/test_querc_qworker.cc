@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
 #include "embed/feature_embedder.h"
 #include "ml/knn.h"
 #include "querc/classifier.h"
+#include "util/failpoint.h"
 #include "workload/workload.h"
 
 namespace querc::core {
@@ -132,6 +137,317 @@ TEST(QWorkerTest, ProcessBatch) {
   ASSERT_EQ(results.size(), 2u);
   EXPECT_EQ(results[0].predictions.at("user"), "alice");
   EXPECT_EQ(results[1].predictions.at("user"), "bob");
+  EXPECT_TRUE(results[0].clean());
+  EXPECT_TRUE(results[1].clean());
+}
+
+// ---------------------------------------------------------------------------
+// Fault tolerance
+// ---------------------------------------------------------------------------
+
+/// Arms/disarms around each test so a leaked failpoint can't poison the
+/// rest of the binary.
+class QWorkerFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { util::Failpoints::Global().DisarmAll(); }
+  void TearDown() override { util::Failpoints::Global().DisarmAll(); }
+};
+
+TEST_F(QWorkerFaultTest, ThrowingDatabaseSinkBecomesStatus) {
+  QWorker::Options options;
+  options.application = "appX";
+  options.sink_retry.max_attempts = 1;  // no retries: observe the raw fault
+  QWorker worker(options);
+  worker.set_database_sink([](const workload::LabeledQuery&) {
+    throw std::runtime_error("db down");
+  });
+  ProcessedQuery out = worker.Process(Query("SELECT 1"));
+  EXPECT_EQ(out.database_status.code(), util::StatusCode::kInternal);
+  EXPECT_NE(out.database_status.message().find("db down"), std::string::npos);
+  EXPECT_TRUE(out.training_status.ok());
+  EXPECT_TRUE(out.status.ok());  // the query itself still flowed
+  EXPECT_FALSE(out.clean());
+  EXPECT_EQ(worker.processed_count(), 1u);
+}
+
+TEST_F(QWorkerFaultTest, DatabaseFailpointYieldsTypedStatus) {
+  QWorker::Options options;
+  options.application = "appX";
+  options.sink_retry.max_attempts = 1;
+  QWorker worker(options);
+  int db_calls = 0;
+  worker.set_database_sink(
+      [&](const workload::LabeledQuery&) { ++db_calls; });
+  util::FailpointSpec spec;
+  spec.code = util::StatusCode::kUnavailable;
+  spec.count = 1;
+  util::Failpoints::Global().Arm("qworker.sink_database", spec);
+
+  ProcessedQuery out = worker.Process(Query("SELECT 1"));
+  EXPECT_EQ(out.database_status.code(), util::StatusCode::kUnavailable);
+  EXPECT_EQ(db_calls, 0);  // fault injected before the sink ran
+
+  out = worker.Process(Query("SELECT 2"));  // failpoint budget spent
+  EXPECT_TRUE(out.database_status.ok());
+  EXPECT_EQ(db_calls, 1);
+}
+
+TEST_F(QWorkerFaultTest, TrainingFailpointYieldsTypedStatus) {
+  QWorker::Options options;
+  options.application = "appX";
+  options.sink_retry.max_attempts = 1;
+  QWorker worker(options);
+  worker.set_training_sink([](const ProcessedQuery&) {});
+  util::FailpointSpec spec;
+  spec.code = util::StatusCode::kUnavailable;
+  util::Failpoints::Global().Arm("qworker.sink_training", spec);
+  ProcessedQuery out = worker.Process(Query("SELECT 1"));
+  EXPECT_EQ(out.training_status.code(), util::StatusCode::kUnavailable);
+  EXPECT_TRUE(out.database_status.ok());
+}
+
+TEST_F(QWorkerFaultTest, SinkRetriesRecoverTransientFault) {
+  QWorker::Options options;
+  options.application = "appX";
+  options.sink_retry.max_attempts = 3;
+  options.sink_retry.initial_backoff_ms = 0.0;  // no sleeping in tests
+  QWorker worker(options);
+  int db_calls = 0;
+  worker.set_database_sink(
+      [&](const workload::LabeledQuery&) { ++db_calls; });
+  util::FailpointSpec spec;
+  spec.count = 2;  // first two attempts fail, third succeeds
+  util::Failpoints::Global().Arm("qworker.sink_database", spec);
+
+  ProcessedQuery out = worker.Process(Query("SELECT 1"));
+  EXPECT_TRUE(out.database_status.ok());
+  EXPECT_EQ(db_calls, 1);
+  EXPECT_EQ(util::Failpoints::Global().hits("qworker.sink_database"), 2u);
+}
+
+TEST_F(QWorkerFaultTest, ClassifierFailpointFallsBackToFallback) {
+  QWorker::Options options;
+  options.application = "appX";
+  QWorker worker(options);
+  worker.Deploy(TrainedUserClassifier());
+  worker.DeployFallback(TrainedUserClassifier());
+  util::FailpointSpec spec;
+  spec.count = 1;
+  util::Failpoints::Global().Arm("qworker.classifier_predict", spec);
+
+  ProcessedQuery out = worker.Process(Query("SELECT a FROM t WHERE x = 1"));
+  // The fallback answered, and the degradation is recorded.
+  EXPECT_EQ(out.predictions.at("user"), "alice");
+  ASSERT_EQ(out.degraded_tasks.size(), 1u);
+  EXPECT_EQ(out.degraded_tasks[0], "user");
+  EXPECT_TRUE(out.skipped_tasks.empty());
+
+  out = worker.Process(Query("SELECT a FROM t WHERE x = 1"));
+  EXPECT_TRUE(out.degraded_tasks.empty());  // fault gone: primary answers
+}
+
+TEST_F(QWorkerFaultTest, ClassifierFailpointWithoutFallbackSkipsTask) {
+  QWorker::Options options;
+  options.application = "appX";
+  QWorker worker(options);
+  worker.Deploy(TrainedUserClassifier());
+  util::FailpointSpec spec;
+  spec.count = 1;
+  util::Failpoints::Global().Arm("qworker.classifier_predict", spec);
+
+  ProcessedQuery out = worker.Process(Query("SELECT a FROM t WHERE x = 1"));
+  EXPECT_EQ(out.predictions.count("user"), 0u);
+  ASSERT_EQ(out.skipped_tasks.size(), 1u);
+  EXPECT_EQ(out.skipped_tasks[0], "user");
+}
+
+TEST_F(QWorkerFaultTest, OpenBreakerDegradesWithoutCallingPrimary) {
+  QWorker::Options options;
+  options.application = "appX";
+  options.breaker.window = 8;
+  options.breaker.min_samples = 2;
+  options.breaker.failure_ratio = 0.5;
+  options.breaker.open_ms = 60000.0;  // stays open for the whole test
+  QWorker worker(options);
+  worker.Deploy(TrainedUserClassifier());
+  worker.DeployFallback(TrainedUserClassifier());
+
+  // Two injected failures trip the task breaker...
+  util::FailpointSpec spec;
+  spec.count = 2;
+  util::Failpoints::Global().Arm("qworker.classifier_predict", spec);
+  worker.Process(Query("SELECT 1"));
+  worker.Process(Query("SELECT 1"));
+  bool task_open = false;
+  for (const auto& [name, state] : worker.BreakerStates()) {
+    if (name == "appX:task_user") {
+      task_open = state == CircuitBreaker::State::kOpen;
+    }
+  }
+  EXPECT_TRUE(task_open);
+
+  // ...after which the fallback serves without the failpoint firing
+  // (breaker refuses before the injection site).
+  ProcessedQuery out = worker.Process(Query("SELECT a FROM t WHERE x = 1"));
+  EXPECT_EQ(out.predictions.at("user"), "alice");
+  EXPECT_EQ(out.degraded_tasks.size(), 1u);
+  EXPECT_EQ(util::Failpoints::Global().hits("qworker.classifier_predict"),
+            2u);
+}
+
+TEST_F(QWorkerFaultTest, LintFailpointDoesNotLoseQuery) {
+  QWorker::Options options;
+  options.application = "appX";
+  options.enable_lint = true;
+  QWorker worker(options);
+  worker.Deploy(TrainedUserClassifier());
+  util::FailpointSpec spec;
+  spec.code = util::StatusCode::kInternal;
+  util::Failpoints::Global().Arm("qworker.lint", spec);
+  ProcessedQuery out = worker.Process(Query("SELECT a FROM t WHERE x = 1"));
+  EXPECT_EQ(out.predictions.at("user"), "alice");
+  EXPECT_TRUE(out.diagnostics.empty());
+  EXPECT_TRUE(out.status.ok());
+}
+
+TEST_F(QWorkerFaultTest, DeadlineForwardsPartialPredictions) {
+  QWorker::Options options;
+  options.application = "appX";
+  options.deadline_ms = 5.0;
+  options.enable_lint = true;
+  QWorker worker(options);
+  worker.Deploy(TrainedUserClassifier());
+  // A 20ms injected delay on the classifier burns the whole 5ms budget;
+  // after the first task the deadline is up (here there is only one task,
+  // so the *lint* stage observes the pressure and stands down).
+  util::FailpointSpec spec;
+  spec.action = util::FailAction::kDelay;
+  spec.delay_ms = 20.0;
+  util::Failpoints::Global().Arm("qworker.lint", spec);
+  (void)worker.Process(Query("SELECT a FROM t WHERE x = 1"));
+
+  util::Failpoints::Global().DisarmAll();
+  util::FailpointSpec slow;
+  slow.action = util::FailAction::kDelay;
+  slow.delay_ms = 20.0;
+  util::Failpoints::Global().Arm("qworker.classifier_predict", slow);
+  // Deploy a second task so the deadline can expire between tasks.
+  auto second = TrainedUserClassifier();
+  worker.Deploy(second);
+  auto third = std::make_shared<Classifier>(
+      "zz_late",
+      std::make_shared<embed::FeatureEmbedder>(
+          embed::FeatureEmbedder::Options{}),
+      std::make_unique<ml::KnnClassifier>(ml::KnnClassifier::Options{.k = 1}));
+  workload::Workload history;
+  for (int i = 0; i < 4; ++i) {
+    history.Add(Query("SELECT a FROM t WHERE x = 1", "alice"));
+    history.Add(Query("SELECT b, c, d FROM u, v WHERE u.k = v.k", "bob"));
+  }
+  ASSERT_TRUE(third->Train(history, workload::UserOf).ok());
+  worker.Deploy(third);
+
+  ProcessedQuery out = worker.Process(Query("SELECT a FROM t WHERE x = 1"));
+  // The first task ("user", map order) ate the budget via the delay;
+  // "zz_late" was never attempted.
+  EXPECT_TRUE(out.deadline_exceeded);
+  EXPECT_EQ(out.predictions.count("zz_late"), 0u);
+  EXPECT_FALSE(out.clean());
+}
+
+TEST_F(QWorkerFaultTest, BreakerStatesListsSinksAndTasks) {
+  QWorker::Options options;
+  options.application = "appX";
+  QWorker worker(options);
+  worker.Deploy(TrainedUserClassifier());
+  auto states = worker.BreakerStates();
+  std::vector<std::string> names;
+  names.reserve(states.size());
+  for (const auto& [name, state] : states) {
+    names.push_back(name);
+    EXPECT_EQ(state, CircuitBreaker::State::kClosed);
+  }
+  EXPECT_NE(std::find(names.begin(), names.end(), "appX:sink_database"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "appX:sink_training"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "appX:task_user"),
+            names.end());
+  EXPECT_TRUE(worker.Undeploy("user"));
+  EXPECT_EQ(worker.BreakerStates().size(), 2u);  // task breaker retired
+}
+
+TEST_F(QWorkerFaultTest, DisabledBreakersStillConvertExceptions) {
+  QWorker::Options options;
+  options.application = "appX";
+  options.enable_breakers = false;
+  options.sink_retry.max_attempts = 1;
+  QWorker worker(options);
+  worker.Deploy(TrainedUserClassifier());
+  worker.set_database_sink(
+      [](const workload::LabeledQuery&) { throw std::runtime_error("x"); });
+  ProcessedQuery out = worker.Process(Query("SELECT 1"));
+  EXPECT_EQ(out.database_status.code(), util::StatusCode::kInternal);
+  EXPECT_TRUE(worker.BreakerStates().empty());
+}
+
+// ---------------------------------------------------------------------------
+// LatencyStats (min_ms regression)
+// ---------------------------------------------------------------------------
+
+TEST(LatencyStatsTest, EmptyStatsReportZeroMinNotGarbage) {
+  LatencyStats stats;
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_DOUBLE_EQ(stats.min(), 0.0);  // display-safe accessor
+  EXPECT_TRUE(std::isinf(stats.min_ms));
+  EXPECT_DOUBLE_EQ(stats.mean_ms(), 0.0);
+}
+
+TEST(LatencyStatsTest, WorkerLatencyEmptyThenPopulated) {
+  QWorker::Options options;
+  options.application = "appX";
+  QWorker worker(options);
+  LatencyStats empty = worker.latency();
+  EXPECT_EQ(empty.count, 0u);
+  // Regression: an idle worker's histogram snapshot reports min = 0; the
+  // stats view must not present that as a real 0 ms minimum.
+  EXPECT_TRUE(std::isinf(empty.min_ms));
+
+  worker.Process(Query("SELECT 1"));
+  LatencyStats one = worker.latency();
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_GT(one.min_ms, 0.0);
+  EXPECT_TRUE(std::isfinite(one.min_ms));
+}
+
+TEST(LatencyStatsTest, MergeIgnoresEmptySides) {
+  LatencyStats a;
+  LatencyStats b;
+  b.count = 2;
+  b.min_ms = 1.5;
+  b.max_ms = 4.0;
+  b.total_ms = 5.5;
+
+  LatencyStats merged = a;
+  merged.Merge(b);  // empty += populated
+  EXPECT_EQ(merged.count, 2u);
+  EXPECT_DOUBLE_EQ(merged.min_ms, 1.5);
+  EXPECT_DOUBLE_EQ(merged.max_ms, 4.0);
+
+  merged.Merge(a);  // populated += empty: unchanged
+  EXPECT_EQ(merged.count, 2u);
+  EXPECT_DOUBLE_EQ(merged.min_ms, 1.5);
+
+  LatencyStats c;
+  c.count = 1;
+  c.min_ms = 0.5;
+  c.max_ms = 0.5;
+  c.total_ms = 0.5;
+  merged.Merge(c);
+  EXPECT_EQ(merged.count, 3u);
+  EXPECT_DOUBLE_EQ(merged.min_ms, 0.5);
+  EXPECT_DOUBLE_EQ(merged.max_ms, 4.0);
+  EXPECT_DOUBLE_EQ(merged.total_ms, 6.0);
 }
 
 }  // namespace

@@ -9,11 +9,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <stdexcept>
+
 #include "embed/feature_embedder.h"
 #include "ml/knn.h"
 #include "obs/metrics.h"
 #include "querc/classifier.h"
 #include "querc/training_module.h"
+#include "util/failpoint.h"
 #include "workload/workload.h"
 
 namespace querc::core {
@@ -360,6 +364,186 @@ TEST(QWorkerPoolTest, TrainingModuleDeploysToEveryShard) {
   }
   auto out = pool.Process(Query("SELECT a FROM t WHERE x = 2"));
   EXPECT_EQ(out.predictions.at("user"), "alice");
+}
+
+// ---------------------------------------------------------------------------
+// Fault tolerance: admission control, shedding, fan-out isolation
+// ---------------------------------------------------------------------------
+
+class QWorkerPoolFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { util::Failpoints::Global().DisarmAll(); }
+  void TearDown() override { util::Failpoints::Global().DisarmAll(); }
+};
+
+workload::Workload NumberedBatch(size_t n) {
+  workload::Workload batch;
+  for (size_t i = 0; i < n; ++i) {
+    batch.Add(Query("SELECT " + std::to_string(i), "u1",
+                    "acct" + std::to_string(i)));
+  }
+  return batch;
+}
+
+TEST_F(QWorkerPoolFaultTest, RejectNewShedsTailDeterministically) {
+  QWorkerPool::Options options;
+  options.application = "X";
+  options.num_shards = 2;
+  options.max_in_flight = 4;
+  options.shed_policy = QWorkerPool::ShedPolicy::kRejectNew;
+  QWorkerPool pool(options);
+
+  auto results = pool.ProcessBatch(NumberedBatch(10));
+  ASSERT_EQ(results.size(), 10u);
+  // A 10-query batch against a 4-slot bound: the first 4 are admitted,
+  // the newest 6 are shed — in place, in order, never dropped.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(results[i].shed) << i;
+    EXPECT_TRUE(results[i].status.ok()) << i;
+  }
+  for (size_t i = 4; i < 10; ++i) {
+    EXPECT_TRUE(results[i].shed) << i;
+    EXPECT_EQ(results[i].status.code(),
+              util::StatusCode::kResourceExhausted);
+    EXPECT_EQ(results[i].query.text, "SELECT " + std::to_string(i));
+  }
+  EXPECT_EQ(pool.shed_count(), 6u);
+  EXPECT_EQ(pool.in_flight(), 0u);  // slots released after the batch
+
+  // The next batch has the slots back.
+  results = pool.ProcessBatch(NumberedBatch(4));
+  for (const auto& r : results) EXPECT_FALSE(r.shed);
+}
+
+TEST_F(QWorkerPoolFaultTest, DropOldestShedsHead) {
+  QWorkerPool::Options options;
+  options.application = "X";
+  options.num_shards = 2;
+  options.max_in_flight = 3;
+  options.shed_policy = QWorkerPool::ShedPolicy::kDropOldest;
+  QWorkerPool pool(options);
+
+  auto results = pool.ProcessBatch(NumberedBatch(5));
+  ASSERT_EQ(results.size(), 5u);
+  EXPECT_TRUE(results[0].shed);
+  EXPECT_TRUE(results[1].shed);
+  for (size_t i = 2; i < 5; ++i) EXPECT_FALSE(results[i].shed) << i;
+}
+
+TEST_F(QWorkerPoolFaultTest, UnboundedPoolNeverSheds) {
+  QWorkerPool::Options options;
+  options.application = "X";
+  options.num_shards = 2;
+  QWorkerPool pool(options);
+  auto results = pool.ProcessBatch(NumberedBatch(64));
+  for (const auto& r : results) EXPECT_FALSE(r.shed);
+  EXPECT_EQ(pool.shed_count(), 0u);
+}
+
+TEST_F(QWorkerPoolFaultTest, FanOutFailpointMarksQueriesNotDrops) {
+  QWorkerPool::Options options;
+  options.application = "X";
+  options.num_shards = 2;
+  QWorkerPool pool(options);
+  // Fail exactly one shard task; the whole batch must still come back,
+  // with the failed shard's queries carrying the status.
+  util::FailpointSpec spec;
+  spec.code = util::StatusCode::kUnavailable;
+  spec.count = 1;
+  util::Failpoints::Global().Arm("pool.fan_out", spec);
+
+  auto results = pool.ProcessBatch(NumberedBatch(8));
+  ASSERT_EQ(results.size(), 8u);
+  size_t failed = 0;
+  for (const auto& r : results) {
+    if (!r.status.ok()) {
+      EXPECT_EQ(r.status.code(), util::StatusCode::kUnavailable);
+      EXPECT_FALSE(r.query.text.empty());  // the query rode along
+      ++failed;
+    }
+  }
+  EXPECT_GT(failed, 0u);
+  EXPECT_LT(failed, 8u);  // the other shard's task was unaffected
+}
+
+TEST_F(QWorkerPoolFaultTest, PoisonedQueryDoesNotLoseBatch) {
+  QWorkerPool::Options options;
+  options.application = "X";
+  options.num_shards = 2;
+  options.worker.sink_retry.max_attempts = 1;
+  QWorkerPool pool(options);
+  // A sink that throws on one specific query: every other query in the
+  // batch must process normally and the poisoned one must carry its
+  // sink error instead of taking the batch down.
+  pool.set_database_sink([](const workload::LabeledQuery& q) {
+    if (q.text == "SELECT 3") throw std::runtime_error("poison");
+  });
+  auto results = pool.ProcessBatch(NumberedBatch(8));
+  ASSERT_EQ(results.size(), 8u);
+  size_t poisoned = 0;
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.status.ok());
+    if (!r.database_status.ok()) {
+      EXPECT_EQ(r.query.text, "SELECT 3");
+      ++poisoned;
+    }
+  }
+  EXPECT_EQ(poisoned, 1u);
+  EXPECT_EQ(pool.processed_count(), 8u);
+}
+
+TEST_F(QWorkerPoolFaultTest, FallbackDeploysToEveryShard) {
+  QWorkerPool::Options options;
+  options.application = "X";
+  options.num_shards = 3;
+  QWorkerPool pool(options);
+  pool.Deploy(TrainedUserClassifier());
+  pool.DeployFallback(TrainedUserClassifier());
+  for (size_t s = 0; s < pool.num_shards(); ++s) {
+    EXPECT_EQ(pool.shard(s).fallbacks()->count("user"), 1u);
+  }
+  EXPECT_TRUE(pool.UndeployFallback("user"));
+  EXPECT_FALSE(pool.UndeployFallback("user"));
+}
+
+TEST_F(QWorkerPoolFaultTest, BreakerStatesCoverEveryShard) {
+  QWorkerPool::Options options;
+  options.application = "X";
+  options.num_shards = 2;
+  QWorkerPool pool(options);
+  pool.Deploy(TrainedUserClassifier());
+  auto states = pool.BreakerStates();
+  // Per shard: database sink, training sink, one task.
+  EXPECT_EQ(states.size(), 6u);
+  std::set<std::string> names;
+  for (const auto& [name, state] : states) {
+    names.insert(name);
+    EXPECT_EQ(state, CircuitBreaker::State::kClosed);
+  }
+  EXPECT_TRUE(names.count("X/0:sink_database"));
+  EXPECT_TRUE(names.count("X/1:task_user"));
+}
+
+TEST_F(QWorkerPoolFaultTest, StatsOnIdlePoolHasNoFakeZeroMin) {
+  QWorkerPool::Options options;
+  options.application = "X";
+  options.num_shards = 2;
+  QWorkerPool pool(options);
+  for (const auto& s : pool.Stats()) {
+    EXPECT_EQ(s.latency.count, 0u);
+    // Regression: idle shards used to report min_ms = 0 from the empty
+    // histogram snapshot; the sentinel (+inf) plus min() guard fix it.
+    EXPECT_TRUE(std::isinf(s.latency.min_ms));
+    EXPECT_DOUBLE_EQ(s.latency.min(), 0.0);
+  }
+  // Merging an idle shard's stats into a busy one keeps the real min.
+  pool.Process(Query("SELECT 1"));
+  auto stats = pool.Stats();
+  LatencyStats merged;
+  for (const auto& s : stats) merged.Merge(s.latency);
+  EXPECT_EQ(merged.count, 1u);
+  EXPECT_TRUE(std::isfinite(merged.min_ms));
+  EXPECT_GT(merged.min_ms, 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,213 @@
+#include "querc/resilience.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+
+namespace querc::core {
+namespace {
+
+/// A manually-advanced clock: breaker/deadline transitions under test are
+/// pure functions of recorded outcomes and this counter.
+struct FakeClock {
+  int64_t now_us = 0;
+  ClockFn fn() {
+    return [this] { return now_us; };
+  }
+  void AdvanceMs(double ms) { now_us += static_cast<int64_t>(ms * 1000.0); }
+};
+
+CircuitBreakerOptions TestBreakerOptions(FakeClock* clock) {
+  CircuitBreakerOptions options;
+  options.window = 8;
+  options.min_samples = 4;
+  options.failure_ratio = 0.5;
+  options.open_ms = 100.0;
+  options.half_open_probes = 2;
+  options.clock = clock->fn();
+  return options;
+}
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline deadline;
+  EXPECT_TRUE(deadline.infinite());
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_TRUE(std::isinf(deadline.RemainingMs()));
+}
+
+TEST(DeadlineTest, ExpiresOnFakeClock) {
+  FakeClock clock;
+  Deadline deadline = Deadline::After(10.0, clock.fn());
+  EXPECT_FALSE(deadline.infinite());
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_DOUBLE_EQ(deadline.RemainingMs(), 10.0);
+  clock.AdvanceMs(6.0);
+  EXPECT_DOUBLE_EQ(deadline.RemainingMs(), 4.0);
+  clock.AdvanceMs(5.0);
+  EXPECT_TRUE(deadline.Expired());
+  EXPECT_DOUBLE_EQ(deadline.RemainingMs(), 0.0);
+}
+
+TEST(RetryPolicyTest, BackoffIsJitteredAndCapped) {
+  RetryOptions options;
+  options.initial_backoff_ms = 2.0;
+  options.max_backoff_ms = 16.0;
+  RetryPolicy policy(options);
+  util::Rng rng(7);
+  double prev = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    double next = policy.NextBackoffMs(prev, rng);
+    EXPECT_GE(next, options.initial_backoff_ms);
+    EXPECT_LE(next, options.max_backoff_ms);
+    prev = next;
+  }
+}
+
+TEST(RetryPolicyTest, ZeroBaseMeansNoSleep) {
+  RetryOptions options;
+  options.initial_backoff_ms = 0.0;
+  RetryPolicy policy(options);
+  util::Rng rng(7);
+  EXPECT_DOUBLE_EQ(policy.NextBackoffMs(5.0, rng), 0.0);
+}
+
+TEST(RetryBudgetTest, SpendsToZeroThenRefillsOnSuccess) {
+  RetryBudgetOptions options;
+  options.capacity = 3.0;
+  options.refill_per_success = 0.5;
+  RetryBudget budget(options);
+  EXPECT_TRUE(budget.TrySpend());
+  EXPECT_TRUE(budget.TrySpend());
+  EXPECT_TRUE(budget.TrySpend());
+  EXPECT_FALSE(budget.TrySpend());  // dry
+  budget.RecordSuccess();
+  budget.RecordSuccess();  // 1.0 token back
+  EXPECT_TRUE(budget.TrySpend());
+  EXPECT_FALSE(budget.TrySpend());
+}
+
+TEST(RetryBudgetTest, RefillSaturatesAtCapacity) {
+  RetryBudgetOptions options;
+  options.capacity = 1.0;
+  options.refill_per_success = 0.6;
+  RetryBudget budget(options);
+  for (int i = 0; i < 10; ++i) budget.RecordSuccess();
+  EXPECT_DOUBLE_EQ(budget.tokens(), 1.0);
+}
+
+TEST(CircuitBreakerTest, ClosedToOpenToHalfOpenToClosed) {
+  FakeClock clock;
+  CircuitBreaker breaker("", TestBreakerOptions(&clock));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+
+  // Four straight failures reach min_samples at 100% failure: open.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(breaker.Allow());
+    breaker.RecordFailure();
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow());
+
+  // Cooldown not elapsed: still refusing.
+  clock.AdvanceMs(99.0);
+  EXPECT_FALSE(breaker.Allow());
+
+  // Cooldown elapsed: half-open admits exactly half_open_probes calls.
+  clock.AdvanceMs(2.0);
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());  // probe quota spent
+
+  // Both probes succeed: closed again, window reset.
+  breaker.RecordSuccess();
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensWithFreshCooldown) {
+  FakeClock clock;
+  CircuitBreaker breaker("", TestBreakerOptions(&clock));
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  clock.AdvanceMs(101.0);
+  EXPECT_TRUE(breaker.Allow());  // probe admitted
+  breaker.RecordFailure();       // probe fails
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow());
+  clock.AdvanceMs(99.0);  // fresh cooldown: 99ms since reopen is not enough
+  EXPECT_FALSE(breaker.Allow());
+  clock.AdvanceMs(2.0);
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, MixedOutcomesBelowRatioStayClosed) {
+  FakeClock clock;
+  CircuitBreaker breaker("", TestBreakerOptions(&clock));
+  // Alternate success/failure: 50% failures of window >= min_samples
+  // reaches the ratio only when failures >= 0.5 * count; keep failures
+  // strictly below half.
+  for (int i = 0; i < 16; ++i) {
+    breaker.RecordSuccess();
+    breaker.RecordSuccess();
+    breaker.RecordFailure();
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, SlidingWindowForgetsOldFailures) {
+  FakeClock clock;
+  CircuitBreaker breaker("", TestBreakerOptions(&clock));
+  // Three failures (below min_samples, stays closed), then a run of
+  // successes long enough to evict them from the 8-slot ring.
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  for (int i = 0; i < 8; ++i) breaker.RecordSuccess();
+  // A single new failure is 1/8 of the window: still closed.
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, StateNamesAreStable) {
+  EXPECT_EQ(CircuitBreaker::StateName(CircuitBreaker::State::kClosed),
+            "closed");
+  EXPECT_EQ(CircuitBreaker::StateName(CircuitBreaker::State::kOpen), "open");
+  EXPECT_EQ(CircuitBreaker::StateName(CircuitBreaker::State::kHalfOpen),
+            "half-open");
+}
+
+TEST(CircuitBreakerTest, NamedBreakerExportsStateGauge) {
+  FakeClock clock;
+  CircuitBreaker breaker("test_export:sink", TestBreakerOptions(&clock));
+  for (int i = 0; i < 4; ++i) breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  // The global registry carries the gauge (1 = open) and the transition
+  // counter; both formats of the export surface must include them.
+  std::string prom = obs::ExportPrometheus();
+  EXPECT_NE(
+      prom.find(
+          "querc_breaker_state{breaker=\"test_export:sink\"} 1"),
+      std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("querc_breaker_transitions_total"), std::string::npos);
+
+  std::string json = obs::ExportJson();
+  EXPECT_NE(json.find("querc_breaker_state"), std::string::npos);
+  EXPECT_NE(json.find("test_export:sink"), std::string::npos);
+
+  clock.AdvanceMs(101.0);
+  EXPECT_TRUE(breaker.Allow());
+  prom = obs::ExportPrometheus();
+  EXPECT_NE(
+      prom.find(
+          "querc_breaker_state{breaker=\"test_export:sink\"} 2"),
+      std::string::npos)
+      << prom;
+}
+
+}  // namespace
+}  // namespace querc::core

@@ -1,0 +1,143 @@
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace querc::util {
+namespace {
+
+/// Every test starts and ends with a clean registry (the registry is
+/// process-global; leaking an armed point would poison later tests).
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Failpoints::Global().DisarmAll(); }
+  void TearDown() override { Failpoints::Global().DisarmAll(); }
+};
+
+TEST_F(FailpointTest, DisarmedIsOkAndUnarmed) {
+  EXPECT_FALSE(Failpoints::AnyArmed());
+  EXPECT_TRUE(MaybeFail("never.armed").ok());
+  EXPECT_EQ(Failpoints::Global().hits("never.armed"), 0u);
+}
+
+TEST_F(FailpointTest, ArmedErrorReturnsStatus) {
+  FailpointSpec spec;
+  spec.action = FailAction::kError;
+  spec.code = StatusCode::kUnavailable;
+  Failpoints::Global().Arm("site.a", spec);
+  EXPECT_TRUE(Failpoints::AnyArmed());
+
+  Status status = MaybeFail("site.a");
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.message().find("site.a"), std::string::npos);
+  // Other sites are unaffected.
+  EXPECT_TRUE(MaybeFail("site.b").ok());
+  EXPECT_EQ(Failpoints::Global().hits("site.a"), 1u);
+}
+
+TEST_F(FailpointTest, CustomCodeAndMessage) {
+  FailpointSpec spec;
+  spec.code = StatusCode::kInternal;
+  spec.message = "boom";
+  Failpoints::Global().Arm("site.custom", spec);
+  Status status = MaybeFail("site.custom");
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_EQ(status.message(), "boom");
+}
+
+TEST_F(FailpointTest, CountLimitsFailuresThenSucceeds) {
+  FailpointSpec spec;
+  spec.count = 3;
+  Failpoints::Global().Arm("site.count", spec);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(MaybeFail("site.count").ok()) << "hit " << i;
+  }
+  // Budget exhausted: the point stays registered but stops firing.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(MaybeFail("site.count").ok());
+  }
+  EXPECT_EQ(Failpoints::Global().hits("site.count"), 3u);
+}
+
+TEST_F(FailpointTest, DelayActionSleepsThenSucceeds) {
+  FailpointSpec spec;
+  spec.action = FailAction::kDelay;
+  spec.delay_ms = 20.0;
+  Failpoints::Global().Arm("site.delay", spec);
+  util::Stopwatch sw;
+  EXPECT_TRUE(MaybeFail("site.delay").ok());
+  EXPECT_GE(sw.ElapsedMillis(), 15.0);
+}
+
+TEST_F(FailpointTest, DisarmRestoresOk) {
+  Failpoints::Global().Arm("site.a", FailpointSpec{});
+  EXPECT_FALSE(MaybeFail("site.a").ok());
+  EXPECT_TRUE(Failpoints::Global().Disarm("site.a"));
+  EXPECT_FALSE(Failpoints::Global().Disarm("site.a"));  // already gone
+  EXPECT_TRUE(MaybeFail("site.a").ok());
+  EXPECT_FALSE(Failpoints::AnyArmed());
+}
+
+TEST_F(FailpointTest, RearmResetsCountAndHits) {
+  FailpointSpec spec;
+  spec.count = 1;
+  Failpoints::Global().Arm("site.rearm", spec);
+  EXPECT_FALSE(MaybeFail("site.rearm").ok());
+  EXPECT_TRUE(MaybeFail("site.rearm").ok());
+  Failpoints::Global().Arm("site.rearm", spec);
+  EXPECT_EQ(Failpoints::Global().hits("site.rearm"), 0u);
+  EXPECT_FALSE(MaybeFail("site.rearm").ok());
+}
+
+TEST_F(FailpointTest, ParseAndArmFullSyntax) {
+  ASSERT_TRUE(Failpoints::Global()
+                  .ParseAndArm("a=error;b=error:Internal*2;c=delay:5;"
+                               "d=error:DeadlineExceeded")
+                  .ok());
+  EXPECT_EQ(MaybeFail("a").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(MaybeFail("b").code(), StatusCode::kInternal);
+  EXPECT_EQ(MaybeFail("b").code(), StatusCode::kInternal);
+  EXPECT_TRUE(MaybeFail("b").ok());  // *2 exhausted
+  EXPECT_TRUE(MaybeFail("c").ok());  // delay succeeds
+  EXPECT_EQ(MaybeFail("d").code(), StatusCode::kDeadlineExceeded);
+
+  auto armed = Failpoints::Global().Armed();
+  EXPECT_EQ(armed.size(), 4u);
+}
+
+TEST_F(FailpointTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Failpoints::Global().ParseAndArm("justaname").ok());
+  EXPECT_FALSE(Failpoints::Global().ParseAndArm("x=frobnicate").ok());
+  EXPECT_FALSE(Failpoints::Global().ParseAndArm("x=error:NoSuchCode").ok());
+  EXPECT_FALSE(Failpoints::AnyArmed());
+}
+
+TEST_F(FailpointTest, ConcurrentHitsAreExactlyCounted) {
+  FailpointSpec spec;
+  spec.count = 100;
+  Failpoints::Global().Arm("site.race", spec);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&failures] {
+      for (int i = 0; i < 100; ++i) {
+        if (!MaybeFail("site.race").ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // The count budget is enforced atomically: exactly 100 of the 400
+  // calls failed, no more, no fewer.
+  EXPECT_EQ(failures.load(), 100);
+  EXPECT_EQ(Failpoints::Global().hits("site.race"), 100u);
+}
+
+}  // namespace
+}  // namespace querc::util

@@ -22,6 +22,8 @@
 //                    [--report-ms N]
 //   querc lint       --workload w.csv | --stdin [--dialect d]
 //                    [--format text|json|sarif] [--advise] [--fail-on sev]
+//   querc chaos      [--shards N] [--faults N] [--sink-failure-rate F]
+//                    [--max-in-flight N] [--out report.json]
 //   querc info       --model m.bin
 
 #include <cstdio>
@@ -363,7 +365,7 @@ int CmdPool(const Args& args) {
   for (const auto& s : pool.Stats()) {
     std::printf("  shard %zu: %zu queries, latency min/mean/max "
                 "%.3f/%.3f/%.3f ms, p50/p99 %.3f/%.3f ms\n",
-                s.shard, s.processed, s.latency.min_ms, s.latency.mean_ms(),
+                s.shard, s.processed, s.latency.min(), s.latency.mean_ms(),
                 s.latency.max_ms, s.p50_ms, s.p99_ms);
   }
   return 0;
@@ -430,6 +432,8 @@ int CmdStats(const Args& args) {
   core::QWorkerPool::Options options;
   options.application = "cli";
   options.num_shards = static_cast<size_t>(args.GetInt("shards", 4));
+  options.max_in_flight = static_cast<size_t>(args.GetInt("max-in-flight", 0));
+  options.worker.deadline_ms = args.GetDouble("deadline-ms", 0.0);
   std::string partition = args.Get("partition", "account");
   if (partition == "account") {
     options.partition = core::QWorkerPool::Partition::kByAccount;
@@ -443,6 +447,10 @@ int CmdStats(const Args& args) {
   }
   core::QWorkerPool pool(options);
   pool.Deploy(classifier);
+  // No-op sinks so the full pipeline — including the sink retry/breaker
+  // machinery and the qworker.sink_* failpoints — is exercised end to end.
+  pool.set_database_sink([](const workload::LabeledQuery&) {});
+  pool.set_training_sink([](const core::ProcessedQuery&) {});
 
   obs::StatsReporter::Options ropt;
   int report_ms = args.GetInt("report-ms", 0);
@@ -536,6 +544,85 @@ int CmdStats(const Args& args) {
                 t.diagnostics, t.instances, t.example_text.c_str(),
                 t.example_text.size() > 80 ? "..." : "");
   }
+
+  // Resilience: breaker states plus the fault-handling counters (all also
+  // exported via --format prom|json).
+  auto counter_total = [](const std::string& name) {
+    unsigned long long total = 0;
+    for (const auto& sample :
+         obs::MetricsRegistry::Global().Collect(name).counters) {
+      total += sample.value;
+    }
+    return total;
+  };
+  std::printf("resilience:\n");
+  std::printf("  breakers:\n");
+  for (const auto& [name, state] : pool.BreakerStates()) {
+    std::printf("    %-32s %s\n", name.c_str(),
+                std::string(core::CircuitBreaker::StateName(state)).c_str());
+  }
+  std::printf("  shed=%llu retries=%llu retry_budget_exhausted=%llu "
+              "deadline_exceeded=%llu sink_errors=%llu fallbacks=%llu "
+              "skipped=%llu\n",
+              counter_total("querc_shed_total"),
+              counter_total("querc_retries_total"),
+              counter_total("querc_retry_budget_exhausted_total"),
+              counter_total("querc_deadline_exceeded_total"),
+              counter_total("querc_sink_errors_total"),
+              counter_total("querc_fallback_predictions_total"),
+              counter_total("querc_classifier_skipped_total"));
+  return 0;
+}
+
+/// `querc chaos`: the deterministic fault-injection soak (see
+/// querc/chaos.h). Drives a sharded pool through warmup / fault /
+/// recovery phases with failpoints armed, prints the machine-readable
+/// report, and exits nonzero unless the service degraded gracefully
+/// (breakers tripped AND re-closed, shedding engaged, no silent drops) —
+/// so CI can gate on it.
+int CmdChaos(const Args& args) {
+  core::ChaosOptions options;
+  options.num_shards = static_cast<size_t>(args.GetInt("shards", 2));
+  options.warmup_queries = static_cast<size_t>(args.GetInt("warmup", 100));
+  options.fault_queries = static_cast<size_t>(args.GetInt("faults", 300));
+  options.recovery_queries =
+      static_cast<size_t>(args.GetInt("recovery", 400));
+  options.sink_failure_rate = args.GetDouble("sink-failure-rate", 0.2);
+  options.classifier_outage = !args.GetBool("no-classifier-outage");
+  options.max_in_flight =
+      static_cast<size_t>(args.GetInt("max-in-flight", 8));
+  options.breaker_open_ms = args.GetDouble("breaker-open-ms", 25.0);
+  options.deadline_ms = args.GetDouble("deadline-ms", 0.0);
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+
+  core::ChaosReport report = core::RunChaosSoak(options);
+  std::string json = report.ToJson();
+  std::string out = args.Get("out");
+  if (out.empty()) {
+    std::printf("%s\n", json.c_str());
+  } else {
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      return Fail(util::Status::Internal("cannot open --out " + out));
+    }
+    std::fputs(json.c_str(), f);
+    std::fputs("\n", f);
+    std::fclose(f);
+    std::printf("wrote chaos report to %s\n", out.c_str());
+  }
+  if (!report.ok()) {
+    std::fprintf(stderr,
+                 "chaos: FAILED (tripped=%zu reclosed=%s shed=%zu "
+                 "silent_drops=%zu)\n",
+                 report.breakers_tripped,
+                 report.breakers_reclosed ? "true" : "false", report.shed,
+                 report.silent_drops);
+    return 1;
+  }
+  std::printf("chaos: OK (recovery %.1f ms, shed rate %.1f%%, p99 under "
+              "fault %.3f ms)\n",
+              report.recovery_ms, 100.0 * report.shed_rate,
+              report.p99_fault_ms);
   return 0;
 }
 
@@ -752,6 +839,9 @@ int Usage() {
       "  stats      [--model m.bin --history h.csv --batch b.csv] [--task t]\n"
       "             [--shards N] [--partition account|user|rr] [--repeat N]\n"
       "             [--format text|prom|json] [--out f] [--report-ms N]\n"
+      "  chaos      [--shards N] [--warmup N] [--faults N] [--recovery N]\n"
+      "             [--sink-failure-rate F] [--no-classifier-outage]\n"
+      "             [--max-in-flight N] [--breaker-open-ms F] [--out f]\n"
       "  explain    --workload w.csv [--indexes t:c1,c2;t2:c] [--limit N]\n"
       "  drift      --model m.bin --reference r.csv --recent n.csv\n"
       "  lint       --workload w.csv | --stdin [--dialect d]\n"
@@ -774,6 +864,7 @@ int Main(int argc, char** argv) {
   if (command == "label") return CmdLabel(args);
   if (command == "pool") return CmdPool(args);
   if (command == "stats") return CmdStats(args);
+  if (command == "chaos") return CmdChaos(args);
   if (command == "explain") return CmdExplain(args);
   if (command == "drift") return CmdDrift(args);
   if (command == "lint") return CmdLint(args);

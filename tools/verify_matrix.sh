@@ -40,6 +40,13 @@ run_config() {
     echo "[$name] FAIL: querc lint did not gate on an error finding" >&2
     return 1
   fi
+  # Chaos smoke: a short fault-injection soak (sink failures + classifier
+  # outage + shed bursts) must degrade gracefully — breakers trip and
+  # re-close, load is shed instead of queued, nothing is silently dropped.
+  # `querc chaos` exits nonzero if any of those invariants break.
+  echo "==== [$name] chaos smoke ===="
+  "$dir/tools/querc" chaos --shards 2 --warmup 40 --faults 120 \
+    --recovery 200 --max-in-flight 4 --breaker-open-ms 10 >/dev/null
   echo "==== [$name] ok ===="
 }
 
