@@ -1,0 +1,194 @@
+// Measures the template-keyed embedding cache on the seed workloads:
+// cold (every query runs full Doc2Vec inference) vs warm (every template
+// resident) throughput, plus the hit ratio a replayed workload achieves.
+// Also proves the cache is pure memoization: cached vectors are compared
+// bit-for-bit against freshly computed ones.
+//
+// Every bench_-prefixed metric is exported to BENCH_embed.json (see
+// --out). With --smoke the workloads are truncated for a CI sanity run
+// and the process fails unless the warm pass is ≥ 5x cold with a high
+// hit ratio — wired into tools/verify_matrix.sh.
+
+#include <cstring>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "embed/embed_cache.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace querc::bench {
+namespace {
+
+struct WorkloadResult {
+  double cold_qps = 0.0;
+  double warm_qps = 0.0;
+  double hit_ratio = 0.0;
+  bool bit_identical = true;
+};
+
+WorkloadResult RunOne(const embed::Embedder& embedder,
+                      const workload::Workload& wl, const char* label) {
+  std::vector<std::vector<std::string>> docs = embed::TokenizeWorkload(wl);
+
+  // Cold: direct inference for every query, no cache anywhere.
+  util::Stopwatch watch;
+  std::vector<nn::Vec> direct;
+  direct.reserve(docs.size());
+  for (const auto& doc : docs) direct.push_back(embedder.Embed(doc));
+  double cold_s = watch.ElapsedSeconds();
+
+  // First replay populates the cache (misses for distinct templates,
+  // hits for repeats); second replay is the warm measurement.
+  embed::EmbeddingCache cache(embed::EmbeddingCache::Options{});
+  std::vector<std::string> keys;
+  keys.reserve(docs.size());
+  for (const auto& doc : docs) {
+    keys.push_back(embed::EmbeddingCache::KeyFor(embedder, doc));
+  }
+  WorkloadResult result;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    auto cached =
+        cache.GetOrCompute(keys[i], [&] { return embedder.Embed(docs[i]); });
+    // Pure memoization: the cached vector must equal direct recomputation
+    // bit for bit (same key => same Embed() input => same output).
+    if (*cached != direct[i]) result.bit_identical = false;
+  }
+  // Within-workload hit ratio: repeats of the same template during one
+  // cold replay (the "dominant shape of real workloads" effect).
+  double first_pass_hit_ratio = cache.Stats().hit_ratio();
+
+  embed::EmbedCacheStats before = cache.Stats();
+  watch.Reset();
+  for (size_t i = 0; i < docs.size(); ++i) {
+    auto cached =
+        cache.GetOrCompute(keys[i], [&] { return embedder.Embed(docs[i]); });
+    if (cached->size() != embedder.dim()) result.bit_identical = false;
+  }
+  double warm_s = watch.ElapsedSeconds();
+  embed::EmbedCacheStats after = cache.Stats();
+  uint64_t replay_lookups = after.lookups() - before.lookups();
+  result.hit_ratio =
+      replay_lookups == 0
+          ? 0.0
+          : static_cast<double>(after.hits - before.hits) /
+                static_cast<double>(replay_lookups);
+
+  double n = static_cast<double>(docs.size());
+  result.cold_qps = n / std::max(cold_s, 1e-9);
+  result.warm_qps = n / std::max(warm_s, 1e-9);
+
+  obs::Labels labels = {{"workload", label}};
+  auto& registry = obs::MetricsRegistry::Global();
+  registry
+      .GetGauge("bench_embed_cold_qps", labels,
+                "Uncached Doc2Vec inference throughput, queries/second")
+      .Set(result.cold_qps);
+  registry
+      .GetGauge("bench_embed_warm_qps", labels,
+                "Warm-cache embedding throughput, queries/second")
+      .Set(result.warm_qps);
+  registry
+      .GetGauge("bench_embed_speedup", labels,
+                "warm_qps / cold_qps on the replayed workload")
+      .Set(result.warm_qps / std::max(result.cold_qps, 1e-9));
+  registry
+      .GetGauge("bench_embed_hit_ratio", labels,
+                "Cache hit ratio replaying an already-seen workload")
+      .Set(result.hit_ratio);
+  registry
+      .GetGauge("bench_embed_first_pass_hit_ratio", labels,
+                "Hit ratio during the first (populating) pass: repeated "
+                "templates within one workload")
+      .Set(first_pass_hit_ratio);
+  registry
+      .GetGauge("bench_embed_bit_identical", labels,
+                "1 when every cached vector matched direct inference "
+                "bit-for-bit")
+      .Set(result.bit_identical ? 1.0 : 0.0);
+
+  std::printf("  %-10s %6zu queries  cold %8.1f qps  warm %10.1f qps "
+              "(%.0fx)  replay hit ratio %.3f  bit-identical %s\n",
+              label, wl.size(), result.cold_qps, result.warm_qps,
+              result.warm_qps / std::max(result.cold_qps, 1e-9),
+              result.hit_ratio, result.bit_identical ? "yes" : "NO");
+  return result;
+}
+
+workload::Workload Truncate(const workload::Workload& wl, size_t n) {
+  workload::Workload out;
+  for (size_t i = 0; i < wl.size() && i < n; ++i) out.Add(wl[i]);
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  const char* out_path = "BENCH_embed.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_embed_cache [--smoke] [--out FILE]\n");
+      return 2;
+    }
+  }
+
+  std::printf("=== Embedding cache: cold vs warm throughput ===\n");
+  workload::Workload tpch = TpchWorkload();
+  workload::Workload snowflake = SnowflakeLabeledWorkload();
+  if (smoke) {
+    tpch = Truncate(tpch, 60);
+    snowflake = Truncate(snowflake, 60);
+  }
+
+  embed::Doc2VecEmbedder embedder(Doc2VecBenchOptions());
+  workload::Workload corpus = tpch;
+  corpus.Append(snowflake);
+  TrainEmbedder(embedder, corpus, "doc2vec");
+
+  WorkloadResult t = RunOne(embedder, tpch, "tpch");
+  WorkloadResult s = RunOne(embedder, snowflake, "snowflake");
+
+  std::string json =
+      obs::ExportJson(obs::MetricsRegistry::Global(), "bench_");
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path);
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+
+  if (!t.bit_identical || !s.bit_identical) {
+    std::fprintf(stderr, "FAIL: cached vectors diverged from direct "
+                         "inference\n");
+    return 1;
+  }
+  if (smoke) {
+    // Sanity gates for the verify_matrix stage: the warm pass must be a
+    // large win and a full replay of an already-seen workload must hit.
+    bool ok = true;
+    for (const WorkloadResult* r : {&t, &s}) {
+      if (r->warm_qps < 5.0 * r->cold_qps) {
+        std::fprintf(stderr, "FAIL: warm qps < 5x cold qps\n");
+        ok = false;
+      }
+      if (r->hit_ratio < 0.9) {
+        std::fprintf(stderr, "FAIL: replay hit ratio %.3f < 0.9\n",
+                     r->hit_ratio);
+        ok = false;
+      }
+    }
+    if (!ok) return 1;
+    std::printf("smoke OK\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace querc::bench
+
+int main(int argc, char** argv) { return querc::bench::Main(argc, argv); }

@@ -14,11 +14,13 @@
 //     native advisor for most budgets (transfer learning).
 
 #include <map>
+#include <thread>
 
 #include "bench/bench_common.h"
 #include "engine/advisor.h"
 #include "engine/cost_model.h"
 #include "querc/summarizer.h"
+#include "util/thread_pool.h"
 
 namespace querc::bench {
 namespace {
@@ -33,10 +35,14 @@ std::vector<std::string> Texts(const workload::Workload& wl) {
 std::vector<std::string> Summarize(
     std::shared_ptr<const embed::Embedder> embedder,
     const workload::Workload& wl, const char* label) {
+  // Shared across calls: embedding the workload is the dominant cost, and
+  // EmbedBatch fans it out over this pool.
+  static util::ThreadPool pool(std::thread::hardware_concurrency());
   core::WorkloadSummarizer::Options options;
   options.elbow.k_min = 4;
   options.elbow.k_max = 48;
   options.elbow.k_step = 4;
+  options.thread_pool = &pool;
   core::WorkloadSummarizer summarizer(std::move(embedder), options);
   util::Stopwatch watch;
   auto summary = summarizer.Summarize(wl);

@@ -12,10 +12,12 @@
 // accounts consist mostly of shared query texts issued by many users.
 
 #include <memory>
+#include <thread>
 
 #include "bench/bench_common.h"
 #include "ml/crossval.h"
 #include "ml/random_forest.h"
+#include "util/thread_pool.h"
 
 namespace querc::bench {
 namespace {
@@ -28,7 +30,9 @@ struct TaskResult {
 
 TaskResult RunLabeling(const embed::Embedder& embedder,
                        const workload::Workload& labeled, int folds) {
-  std::vector<nn::Vec> vectors = embed::EmbedWorkload(embedder, labeled);
+  // Embedding the 10-fold corpus is the bench's dominant cost; fan it out.
+  static util::ThreadPool pool(std::thread::hardware_concurrency());
+  std::vector<nn::Vec> vectors = embed::EmbedWorkload(embedder, labeled, &pool);
 
   auto forest_factory = [] {
     return std::make_unique<ml::RandomForestClassifier>(

@@ -12,7 +12,10 @@
 namespace querc::embed {
 
 namespace {
-constexpr uint64_t kMagic = 0x51444f4332564543ULL;  // "QDOC2VEC"
+// Format v2 adds min_learning_rate (it drives the inference LR schedule,
+// so dropping it changed Embed() across a save/load round trip).
+constexpr uint64_t kMagic = 0x51444f4332564532ULL;    // "QDOC2VE2"
+constexpr uint64_t kMagicV1 = 0x51444f4332564543ULL;  // "QDOC2VEC"
 }
 
 util::Status Doc2VecEmbedder::Train(
@@ -175,6 +178,7 @@ util::Status Doc2VecEmbedder::Save(std::ostream& out) const {
   QUERC_RETURN_IF_ERROR(
       nn::WriteU64(out, static_cast<uint64_t>(options_.infer_epochs)));
   QUERC_RETURN_IF_ERROR(nn::WriteF64(out, options_.learning_rate));
+  QUERC_RETURN_IF_ERROR(nn::WriteF64(out, options_.min_learning_rate));
   QUERC_RETURN_IF_ERROR(nn::WriteU64(out, options_.seed));
   QUERC_RETURN_IF_ERROR(vocab_.Save(out));
   QUERC_RETURN_IF_ERROR(nn::WriteTensor(out, word_in_));
@@ -185,6 +189,11 @@ util::Status Doc2VecEmbedder::Save(std::ostream& out) const {
 util::StatusOr<Doc2VecEmbedder> Doc2VecEmbedder::Load(std::istream& in) {
   uint64_t magic = 0;
   QUERC_RETURN_IF_ERROR(nn::ReadU64(in, magic));
+  if (magic == kMagicV1) {
+    return util::Status::Corruption(
+        "doc2vec: v1 model file lacks min_learning_rate (inference would "
+        "not match the saving process); retrain and re-save");
+  }
   if (magic != kMagic) {
     return util::Status::Corruption("doc2vec: bad magic");
   }
@@ -197,7 +206,30 @@ util::StatusOr<Doc2VecEmbedder> Doc2VecEmbedder::Load(std::istream& in) {
   QUERC_RETURN_IF_ERROR(nn::ReadU64(in, negative));
   QUERC_RETURN_IF_ERROR(nn::ReadU64(in, infer_epochs));
   QUERC_RETURN_IF_ERROR(nn::ReadF64(in, options.learning_rate));
+  QUERC_RETURN_IF_ERROR(nn::ReadF64(in, options.min_learning_rate));
   QUERC_RETURN_IF_ERROR(nn::ReadU64(in, seed));
+  // A corrupt stream can pass the magic check; reject degenerate headers
+  // before they size tensors or drive inference loops.
+  if (dim == 0 || dim > 65536) {
+    return util::Status::Corruption("doc2vec: corrupt header (dim)");
+  }
+  if (mode > 1) {
+    return util::Status::Corruption("doc2vec: corrupt header (mode)");
+  }
+  if (window == 0 || window > 4096) {
+    return util::Status::Corruption("doc2vec: corrupt header (window)");
+  }
+  if (negative == 0 || negative > 4096) {
+    return util::Status::Corruption("doc2vec: corrupt header (negative)");
+  }
+  if (infer_epochs == 0 || infer_epochs > 1000000) {
+    return util::Status::Corruption("doc2vec: corrupt header (infer_epochs)");
+  }
+  if (!std::isfinite(options.learning_rate) || options.learning_rate <= 0.0 ||
+      !std::isfinite(options.min_learning_rate) ||
+      options.min_learning_rate <= 0.0) {
+    return util::Status::Corruption("doc2vec: corrupt header (learning rate)");
+  }
   options.dim = dim;
   options.mode = mode == 0 ? Mode::kDm : Mode::kDbow;
   options.window = static_cast<int>(window);
@@ -209,6 +241,14 @@ util::StatusOr<Doc2VecEmbedder> Doc2VecEmbedder::Load(std::istream& in) {
   QUERC_RETURN_IF_ERROR(Vocabulary::Load(in, &embedder.vocab_));
   QUERC_RETURN_IF_ERROR(nn::ReadTensor(in, embedder.word_in_));
   QUERC_RETURN_IF_ERROR(nn::ReadTensor(in, embedder.out_));
+  const size_t vocab_size = embedder.vocab_.size();
+  if (embedder.word_in_.rows() != vocab_size ||
+      embedder.word_in_.cols() != options.dim ||
+      embedder.out_.rows() != vocab_size ||
+      embedder.out_.cols() != options.dim) {
+    return util::Status::Corruption(
+        "doc2vec: tensor shape disagrees with header/vocabulary");
+  }
   embedder.trained_ = true;
   return embedder;
 }

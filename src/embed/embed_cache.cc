@@ -1,0 +1,211 @@
+#include "embed/embed_cache.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/string_util.h"
+
+namespace querc::embed {
+
+namespace {
+
+/// Service-wide cache counters (all caches sum into these); per-cache
+/// numbers come from Stats(). Resolved once, then only atomics.
+obs::Counter& HitsCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "querc_embed_cache_hits_total", {},
+      "Embedding cache hits (including coalesced single-flight waits)");
+  return counter;
+}
+
+obs::Counter& MissesCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "querc_embed_cache_misses_total", {},
+      "Embedding cache misses (each ran one underlying Embed)");
+  return counter;
+}
+
+obs::Counter& EvictionsCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "querc_embed_cache_evictions_total", {},
+      "Embedding cache LRU evictions");
+  return counter;
+}
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void EmbedCacheStats::Merge(const EmbedCacheStats& other) {
+  hits += other.hits;
+  misses += other.misses;
+  evictions += other.evictions;
+  size += other.size;
+  capacity += other.capacity;
+}
+
+EmbeddingCache::EmbeddingCache(const Options& options) {
+  size_t num_shards = RoundUpPow2(options.shards == 0 ? 1 : options.shards);
+  size_t capacity = options.capacity == 0 ? 1 : options.capacity;
+  // Don't spread a tiny capacity over many near-empty shards.
+  while (num_shards > 1 && capacity < num_shards) num_shards >>= 1;
+  per_shard_capacity_ = (capacity + num_shards - 1) / num_shards;
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::string EmbeddingCache::KeyFor(const Embedder& embedder,
+                                   const std::vector<std::string>& words) {
+  size_t total = 24;
+  for (const std::string& w : words) total += w.size() + 1;
+  std::string key;
+  key.reserve(total);
+  key += std::to_string(embedder.instance_id());
+  key += ':';
+  for (const std::string& w : words) {
+    key += w;
+    key += ' ';
+  }
+  return key;
+}
+
+EmbeddingCache::Shard& EmbeddingCache::ShardFor(const std::string& key) {
+  // shards_.size() is a power of two.
+  return *shards_[util::Fnv1a64(key) & (shards_.size() - 1)];
+}
+
+void EmbeddingCache::InsertLocked(
+    Shard& shard, const std::string& key,
+    const std::shared_ptr<const nn::Vec>& value) {
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    // A racing compute already published; keep the resident entry (the
+    // values are identical — same key, deterministic Embed).
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    return;
+  }
+  shard.lru.push_front(key);
+  shard.map.emplace(key, Shard::Entry{value, shard.lru.begin()});
+  while (shard.map.size() > per_shard_capacity_) {
+    shard.map.erase(shard.lru.back());
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    EvictionsCounter().Increment();
+  }
+}
+
+std::shared_ptr<const nn::Vec> EmbeddingCache::GetOrCompute(
+    const std::string& key, const std::function<nn::Vec()>& compute) {
+  Shard& shard = ShardFor(key);
+  std::shared_ptr<InFlight> flight;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      HitsCounter().Increment();
+      return it->second.value;
+    }
+    auto fit = shard.in_flight.find(key);
+    if (fit != shard.in_flight.end()) {
+      flight = fit->second;
+    } else {
+      flight = std::make_shared<InFlight>();
+      shard.in_flight.emplace(key, flight);
+      owner = true;
+    }
+  }
+
+  if (!owner) {
+    // Single-flight: wait for the computing thread and share its result.
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    if (!flight->failed) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      HitsCounter().Increment();
+      return flight->value;
+    }
+    // The owner's compute threw; fall back to computing for ourselves
+    // (uncached — if this throws too, the caller sees it directly).
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    MissesCounter().Increment();
+    return std::make_shared<const nn::Vec>(compute());
+  }
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  MissesCounter().Increment();
+  std::shared_ptr<const nn::Vec> value;
+  try {
+    value = std::make_shared<const nn::Vec>(compute());
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.in_flight.erase(key);
+    }
+    {
+      std::lock_guard<std::mutex> lock(flight->mu);
+      flight->done = true;
+      flight->failed = true;
+    }
+    flight->cv.notify_all();
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    InsertLocked(shard, key, value);
+    shard.in_flight.erase(key);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->done = true;
+    flight->value = value;
+  }
+  flight->cv.notify_all();
+  return value;
+}
+
+std::shared_ptr<const nn::Vec> EmbeddingCache::Peek(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return nullptr;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  return it->second.value;
+}
+
+EmbedCacheStats EmbeddingCache::Stats() const {
+  EmbedCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.size = size();
+  stats.capacity = capacity();
+  return stats;
+}
+
+size_t EmbeddingCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+void EmbeddingCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->map.clear();
+    shard->lru.clear();
+  }
+}
+
+}  // namespace querc::embed

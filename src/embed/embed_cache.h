@@ -1,0 +1,144 @@
+#ifndef QUERC_EMBED_EMBED_CACHE_H_
+#define QUERC_EMBED_EMBED_CACHE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "embed/embedder.h"
+#include "nn/tensor.h"
+
+namespace querc::embed {
+
+/// Point-in-time counters for one EmbeddingCache (or a merged view over
+/// several — per-worker caches roll up through QWorkerPool). `hits`
+/// includes single-flight waiters: a caller that slept on another thread's
+/// in-progress compute never ran inference itself.
+struct EmbedCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  /// Entries resident right now / maximum entries.
+  size_t size = 0;
+  size_t capacity = 0;
+
+  uint64_t lookups() const { return hits + misses; }
+  double hit_ratio() const {
+    uint64_t n = lookups();
+    return n == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(n);
+  }
+
+  /// Pointwise sum (sizes and capacities add: the merged view describes
+  /// the union of the underlying caches).
+  void Merge(const EmbedCacheStats& other);
+};
+
+/// Sharded, thread-safe, LRU cache from normalized query templates to
+/// embedding vectors — the memoization layer in front of Embedder::Embed.
+///
+/// Key soundness: the key is the normalized-token fingerprint the
+/// embedders themselves consume (literals folded, identifiers
+/// lower-cased), prefixed with the producing embedder's instance id. Two
+/// queries with the same fingerprint are *the same input* to Embed(), so
+/// serving the memoized vector is bit-identical to re-running inference —
+/// the cache can never change a label, a summary, or a figure. Real
+/// workloads are dominated by repeated templates, which is what makes
+/// this the hot-path win.
+///
+/// Concurrency: keys hash across independently locked shards, so
+/// unrelated templates never contend. A miss is *single-flight*: the
+/// first caller computes while concurrent callers for the same key wait
+/// on its in-flight slot and share the one result — a template stampede
+/// (N threads, one new template) runs inference exactly once.
+///
+/// Values are immutable shared vectors: a returned pointer stays valid
+/// after eviction (readers keep their snapshot; eviction only drops the
+/// cache's reference).
+class EmbeddingCache {
+ public:
+  struct Options {
+    /// Maximum cached templates across all shards. Rounded up so every
+    /// shard holds at least one entry.
+    size_t capacity = 4096;
+    /// Lock shards (rounded up to a power of two, at least 1).
+    size_t shards = 8;
+  };
+
+  explicit EmbeddingCache(const Options& options);
+
+  EmbeddingCache(const EmbeddingCache&) = delete;
+  EmbeddingCache& operator=(const EmbeddingCache&) = delete;
+
+  /// Cache key for embedding `words` with `embedder`: the embedder's
+  /// instance id plus the normalized-token fingerprint. Including the id
+  /// keeps one cache sound across multiple embedders (two models embed
+  /// the same template to different vectors).
+  static std::string KeyFor(const Embedder& embedder,
+                            const std::vector<std::string>& words);
+
+  /// Returns the embedding for `key`, running `compute` on a miss.
+  /// Concurrent misses on the same key coalesce: one caller computes, the
+  /// rest wait and share the result (counted as hits — they ran no
+  /// inference). If `compute` throws, the exception propagates to the
+  /// computing caller; waiters fall back to computing for themselves
+  /// (uncached), so one failure cannot poison the key.
+  std::shared_ptr<const nn::Vec> GetOrCompute(
+      const std::string& key, const std::function<nn::Vec()>& compute);
+
+  /// The cached value for `key` (refreshing its LRU position), or null.
+  /// Does not touch the hit/miss counters; diagnostics only.
+  std::shared_ptr<const nn::Vec> Peek(const std::string& key);
+
+  EmbedCacheStats Stats() const;
+  size_t size() const;
+  size_t capacity() const { return per_shard_capacity_ * shards_.size(); }
+
+  /// Drops every entry (counters are preserved). In-flight computes are
+  /// unaffected; they publish into the emptied cache.
+  void Clear();
+
+ private:
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool failed = false;
+    std::shared_ptr<const nn::Vec> value;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used.
+    std::list<std::string> lru;
+    struct Entry {
+      std::shared_ptr<const nn::Vec> value;
+      std::list<std::string>::iterator lru_it;
+    };
+    std::unordered_map<std::string, Entry> map;
+    std::unordered_map<std::string, std::shared_ptr<InFlight>> in_flight;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  /// Inserts under the shard lock, evicting LRU tails past capacity.
+  void InsertLocked(Shard& shard, const std::string& key,
+                    const std::shared_ptr<const nn::Vec>& value);
+
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace querc::embed
+
+#endif  // QUERC_EMBED_EMBED_CACHE_H_

@@ -1,10 +1,39 @@
 #include "embed/embedder.h"
 
+#include <atomic>
+
 #include "obs/trace.h"
 #include "sql/lexer.h"
 #include "sql/normalizer.h"
+#include "util/thread_pool.h"
 
 namespace querc::embed {
+
+namespace {
+
+uint64_t NextInstanceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Embedder::Embedder() : instance_id_(NextInstanceId()) {}
+Embedder::Embedder(const Embedder&) : instance_id_(NextInstanceId()) {}
+Embedder::Embedder(Embedder&&) noexcept : instance_id_(NextInstanceId()) {}
+
+std::vector<nn::Vec> Embedder::EmbedBatch(
+    const std::vector<std::vector<std::string>>& docs,
+    util::ThreadPool* pool) const {
+  std::vector<nn::Vec> vectors(docs.size());
+  if (pool != nullptr && docs.size() > 1) {
+    pool->ParallelFor(docs.size(),
+                      [&](size_t i) { vectors[i] = Embed(docs[i]); });
+  } else {
+    for (size_t i = 0; i < docs.size(); ++i) vectors[i] = Embed(docs[i]);
+  }
+  return vectors;
+}
 
 std::vector<std::string> TokenizeForEmbedding(std::string_view text,
                                               sql::Dialect dialect) {
@@ -37,14 +66,9 @@ util::Status TrainOnWorkload(Embedder& embedder,
 }
 
 std::vector<nn::Vec> EmbedWorkload(const Embedder& embedder,
-                                   const workload::Workload& workload) {
-  std::vector<nn::Vec> vectors;
-  vectors.reserve(workload.size());
-  for (const auto& q : workload) {
-    vectors.push_back(
-        embedder.Embed(TokenizeForEmbedding(q.text, q.dialect)));
-  }
-  return vectors;
+                                   const workload::Workload& workload,
+                                   util::ThreadPool* pool) {
+  return embedder.EmbedBatch(TokenizeWorkload(workload), pool);
 }
 
 }  // namespace querc::embed

@@ -1,7 +1,10 @@
 #include "embed/feature_embedder.h"
 
 #include <cmath>
+#include <istream>
+#include <ostream>
 
+#include "nn/serialize.h"
 #include "sql/analyzer.h"
 #include "sql/normalizer.h"
 #include "util/string_util.h"
@@ -9,6 +12,8 @@
 namespace querc::embed {
 
 namespace {
+
+constexpr uint64_t kMagic = 0x5146454154454d31ULL;  // "QFEATEM1"
 
 /// Number of fixed (non-hashed) feature slots; see FixedFeatureNames().
 constexpr size_t kFixedFeatures = 18;
@@ -160,6 +165,47 @@ nn::Vec FeatureEmbedder::Embed(const std::vector<std::string>& words) const {
   nn::Vec f = RawFeatures(words);
   for (size_t i = 0; i < f.size(); ++i) f[i] *= scale_[i];
   return f;
+}
+
+util::Status FeatureEmbedder::Save(std::ostream& out) const {
+  QUERC_RETURN_IF_ERROR(nn::WriteU64(out, kMagic));
+  QUERC_RETURN_IF_ERROR(
+      nn::WriteU64(out, static_cast<uint64_t>(options_.dialect)));
+  QUERC_RETURN_IF_ERROR(nn::WriteU64(out, options_.table_hash_buckets));
+  QUERC_RETURN_IF_ERROR(nn::WriteU64(out, options_.column_hash_buckets));
+  for (double x : scale_) QUERC_RETURN_IF_ERROR(nn::WriteF64(out, x));
+  return util::Status::OK();
+}
+
+util::StatusOr<FeatureEmbedder> FeatureEmbedder::Load(std::istream& in) {
+  uint64_t magic = 0;
+  QUERC_RETURN_IF_ERROR(nn::ReadU64(in, magic));
+  if (magic != kMagic) {
+    return util::Status::Corruption("features: bad magic");
+  }
+  uint64_t dialect = 0, table_buckets = 0, column_buckets = 0;
+  QUERC_RETURN_IF_ERROR(nn::ReadU64(in, dialect));
+  QUERC_RETURN_IF_ERROR(nn::ReadU64(in, table_buckets));
+  QUERC_RETURN_IF_ERROR(nn::ReadU64(in, column_buckets));
+  if (dialect > static_cast<uint64_t>(sql::Dialect::kSnowflake)) {
+    return util::Status::Corruption("features: corrupt header (dialect)");
+  }
+  if (table_buckets == 0 || table_buckets > (1ULL << 20) ||
+      column_buckets == 0 || column_buckets > (1ULL << 20)) {
+    return util::Status::Corruption("features: corrupt header (buckets)");
+  }
+  Options options;
+  options.dialect = static_cast<sql::Dialect>(dialect);
+  options.table_hash_buckets = table_buckets;
+  options.column_hash_buckets = column_buckets;
+  FeatureEmbedder embedder(options);
+  for (size_t i = 0; i < embedder.scale_.size(); ++i) {
+    QUERC_RETURN_IF_ERROR(nn::ReadF64(in, embedder.scale_[i]));
+    if (!std::isfinite(embedder.scale_[i])) {
+      return util::Status::Corruption("features: non-finite scale value");
+    }
+  }
+  return embedder;
 }
 
 }  // namespace querc::embed

@@ -1,11 +1,13 @@
 #ifndef QUERC_EMBED_FEATURE_EMBEDDER_H_
 #define QUERC_EMBED_FEATURE_EMBEDDER_H_
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "embed/embedder.h"
 #include "sql/dialect.h"
+#include "util/statusor.h"
 
 namespace querc::embed {
 
@@ -43,6 +45,9 @@ class FeatureEmbedder : public Embedder {
 
   /// Human-readable names of the fixed (non-hashed) feature slots.
   static std::vector<std::string> FixedFeatureNames();
+
+  util::Status Save(std::ostream& out) const;
+  static util::StatusOr<FeatureEmbedder> Load(std::istream& in);
 
  private:
   Options options_;

@@ -251,6 +251,16 @@ util::StatusOr<LstmAutoencoderEmbedder> LstmAutoencoderEmbedder::Load(
   QUERC_RETURN_IF_ERROR(nn::ReadU64(in, token));
   QUERC_RETURN_IF_ERROR(nn::ReadU64(in, max_seq));
   QUERC_RETURN_IF_ERROR(nn::ReadU64(in, full));
+  // Reject degenerate headers from corrupt streams before sizing tensors.
+  if (hidden == 0 || hidden > 65536 || token == 0 || token > 65536) {
+    return util::Status::Corruption("lstm-ae: corrupt header (dims)");
+  }
+  if (max_seq == 0 || max_seq > (1ULL << 20)) {
+    return util::Status::Corruption("lstm-ae: corrupt header (max_sequence)");
+  }
+  if (full > 1) {
+    return util::Status::Corruption("lstm-ae: corrupt header (full_softmax)");
+  }
   options.hidden_dim = hidden;
   options.token_dim = token;
   options.max_sequence = max_seq;

@@ -5,15 +5,20 @@
 #include <ostream>
 
 #include "embed/doc2vec.h"
+#include "embed/feature_embedder.h"
 #include "embed/lstm_autoencoder.h"
+#include "embed/tfidf_embedder.h"
 #include "nn/serialize.h"
 
 namespace querc::embed {
 
 namespace {
 // Must match the classes' private magic numbers (checked by tests).
-constexpr uint64_t kDoc2VecMagic = 0x51444f4332564543ULL;   // "QDOC2VEC"
-constexpr uint64_t kLstmMagic = 0x514c53544d414532ULL;      // "QLSTMAE2"
+constexpr uint64_t kDoc2VecMagic = 0x51444f4332564532ULL;    // "QDOC2VE2"
+constexpr uint64_t kDoc2VecMagicV1 = 0x51444f4332564543ULL;  // "QDOC2VEC"
+constexpr uint64_t kLstmMagic = 0x514c53544d414532ULL;       // "QLSTMAE2"
+constexpr uint64_t kTfidfMagic = 0x5154464944463031ULL;      // "QTFIDF01"
+constexpr uint64_t kFeatureMagic = 0x5146454154454d31ULL;    // "QFEATEM1"
 }  // namespace
 
 util::Status SaveEmbedder(const Embedder& embedder, std::ostream& out) {
@@ -23,6 +28,12 @@ util::Status SaveEmbedder(const Embedder& embedder, std::ostream& out) {
   if (const auto* lstm =
           dynamic_cast<const LstmAutoencoderEmbedder*>(&embedder)) {
     return lstm->Save(out);
+  }
+  if (const auto* tfidf = dynamic_cast<const TfidfEmbedder*>(&embedder)) {
+    return tfidf->Save(out);
+  }
+  if (const auto* feat = dynamic_cast<const FeatureEmbedder*>(&embedder)) {
+    return feat->Save(out);
   }
   return util::Status::Unimplemented(
       "no persistence for embedder type: " + embedder.name());
@@ -51,6 +62,22 @@ util::StatusOr<std::unique_ptr<Embedder>> LoadEmbedder(std::istream& in) {
     if (!loaded.ok()) return loaded.status();
     return std::unique_ptr<Embedder>(std::make_unique<LstmAutoencoderEmbedder>(
         std::move(loaded).value()));
+  }
+  if (magic == kTfidfMagic) {
+    auto loaded = TfidfEmbedder::Load(in);
+    if (!loaded.ok()) return loaded.status();
+    return std::unique_ptr<Embedder>(
+        std::make_unique<TfidfEmbedder>(std::move(loaded).value()));
+  }
+  if (magic == kFeatureMagic) {
+    auto loaded = FeatureEmbedder::Load(in);
+    if (!loaded.ok()) return loaded.status();
+    return std::unique_ptr<Embedder>(
+        std::make_unique<FeatureEmbedder>(std::move(loaded).value()));
+  }
+  if (magic == kDoc2VecMagicV1) {
+    return util::Status::Corruption(
+        "doc2vec: v1 model file lacks min_learning_rate; retrain and re-save");
   }
   return util::Status::Corruption("unknown embedder model magic");
 }

@@ -1,11 +1,18 @@
 #include "embed/tfidf_embedder.h"
 
 #include <cmath>
+#include <istream>
+#include <ostream>
 #include <set>
 
+#include "nn/serialize.h"
 #include "util/string_util.h"
 
 namespace querc::embed {
+
+namespace {
+constexpr uint64_t kMagic = 0x5154464944463031ULL;  // "QTFIDF01"
+}
 
 TfidfEmbedder::TfidfEmbedder(const Options& options)
     : options_(options), idf_(options.buckets, 1.0) {}
@@ -37,11 +44,14 @@ util::Status TfidfEmbedder::Train(
 
 nn::Vec TfidfEmbedder::Embed(const std::vector<std::string>& words) const {
   nn::Vec v(options_.buckets, 0.0);
+  // Uniform untrained policy (see Embedder::Embed): zeros, not a tf-only
+  // vector that silently lacks the idf weighting.
+  if (!trained_) return v;
   for (const auto& w : words) v[Bucket(w)] += 1.0;
   for (size_t b = 0; b < v.size(); ++b) {
     if (v[b] > 0.0) {
       double tf = options_.sublinear_tf ? 1.0 + std::log(v[b]) : v[b];
-      v[b] = tf * (trained_ ? idf_[b] : 1.0);
+      v[b] = tf * idf_[b];
     }
   }
   double norm = nn::L2Norm(v);
@@ -49,6 +59,46 @@ nn::Vec TfidfEmbedder::Embed(const std::vector<std::string>& words) const {
     for (double& x : v) x /= norm;
   }
   return v;
+}
+
+util::Status TfidfEmbedder::Save(std::ostream& out) const {
+  if (!trained_) {
+    return util::Status::FailedPrecondition("tfidf: not trained");
+  }
+  QUERC_RETURN_IF_ERROR(nn::WriteU64(out, kMagic));
+  QUERC_RETURN_IF_ERROR(nn::WriteU64(out, options_.buckets));
+  QUERC_RETURN_IF_ERROR(nn::WriteU64(out, options_.sublinear_tf ? 1 : 0));
+  for (double x : idf_) QUERC_RETURN_IF_ERROR(nn::WriteF64(out, x));
+  return util::Status::OK();
+}
+
+util::StatusOr<TfidfEmbedder> TfidfEmbedder::Load(std::istream& in) {
+  uint64_t magic = 0;
+  QUERC_RETURN_IF_ERROR(nn::ReadU64(in, magic));
+  if (magic != kMagic) {
+    return util::Status::Corruption("tfidf: bad magic");
+  }
+  uint64_t buckets = 0, sublinear = 0;
+  QUERC_RETURN_IF_ERROR(nn::ReadU64(in, buckets));
+  QUERC_RETURN_IF_ERROR(nn::ReadU64(in, sublinear));
+  if (buckets == 0 || buckets > (1ULL << 24)) {
+    return util::Status::Corruption("tfidf: corrupt header (buckets)");
+  }
+  if (sublinear > 1) {
+    return util::Status::Corruption("tfidf: corrupt header (sublinear_tf)");
+  }
+  Options options;
+  options.buckets = buckets;
+  options.sublinear_tf = sublinear == 1;
+  TfidfEmbedder embedder(options);
+  for (size_t b = 0; b < buckets; ++b) {
+    QUERC_RETURN_IF_ERROR(nn::ReadF64(in, embedder.idf_[b]));
+    if (!std::isfinite(embedder.idf_[b])) {
+      return util::Status::Corruption("tfidf: non-finite idf value");
+    }
+  }
+  embedder.trained_ = true;
+  return embedder;
 }
 
 }  // namespace querc::embed

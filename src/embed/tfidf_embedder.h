@@ -1,10 +1,12 @@
 #ifndef QUERC_EMBED_TFIDF_EMBEDDER_H_
 #define QUERC_EMBED_TFIDF_EMBEDDER_H_
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "embed/embedder.h"
+#include "util/statusor.h"
 
 namespace querc::embed {
 
@@ -36,6 +38,9 @@ class TfidfEmbedder : public Embedder {
 
   size_t dim() const override { return options_.buckets; }
   std::string name() const override { return "tfidf"; }
+
+  util::Status Save(std::ostream& out) const;
+  static util::StatusOr<TfidfEmbedder> Load(std::istream& in);
 
  private:
   size_t Bucket(const std::string& word) const;

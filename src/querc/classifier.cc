@@ -12,16 +12,16 @@ Classifier::Classifier(std::string task_name,
       labeler_(std::move(labeler)) {}
 
 util::Status Classifier::Train(const workload::Workload& corpus,
-                               const LabelExtractor& label_of) {
+                               const LabelExtractor& label_of,
+                               util::ThreadPool* pool) {
   if (corpus.empty()) {
     return util::Status::InvalidArgument(task_name_ +
                                          ": empty training corpus");
   }
   ml::Dataset data;
-  data.x.reserve(corpus.size());
+  data.x = embed::EmbedWorkload(*embedder_, corpus, pool);
   data.y.reserve(corpus.size());
   for (const auto& q : corpus) {
-    data.x.push_back(embedder_->EmbedQuery(q.text, q.dialect));
     data.y.push_back(labels_.FitId(label_of(q)));
   }
   labeler_->Fit(data);
@@ -37,9 +37,19 @@ int Classifier::PredictId(const workload::LabeledQuery& query) const {
     obs::Span span(&hist, "embed");
     embedded = embedder_->EmbedQuery(query.text, query.dialect);
   }
+  return PredictIdFromEmbedding(embedded);
+}
+
+int Classifier::PredictIdFromEmbedding(const nn::Vec& embedded) const {
+  if (!trained_) return -1;
   static obs::Histogram& hist = obs::StageHistogram("classify");
   obs::Span span(&hist, "classify");
   return labeler_->Predict(embedded);
+}
+
+std::string Classifier::PredictFromEmbedding(const nn::Vec& embedded) const {
+  int id = PredictIdFromEmbedding(embedded);
+  return id >= 0 ? labels_.Label(id) : std::string();
 }
 
 std::string Classifier::Predict(const workload::LabeledQuery& query) const {

@@ -26,15 +26,24 @@ class Classifier {
              std::shared_ptr<const embed::Embedder> embedder,
              std::unique_ptr<ml::VectorClassifier> labeler);
 
-  /// Fits the labeler on `corpus` using `label_of` as ground truth.
+  /// Fits the labeler on `corpus` using `label_of` as ground truth. With a
+  /// non-null `pool`, corpus embedding runs batch-parallel.
   util::Status Train(const workload::Workload& corpus,
-                     const LabelExtractor& label_of);
+                     const LabelExtractor& label_of,
+                     util::ThreadPool* pool = nullptr);
 
   /// Predicts the label string for one query. Requires Train() succeeded.
   std::string Predict(const workload::LabeledQuery& query) const;
 
   /// Embeds and predicts, returning the class id (-1 before training).
   int PredictId(const workload::LabeledQuery& query) const;
+
+  /// Predicts from an already-computed embedding of the query (as produced
+  /// by this classifier's embedder) — the shared-embedding fast path:
+  /// QWorker embeds once per query and fans the vector out to every
+  /// deployed task on the same embedder.
+  int PredictIdFromEmbedding(const nn::Vec& embedded) const;
+  std::string PredictFromEmbedding(const nn::Vec& embedded) const;
 
   const std::string& task_name() const { return task_name_; }
   const embed::Embedder& embedder() const { return *embedder_; }

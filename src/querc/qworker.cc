@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <thread>
 
 #include "obs/trace.h"
@@ -133,6 +134,12 @@ QWorker::QWorker(const Options& options)
         options_.application + ":sink_database", options_.breaker);
     training_breaker_ = std::make_unique<CircuitBreaker>(
         options_.application + ":sink_training", options_.breaker);
+  }
+  if (options_.embed_cache_capacity > 0) {
+    embed::EmbeddingCache::Options cache_options;
+    cache_options.capacity = options_.embed_cache_capacity;
+    cache_options.shards = options_.embed_cache_shards;
+    embed_cache_ = std::make_unique<embed::EmbeddingCache>(cache_options);
   }
   // Resolve one hit counter per lint rule up front; registration takes the
   // registry mutex, but Process then increments plain atomics.
@@ -341,6 +348,46 @@ ProcessedQuery QWorker::Process(const workload::LabeledQuery& query) {
   std::shared_ptr<const ClassifierMap> classifiers = classifiers_.load();
   std::shared_ptr<const BreakerMap> breakers = task_breakers_.load();
   std::shared_ptr<const ClassifierMap> fallbacks = fallbacks_.load();
+
+  // Shared-embedding fast path: tokenize the query once, then embed at
+  // most once per *distinct embedder instance* across every deployed task
+  // (primaries and fallbacks alike) — instead of each classifier
+  // re-running lex + normalize + inference. With the template cache
+  // enabled, repeats of the same normalized fingerprint skip inference
+  // entirely; cached and recomputed vectors are bit-identical (the key is
+  // the exact Embed() input), so predictions cannot change.
+  std::optional<std::vector<std::string>> words;
+  std::map<uint64_t, std::shared_ptr<const nn::Vec>> shared_embeddings;
+  auto embedding_for =
+      [&](const Classifier& classifier) -> const nn::Vec& {
+    const embed::Embedder& embedder = classifier.embedder();
+    auto it = shared_embeddings.find(embedder.instance_id());
+    if (it == shared_embeddings.end()) {
+      if (!words.has_value()) {
+        words = embed::TokenizeForEmbedding(query.text, query.dialect);
+      }
+      std::shared_ptr<const nn::Vec> vec;
+      if (embed_cache_) {
+        static obs::Histogram& cache_hist =
+            obs::StageHistogram("embed_cache");
+        obs::Span cache_span(&cache_hist, "embed_cache");
+        vec = embed_cache_->GetOrCompute(
+            embed::EmbeddingCache::KeyFor(embedder, *words), [&] {
+              static obs::Histogram& hist = obs::StageHistogram("embed");
+              obs::Span span(&hist, "embed");
+              return embedder.Embed(*words);
+            });
+      } else {
+        static obs::Histogram& hist = obs::StageHistogram("embed");
+        obs::Span span(&hist, "embed");
+        vec = std::make_shared<const nn::Vec>(embedder.Embed(*words));
+      }
+      it = shared_embeddings.emplace(embedder.instance_id(), std::move(vec))
+               .first;
+    }
+    return *it->second;
+  };
+
   for (const auto& [task, classifier] : *classifiers) {
     if (deadline.Expired()) {
       // Partial predictions beat a blocked query path: stop classifying
@@ -361,7 +408,8 @@ ProcessedQuery QWorker::Process(const workload::LabeledQuery& query) {
       std::string prediction;
       if (status.ok()) {
         try {
-          prediction = classifier->Predict(query);
+          prediction = classifier->PredictFromEmbedding(
+              embedding_for(*classifier));
         } catch (const std::exception& e) {
           status = util::Status::Internal(std::string("classifier ") + task +
                                           ": " + e.what());
@@ -383,7 +431,8 @@ ProcessedQuery QWorker::Process(const workload::LabeledQuery& query) {
     // deployed fallback, else skip the task with a counter.
     if (auto fit = fallbacks->find(task); fit != fallbacks->end()) {
       try {
-        out.predictions[task] = fit->second->Predict(query);
+        out.predictions[task] =
+            fit->second->PredictFromEmbedding(embedding_for(*fit->second));
         out.degraded_tasks.push_back(task);
         FallbackPredictionsCounter().Increment();
         continue;

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "embed/embed_cache.h"
 #include "obs/metrics.h"
 #include "querc/classifier.h"
 #include "querc/resilience.h"
@@ -142,6 +143,14 @@ class QWorker {
     /// Offending templates tracked per worker (bounds lint memory).
     size_t lint_template_cap = 256;
 
+    /// Template-keyed embedding cache capacity (entries); 0 disables the
+    /// cache entirely (every query re-runs inference). Keys are the
+    /// normalized fingerprints the embedders consume, so cached vectors
+    /// are bit-identical to recomputed ones — see DESIGN.md §12.
+    size_t embed_cache_capacity = 4096;
+    /// Lock shards for the embedding cache (rounded to a power of two).
+    size_t embed_cache_shards = 8;
+
     /// Wall-clock budget for one Process call in milliseconds; 0 =
     /// unlimited. On expiry the remaining classifiers are skipped and the
     /// query is forwarded with partial predictions
@@ -249,6 +258,15 @@ class QWorker {
   /// The lint engine this worker runs (builtin rules, worker dialect).
   const sql::lint::LintEngine& lint_engine() const { return lint_engine_; }
 
+  /// Counters for this worker's template-keyed embedding cache (all zeros
+  /// when the cache is disabled via embed_cache_capacity = 0).
+  embed::EmbedCacheStats embed_cache_stats() const {
+    return embed_cache_ ? embed_cache_->Stats() : embed::EmbedCacheStats{};
+  }
+
+  /// The worker's embedding cache, or null when disabled.
+  embed::EmbeddingCache* embed_cache() const { return embed_cache_.get(); }
+
  private:
   /// Runs `call` through the sink fault machinery: breaker gate,
   /// failpoint, exception→Status, retries under the budget and deadline.
@@ -289,6 +307,10 @@ class QWorker {
   std::atomic<size_t> lint_diagnostic_count_{0};
   mutable std::mutex lint_mu_;
   std::map<std::string, LintTemplateStats> lint_templates_;
+
+  /// Template-keyed embedding cache for the once-per-query shared
+  /// embedding fast path; null when disabled. Thread-safe internally.
+  std::unique_ptr<embed::EmbeddingCache> embed_cache_;
 };
 
 }  // namespace querc::core

@@ -279,6 +279,7 @@ std::vector<ShardStats> QWorkerPool::Stats(size_t lint_top_n) const {
     one.p99_ms = one.histogram.p99();
     one.lint_diagnostics = shards_[s]->lint_diagnostic_count();
     one.top_offending_templates = shards_[s]->TopOffendingTemplates(lint_top_n);
+    one.embed_cache = shards_[s]->embed_cache_stats();
     stats.push_back(one);
   }
   return stats;
@@ -335,6 +336,14 @@ obs::HistogramSnapshot QWorkerPool::MergedLatency() const {
   obs::HistogramSnapshot merged;
   for (const auto& shard : shards_) {
     merged.Merge(shard->latency_snapshot());
+  }
+  return merged;
+}
+
+embed::EmbedCacheStats QWorkerPool::MergedEmbedCacheStats() const {
+  embed::EmbedCacheStats merged;
+  for (const auto& shard : shards_) {
+    merged.Merge(shard->embed_cache_stats());
   }
   return merged;
 }

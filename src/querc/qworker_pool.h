@@ -28,6 +28,9 @@ struct ShardStats {
   size_t lint_diagnostics = 0;
   /// The shard's worst templates by lint diagnostics (bounded top-N).
   std::vector<LintTemplateStats> top_offending_templates;
+  /// This shard's template-keyed embedding cache counters (all zeros when
+  /// the cache is disabled).
+  embed::EmbedCacheStats embed_cache;
 };
 
 /// Sharded, thread-safe QWorker service layer: the paper's remark that
@@ -138,6 +141,10 @@ class QWorkerPool {
   /// Pooled view: every shard's latency histogram merged into one
   /// snapshot, so service-level percentiles reflect all shards.
   obs::HistogramSnapshot MergedLatency() const;
+
+  /// Service-wide embedding-cache counters: every shard's cache summed
+  /// (hit_ratio() of the merged view is the pool-level hit ratio).
+  embed::EmbedCacheStats MergedEmbedCacheStats() const;
 
   /// Every breaker across all shards with its current state (shard order,
   /// sinks before tasks), for `querc stats` and the chaos driver.

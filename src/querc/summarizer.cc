@@ -6,7 +6,9 @@ namespace querc::core {
 
 WorkloadSummarizer::Summary WorkloadSummarizer::Summarize(
     const workload::Workload& workload) const {
-  return SummarizeVectors(workload, embed::EmbedWorkload(*embedder_, workload));
+  return SummarizeVectors(
+      workload,
+      embed::EmbedWorkload(*embedder_, workload, options_.thread_pool));
 }
 
 WorkloadSummarizer::Summary WorkloadSummarizer::SummarizeVectors(

@@ -21,6 +21,9 @@ class WorkloadSummarizer {
     size_t fixed_k = 0;
     ml::ElbowOptions elbow;
     ml::KMeansOptions kmeans;
+    /// When non-null, Summarize() embeds the workload batch-parallel on
+    /// this pool (not owned; must outlive the summarizer).
+    util::ThreadPool* thread_pool = nullptr;
   };
 
   struct Summary {

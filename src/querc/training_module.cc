@@ -117,7 +117,7 @@ util::StatusOr<std::shared_ptr<Classifier>> TrainingModule::Train(
                 ml::RandomForestClassifier::Options{});
   auto classifier = std::make_shared<Classifier>(job.task_name, embedder,
                                                  std::move(labeler));
-  if (util::Status status = classifier->Train(corpus, job.label_of);
+  if (util::Status status = classifier->Train(corpus, job.label_of, &pool_);
       !status.ok()) {
     return fail(std::move(status));
   }

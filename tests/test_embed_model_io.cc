@@ -7,6 +7,8 @@
 #include "embed/doc2vec.h"
 #include "embed/feature_embedder.h"
 #include "embed/lstm_autoencoder.h"
+#include "embed/tfidf_embedder.h"
+#include "nn/serialize.h"
 
 namespace querc::embed {
 namespace {
@@ -20,6 +22,28 @@ std::vector<std::vector<std::string>> Corpus() {
   return docs;
 }
 
+/// The round-trip golden every embedder must satisfy: a model reloaded
+/// from its serialized form embeds BIT-IDENTICALLY to the instance that
+/// was saved (no drifted option, no truncated weight).
+void ExpectRoundTripGolden(const Embedder& original) {
+  std::stringstream ss;
+  ASSERT_TRUE(SaveEmbedder(original, ss).ok()) << original.name();
+  auto loaded = LoadEmbedder(ss);
+  ASSERT_TRUE(loaded.ok()) << original.name() << ": "
+                           << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->name(), original.name());
+  EXPECT_EQ((*loaded)->dim(), original.dim());
+  const std::vector<std::vector<std::string>> probes = {
+      {"SELECT", "a", "FROM", "t"},
+      {"SELECT", "c", "FROM", "u", "WHERE", "b", "=", "<num>"},
+      {"never", "seen", "tokens"},
+  };
+  for (const auto& doc : probes) {
+    EXPECT_EQ((*loaded)->Embed(doc), original.Embed(doc))
+        << original.name() << " diverged after save/load";
+  }
+}
+
 TEST(ModelIoTest, RoundTripsDoc2Vec) {
   Doc2VecEmbedder::Options options;
   options.dim = 12;
@@ -27,15 +51,30 @@ TEST(ModelIoTest, RoundTripsDoc2Vec) {
   options.min_count = 1;
   Doc2VecEmbedder embedder(options);
   ASSERT_TRUE(embedder.Train(Corpus()).ok());
+  ExpectRoundTripGolden(embedder);
+}
 
-  std::stringstream ss;
-  ASSERT_TRUE(SaveEmbedder(embedder, ss).ok());
-  auto loaded = LoadEmbedder(ss);
-  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
-  EXPECT_EQ((*loaded)->name(), embedder.name());
-  EXPECT_EQ((*loaded)->dim(), embedder.dim());
+TEST(ModelIoTest, RoundTripPreservesDoc2VecMinLearningRate) {
+  // Regression: Save used to drop min_learning_rate, so a reloaded model
+  // ran a different inference LR schedule and embedded differently.
+  Doc2VecEmbedder::Options options;
+  options.dim = 12;
+  options.epochs = 4;
+  options.min_count = 1;
+  options.min_learning_rate = 0.031;  // far from the 1e-4 default
+  Doc2VecEmbedder embedder(options);
+  ASSERT_TRUE(embedder.Train(Corpus()).ok());
+
+  // The field must actually matter for this probe: an identically trained
+  // model with the default min LR embeds differently.
+  Doc2VecEmbedder::Options defaults = options;
+  defaults.min_learning_rate = Doc2VecEmbedder::Options{}.min_learning_rate;
+  Doc2VecEmbedder control(defaults);
+  ASSERT_TRUE(control.Train(Corpus()).ok());
   std::vector<std::string> doc = {"SELECT", "a", "FROM", "t"};
-  EXPECT_EQ((*loaded)->Embed(doc), embedder.Embed(doc));
+  ASSERT_NE(embedder.Embed(doc), control.Embed(doc));
+
+  ExpectRoundTripGolden(embedder);
 }
 
 TEST(ModelIoTest, RoundTripsLstm) {
@@ -46,27 +85,112 @@ TEST(ModelIoTest, RoundTripsLstm) {
   options.min_count = 1;
   LstmAutoencoderEmbedder embedder(options);
   ASSERT_TRUE(embedder.Train(Corpus()).ok());
-
-  std::stringstream ss;
-  ASSERT_TRUE(SaveEmbedder(embedder, ss).ok());
-  auto loaded = LoadEmbedder(ss);
-  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
-  EXPECT_EQ((*loaded)->name(), "lstm-autoencoder");
-  std::vector<std::string> doc = {"SELECT", "a", "FROM", "t"};
-  EXPECT_EQ((*loaded)->Embed(doc), embedder.Embed(doc));
+  ExpectRoundTripGolden(embedder);
 }
 
-TEST(ModelIoTest, FeatureEmbedderHasNoPersistence) {
+TEST(ModelIoTest, RoundTripsTfidf) {
+  TfidfEmbedder embedder{TfidfEmbedder::Options{}};
+  ASSERT_TRUE(embedder.Train(Corpus()).ok());
+  ExpectRoundTripGolden(embedder);
+}
+
+TEST(ModelIoTest, RoundTripsFeatureEmbedder) {
   FeatureEmbedder embedder{FeatureEmbedder::Options{}};
-  std::stringstream ss;
-  EXPECT_EQ(SaveEmbedder(embedder, ss).code(),
-            util::StatusCode::kUnimplemented);
+  ASSERT_TRUE(embedder.Train(Corpus()).ok());
+  ExpectRoundTripGolden(embedder);
 }
 
 TEST(ModelIoTest, LoadRejectsUnknownMagic) {
   std::stringstream ss("garbage that is at least eight bytes long");
   auto loaded = LoadEmbedder(ss);
   EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kCorruption);
+}
+
+TEST(ModelIoTest, LoadRejectsLegacyDoc2VecV1Magic) {
+  // v1 files lack min_learning_rate; loading one must fail loudly (the
+  // reloaded model would not reproduce the saving process's embeddings),
+  // not silently infer with a default.
+  std::stringstream ss;
+  ASSERT_TRUE(nn::WriteU64(ss, 0x51444f4332564543ULL).ok());  // "QDOC2VEC"
+  for (int i = 0; i < 16; ++i) ASSERT_TRUE(nn::WriteU64(ss, 1).ok());
+  auto loaded = LoadEmbedder(ss);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kCorruption);
+  EXPECT_NE(loaded.status().message().find("min_learning_rate"),
+            std::string::npos);
+}
+
+/// Serializes a trained Doc2Vec model, then rewrites one u64 header field
+/// (fields: magic, dim, mode, window, negative, infer_epochs) and expects
+/// Load to report Corruption rather than building degenerate tensors.
+void ExpectDoc2VecHeaderRejected(size_t field_index, uint64_t value) {
+  Doc2VecEmbedder::Options options;
+  options.dim = 8;
+  options.epochs = 2;
+  options.min_count = 1;
+  Doc2VecEmbedder embedder(options);
+  ASSERT_TRUE(embedder.Train(Corpus()).ok());
+  std::stringstream ss;
+  ASSERT_TRUE(embedder.Save(ss).ok());
+  std::string bytes = ss.str();
+  ASSERT_GE(bytes.size(), (field_index + 1) * sizeof(uint64_t));
+  std::stringstream patched_field;
+  ASSERT_TRUE(nn::WriteU64(patched_field, value).ok());
+  bytes.replace(field_index * sizeof(uint64_t), sizeof(uint64_t),
+                patched_field.str());
+  std::stringstream corrupted(bytes);
+  auto loaded = Doc2VecEmbedder::Load(corrupted);
+  ASSERT_FALSE(loaded.ok()) << "field " << field_index << " = " << value;
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kCorruption);
+}
+
+TEST(ModelIoTest, Doc2VecLoadRejectsDegenerateHeaders) {
+  ExpectDoc2VecHeaderRejected(1, 0);            // dim = 0
+  ExpectDoc2VecHeaderRejected(1, 1u << 20);     // absurd dim
+  ExpectDoc2VecHeaderRejected(2, 7);            // mode out of range
+  ExpectDoc2VecHeaderRejected(3, 0);            // window = 0
+  ExpectDoc2VecHeaderRejected(4, 0);            // negative = 0
+  ExpectDoc2VecHeaderRejected(4, 1u << 30);     // huge negative
+  ExpectDoc2VecHeaderRejected(5, 0);            // infer_epochs = 0
+}
+
+TEST(ModelIoTest, Doc2VecLoadRejectsTruncatedStream) {
+  Doc2VecEmbedder::Options options;
+  options.dim = 8;
+  options.epochs = 2;
+  options.min_count = 1;
+  Doc2VecEmbedder embedder(options);
+  ASSERT_TRUE(embedder.Train(Corpus()).ok());
+  std::stringstream ss;
+  ASSERT_TRUE(embedder.Save(ss).ok());
+  std::string bytes = ss.str();
+  // Cut the stream at several depths: mid-header, mid-vocab, mid-tensor.
+  for (size_t keep : {bytes.size() / 8, bytes.size() / 2, bytes.size() - 9}) {
+    std::stringstream truncated(bytes.substr(0, keep));
+    auto loaded = Doc2VecEmbedder::Load(truncated);
+    EXPECT_FALSE(loaded.ok()) << "kept " << keep << " of " << bytes.size();
+  }
+}
+
+TEST(ModelIoTest, LstmLoadRejectsDegenerateHeaders) {
+  LstmAutoencoderEmbedder::Options options;
+  options.hidden_dim = 10;
+  options.token_dim = 8;
+  options.epochs = 1;
+  options.min_count = 1;
+  LstmAutoencoderEmbedder embedder(options);
+  ASSERT_TRUE(embedder.Train(Corpus()).ok());
+  std::stringstream ss;
+  ASSERT_TRUE(embedder.Save(ss).ok());
+  std::string bytes = ss.str();
+  // Zero the hidden_dim field (second u64).
+  std::stringstream zero;
+  ASSERT_TRUE(nn::WriteU64(zero, 0).ok());
+  bytes.replace(sizeof(uint64_t), sizeof(uint64_t), zero.str());
+  std::stringstream corrupted(bytes);
+  auto loaded = LstmAutoencoderEmbedder::Load(corrupted);
+  ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), util::StatusCode::kCorruption);
 }
 

@@ -54,10 +54,13 @@ TEST(TfidfTest, SimilarQueriesCloser) {
   EXPECT_GT(nn::CosineSimilarity(a, b), nn::CosineSimilarity(a, c));
 }
 
-TEST(TfidfTest, UntrainedStillEmbedsWithoutIdf) {
+TEST(TfidfTest, UntrainedEmbedsToZeroVector) {
+  // Uniform untrained policy across embedders (see Embedder::Embed): an
+  // untrained model returns zeros, never a silently tf-only vector.
   TfidfEmbedder embedder{TfidfEmbedder::Options{}};
   nn::Vec v = embedder.Embed({"SELECT", "a"});
-  EXPECT_NEAR(nn::L2Norm(v), 1.0, 1e-9);
+  EXPECT_EQ(v.size(), embedder.dim());
+  EXPECT_EQ(nn::L2Norm(v), 0.0);
 }
 
 TEST(TfidfTest, EmptyInputIsZeroVector) {

@@ -16,10 +16,11 @@
 //                    --task user|account|cluster
 //   querc pool       --model m.bin --history h.csv --batch b.csv
 //                    [--task t] [--shards N] [--partition account|user|rr]
+//                    [--embed-cache N]
 //   querc stats      [--model m.bin --history h.csv --batch b.csv]
 //                    [--task t] [--shards N] [--partition account|user|rr]
 //                    [--repeat N] [--format text|prom|json] [--out file]
-//                    [--report-ms N]
+//                    [--report-ms N] [--embed-cache N]
 //   querc lint       --workload w.csv | --stdin [--dialect d]
 //                    [--format text|json|sarif] [--advise] [--fail-on sev]
 //   querc chaos      [--shards N] [--faults N] [--sink-failure-rate F]
@@ -333,6 +334,8 @@ int CmdPool(const Args& args) {
   core::QWorkerPool::Options options;
   options.application = "cli";
   options.num_shards = static_cast<size_t>(args.GetInt("shards", 4));
+  options.worker.embed_cache_capacity =
+      static_cast<size_t>(args.GetInt("embed-cache", 4096));
   std::string partition = args.Get("partition", "account");
   if (partition == "account") {
     options.partition = core::QWorkerPool::Partition::kByAccount;
@@ -367,6 +370,16 @@ int CmdPool(const Args& args) {
                 "%.3f/%.3f/%.3f ms, p50/p99 %.3f/%.3f ms\n",
                 s.shard, s.processed, s.latency.min(), s.latency.mean_ms(),
                 s.latency.max_ms, s.p50_ms, s.p99_ms);
+  }
+  embed::EmbedCacheStats cache = pool.MergedEmbedCacheStats();
+  if (cache.capacity > 0) {
+    std::printf("embed cache: %llu hits / %llu misses (%.1f%% hit ratio), "
+                "%llu evictions, %zu/%zu entries across shards\n",
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses),
+                100.0 * cache.hit_ratio(),
+                static_cast<unsigned long long>(cache.evictions), cache.size,
+                cache.capacity);
   }
   return 0;
 }
@@ -434,6 +447,8 @@ int CmdStats(const Args& args) {
   options.num_shards = static_cast<size_t>(args.GetInt("shards", 4));
   options.max_in_flight = static_cast<size_t>(args.GetInt("max-in-flight", 0));
   options.worker.deadline_ms = args.GetDouble("deadline-ms", 0.0);
+  options.worker.embed_cache_capacity =
+      static_cast<size_t>(args.GetInt("embed-cache", 4096));
   std::string partition = args.Get("partition", "account");
   if (partition == "account") {
     options.partition = core::QWorkerPool::Partition::kByAccount;
@@ -509,6 +524,19 @@ int CmdStats(const Args& args) {
   std::printf("pooled: count=%llu p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
               static_cast<unsigned long long>(pooled.count), pooled.p50(),
               pooled.p90(), pooled.p99(), pooled.max);
+
+  embed::EmbedCacheStats cache = pool.MergedEmbedCacheStats();
+  if (cache.capacity > 0) {
+    std::printf("embed cache: %llu hits / %llu misses (%.1f%% hit ratio), "
+                "%llu evictions, %zu/%zu entries across shards\n",
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses),
+                100.0 * cache.hit_ratio(),
+                static_cast<unsigned long long>(cache.evictions), cache.size,
+                cache.capacity);
+  } else {
+    std::printf("embed cache: disabled (--embed-cache 0)\n");
+  }
 
   std::printf("pipeline stages (ms):\n");
   std::printf("  %-14s %8s %8s %8s %8s\n", "stage", "count", "p50", "p99",
@@ -836,9 +864,11 @@ int Usage() {
       "  label      --model m.bin --history h.csv --batch b.csv --task t\n"
       "  pool       --model m.bin --history h.csv --batch b.csv [--task t]\n"
       "             [--shards N] [--partition account|user|rr]\n"
+      "             [--embed-cache N]   (template cache entries; 0 disables)\n"
       "  stats      [--model m.bin --history h.csv --batch b.csv] [--task t]\n"
       "             [--shards N] [--partition account|user|rr] [--repeat N]\n"
       "             [--format text|prom|json] [--out f] [--report-ms N]\n"
+      "             [--embed-cache N]   (template cache entries; 0 disables)\n"
       "  chaos      [--shards N] [--warmup N] [--faults N] [--recovery N]\n"
       "             [--sink-failure-rate F] [--no-classifier-outage]\n"
       "             [--max-in-flight N] [--breaker-open-ms F] [--out f]\n"

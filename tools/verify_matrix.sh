@@ -47,6 +47,12 @@ run_config() {
   echo "==== [$name] chaos smoke ===="
   "$dir/tools/querc" chaos --shards 2 --warmup 40 --faults 120 \
     --recovery 200 --max-in-flight 4 --breaker-open-ms 10 >/dev/null
+  # Embedding-cache smoke: warm-cache throughput must be >= 5x cold, a
+  # replayed workload must hit, and cached vectors must be bit-identical
+  # to direct inference. bench_embed_cache exits nonzero otherwise.
+  echo "==== [$name] embed cache smoke ===="
+  (cd "$dir" && ./bench/bench_embed_cache --smoke \
+    --out BENCH_embed_smoke.json >/dev/null)
   echo "==== [$name] ok ===="
 }
 
