@@ -95,7 +95,7 @@ void EmbeddingCache::InsertLocked(
   while (shard.map.size() > per_shard_capacity_) {
     shard.map.erase(shard.lru.back());
     shard.lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
     EvictionsCounter().Increment();
   }
 }
@@ -110,7 +110,7 @@ std::shared_ptr<const nn::Vec> EmbeddingCache::GetOrCompute(
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
       HitsCounter().Increment();
       return it->second.value;
     }
@@ -129,18 +129,18 @@ std::shared_ptr<const nn::Vec> EmbeddingCache::GetOrCompute(
     std::unique_lock<std::mutex> lock(flight->mu);
     flight->cv.wait(lock, [&] { return flight->done; });
     if (!flight->failed) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
       HitsCounter().Increment();
       return flight->value;
     }
     // The owner's compute threw; fall back to computing for ourselves
     // (uncached — if this throws too, the caller sees it directly).
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
     MissesCounter().Increment();
     return std::make_shared<const nn::Vec>(compute());
   }
 
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  shard.misses.fetch_add(1, std::memory_order_relaxed);
   MissesCounter().Increment();
   std::shared_ptr<const nn::Vec> value;
   try {
@@ -182,13 +182,23 @@ std::shared_ptr<const nn::Vec> EmbeddingCache::Peek(const std::string& key) {
 }
 
 EmbedCacheStats EmbeddingCache::Stats() const {
-  EmbedCacheStats stats;
-  stats.hits = hits_.load(std::memory_order_relaxed);
-  stats.misses = misses_.load(std::memory_order_relaxed);
-  stats.evictions = evictions_.load(std::memory_order_relaxed);
-  stats.size = size();
-  stats.capacity = capacity();
-  return stats;
+  // Two-phase: snapshot each shard's striped counters into a shard-local
+  // view, then merge centrally. The record side never touches a shared
+  // stats atomic, so shards do not contend on accounting.
+  EmbedCacheStats merged;
+  for (const auto& shard : shards_) {
+    EmbedCacheStats one;
+    one.hits = shard->hits.load(std::memory_order_relaxed);
+    one.misses = shard->misses.load(std::memory_order_relaxed);
+    one.evictions = shard->evictions.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      one.size = shard->map.size();
+    }
+    one.capacity = per_shard_capacity_;
+    merged.Merge(one);
+  }
+  return merged;
 }
 
 size_t EmbeddingCache::size() const {

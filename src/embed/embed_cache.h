@@ -123,6 +123,14 @@ class EmbeddingCache {
     };
     std::unordered_map<std::string, Entry> map;
     std::unordered_map<std::string, std::shared_ptr<InFlight>> in_flight;
+
+    /// Striped counters: each shard counts its own traffic on its own
+    /// cache line, so shards never contend on shared stats atomics; the
+    /// merged view is assembled by Stats() via the two-phase
+    /// EmbedCacheStats::Merge path.
+    alignas(64) std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
   };
 
   Shard& ShardFor(const std::string& key);
@@ -133,10 +141,6 @@ class EmbeddingCache {
 
   size_t per_shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
-
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace querc::embed

@@ -77,6 +77,25 @@ obs::Counter& LintStageErrorsCounter() {
   return counter;
 }
 
+obs::Counter& LintTemplatesDroppedCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "querc_lint_templates_dropped_total", {},
+      "Offending templates displaced from (or refused by) the bounded "
+      "per-worker offender tracker; their per-template counts are gone "
+      "but were never silently lost");
+  return counter;
+}
+
+/// Per-worker offender-tracker configuration: the cap maps onto the
+/// aggregator's bounded capacity (min 1 — a zero cap is handled by the
+/// caller, which skips recording entirely).
+util::ConcurrentAggregator::Options LintAggregatorOptions(size_t cap) {
+  util::ConcurrentAggregator::Options options;
+  options.capacity = cap == 0 ? 1 : cap;
+  options.shards = 4;
+  return options;
+}
+
 obs::Counter& WorkerErrorsCounter() {
   static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
       "querc_worker_errors_total", {},
@@ -114,6 +133,13 @@ util::Rng& ThreadRng() {
 
 }  // namespace
 
+void LintTemplateStats::Merge(const LintTemplateStats& other) {
+  instances += other.instances;
+  diagnostics += other.diagnostics;
+  if (fingerprint.empty()) fingerprint = other.fingerprint;
+  if (example_text.empty()) example_text = other.example_text;
+}
+
 void LatencyStats::Merge(const LatencyStats& other) {
   if (other.count == 0) return;
   min_ms = count == 0 ? other.min_ms : std::min(min_ms, other.min_ms);
@@ -125,7 +151,8 @@ void LatencyStats::Merge(const LatencyStats& other) {
 QWorker::QWorker(const Options& options)
     : options_(options),
       sink_retry_(options.sink_retry),
-      retry_budget_(options.retry_budget) {
+      retry_budget_(options.retry_budget),
+      lint_templates_(LintAggregatorOptions(options.lint_template_cap)) {
   classifiers_.store(std::make_shared<const ClassifierMap>());
   fallbacks_.store(std::make_shared<const ClassifierMap>());
   task_breakers_.store(std::make_shared<const BreakerMap>());
@@ -477,19 +504,24 @@ ProcessedQuery QWorker::Process(const workload::LabeledQuery& query) {
         auto it = lint_counters_.find(d.rule_id);
         if (it != lint_counters_.end()) it->second->Increment();
       }
-      {
-        std::lock_guard<std::mutex> lock(lint_mu_);
-        auto it = lint_templates_.find(lint.fingerprint);
-        if (it == lint_templates_.end() &&
-            lint_templates_.size() < options_.lint_template_cap) {
-          it = lint_templates_.emplace(lint.fingerprint, LintTemplateStats{})
-                   .first;
-          it->second.fingerprint = lint.fingerprint;
-          it->second.example_text = query.text;
-        }
-        if (it != lint_templates_.end()) {
-          ++it->second.instances;
-          it->second.diagnostics += lint.diagnostics.size();
+      if (options_.lint_template_cap == 0) {
+        // Tracking disabled: the offender is not recorded, but it is
+        // *counted* as dropped rather than silently vanishing.
+        lint_templates_dropped_.fetch_add(1, std::memory_order_relaxed);
+        LintTemplatesDroppedCounter().Increment();
+      } else {
+        // Lock-free concurrent aggregation (count = instances, weight =
+        // diagnostics, tag = first offending text). At the cap, a new
+        // template evicts the least-instances entry — a late hot
+        // offender still surfaces — and each displaced template bumps
+        // the dropped counter.
+        auto outcome = lint_templates_.Record(
+            lint.fingerprint, /*count_delta=*/1,
+            /*weight_delta=*/lint.diagnostics.size(), query.text);
+        if (outcome == util::ConcurrentAggregator::Outcome::kEvicted ||
+            outcome == util::ConcurrentAggregator::Outcome::kDropped) {
+          lint_templates_dropped_.fetch_add(1, std::memory_order_relaxed);
+          LintTemplatesDroppedCounter().Increment();
         }
       }
       out.diagnostics = std::move(lint.diagnostics);
@@ -532,22 +564,20 @@ ProcessedQuery QWorker::Process(const workload::LabeledQuery& query) {
 
 std::vector<LintTemplateStats> QWorker::TopOffendingTemplates(
     size_t n) const {
+  // Phase-1 snapshot of the lock-free aggregator (blocks evictions, not
+  // the Record hot path); Top() already orders by weight (= diagnostics)
+  // then count (= instances).
+  std::vector<util::AggregateEntry> top = lint_templates_.Top(n);
   std::vector<LintTemplateStats> templates;
-  {
-    std::lock_guard<std::mutex> lock(lint_mu_);
-    templates.reserve(lint_templates_.size());
-    for (const auto& [fingerprint, stats] : lint_templates_) {
-      templates.push_back(stats);
-    }
+  templates.reserve(top.size());
+  for (util::AggregateEntry& entry : top) {
+    LintTemplateStats stats;
+    stats.fingerprint = std::move(entry.key);
+    stats.example_text = std::move(entry.tag);
+    stats.instances = static_cast<size_t>(entry.count);
+    stats.diagnostics = static_cast<size_t>(entry.weight);
+    templates.push_back(std::move(stats));
   }
-  std::sort(templates.begin(), templates.end(),
-            [](const LintTemplateStats& a, const LintTemplateStats& b) {
-              if (a.diagnostics != b.diagnostics) {
-                return a.diagnostics > b.diagnostics;
-              }
-              return a.instances > b.instances;
-            });
-  if (templates.size() > n) templates.resize(n);
   return templates;
 }
 

@@ -18,6 +18,7 @@
 #include "querc/resilience.h"
 #include "sql/lint/engine.h"
 #include "util/atomic_shared_ptr.h"
+#include "util/concurrent_aggregator.h"
 #include "util/status.h"
 #include "workload/workload.h"
 
@@ -72,6 +73,12 @@ struct LintTemplateStats {
   std::string example_text;  // raw text of the first offending instance
   size_t instances = 0;      // offending queries seen for this template
   size_t diagnostics = 0;    // total diagnostics across those instances
+
+  /// Total merge: *every* field participates (counters sum; fingerprint
+  /// and example_text are kept if set, adopted otherwise). All cross-shard
+  /// merging goes through this one function so a new field can never be
+  /// silently dropped by a field-by-field call site.
+  void Merge(const LintTemplateStats& other);
 };
 
 /// Per-worker latency accounting for the throughput bench and the pool's
@@ -140,7 +147,12 @@ class QWorker {
     /// counters + querc_stage_ms{stage=lint}). Cheap: one lenient lex +
     /// token scans, no allocation on clean queries beyond the token list.
     bool enable_lint = true;
-    /// Offending templates tracked per worker (bounds lint memory).
+    /// Offending templates tracked per worker (bounds lint memory). When
+    /// the cap is reached a *new* template evicts the least-instances
+    /// entry instead of being refused, and every displaced template bumps
+    /// querc_lint_templates_dropped_total — a late-arriving hot offender
+    /// always surfaces. 0 disables tracking (every offender counted as
+    /// dropped).
     size_t lint_template_cap = 256;
 
     /// Template-keyed embedding cache capacity (entries); 0 disables the
@@ -255,6 +267,13 @@ class QWorker {
   /// The `n` templates with the most lint diagnostics, worst first.
   std::vector<LintTemplateStats> TopOffendingTemplates(size_t n) const;
 
+  /// Offending templates displaced (or refused, when lint_template_cap is
+  /// 0) by the bounded tracker since construction. Also exported as
+  /// querc_lint_templates_dropped_total.
+  size_t lint_templates_dropped() const {
+    return lint_templates_dropped_.load(std::memory_order_relaxed);
+  }
+
   /// The lint engine this worker runs (builtin rules, worker dialect).
   const sql::lint::LintEngine& lint_engine() const { return lint_engine_; }
 
@@ -305,8 +324,12 @@ class QWorker {
   sql::lint::LintEngine lint_engine_;
   std::map<std::string, obs::Counter*> lint_counters_;
   std::atomic<size_t> lint_diagnostic_count_{0};
-  mutable std::mutex lint_mu_;
-  std::map<std::string, LintTemplateStats> lint_templates_;
+  /// Per-template offender tracking: lock-free concurrent aggregation
+  /// (count = instances, weight = diagnostics, tag = example text), with
+  /// evict-least + drop-counting bounded-capacity semantics replacing the
+  /// old mutexed map that silently refused templates past the cap.
+  util::ConcurrentAggregator lint_templates_;
+  std::atomic<size_t> lint_templates_dropped_{0};
 
   /// Template-keyed embedding cache for the once-per-query shared
   /// embedding fast path; null when disabled. Thread-safe internally.

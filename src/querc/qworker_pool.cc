@@ -278,6 +278,7 @@ std::vector<ShardStats> QWorkerPool::Stats(size_t lint_top_n) const {
     one.p90_ms = one.histogram.p90();
     one.p99_ms = one.histogram.p99();
     one.lint_diagnostics = shards_[s]->lint_diagnostic_count();
+    one.lint_templates_dropped = shards_[s]->lint_templates_dropped();
     one.top_offending_templates = shards_[s]->TopOffendingTemplates(lint_top_n);
     one.embed_cache = shards_[s]->embed_cache_stats();
     stats.push_back(one);
@@ -297,8 +298,10 @@ std::vector<LintTemplateStats> QWorkerPool::TopOffendingTemplates(
       if (it == merged.end()) {
         merged.emplace(t.fingerprint, std::move(t));
       } else {
-        it->second.instances += t.instances;
-        it->second.diagnostics += t.diagnostics;
+        // Total merge — all fields, one function (LintTemplateStats::
+        // Merge), so the cross-shard view can never drift field-by-field
+        // from the struct definition.
+        it->second.Merge(t);
       }
     }
   }
@@ -319,6 +322,12 @@ std::vector<LintTemplateStats> QWorkerPool::TopOffendingTemplates(
 size_t QWorkerPool::lint_diagnostic_count() const {
   size_t total = 0;
   for (const auto& shard : shards_) total += shard->lint_diagnostic_count();
+  return total;
+}
+
+size_t QWorkerPool::lint_templates_dropped() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->lint_templates_dropped();
   return total;
 }
 

@@ -26,6 +26,9 @@ struct ShardStats {
   double p99_ms = 0.0;
   /// Lint diagnostics emitted by this shard's lint stage.
   size_t lint_diagnostics = 0;
+  /// Offending templates displaced from this shard's bounded tracker
+  /// (evict-least; see QWorker::Options::lint_template_cap).
+  size_t lint_templates_dropped = 0;
   /// The shard's worst templates by lint diagnostics (bounded top-N).
   std::vector<LintTemplateStats> top_offending_templates;
   /// This shard's template-keyed embedding cache counters (all zeros when
@@ -137,6 +140,10 @@ class QWorkerPool {
 
   /// Total lint diagnostics across all shards.
   size_t lint_diagnostic_count() const;
+
+  /// Total offending templates displaced from the bounded per-shard
+  /// trackers across all shards.
+  size_t lint_templates_dropped() const;
 
   /// Pooled view: every shard's latency histogram merged into one
   /// snapshot, so service-level percentiles reflect all shards.

@@ -17,6 +17,12 @@ WorkloadSummarizer::Summary WorkloadSummarizer::SummarizeVectors(
   Summary summary;
   if (workload.empty()) return summary;
 
+  // Template histogram of the input workload (concurrent aggregation;
+  // chunk-parallel when a pool is configured). Callers read shape
+  // diversity off the summary instead of re-normalizing the workload.
+  summary.template_histogram =
+      workload.TemplateHistogram(options_.thread_pool);
+
   size_t k = options_.fixed_k;
   if (k == 0) {
     ml::ElbowOptions elbow = options_.elbow;

@@ -32,6 +32,12 @@ class WorkloadSummarizer {
     workload::Workload queries;
     size_t chosen_k = 0;
     double inertia = 0.0;
+    /// Template histogram of the *input* workload (most frequent first),
+    /// built via the lock-free concurrent aggregator — when a thread pool
+    /// is configured, counting runs chunk-parallel alongside nothing else
+    /// (it replaces the old serial mutexed-map pass). distinct size = how
+    /// much shape diversity the summary had to cover.
+    std::vector<workload::TemplateCount> template_histogram;
   };
 
   WorkloadSummarizer(std::shared_ptr<const embed::Embedder> embedder,

@@ -1,0 +1,276 @@
+#include "util/concurrent_aggregator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace querc::util {
+
+namespace {
+
+/// Probe window: how many consecutive slots a key examines before the
+/// cold path engages. Eviction victims are chosen within this window so
+/// the new key remains findable by the same probe sequence.
+constexpr size_t kProbeWindow = 32;
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void Bump(std::atomic<uint64_t>& count, std::atomic<uint64_t>& weight,
+          uint64_t count_delta, uint64_t weight_delta) {
+  count.fetch_add(count_delta, std::memory_order_relaxed);
+  if (weight_delta != 0) {
+    weight.fetch_add(weight_delta, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+void AggregateEntry::Merge(const AggregateEntry& other) {
+  count += other.count;
+  weight += other.weight;
+  if (key.empty()) key = other.key;
+  if (tag.empty()) tag = other.tag;
+}
+
+ConcurrentAggregator::ConcurrentAggregator(const Options& options) {
+  size_t capacity = options.capacity == 0 ? 1 : options.capacity;
+  size_t num_shards = RoundUpPow2(options.shards == 0 ? 1 : options.shards);
+  // Don't spread a tiny capacity over many near-empty shards.
+  while (num_shards > 1 && capacity < num_shards) num_shards >>= 1;
+  per_shard_capacity_ = (capacity + num_shards - 1) / num_shards;
+  // 2x capacity keeps the load factor <= 1/2, so in-capacity inserts
+  // find an empty slot in a short probe and never need the cold path.
+  slots_per_shard_ = RoundUpPow2(std::max<size_t>(2 * per_shard_capacity_, 8));
+  slot_mask_ = slots_per_shard_ - 1;
+  shard_mask_ = num_shards - 1;
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->slots = std::make_unique<Slot[]>(slots_per_shard_);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ConcurrentAggregator::~ConcurrentAggregator() {
+  // Destruction requires quiescence; reclaim every published key record.
+  for (const auto& shard : shards_) {
+    for (size_t i = 0; i < slots_per_shard_; ++i) {
+      delete shard->slots[i].rec.load(std::memory_order_acquire);
+    }
+  }
+}
+
+uint64_t ConcurrentAggregator::KeyHash(std::string_view key) {
+  uint64_t h = Fnv1a64(key);
+  // 0 is the empty-slot sentinel; remap it to an arbitrary odd constant.
+  return h == 0 ? 0x9e3779b97f4a7c15ULL : h;
+}
+
+ConcurrentAggregator::Outcome ConcurrentAggregator::Record(
+    std::string_view key, uint64_t count_delta, uint64_t weight_delta,
+    std::string_view tag) {
+  const uint64_t h = KeyHash(key);
+  Shard& shard = *shards_[h & shard_mask_];
+  // Probe bits are taken above the shard bits so the two are independent.
+  const size_t start = static_cast<size_t>(h >> 16) & slot_mask_;
+  for (size_t i = 0; i < slots_per_shard_; ++i) {
+    // A clustered window at capacity means an eviction is due; under
+    // capacity the probe continues (an empty slot is guaranteed at load
+    // factor <= 1/2, replacement never empties slots).
+    if (i == kProbeWindow &&
+        shard.size.load(std::memory_order_relaxed) >= per_shard_capacity_) {
+      break;
+    }
+    Slot& slot = shard.slots[(start + i) & slot_mask_];
+    uint64_t cur = slot.hash.load(std::memory_order_acquire);
+    if (cur == h) {
+      Bump(slot.count, slot.weight, count_delta, weight_delta);
+      return Outcome::kUpdated;
+    }
+    if (cur == 0) {
+      if (shard.size.load(std::memory_order_relaxed) >=
+          per_shard_capacity_) {
+        break;  // at capacity: go evict instead of claiming
+      }
+      uint64_t expected = 0;
+      if (slot.hash.compare_exchange_strong(expected, h,
+                                            std::memory_order_acq_rel)) {
+        slot.rec.store(new KeyRec{std::string(key), std::string(tag)},
+                       std::memory_order_release);
+        shard.size.fetch_add(1, std::memory_order_relaxed);
+        Bump(slot.count, slot.weight, count_delta, weight_delta);
+        return Outcome::kInserted;
+      }
+      if (expected == h) {  // lost the race to ourselves-by-key
+        Bump(slot.count, slot.weight, count_delta, weight_delta);
+        return Outcome::kUpdated;
+      }
+      // Claimed by a different key while we looked; keep probing.
+    }
+  }
+  return RecordSlow(shard, start, h, key, count_delta, weight_delta, tag);
+}
+
+ConcurrentAggregator::Outcome ConcurrentAggregator::RecordSlow(
+    Shard& shard, size_t start, uint64_t hash, std::string_view key,
+    uint64_t count_delta, uint64_t weight_delta, std::string_view tag) {
+  std::lock_guard<std::mutex> lock(shard.evict_mu);
+  const size_t window = std::min(kProbeWindow, slots_per_shard_);
+  Slot* victim = nullptr;
+  uint64_t victim_count = std::numeric_limits<uint64_t>::max();
+  Slot* empty_slot = nullptr;
+  for (size_t i = 0; i < window; ++i) {
+    Slot& slot = shard.slots[(start + i) & slot_mask_];
+    uint64_t cur = slot.hash.load(std::memory_order_acquire);
+    if (cur == hash) {  // appeared while we waited for the lock
+      Bump(slot.count, slot.weight, count_delta, weight_delta);
+      return Outcome::kUpdated;
+    }
+    if (cur == 0) {
+      if (empty_slot == nullptr) empty_slot = &slot;
+      continue;
+    }
+    // A claimed slot whose record is still mid-publish belongs to a
+    // racing inserter that will write `rec` without the lock — it must
+    // not be victimized.
+    if (slot.rec.load(std::memory_order_acquire) == nullptr) continue;
+    uint64_t cnt = slot.count.load(std::memory_order_relaxed);
+    if (cnt < victim_count) {
+      victim_count = cnt;
+      victim = &slot;
+    }
+  }
+  // Under capacity (the fast path raced past its empties, or the window
+  // was clustered): claim a free slot rather than evict.
+  if (empty_slot != nullptr &&
+      shard.size.load(std::memory_order_relaxed) < per_shard_capacity_) {
+    uint64_t expected = 0;
+    if (empty_slot->hash.compare_exchange_strong(
+            expected, hash, std::memory_order_acq_rel)) {
+      empty_slot->rec.store(new KeyRec{std::string(key), std::string(tag)},
+                            std::memory_order_release);
+      shard.size.fetch_add(1, std::memory_order_relaxed);
+      Bump(empty_slot->count, empty_slot->weight, count_delta, weight_delta);
+      return Outcome::kInserted;
+    }
+    if (expected == hash) {
+      Bump(empty_slot->count, empty_slot->weight, count_delta, weight_delta);
+      return Outcome::kUpdated;
+    }
+  }
+  if (victim == nullptr) {
+    // Nothing evictable in the window (all empty-at-capacity or
+    // mid-publish): the arrival itself is dropped — but counted.
+    shard.dropped_keys.fetch_add(1, std::memory_order_relaxed);
+    shard.dropped_count.fetch_add(count_delta, std::memory_order_relaxed);
+    shard.dropped_weight.fetch_add(weight_delta, std::memory_order_relaxed);
+    return Outcome::kDropped;
+  }
+  // Evict-by-least-count: fold the victim's counters into the dropped
+  // totals, then install the new key in its slot. Full slots are only
+  // rewritten here (under the lock), so `old` is stable and no other
+  // thread ever dereferences it — immediate delete is safe. A counter
+  // increment racing this swap lands either in the dropped totals or on
+  // the new key; never lost.
+  KeyRec* old = victim->rec.load(std::memory_order_acquire);
+  shard.dropped_keys.fetch_add(1, std::memory_order_relaxed);
+  shard.dropped_count.fetch_add(
+      victim->count.exchange(0, std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  shard.dropped_weight.fetch_add(
+      victim->weight.exchange(0, std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  victim->rec.store(new KeyRec{std::string(key), std::string(tag)},
+                    std::memory_order_release);
+  victim->hash.store(hash, std::memory_order_release);
+  delete old;
+  Bump(victim->count, victim->weight, count_delta, weight_delta);
+  return Outcome::kEvicted;
+}
+
+std::vector<AggregateEntry> ConcurrentAggregator::Snapshot() const {
+  std::vector<AggregateEntry> out;
+  out.reserve(size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->evict_mu);
+    for (size_t i = 0; i < slots_per_shard_; ++i) {
+      const Slot& slot = shard->slots[i];
+      if (slot.hash.load(std::memory_order_acquire) == 0) continue;
+      const KeyRec* rec = slot.rec.load(std::memory_order_acquire);
+      if (rec == nullptr) continue;  // claim mid-publish; not visible yet
+      AggregateEntry entry;
+      entry.count = slot.count.load(std::memory_order_relaxed);
+      entry.weight = slot.weight.load(std::memory_order_relaxed);
+      // A freshly claimed slot whose first delta hasn't landed yet reads
+      // as all-zero; it is indistinguishable from "not arrived".
+      if (entry.count == 0 && entry.weight == 0) continue;
+      entry.key = rec->key;
+      entry.tag = rec->tag;
+      out.push_back(std::move(entry));
+    }
+  }
+  return out;
+}
+
+void ConcurrentAggregator::MergeInto(
+    std::unordered_map<std::string, AggregateEntry>& central) const {
+  for (AggregateEntry& entry : Snapshot()) {
+    auto [it, inserted] = central.try_emplace(entry.key);
+    if (inserted) {
+      it->second = std::move(entry);
+    } else {
+      it->second.Merge(entry);
+    }
+  }
+}
+
+std::vector<AggregateEntry> ConcurrentAggregator::Top(size_t n) const {
+  std::vector<AggregateEntry> entries = Snapshot();
+  std::sort(entries.begin(), entries.end(),
+            [](const AggregateEntry& a, const AggregateEntry& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              if (a.count != b.count) return a.count > b.count;
+              return a.key < b.key;
+            });
+  if (entries.size() > n) entries.resize(n);
+  return entries;
+}
+
+size_t ConcurrentAggregator::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->size.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t ConcurrentAggregator::dropped_keys() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->dropped_keys.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t ConcurrentAggregator::dropped_count() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->dropped_count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t ConcurrentAggregator::dropped_weight() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->dropped_weight.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace querc::util

@@ -1,0 +1,204 @@
+#ifndef QUERC_UTIL_CONCURRENT_AGGREGATOR_H_
+#define QUERC_UTIL_CONCURRENT_AGGREGATOR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace querc::util {
+
+/// One aggregated entry: a string key, two monotonically increasing
+/// counters, and a first-wins annotation. This is the common shape of the
+/// service's merge paths — lint offender maps (count = instances, weight =
+/// diagnostics, tag = example text), template histograms (count only), and
+/// any future fingerprint→stats aggregation.
+struct AggregateEntry {
+  std::string key;
+  uint64_t count = 0;   ///< primary counter; eviction ranks by this
+  uint64_t weight = 0;  ///< secondary counter
+  std::string tag;      ///< first-wins annotation
+
+  /// Total merge: every field participates. Counters sum; `key` and `tag`
+  /// are kept if already set, adopted from `other` otherwise — so merging
+  /// shard-local views in any order yields the same totals and a stable
+  /// first-wins annotation.
+  void Merge(const AggregateEntry& other);
+};
+
+/// Sharded, open-addressed concurrent hash aggregator keyed by
+/// fingerprint/label — the lock-free replacement for the per-shard
+/// "mutex + std::map" merge paths (lint offenders, template histograms).
+/// Adapted from the lock-free hash table + two-phase central merge design
+/// of parallel group-by engines.
+///
+/// ## Hot path (Record)
+///
+/// Keys hash (FNV-1a/64) to one of `shards` striped tables; within a
+/// table, slots are claimed by a single compare-and-swap on the slot's
+/// hash word and counters are per-slot relaxed atomic adds. No mutex is
+/// taken to update an existing key or to insert while the shard is under
+/// capacity; two threads recording different keys touch disjoint cache
+/// lines, and two threads recording the same key contend only on that
+/// slot's counters.
+///
+/// Key identity is the full 64-bit hash: the probe loop never compares
+/// key bytes, so the key record is only dereferenced by Snapshot() and
+/// the eviction path (both under the shard's cold-path mutex), which is
+/// what makes immediate reclamation of evicted keys safe. Two distinct
+/// keys colliding on all 64 bits would alias one entry; at the
+/// cardinalities this serves (≤ tens of millions of templates) that
+/// probability is negligible (~n²/2⁶⁵).
+///
+/// ## Bounded capacity: evict-least, count drops
+///
+/// A shard at capacity does not silently refuse new keys (the bug this
+/// class exists to fix). The arriving key takes the shard's eviction
+/// mutex (cold path only), picks the minimum-`count` slot in its probe
+/// window, folds the victim's counters into the dropped totals, and
+/// installs itself in the victim's slot — so a late-arriving hot key
+/// still climbs into the top-N while every displaced count remains
+/// visible via dropped_count()/dropped_weight()/dropped_keys(). In the
+/// rare case the probe window has nothing evictable, the arrival itself
+/// is counted as dropped instead. Replacement (never emptying) keeps
+/// linear-probe chains valid; capacity is a soft target — residency can
+/// transiently exceed it by the number of concurrently inserting
+/// threads, and is hard-bounded by the table size (2× capacity).
+///
+/// ## Two-phase merge (Snapshot / MergeInto)
+///
+/// Phase 1: Snapshot() copies each shard's live slots under that shard's
+/// eviction mutex — blocking evictions and other snapshots but *not*
+/// inserts or counter updates. Phase 2: MergeInto() folds a snapshot
+/// into a caller-owned central map via AggregateEntry::Merge. Per-shard
+/// copies are internally consistent with respect to eviction; counters
+/// read while writers are live are each atomic but the snapshot as a
+/// whole is a racy cut (exact once writers quiesce).
+///
+/// ## Memory-ordering contract
+///
+///  - slot claim: CAS on `hash` with acquire-release;
+///  - key publication: store `rec` release, loads acquire — a reader that
+///    observes a non-null record observes fully-constructed key bytes;
+///  - counters and dropped totals: relaxed (values are independent sums);
+///  - eviction swaps `count`/`weight` to 0 before republishing `hash`, so
+///    an increment racing an eviction lands either in the dropped totals
+///    or on the slot's new key — counts are conserved in total, and are
+///    never lost, though one racing delta may be attributed to the new
+///    key. Exactness holds whenever readers quiesce (end-of-run stats,
+///    tests, benches).
+///
+/// Destruction requires quiescence (no concurrent Record/Snapshot), like
+/// every other container.
+class ConcurrentAggregator {
+ public:
+  struct Options {
+    /// Target maximum resident keys across all shards (soft bound; see
+    /// class comment). At least 1 per shard.
+    size_t capacity = 1 << 16;
+    /// Striped sub-tables (rounded up to a power of two, at least 1).
+    /// More shards = less insert contention, slightly coarser per-shard
+    /// capacity split.
+    size_t shards = 8;
+  };
+
+  /// What Record() did, so callers can mirror drops into their own
+  /// counters (e.g. querc_lint_templates_dropped_total).
+  enum class Outcome {
+    kUpdated,   ///< existing key's counters bumped
+    kInserted,  ///< new key claimed a free slot
+    kEvicted,   ///< new key installed by evicting the least-count entry
+    kDropped,   ///< nothing evictable: this arrival's deltas were dropped
+  };
+
+  explicit ConcurrentAggregator(const Options& options);
+  ~ConcurrentAggregator();
+
+  ConcurrentAggregator(const ConcurrentAggregator&) = delete;
+  ConcurrentAggregator& operator=(const ConcurrentAggregator&) = delete;
+
+  /// Adds (`count_delta`, `weight_delta`) to `key`'s entry, inserting it
+  /// if new (with `tag` as its first-wins annotation). Lock-free unless
+  /// the shard is at capacity or the probe window is clustered.
+  Outcome Record(std::string_view key, uint64_t count_delta = 1,
+                 uint64_t weight_delta = 0, std::string_view tag = {});
+
+  /// Phase 1 of the central merge: a copy of every live entry. Blocks
+  /// evictions (not inserts) per shard while that shard is copied.
+  std::vector<AggregateEntry> Snapshot() const;
+
+  /// Phase 2 of the central merge: folds Snapshot() into `central`
+  /// keyed by entry key, using AggregateEntry::Merge (total, all fields).
+  void MergeInto(
+      std::unordered_map<std::string, AggregateEntry>& central) const;
+
+  /// The `n` entries with the largest `weight` (ties: larger `count`,
+  /// then lexicographic key for determinism), worst-first.
+  std::vector<AggregateEntry> Top(size_t n) const;
+
+  /// Keys currently resident (may transiently exceed capacity; see class
+  /// comment).
+  size_t size() const;
+  /// The configured soft bound, as split across shards.
+  size_t capacity() const { return per_shard_capacity_ * shards_.size(); }
+
+  /// Eviction/drop accounting: number of keys displaced (or arrivals
+  /// dropped), and the total count/weight those displaced entries had
+  /// accumulated. size()+Snapshot() totals plus these are conserved.
+  uint64_t dropped_keys() const;
+  uint64_t dropped_count() const;
+  uint64_t dropped_weight() const;
+
+ private:
+  /// Immutable once published into a slot; only dereferenced under the
+  /// owning shard's eviction mutex (Snapshot and the eviction path), so
+  /// an evicted record can be freed immediately.
+  struct KeyRec {
+    std::string key;
+    std::string tag;
+  };
+
+  struct Slot {
+    /// 0 = empty; otherwise the key's (never-zero) 64-bit hash. Claimed
+    /// empty→hash by CAS; rewritten only under the eviction mutex.
+    std::atomic<uint64_t> hash{0};
+    /// Published with release after the hash claim; null while a claim
+    /// is mid-publish.
+    std::atomic<KeyRec*> rec{nullptr};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> weight{0};
+  };
+
+  struct Shard {
+    std::unique_ptr<Slot[]> slots;
+    std::atomic<size_t> size{0};
+    std::atomic<uint64_t> dropped_keys{0};
+    std::atomic<uint64_t> dropped_count{0};
+    std::atomic<uint64_t> dropped_weight{0};
+    /// Cold path only: eviction and Snapshot. Never taken by in-capacity
+    /// inserts or counter updates.
+    mutable std::mutex evict_mu;
+  };
+
+  static uint64_t KeyHash(std::string_view key);
+
+  /// Eviction/overflow path for `shard`; see Record.
+  Outcome RecordSlow(Shard& shard, size_t start, uint64_t hash,
+                     std::string_view key, uint64_t count_delta,
+                     uint64_t weight_delta, std::string_view tag);
+
+  size_t per_shard_capacity_ = 0;
+  size_t slots_per_shard_ = 0;  // power of two
+  size_t slot_mask_ = 0;
+  size_t shard_mask_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace querc::util
+
+#endif  // QUERC_UTIL_CONCURRENT_AGGREGATOR_H_

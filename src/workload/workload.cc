@@ -1,10 +1,13 @@
 #include "workload/workload.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "sql/lexer.h"
 #include "sql/normalizer.h"
+#include "util/concurrent_aggregator.h"
+#include "util/thread_pool.h"
 
 namespace querc::workload {
 
@@ -15,14 +18,57 @@ std::map<std::string, size_t> Workload::CountBy(
   return counts;
 }
 
-size_t Workload::DistinctShapes() const {
-  std::unordered_set<std::string> shapes;
-  for (const auto& q : queries_) {
-    sql::LexOptions options;
-    options.dialect = q.dialect;
-    shapes.insert(sql::NormalizedText(sql::LexLenient(q.text, options)));
+std::vector<TemplateCount> Workload::TemplateHistogram(
+    util::ThreadPool* pool) const {
+  // Distinct templates ≤ workload size, and capacity = shards × size
+  // makes every *per-shard* cap the full workload size — so no shard can
+  // overflow no matter how unevenly templates hash across shards, and no
+  // eviction can ever fire: the histogram is exact, serial or parallel.
+  util::ConcurrentAggregator::Options options;
+  options.shards = 4;
+  options.capacity =
+      options.shards * (queries_.empty() ? 1 : queries_.size());
+  util::ConcurrentAggregator aggregator(options);
+  auto record_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const LabeledQuery& q = queries_[i];
+      sql::LexOptions lex;
+      lex.dialect = q.dialect;
+      aggregator.Record(sql::NormalizedText(sql::LexLenient(q.text, lex)));
+    }
+  };
+  // Normalization dominates; below a few hundred queries the chunking
+  // overhead outweighs the parallel win.
+  constexpr size_t kParallelThreshold = 256;
+  if (pool == nullptr || queries_.size() < kParallelThreshold) {
+    record_range(0, queries_.size());
+  } else {
+    const size_t chunks =
+        std::min(queries_.size(), 4 * std::max<size_t>(pool->num_threads(), 1));
+    const size_t per_chunk = (queries_.size() + chunks - 1) / chunks;
+    pool->ParallelFor(chunks, [&](size_t c) {
+      size_t begin = c * per_chunk;
+      size_t end = std::min(begin + per_chunk, queries_.size());
+      if (begin < end) record_range(begin, end);
+    });
   }
-  return shapes.size();
+  std::vector<TemplateCount> out;
+  auto snapshot = aggregator.Snapshot();
+  out.reserve(snapshot.size());
+  for (util::AggregateEntry& entry : snapshot) {
+    out.push_back(
+        TemplateCount{std::move(entry.key), static_cast<size_t>(entry.count)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TemplateCount& a, const TemplateCount& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.fingerprint < b.fingerprint;
+            });
+  return out;
+}
+
+size_t Workload::DistinctShapes(util::ThreadPool* pool) const {
+  return TemplateHistogram(pool).size();
 }
 
 Workload Workload::FilterByAccount(const std::string& account) const {

@@ -8,7 +8,19 @@
 
 #include "workload/query.h"
 
+namespace querc::util {
+class ThreadPool;
+}  // namespace querc::util
+
 namespace querc::workload {
+
+/// One bucket of the template histogram: a normalized-query fingerprint
+/// (literals folded, identifiers lower-cased) and how many queries in the
+/// workload share it.
+struct TemplateCount {
+  std::string fingerprint;
+  size_t count = 0;
+};
 
 /// An ordered batch of labeled queries plus summary statistics helpers.
 class Workload {
@@ -37,8 +49,18 @@ class Workload {
   std::map<std::string, size_t> CountBy(
       const std::string& (*label)(const LabeledQuery&)) const;
 
+  /// Histogram of normalized-template fingerprints, most frequent first
+  /// (ties broken by fingerprint for determinism). Built on
+  /// util::ConcurrentAggregator: when `pool` is non-null the workload is
+  /// chunked across it and every chunk records into the shared lock-free
+  /// aggregator concurrently (the summarizer's template-histogram path);
+  /// capacity equals the workload size, so the histogram is always exact.
+  std::vector<TemplateCount> TemplateHistogram(
+      util::ThreadPool* pool = nullptr) const;
+
   /// Number of distinct normalized-query fingerprints (literals folded).
-  size_t DistinctShapes() const;
+  /// Equivalent to TemplateHistogram(pool).size().
+  size_t DistinctShapes(util::ThreadPool* pool = nullptr) const;
 
   /// Sub-workload of queries whose account matches.
   Workload FilterByAccount(const std::string& account) const;

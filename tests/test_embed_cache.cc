@@ -238,6 +238,68 @@ TEST(EmbedCacheTest, ConcurrentDistinctKeysAllComplete) {
   EXPECT_EQ(stats.size, static_cast<size_t>(kKeys));
 }
 
+// Striped-stats stress (runs under TSan in the verify matrix): writers
+// hammer the cache through hits, misses, and evictions while a scraper
+// concurrently merges the per-shard counters via Stats(). The merged view
+// must be tearing-free while racing and exact at quiescence — no update
+// lost to the striping or to the two-phase merge.
+TEST(EmbedCacheStressTest, ConcurrentStatsScrapeLosesNoUpdates) {
+  EmbeddingCache::Options options;
+  options.capacity = 32;  // small: forces steady eviction traffic
+  options.shards = 4;
+  EmbeddingCache cache(options);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 4000;
+  std::atomic<uint64_t> computes{0};
+  std::atomic<bool> stop{false};
+
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      EmbedCacheStats s = cache.Stats();
+      // Invariants that must hold mid-flight on any consistent-enough
+      // snapshot: sizes within the union capacity, counters monotonic
+      // (never torn into garbage).
+      EXPECT_LE(s.size, s.capacity);
+      EXPECT_LE(s.hits, s.lookups());
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        // 50% hot working set (hits), 50% per-thread cold keys (misses
+        // that evict).
+        std::string key = (i % 2 == 0)
+                              ? "hot" + std::to_string(i % 8)
+                              : "cold" + std::to_string(t) + "_" +
+                                    std::to_string(i);
+        auto v = cache.GetOrCompute(key, [&] {
+          computes.fetch_add(1, std::memory_order_relaxed);
+          return ComputeFor(key);
+        });
+        ASSERT_NE(v, nullptr);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  scraper.join();
+
+  EmbedCacheStats stats = cache.Stats();
+  const uint64_t total_ops =
+      static_cast<uint64_t>(kThreads) * kOpsPerThread;
+  // Exactness at quiescence: every lookup landed in exactly one of
+  // hits/misses, and every miss ran exactly one compute (single-flight).
+  EXPECT_EQ(stats.lookups(), total_ops);
+  EXPECT_EQ(stats.misses, computes.load());
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.evictions, 0u);  // the cold stream must have churned
+  EXPECT_LE(stats.size, stats.capacity);
+}
+
 TEST(EmbedCacheTest, ConcurrentDoc2VecEmbedIsRaceFreeAndDeterministic) {
   // Doc2Vec::Embed const_casts `this` for its inference pass but only
   // reads the shared tables (update_tables=false). Hammering it from many

@@ -136,6 +136,66 @@ TEST(HistogramSnapshot, MergeIsPointwise) {
   EXPECT_DOUBLE_EQ(empty.min, 1.0);
 }
 
+// count==0 sentinel audit (pooled-stats paths): an empty side must never
+// leak its zero-initialized min/max into a merged view, in either merge
+// direction, no matter how many empty shards fold in.
+TEST(HistogramSnapshot, MergeEmptySidesNeverPoisonMinMax) {
+  Histogram recorded;
+  recorded.Record(5.0);
+  recorded.Record(9.0);
+  HistogramSnapshot empty_shard;  // e.g. an idle QWorker shard
+
+  // empty -> nonempty: a no-op, not min(5.0, 0.0).
+  HistogramSnapshot merged = recorded.Snapshot();
+  merged.Merge(empty_shard);
+  EXPECT_EQ(merged.count, 2u);
+  EXPECT_DOUBLE_EQ(merged.min, 5.0);
+  EXPECT_DOUBLE_EQ(merged.max, 9.0);
+
+  // nonempty -> empty: adopts the observed extrema wholesale.
+  HistogramSnapshot adopted;
+  adopted.Merge(recorded.Snapshot());
+  EXPECT_DOUBLE_EQ(adopted.min, 5.0);
+  EXPECT_DOUBLE_EQ(adopted.max, 9.0);
+
+  // A fold over only-empty shards stays empty (and percentiles stay 0).
+  HistogramSnapshot all_idle;
+  for (int i = 0; i < 3; ++i) all_idle.Merge(HistogramSnapshot{});
+  EXPECT_EQ(all_idle.count, 0u);
+  EXPECT_DOUBLE_EQ(all_idle.min, 0.0);
+  EXPECT_DOUBLE_EQ(all_idle.p99(), 0.0);
+
+  // ...and folding real samples in afterwards still works.
+  all_idle.Merge(recorded.Snapshot());
+  EXPECT_EQ(all_idle.count, 2u);
+  EXPECT_DOUBLE_EQ(all_idle.min, 5.0);
+}
+
+// Mismatched bucketings (e.g. a snapshot deserialized from an older
+// binary) must not read out of bounds: the overlap merges, counts and
+// sums stay total.
+TEST(HistogramSnapshot, MergeHandlesMismatchedBucketVectors) {
+  HistogramSnapshot wide;
+  wide.count = 2;
+  wide.sum = 6.0;
+  wide.min = 1.0;
+  wide.max = 5.0;
+  wide.buckets = {1, 0, 1, 0};
+  HistogramSnapshot narrow;
+  narrow.count = 1;
+  narrow.sum = 2.0;
+  narrow.min = 2.0;
+  narrow.max = 2.0;
+  narrow.buckets = {0, 1};
+  wide.Merge(narrow);
+  EXPECT_EQ(wide.count, 3u);
+  EXPECT_DOUBLE_EQ(wide.sum, 8.0);
+  EXPECT_EQ(wide.buckets.size(), 4u);
+  EXPECT_EQ(wide.buckets[1], 1u);
+  EXPECT_DOUBLE_EQ(wide.min, 1.0);
+  EXPECT_DOUBLE_EQ(wide.max, 5.0);
+}
+
 TEST(MetricsRegistry, SameKeyReturnsSameInstance) {
   MetricsRegistry registry;
   Counter& a = registry.GetCounter("requests_total");

@@ -546,5 +546,32 @@ TEST_F(QWorkerPoolFaultTest, StatsOnIdlePoolHasNoFakeZeroMin) {
   EXPECT_GT(merged.min_ms, 0.0);
 }
 
+// count==0 sentinel audit: both merge directions and an all-empty fold.
+TEST(LatencyStatsMerge, EmptySidesContributeNothing) {
+  LatencyStats busy;
+  busy.count = 2;
+  busy.min_ms = 1.5;
+  busy.max_ms = 4.0;
+  busy.total_ms = 5.5;
+
+  LatencyStats idle;
+  busy.Merge(idle);  // no-op: idle's +inf sentinel must not leak
+  EXPECT_EQ(busy.count, 2u);
+  EXPECT_DOUBLE_EQ(busy.min_ms, 1.5);
+  EXPECT_DOUBLE_EQ(busy.max_ms, 4.0);
+
+  LatencyStats adopted;
+  adopted.Merge(busy);  // adopts the real extrema
+  EXPECT_DOUBLE_EQ(adopted.min_ms, 1.5);
+  EXPECT_DOUBLE_EQ(adopted.max_ms, 4.0);
+  EXPECT_DOUBLE_EQ(adopted.mean_ms(), 2.75);
+
+  LatencyStats all_idle;
+  all_idle.Merge(LatencyStats{});
+  all_idle.Merge(LatencyStats{});
+  EXPECT_EQ(all_idle.count, 0u);
+  EXPECT_DOUBLE_EQ(all_idle.min(), 0.0);  // display guard, not the sentinel
+}
+
 }  // namespace
 }  // namespace querc::core

@@ -545,6 +545,109 @@ TEST(LintServiceIntegration, LintStageCanBeDisabled) {
   EXPECT_EQ(worker.lint_diagnostic_count(), 0u);
 }
 
+// Regression: the original capped offender map silently refused every
+// template that arrived after the cap — a hot offender that first showed
+// up late was invisible forever, with no signal anything was missing. The
+// tracker must instead evict the least-offending entry and count drops.
+TEST(LintServiceIntegration, CappedTrackerSurfacesLateHotTemplate) {
+  core::QWorker::Options options;
+  options.application = "lint_test_cap";
+  options.lint_template_cap = 4;
+  core::QWorker worker(options);
+  // Overflow the cap with distinct one-instance offenders (distinct
+  // column lists => distinct normalized fingerprints, all cartesian).
+  for (int i = 0; i < 8; ++i) {
+    worker.Process(MakeQuery("SELECT c" + std::to_string(i) +
+                             " FROM orders, lineitem"));
+  }
+  EXPECT_GT(worker.lint_templates_dropped(), 0u)
+      << "overflowing the cap must be counted, not silent";
+  // A hot offender arriving only after the tracker filled up must still
+  // displace a cold entry and surface at the top.
+  for (int i = 0; i < 10; ++i) {
+    worker.Process(MakeQuery("SELECT hot FROM orders, lineitem WHERE x > " +
+                             std::to_string(i)));
+  }
+  auto top = worker.TopOffendingTemplates(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].instances, 10u) << "late hot template did not surface";
+  EXPECT_GE(top[0].diagnostics, 10u);
+  EXPECT_FALSE(top[0].example_text.empty());
+
+  // The drop counter is exported for scraping.
+  auto snapshot = obs::MetricsRegistry::Global().Collect(
+      "querc_lint_templates_dropped_total");
+  ASSERT_FALSE(snapshot.counters.empty());
+  EXPECT_GE(snapshot.counters[0].value, 1.0);
+}
+
+TEST(LintServiceIntegration, ZeroCapDropsEverythingButStillCounts) {
+  core::QWorker::Options options;
+  options.application = "lint_test_cap0";
+  options.lint_template_cap = 0;
+  core::QWorker worker(options);
+  for (int i = 0; i < 3; ++i) {
+    worker.Process(MakeQuery("SELECT a FROM orders, lineitem"));
+  }
+  EXPECT_TRUE(worker.TopOffendingTemplates(5).empty());
+  EXPECT_EQ(worker.lint_templates_dropped(), 3u);
+}
+
+// Regression: the pool's cross-shard merge summed only `instances`,
+// silently zeroing `diagnostics` (and any future field) in the merged
+// view. Merge must be total over all LintTemplateStats fields.
+TEST(LintServiceIntegration, LintTemplateStatsMergeIsTotal) {
+  core::LintTemplateStats a;
+  a.fingerprint = "fp";
+  a.example_text = "SELECT 1";
+  a.instances = 2;
+  a.diagnostics = 3;
+  core::LintTemplateStats b;
+  b.instances = 5;
+  b.diagnostics = 7;
+  a.Merge(b);
+  EXPECT_EQ(a.instances, 7u);
+  EXPECT_EQ(a.diagnostics, 10u);
+  EXPECT_EQ(a.fingerprint, "fp");
+  EXPECT_EQ(a.example_text, "SELECT 1");
+
+  // Merging into an empty aggregate adopts the identifying fields.
+  core::LintTemplateStats empty;
+  empty.Merge(a);
+  EXPECT_EQ(empty.fingerprint, "fp");
+  EXPECT_EQ(empty.example_text, "SELECT 1");
+  EXPECT_EQ(empty.instances, 7u);
+  EXPECT_EQ(empty.diagnostics, 10u);
+}
+
+// Cross-shard golden: one template spread round-robin over both shards
+// must merge back with *every* field totalled, not just instances.
+TEST(LintServiceIntegration, PoolMergeTotalsAllFieldsAcrossShards) {
+  core::QWorkerPool::Options options;
+  options.application = "lint_test_pool_total";
+  options.num_shards = 2;
+  options.partition = core::QWorkerPool::Partition::kRoundRobin;
+  core::QWorkerPool pool(options);
+  workload::Workload batch;
+  for (int i = 0; i < 6; ++i) {
+    batch.Add(MakeQuery("SELECT g FROM orders, lineitem WHERE g > " +
+                        std::to_string(i)));
+  }
+  pool.ProcessBatch(batch);
+  auto top = pool.TopOffendingTemplates(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].instances, 6u);
+  EXPECT_EQ(top[0].diagnostics, 6u)
+      << "cross-shard merge dropped the diagnostics field";
+  EXPECT_FALSE(top[0].fingerprint.empty());
+  EXPECT_FALSE(top[0].example_text.empty());
+  EXPECT_EQ(pool.lint_templates_dropped(), 0u);
+  // Per-shard drop counts surface in ShardStats (zero here: under cap).
+  for (const auto& s : pool.Stats(/*lint_top_n=*/1)) {
+    EXPECT_EQ(s.lint_templates_dropped, 0u);
+  }
+}
+
 TEST(LintServiceIntegration, PoolMergesTemplatesAcrossShards) {
   core::QWorkerPool::Options options;
   options.application = "lint_test_pool";

@@ -1,0 +1,246 @@
+#include "util/concurrent_aggregator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace querc::util {
+namespace {
+
+using Outcome = ConcurrentAggregator::Outcome;
+
+ConcurrentAggregator::Options SmallOptions(size_t capacity,
+                                           size_t shards = 1) {
+  ConcurrentAggregator::Options options;
+  options.capacity = capacity;
+  options.shards = shards;
+  return options;
+}
+
+const AggregateEntry* FindEntry(const std::vector<AggregateEntry>& entries,
+                                const std::string& key) {
+  for (const auto& e : entries) {
+    if (e.key == key) return &e;
+  }
+  return nullptr;
+}
+
+TEST(ConcurrentAggregator, RecordsAndSnapshotsBasicCounts) {
+  ConcurrentAggregator agg(SmallOptions(16));
+  EXPECT_EQ(agg.Record("a", 1, 2, "first a"), Outcome::kInserted);
+  EXPECT_EQ(agg.Record("a", 1, 3), Outcome::kUpdated);
+  EXPECT_EQ(agg.Record("b", 5), Outcome::kInserted);
+  EXPECT_EQ(agg.size(), 2u);
+
+  auto snap = agg.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  const AggregateEntry* a = FindEntry(snap, "a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->count, 2u);
+  EXPECT_EQ(a->weight, 5u);
+  EXPECT_EQ(a->tag, "first a");
+  const AggregateEntry* b = FindEntry(snap, "b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->count, 5u);
+  EXPECT_EQ(b->weight, 0u);
+}
+
+TEST(ConcurrentAggregator, TagIsFirstWins) {
+  ConcurrentAggregator agg(SmallOptions(8));
+  agg.Record("k", 1, 0, "original");
+  agg.Record("k", 1, 0, "later");
+  auto snap = agg.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].tag, "original");
+}
+
+TEST(ConcurrentAggregator, CapacityEvictsLeastCountAndCountsDrops) {
+  // One shard so the bound is exact and deterministic.
+  const size_t kCap = 8;
+  ConcurrentAggregator agg(SmallOptions(kCap));
+  for (size_t i = 0; i < kCap; ++i) {
+    EXPECT_EQ(agg.Record("cold_" + std::to_string(i), 1, 1),
+              Outcome::kInserted);
+  }
+  EXPECT_EQ(agg.size(), kCap);
+  EXPECT_EQ(agg.dropped_keys(), 0u);
+
+  // Heat one of the resident keys so it can never be the minimum.
+  for (int i = 0; i < 10; ++i) agg.Record("cold_0", 1, 1);
+
+  // A late-arriving key must still get in: the least-count entry is
+  // evicted (count 1), its counters land in the dropped totals.
+  Outcome first = agg.Record("late_hot", 1, 1);
+  EXPECT_TRUE(first == Outcome::kEvicted || first == Outcome::kDropped);
+  for (int i = 0; i < 50; ++i) agg.Record("late_hot", 1, 1);
+
+  EXPECT_LE(agg.size(), kCap);
+  EXPECT_GE(agg.dropped_keys(), 1u);
+  EXPECT_GE(agg.dropped_count(), 1u);
+
+  auto snap = agg.Snapshot();
+  const AggregateEntry* hot = FindEntry(snap, "late_hot");
+  ASSERT_NE(hot, nullptr) << "late hot key was silently refused";
+  EXPECT_EQ(hot->count, 51u);
+  // The pre-existing hot key was never the least and must survive.
+  const AggregateEntry* cold0 = FindEntry(snap, "cold_0");
+  ASSERT_NE(cold0, nullptr);
+  EXPECT_EQ(cold0->count, 11u);
+}
+
+TEST(ConcurrentAggregator, TotalsConservedAcrossEvictions) {
+  // Every recorded delta ends up either in the snapshot or in the
+  // dropped totals — nothing is silently lost, no matter the churn.
+  ConcurrentAggregator agg(SmallOptions(4));
+  const size_t kKeys = 64;
+  const uint64_t kPerKey = 3;
+  for (size_t i = 0; i < kKeys; ++i) {
+    for (uint64_t j = 0; j < kPerKey; ++j) {
+      agg.Record("key_" + std::to_string(i), 1, 2);
+    }
+  }
+  uint64_t resident_count = 0;
+  uint64_t resident_weight = 0;
+  for (const auto& e : agg.Snapshot()) {
+    resident_count += e.count;
+    resident_weight += e.weight;
+  }
+  EXPECT_EQ(resident_count + agg.dropped_count(), kKeys * kPerKey);
+  EXPECT_EQ(resident_weight + agg.dropped_weight(), kKeys * kPerKey * 2);
+}
+
+TEST(ConcurrentAggregator, MatchesReferenceMapWithoutEviction) {
+  // Within capacity the aggregator is an exact group-by.
+  ConcurrentAggregator agg(SmallOptions(1024, /*shards=*/8));
+  std::map<std::string, std::pair<uint64_t, uint64_t>> reference;
+  for (int i = 0; i < 5000; ++i) {
+    std::string key = "tmpl_" + std::to_string(i % 300);
+    uint64_t w = static_cast<uint64_t>(i % 7);
+    agg.Record(key, 1, w);
+    auto& ref = reference[key];
+    ref.first += 1;
+    ref.second += w;
+  }
+  EXPECT_EQ(agg.dropped_keys(), 0u);
+  auto snap = agg.Snapshot();
+  ASSERT_EQ(snap.size(), reference.size());
+  for (const auto& e : snap) {
+    auto it = reference.find(e.key);
+    ASSERT_NE(it, reference.end()) << e.key;
+    EXPECT_EQ(e.count, it->second.first) << e.key;
+    EXPECT_EQ(e.weight, it->second.second) << e.key;
+  }
+}
+
+TEST(ConcurrentAggregator, MergeIntoIsTotalOverAllFields) {
+  ConcurrentAggregator a(SmallOptions(16));
+  ConcurrentAggregator b(SmallOptions(16));
+  a.Record("shared", 2, 10, "example from a");
+  b.Record("shared", 3, 1);  // no tag on this side
+  b.Record("only_b", 1, 7, "example from b");
+
+  std::unordered_map<std::string, AggregateEntry> central;
+  a.MergeInto(central);
+  b.MergeInto(central);
+  ASSERT_EQ(central.size(), 2u);
+  const AggregateEntry& shared = central.at("shared");
+  EXPECT_EQ(shared.count, 5u);
+  EXPECT_EQ(shared.weight, 11u);
+  EXPECT_EQ(shared.tag, "example from a");  // first-wins survives merge
+  EXPECT_EQ(shared.key, "shared");
+  const AggregateEntry& only_b = central.at("only_b");
+  EXPECT_EQ(only_b.count, 1u);
+  EXPECT_EQ(only_b.weight, 7u);
+  EXPECT_EQ(only_b.tag, "example from b");
+}
+
+TEST(ConcurrentAggregator, TopOrdersByWeightThenCountDeterministically) {
+  ConcurrentAggregator agg(SmallOptions(16));
+  agg.Record("low", 1, 1);
+  agg.Record("high", 1, 9);
+  agg.Record("mid_many", 5, 4);
+  agg.Record("mid_few", 2, 4);
+  auto top = agg.Top(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].key, "high");
+  EXPECT_EQ(top[1].key, "mid_many");
+  EXPECT_EQ(top[2].key, "mid_few");
+}
+
+TEST(ConcurrentAggregator, ZeroCapacityStillTracksOneKeyPerShard) {
+  ConcurrentAggregator agg(SmallOptions(0));
+  agg.Record("a");
+  EXPECT_GE(agg.capacity(), 1u);
+  EXPECT_EQ(agg.Snapshot().size(), 1u);
+}
+
+// TSan-targeted: N writer threads hammering a mixed keyspace while a
+// scraper thread snapshots/merges concurrently. The end-of-run totals
+// (resident + dropped) must account for every recorded delta.
+TEST(ConcurrentAggregatorStress, ConcurrentRecordSnapshotMergeConservesAll) {
+  ConcurrentAggregator::Options options;
+  options.capacity = 128;  // small: force continuous eviction churn
+  options.shards = 4;
+  ConcurrentAggregator agg(options);
+
+  const size_t kWriters = 4;
+  const size_t kOpsPerWriter = 20000;
+  std::atomic<bool> stop{false};
+
+  std::thread scraper([&] {
+    std::unordered_map<std::string, AggregateEntry> central;
+    while (!stop.load(std::memory_order_acquire)) {
+      agg.MergeInto(central);
+      (void)agg.Top(8);
+      (void)agg.size();
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&agg, w] {
+      for (size_t i = 0; i < kOpsPerWriter; ++i) {
+        // A hot set shared by all writers plus a per-writer cold tail
+        // that overflows capacity and keeps the eviction path busy.
+        std::string key =
+            (i % 4 != 0)
+                ? "hot_" + std::to_string((i / 4) % 16)
+                : "cold_" + std::to_string(w) + "_" + std::to_string(i);
+        agg.Record(key, 1, 2, "example");
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  scraper.join();
+
+  uint64_t resident_count = 0;
+  uint64_t resident_weight = 0;
+  for (const auto& e : agg.Snapshot()) {
+    resident_count += e.count;
+    resident_weight += e.weight;
+  }
+  const uint64_t total_ops = kWriters * kOpsPerWriter;
+  EXPECT_EQ(resident_count + agg.dropped_count(), total_ops)
+      << "lost updates: counts are not conserved";
+  EXPECT_EQ(resident_weight + agg.dropped_weight(), 2 * total_ops)
+      << "lost updates: weights are not conserved";
+  // The hot keys dominate every cold key's count; with 4/5 of all ops
+  // spread over 16 hot keys they must all be resident at the end.
+  auto top = agg.Top(16);
+  ASSERT_EQ(top.size(), 16u);
+  for (const auto& e : top) {
+    EXPECT_EQ(e.key.rfind("hot_", 0), 0u)
+        << "cold key outranked a hot key: " << e.key;
+  }
+}
+
+}  // namespace
+}  // namespace querc::util

@@ -555,8 +555,9 @@ int CmdStats(const Args& args) {
 
   auto lint_snap =
       obs::MetricsRegistry::Global().Collect("querc_lint_hits_total");
-  std::printf("lint: %zu diagnostics across shards\n",
-              pool.lint_diagnostic_count());
+  std::printf("lint: %zu diagnostics across shards, %zu offender "
+              "templates dropped by the bounded trackers\n",
+              pool.lint_diagnostic_count(), pool.lint_templates_dropped());
   std::printf("lint rule hits:\n");
   for (const auto& sample : lint_snap.counters) {
     if (sample.value == 0) continue;

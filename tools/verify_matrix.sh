@@ -53,6 +53,17 @@ run_config() {
   echo "==== [$name] embed cache smoke ===="
   (cd "$dir" && ./bench/bench_embed_cache --smoke \
     --out BENCH_embed_smoke.json >/dev/null)
+  # Aggregator smoke: the lock-free ConcurrentAggregator must hold its
+  # correctness contract in every config (counts conserved across eviction
+  # churn, exact in-capacity group-by, evict-least surfacing late hot
+  # keys), and must beat the mutexed-map baseline at 8 threads in the
+  # plain config. Sanitizer instrumentation distorts relative timings, so
+  # asan/tsan run contract-only (--no-perf-gate).
+  echo "==== [$name] aggregator smoke ===="
+  local agg_flags=""
+  if [ "$name" != plain ]; then agg_flags="--no-perf-gate"; fi
+  (cd "$dir" && ./bench/bench_aggregator --smoke $agg_flags \
+    --out BENCH_aggregator_smoke.json >/dev/null)
   echo "==== [$name] ok ===="
 }
 
