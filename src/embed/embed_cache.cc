@@ -2,7 +2,9 @@
 
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace querc::embed {
@@ -119,6 +121,7 @@ std::shared_ptr<const nn::Vec> EmbeddingCache::GetOrCompute(
       flight = fit->second;
     } else {
       flight = std::make_shared<InFlight>();
+      flight->owner_ctx = obs::CurrentContext();
       shard.in_flight.emplace(key, flight);
       owner = true;
     }
@@ -126,8 +129,20 @@ std::shared_ptr<const nn::Vec> EmbeddingCache::GetOrCompute(
 
   if (!owner) {
     // Single-flight: wait for the computing thread and share its result.
+    // The wait is a real stage of this query's latency — span it, and
+    // journal a marker when the compute we coalesced onto belongs to a
+    // *different* trace (the cross-query dependency a per-query view
+    // would otherwise hide).
+    static obs::Histogram& wait_hist = obs::StageHistogram("embed_cache_wait");
+    obs::Span wait_span(&wait_hist, "embed_cache_wait");
     std::unique_lock<std::mutex> lock(flight->mu);
     flight->cv.wait(lock, [&] { return flight->done; });
+    obs::TraceContext self = obs::CurrentContext();
+    if (flight->owner_ctx.valid() && self.valid() &&
+        flight->owner_ctx.trace_id != self.trace_id) {
+      obs::FlightRecorder::Global().RecordInstant(obs::EventKind::kSpan,
+                                                  "embed_coalesced");
+    }
     if (!flight->failed) {
       shard.hits.fetch_add(1, std::memory_order_relaxed);
       HitsCounter().Increment();

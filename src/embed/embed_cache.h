@@ -14,6 +14,7 @@
 
 #include "embed/embedder.h"
 #include "nn/tensor.h"
+#include "obs/trace_context.h"
 
 namespace querc::embed {
 
@@ -111,6 +112,10 @@ class EmbeddingCache {
     bool done = false;
     bool failed = false;
     std::shared_ptr<const nn::Vec> value;
+    /// The owning (computing) thread's trace context, captured when the
+    /// flight is created; waiters use it to journal which query's compute
+    /// they coalesced onto.
+    obs::TraceContext owner_ctx;
   };
 
   struct Shard {

@@ -1,0 +1,455 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <set>
+
+namespace querc::obs {
+
+namespace {
+
+/// Bounded memory of recently finalized trace ids so events trickling in
+/// after their trace closed are classified as "late" instead of seeding
+/// bogus pending traces. Bounded: old ids age out (a very late event then
+/// shows up as a pending trace that never completes — still counted, as a
+/// pending drop, once the pending table fills).
+constexpr size_t kRecentFinalized = 1024;
+
+std::string EscapeJson(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string HexId(uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+}  // namespace
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSpan:
+      return "span";
+    case EventKind::kBreakerTransition:
+      return "breaker_transition";
+    case EventKind::kShed:
+      return "shed";
+    case EventKind::kRetry:
+      return "retry";
+    case EventKind::kFailpoint:
+      return "failpoint";
+    case EventKind::kError:
+      return "error";
+  }
+  return "?";
+}
+
+void FlightEvent::SetLabel(const char* s) {
+  if (s == nullptr) {
+    label[0] = '\0';
+    return;
+  }
+  size_t i = 0;
+  for (; i < kLabelSize - 1 && s[i] != '\0'; ++i) label[i] = s[i];
+  label[i] = '\0';
+}
+
+/// One writer lane: a single-producer ring. `head` is released by the
+/// owning writer after the slot store; `tail` is released by a reader
+/// after it copied the window, which is what licenses the writer to reuse
+/// those slots (its full-check loads tail with acquire). head/tail are
+/// monotonic positions; the slot index is position & (capacity - 1).
+struct FlightRecorder::Ring {
+  explicit Ring(uint32_t id)
+      : slots(FlightRecorder::kRingCapacity), tid(id) {}
+
+  std::vector<FlightEvent> slots;
+  const uint32_t tid;
+  alignas(64) std::atomic<uint64_t> head{0};
+  alignas(64) std::atomic<uint64_t> tail{0};
+  std::atomic<uint64_t> dropped{0};
+  /// Owned by a live thread. Cleared (release) by the lane destructor at
+  /// thread exit so a future thread can reuse the ring.
+  std::atomic<bool> claimed{false};
+};
+
+/// Thread-local handle returning the ring to the free pool at thread
+/// exit. The recorder is a leaked singleton, so the ring outlives every
+/// lane and this destructor can never touch freed memory.
+struct FlightRecorder::Lane {
+  Ring* ring = nullptr;
+  ~Lane() {
+    if (ring != nullptr) {
+      ring->claimed.store(false, std::memory_order_release);
+    }
+  }
+};
+
+FlightRecorder::FlightRecorder()
+    : epoch_(std::chrono::steady_clock::now()) {}
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+FlightRecorder::Ring* FlightRecorder::AcquireRing() {
+  std::lock_guard<std::mutex> lock(reader_mu_);
+  for (auto& ring : rings_) {
+    if (!ring->claimed.load(std::memory_order_acquire)) {
+      ring->claimed.store(true, std::memory_order_relaxed);
+      return ring.get();
+    }
+  }
+  // Lane ids start at 1; 0 marks an event that never reached a ring.
+  rings_.push_back(
+      std::make_unique<Ring>(static_cast<uint32_t>(rings_.size() + 1)));
+  rings_.back()->claimed.store(true, std::memory_order_relaxed);
+  return rings_.back().get();
+}
+
+FlightRecorder::Ring* FlightRecorder::CurrentRing() {
+  thread_local Lane lane;
+  if (lane.ring == nullptr) lane.ring = AcquireRing();
+  return lane.ring;
+}
+
+void FlightRecorder::Record(FlightEvent ev) {
+  if (!enabled()) return;
+  Ring* ring = CurrentRing();
+  uint64_t head = ring->head.load(std::memory_order_relaxed);
+  if (head - ring->tail.load(std::memory_order_acquire) >= kRingCapacity) {
+    // Bounded and honest: the journal is a flight recorder, not a log —
+    // drop the newest event and say so in the counter.
+    ring->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ev.tid = ring->tid;
+  ring->slots[head & (kRingCapacity - 1)] = ev;
+  ring->head.store(head + 1, std::memory_order_release);
+}
+
+void FlightRecorder::RecordInstant(EventKind kind, const char* label,
+                                   uint8_t detail) {
+  if (!enabled()) return;
+  FlightEvent ev;
+  TraceContext ctx = CurrentContext();
+  ev.trace_id = ctx.trace_id;
+  ev.span_id = ctx.span_id;
+  ev.ts_us = NowUs();
+  ev.kind = static_cast<uint8_t>(kind);
+  ev.detail = detail;
+  ev.SetLabel(label);
+  Record(ev);
+}
+
+void FlightRecorder::RecordSpan(const TraceContext& ctx, int64_t ts_us,
+                                int64_t dur_us, const char* label,
+                                bool root_span) {
+  if (!enabled()) return;
+  FlightEvent ev;
+  ev.trace_id = ctx.trace_id;
+  ev.span_id = ctx.span_id;
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.kind = static_cast<uint8_t>(EventKind::kSpan);
+  if (root_span) ev.flags |= FlightEvent::kRootSpan;
+  ev.SetLabel(label);
+  Record(ev);
+}
+
+FlightRecorder::Stats FlightRecorder::stats() const {
+  std::lock_guard<std::mutex> lock(reader_mu_);
+  Stats stats;
+  for (const auto& ring : rings_) {
+    uint64_t head = ring->head.load(std::memory_order_acquire);
+    uint64_t dropped = ring->dropped.load(std::memory_order_relaxed);
+    stats.recorded += head + dropped;
+    stats.dropped += dropped;
+    stats.drained += ring->tail.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+size_t FlightRecorder::Drain(std::vector<FlightEvent>* out) {
+  std::lock_guard<std::mutex> lock(reader_mu_);
+  size_t moved = 0;
+  for (auto& ring : rings_) {
+    uint64_t head = ring->head.load(std::memory_order_acquire);
+    uint64_t tail = ring->tail.load(std::memory_order_relaxed);
+    for (uint64_t pos = tail; pos != head; ++pos) {
+      out->push_back(ring->slots[pos & (kRingCapacity - 1)]);
+    }
+    moved += static_cast<size_t>(head - tail);
+    ring->tail.store(head, std::memory_order_release);
+  }
+  return moved;
+}
+
+size_t FlightRecorder::num_lanes() const {
+  std::lock_guard<std::mutex> lock(reader_mu_);
+  return rings_.size();
+}
+
+size_t FlightTrace::num_threads() const {
+  std::set<uint32_t> tids;
+  for (const FlightEvent& ev : events) tids.insert(ev.tid);
+  return tids.size();
+}
+
+TraceCollector::TraceCollector(const Options& options) : options_(options) {
+  if (options_.reservoir_capacity == 0) options_.reservoir_capacity = 1;
+  if (options_.max_pending_traces == 0) options_.max_pending_traces = 1;
+}
+
+namespace {
+
+/// Shared by Fold/Finalize: the recently-finalized window (one per
+/// collector would be cleaner, but a static deque would be shared; keep
+/// it as members via a small helper instead).
+struct RecentIds {
+  std::deque<uint64_t> order;
+  std::set<uint64_t> ids;
+
+  bool Contains(uint64_t id) const { return ids.count(id) > 0; }
+  void Add(uint64_t id) {
+    if (!ids.insert(id).second) return;
+    order.push_back(id);
+    while (order.size() > kRecentFinalized) {
+      ids.erase(order.front());
+      order.pop_front();
+    }
+  }
+};
+
+RecentIds& RecentFor(const void* collector) {
+  // Per-collector recently-finalized windows, keyed by address. Bounded:
+  // collectors are few (one per reporter/CLI run) and short-lived windows
+  // are capped at kRecentFinalized ids each.
+  static std::map<const void*, RecentIds>* windows =
+      new std::map<const void*, RecentIds>();
+  return (*windows)[collector];
+}
+
+}  // namespace
+
+size_t TraceCollector::Fold(const std::vector<FlightEvent>& events) {
+  RecentIds& recent = RecentFor(this);
+  size_t new_roots = 0;
+  for (const FlightEvent& ev : events) {
+    ++counts_[{ev.kind, ev.label}];
+    if (ev.trace_id == 0) {
+      ++untraced_;
+      continue;
+    }
+    auto fin = finishing_.find(ev.trace_id);
+    if (fin != finishing_.end()) {
+      fin->second.events.push_back(ev);
+      continue;
+    }
+    auto it = pending_.find(ev.trace_id);
+    if (it == pending_.end()) {
+      if (recent.Contains(ev.trace_id)) {
+        ++late_events_;
+        continue;
+      }
+      if (pending_.size() >= options_.max_pending_traces) {
+        ++pending_dropped_;
+        continue;
+      }
+      it = pending_.emplace(ev.trace_id, FlightTrace{}).first;
+      it->second.trace_id = ev.trace_id;
+    }
+    it->second.events.push_back(ev);
+    if (ev.event_kind() == EventKind::kSpan &&
+        (ev.flags & FlightEvent::kRootSpan) != 0) {
+      FlightTrace& trace = it->second;
+      trace.root_label = ev.label;
+      trace.root_ts_us = ev.ts_us;
+      trace.root_dur_us = ev.dur_us;
+      finishing_.emplace(ev.trace_id, std::move(trace));
+      pending_.erase(it);
+      ++new_roots;
+    }
+  }
+  return new_roots;
+}
+
+void TraceCollector::Finalize() {
+  RecentIds& recent = RecentFor(this);
+  for (auto& [id, trace] : finishing_) {
+    std::stable_sort(trace.events.begin(), trace.events.end(),
+                     [](const FlightEvent& a, const FlightEvent& b) {
+                       return a.ts_us < b.ts_us;
+                     });
+    ++completed_total_;
+    recent.Add(id);
+    // Reservoir of the slowest completed traces, kept sorted slowest
+    // first. A completed trace that does not make the cut (or the one it
+    // displaces) is an eviction — counted, never silent.
+    auto pos = std::upper_bound(
+        reservoir_.begin(), reservoir_.end(), trace,
+        [](const FlightTrace& a, const FlightTrace& b) {
+          return a.root_dur_us > b.root_dur_us;
+        });
+    if (reservoir_.size() < options_.reservoir_capacity) {
+      reservoir_.insert(pos, std::move(trace));
+    } else if (pos != reservoir_.end()) {
+      reservoir_.insert(pos, std::move(trace));
+      reservoir_.pop_back();
+      ++evicted_;
+    } else {
+      ++evicted_;
+    }
+  }
+  finishing_.clear();
+}
+
+void TraceCollector::Poll(FlightRecorder& recorder) {
+  std::vector<FlightEvent> batch;
+  recorder.Drain(&batch);
+  size_t roots = Fold(batch);
+  // A root span proves its trace's other spans were already published
+  // (the root is written last); they may sit in rings this pass scanned
+  // *before* the root's ring, so re-drain until no new roots appear.
+  while (roots > 0) {
+    batch.clear();
+    recorder.Drain(&batch);
+    roots = Fold(batch);
+  }
+  Finalize();
+}
+
+std::vector<FlightTrace> TraceCollector::Slowest(size_t n) const {
+  std::vector<FlightTrace> out;
+  out.reserve(std::min(n, reservoir_.size()));
+  for (const FlightTrace& trace : reservoir_) {
+    if (out.size() >= n) break;
+    out.push_back(trace);
+  }
+  return out;
+}
+
+uint64_t TraceCollector::Count(EventKind kind,
+                               const std::string& label) const {
+  // Journal labels are truncated to the event's inline capacity; apply
+  // the same truncation to the query so counting by a full-length label
+  // (e.g. a long failpoint name) still matches its journal twin.
+  std::string want = label.size() >= FlightEvent::kLabelSize
+                         ? label.substr(0, FlightEvent::kLabelSize - 1)
+                         : label;
+  uint64_t total = 0;
+  for (const auto& [key, count] : counts_) {
+    if (key.first != static_cast<uint8_t>(kind)) continue;
+    if (!want.empty() && key.second != want) continue;
+    total += count;
+  }
+  return total;
+}
+
+std::string ExportChromeTrace(const std::vector<FlightTrace>& traces) {
+  std::vector<const FlightEvent*> events;
+  for (const FlightTrace& trace : traces) {
+    for (const FlightEvent& ev : trace.events) events.push_back(&ev);
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FlightEvent* a, const FlightEvent* b) {
+                     return a->ts_us < b->ts_us;
+                   });
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[160];
+  bool first = true;
+  for (const FlightEvent* ev : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    out += EscapeJson(ev->label);
+    out += "\",\"cat\":\"";
+    out += EventKindName(ev->event_kind());
+    out += "\",\"ph\":\"";
+    bool span = ev->event_kind() == EventKind::kSpan && ev->dur_us > 0;
+    out += span ? "X" : "i";
+    std::snprintf(buf, sizeof(buf), "\",\"ts\":%lld,",
+                  static_cast<long long>(ev->ts_us));
+    out += buf;
+    if (span) {
+      std::snprintf(buf, sizeof(buf), "\"dur\":%lld,",
+                    static_cast<long long>(ev->dur_us));
+      out += buf;
+    } else {
+      // Thread-scoped instant: renders as a marker on its lane.
+      out += "\"s\":\"t\",";
+    }
+    std::snprintf(buf, sizeof(buf), "\"pid\":1,\"tid\":%u,",
+                  static_cast<unsigned>(ev->tid));
+    out += buf;
+    out += "\"args\":{\"trace_id\":\"" + HexId(ev->trace_id) + "\"";
+    if (ev->detail != 0) {
+      std::snprintf(buf, sizeof(buf), ",\"detail\":%u",
+                    static_cast<unsigned>(ev->detail));
+      out += buf;
+    }
+    if ((ev->flags & FlightEvent::kRootSpan) != 0) {
+      out += ",\"root\":true";
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string FlightTraceLine(const FlightTrace& trace) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), " %s %.3fms events=%zu threads=%zu",
+                trace.root_label.c_str(), trace.root_ms(),
+                trace.events.size(), trace.num_threads());
+  std::string out = "trace " + HexId(trace.trace_id) + buf;
+  for (const FlightEvent& ev : trace.events) {
+    if ((ev.flags & FlightEvent::kRootSpan) != 0) continue;
+    if (ev.event_kind() == EventKind::kSpan) {
+      std::snprintf(buf, sizeof(buf), " %s=%.3fms", ev.label,
+                    static_cast<double>(ev.dur_us) / 1000.0);
+    } else {
+      std::snprintf(buf, sizeof(buf), " !%s:%s",
+                    EventKindName(ev.event_kind()), ev.label);
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace querc::obs

@@ -1,0 +1,243 @@
+#ifndef QUERC_OBS_FLIGHT_RECORDER_H_
+#define QUERC_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace_context.h"
+
+namespace querc::obs {
+
+/// What a flight-recorder event describes. Spans carry a duration; the
+/// rest are instants attributing a resilience action (breaker trip, load
+/// shed, sink retry, failpoint trigger, hard error) to the query that hit
+/// it.
+enum class EventKind : uint8_t {
+  kSpan = 0,
+  kBreakerTransition = 1,
+  kShed = 2,
+  kRetry = 3,
+  kFailpoint = 4,
+  kError = 5,
+};
+inline constexpr size_t kNumEventKinds = 6;
+
+/// Stable lowercase name for `kind` ("span", "shed", ...); "?" for out-of-
+/// range values read from a corrupt journal.
+const char* EventKindName(EventKind kind);
+
+/// One fixed-size journal record: exactly 64 bytes (one cache line), plain
+/// old data, so the ring-buffer write path is a handful of stores with no
+/// allocation and the reader can copy records with memcpy semantics.
+/// Labels longer than the inline capacity are truncated — visible in the
+/// rendered trace, never a buffer overrun.
+struct FlightEvent {
+  /// Inline label bytes including the terminating NUL.
+  static constexpr size_t kLabelSize = 25;
+  /// flags bit: this span closed its trace (the root span) — the signal
+  /// the trace collector uses to declare a trace complete.
+  static constexpr uint8_t kRootSpan = 0x1;
+
+  uint64_t trace_id = 0;  ///< 0 = not attributed to any trace
+  uint64_t span_id = 0;   ///< enclosing span on the emitting thread
+  int64_t ts_us = 0;      ///< microseconds since the recorder's epoch
+  int64_t dur_us = 0;     ///< span duration; 0 for instant events
+  uint32_t tid = 0;       ///< recorder-assigned writer-lane id
+  uint8_t kind = 0;       ///< EventKind
+  uint8_t detail = 0;     ///< kind-specific (breaker to-state, attempt #)
+  uint8_t flags = 0;      ///< kRootSpan
+  char label[kLabelSize] = {};  ///< NUL-terminated, truncated
+
+  EventKind event_kind() const { return static_cast<EventKind>(kind); }
+  /// Copies `s` into `label`, truncating to kLabelSize - 1 characters.
+  void SetLabel(const char* s);
+};
+static_assert(sizeof(FlightEvent) == 64,
+              "FlightEvent must stay one cache line: the ring write path "
+              "budget is a few stores");
+
+/// Always-on, bounded, lock-free event journal. Every thread that records
+/// gets its own single-producer ring buffer (claimed from a free list, so
+/// rings are reused across short-lived threads and memory stays bounded);
+/// the write path is a relaxed head/tail check plus one 64-byte store —
+/// no mutex, no allocation, tens of nanoseconds. A full ring drops the
+/// new event and counts it: recording never blocks and never lies.
+///
+/// Reading is two-phase in the spirit of util::ConcurrentAggregator:
+/// `Drain` walks the ring registry under a reader-side mutex that writers
+/// never take, copies each ring's published window, and advances its tail
+/// — so a slow or concurrent reader stalls other readers, never a writer.
+///
+/// Conservation contract (exact at quiescence, monotonic always):
+///   recorded == drained + dropped + buffered()
+///
+/// The process-wide instance is `FlightRecorder::Global()` — a leaked
+/// singleton, so thread-local lane handles destroyed at thread exit can
+/// always return their ring safely.
+class FlightRecorder {
+ public:
+  /// Events each writer lane buffers between drains (power of two).
+  static constexpr size_t kRingCapacity = 4096;
+
+  static FlightRecorder& Global();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Appends `ev` to this thread's ring, stamping `ev.tid` with the lane
+  /// id. When the ring is full the event is dropped and counted. When the
+  /// recorder is disabled this is one relaxed load and a return.
+  void Record(FlightEvent ev);
+
+  /// Convenience: an instant event stamped with the current thread's
+  /// TraceContext and the current recorder time.
+  void RecordInstant(EventKind kind, const char* label, uint8_t detail = 0);
+
+  /// Convenience: a span event for `ctx` covering [ts_us, ts_us+dur_us].
+  void RecordSpan(const TraceContext& ctx, int64_t ts_us, int64_t dur_us,
+                  const char* label, bool root_span = false);
+
+  /// The global enable flag (true by default — the recorder is always on;
+  /// benches flip it off to measure their own overhead).
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  struct Stats {
+    uint64_t recorded = 0;  ///< Record calls while enabled (kept + dropped)
+    uint64_t dropped = 0;   ///< ring-full drops — counted, never silent
+    uint64_t drained = 0;   ///< events handed to Drain callers
+    uint64_t buffered() const { return recorded - dropped - drained; }
+  };
+  Stats stats() const;
+
+  /// Copies every published-but-undrained event into `out` (appending)
+  /// and advances the rings past them. Returns the number of events
+  /// moved. Safe to call concurrently with writers and other readers.
+  size_t Drain(std::vector<FlightEvent>* out);
+
+  /// Microseconds since the recorder's epoch (steady clock).
+  int64_t NowUs() const { return ToUs(std::chrono::steady_clock::now()); }
+  int64_t ToUs(std::chrono::steady_clock::time_point tp) const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(tp - epoch_)
+        .count();
+  }
+
+  /// Writer lanes ever created (lanes are reused after thread exit, so
+  /// this is bounded by the peak number of concurrently recording
+  /// threads, not by thread churn).
+  size_t num_lanes() const;
+
+ private:
+  struct Ring;
+  struct Lane;
+
+  FlightRecorder();
+  ~FlightRecorder() = default;
+
+  Ring* CurrentRing();
+  Ring* AcquireRing();
+
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{true};
+  /// Guards the ring registry and serializes readers; the Record path
+  /// never takes it.
+  mutable std::mutex reader_mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// One reassembled per-query trace: every journal event that carried the
+/// trace id, plus the root span's identity once the trace completed.
+struct FlightTrace {
+  uint64_t trace_id = 0;
+  std::string root_label;
+  int64_t root_ts_us = 0;
+  int64_t root_dur_us = 0;
+  /// Sorted by ts_us once the trace is complete.
+  std::vector<FlightEvent> events;
+
+  double root_ms() const { return static_cast<double>(root_dur_us) / 1000.0; }
+  /// Distinct writer lanes that contributed events (>= 2 proves the trace
+  /// reassembled across threads).
+  size_t num_threads() const;
+};
+
+/// Tail-latency exemplar sampler: drains the recorder, groups events by
+/// trace id, and — when a trace's root span arrives — retains it in a
+/// bounded reservoir of the slowest completed traces. Everything bounded
+/// is counted: reservoir evictions, over-budget pending traces, and
+/// events arriving after their trace was finalized are all visible in the
+/// accessors, never silently gone. Single-threaded by design (one
+/// collector owned by whoever reports); the cross-thread machinery lives
+/// in the recorder it polls.
+class TraceCollector {
+ public:
+  struct Options {
+    /// Completed traces retained (the slowest ones win).
+    size_t reservoir_capacity = 16;
+    /// Incomplete traces tracked while their spans stream in; beyond
+    /// this, events for *new* traces are counted as pending drops.
+    size_t max_pending_traces = 1024;
+  };
+
+  TraceCollector() : TraceCollector(Options()) {}
+  explicit TraceCollector(const Options& options);
+
+  /// Drains `recorder` and folds the events in. When a root span lands,
+  /// re-drains until no new roots appear, so spans a worker thread
+  /// published before the root (but sitting in a ring scanned earlier in
+  /// the same pass) are folded in before the trace is finalized.
+  void Poll(FlightRecorder& recorder = FlightRecorder::Global());
+
+  /// The up-to-n slowest completed traces, slowest first.
+  std::vector<FlightTrace> Slowest(size_t n) const;
+
+  /// Events seen so far for `kind`, optionally restricted to one label.
+  /// Counts every drained event — including those for dropped pending
+  /// traces — so journal/metric reconciliation is independent of the
+  /// reservoir policy.
+  uint64_t Count(EventKind kind, const std::string& label = "") const;
+
+  uint64_t completed_traces() const { return completed_total_; }
+  uint64_t reservoir_evictions() const { return evicted_; }
+  uint64_t pending_dropped_events() const { return pending_dropped_; }
+  uint64_t late_events() const { return late_events_; }
+  uint64_t untraced_events() const { return untraced_; }
+
+ private:
+  /// Folds one batch; returns how many traces saw their root span.
+  size_t Fold(const std::vector<FlightEvent>& events);
+  void Finalize();
+
+  Options options_;
+  std::map<uint64_t, FlightTrace> pending_;
+  std::map<uint64_t, FlightTrace> finishing_;  ///< root seen, being closed
+  std::vector<FlightTrace> reservoir_;         ///< slowest-first
+  std::map<std::pair<uint8_t, std::string>, uint64_t> counts_;
+  uint64_t completed_total_ = 0;
+  uint64_t evicted_ = 0;
+  uint64_t pending_dropped_ = 0;
+  uint64_t late_events_ = 0;
+  uint64_t untraced_ = 0;
+};
+
+/// Chrome trace-event ("Perfetto-loadable") JSON for a set of reassembled
+/// traces: spans render as complete ("ph":"X") events, instants as
+/// ("ph":"i"), with microsecond timestamps sorted ascending and labels
+/// JSON-escaped. Load via chrome://tracing or ui.perfetto.dev.
+std::string ExportChromeTrace(const std::vector<FlightTrace>& traces);
+
+/// One-line text rendering of a trace:
+///   "trace <id> <root> <ms>ms events=<n> threads=<k> <label>=<ms> ..."
+std::string FlightTraceLine(const FlightTrace& trace);
+
+}  // namespace querc::obs
+
+#endif  // QUERC_OBS_FLIGHT_RECORDER_H_

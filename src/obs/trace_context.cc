@@ -1,0 +1,50 @@
+#include "obs/trace_context.h"
+
+#include <atomic>
+
+namespace querc::obs {
+
+namespace {
+
+thread_local TraceContext g_context;
+
+/// splitmix64 finalizer: bijective, so distinct counter values can never
+/// produce the same id, and the zero sentinel is reserved by starting the
+/// counter at 1 (Mix(0) == 0 is the only fixed point mapping to 0).
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t NextId() {
+  static std::atomic<uint64_t> counter{1};
+  uint64_t id = Mix(counter.fetch_add(1, std::memory_order_relaxed));
+  // Mix is a bijection over 2^64, so exactly one counter value maps to 0;
+  // skip it rather than ever handing out the invalid sentinel.
+  return id != 0 ? id : Mix(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
+
+TraceContext CurrentContext() { return g_context; }
+
+TraceContext InstallContext(const TraceContext& ctx) {
+  TraceContext prev = g_context;
+  g_context = ctx;
+  return prev;
+}
+
+uint64_t NewTraceId() { return NextId(); }
+
+uint64_t NewSpanId() { return NextId(); }
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& ctx)
+    : prev_(g_context) {
+  g_context = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { g_context = prev_; }
+
+}  // namespace querc::obs

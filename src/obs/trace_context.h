@@ -1,0 +1,57 @@
+#ifndef QUERC_OBS_TRACE_CONTEXT_H_
+#define QUERC_OBS_TRACE_CONTEXT_H_
+
+#include <cstdint>
+
+namespace querc::obs {
+
+/// The propagatable identity of one logical request: a 64-bit trace id
+/// shared by every span the request touches (across threads), plus the
+/// span id of the innermost enclosing span on *this* thread. Contexts are
+/// plain values — capture one with `CurrentContext()` before handing work
+/// to another thread, adopt it there with `ScopedTraceContext`, and every
+/// flight-recorder event emitted inside the scope carries the same trace
+/// id, so the cross-thread journal reassembles into one per-query trace.
+///
+/// trace_id == 0 means "no active trace" (the invalid/empty context); ids
+/// from NewTraceId()/NewSpanId() are never 0.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// The context installed on this thread, or the invalid context.
+TraceContext CurrentContext();
+
+/// Installs `ctx` as this thread's context and returns the one it
+/// displaced. Low-level hook for scope objects that must survive beyond a
+/// single block (obs::Trace); everyone else should use ScopedTraceContext.
+TraceContext InstallContext(const TraceContext& ctx);
+
+/// Process-unique non-zero ids: an atomic counter pushed through a
+/// splitmix64-style mixer, so ids are cheap (one relaxed fetch_add), never
+/// collide within a process, and scatter uniformly (usable as hash keys).
+uint64_t NewTraceId();
+uint64_t NewSpanId();
+
+/// RAII adoption: installs `ctx` as this thread's current context for the
+/// scope and restores the previous context on destruction. Adopting an
+/// invalid context clears the slot (work explicitly detached from any
+/// trace). Scopes nest; each restores exactly what it displaced.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+}  // namespace querc::obs
+
+#endif  // QUERC_OBS_TRACE_CONTEXT_H_

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "embed/feature_embedder.h"
 #include "ml/knn.h"
+#include "obs/flight_recorder.h"
 #include "querc/classifier.h"
 #include "util/failpoint.h"
 #include "util/rng.h"
@@ -103,6 +105,22 @@ std::string ChaosReport::ToJson() const {
   out += util::StrFormat("  \"p50_fault_ms\": %.4f,\n", p50_fault_ms);
   out += util::StrFormat("  \"p99_fault_ms\": %.4f,\n", p99_fault_ms);
   out += util::StrFormat("  \"p99_recovery_ms\": %.4f,\n", p99_recovery_ms);
+  if (flightrec_enabled) {
+    out += util::StrFormat("  \"journal_sink_failpoints\": %llu,\n",
+                           (unsigned long long)journal_sink_failpoints);
+    out += util::StrFormat("  \"journal_classifier_failpoints\": %llu,\n",
+                           (unsigned long long)journal_classifier_failpoints);
+    out += util::StrFormat("  \"journal_sheds\": %llu,\n",
+                           (unsigned long long)journal_sheds);
+    out += util::StrFormat("  \"journal_breaker_transitions\": %llu,\n",
+                           (unsigned long long)journal_breaker_transitions);
+    out += util::StrFormat("  \"failpoint_hits_sink\": %llu,\n",
+                           (unsigned long long)failpoint_hits_sink);
+    out += util::StrFormat("  \"failpoint_hits_classifier\": %llu,\n",
+                           (unsigned long long)failpoint_hits_classifier);
+    out += util::StrFormat("  \"flightrec_ok\": %s,\n",
+                           flightrec_ok ? "true" : "false");
+  }
   out += util::StrFormat("  \"ok\": %s\n", ok() ? "true" : "false");
   out += "}";
   return out;
@@ -111,6 +129,22 @@ std::string ChaosReport::ToJson() const {
 ChaosReport RunChaosSoak(const ChaosOptions& options) {
   ChaosReport report;
   util::Rng rng(options.seed);
+
+  // Flight-recorder evidence trail: discard whatever earlier work in this
+  // process left in the rings, then poll the collector throughout so ring
+  // capacity (4096 events/thread) is never the limit on attribution.
+  std::unique_ptr<obs::TraceCollector> collector;
+  if (options.flightrec) {
+    report.flightrec_enabled = true;
+    std::vector<obs::FlightEvent> discard;
+    obs::FlightRecorder::Global().Drain(&discard);
+    obs::TraceCollector::Options copts;
+    copts.reservoir_capacity = 8;
+    collector = std::make_unique<obs::TraceCollector>(copts);
+  }
+  auto poll = [&] {
+    if (collector) collector->Poll();
+  };
 
   QWorkerPool::Options pool_options;
   pool_options.application = "chaos";
@@ -148,6 +182,7 @@ ChaosReport RunChaosSoak(const ChaosOptions& options) {
     ProcessedQuery pq = pool.Process(q);
     if (latencies != nullptr) latencies->push_back(sw.ElapsedMillis());
     Account(pq, &report);
+    poll();
   };
 
   // Phase 1: warmup — healthy baseline.
@@ -199,9 +234,16 @@ ChaosReport RunChaosSoak(const ChaosOptions& options) {
       for (const ProcessedQuery& pq : pool.ProcessBatch(burst)) {
         Account(pq, &report);
       }
+      poll();
     }
   }
   report.breakers_tripped = tripped.size();
+
+  // Ground truth for reconciliation must be read *before* Disarm (a
+  // disarmed point forgets its hit count).
+  report.failpoint_hits_sink = failpoints.hits("qworker.sink_database");
+  report.failpoint_hits_classifier =
+      failpoints.hits("qworker.classifier_predict");
 
   // Phase 3: recovery — faults gone; drive traffic until every breaker
   // re-closes (pacing by the cooldown when one is still open).
@@ -220,6 +262,28 @@ ChaosReport RunChaosSoak(const ChaosOptions& options) {
     // A breaker still open is waiting out its cooldown; give it time
     // instead of burning the query budget in microseconds.
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  if (collector) {
+    collector->Poll();  // final drain: nothing may be left buffered
+    report.journal_sink_failpoints =
+        collector->Count(obs::EventKind::kFailpoint, "qworker.sink_database");
+    report.journal_classifier_failpoints = collector->Count(
+        obs::EventKind::kFailpoint, "qworker.classifier_predict");
+    report.journal_sheds = collector->Count(obs::EventKind::kShed);
+    report.journal_breaker_transitions =
+        collector->Count(obs::EventKind::kBreakerTransition);
+    // Attribution contract: every injected sink/classifier fault and
+    // every shed the pool reported has exactly one journal event.
+    report.flightrec_ok =
+        report.journal_sink_failpoints == report.failpoint_hits_sink &&
+        report.journal_classifier_failpoints ==
+            report.failpoint_hits_classifier &&
+        report.journal_sheds == static_cast<uint64_t>(report.shed) &&
+        report.journal_breaker_transitions > 0;
+    for (const obs::FlightTrace& trace : collector->Slowest(3)) {
+      report.slow_traces.push_back(obs::FlightTraceLine(trace));
+    }
   }
 
   report.silent_drops = report.submitted - report.returned;

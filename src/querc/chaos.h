@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "querc/qworker_pool.h"
 
@@ -41,6 +42,11 @@ struct ChaosOptions {
   /// Per-Process deadline for the soak pool; 0 = unlimited.
   double deadline_ms = 0.0;
   uint64_t seed = 42;
+  /// Attach a flight-recorder TraceCollector to the soak: every injected
+  /// sink failure, classifier outage hit, and load shed must reconcile
+  /// with a journal event, and the slowest reassembled traces are
+  /// returned as evidence. Adds `flightrec_ok` to ok().
+  bool flightrec = false;
 };
 
 /// Machine-readable outcome of one soak (also `BENCH_chaos.json`).
@@ -70,11 +76,27 @@ struct ChaosReport {
   double p99_fault_ms = 0.0;
   double p99_recovery_ms = 0.0;
 
+  // Flight-recorder reconciliation (populated when options.flightrec):
+  // every resilience action the soak injected must have a journal twin.
+  bool flightrec_enabled = false;
+  uint64_t journal_sink_failpoints = 0;   ///< kFailpoint "qworker.sink_database"
+  uint64_t journal_classifier_failpoints = 0;
+  uint64_t journal_sheds = 0;             ///< kShed events
+  uint64_t journal_breaker_transitions = 0;
+  uint64_t failpoint_hits_sink = 0;       ///< failpoint hit counters (ground truth)
+  uint64_t failpoint_hits_classifier = 0;
+  /// Journal counts match the injected ground truth exactly.
+  bool flightrec_ok = true;
+  /// One-line renderings of the slowest reassembled traces (evidence for
+  /// the anomaly dump; not part of the JSON).
+  std::vector<std::string> slow_traces;
+
   /// The drill passed: something tripped, everything re-closed, nothing
-  /// was silently dropped, and shedding actually engaged.
+  /// was silently dropped, shedding actually engaged — and, with the
+  /// flight recorder attached, every injected fault has journal evidence.
   bool ok() const {
     return breakers_tripped > 0 && breakers_reclosed && silent_drops == 0 &&
-           shed > 0;
+           shed > 0 && (!flightrec_enabled || flightrec_ok);
   }
 
   std::string ToJson() const;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <optional>
 #include <thread>
 
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "util/failpoint.h"
 
@@ -103,16 +105,44 @@ obs::Counter& WorkerErrorsCounter() {
   return counter;
 }
 
-obs::Counter& SinkErrorsCounter(const char* sink) {
+obs::Counter& SinkErrorsCounterSlow(const char* sink) {
   return obs::MetricsRegistry::Global().GetCounter(
       "querc_sink_errors_total", {{"sink", sink}},
       "Sink invocation failures (exception or injected), per sink");
 }
 
-obs::Counter& SinkSkippedCounter(const char* sink) {
+/// The two sink labels are fixed ("database"/"training"), so each series
+/// is cached in its own function-local static — the failure path then
+/// increments a plain atomic instead of taking the registry mutex. An
+/// unknown label falls back to the registry lookup.
+obs::Counter& SinkErrorsCounter(const char* sink) {
+  if (std::strcmp(sink, "database") == 0) {
+    static obs::Counter& counter = SinkErrorsCounterSlow("database");
+    return counter;
+  }
+  if (std::strcmp(sink, "training") == 0) {
+    static obs::Counter& counter = SinkErrorsCounterSlow("training");
+    return counter;
+  }
+  return SinkErrorsCounterSlow(sink);
+}
+
+obs::Counter& SinkSkippedCounterSlow(const char* sink) {
   return obs::MetricsRegistry::Global().GetCounter(
       "querc_sink_skipped_total", {{"sink", sink}},
       "Sink invocations refused by an open circuit breaker, per sink");
+}
+
+obs::Counter& SinkSkippedCounter(const char* sink) {
+  if (std::strcmp(sink, "database") == 0) {
+    static obs::Counter& counter = SinkSkippedCounterSlow("database");
+    return counter;
+  }
+  if (std::strcmp(sink, "training") == 0) {
+    static obs::Counter& counter = SinkSkippedCounterSlow("training");
+    return counter;
+  }
+  return SinkSkippedCounterSlow(sink);
 }
 
 obs::Counter& ClassifierErrorsCounter(const std::string& task) {
@@ -334,6 +364,8 @@ util::Status QWorker::InvokeSink(const char* sink_label,
     }
     if (breaker != nullptr) breaker->RecordFailure();
     SinkErrorsCounter(sink_label).Increment();
+    obs::FlightRecorder::Global().RecordInstant(
+        obs::EventKind::kError, sink_label, static_cast<uint8_t>(attempt));
     if (attempt >= sink_retry_.max_attempts()) return status;
     if (deadline.Expired()) return status;
     if (!retry_budget_.TrySpend()) {
@@ -341,6 +373,8 @@ util::Status QWorker::InvokeSink(const char* sink_label,
       return status;
     }
     RetriesCounter().Increment();
+    obs::FlightRecorder::Global().RecordInstant(
+        obs::EventKind::kRetry, sink_label, static_cast<uint8_t>(attempt));
     backoff_ms = sink_retry_.NextBackoffMs(backoff_ms, ThreadRng());
     if (backoff_ms > 0.0) {
       // Never sleep past the deadline: a retry that cannot finish in
@@ -452,6 +486,8 @@ ProcessedQuery QWorker::Process(const workload::LabeledQuery& query) {
       }
       if (breaker != nullptr) breaker->RecordFailure();
       ClassifierErrorsCounter(task).Increment();
+      obs::FlightRecorder::Global().RecordInstant(obs::EventKind::kError,
+                                                  task.c_str());
     }
     (void)attempted;
     // Degradation ladder: primary unavailable or failed — try the

@@ -4,6 +4,7 @@
 #include <limits>
 #include <map>
 
+#include "obs/flight_recorder.h"
 #include "obs/trace.h"
 #include "util/failpoint.h"
 #include "util/stopwatch.h"
@@ -26,10 +27,22 @@ obs::Counter& BatchCounter() {
   return counter;
 }
 
-obs::Counter& ShedCounter(const char* policy) {
+obs::Counter& ShedCounterSlow(const char* policy) {
   return obs::MetricsRegistry::Global().GetCounter(
       "querc_shed_total", {{"policy", policy}},
       "Queries shed at pool admission, per shed policy");
+}
+
+/// Both shed-policy series cached in function-local statics: under
+/// overload every rejected query lands here, which is exactly when the
+/// registry mutex must not be on the path.
+obs::Counter& ShedCounter(QWorkerPool::ShedPolicy policy) {
+  if (policy == QWorkerPool::ShedPolicy::kRejectNew) {
+    static obs::Counter& counter = ShedCounterSlow("reject_new");
+    return counter;
+  }
+  static obs::Counter& counter = ShedCounterSlow("drop_oldest");
+  return counter;
 }
 
 obs::Gauge& InFlightGauge() {
@@ -158,9 +171,11 @@ ProcessedQuery QWorkerPool::MakeShed(const workload::LabeledQuery& query) {
   shed.shed = true;
   shed.status = util::Status::ResourceExhausted("pool admission: shed");
   shed_count_.fetch_add(1, std::memory_order_relaxed);
-  ShedCounter(options_.shed_policy == ShedPolicy::kRejectNew ? "reject_new"
-                                                             : "drop_oldest")
-      .Increment();
+  ShedCounter(options_.shed_policy).Increment();
+  obs::FlightRecorder::Global().RecordInstant(
+      obs::EventKind::kShed,
+      options_.shed_policy == ShedPolicy::kRejectNew ? "reject_new"
+                                                     : "drop_oldest");
   return shed;
 }
 
@@ -181,6 +196,10 @@ std::vector<ProcessedQuery> QWorkerPool::ProcessBatch(
     const workload::Workload& batch) {
   std::vector<ProcessedQuery> out(batch.size());
   if (batch.empty()) return out;
+  // The batch trace owns the trace id (unless an outer trace is already
+  // active); the fan-out shards below adopt it via ParallelFor, so every
+  // worker-thread span lands in this one cross-thread trace.
+  obs::Trace trace("pool_process_batch");
   util::Stopwatch timer;
   // Bounded admission: reserve as many slots as fit, shed the rest per
   // policy. Shed queries are returned in place (order preserved) with
@@ -218,6 +237,8 @@ std::vector<ProcessedQuery> QWorkerPool::ProcessBatch(
     if (!by_shard[s].empty()) live.push_back(s);
   }
   pool_->ParallelFor(live.size(), [&](size_t t) {
+    static obs::Histogram& fan_hist = obs::StageHistogram("pool_fan_out");
+    obs::Span fan_span(&fan_hist, "pool_fan_out");
     size_t s = live[t];
     QWorker& shard = *shards_[s];
     // A shard task that dies (injected fault or escaped exception) must

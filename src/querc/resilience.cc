@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/flight_recorder.h"
+
 namespace querc::core {
 
 namespace {
@@ -112,6 +114,11 @@ void CircuitBreaker::TransitionLocked(State next) {
   if (state_gauge_ != nullptr) {
     state_gauge_->Set(static_cast<double>(next));
     TransitionCounter(name_, next).Increment();
+    // Journal twin of the transition counter (detail = destination
+    // state), attributed to whichever query's Allow/Record tripped it.
+    obs::FlightRecorder::Global().RecordInstant(
+        obs::EventKind::kBreakerTransition, name_.c_str(),
+        static_cast<uint8_t>(next));
   }
   if (next == State::kClosed) {
     std::fill(window_.begin(), window_.end(), false);

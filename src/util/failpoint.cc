@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "util/string_util.h"
 
@@ -175,6 +176,11 @@ Status Failpoints::Evaluate(std::string_view name) {
     // remains observable) but stops firing once its budget is spent.
   }
   TriggerCounter(point).Increment();
+  // Journal twin of the trigger counter (detail = action), carrying the
+  // trace context of the query that hit the armed point.
+  obs::FlightRecorder::Global().RecordInstant(
+      obs::EventKind::kFailpoint, point.c_str(),
+      static_cast<uint8_t>(spec.action));
   switch (spec.action) {
     case FailAction::kError:
       return Status(spec.code, spec.message.empty()

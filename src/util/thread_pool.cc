@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "util/logging.h"
 
 namespace querc::util {
@@ -40,12 +41,16 @@ obs::Counter& TaskCounter() {
 /// >= n) still touches valid memory.
 struct Batch {
   explicit Batch(size_t total, const std::function<void(size_t)>& f)
-      : n(total), fn(f) {}
+      : n(total), fn(f), ctx(obs::CurrentContext()) {}
 
   const size_t n;
   /// The caller blocks until the batch drains, so the reference stays
   /// valid for exactly as long as any shard can dereference it.
   const std::function<void(size_t)>& fn;
+  /// The caller's trace context at batch creation; every shard adopts it
+  /// so spans recorded inside `fn` carry the caller's trace id even when
+  /// they run on pool threads.
+  const obs::TraceContext ctx;
   std::atomic<size_t> next{0};
   std::atomic<size_t> done{0};
   std::mutex mu;
@@ -55,6 +60,7 @@ struct Batch {
   /// Claims indices until the batch is exhausted. Returns true if this
   /// call finished the batch (done hit n).
   bool RunShard() {
+    obs::ScopedTraceContext adopt(ctx);
     bool finished = false;
     for (;;) {
       size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -100,6 +106,16 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Capture the submitter's trace context and re-install it around the
+  // task body, so work handed to the pool stays attributed to the query
+  // that submitted it.
+  obs::TraceContext ctx = obs::CurrentContext();
+  if (ctx.valid()) {
+    task = [ctx, inner = std::move(task)] {
+      obs::ScopedTraceContext adopt(ctx);
+      inner();
+    };
+  }
   {
     std::unique_lock<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));

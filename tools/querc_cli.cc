@@ -24,7 +24,9 @@
 //   querc lint       --workload w.csv | --stdin [--dialect d]
 //                    [--format text|json|sarif] [--advise] [--fail-on sev]
 //   querc chaos      [--shards N] [--faults N] [--sink-failure-rate F]
-//                    [--max-in-flight N] [--out report.json]
+//                    [--max-in-flight N] [--out report.json] [--flightrec]
+//   querc trace      [--queries N] [--shards N] [--slowest N]
+//                    [--out trace.json]
 //   querc info       --model m.bin
 
 #include <cstdio>
@@ -44,6 +46,7 @@
 #include "ml/metrics.h"
 #include "ml/random_forest.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/stats_reporter.h"
 #include "querc/querc.h"
@@ -623,6 +626,7 @@ int CmdChaos(const Args& args) {
   options.breaker_open_ms = args.GetDouble("breaker-open-ms", 25.0);
   options.deadline_ms = args.GetDouble("deadline-ms", 0.0);
   options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  options.flightrec = args.GetBool("flightrec");
 
   core::ChaosReport report = core::RunChaosSoak(options);
   std::string json = report.ToJson();
@@ -639,19 +643,121 @@ int CmdChaos(const Args& args) {
     std::fclose(f);
     std::printf("wrote chaos report to %s\n", out.c_str());
   }
+  if (report.flightrec_enabled) {
+    // Dump-on-anomaly evidence: the journal attribution summary plus the
+    // slowest reassembled traces the soak produced.
+    std::printf("flightrec: sink_failpoints=%llu/%llu "
+                "classifier_failpoints=%llu/%llu sheds=%llu/%zu "
+                "breaker_transitions=%llu %s\n",
+                (unsigned long long)report.journal_sink_failpoints,
+                (unsigned long long)report.failpoint_hits_sink,
+                (unsigned long long)report.journal_classifier_failpoints,
+                (unsigned long long)report.failpoint_hits_classifier,
+                (unsigned long long)report.journal_sheds, report.shed,
+                (unsigned long long)report.journal_breaker_transitions,
+                report.flightrec_ok ? "reconciled" : "MISMATCH");
+    for (const std::string& line : report.slow_traces) {
+      std::printf("  %s\n", line.c_str());
+    }
+  }
   if (!report.ok()) {
     std::fprintf(stderr,
                  "chaos: FAILED (tripped=%zu reclosed=%s shed=%zu "
-                 "silent_drops=%zu)\n",
+                 "silent_drops=%zu flightrec_ok=%s)\n",
                  report.breakers_tripped,
                  report.breakers_reclosed ? "true" : "false", report.shed,
-                 report.silent_drops);
+                 report.silent_drops, report.flightrec_ok ? "true" : "false");
     return 1;
   }
   std::printf("chaos: OK (recovery %.1f ms, shed rate %.1f%%, p99 under "
               "fault %.3f ms)\n",
               report.recovery_ms, 100.0 * report.shed_rate,
               report.p99_fault_ms);
+  return 0;
+}
+
+/// `querc trace`: drives a synthetic workload through a sharded pool with
+/// the flight recorder reassembling one trace per query, then dumps the N
+/// slowest — one-line text to stdout and Chrome trace-event / Perfetto
+/// JSON to --out (loadable at ui.perfetto.dev or chrome://tracing).
+int CmdTrace(const Args& args) {
+  workload::SnowflakeGenerator::Options gopt;
+  gopt.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  gopt.accounts = workload::SnowflakeGenerator::UniformAccounts(
+      args.GetInt("accounts", 4), args.GetInt("queries", 240),
+      args.GetInt("users", 3));
+  workload::Workload wl = workload::SnowflakeGenerator(gopt).Generate();
+
+  embed::Doc2VecEmbedder::Options eopt;
+  eopt.dim = static_cast<size_t>(args.GetInt("dim", 16));
+  eopt.epochs = args.GetInt("epochs", 3);
+  eopt.mode = embed::Doc2VecEmbedder::Mode::kDbow;
+  auto embedder = std::make_shared<embed::Doc2VecEmbedder>(eopt);
+  util::Status status = embed::TrainOnWorkload(*embedder, wl);
+  if (!status.ok()) return Fail(status);
+
+  auto classifier = std::make_shared<core::Classifier>(
+      "user", embedder,
+      std::make_unique<ml::RandomForestClassifier>(
+          ml::RandomForestClassifier::Options{}));
+  status = classifier->Train(wl, workload::UserOf);
+  if (!status.ok()) return Fail(status);
+
+  core::QWorkerPool::Options options;
+  options.application = "trace";
+  options.num_shards = static_cast<size_t>(args.GetInt("shards", 4));
+  options.worker.deadline_ms = args.GetDouble("deadline-ms", 0.0);
+  options.worker.embed_cache_capacity =
+      static_cast<size_t>(args.GetInt("embed-cache", 4096));
+  core::QWorkerPool pool(options);
+  pool.Deploy(classifier);
+  pool.set_database_sink([](const workload::LabeledQuery&) {});
+  pool.set_training_sink([](const core::ProcessedQuery&) {});
+
+  size_t slowest = static_cast<size_t>(std::max(1, args.GetInt("slowest", 5)));
+  obs::TraceCollector::Options copts;
+  copts.reservoir_capacity = slowest;
+  obs::TraceCollector collector(copts);
+  {
+    // Anything earlier work in this process journaled is not ours.
+    std::vector<obs::FlightEvent> discard;
+    obs::FlightRecorder::Global().Drain(&discard);
+  }
+  // One Process call per query = one root trace per query, so "the N
+  // slowest traces" literally means the N slowest queries.
+  for (const auto& q : wl) {
+    pool.Process(q);
+    collector.Poll();
+  }
+  collector.Poll();
+
+  std::vector<obs::FlightTrace> slow = collector.Slowest(slowest);
+  std::printf("traced %zu queries, %llu traces reassembled; %zu slowest:\n",
+              wl.size(), (unsigned long long)collector.completed_traces(),
+              slow.size());
+  size_t events = 0;
+  for (const obs::FlightTrace& t : slow) {
+    events += t.events.size();
+    std::printf("  %s\n", obs::FlightTraceLine(t).c_str());
+  }
+  obs::FlightRecorder::Stats stats = obs::FlightRecorder::Global().stats();
+  std::printf("journal: recorded=%llu drained=%llu dropped=%llu lanes=%zu\n",
+              (unsigned long long)stats.recorded,
+              (unsigned long long)stats.drained,
+              (unsigned long long)stats.dropped,
+              obs::FlightRecorder::Global().num_lanes());
+
+  std::string out = args.Get("out", "trace.json");
+  std::string json = obs::ExportChromeTrace(slow);
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    return Fail(util::Status::Internal("cannot open --out " + out));
+  }
+  std::fputs(json.c_str(), f);
+  std::fputs("\n", f);
+  std::fclose(f);
+  std::printf("wrote Perfetto trace (%zu events) to %s\n", events,
+              out.c_str());
   return 0;
 }
 
@@ -873,6 +979,9 @@ int Usage() {
       "  chaos      [--shards N] [--warmup N] [--faults N] [--recovery N]\n"
       "             [--sink-failure-rate F] [--no-classifier-outage]\n"
       "             [--max-in-flight N] [--breaker-open-ms F] [--out f]\n"
+      "             [--flightrec]   (journal attribution + slowest traces)\n"
+      "  trace      [--queries N] [--shards N] [--slowest N] [--seed N]\n"
+      "             [--out trace.json]   (Perfetto JSON for slowest queries)\n"
       "  explain    --workload w.csv [--indexes t:c1,c2;t2:c] [--limit N]\n"
       "  drift      --model m.bin --reference r.csv --recent n.csv\n"
       "  lint       --workload w.csv | --stdin [--dialect d]\n"
@@ -896,6 +1005,7 @@ int Main(int argc, char** argv) {
   if (command == "pool") return CmdPool(args);
   if (command == "stats") return CmdStats(args);
   if (command == "chaos") return CmdChaos(args);
+  if (command == "trace") return CmdTrace(args);
   if (command == "explain") return CmdExplain(args);
   if (command == "drift") return CmdDrift(args);
   if (command == "lint") return CmdLint(args);

@@ -64,6 +64,19 @@ run_config() {
   if [ "$name" != plain ]; then agg_flags="--no-perf-gate"; fi
   (cd "$dir" && ./bench/bench_aggregator --smoke $agg_flags \
     --out BENCH_aggregator_smoke.json >/dev/null)
+  # Flight-recorder smoke: the journal's conservation / drop-counting /
+  # cross-thread-reassembly contract must hold in every config (this is
+  # where tsan earns its keep: N writers racing a concurrent drain). The
+  # perf gates — tens-of-ns record path, recorder-on within 5% of
+  # recorder-off on the QWorker pipeline — run in plain only.
+  echo "==== [$name] flight recorder smoke ===="
+  (cd "$dir" && ./bench/bench_flight_recorder --smoke $agg_flags \
+    --out BENCH_flightrec_smoke.json >/dev/null)
+  # Trace smoke: `querc trace` must reassemble per-query traces from the
+  # journal and emit Perfetto-loadable JSON end to end.
+  echo "==== [$name] trace smoke ===="
+  "$dir/tools/querc" trace --queries 60 --accounts 2 --users 2 --epochs 2 \
+    --shards 2 --slowest 3 --out "$dir/BENCH_trace_smoke.json" >/dev/null
   echo "==== [$name] ok ===="
 }
 
