@@ -108,7 +108,7 @@ std::shared_ptr<const nn::Vec> EmbeddingCache::GetOrCompute(
   std::shared_ptr<InFlight> flight;
   bool owner = false;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     auto it = shard.map.find(key);
     if (it != shard.map.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
@@ -135,8 +135,11 @@ std::shared_ptr<const nn::Vec> EmbeddingCache::GetOrCompute(
     // would otherwise hide).
     static obs::Histogram& wait_hist = obs::StageHistogram("embed_cache_wait");
     obs::Span wait_span(&wait_hist, "embed_cache_wait");
-    std::unique_lock<std::mutex> lock(flight->mu);
-    flight->cv.wait(lock, [&] { return flight->done; });
+    util::MutexLock lock(&flight->mu);
+    flight->cv.Wait(flight->mu, [&]() REQUIRES(flight->mu) {
+      flight->mu.AssertHeld();
+      return flight->done;
+    });
     obs::TraceContext self = obs::CurrentContext();
     if (flight->owner_ctx.valid() && self.valid() &&
         flight->owner_ctx.trace_id != self.trace_id) {
@@ -162,34 +165,34 @@ std::shared_ptr<const nn::Vec> EmbeddingCache::GetOrCompute(
     value = std::make_shared<const nn::Vec>(compute());
   } catch (...) {
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      util::MutexLock lock(&shard.mu);
       shard.in_flight.erase(key);
     }
     {
-      std::lock_guard<std::mutex> lock(flight->mu);
+      util::MutexLock lock(&flight->mu);
       flight->done = true;
       flight->failed = true;
     }
-    flight->cv.notify_all();
+    flight->cv.NotifyAll();
     throw;
   }
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    util::MutexLock lock(&shard.mu);
     InsertLocked(shard, key, value);
     shard.in_flight.erase(key);
   }
   {
-    std::lock_guard<std::mutex> lock(flight->mu);
+    util::MutexLock lock(&flight->mu);
     flight->done = true;
     flight->value = value;
   }
-  flight->cv.notify_all();
+  flight->cv.NotifyAll();
   return value;
 }
 
 std::shared_ptr<const nn::Vec> EmbeddingCache::Peek(const std::string& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  util::MutexLock lock(&shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) return nullptr;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
@@ -207,7 +210,7 @@ EmbedCacheStats EmbeddingCache::Stats() const {
     one.misses = shard->misses.load(std::memory_order_relaxed);
     one.evictions = shard->evictions.load(std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      util::MutexLock lock(&shard->mu);
       one.size = shard->map.size();
     }
     one.capacity = per_shard_capacity_;
@@ -219,7 +222,7 @@ EmbedCacheStats EmbeddingCache::Stats() const {
 size_t EmbeddingCache::size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(&shard->mu);
     total += shard->map.size();
   }
   return total;
@@ -227,7 +230,7 @@ size_t EmbeddingCache::size() const {
 
 void EmbeddingCache::Clear() {
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    util::MutexLock lock(&shard->mu);
     shard->map.clear();
     shard->lru.clear();
   }

@@ -2,12 +2,10 @@
 #define QUERC_EMBED_EMBED_CACHE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -15,6 +13,8 @@
 #include "embed/embedder.h"
 #include "nn/tensor.h"
 #include "obs/trace_context.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace querc::embed {
 
@@ -107,11 +107,12 @@ class EmbeddingCache {
 
  private:
   struct InFlight {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool done = false;
-    bool failed = false;
-    std::shared_ptr<const nn::Vec> value;
+    util::Mutex mu{util::LockRank::kEmbedCacheFlight,
+                   "embed_cache.flight_mu"};
+    util::CondVar cv;
+    bool done GUARDED_BY(mu) = false;
+    bool failed GUARDED_BY(mu) = false;
+    std::shared_ptr<const nn::Vec> value GUARDED_BY(mu);
     /// The owning (computing) thread's trace context, captured when the
     /// flight is created; waiters use it to journal which query's compute
     /// they coalesced onto.
@@ -119,15 +120,17 @@ class EmbeddingCache {
   };
 
   struct Shard {
-    mutable std::mutex mu;
+    mutable util::Mutex mu{util::LockRank::kEmbedCacheShard,
+                           "embed_cache.shard_mu"};
     /// Front = most recently used.
-    std::list<std::string> lru;
+    std::list<std::string> lru GUARDED_BY(mu);
     struct Entry {
       std::shared_ptr<const nn::Vec> value;
       std::list<std::string>::iterator lru_it;
     };
-    std::unordered_map<std::string, Entry> map;
-    std::unordered_map<std::string, std::shared_ptr<InFlight>> in_flight;
+    std::unordered_map<std::string, Entry> map GUARDED_BY(mu);
+    std::unordered_map<std::string, std::shared_ptr<InFlight>> in_flight
+        GUARDED_BY(mu);
 
     /// Striped counters: each shard counts its own traffic on its own
     /// cache line, so shards never contend on shared stats atomics; the
@@ -142,7 +145,8 @@ class EmbeddingCache {
 
   /// Inserts under the shard lock, evicting LRU tails past capacity.
   void InsertLocked(Shard& shard, const std::string& key,
-                    const std::shared_ptr<const nn::Vec>& value);
+                    const std::shared_ptr<const nn::Vec>& value)
+      REQUIRES(shard.mu);
 
   size_t per_shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;

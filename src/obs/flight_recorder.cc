@@ -128,7 +128,7 @@ FlightRecorder& FlightRecorder::Global() {
 }
 
 FlightRecorder::Ring* FlightRecorder::AcquireRing() {
-  std::lock_guard<std::mutex> lock(reader_mu_);
+  util::MutexLock lock(&reader_mu_);
   for (auto& ring : rings_) {
     if (!ring->claimed.load(std::memory_order_acquire)) {
       ring->claimed.store(true, std::memory_order_relaxed);
@@ -193,7 +193,7 @@ void FlightRecorder::RecordSpan(const TraceContext& ctx, int64_t ts_us,
 }
 
 FlightRecorder::Stats FlightRecorder::stats() const {
-  std::lock_guard<std::mutex> lock(reader_mu_);
+  util::MutexLock lock(&reader_mu_);
   Stats stats;
   for (const auto& ring : rings_) {
     uint64_t head = ring->head.load(std::memory_order_acquire);
@@ -206,7 +206,7 @@ FlightRecorder::Stats FlightRecorder::stats() const {
 }
 
 size_t FlightRecorder::Drain(std::vector<FlightEvent>* out) {
-  std::lock_guard<std::mutex> lock(reader_mu_);
+  util::MutexLock lock(&reader_mu_);
   size_t moved = 0;
   for (auto& ring : rings_) {
     uint64_t head = ring->head.load(std::memory_order_acquire);
@@ -221,7 +221,7 @@ size_t FlightRecorder::Drain(std::vector<FlightEvent>* out) {
 }
 
 size_t FlightRecorder::num_lanes() const {
-  std::lock_guard<std::mutex> lock(reader_mu_);
+  util::MutexLock lock(&reader_mu_);
   return rings_.size();
 }
 

@@ -6,11 +6,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/trace_context.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace querc::obs {
 
@@ -116,12 +117,12 @@ class FlightRecorder {
     uint64_t drained = 0;   ///< events handed to Drain callers
     uint64_t buffered() const { return recorded - dropped - drained; }
   };
-  Stats stats() const;
+  Stats stats() const EXCLUDES(reader_mu_);
 
   /// Copies every published-but-undrained event into `out` (appending)
   /// and advances the rings past them. Returns the number of events
   /// moved. Safe to call concurrently with writers and other readers.
-  size_t Drain(std::vector<FlightEvent>* out);
+  size_t Drain(std::vector<FlightEvent>* out) EXCLUDES(reader_mu_);
 
   /// Microseconds since the recorder's epoch (steady clock).
   int64_t NowUs() const { return ToUs(std::chrono::steady_clock::now()); }
@@ -133,7 +134,7 @@ class FlightRecorder {
   /// Writer lanes ever created (lanes are reused after thread exit, so
   /// this is bounded by the peak number of concurrently recording
   /// threads, not by thread churn).
-  size_t num_lanes() const;
+  size_t num_lanes() const EXCLUDES(reader_mu_);
 
  private:
   struct Ring;
@@ -143,14 +144,15 @@ class FlightRecorder {
   ~FlightRecorder() = default;
 
   Ring* CurrentRing();
-  Ring* AcquireRing();
+  Ring* AcquireRing() EXCLUDES(reader_mu_);
 
   const std::chrono::steady_clock::time_point epoch_;
   std::atomic<bool> enabled_{true};
   /// Guards the ring registry and serializes readers; the Record path
   /// never takes it.
-  mutable std::mutex reader_mu_;
-  std::vector<std::unique_ptr<Ring>> rings_;
+  mutable util::Mutex reader_mu_{util::LockRank::kFlightRecorder,
+                                 "flightrec.reader_mu"};
+  std::vector<std::unique_ptr<Ring>> rings_ GUARDED_BY(reader_mu_);
 };
 
 /// One reassembled per-query trace: every journal event that carried the

@@ -157,14 +157,14 @@ T& GetOrCreate(std::map<std::pair<std::string, Labels>, std::unique_ptr<T>>&
 Counter& MetricsRegistry::GetCounter(const std::string& name,
                                      const Labels& labels,
                                      const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (!help.empty()) help_.emplace(name, help);
   return GetOrCreate(counters_, name, labels);
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name, const Labels& labels,
                                  const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (!help.empty()) help_.emplace(name, help);
   return GetOrCreate(gauges_, name, labels);
 }
@@ -172,7 +172,7 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name, const Labels& labels,
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          const Labels& labels,
                                          const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (!help.empty()) help_.emplace(name, help);
   return GetOrCreate(histograms_, name, labels);
 }
@@ -183,7 +183,7 @@ MetricsRegistry::Snapshot MetricsRegistry::Collect(
     return prefix.empty() || name.rfind(prefix, 0) == 0;
   };
   Snapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   for (const auto& [key, counter] : counters_) {
     if (!matches(key.first)) continue;
     snap.counters.push_back({key.first, key.second, counter->value()});
@@ -203,7 +203,7 @@ MetricsRegistry::Snapshot MetricsRegistry::Collect(
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   for (auto& [key, counter] : counters_) counter->Reset();
   for (auto& [key, gauge] : gauges_) gauge->Reset();
   for (auto& [key, histogram] : histograms_) histogram->Reset();

@@ -8,10 +8,12 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace querc::obs {
 
@@ -130,11 +132,11 @@ class MetricsRegistry {
   /// `help`, when non-empty, is remembered for the family (first caller
   /// wins) and emitted by the Prometheus exporter.
   Counter& GetCounter(const std::string& name, const Labels& labels = {},
-                      const std::string& help = "");
+                      const std::string& help = "") EXCLUDES(mu_);
   Gauge& GetGauge(const std::string& name, const Labels& labels = {},
-                  const std::string& help = "");
+                  const std::string& help = "") EXCLUDES(mu_);
   Histogram& GetHistogram(const std::string& name, const Labels& labels = {},
-                          const std::string& help = "");
+                          const std::string& help = "") EXCLUDES(mu_);
 
   struct CounterSample {
     std::string name;
@@ -161,20 +163,23 @@ class MetricsRegistry {
   };
 
   /// Collects all metrics whose name starts with `prefix` ("" = all).
-  Snapshot Collect(const std::string& prefix = "") const;
+  Snapshot Collect(const std::string& prefix = "") const EXCLUDES(mu_);
 
   /// Zeroes every metric without invalidating references — used by tests
   /// and benches that want a clean slate over the global registry.
-  void ResetAll();
+  void ResetAll() EXCLUDES(mu_);
 
  private:
   using Key = std::pair<std::string, Labels>;
 
-  mutable std::mutex mu_;
-  std::map<Key, std::unique_ptr<Counter>> counters_;
-  std::map<Key, std::unique_ptr<Gauge>> gauges_;
-  std::map<Key, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, std::string> help_;
+  /// Guards registration and the family maps only; the metric objects the
+  /// maps point to are lock-free atomics, touched with no lock held.
+  mutable util::Mutex mu_{util::LockRank::kMetricsRegistry,
+                          "metrics.registry_mu"};
+  std::map<Key, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Histogram>> histograms_ GUARDED_BY(mu_);
+  std::map<std::string, std::string> help_ GUARDED_BY(mu_);
 };
 
 }  // namespace querc::obs

@@ -43,32 +43,42 @@ StatsReporter::StatsReporter(const Options& options) : options_(options) {
 StatsReporter::~StatsReporter() { Stop(); }
 
 void StatsReporter::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (thread_.joinable()) return;
   stop_ = false;
   thread_ = std::thread([this] { Loop(); });
 }
 
 void StatsReporter::Stop() {
+  // Move the handle out under the lock so exactly one stopper joins:
+  // with the handle left in place, two concurrent Stop() calls would
+  // both see joinable() and both call join() (undefined behavior).
+  std::thread joiner;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     if (!thread_.joinable()) return;
     stop_ = true;
+    joiner = std::move(thread_);
   }
-  cv_.notify_all();
-  thread_.join();
+  cv_.NotifyAll();
+  joiner.join();
   options_.sink(SummaryLine());
 }
 
 void StatsReporter::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    if (cv_.wait_for(lock, options_.interval, [this] { return stop_; })) {
-      return;  // final line is emitted by Stop() after the join
+    {
+      util::MutexLock lock(&mu_);
+      if (cv_.WaitFor(mu_, options_.interval, [this]() REQUIRES(mu_) {
+            mu_.AssertHeld();
+            return stop_;
+          })) {
+        return;  // final line is emitted by Stop() after the join
+      }
     }
-    lock.unlock();
+    // The tick's sink call runs unlocked so a slow sink never delays
+    // Stop().
     options_.sink(SummaryLine());
-    lock.lock();
   }
 }
 

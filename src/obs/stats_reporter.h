@@ -2,13 +2,13 @@
 #define QUERC_OBS_STATS_REPORTER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace querc::obs {
 
@@ -38,23 +38,26 @@ class StatsReporter {
   StatsReporter& operator=(const StatsReporter&) = delete;
 
   /// Launches the reporter thread; no-op if already running.
-  void Start();
+  void Start() EXCLUDES(mu_);
 
   /// Emits a final summary line and joins the thread; no-op if stopped.
-  void Stop();
+  /// Safe to call from several threads at once (exactly one performs the
+  /// join; the rest return immediately).
+  void Stop() EXCLUDES(mu_);
 
   /// The summary line for the current metric values (also used by each
   /// periodic tick); exposed for tests and one-shot callers.
   std::string SummaryLine() const;
 
  private:
-  void Loop();
+  void Loop() EXCLUDES(mu_);
 
+  /// Immutable after the constructor (the reporter thread reads it).
   Options options_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  std::thread thread_;
+  util::Mutex mu_{util::LockRank::kStatsReporter, "stats_reporter.mu"};
+  util::CondVar cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::thread thread_ GUARDED_BY(mu_);
 };
 
 }  // namespace querc::obs

@@ -209,7 +209,7 @@ QWorker::QWorker(const Options& options)
 }
 
 void QWorker::Deploy(std::shared_ptr<const Classifier> classifier) {
-  std::lock_guard<std::mutex> lock(deploy_mu_);
+  util::MutexLock lock(&deploy_mu_);
   const std::string& task = classifier->task_name();
   auto next = std::make_shared<ClassifierMap>(*classifiers_.load());
   (*next)[task] = std::move(classifier);
@@ -227,7 +227,7 @@ void QWorker::Deploy(std::shared_ptr<const Classifier> classifier) {
 
 void QWorker::DeployAll(
     const std::vector<std::shared_ptr<const Classifier>>& classifiers) {
-  std::lock_guard<std::mutex> lock(deploy_mu_);
+  util::MutexLock lock(&deploy_mu_);
   auto next = std::make_shared<ClassifierMap>(*classifiers_.load());
   std::shared_ptr<BreakerMap> next_breakers;
   for (const auto& classifier : classifiers) {
@@ -250,7 +250,7 @@ void QWorker::DeployAll(
 }
 
 bool QWorker::Undeploy(const std::string& task_name) {
-  std::lock_guard<std::mutex> lock(deploy_mu_);
+  util::MutexLock lock(&deploy_mu_);
   auto current = classifiers_.load();
   if (current->find(task_name) == current->end()) return false;
   auto next = std::make_shared<ClassifierMap>(*current);
@@ -266,14 +266,14 @@ bool QWorker::Undeploy(const std::string& task_name) {
 }
 
 void QWorker::DeployFallback(std::shared_ptr<const Classifier> classifier) {
-  std::lock_guard<std::mutex> lock(deploy_mu_);
+  util::MutexLock lock(&deploy_mu_);
   auto next = std::make_shared<ClassifierMap>(*fallbacks_.load());
   (*next)[classifier->task_name()] = std::move(classifier);
   fallbacks_.store(std::move(next));
 }
 
 bool QWorker::UndeployFallback(const std::string& task_name) {
-  std::lock_guard<std::mutex> lock(deploy_mu_);
+  util::MutexLock lock(&deploy_mu_);
   auto current = fallbacks_.load();
   if (current->find(task_name) == current->end()) return false;
   auto next = std::make_shared<ClassifierMap>(*current);
@@ -303,7 +303,7 @@ size_t QWorker::num_classifiers() const {
 }
 
 std::deque<workload::LabeledQuery> QWorker::window() const {
-  std::lock_guard<std::mutex> lock(window_mu_);
+  util::MutexLock lock(&window_mu_);
   return window_;
 }
 
@@ -565,7 +565,7 @@ ProcessedQuery QWorker::Process(const workload::LabeledQuery& query) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(window_mu_);
+    util::MutexLock lock(&window_mu_);
     window_.push_back(query);
     while (window_.size() > options_.window_size) window_.pop_front();
   }

@@ -7,7 +7,6 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -19,6 +18,8 @@
 #include "sql/lint/engine.h"
 #include "util/atomic_shared_ptr.h"
 #include "util/concurrent_aggregator.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/status.h"
 #include "workload/workload.h"
 
@@ -195,25 +196,28 @@ class QWorker {
   /// Installs (or replaces) a classifier under its task name. Deployment
   /// of retrained models is an atomic snapshot swap; in-flight queries
   /// keep the classifier set they started with.
-  void Deploy(std::shared_ptr<const Classifier> classifier);
+  void Deploy(std::shared_ptr<const Classifier> classifier)
+      EXCLUDES(deploy_mu_);
 
   /// Installs several classifiers in ONE snapshot swap: no concurrent
   /// query can observe some of them deployed and others not.
   void DeployAll(
-      const std::vector<std::shared_ptr<const Classifier>>& classifiers);
+      const std::vector<std::shared_ptr<const Classifier>>& classifiers)
+      EXCLUDES(deploy_mu_);
 
   /// Removes a classifier by task name; returns whether it existed.
-  bool Undeploy(const std::string& task_name);
+  bool Undeploy(const std::string& task_name) EXCLUDES(deploy_mu_);
 
   /// Installs a (typically cheaper) fallback classifier for its task.
   /// When the primary's breaker is open or the primary errors, the task
   /// degrades to the fallback instead of going unanswered — the
   /// Query2Vec result that labeling quality degrades gracefully with
   /// cheaper embedders makes this principled.
-  void DeployFallback(std::shared_ptr<const Classifier> classifier);
+  void DeployFallback(std::shared_ptr<const Classifier> classifier)
+      EXCLUDES(deploy_mu_);
 
   /// Removes a fallback by task name; returns whether it existed.
-  bool UndeployFallback(const std::string& task_name);
+  bool UndeployFallback(const std::string& task_name) EXCLUDES(deploy_mu_);
 
   void set_database_sink(DatabaseSink sink);
   void set_training_sink(TrainingSink sink);
@@ -230,7 +234,7 @@ class QWorker {
   std::vector<ProcessedQuery> ProcessBatch(const workload::Workload& batch);
 
   /// A snapshot copy of the bounded window of most recent queries seen.
-  std::deque<workload::LabeledQuery> window() const;
+  std::deque<workload::LabeledQuery> window() const EXCLUDES(window_mu_);
 
   /// The current deployed-classifier snapshot.
   std::shared_ptr<const ClassifierMap> classifiers() const;
@@ -301,12 +305,19 @@ class QWorker {
   /// Fallbacks and per-task breakers: same publication discipline.
   util::AtomicSharedPtr<const ClassifierMap> fallbacks_;
   util::AtomicSharedPtr<const BreakerMap> task_breakers_;
-  std::mutex deploy_mu_;
+  /// Serializes copy-on-write deployments. Held across breaker
+  /// construction (which registers metrics series) and the snapshot
+  /// publish — hence rank kQWorkerDeploy below kBreaker,
+  /// kAtomicSharedPtr, and kMetricsRegistry. The snapshot pointers above
+  /// are not GUARDED_BY it: readers go straight through AtomicSharedPtr.
+  util::Mutex deploy_mu_{util::LockRank::kQWorkerDeploy,
+                         "qworker.deploy_mu"};
   /// Sinks are published the same way so setters can race with Process.
   util::AtomicSharedPtr<const DatabaseSink> database_;
   util::AtomicSharedPtr<const TrainingSink> training_;
-  mutable std::mutex window_mu_;
-  std::deque<workload::LabeledQuery> window_;
+  mutable util::Mutex window_mu_{util::LockRank::kQWorkerWindow,
+                                 "qworker.window_mu"};
+  std::deque<workload::LabeledQuery> window_ GUARDED_BY(window_mu_);
   std::atomic<size_t> processed_count_{0};
   /// Per-worker Process latency; also mirrored into the global registry's
   /// querc_qworker_process_ms so exporters see the service-wide view.

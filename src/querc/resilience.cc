@@ -132,7 +132,7 @@ void CircuitBreaker::TransitionLocked(State next) {
 }
 
 bool CircuitBreaker::Allow() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   switch (state_) {
     case State::kClosed:
       return true;
@@ -149,7 +149,7 @@ bool CircuitBreaker::Allow() {
 }
 
 void CircuitBreaker::RecordSuccess() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (state_ == State::kHalfOpen) {
     ++probe_successes_;
     if (probe_successes_ >= options_.half_open_probes) {
@@ -165,7 +165,7 @@ void CircuitBreaker::RecordSuccess() {
 }
 
 void CircuitBreaker::RecordFailure() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (state_ == State::kHalfOpen) {
     // One failed probe re-opens for a fresh cooldown.
     open_until_us_ =
@@ -188,7 +188,7 @@ void CircuitBreaker::RecordFailure() {
 }
 
 CircuitBreaker::State CircuitBreaker::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return state_;
 }
 

@@ -5,11 +5,12 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -148,12 +149,12 @@ class CircuitBreaker {
 
   /// Whether a call may proceed right now. May transition open→half-open
   /// when the cooldown has elapsed.
-  bool Allow();
+  bool Allow() EXCLUDES(mu_);
 
-  void RecordSuccess();
-  void RecordFailure();
+  void RecordSuccess() EXCLUDES(mu_);
+  void RecordFailure() EXCLUDES(mu_);
 
-  State state() const;
+  State state() const EXCLUDES(mu_);
   const std::string& name() const { return name_; }
 
   /// Stable lowercase name for a state ("closed", "open", "half-open").
@@ -161,22 +162,25 @@ class CircuitBreaker {
 
  private:
   int64_t Now() const;
-  void TransitionLocked(State next);
+  void TransitionLocked(State next) REQUIRES(mu_);
 
   std::string name_;
   CircuitBreakerOptions options_;
   obs::Gauge* state_gauge_ = nullptr;  // null when metrics disabled
 
-  mutable std::mutex mu_;
-  State state_ = State::kClosed;
+  /// Held across TransitionLocked, which journals to the metrics registry
+  /// and flight recorder — hence rank kBreaker < kMetricsRegistry,
+  /// kFlightRecorder.
+  mutable util::Mutex mu_{util::LockRank::kBreaker, "breaker.mu"};
+  State state_ GUARDED_BY(mu_) = State::kClosed;
   /// Ring buffer of recent outcomes (true = failure) in closed state.
-  std::vector<bool> window_;
-  size_t window_next_ = 0;
-  size_t window_count_ = 0;
-  size_t window_failures_ = 0;
-  int64_t open_until_us_ = 0;
-  size_t probes_in_flight_ = 0;
-  size_t probe_successes_ = 0;
+  std::vector<bool> window_ GUARDED_BY(mu_);
+  size_t window_next_ GUARDED_BY(mu_) = 0;
+  size_t window_count_ GUARDED_BY(mu_) = 0;
+  size_t window_failures_ GUARDED_BY(mu_) = 0;
+  int64_t open_until_us_ GUARDED_BY(mu_) = 0;
+  size_t probes_in_flight_ GUARDED_BY(mu_) = 0;
+  size_t probe_successes_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace querc::core

@@ -49,7 +49,7 @@ TrainingModule::TrainingModule(const Options& options)
 
 void TrainingModule::Collect(const std::string& application,
                              const ProcessedQuery& query) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   workload::Workload& set = training_sets_[application];
   set.Add(query.query);
   if (set.size() > options_.max_queries_per_application) {
@@ -61,28 +61,27 @@ void TrainingModule::Collect(const std::string& application,
 
 void TrainingModule::ImportLogs(const std::string& application,
                                 const workload::Workload& logs) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   training_sets_[application].Append(logs);
 }
 
-const workload::Workload& TrainingModule::TrainingSet(
+workload::Workload TrainingModule::TrainingSet(
     const std::string& application) const {
-  static const workload::Workload kEmpty;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = training_sets_.find(application);
-  return it == training_sets_.end() ? kEmpty : it->second;
+  return it == training_sets_.end() ? workload::Workload() : it->second;
 }
 
 void TrainingModule::RegisterEmbedder(
     const std::string& name,
     std::shared_ptr<const embed::Embedder> embedder) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   embedders_[name] = std::move(embedder);
 }
 
 std::shared_ptr<const embed::Embedder> TrainingModule::Embedder(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = embedders_.find(name);
   return it == embedders_.end() ? nullptr : it->second;
 }
@@ -102,7 +101,7 @@ util::StatusOr<std::shared_ptr<Classifier>> TrainingModule::Train(
   }
   workload::Workload corpus;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     auto it = training_sets_.find(job.application);
     if (it == training_sets_.end() || it->second.empty()) {
       return fail(util::Status::FailedPrecondition(
@@ -122,7 +121,7 @@ util::StatusOr<std::shared_ptr<Classifier>> TrainingModule::Train(
     return fail(std::move(status));
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     models_[job.task_name] = classifier;
   }
   TrainHistogram().Record(timer.ElapsedMillis());
@@ -180,7 +179,7 @@ util::Status TrainingModule::TrainAndDeploy(const std::vector<TrainJob>& jobs,
 
 std::shared_ptr<Classifier> TrainingModule::Model(
     const std::string& task_name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = models_.find(task_name);
   return it == models_.end() ? nullptr : it->second;
 }

@@ -3,14 +3,15 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "querc/classifier.h"
 #include "querc/qworker.h"
 #include "querc/qworker_pool.h"
+#include "util/mutex.h"
 #include "util/statusor.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "workload/workload.h"
 
@@ -33,23 +34,29 @@ class TrainingModule {
   explicit TrainingModule(const Options& options);
 
   /// Sink endpoint for a QWorker's training tee.
-  void Collect(const std::string& application, const ProcessedQuery& query);
+  void Collect(const std::string& application, const ProcessedQuery& query)
+      EXCLUDES(mu_);
 
   /// Bulk log import (the periodic query-log export path of §2).
   void ImportLogs(const std::string& application,
-                  const workload::Workload& logs);
+                  const workload::Workload& logs) EXCLUDES(mu_);
 
-  /// The retained training set for `application`.
-  const workload::Workload& TrainingSet(const std::string& application) const;
+  /// A snapshot of the retained training set for `application` (empty if
+  /// unknown). Returned by value: the live set keeps mutating under mu_
+  /// as Collect/ImportLogs run, so a reference would dangle into the
+  /// guarded map.
+  workload::Workload TrainingSet(const std::string& application) const
+      EXCLUDES(mu_);
 
   /// Registers a shared embedder under `name`. Embedders are trained once
   /// on large (possibly combined, e.g. "EmbedderA(X,Y)") corpora and
   /// shared across classifiers.
   void RegisterEmbedder(const std::string& name,
-                        std::shared_ptr<const embed::Embedder> embedder);
+                        std::shared_ptr<const embed::Embedder> embedder)
+      EXCLUDES(mu_);
 
   std::shared_ptr<const embed::Embedder> Embedder(
-      const std::string& name) const;
+      const std::string& name) const EXCLUDES(mu_);
 
   /// Specification of one batch training job.
   struct TrainJob {
@@ -81,7 +88,8 @@ class TrainingModule {
   util::ThreadPool& thread_pool() { return pool_; }
 
   /// Deployed-model registry (task name -> classifier).
-  std::shared_ptr<Classifier> Model(const std::string& task_name) const;
+  std::shared_ptr<Classifier> Model(const std::string& task_name) const
+      EXCLUDES(mu_);
 
  private:
   /// Trains all jobs in parallel; fills `trained` (same order as `jobs`)
@@ -90,10 +98,12 @@ class TrainingModule {
                         std::vector<std::shared_ptr<const Classifier>>* trained);
 
   Options options_;
-  mutable std::mutex mu_;
-  std::map<std::string, workload::Workload> training_sets_;
-  std::map<std::string, std::shared_ptr<const embed::Embedder>> embedders_;
-  std::map<std::string, std::shared_ptr<Classifier>> models_;
+  mutable util::Mutex mu_{util::LockRank::kTrainingModule,
+                          "training_module.mu"};
+  std::map<std::string, workload::Workload> training_sets_ GUARDED_BY(mu_);
+  std::map<std::string, std::shared_ptr<const embed::Embedder>> embedders_
+      GUARDED_BY(mu_);
+  std::map<std::string, std::shared_ptr<Classifier>> models_ GUARDED_BY(mu_);
   util::ThreadPool pool_;
 };
 

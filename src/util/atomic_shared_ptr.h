@@ -2,8 +2,10 @@
 #define QUERC_UTIL_ATOMIC_SHARED_PTR_H_
 
 #include <memory>
-#include <mutex>
 #include <utility>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace querc::util {
 
@@ -30,24 +32,24 @@ class AtomicSharedPtr {
 
   /// Snapshot read; the returned pointer keeps the object alive even if a
   /// store replaces it concurrently.
-  std::shared_ptr<T> load() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<T> load() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return ptr_;
   }
 
   /// Publishes `next`. The displaced object is released *outside* the
   /// lock so arbitrary destructors never run in the critical section.
-  void store(std::shared_ptr<T> next) {
+  void store(std::shared_ptr<T> next) EXCLUDES(mu_) {
     std::shared_ptr<T> displaced;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       displaced = std::exchange(ptr_, std::move(next));
     }
   }
 
  private:
-  mutable std::mutex mu_;
-  std::shared_ptr<T> ptr_;
+  mutable Mutex mu_{LockRank::kAtomicSharedPtr, "atomic_shared_ptr.mu"};
+  std::shared_ptr<T> ptr_ GUARDED_BY(mu_);
 };
 
 }  // namespace querc::util

@@ -119,7 +119,7 @@ ConcurrentAggregator::Outcome ConcurrentAggregator::Record(
 ConcurrentAggregator::Outcome ConcurrentAggregator::RecordSlow(
     Shard& shard, size_t start, uint64_t hash, std::string_view key,
     uint64_t count_delta, uint64_t weight_delta, std::string_view tag) {
-  std::lock_guard<std::mutex> lock(shard.evict_mu);
+  MutexLock lock(&shard.evict_mu);
   const size_t window = std::min(kProbeWindow, slots_per_shard_);
   Slot* victim = nullptr;
   uint64_t victim_count = std::numeric_limits<uint64_t>::max();
@@ -197,7 +197,7 @@ std::vector<AggregateEntry> ConcurrentAggregator::Snapshot() const {
   std::vector<AggregateEntry> out;
   out.reserve(size());
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->evict_mu);
+    MutexLock lock(&shard->evict_mu);
     for (size_t i = 0; i < slots_per_shard_; ++i) {
       const Slot& slot = shard->slots[i];
       if (slot.hash.load(std::memory_order_acquire) == 0) continue;

@@ -5,11 +5,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace querc::util {
 
@@ -181,8 +183,11 @@ class ConcurrentAggregator {
     std::atomic<uint64_t> dropped_count{0};
     std::atomic<uint64_t> dropped_weight{0};
     /// Cold path only: eviction and Snapshot. Never taken by in-capacity
-    /// inserts or counter updates.
-    mutable std::mutex evict_mu;
+    /// inserts or counter updates. The slot atomics themselves stay
+    /// unannotated: the lock-free fast path updates them by CAS with no
+    /// lock held (the mutex only serializes rewrites against snapshots).
+    mutable Mutex evict_mu{LockRank::kAggregatorEvict,
+                           "aggregator.evict_mu"};
   };
 
   static uint64_t KeyHash(std::string_view key);

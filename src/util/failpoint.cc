@@ -6,6 +6,7 @@
 
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "util/mutex.h"
 #include "util/string_util.h"
 
 namespace querc::util {
@@ -67,7 +68,7 @@ namespace {
 }  // namespace
 
 void Failpoints::Arm(const std::string& name, FailpointSpec spec) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = points_.find(name);
   if (it == points_.end()) {
     armed_count_.fetch_add(1, std::memory_order_relaxed);
@@ -79,14 +80,14 @@ void Failpoints::Arm(const std::string& name, FailpointSpec spec) {
 }
 
 bool Failpoints::Disarm(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (points_.erase(name) == 0) return false;
   armed_count_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
 
 void Failpoints::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   armed_count_.fetch_sub(static_cast<int>(points_.size()),
                          std::memory_order_relaxed);
   points_.clear();
@@ -141,13 +142,13 @@ Status Failpoints::ParseAndArm(std::string_view spec_list) {
 }
 
 uint64_t Failpoints::hits(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = points_.find(name);
   return it == points_.end() ? 0 : it->second.hits;
 }
 
 std::vector<FailpointInfo> Failpoints::Armed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<FailpointInfo> out;
   out.reserve(points_.size());
   for (const auto& [name, armed] : points_) {
@@ -164,7 +165,7 @@ Status Failpoints::Evaluate(std::string_view name) {
   FailpointSpec spec;
   std::string point;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = points_.find(name);
     if (it == points_.end()) return Status::OK();
     if (it->second.remaining == 0) return Status::OK();

@@ -4,12 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace querc::util {
 
@@ -69,23 +70,23 @@ class Failpoints {
   static Failpoints& Global();
 
   /// Arms (or re-arms, resetting hit counts) `name` with `spec`.
-  void Arm(const std::string& name, FailpointSpec spec);
+  void Arm(const std::string& name, FailpointSpec spec) EXCLUDES(mu_);
 
   /// Disarms `name`; returns whether it was armed.
-  bool Disarm(const std::string& name);
+  bool Disarm(const std::string& name) EXCLUDES(mu_);
 
   /// Disarms everything (tests call this between cases).
-  void DisarmAll();
+  void DisarmAll() EXCLUDES(mu_);
 
   /// Parses the env/CLI syntax above and arms every listed point.
   Status ParseAndArm(std::string_view spec_list);
 
   /// Times `name`'s action has fired since it was last armed (0 while
   /// disarmed — the fast path does not count).
-  uint64_t hits(const std::string& name) const;
+  uint64_t hits(const std::string& name) const EXCLUDES(mu_);
 
   /// Snapshot of every armed point, name-sorted.
-  std::vector<FailpointInfo> Armed() const;
+  std::vector<FailpointInfo> Armed() const EXCLUDES(mu_);
 
   /// True when at least one failpoint is armed anywhere in the process.
   /// This is the only check on the hot path.
@@ -94,8 +95,10 @@ class Failpoints {
   }
 
   /// Slow path: looks `name` up and runs its action. Called only when
-  /// AnyArmed(); prefer `MaybeFail` below.
-  Status Evaluate(std::string_view name);
+  /// AnyArmed(); prefer `MaybeFail` below. The armed spec is copied out
+  /// under the lock and acted on after release, so delay/crash actions
+  /// never run with mu_ held.
+  Status Evaluate(std::string_view name) EXCLUDES(mu_);
 
  private:
   Failpoints();
@@ -106,8 +109,8 @@ class Failpoints {
     uint64_t hits = 0;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Armed_, std::less<>> points_;
+  mutable Mutex mu_{LockRank::kFailpoints, "failpoints.mu"};
+  std::map<std::string, Armed_, std::less<>> points_ GUARDED_BY(mu_);
   static std::atomic<int> armed_count_;
 };
 

@@ -1,0 +1,120 @@
+#include "util/mutex.h"
+
+#if defined(QUERC_LOCK_RANK_CHECKS)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/flight_recorder.h"
+
+namespace querc::util::lock_rank_internal {
+
+namespace {
+
+/// One held ranked-or-unranked mutex on the calling thread.
+struct HeldLock {
+  const void* mu = nullptr;
+  int rank = 0;
+  const char* name = nullptr;
+};
+
+/// Per-thread held stack. Fixed capacity: no allocation on the lock path,
+/// and no reentrancy hazards while reporting a violation. Depth 3 is the
+/// deepest legal chain today (deploy -> breaker-ctor -> registry); 64
+/// leaves room for any future discipline.
+constexpr int kMaxHeld = 64;
+thread_local HeldLock held_stack[kMaxHeld];
+thread_local int held_depth = 0;
+/// Reentrancy guard: journaling the violation takes the flight recorder's
+/// reader mutex on a thread's first Record, which would re-enter the
+/// checker mid-report.
+thread_local bool reporting = false;
+
+[[noreturn]] void Violation(const HeldLock& held, int rank,
+                            const char* name) {
+  reporting = true;
+  std::fprintf(stderr,
+               "lock-rank violation: acquiring \"%s\" (rank %d) while "
+               "holding \"%s\" (rank %d) — ranked mutexes must be "
+               "acquired in strictly increasing rank order "
+               "(util/mutex.h, DESIGN.md §15)\n",
+               name, rank, held.name, held.rank);
+  // Journal the inversion so a post-mortem `querc trace` shows which
+  // query hit it; detail carries the rank that was being acquired.
+  obs::FlightRecorder::Global().RecordInstant(
+      obs::EventKind::kError, "lock_rank_violation",
+      static_cast<uint8_t>(rank > 0 && rank < 256 ? rank : 0));
+  std::abort();
+}
+
+}  // namespace
+
+void CheckAcquire(const void* mu, int rank, const char* name) {
+  if (reporting) return;
+  if (rank < 0) return;  // unranked: tracked for AssertHeld, not ordered
+  const HeldLock* worst = nullptr;
+  for (int i = 0; i < held_depth; ++i) {
+    const HeldLock& held = held_stack[i];
+    if (held.rank < 0) continue;
+    if (held.mu == mu) {
+      // Self-deadlock: relocking a non-recursive mutex. Report it as an
+      // inversion against itself instead of hanging forever.
+      Violation(held, rank, name);
+    }
+    if (held.rank >= rank && (worst == nullptr || held.rank > worst->rank)) {
+      worst = &held;
+    }
+  }
+  if (worst != nullptr) Violation(*worst, rank, name);
+}
+
+void PushHeld(const void* mu, int rank, const char* name) {
+  if (reporting) return;
+  if (held_depth >= kMaxHeld) {
+    std::fprintf(stderr,
+                 "lock-rank: held-stack overflow (> %d locks) acquiring "
+                 "\"%s\"\n",
+                 kMaxHeld, name);
+    std::abort();
+  }
+  held_stack[held_depth++] = HeldLock{mu, rank, name};
+}
+
+void PopHeld(const void* mu) {
+  if (reporting) return;
+  // Unlock order need not be LIFO (lock A, lock B, unlock A is legal):
+  // search from the top and close the gap.
+  for (int i = held_depth - 1; i >= 0; --i) {
+    if (held_stack[i].mu != mu) continue;
+    for (int j = i; j + 1 < held_depth; ++j) {
+      held_stack[j] = held_stack[j + 1];
+    }
+    --held_depth;
+    return;
+  }
+  // Unlocking a mutex this thread never locked through util::Mutex.
+  std::fprintf(stderr, "lock-rank: unlock of a mutex not held by this "
+                       "thread\n");
+  std::abort();
+}
+
+bool IsHeld(const void* mu) {
+  for (int i = 0; i < held_depth; ++i) {
+    if (held_stack[i].mu == mu) return true;
+  }
+  return false;
+}
+
+void AssertIsHeld(const void* mu, const char* name) {
+  if (reporting) return;
+  if (IsHeld(mu)) return;
+  std::fprintf(stderr,
+               "lock-rank: AssertHeld(\"%s\") failed — calling thread does "
+               "not hold the mutex\n",
+               name);
+  std::abort();
+}
+
+}  // namespace querc::util::lock_rank_internal
+
+#endif  // QUERC_LOCK_RANK_CHECKS

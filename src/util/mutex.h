@@ -1,0 +1,256 @@
+#ifndef QUERC_UTIL_MUTEX_H_
+#define QUERC_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace querc::util {
+
+/// Global lock-rank order (DESIGN.md §15). A thread may only acquire a
+/// ranked Mutex whose rank is STRICTLY GREATER than every ranked Mutex it
+/// already holds; the runtime detector (active in debug/sanitizer builds,
+/// see QUERC_LOCK_RANK_CHECKS below) aborts on the first out-of-order
+/// acquisition with both lock names — catching deadlock *cycles* that TSan
+/// cannot see unless a test happens to interleave both orders.
+///
+/// The numbers encode the observed nesting of the service today:
+///
+///   rank  lock                      acquired while holding
+///   ----  ------------------------  -----------------------------------
+///    10   stats_reporter.mu         (leaf; reporter start/stop)
+///    20   qworker.deploy_mu         -> atomic_shared_ptr.mu,
+///                                      metrics.registry_mu (breaker ctor)
+///    30   training_module.mu        (leaf; training-set/model maps)
+///    40   breaker.mu                -> metrics.registry_mu,
+///                                      flightrec.reader_mu (transitions)
+///    50   embed_cache.shard_mu      -> metrics.registry_mu (counters)
+///    55   embed_cache.flight_mu     -> metrics.registry_mu,
+///                                      flightrec.reader_mu (coalesce mark)
+///    60   threadpool.mu             (leaf; queue ops only)
+///    62   threadpool.batch_mu       (leaf; ParallelFor latch)
+///    65   failpoints.mu             (leaf; actions run after release)
+///    70   aggregator.evict_mu       (leaf; atomics + delete only)
+///    75   qworker.window_mu         (leaf; window deque)
+///    80   atomic_shared_ptr.mu      (leaf; two pointer copies)
+///    90   metrics.registry_mu       (leaf; registration map)
+///    95   flightrec.reader_mu       (leaf; ring registry)
+///
+/// Gaps are deliberate: new locks slot in without renumbering. A lock
+/// that is only ever a leaf still gets a high-ish rank so future nesting
+/// under today's locks stays legal.
+enum class LockRank : int {
+  /// Not rank-checked (and not pushed on the held stack). For mutexes in
+  /// generic utility code whose nesting is caller-defined; prefer a real
+  /// rank for every service lock.
+  kUnranked = -1,
+  kStatsReporter = 10,
+  kQWorkerDeploy = 20,
+  kTrainingModule = 30,
+  kBreaker = 40,
+  kEmbedCacheShard = 50,
+  kEmbedCacheFlight = 55,
+  kThreadPool = 60,
+  kThreadPoolBatch = 62,
+  kFailpoints = 65,
+  kAggregatorEvict = 70,
+  kQWorkerWindow = 75,
+  kAtomicSharedPtr = 80,
+  kMetricsRegistry = 90,
+  kFlightRecorder = 95,
+};
+
+/// QUERC_LOCK_RANK_CHECKS is defined by CMake for Debug builds and every
+/// sanitizer configuration (and via -DQUERC_LOCK_RANK=ON). Release builds
+/// compile the detector out entirely: Mutex::Lock is exactly
+/// std::mutex::lock.
+#if defined(QUERC_LOCK_RANK_CHECKS)
+
+namespace lock_rank_internal {
+
+/// Checks `rank` against the calling thread's held stack; reports (both
+/// lock names, both ranks), journals a flight-recorder event, and aborts
+/// on an inversion. Called BEFORE blocking on the native lock so the
+/// inversion is reported even on the interleaving that would deadlock.
+void CheckAcquire(const void* mu, int rank, const char* name);
+
+/// Pushes an acquired mutex onto the thread's held stack.
+void PushHeld(const void* mu, int rank, const char* name);
+
+/// Removes `mu` from the held stack (handles non-LIFO unlock orders).
+void PopHeld(const void* mu);
+
+/// True when the calling thread holds `mu`.
+bool IsHeld(const void* mu);
+
+/// Aborts unless the calling thread holds `mu` (AssertHeld's backend).
+void AssertIsHeld(const void* mu, const char* name);
+
+}  // namespace lock_rank_internal
+
+#endif  // QUERC_LOCK_RANK_CHECKS
+
+/// Annotated mutex (DESIGN.md §15): the project-wide replacement for raw
+/// std::mutex in service code (enforced by tools/check_source.py). Carries
+/// a Clang thread-safety CAPABILITY so GUARDED_BY/REQUIRES contracts are
+/// compiler-checked, and an optional LockRank + name so the runtime
+/// detector can prove acquisition order in debug/sanitizer builds.
+///
+/// Prefer the RAII MutexLock; call Lock/Unlock directly only where a
+/// scoped guard cannot express the control flow.
+class CAPABILITY("mutex") Mutex {
+ public:
+  /// An unranked mutex: thread-safety-annotated but invisible to the
+  /// lock-rank detector.
+  Mutex() = default;
+
+  /// A ranked mutex. `name` must be a string literal (stored, not
+  /// copied); it names the lock in inversion reports, e.g.
+  /// "qworker.deploy_mu".
+  explicit Mutex(LockRank rank, const char* name)
+      : rank_(rank), name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() {
+#if defined(QUERC_LOCK_RANK_CHECKS)
+    lock_rank_internal::CheckAcquire(this, static_cast<int>(rank_), name_);
+#endif
+    mu_.lock();
+#if defined(QUERC_LOCK_RANK_CHECKS)
+    lock_rank_internal::PushHeld(this, static_cast<int>(rank_), name_);
+#endif
+  }
+
+  void Unlock() RELEASE() {
+#if defined(QUERC_LOCK_RANK_CHECKS)
+    lock_rank_internal::PopHeld(this);
+#endif
+    mu_.unlock();
+  }
+
+  /// Non-blocking acquire. A successful TryLock is pushed on the held
+  /// stack but exempt from the order check — it cannot deadlock.
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+#if defined(QUERC_LOCK_RANK_CHECKS)
+    lock_rank_internal::PushHeld(this, static_cast<int>(rank_), name_);
+#endif
+    return true;
+  }
+
+  /// Runtime + static assertion that the calling thread holds this mutex.
+  /// Used inside lambdas that run under a caller's lock, where the static
+  /// analysis cannot see the capability. No-op when checks are off.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {
+#if defined(QUERC_LOCK_RANK_CHECKS)
+    lock_rank_internal::AssertIsHeld(this, name_);
+#endif
+  }
+
+  const char* name() const { return name_; }
+  LockRank rank() const { return rank_; }
+
+ private:
+  friend class CondVar;
+
+  /// CondVar wait bookkeeping: the native wait releases and reacquires
+  /// mu_ underneath us, so the held stack must be popped before the wait
+  /// and re-pushed (order-checked) after it.
+  void PreWait() {
+#if defined(QUERC_LOCK_RANK_CHECKS)
+    lock_rank_internal::PopHeld(this);
+#endif
+  }
+  void PostWait() {
+#if defined(QUERC_LOCK_RANK_CHECKS)
+    lock_rank_internal::CheckAcquire(this, static_cast<int>(rank_), name_);
+    lock_rank_internal::PushHeld(this, static_cast<int>(rank_), name_);
+#endif
+  }
+
+  std::mutex mu_;
+  LockRank rank_ = LockRank::kUnranked;
+  const char* name_ = "<unranked>";
+};
+
+/// RAII scoped lock over util::Mutex — the project-wide replacement for
+/// std::lock_guard/std::unique_lock in service code.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable paired with util::Mutex. Waits keep the lock-rank
+/// held stack truthful across the internal release/reacquire, and the
+/// REQUIRES annotations make "wait called without the lock" a
+/// compile-time error under clang.
+///
+/// All concurrent waiters of one CondVar must wait on the same Mutex
+/// (std::condition_variable's own contract).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (spurious wakeups possible — use the predicate
+  /// overload unless an outer loop re-checks).
+  void Wait(Mutex& mu) REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    mu.PreWait();
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+    mu.PostWait();
+  }
+
+  /// Blocks until `pred()` is true. The predicate runs with `mu` held;
+  /// start it with `mu.AssertHeld()` so the static analysis knows.
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) REQUIRES(mu) {
+    while (!pred()) Wait(mu);
+  }
+
+  /// Blocks until notified or `deadline`; false on timeout.
+  bool WaitUntil(Mutex& mu, std::chrono::steady_clock::time_point deadline)
+      REQUIRES(mu) NO_THREAD_SAFETY_ANALYSIS {
+    mu.PreWait();
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    mu.PostWait();
+    return status == std::cv_status::no_timeout;
+  }
+
+  /// Blocks until `pred()` is true or `timeout` elapses; returns the
+  /// final predicate value (std::condition_variable::wait_for semantics).
+  template <typename Rep, typename Period, typename Pred>
+  bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout,
+               Pred pred) REQUIRES(mu) {
+    auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (!pred()) {
+      if (!WaitUntil(mu, deadline)) return pred();
+    }
+    return true;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace querc::util
+
+#endif  // QUERC_UTIL_MUTEX_H_

@@ -1,0 +1,126 @@
+#ifndef QUERC_UTIL_THREAD_ANNOTATIONS_H_
+#define QUERC_UTIL_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attribute macros (DESIGN.md §15).
+///
+/// The locking discipline of the concurrency layer — which mutex guards
+/// which field, which private helpers may only run with a lock held — is
+/// written down with these macros and *checked by the compiler* on every
+/// clang build with -Wthread-safety (the QUERC_THREAD_SAFETY CMake option
+/// promotes it to -Werror=thread-safety; tools/verify_matrix.sh runs that
+/// leg whenever clang is installed). TSan only proves the interleavings a
+/// test happens to exercise; the static analysis proves every call path
+/// in the tree against the annotated contract.
+///
+/// Under GCC (or any compiler without the attributes) every macro expands
+/// to nothing, so the annotations are free documentation off-clang.
+///
+/// Conventions (enforced by tools/check_source.py):
+///   - service code uses util::Mutex / util::MutexLock / util::CondVar
+///     from util/mutex.h — raw std::mutex is banned outside src/util/;
+///   - fields protected by a mutex carry GUARDED_BY(mu_);
+///   - private helpers that assume the lock is held carry REQUIRES(mu_)
+///     and are named with a `Locked` suffix (e.g. TransitionLocked).
+
+#if defined(__clang__) && defined(__has_attribute)
+#define QUERC_THREAD_ANNOTATION_IMPL__(x) __attribute__((x))
+#else
+#define QUERC_THREAD_ANNOTATION_IMPL__(x)  // no-op off clang
+#endif
+
+/// Declares a class to be a lockable capability ("mutex").
+#ifndef CAPABILITY
+#define CAPABILITY(x) QUERC_THREAD_ANNOTATION_IMPL__(capability(x))
+#endif
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor (util::MutexLock).
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY QUERC_THREAD_ANNOTATION_IMPL__(scoped_lockable)
+#endif
+
+/// The field or variable may only be touched while `x` is held.
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) QUERC_THREAD_ANNOTATION_IMPL__(guarded_by(x))
+#endif
+
+/// The *pointee* of the annotated pointer is protected by `x`.
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) QUERC_THREAD_ANNOTATION_IMPL__(pt_guarded_by(x))
+#endif
+
+/// Document a required acquisition order between mutexes.
+#ifndef ACQUIRED_BEFORE
+#define ACQUIRED_BEFORE(...) \
+  QUERC_THREAD_ANNOTATION_IMPL__(acquired_before(__VA_ARGS__))
+#endif
+#ifndef ACQUIRED_AFTER
+#define ACQUIRED_AFTER(...) \
+  QUERC_THREAD_ANNOTATION_IMPL__(acquired_after(__VA_ARGS__))
+#endif
+
+/// The function may only be called with the listed capabilities held
+/// (and does not release them). Private `*Locked()` helpers use this.
+#ifndef REQUIRES
+#define REQUIRES(...) \
+  QUERC_THREAD_ANNOTATION_IMPL__(requires_capability(__VA_ARGS__))
+#endif
+#ifndef REQUIRES_SHARED
+#define REQUIRES_SHARED(...) \
+  QUERC_THREAD_ANNOTATION_IMPL__(requires_shared_capability(__VA_ARGS__))
+#endif
+
+/// The function acquires the capability and holds it on return.
+#ifndef ACQUIRE
+#define ACQUIRE(...) \
+  QUERC_THREAD_ANNOTATION_IMPL__(acquire_capability(__VA_ARGS__))
+#endif
+#ifndef ACQUIRE_SHARED
+#define ACQUIRE_SHARED(...) \
+  QUERC_THREAD_ANNOTATION_IMPL__(acquire_shared_capability(__VA_ARGS__))
+#endif
+
+/// The function releases the capability (which must be held on entry).
+#ifndef RELEASE
+#define RELEASE(...) \
+  QUERC_THREAD_ANNOTATION_IMPL__(release_capability(__VA_ARGS__))
+#endif
+#ifndef RELEASE_SHARED
+#define RELEASE_SHARED(...) \
+  QUERC_THREAD_ANNOTATION_IMPL__(release_shared_capability(__VA_ARGS__))
+#endif
+
+/// The function attempts the acquisition; the first argument is the
+/// return value that means "acquired".
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) \
+  QUERC_THREAD_ANNOTATION_IMPL__(try_acquire_capability(__VA_ARGS__))
+#endif
+
+/// The function must NOT be called with the listed capabilities held
+/// (it acquires them itself — calling with them held would deadlock).
+#ifndef EXCLUDES
+#define EXCLUDES(...) \
+  QUERC_THREAD_ANNOTATION_IMPL__(locks_excluded(__VA_ARGS__))
+#endif
+
+/// Runtime assertion that the capability is held; teaches the analysis
+/// about contexts it cannot see (e.g. lambda bodies run under a lock).
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) \
+  QUERC_THREAD_ANNOTATION_IMPL__(assert_capability(x))
+#endif
+
+/// The function returns a reference to the capability guarding it.
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) QUERC_THREAD_ANNOTATION_IMPL__(lock_returned(x))
+#endif
+
+/// Escape hatch for code the analysis cannot model (the CondVar wait
+/// internals that release/reacquire through std::condition_variable).
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS \
+  QUERC_THREAD_ANNOTATION_IMPL__(no_thread_safety_analysis)
+#endif
+
+#endif  // QUERC_UTIL_THREAD_ANNOTATIONS_H_

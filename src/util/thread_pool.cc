@@ -8,6 +8,7 @@
 #include "obs/trace.h"
 #include "obs/trace_context.h"
 #include "util/logging.h"
+#include "util/mutex.h"
 
 namespace querc::util {
 
@@ -53,13 +54,13 @@ struct Batch {
   const obs::TraceContext ctx;
   std::atomic<size_t> next{0};
   std::atomic<size_t> done{0};
-  std::mutex mu;
-  std::condition_variable cv;
-  std::exception_ptr error;  // first exception; guarded by mu
+  Mutex mu{LockRank::kThreadPoolBatch, "threadpool.batch_mu"};
+  CondVar cv;
+  std::exception_ptr error GUARDED_BY(mu);  // first exception wins
 
   /// Claims indices until the batch is exhausted. Returns true if this
   /// call finished the batch (done hit n).
-  bool RunShard() {
+  bool RunShard() EXCLUDES(mu) {
     obs::ScopedTraceContext adopt(ctx);
     bool finished = false;
     for (;;) {
@@ -68,7 +69,7 @@ struct Batch {
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(&mu);
         if (!error) error = std::current_exception();
       }
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
@@ -78,11 +79,11 @@ struct Batch {
     return finished;
   }
 
-  void NotifyDone() {
+  void NotifyDone() EXCLUDES(mu) {
     // Empty critical section: pairs with the caller's wait so the
     // notification cannot fire between its predicate check and sleep.
-    { std::lock_guard<std::mutex> lock(mu); }
-    cv.notify_all();
+    { MutexLock lock(&mu); }
+    cv.NotifyAll();
   }
 };
 
@@ -98,10 +99,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
@@ -117,16 +118,19 @@ void ThreadPool::Submit(std::function<void()> task) {
     };
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
   }
   QueueDepthGauge().Add(1.0);
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(&mu_);
+  idle_cv_.Wait(mu_, [this]() REQUIRES(mu_) {
+    mu_.AssertHeld();
+    return queue_.empty() && active_ == 0;
+  });
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -145,8 +149,9 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   // the entire batch alone — no deadlock.
   if (batch->RunShard()) batch->NotifyDone();
   {
-    std::unique_lock<std::mutex> lock(batch->mu);
-    batch->cv.wait(lock, [&] {
+    MutexLock lock(&batch->mu);
+    batch->cv.Wait(batch->mu, [&]() REQUIRES(batch->mu) {
+      batch->mu.AssertHeld();
       return batch->done.load(std::memory_order_acquire) == n;
     });
     if (batch->error) std::rethrow_exception(batch->error);
@@ -157,8 +162,11 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      work_cv_.Wait(mu_, [this]() REQUIRES(mu_) {
+        mu_.AssertHeld();
+        return stop_ || !queue_.empty();
+      });
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -176,9 +184,9 @@ void ThreadPool::WorkerLoop() {
     }
     TaskCounter().Increment();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      if (queue_.empty() && active_ == 0) idle_cv_.NotifyAll();
     }
   }
 }

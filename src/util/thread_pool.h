@@ -1,13 +1,14 @@
 #ifndef QUERC_UTIL_THREAD_POOL_H_
 #define QUERC_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace querc::util {
 
@@ -39,12 +40,12 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task for execution on some worker.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and no task is running. Global: a
   /// caller may also wait out tasks submitted by other threads. Batch
   /// users should prefer `ParallelFor`, which waits on its own latch.
-  void WaitIdle();
+  void WaitIdle() EXCLUDES(mu_);
 
   size_t num_threads() const { return threads_.size(); }
 
@@ -54,17 +55,19 @@ class ThreadPool {
   /// worker (the caller participates) and concurrently from several
   /// threads (each batch has its own completion latch). Rethrows the
   /// first exception thrown by `fn` once the batch has drained.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn)
+      EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
-  size_t active_ = 0;
-  bool stop_ = false;
+  Mutex mu_{LockRank::kThreadPool, "threadpool.mu"};
+  CondVar work_cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  size_t active_ GUARDED_BY(mu_) = 0;
+  bool stop_ GUARDED_BY(mu_) = false;
+  /// Immutable after the constructor returns (workers never touch it).
   std::vector<std::thread> threads_;
 };
 

@@ -1,0 +1,12 @@
+// Fixture: std::thread::detach() is banned everywhere — a detached
+// worker can never be drained on shutdown.
+#include <thread>
+
+namespace fixture {
+
+void FireAndForget() {
+  std::thread worker([] {});
+  worker.detach();
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Fixture: every member of the raw std::mutex family must be flagged
+// outside src/util/. Mentions inside comments (std::mutex) and strings
+// must NOT be flagged.
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+const char* kDoc = "std::mutex in a string literal is fine";
+
+class BadCounter {
+ public:
+  void Add(int n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_ += n;
+  }
+
+  void WaitPositive() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return total_ > 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int total_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// Fixture: a REQUIRES-annotated method must carry a `Locked` suffix so
+// call sites read as what they are. EvictOne below must be flagged;
+// EvictOneLocked and the REQUIRES-annotated lambda must not.
+#ifndef FIXTURE_BAD_REQUIRES_NAME_H_
+#define FIXTURE_BAD_REQUIRES_NAME_H_
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace fixture {
+
+class BoundedMap {
+ public:
+  void Trim() {
+    querc::util::MutexLock lock(&mu_);
+    EvictOne();
+    EvictOneLocked();
+    auto drop = [this]() REQUIRES(mu_) { size_ = 0; };
+    drop();
+  }
+
+ private:
+  void EvictOne() REQUIRES(mu_) { --size_; }
+  void EvictOneLocked() REQUIRES(mu_) { --size_; }
+
+  querc::util::Mutex mu_;
+  int size_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_BAD_REQUIRES_NAME_H_

@@ -1,0 +1,29 @@
+// Fixture: conforming service code — util::Mutex wrappers, joined
+// thread, Locked-suffixed helper. Must produce zero findings.
+#include <thread>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace fixture {
+
+class GoodCounter {
+ public:
+  void Add(int n) {
+    querc::util::MutexLock lock(&mu_);
+    AddLocked(n);
+  }
+
+  void RunOnce() {
+    std::thread worker([this] { Add(1); });
+    worker.join();
+  }
+
+ private:
+  void AddLocked(int n) REQUIRES(mu_) { total_ += n; }
+
+  querc::util::Mutex mu_;
+  int total_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,133 @@
+// Tests for obs::StatsReporter, including the concurrent-Stop regression:
+// Stop() used to leave the thread handle in place while joining, so two
+// racing stoppers could both pass the joinable() gate and both call
+// join() (undefined behavior). Stop() now moves the handle out under the
+// lock, so exactly one caller joins and flushes the final line.
+
+#include "obs/stats_reporter.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/mutex.h"
+
+namespace querc::obs {
+namespace {
+
+/// Thread-safe line sink for reporter output.
+class LineCollector {
+ public:
+  void Add(const std::string& line) {
+    util::MutexLock lock(&mu_);
+    lines_.push_back(line);
+  }
+  std::vector<std::string> lines() const {
+    util::MutexLock lock(&mu_);
+    return lines_;
+  }
+
+ private:
+  mutable util::Mutex mu_;
+  std::vector<std::string> lines_ GUARDED_BY(mu_);
+};
+
+TEST(StatsReporterTest, SummaryLineIncludesRegisteredMetrics) {
+  MetricsRegistry registry;
+  registry.GetCounter("querc_test_events_total").Increment(7);
+  StatsReporter::Options options;
+  options.registry = &registry;
+  options.prefix = "querc_test_";
+  StatsReporter reporter(options);
+  std::string line = reporter.SummaryLine();
+  EXPECT_NE(line.find("stats:"), std::string::npos);
+  EXPECT_NE(line.find("querc_test_events_total=7"), std::string::npos);
+}
+
+TEST(StatsReporterTest, StopFlushesExactlyOneFinalLine) {
+  MetricsRegistry registry;
+  auto collector = std::make_shared<LineCollector>();
+  StatsReporter::Options options;
+  options.registry = &registry;
+  options.interval = std::chrono::hours(1);  // no periodic ticks
+  options.sink = [collector](const std::string& line) {
+    collector->Add(line);
+  };
+  StatsReporter reporter(options);
+  reporter.Start();
+  reporter.Stop();
+  EXPECT_EQ(collector->lines().size(), 1u);
+  // A second Stop with no running thread is a no-op.
+  reporter.Stop();
+  EXPECT_EQ(collector->lines().size(), 1u);
+}
+
+TEST(StatsReporterTest, ConcurrentStopJoinsExactlyOnce) {
+  MetricsRegistry registry;
+  auto collector = std::make_shared<LineCollector>();
+  StatsReporter::Options options;
+  options.registry = &registry;
+  options.interval = std::chrono::hours(1);
+  options.sink = [collector](const std::string& line) {
+    collector->Add(line);
+  };
+  for (int round = 0; round < 20; ++round) {
+    StatsReporter reporter(options);
+    reporter.Start();
+    std::vector<std::thread> stoppers;
+    stoppers.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+      stoppers.emplace_back([&reporter] { reporter.Stop(); });
+    }
+    for (auto& t : stoppers) t.join();
+  }
+  // One final line per round: exactly one stopper per round won the join
+  // (before the fix this test crashed on a double join()).
+  EXPECT_EQ(collector->lines().size(), 20u);
+}
+
+TEST(StatsReporterTest, RestartAfterStopWorks) {
+  MetricsRegistry registry;
+  auto collector = std::make_shared<LineCollector>();
+  StatsReporter::Options options;
+  options.registry = &registry;
+  options.interval = std::chrono::hours(1);
+  options.sink = [collector](const std::string& line) {
+    collector->Add(line);
+  };
+  StatsReporter reporter(options);
+  reporter.Start();
+  reporter.Stop();
+  reporter.Start();
+  reporter.Stop();
+  EXPECT_EQ(collector->lines().size(), 2u);
+}
+
+TEST(StatsReporterTest, PeriodicTickEmitsWithoutStop) {
+  MetricsRegistry registry;
+  auto collector = std::make_shared<LineCollector>();
+  std::atomic<bool> ticked{false};
+  StatsReporter::Options options;
+  options.registry = &registry;
+  options.interval = std::chrono::milliseconds(5);
+  options.sink = [collector, &ticked](const std::string& line) {
+    collector->Add(line);
+    ticked.store(true);
+  };
+  StatsReporter reporter(options);
+  reporter.Start();
+  for (int i = 0; i < 400 && !ticked.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  reporter.Stop();
+  EXPECT_TRUE(ticked.load());
+  EXPECT_GE(collector->lines().size(), 2u);  // >=1 tick + the final flush
+}
+
+}  // namespace
+}  // namespace querc::obs

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "embed/feature_embedder.h"
 #include "ml/knn.h"
 
@@ -41,6 +44,34 @@ TEST(TrainingModuleTest, CollectAccumulates) {
   EXPECT_EQ(module.TrainingSet("appX").size(), 2u);
   EXPECT_EQ(module.TrainingSet("appY").size(), 1u);
   EXPECT_EQ(module.TrainingSet("missing").size(), 0u);
+}
+
+TEST(TrainingModuleTest, TrainingSetIsASnapshotNotALiveReference) {
+  // Regression: TrainingSet used to return a const& into the guarded
+  // map, so a caller's "snapshot" mutated (and could reallocate out from
+  // under it) as concurrent Collect calls landed. It now returns a copy
+  // taken under the lock.
+  TrainingModule module({});
+  ProcessedQuery pq;
+  pq.query = Query("SELECT 1", "u");
+  module.Collect("appX", pq);
+  workload::Workload snapshot = module.TrainingSet("appX");
+  ASSERT_EQ(snapshot.size(), 1u);
+  std::vector<std::thread> writers;
+  writers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&module, &pq] {
+      for (int i = 0; i < 500; ++i) module.Collect("appX", pq);
+    });
+  }
+  // Reading the snapshot while writers mutate the live set is safe (and
+  // TSan-clean) precisely because it is a copy.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(snapshot.size(), 1u);
+  }
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(module.TrainingSet("appX").size(), 2001u);
 }
 
 TEST(TrainingModuleTest, CollectCapsRetention) {

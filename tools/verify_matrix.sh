@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
 # Builds and tests querc across the sanitizer matrix:
 #
-#   plain  : -DQUERC_WERROR=ON                   (the tier-1 configuration)
-#   asan   : -DQUERC_SANITIZE=address,undefined  (combined ASan+UBSan)
-#   tsan   : -DQUERC_SANITIZE=thread
+#   plain   : -DQUERC_WERROR=ON                   (the tier-1 configuration)
+#   asan    : -DQUERC_SANITIZE=address,undefined  (combined ASan+UBSan)
+#   tsan    : -DQUERC_SANITIZE=thread
+#   tsafety : -DQUERC_THREAD_SAFETY=ON, compiled with clang — the static
+#             thread-safety-analysis leg (-Werror=thread-safety). Build
+#             only, no runtime smokes; skipped gracefully when clang++ is
+#             not on PATH, mirroring run_clang_tidy.sh.
 #
 # Each configuration gets its own build directory (build/, build-asan/,
-# build-tsan/) so incremental rebuilds stay cheap. Configurations can be
-# subset via QUERC_VERIFY_CONFIGS ("plain asan tsan" by default), and the
-# ctest filter via QUERC_VERIFY_TESTS (-R pattern, default: everything).
+# build-tsan/, build-tsafety/) so incremental rebuilds stay cheap.
+# Configurations can be subset via QUERC_VERIFY_CONFIGS ("plain asan tsan
+# tsafety" by default), and the ctest filter via QUERC_VERIFY_TESTS (-R
+# pattern, default: everything).
 #
 #   tools/verify_matrix.sh                       # full matrix
 #   QUERC_VERIFY_CONFIGS="plain" tools/verify_matrix.sh
@@ -16,7 +21,7 @@
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-configs="${QUERC_VERIFY_CONFIGS:-plain asan tsan}"
+configs="${QUERC_VERIFY_CONFIGS:-plain asan tsan tsafety}"
 test_filter="${QUERC_VERIFY_TESTS:-}"
 jobs="${QUERC_VERIFY_JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
@@ -80,6 +85,26 @@ run_config() {
   echo "==== [$name] ok ===="
 }
 
+# Static thread-safety-analysis leg: compile everything under clang with
+# -Wthread-safety promoted to an error (QUERC_THREAD_SAFETY=ON). The
+# analysis is compile-time only, so this leg builds but does not run the
+# ctest/smoke battery — the runtime contracts are already covered by the
+# other configs.
+run_tsafety() {
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "==== [tsafety] clang++ not found on PATH; skipping (ok) ===="
+    return 0
+  fi
+  local dir="$repo_root/build-tsafety"
+  echo "==== [tsafety] configure: clang++ -DQUERC_THREAD_SAFETY=ON ===="
+  cmake -B "$dir" -S "$repo_root" \
+    -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
+    -DQUERC_THREAD_SAFETY=ON >/dev/null
+  echo "==== [tsafety] build ===="
+  cmake --build "$dir" -j "$jobs"
+  echo "==== [tsafety] ok ===="
+}
+
 for config in $configs; do
   case "$config" in
     plain)
@@ -89,6 +114,8 @@ for config in $configs; do
         -DQUERC_SANITIZE=address,undefined ;;
     tsan)
       run_config tsan "$repo_root/build-tsan" -DQUERC_SANITIZE=thread ;;
+    tsafety)
+      run_tsafety ;;
     *)
       echo "verify_matrix: unknown config '$config'" >&2
       exit 2 ;;
