@@ -1,0 +1,411 @@
+#include "querc/admission.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "obs/flight_recorder.h"
+
+namespace querc::core {
+
+namespace {
+
+/// Floor for fair-share weights: a zero or negative configured weight
+/// still participates (minimally) instead of poisoning the water-filling
+/// arithmetic.
+constexpr double kMinWeight = 1e-6;
+
+util::ConcurrentAggregator::Options ShedAggregatorOptions(
+    size_t max_tenants) {
+  util::ConcurrentAggregator::Options options;
+  options.capacity = std::max<size_t>(max_tenants, 16);
+  options.shards = 4;
+  return options;
+}
+
+obs::Counter& TenantEvictionsCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "querc_tenant_states_evicted_total", {},
+      "Per-tenant admission states displaced by the max_tenants bound");
+  return counter;
+}
+
+}  // namespace
+
+const char* ShedReasonName(ShedReason reason) {
+  switch (reason) {
+    case ShedReason::kQuota:
+      return "quota";
+    case ShedReason::kFairness:
+      return "fairness";
+    case ShedReason::kGlobal:
+      return "global";
+  }
+  return "global";
+}
+
+TenantAdmissionController::TenantAdmissionController(
+    const TenantAdmissionOptions& options)
+    : options_(options),
+      sheds_by_account_(ShedAggregatorOptions(options.max_tenants)) {
+  if (options_.max_tenants == 0) options_.max_tenants = 1;
+}
+
+int64_t TenantAdmissionController::NowUs() const {
+  return options_.clock ? options_.clock() : SteadyNowMicros();
+}
+
+TenantAdmissionController::TenantState&
+TenantAdmissionController::StateForLocked(const std::string& account,
+                                          int64_t now_us) {
+  auto it = tenants_.find(account);
+  if (it != tenants_.end()) {
+    it->second.last_active_us = now_us;
+    return it->second;
+  }
+  if (tenants_.size() >= options_.max_tenants) {
+    // Evict the least-recently-active idle tenant. A tenant with work in
+    // flight is never evicted (its Release must still balance the gauge),
+    // and neither is one touched at this very timestamp — AdmitBatch
+    // resolves several states under one `now_us` and holds pointers to
+    // them. If nothing qualifies the soft bound overshoots instead.
+    auto victim = tenants_.end();
+    for (auto cand = tenants_.begin(); cand != tenants_.end(); ++cand) {
+      if (cand->second.in_flight != 0) continue;
+      if (cand->second.last_active_us >= now_us) continue;
+      if (victim == tenants_.end() ||
+          cand->second.last_active_us < victim->second.last_active_us) {
+        victim = cand;
+      }
+    }
+    if (victim != tenants_.end()) {
+      if (victim->second.in_flight_gauge != nullptr) {
+        victim->second.in_flight_gauge->Set(0.0);
+      }
+      tenants_.erase(victim);
+      evicted_tenants_.fetch_add(1, std::memory_order_relaxed);
+      TenantEvictionsCounter().Increment();
+    }
+  }
+  TenantState& state = tenants_[account];
+  auto quota = options_.tenants.find(account);
+  state.quota =
+      quota != options_.tenants.end() ? quota->second : options_.default_quota;
+  state.tokens = state.quota.burst;  // buckets start full (allow the burst)
+  state.last_refill_us = now_us;
+  state.last_active_us = now_us;
+  return state;
+}
+
+void TenantAdmissionController::RefillLocked(TenantState& state,
+                                             int64_t now_us) {
+  if (state.quota.burst <= 0.0) return;  // unlimited: no bucket to fill
+  int64_t elapsed_us = now_us - state.last_refill_us;
+  if (elapsed_us <= 0) return;
+  state.tokens = std::min(
+      state.quota.burst,
+      state.tokens + state.quota.rate_per_sec * 1e-6 *
+                         static_cast<double>(elapsed_us));
+  state.last_refill_us = now_us;
+}
+
+void TenantAdmissionController::ShedLocked(const std::string& account,
+                                           TenantState& state,
+                                           ShedReason reason) {
+  size_t r = static_cast<size_t>(reason);
+  ++state.sheds[r];
+  shed_totals_[r].fetch_add(1, std::memory_order_relaxed);
+  if (state.shed_counters[r] == nullptr) {
+    state.shed_counters[r] = &obs::MetricsRegistry::Global().GetCounter(
+        "querc_shed_total",
+        {{"account", account},
+         {"policy", options_.policy_label},
+         {"reason", ShedReasonName(reason)}},
+        "Queries shed at pool admission, per shed policy");
+  }
+  state.shed_counters[r]->Increment();
+  sheds_by_account_.Record(account, 1, 1);
+  // The journal event carries the ACCOUNT as its label (truncated to the
+  // event's 24 chars) and the reason in the detail byte, so a drill can
+  // reconcile per-account shed counts straight from the journal.
+  obs::FlightRecorder::Global().RecordInstant(
+      obs::EventKind::kShed, account.c_str(), static_cast<uint8_t>(reason));
+}
+
+void TenantAdmissionController::AdmitLocked(const std::string& account,
+                                            TenantState& state, size_t n,
+                                            int64_t now_us) {
+  state.admitted += n;
+  state.in_flight += n;
+  state.last_active_us = now_us;
+  if (state.in_flight_gauge == nullptr) {
+    state.in_flight_gauge = &obs::MetricsRegistry::Global().GetGauge(
+        "querc_tenant_in_flight", {{"account", account}},
+        "Queries currently admitted and in flight, per account");
+  }
+  state.in_flight_gauge->Set(static_cast<double>(state.in_flight));
+}
+
+size_t TenantAdmissionController::AllocateFair(std::vector<Group*>& groups,
+                                               size_t capacity) {
+  size_t granted_total = 0;
+  std::vector<Group*> active;
+  active.reserve(groups.size());
+  for (Group* g : groups) {
+    if (g->quota_ok > g->granted) active.push_back(g);
+  }
+  while (capacity > 0 && !active.empty()) {
+    if (capacity <= active.size()) {
+      // Scarcer than one slot per tenant: deal single slots in batch
+      // arrival order — the guaranteed minimum degenerates to strict
+      // round-robin.
+      for (Group* g : active) {
+        if (capacity == 0) break;
+        ++g->granted;
+        ++granted_total;
+        --capacity;
+      }
+      break;
+    }
+    // Guaranteed minimum first: one slot per active tenant...
+    for (Group* g : active) {
+      ++g->granted;
+      ++granted_total;
+      --capacity;
+    }
+    // ...then split this round's remaining capacity by weight, capped by
+    // each tenant's remaining demand and the capacity left.
+    double weight_sum = 0.0;
+    for (Group* g : active) {
+      if (g->quota_ok > g->granted) {
+        weight_sum += std::max(g->state->quota.weight, kMinWeight);
+      }
+    }
+    if (weight_sum > 0.0 && capacity > 0) {
+      size_t round_capacity = capacity;
+      for (Group* g : active) {
+        if (g->quota_ok <= g->granted) continue;
+        double w = std::max(g->state->quota.weight, kMinWeight);
+        size_t share = static_cast<size_t>(
+            static_cast<double>(round_capacity) * w / weight_sum);
+        size_t take = std::min(
+            {share, g->quota_ok - g->granted, capacity});
+        g->granted += take;
+        granted_total += take;
+        capacity -= take;
+      }
+    }
+    active.erase(std::remove_if(active.begin(), active.end(),
+                                [](const Group* g) {
+                                  return g->granted >= g->quota_ok;
+                                }),
+                 active.end());
+  }
+  return granted_total;
+}
+
+std::vector<AdmitDecision> TenantAdmissionController::AdmitBatch(
+    const workload::Workload& batch, size_t capacity) {
+  std::vector<AdmitDecision> out(batch.size());
+  if (batch.empty()) return out;
+  const int64_t now_us = NowUs();
+  util::MutexLock lock(&mu_);
+  // Group batch positions per account, preserving arrival order within
+  // each tenant's pending queue (windowed tasks depend on it).
+  std::vector<Group> groups;
+  std::map<std::string, size_t> group_of;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    auto [it, fresh] = group_of.emplace(batch[i].account, groups.size());
+    if (fresh) {
+      Group g;
+      g.account = batch[i].account;
+      groups.push_back(std::move(g));
+    }
+    groups[it->second].indices.push_back(i);
+  }
+  // Resolve states after grouping: groups hold stable pointers only once
+  // no more map insertions happen.
+  for (Group& g : groups) g.state = &StateForLocked(g.account, now_us);
+  // Stage 1 — quota: each tenant's head-of-queue prefix survives its
+  // token bucket; the tail is shed (reason=quota).
+  for (Group& g : groups) {
+    RefillLocked(*g.state, now_us);
+    size_t demand = g.indices.size();
+    if (g.state->quota.burst <= 0.0) {
+      g.quota_ok = demand;
+    } else {
+      size_t allowed =
+          std::min(demand, static_cast<size_t>(g.state->tokens));
+      g.state->tokens -= static_cast<double>(allowed);
+      g.quota_ok = allowed;
+      g.over_quota = allowed < demand;
+    }
+    for (size_t j = g.quota_ok; j < demand; ++j) {
+      out[g.indices[j]] = {false, ShedReason::kQuota};
+      ShedLocked(g.account, *g.state, ShedReason::kQuota);
+    }
+  }
+  // Stage 2 — fairness: when the surviving demand still exceeds the free
+  // global capacity, water-fill it. Under-quota tenants are served with
+  // the full capacity FIRST; over-quota tenants (the ones their own
+  // bucket already clipped this batch) split only what is left — the
+  // guaranteed-minimum ordering.
+  size_t total_ok = 0;
+  for (const Group& g : groups) total_ok += g.quota_ok;
+  if (total_ok <= capacity) {
+    for (Group& g : groups) g.granted = g.quota_ok;
+  } else {
+    std::vector<Group*> under;
+    std::vector<Group*> over;
+    for (Group& g : groups) (g.over_quota ? over : under).push_back(&g);
+    size_t left = capacity;
+    left -= AllocateFair(under, left);
+    AllocateFair(over, left);
+    for (Group& g : groups) {
+      for (size_t j = g.granted; j < g.quota_ok; ++j) {
+        out[g.indices[j]] = {false, ShedReason::kFairness};
+        ShedLocked(g.account, *g.state, ShedReason::kFairness);
+      }
+    }
+  }
+  for (Group& g : groups) {
+    if (g.granted > 0) AdmitLocked(g.account, *g.state, g.granted, now_us);
+  }
+  return out;
+}
+
+AdmitDecision TenantAdmissionController::AdmitOne(
+    const workload::LabeledQuery& query) {
+  const int64_t now_us = NowUs();
+  util::MutexLock lock(&mu_);
+  TenantState& state = StateForLocked(query.account, now_us);
+  RefillLocked(state, now_us);
+  if (state.quota.burst > 0.0) {
+    if (state.tokens < 1.0) {
+      ShedLocked(query.account, state, ShedReason::kQuota);
+      return {false, ShedReason::kQuota};
+    }
+    state.tokens -= 1.0;
+  }
+  AdmitLocked(query.account, state, 1, now_us);
+  return {true, ShedReason::kGlobal};
+}
+
+void TenantAdmissionController::Release(const std::string& account,
+                                        size_t n) {
+  if (n == 0) return;
+  util::MutexLock lock(&mu_);
+  auto it = tenants_.find(account);
+  if (it == tenants_.end()) return;
+  TenantState& state = it->second;
+  state.in_flight -= std::min(state.in_flight, n);
+  if (state.in_flight_gauge != nullptr) {
+    state.in_flight_gauge->Set(static_cast<double>(state.in_flight));
+  }
+}
+
+void TenantAdmissionController::OnGlobalShed(const std::string& account) {
+  const int64_t now_us = NowUs();
+  util::MutexLock lock(&mu_);
+  TenantState& state = StateForLocked(account, now_us);
+  if (state.in_flight > 0) {
+    --state.in_flight;
+    if (state.admitted > 0) --state.admitted;
+    if (state.in_flight_gauge != nullptr) {
+      state.in_flight_gauge->Set(static_cast<double>(state.in_flight));
+    }
+  }
+  ShedLocked(account, state, ShedReason::kGlobal);
+}
+
+std::vector<TenantAdmissionStats> TenantAdmissionController::Stats() const {
+  std::vector<TenantAdmissionStats> out;
+  util::MutexLock lock(&mu_);
+  out.reserve(tenants_.size());
+  for (const auto& [account, state] : tenants_) {
+    TenantAdmissionStats row;
+    row.account = account;
+    row.tokens = state.tokens;
+    row.weight = state.quota.weight;
+    row.in_flight = state.in_flight;
+    row.admitted = state.admitted;
+    row.shed_quota = state.sheds[static_cast<size_t>(ShedReason::kQuota)];
+    row.shed_fairness =
+        state.sheds[static_cast<size_t>(ShedReason::kFairness)];
+    row.shed_global = state.sheds[static_cast<size_t>(ShedReason::kGlobal)];
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<util::AggregateEntry> TenantAdmissionController::TopSheds(
+    size_t n) const {
+  return sheds_by_account_.Top(n);
+}
+
+size_t TenantAdmissionController::tracked_tenants() const {
+  util::MutexLock lock(&mu_);
+  return tenants_.size();
+}
+
+TenantBreakerMap::TenantBreakerMap(Options options)
+    : options_(std::move(options)) {
+  if (options_.capacity == 0) options_.capacity = 1;
+}
+
+std::shared_ptr<CircuitBreaker> TenantBreakerMap::GetOrCreate(
+    const std::string& account) {
+  static obs::Counter& evictions = obs::MetricsRegistry::Global().GetCounter(
+      "querc_tenant_breakers_evicted_total", {},
+      "Per-tenant circuit breakers displaced by the bounded breaker map");
+  util::MutexLock lock(&mu_);
+  auto it = breakers_.find(account);
+  if (it != breakers_.end()) {
+    ++it->second.uses;
+    return it->second.breaker;
+  }
+  if (breakers_.size() >= options_.capacity) {
+    // Evict-least: the least-used breaker goes, but a closed one goes
+    // before any open/half-open one — an open breaker is live evidence
+    // of a tenant's failing dependency and evicting it would amnesty the
+    // fault.
+    auto victim = breakers_.end();
+    bool victim_closed = false;
+    for (auto cand = breakers_.begin(); cand != breakers_.end(); ++cand) {
+      bool closed =
+          cand->second.breaker->state() == CircuitBreaker::State::kClosed;
+      if (victim == breakers_.end() || (closed && !victim_closed) ||
+          (closed == victim_closed &&
+           cand->second.uses < victim->second.uses)) {
+        victim = cand;
+        victim_closed = closed;
+      }
+    }
+    breakers_.erase(victim);
+    evicted_.fetch_add(1, std::memory_order_relaxed);
+    evictions.Increment();
+  }
+  Entry& entry = breakers_[account];
+  entry.breaker = std::make_shared<CircuitBreaker>(
+      options_.name_prefix + ":" + account, options_.breaker);
+  entry.uses = 1;
+  return entry.breaker;
+}
+
+std::vector<std::pair<std::string, CircuitBreaker::State>>
+TenantBreakerMap::States() const {
+  util::MutexLock lock(&mu_);
+  std::vector<std::pair<std::string, CircuitBreaker::State>> out;
+  out.reserve(breakers_.size());
+  for (const auto& [account, entry] : breakers_) {
+    out.emplace_back(entry.breaker->name(), entry.breaker->state());
+  }
+  return out;
+}
+
+size_t TenantBreakerMap::size() const {
+  util::MutexLock lock(&mu_);
+  return breakers_.size();
+}
+
+}  // namespace querc::core

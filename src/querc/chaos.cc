@@ -126,6 +126,309 @@ std::string ChaosReport::ToJson() const {
   return out;
 }
 
+std::string NoisyNeighborReport::ToJson() const {
+  std::string out = "{\n";
+  out += util::StrFormat("  \"submitted\": %zu,\n", submitted);
+  out += util::StrFormat("  \"returned\": %zu,\n", returned);
+  out += util::StrFormat("  \"silent_drops\": %zu,\n", silent_drops);
+  out += util::StrFormat("  \"aggressor_submitted\": %zu,\n",
+                         aggressor_submitted);
+  out += util::StrFormat("  \"aggressor_shed\": %zu,\n", aggressor_shed);
+  out += util::StrFormat("  \"victim_submitted\": %zu,\n", victim_submitted);
+  out += util::StrFormat("  \"victim_shed\": %zu,\n", victim_shed);
+  out += util::StrFormat("  \"aggressor_shed_rate\": %.4f,\n",
+                         aggressor_shed_rate);
+  out += util::StrFormat("  \"overload_fraction\": %.4f,\n",
+                         overload_fraction);
+  out += util::StrFormat("  \"shed_quota\": %llu,\n",
+                         (unsigned long long)shed_quota);
+  out += util::StrFormat("  \"shed_fairness\": %llu,\n",
+                         (unsigned long long)shed_fairness);
+  out += util::StrFormat("  \"shed_global\": %llu,\n",
+                         (unsigned long long)shed_global);
+  out += util::StrFormat("  \"victim_p99_warmup_ms\": %.4f,\n",
+                         victim_p99_warmup_ms);
+  out += util::StrFormat("  \"victim_p99_flood_ms\": %.4f,\n",
+                         victim_p99_flood_ms);
+  out += util::StrFormat("  \"victim_p99_bound_ms\": %.4f,\n",
+                         victim_p99_bound_ms);
+  out += util::StrFormat("  \"aggressor_breakers_tripped\": %zu,\n",
+                         aggressor_breakers_tripped);
+  out += util::StrFormat("  \"victim_breakers_tripped\": %zu,\n",
+                         victim_breakers_tripped);
+  out += util::StrFormat("  \"breakers_reclosed\": %s,\n",
+                         breakers_reclosed ? "true" : "false");
+  out += util::StrFormat("  \"recovery_rounds_used\": %zu,\n",
+                         recovery_rounds_used);
+  out += util::StrFormat("  \"tenant_breakers\": %zu,\n", tenant_breakers);
+  out += util::StrFormat("  \"sheds_reconciled\": %s,\n",
+                         sheds_reconciled ? "true" : "false");
+  out += util::StrFormat("  \"ok\": %s\n", ok() ? "true" : "false");
+  out += "}";
+  return out;
+}
+
+NoisyNeighborReport RunNoisyNeighborDrill(
+    const NoisyNeighborOptions& options) {
+  NoisyNeighborReport report;
+  util::Rng rng(options.seed);
+
+  const std::string kAggressor = "aggressor";
+  std::vector<std::string> victims;
+  for (size_t v = 0; v < std::max<size_t>(1, options.num_victims); ++v) {
+    victims.push_back("victim" + std::to_string(v));
+  }
+
+  // Shared fake clock: admission refill AND breaker cooldowns advance
+  // only when the drill says so, making every shed and breaker walk
+  // deterministic.
+  auto now_us = std::make_shared<std::atomic<int64_t>>(int64_t{1});
+  ClockFn clock = [now_us] {
+    return now_us->load(std::memory_order_relaxed);
+  };
+  const double tokens_per_round =
+      options.quota_rate_per_sec * options.round_us * 1e-6;
+  const size_t aggressor_per_round = static_cast<size_t>(
+      std::ceil(options.overload_factor * tokens_per_round));
+  const size_t victim_inline = 1;  // latency-sampled Process per round
+  const size_t victim_in_batch =
+      options.victim_queries_per_round > victim_inline
+          ? options.victim_queries_per_round - victim_inline
+          : 0;
+
+  // Journal evidence trail: drain leftovers from earlier work in this
+  // process so per-account kShed counts are absolute for the drill.
+  {
+    std::vector<obs::FlightEvent> discard;
+    obs::FlightRecorder::Global().Drain(&discard);
+  }
+  obs::TraceCollector::Options copts;
+  copts.reservoir_capacity = 8;
+  obs::TraceCollector collector(copts);
+
+  QWorkerPool::Options pool_options;
+  pool_options.application = "noisy";
+  pool_options.num_shards = std::max<size_t>(1, options.num_shards);
+  pool_options.partition = QWorkerPool::Partition::kRoundRobin;
+  pool_options.max_in_flight = options.max_in_flight;
+  pool_options.shed_policy = QWorkerPool::ShedPolicy::kRejectNew;
+  pool_options.enable_tenant_admission = true;
+  pool_options.admission.default_quota.burst = options.quota_burst;
+  pool_options.admission.default_quota.rate_per_sec =
+      options.quota_rate_per_sec;
+  pool_options.admission.clock = clock;
+  pool_options.worker.enable_lint = false;
+  pool_options.worker.per_tenant_sink_breakers = true;
+  pool_options.worker.breaker.window = 16;
+  pool_options.worker.breaker.min_samples = 4;
+  pool_options.worker.breaker.failure_ratio = 0.5;
+  pool_options.worker.breaker.open_ms = options.breaker_open_ms;
+  pool_options.worker.breaker.half_open_probes = 2;
+  pool_options.worker.breaker.clock = clock;
+  pool_options.worker.sink_retry.max_attempts = 2;
+  pool_options.worker.sink_retry.initial_backoff_ms = 0.05;
+  pool_options.worker.sink_retry.max_backoff_ms = 0.5;
+  QWorkerPool pool(pool_options);
+
+  auto primary = TrainUserClassifier("user");
+  if (primary == nullptr) return report;
+  pool.DeployAll({primary});
+
+  // The aggressor's backend fails for the whole flood; victims' sink
+  // calls always succeed. With per-tenant sink breakers only the
+  // aggressor's breakers may trip — that asymmetry IS the isolation
+  // being proven.
+  std::atomic<bool> flood_active{false};
+  pool.set_database_sink([&](const workload::LabeledQuery& q) {
+    if (flood_active.load(std::memory_order_relaxed) &&
+        q.account == "aggressor") {
+      throw std::runtime_error("aggressor backend overloaded");
+    }
+  });
+
+  // Counter baselines per (account, reason): the registry is process-
+  // global, so reconciliation diffs against the drill's start.
+  std::vector<std::string> accounts = victims;
+  accounts.push_back(kAggressor);
+  auto shed_counter = [](const std::string& account, ShedReason reason)
+      -> obs::Counter& {
+    return obs::MetricsRegistry::Global().GetCounter(
+        "querc_shed_total", {{"account", account},
+                             {"policy", "reject_new"},
+                             {"reason", ShedReasonName(reason)}});
+  };
+  std::map<std::string, uint64_t> counter_base;
+  for (const std::string& account : accounts) {
+    counter_base[account] = shed_counter(account, ShedReason::kQuota).value() +
+                            shed_counter(account, ShedReason::kFairness).value() +
+                            shed_counter(account, ShedReason::kGlobal).value();
+  }
+
+  auto make_query = [&](const std::string& account) {
+    workload::LabeledQuery q = MakeQuery(rng, 0);
+    q.account = account;
+    return q;
+  };
+  auto account_result = [&](const ProcessedQuery& pq) {
+    ++report.returned;
+    if (pq.query.account == kAggressor) {
+      if (pq.shed) ++report.aggressor_shed;
+    } else if (pq.shed) {
+      ++report.victim_shed;
+    }
+    collector.Poll();
+  };
+  // One round of traffic: per victim, one latency-sampled inline
+  // Process plus its batch share; the aggressor contributes
+  // `aggressor_n` queries at the HEAD of the mixed batch (its sheds
+  // must land mid-batch, in place, while later victim positions flow).
+  auto run_round = [&](size_t aggressor_n, std::vector<double>* latencies) {
+    now_us->fetch_add(static_cast<int64_t>(options.round_us),
+                      std::memory_order_relaxed);
+    for (const std::string& victim : victims) {
+      workload::LabeledQuery q = make_query(victim);
+      ++report.submitted;
+      ++report.victim_submitted;
+      util::Stopwatch sw;
+      ProcessedQuery pq = pool.Process(q);
+      if (latencies != nullptr) latencies->push_back(sw.ElapsedMillis());
+      account_result(pq);
+    }
+    workload::Workload batch;
+    for (size_t j = 0; j < aggressor_n; ++j) {
+      batch.Add(make_query(kAggressor));
+    }
+    for (const std::string& victim : victims) {
+      for (size_t j = 0; j < victim_in_batch; ++j) {
+        batch.Add(make_query(victim));
+      }
+    }
+    report.submitted += batch.size();
+    report.aggressor_submitted += aggressor_n;
+    report.victim_submitted += victims.size() * victim_in_batch;
+    for (const ProcessedQuery& pq : pool.ProcessBatch(batch)) {
+      account_result(pq);
+    }
+  };
+
+  // Phase 1: warmup — everyone nominal (aggressor at its sustainable
+  // rate), establishing the victims' healthy p99.
+  const size_t aggressor_nominal = static_cast<size_t>(tokens_per_round);
+  std::vector<double> warmup_lat;
+  for (size_t r = 0; r < options.warmup_rounds; ++r) {
+    run_round(aggressor_nominal, &warmup_lat);
+  }
+
+  // Phase 2: flood — the aggressor sends overload_factor x its refill
+  // per round while its backend fails.
+  flood_active.store(true, std::memory_order_relaxed);
+  size_t aggressor_flood_submitted = 0;
+  std::vector<double> flood_lat;
+  std::vector<std::string> tripped;
+  for (size_t r = 0; r < options.flood_rounds; ++r) {
+    run_round(aggressor_per_round, &flood_lat);
+    aggressor_flood_submitted += aggressor_per_round;
+    for (const auto& [name, state] : pool.BreakerStates()) {
+      if (state != CircuitBreaker::State::kClosed &&
+          std::find(tripped.begin(), tripped.end(), name) == tripped.end()) {
+        tripped.push_back(name);
+      }
+    }
+  }
+  for (const std::string& name : tripped) {
+    if (name.find(":aggressor") != std::string::npos) {
+      ++report.aggressor_breakers_tripped;
+    } else {
+      ++report.victim_breakers_tripped;
+    }
+  }
+  // What the aggressor's quota plus fair share could have admitted at
+  // most during the flood: its bucket (burst + refills) and its
+  // per-round fairness leftover are each hard caps, so the smaller sum
+  // bounds admissions — everything past it MUST have been shed.
+  const double burst_cap =
+      options.quota_burst +
+      static_cast<double>(options.flood_rounds) * tokens_per_round;
+  const size_t victim_batch_demand = victims.size() * victim_in_batch;
+  const double fair_leftover =
+      options.max_in_flight > victim_batch_demand
+          ? static_cast<double>(options.max_in_flight - victim_batch_demand)
+          : 0.0;
+  const double fair_cap =
+      static_cast<double>(options.flood_rounds) * fair_leftover;
+  const double admittable = std::min(burst_cap, fair_cap);
+  report.overload_fraction =
+      aggressor_flood_submitted == 0
+          ? 0.0
+          : std::max(0.0, 1.0 - admittable / static_cast<double>(
+                                                aggressor_flood_submitted));
+  report.aggressor_shed_rate =
+      aggressor_flood_submitted == 0
+          ? 0.0
+          : static_cast<double>(report.aggressor_shed) /
+                static_cast<double>(aggressor_flood_submitted);
+
+  // Phase 3: recovery — the backend heals; keep everyone at nominal
+  // rate (advancing the fake clock through the breaker cooldown) until
+  // every breaker re-closes.
+  flood_active.store(false, std::memory_order_relaxed);
+  for (size_t r = 0; r < options.recovery_rounds; ++r) {
+    run_round(aggressor_nominal, nullptr);
+    ++report.recovery_rounds_used;
+    if (AllBreakersClosed(pool)) {
+      report.breakers_reclosed = true;
+      break;
+    }
+  }
+
+  // Reconciliation: per account, counter delta == controller total ==
+  // journal kShed events carrying that account label.
+  collector.Poll();
+  const TenantAdmissionController* admission = pool.admission();
+  std::map<std::string, uint64_t> controller_sheds;
+  for (const TenantAdmissionStats& row : admission->Stats()) {
+    controller_sheds[row.account] = row.shed_total();
+  }
+  report.shed_quota = admission->shed_for(ShedReason::kQuota);
+  report.shed_fairness = admission->shed_for(ShedReason::kFairness);
+  report.shed_global = admission->shed_for(ShedReason::kGlobal);
+  report.sheds_reconciled = true;
+  for (const std::string& account : accounts) {
+    uint64_t counter_delta =
+        shed_counter(account, ShedReason::kQuota).value() +
+        shed_counter(account, ShedReason::kFairness).value() +
+        shed_counter(account, ShedReason::kGlobal).value() -
+        counter_base[account];
+    uint64_t journal = collector.Count(obs::EventKind::kShed, account);
+    uint64_t controller = 0;
+    auto it = controller_sheds.find(account);
+    if (it != controller_sheds.end()) controller = it->second;
+    if (counter_delta != controller || journal != controller) {
+      report.sheds_reconciled = false;
+    }
+  }
+  uint64_t total_sheds = static_cast<uint64_t>(report.aggressor_shed) +
+                         static_cast<uint64_t>(report.victim_shed);
+  if (admission->shed_total() != total_sheds ||
+      collector.Count(obs::EventKind::kShed) != total_sheds) {
+    report.sheds_reconciled = false;
+  }
+
+  for (const auto& [name, state] : pool.BreakerStates()) {
+    if (name.find(":sink_database:") != std::string::npos ||
+        name.find(":sink_training:") != std::string::npos) {
+      ++report.tenant_breakers;
+    }
+  }
+  report.silent_drops = report.submitted - report.returned;
+  report.victim_p99_warmup_ms = Percentile(warmup_lat, 0.99);
+  report.victim_p99_flood_ms = Percentile(flood_lat, 0.99);
+  report.victim_p99_bound_ms =
+      std::max(options.victim_p99_factor * report.victim_p99_warmup_ms,
+               options.victim_p99_floor_ms);
+  return report;
+}
+
 ChaosReport RunChaosSoak(const ChaosOptions& options) {
   ChaosReport report;
   util::Rng rng(options.seed);

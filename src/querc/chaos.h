@@ -106,6 +106,110 @@ struct ChaosReport {
 /// failpoints (restoring a clean registry on exit).
 ChaosReport RunChaosSoak(const ChaosOptions& options);
 
+/// The noisy-neighbor drill (DESIGN.md §16): one tenant ("aggressor")
+/// floods a quota'd pool at `overload_factor`x its sustained rate while
+/// `num_victims` tenants stay inside their quotas, and the aggressor's
+/// database sink fails throughout the flood. With tenant admission and
+/// per-tenant sink breakers on, the drill must show isolation holding:
+/// victims are never shed (guaranteed-minimum share), victim tail
+/// latency stays bounded, only the aggressor's breakers trip, everything
+/// re-closes in recovery, and every shed reconciles per account across
+/// the counter series, the controller, and the flight-recorder journal.
+///
+/// Deterministic by construction: admission buckets and breaker
+/// cooldowns run on a shared fake clock advanced `round_us` per round,
+/// so shed counts and breaker walks replay bit-identically under a
+/// fixed seed. Only the latency percentiles consult the real clock.
+struct NoisyNeighborOptions {
+  size_t num_shards = 2;
+  size_t num_victims = 3;
+  /// Aggressor demand per flood round as a multiple of its per-round
+  /// token refill.
+  double overload_factor = 10.0;
+  size_t warmup_rounds = 10;
+  size_t flood_rounds = 30;
+  /// Upper bound on recovery rounds while waiting for breakers to
+  /// re-close (each advances the fake clock by round_us).
+  size_t recovery_rounds = 200;
+  /// Per-tenant token bucket: capacity and sustained rate (identical for
+  /// every tenant — isolation, not priority, is under test).
+  double quota_burst = 16.0;
+  double quota_rate_per_sec = 1000.0;
+  /// Fake-clock advance per round, microseconds. With the defaults each
+  /// round refills rate * round_us = 4 tokens per tenant.
+  double round_us = 4000.0;
+  /// Per-victim demand per round (1 latency-sampled inline Process +
+  /// the rest inside the mixed batch). Keep <= the per-round refill so
+  /// victims stay under quota.
+  size_t victim_queries_per_round = 4;
+  /// Global in-flight bound (the fairness stage's capacity).
+  size_t max_in_flight = 16;
+  /// Breaker cooldown in fake-clock milliseconds.
+  double breaker_open_ms = 25.0;
+  /// Victim flood p99 must stay within this multiple of the victims'
+  /// warmup p99 (with a small absolute floor against timer noise).
+  double victim_p99_factor = 20.0;
+  /// Absolute floor for the p99 bound, milliseconds.
+  double victim_p99_floor_ms = 10.0;
+  uint64_t seed = 42;
+};
+
+/// Machine-readable outcome of one noisy-neighbor drill (also the CLI's
+/// JSON). See ok() for the isolation contract.
+struct NoisyNeighborReport {
+  size_t submitted = 0;
+  size_t returned = 0;
+  size_t silent_drops = 0;
+  // Per-class accounting over every phase.
+  size_t aggressor_submitted = 0;
+  size_t aggressor_shed = 0;
+  size_t victim_submitted = 0;
+  size_t victim_shed = 0;
+  /// aggressor_shed / aggressor flood submissions.
+  double aggressor_shed_rate = 0.0;
+  /// The fraction of the aggressor's flood its quota + fair share cannot
+  /// admit — the floor aggressor_shed_rate must reach.
+  double overload_fraction = 0.0;
+  // Controller shed totals per reason (quota/fairness/global).
+  uint64_t shed_quota = 0;
+  uint64_t shed_fairness = 0;
+  uint64_t shed_global = 0;
+  double victim_p99_warmup_ms = 0.0;
+  double victim_p99_flood_ms = 0.0;
+  /// The bound actually applied: max(factor * warmup p99, floor).
+  double victim_p99_bound_ms = 0.0;
+  /// Breakers that left closed during the flood, split by tenant class.
+  size_t aggressor_breakers_tripped = 0;
+  size_t victim_breakers_tripped = 0;
+  bool breakers_reclosed = false;
+  size_t recovery_rounds_used = 0;
+  /// Resident per-tenant sink breakers at the end (scoping evidence).
+  size_t tenant_breakers = 0;
+  /// Per-account reconciliation held: for every tenant, the
+  /// querc_shed_total{account} counter delta == the controller's
+  /// per-account shed total == the journal's kShed events labeled with
+  /// that account.
+  bool sheds_reconciled = false;
+
+  /// The isolation contract: nothing lost, victims untouched (no sheds,
+  /// no tripped breakers, bounded p99), the aggressor shed at least its
+  /// overload fraction, its breakers tripped and re-closed, and every
+  /// shed reconciled per account.
+  bool ok() const {
+    return silent_drops == 0 && victim_shed == 0 &&
+           aggressor_shed_rate >= overload_fraction - 1e-9 &&
+           aggressor_breakers_tripped > 0 && victim_breakers_tripped == 0 &&
+           breakers_reclosed && victim_p99_flood_ms <= victim_p99_bound_ms &&
+           sheds_reconciled;
+  }
+
+  std::string ToJson() const;
+};
+
+/// Runs the noisy-neighbor drill. Uses no failpoints (the aggressor's
+/// sink fails by account match) and leaves the registries clean.
+NoisyNeighborReport RunNoisyNeighborDrill(const NoisyNeighborOptions& options);
+
 }  // namespace querc::core
 
 #endif  // QUERC_QUERC_CHAOS_H_

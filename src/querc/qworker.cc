@@ -191,6 +191,15 @@ QWorker::QWorker(const Options& options)
         options_.application + ":sink_database", options_.breaker);
     training_breaker_ = std::make_unique<CircuitBreaker>(
         options_.application + ":sink_training", options_.breaker);
+    if (options_.per_tenant_sink_breakers) {
+      TenantBreakerMap::Options tenant;
+      tenant.breaker = options_.breaker;
+      tenant.capacity = options_.tenant_breaker_cap;
+      tenant.name_prefix = options_.application + ":sink_database";
+      database_tenant_breakers_ = std::make_unique<TenantBreakerMap>(tenant);
+      tenant.name_prefix = options_.application + ":sink_training";
+      training_tenant_breakers_ = std::make_unique<TenantBreakerMap>(tenant);
+    }
   }
   if (options_.embed_cache_capacity > 0) {
     embed::EmbeddingCache::Options cache_options;
@@ -325,6 +334,14 @@ QWorker::BreakerStates() const {
   }
   if (training_breaker_) {
     out.emplace_back(training_breaker_->name(), training_breaker_->state());
+  }
+  if (database_tenant_breakers_) {
+    auto states = database_tenant_breakers_->States();
+    out.insert(out.end(), states.begin(), states.end());
+  }
+  if (training_tenant_breakers_) {
+    auto states = training_tenant_breakers_->States();
+    out.insert(out.end(), states.begin(), states.end());
   }
   auto breakers = task_breakers_.load();
   for (const auto& [task, breaker] : *breakers) {
@@ -575,9 +592,17 @@ ProcessedQuery QWorker::Process(const workload::LabeledQuery& query) {
     if (database && *database) {
       static obs::Histogram& hist = obs::StageHistogram("sink_database");
       obs::Span span(&hist, "sink_database");
+      // With per-tenant scoping the account's own breaker gates the call
+      // (the shared_ptr keeps it alive across a concurrent eviction);
+      // otherwise the worker-level sink breaker does.
+      CircuitBreaker* breaker = database_breaker_.get();
+      std::shared_ptr<CircuitBreaker> tenant_breaker;
+      if (database_tenant_breakers_) {
+        tenant_breaker = database_tenant_breakers_->GetOrCreate(query.account);
+        breaker = tenant_breaker.get();
+      }
       out.database_status =
-          InvokeSink("database", "qworker.sink_database",
-                     database_breaker_.get(), deadline,
+          InvokeSink("database", "qworker.sink_database", breaker, deadline,
                      [&database, &query] { (*database)(query); });
     }
   }
@@ -585,9 +610,14 @@ ProcessedQuery QWorker::Process(const workload::LabeledQuery& query) {
   if (training && *training) {
     static obs::Histogram& hist = obs::StageHistogram("sink_training");
     obs::Span span(&hist, "sink_training");
+    CircuitBreaker* breaker = training_breaker_.get();
+    std::shared_ptr<CircuitBreaker> tenant_breaker;
+    if (training_tenant_breakers_) {
+      tenant_breaker = training_tenant_breakers_->GetOrCreate(query.account);
+      breaker = tenant_breaker.get();
+    }
     out.training_status =
-        InvokeSink("training", "qworker.sink_training",
-                   training_breaker_.get(), deadline,
+        InvokeSink("training", "qworker.sink_training", breaker, deadline,
                    [&training, &out] { (*training)(out); });
   }
 

@@ -13,6 +13,7 @@
 
 #include "embed/embed_cache.h"
 #include "obs/metrics.h"
+#include "querc/admission.h"
 #include "querc/classifier.h"
 #include "querc/resilience.h"
 #include "sql/lint/engine.h"
@@ -182,6 +183,16 @@ class QWorker {
     /// When false, no circuit breakers are created at all (sinks and
     /// classifiers always run; retries/deadline still apply).
     bool enable_breakers = true;
+    /// Scope the SINK breakers per account: breaker keys gain the
+    /// account dimension ("<application>:sink_database:<account>"), so
+    /// one tenant's failing sink trips only that tenant's breaker while
+    /// every other tenant keeps flowing. Task breakers stay per task —
+    /// a classifier fault is model health, not tenant behavior. Requires
+    /// enable_breakers.
+    bool per_tenant_sink_breakers = false;
+    /// Bound on resident per-tenant sink breakers per sink (evict-least,
+    /// closed-first; see TenantBreakerMap).
+    size_t tenant_breaker_cap = 64;
   };
 
   using DatabaseSink = std::function<void(const workload::LabeledQuery&)>;
@@ -326,6 +337,11 @@ class QWorker {
   /// Sink breakers (one per sink, named "<application>:sink_*").
   std::unique_ptr<CircuitBreaker> database_breaker_;  // null when disabled
   std::unique_ptr<CircuitBreaker> training_breaker_;
+  /// Per-tenant sink breakers (null unless per_tenant_sink_breakers):
+  /// bounded account->breaker maps that REPLACE the worker-level sink
+  /// breakers on the Process path when active.
+  std::unique_ptr<TenantBreakerMap> database_tenant_breakers_;
+  std::unique_ptr<TenantBreakerMap> training_tenant_breakers_;
   RetryPolicy sink_retry_;
   RetryBudget retry_budget_;
 

@@ -77,6 +77,16 @@ QWorkerPool::QWorkerPool(const Options& options,
                          util::ThreadPool* thread_pool)
     : options_(options) {
   if (options_.num_shards == 0) options_.num_shards = 1;
+  if (options_.enable_tenant_admission) {
+    // The controller stamps this pool's policy on its per-account
+    // querc_shed_total series so the label set stays consistent with the
+    // pre-tenant {policy} series.
+    options_.admission.policy_label =
+        options_.shed_policy == ShedPolicy::kRejectNew ? "reject_new"
+                                                       : "drop_oldest";
+    admission_ =
+        std::make_unique<TenantAdmissionController>(options_.admission);
+  }
   if (thread_pool == nullptr) {
     owned_pool_ = std::make_unique<util::ThreadPool>(options_.num_shards);
     pool_ = owned_pool_.get();
@@ -165,12 +175,26 @@ void QWorkerPool::ReleaseSlots(size_t n) {
   InFlightGauge().Add(-static_cast<double>(n));
 }
 
-ProcessedQuery QWorkerPool::MakeShed(const workload::LabeledQuery& query) {
+size_t QWorkerPool::FreeSlots() const {
+  if (options_.max_in_flight == 0) {
+    return std::numeric_limits<size_t>::max();
+  }
+  size_t cur = in_flight_.load(std::memory_order_relaxed);
+  return options_.max_in_flight > cur ? options_.max_in_flight - cur : 0;
+}
+
+ProcessedQuery QWorkerPool::MakeShedMarker(
+    const workload::LabeledQuery& query) {
   ProcessedQuery shed;
   shed.query = query;
   shed.shed = true;
   shed.status = util::Status::ResourceExhausted("pool admission: shed");
   shed_count_.fetch_add(1, std::memory_order_relaxed);
+  return shed;
+}
+
+ProcessedQuery QWorkerPool::MakeShed(const workload::LabeledQuery& query) {
+  ProcessedQuery shed = MakeShedMarker(query);
   ShedCounter(options_.shed_policy).Increment();
   obs::FlightRecorder::Global().RecordInstant(
       obs::EventKind::kShed,
@@ -180,6 +204,25 @@ ProcessedQuery QWorkerPool::MakeShed(const workload::LabeledQuery& query) {
 }
 
 ProcessedQuery QWorkerPool::Process(const workload::LabeledQuery& query) {
+  if (admission_) {
+    AdmitDecision decision = admission_->AdmitOne(query);
+    if (!decision.admitted) return MakeShedMarker(query);
+    if (TryAcquireSlots(1) == 0) {
+      admission_->OnGlobalShed(query.account);
+      return MakeShedMarker(query);
+    }
+    ProcessedQuery out;
+    try {
+      out = shards_[ShardOf(query)]->Process(query);
+    } catch (...) {
+      ReleaseSlots(1);
+      admission_->Release(query.account);
+      throw;
+    }
+    ReleaseSlots(1);
+    admission_->Release(query.account);
+    return out;
+  }
   if (TryAcquireSlots(1) == 0) return MakeShed(query);
   ProcessedQuery out;
   try {
@@ -201,34 +244,81 @@ std::vector<ProcessedQuery> QWorkerPool::ProcessBatch(
   // worker-thread span lands in this one cross-thread trace.
   obs::Trace trace("pool_process_batch");
   util::Stopwatch timer;
-  // Bounded admission: reserve as many slots as fit, shed the rest per
-  // policy. Shed queries are returned in place (order preserved) with
-  // `shed = true` and ResourceExhausted — never silently dropped.
-  size_t admitted = TryAcquireSlots(batch.size());
-  size_t first = 0;  // first admitted index
-  size_t last = batch.size();  // one past the last admitted index
-  if (admitted < batch.size()) {
-    if (options_.shed_policy == ShedPolicy::kRejectNew) {
-      last = admitted;
-      for (size_t i = last; i < batch.size(); ++i) out[i] = MakeShed(batch[i]);
-    } else {
-      first = batch.size() - admitted;
-      for (size_t i = 0; i < first; ++i) out[i] = MakeShed(batch[i]);
+  // Admission pipeline (DESIGN.md §16): [tenant quota -> weighted
+  // fairness ->] global slots -> shard fan-out. Shed queries are returned
+  // IN PLACE (each marker at its query's original batch position, order
+  // preserved) with `shed = true` and ResourceExhausted — never silently
+  // dropped.
+  std::vector<size_t> admitted_idx;
+  admitted_idx.reserve(batch.size());
+  if (admission_) {
+    // Stages 1+2 — per-tenant quota and the weighted-fair split of the
+    // free capacity. Sheds may land mid-batch (one tenant's tail is
+    // another tenant's head), hence index lists instead of a range.
+    std::vector<AdmitDecision> decisions =
+        admission_->AdmitBatch(batch, FreeSlots());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (decisions[i].admitted) {
+        admitted_idx.push_back(i);
+      } else {
+        out[i] = MakeShedMarker(batch[i]);
+      }
     }
+    // Stage 3 — the global reservation. It can still grant less than the
+    // controller allocated when a concurrent batch raced the capacity
+    // estimate; the overflow is shed per policy over the admitted subset
+    // (reason=global), markers still at their original positions.
+    size_t granted = TryAcquireSlots(admitted_idx.size());
+    if (granted < admitted_idx.size()) {
+      size_t overflow = admitted_idx.size() - granted;
+      size_t drop_begin =
+          options_.shed_policy == ShedPolicy::kRejectNew ? granted : 0;
+      std::vector<size_t> kept;
+      kept.reserve(granted);
+      for (size_t k = 0; k < admitted_idx.size(); ++k) {
+        size_t i = admitted_idx[k];
+        if (k >= drop_begin && k < drop_begin + overflow) {
+          admission_->OnGlobalShed(batch[i].account);
+          out[i] = MakeShedMarker(batch[i]);
+        } else {
+          kept.push_back(i);
+        }
+      }
+      admitted_idx.swap(kept);
+    }
+  } else {
+    // Legacy global-only admission: reserve as many slots as fit, shed
+    // the contiguous rest per policy (kRejectNew sheds the tail = the
+    // newest arrivals; kDropOldest sheds the head = the oldest).
+    size_t admitted = TryAcquireSlots(batch.size());
+    size_t first = 0;  // first admitted index
+    size_t last = batch.size();  // one past the last admitted index
+    if (admitted < batch.size()) {
+      if (options_.shed_policy == ShedPolicy::kRejectNew) {
+        last = admitted;
+        for (size_t i = last; i < batch.size(); ++i) {
+          out[i] = MakeShed(batch[i]);
+        }
+      } else {
+        first = batch.size() - admitted;
+        for (size_t i = 0; i < first; ++i) out[i] = MakeShed(batch[i]);
+      }
+    }
+    for (size_t i = first; i < last; ++i) admitted_idx.push_back(i);
   }
-  if (admitted == 0) {
+  if (admitted_idx.empty()) {
     BatchHistogram().Record(timer.ElapsedMillis());
     BatchCounter().Increment();
     return out;
   }
-  // Partition the admitted range so each shard's sub-stream keeps its
+  // Partition the admitted queries so each shard's sub-stream keeps its
   // arrival order (windowed tasks depend on per-shard ordering), then one
   // parallel task per non-empty shard.
   std::vector<std::vector<size_t>> by_shard(shards_.size());
   {
     static obs::Histogram& hist = obs::StageHistogram("pool_partition");
     obs::Span span(&hist, "pool_partition");
-    for (size_t i = first; i < last; ++i) {
+    for (size_t i : admitted_idx) {
       by_shard[ShardOf(batch[i])].push_back(i);
     }
   }
@@ -268,7 +358,16 @@ std::vector<ProcessedQuery> QWorkerPool::ProcessBatch(
       }
     }
   });
-  ReleaseSlots(admitted);
+  ReleaseSlots(admitted_idx.size());
+  if (admission_) {
+    // Per-tenant release, batched per account to keep the controller's
+    // lock off the per-query path.
+    std::map<std::string, size_t> per_account;
+    for (size_t i : admitted_idx) ++per_account[batch[i].account];
+    for (const auto& [account, n] : per_account) {
+      admission_->Release(account, n);
+    }
+  }
   BatchHistogram().Record(timer.ElapsedMillis());
   BatchCounter().Increment();
   return out;

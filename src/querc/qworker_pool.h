@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "querc/admission.h"
 #include "querc/qworker.h"
 #include "util/thread_pool.h"
 
@@ -70,6 +71,16 @@ class QWorkerPool {
     /// silently dropped. 0 = unbounded (no admission control).
     size_t max_in_flight = 0;
     ShedPolicy shed_policy = ShedPolicy::kRejectNew;
+    /// Tenant-isolation admission stage ahead of the global slot bound
+    /// (DESIGN.md §16): per-account token-bucket quotas, then a
+    /// weighted-fair split of the free capacity with a guaranteed
+    /// minimum for under-quota tenants. Sheds keep the contract above
+    /// (in place, ResourceExhausted, `shed = true`) and gain the
+    /// account + reason dimensions on querc_shed_total and the journal.
+    bool enable_tenant_admission = false;
+    /// Quotas/weights per account (admission.policy_label is overwritten
+    /// with this pool's shed_policy name).
+    TenantAdmissionOptions admission;
     /// Per-shard QWorker settings. `worker.application` is derived from
     /// `application` plus the shard index (e.g. "appX/3").
     QWorker::Options worker;
@@ -168,6 +179,12 @@ class QWorkerPool {
     return in_flight_.load(std::memory_order_relaxed);
   }
 
+  /// The tenant admission controller, or null when disabled.
+  TenantAdmissionController* admission() { return admission_.get(); }
+  const TenantAdmissionController* admission() const {
+    return admission_.get();
+  }
+
   const std::string& application() const { return options_.application; }
 
  private:
@@ -177,10 +194,21 @@ class QWorkerPool {
   size_t TryAcquireSlots(size_t want);
   void ReleaseSlots(size_t n);
 
-  /// A shed marker for `query`: ResourceExhausted, `shed = true`.
+  /// Free global slots right now (SIZE_MAX when unbounded) — the
+  /// capacity estimate handed to the tenant controller's fairness stage.
+  size_t FreeSlots() const;
+
+  /// A shed marker for `query` (ResourceExhausted, `shed = true`) plus
+  /// the shed accounting: metric + journal event. With the tenant
+  /// controller active that accounting already happened per account
+  /// inside the controller, so only the marker is built.
   ProcessedQuery MakeShed(const workload::LabeledQuery& query);
+  /// Marker + pool shed_count_ only (no counters/journal) — the tenant
+  /// controller's half of the split above.
+  ProcessedQuery MakeShedMarker(const workload::LabeledQuery& query);
 
   Options options_;
+  std::unique_ptr<TenantAdmissionController> admission_;  // null = disabled
   std::unique_ptr<util::ThreadPool> owned_pool_;
   util::ThreadPool* pool_;  // never null
   std::vector<std::unique_ptr<QWorker>> shards_;

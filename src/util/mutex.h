@@ -21,6 +21,11 @@ namespace querc::util {
 ///   rank  lock                      acquired while holding
 ///   ----  ------------------------  -----------------------------------
 ///    10   stats_reporter.mu         (leaf; reporter start/stop)
+///    15   admission.mu              -> aggregator.evict_mu,
+///                                      metrics.registry_mu,
+///                                      flightrec.reader_mu (shed events)
+///    18   qworker.tenant_breakers   -> breaker.mu (state scan),
+///                                      metrics.registry_mu (breaker ctor)
 ///    20   qworker.deploy_mu         -> atomic_shared_ptr.mu,
 ///                                      metrics.registry_mu (breaker ctor)
 ///    30   training_module.mu        (leaf; training-set/model maps)
@@ -47,6 +52,8 @@ enum class LockRank : int {
   /// rank for every service lock.
   kUnranked = -1,
   kStatsReporter = 10,
+  kAdmission = 15,
+  kTenantBreakers = 18,
   kQWorkerDeploy = 20,
   kTrainingModule = 30,
   kBreaker = 40,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 
 #include "util/string_util.h"
 #include "workload/tpch_gen.h"  // date helpers
@@ -415,6 +416,36 @@ Workload SnowflakeGenerator::Generate() const {
   util::Rng rng(options_.seed);
   std::vector<LabeledQuery> all;
 
+  // Zipf-style volume skew: redistribute the total query count across
+  // accounts by listing rank (rank 0 heaviest) while preserving the total
+  // — deterministic, so a skewed noisy-neighbor workload replays exactly.
+  std::vector<AccountSpec> accounts = options_.accounts;
+  if (options_.account_skew > 0.0 && !accounts.empty()) {
+    long long total = 0;
+    for (const AccountSpec& spec : accounts) {
+      total += std::max(0, spec.num_queries);
+    }
+    std::vector<double> weights(accounts.size());
+    double weight_sum = 0.0;
+    for (size_t r = 0; r < accounts.size(); ++r) {
+      weights[r] = 1.0 / std::pow(static_cast<double>(r + 1),
+                                  options_.account_skew);
+      weight_sum += weights[r];
+    }
+    long long assigned = 0;
+    for (size_t r = 0; r < accounts.size(); ++r) {
+      long long share = static_cast<long long>(
+          std::floor(static_cast<double>(total) * weights[r] / weight_sum));
+      // An account that had traffic keeps at least one query, so labels
+      // for every listed tenant stay present in the output.
+      if (accounts[r].num_queries > 0 && share == 0) share = 1;
+      accounts[r].num_queries = static_cast<int>(share);
+      assigned += share;
+    }
+    // Rounding drift lands on the head (heaviest) account.
+    accounts.front().num_queries += static_cast<int>(total - assigned);
+  }
+
   // Global query families shared across tenants (see AccountSpec).
   int max_families = 0;
   for (const AccountSpec& spec : options_.accounts) {
@@ -424,7 +455,7 @@ Workload SnowflakeGenerator::Generate() const {
       MakeGlobalFamilies(max_families, options_.seed ^ 0xfa111e5ULL);
 
   int account_index = 0;
-  for (const AccountSpec& spec : options_.accounts) {
+  for (const AccountSpec& spec : accounts) {
     util::Rng acct_rng = rng.Fork();
     SynthSchema schema = MakeSchema(spec.name, spec.num_tables,
                                     spec.shared_table_fraction, acct_rng);

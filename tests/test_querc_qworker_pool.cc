@@ -430,6 +430,109 @@ TEST_F(QWorkerPoolFaultTest, DropOldestShedsHead) {
   for (size_t i = 2; i < 5; ++i) EXPECT_FALSE(results[i].shed) << i;
 }
 
+TEST_F(QWorkerPoolFaultTest, DropOldestMarkersCarryTheOldestQueries) {
+  // Marker-placement audit (PR 9): a kDropOldest shed marker must sit at
+  // the shed query's ORIGINAL batch position and carry THAT query — not a
+  // reordered survivor. Flags alone can't catch a placement bug, so this
+  // checks the texts.
+  QWorkerPool::Options options;
+  options.application = "X";
+  options.num_shards = 2;
+  options.max_in_flight = 3;
+  options.shed_policy = QWorkerPool::ShedPolicy::kDropOldest;
+  QWorkerPool pool(options);
+
+  auto results = pool.ProcessBatch(NumberedBatch(5));
+  ASSERT_EQ(results.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(results[i].query.text, "SELECT " + std::to_string(i))
+        << "result " << i << " carries a different query's text";
+    EXPECT_EQ(results[i].shed, i < 2) << i;
+    if (i < 2) {
+      EXPECT_EQ(results[i].status.code(),
+                util::StatusCode::kResourceExhausted);
+    }
+  }
+}
+
+TEST_F(QWorkerPoolFaultTest, AdmissionMidBatchShedMarkersStayInPlace) {
+  // With the tenant controller on, sheds land mid-batch (one tenant's
+  // quota tail interleaves another's admitted head). Every position must
+  // still carry its own query.
+  QWorkerPool::Options options;
+  options.application = "X";
+  options.num_shards = 2;
+  options.shed_policy = QWorkerPool::ShedPolicy::kDropOldest;
+  options.enable_tenant_admission = true;
+  options.admission.default_quota.burst = 1.0;  // one query per tenant
+  QWorkerPool pool(options);
+
+  workload::Workload batch;
+  const char* accounts[] = {"a", "b", "a", "b", "a"};
+  for (size_t i = 0; i < 5; ++i) {
+    batch.Add(Query("SELECT " + std::to_string(i), "u1", accounts[i]));
+  }
+  auto results = pool.ProcessBatch(batch);
+  ASSERT_EQ(results.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(results[i].query.text, "SELECT " + std::to_string(i)) << i;
+    // Each tenant's first query survives its 1-token bucket; positions
+    // 2..4 are that tenant's second/third arrivals.
+    EXPECT_EQ(results[i].shed, i >= 2) << i;
+  }
+  EXPECT_EQ(pool.admission()->shed_for(ShedReason::kQuota), 3u);
+}
+
+TEST_F(QWorkerPoolFaultTest, ConcurrentBatchesNeverMisplaceMarkers) {
+  // Admission + kDropOldest + racing batches: whatever the interleaving
+  // decides to shed (including reason=global when the CAS reservation
+  // loses a race), every result index must hold its own query and nothing
+  // may be silently dropped.
+  QWorkerPool::Options options;
+  options.application = "X";
+  options.num_shards = 2;
+  options.max_in_flight = 3;
+  options.shed_policy = QWorkerPool::ShedPolicy::kDropOldest;
+  options.enable_tenant_admission = true;
+  options.admission.default_quota.burst = 4.0;
+  options.admission.default_quota.rate_per_sec = 1e6;
+  QWorkerPool pool(options);
+
+  constexpr int kThreads = 4;
+  constexpr int kBatches = 25;
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int b = 0; b < kBatches; ++b) {
+        workload::Workload batch;
+        for (int i = 0; i < 6; ++i) {
+          batch.Add(Query("SELECT " + std::to_string(t * 1000 + i), "u1",
+                          "acct" + std::to_string(t)));
+        }
+        auto results = pool.ProcessBatch(batch);
+        if (results.size() != batch.size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (size_t i = 0; i < results.size(); ++i) {
+          if (results[i].query.text != batch[i].text) mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(pool.in_flight(), 0u);
+  // Full accounting: every submitted query was either processed or shed,
+  // and the pool's shed tally agrees with the controller's.
+  EXPECT_EQ(pool.processed_count() + pool.shed_count(),
+            static_cast<size_t>(kThreads * kBatches * 6));
+  EXPECT_EQ(pool.shed_count(),
+            static_cast<size_t>(pool.admission()->shed_total()));
+}
+
 TEST_F(QWorkerPoolFaultTest, UnboundedPoolNeverSheds) {
   QWorkerPool::Options options;
   options.application = "X";

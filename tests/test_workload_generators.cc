@@ -121,6 +121,45 @@ TEST(SnowflakeGeneratorTest, CountsAndLabels) {
   }
 }
 
+TEST(SnowflakeGeneratorTest, AccountSkewRedistributesVolumeByRank) {
+  // The noisy-neighbor knob: skew > 0 hands the rank-0 account a
+  // Zipf-style majority of the SAME total, deterministically.
+  SnowflakeGenerator::Options options;
+  options.seed = 7;
+  options.accounts = SnowflakeGenerator::UniformAccounts(
+      /*num_accounts=*/4, /*queries_per_account=*/100,
+      /*users_per_account=*/3);
+  options.account_skew = 2.0;
+  Workload wl = SnowflakeGenerator(options).Generate();
+  // Total preserved.
+  EXPECT_EQ(wl.size(), 400u);
+  auto by_account = wl.CountBy(AccountOf);
+  ASSERT_EQ(by_account.size(), 4u);
+  // 1/r^2 weights over 4 ranks: the head owns ~70%, strictly decreasing,
+  // and every listed tenant still appears.
+  std::vector<size_t> counts;
+  for (const auto& spec : options.accounts) {
+    ASSERT_TRUE(by_account.count(spec.name)) << spec.name;
+    counts.push_back(by_account[spec.name]);
+  }
+  EXPECT_GT(counts[0], 400u * 6 / 10);
+  for (size_t r = 1; r < counts.size(); ++r) {
+    EXPECT_LT(counts[r], counts[r - 1]) << "rank " << r;
+    EXPECT_GE(counts[r], 1u);
+  }
+
+  // Deterministic: same seed + skew replays the exact split.
+  Workload again = SnowflakeGenerator(options).Generate();
+  EXPECT_EQ(again.CountBy(AccountOf), by_account);
+
+  // skew = 0 is the legacy path: volumes exactly as specified.
+  options.account_skew = 0.0;
+  auto flat = SnowflakeGenerator(options).Generate().CountBy(AccountOf);
+  for (const auto& spec : options.accounts) {
+    EXPECT_EQ(flat[spec.name], 100u) << spec.name;
+  }
+}
+
 TEST(SnowflakeGeneratorTest, SharedQueryRateControlsTextSharing) {
   Workload wl = SnowflakeGenerator(SmallSnowflake()).Generate();
   Workload acme = wl.FilterByAccount("acme");

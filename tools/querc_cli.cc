@@ -126,11 +126,13 @@ int CmdGenerate(const Args& args) {
     options.accounts = workload::SnowflakeGenerator::UniformAccounts(
         args.GetInt("accounts", 5), args.GetInt("queries", 500),
         args.GetInt("users", 5));
+    options.account_skew = args.GetDouble("account-skew", 0.0);
     wl = workload::SnowflakeGenerator(options).Generate();
   } else if (kind == "table2") {
     workload::SnowflakeGenerator::Options options;
     options.seed = static_cast<uint64_t>(args.GetInt("seed", 77));
     options.accounts = workload::SnowflakeGenerator::Table2Accounts();
+    options.account_skew = args.GetDouble("account-skew", 0.0);
     wl = workload::SnowflakeGenerator(options).Generate();
   } else {
     return Fail(util::Status::InvalidArgument("unknown --kind " + kind));
@@ -306,6 +308,45 @@ int CmdLabel(const Args& args) {
 /// Trains a classifier like `label`, then runs the batch through a
 /// sharded QWorkerPool and reports per-shard throughput/latency — a
 /// command-line view of the parallel service layer.
+/// Tenant-isolation flags shared by `pool` and `stats`:
+///   --quota BURST[:RATE]          per-account token bucket (default for
+///                                 every tenant; RATE in queries/sec)
+///   --tenant-weight a=W,b=W2,...  weighted-fair shares under contention
+/// Either flag switches the pool onto the tenant admission pipeline
+/// (quota -> fairness -> global slots; DESIGN.md §16).
+util::Status ApplyTenantFlags(const Args& args,
+                              core::QWorkerPool::Options* options) {
+  std::string quota = args.Get("quota");
+  if (!quota.empty()) {
+    std::vector<std::string> parts = util::Split(quota, ':');
+    if (parts.size() > 2 || parts[0].empty()) {
+      return util::Status::InvalidArgument(
+          "--quota wants BURST[:RATE], got " + quota);
+    }
+    options->enable_tenant_admission = true;
+    options->admission.default_quota.burst = std::atof(parts[0].c_str());
+    if (parts.size() == 2) {
+      options->admission.default_quota.rate_per_sec =
+          std::atof(parts[1].c_str());
+    }
+  }
+  std::string weights = args.Get("tenant-weight");
+  if (!weights.empty()) {
+    options->enable_tenant_admission = true;
+    for (const std::string& entry : util::Split(weights, ',')) {
+      std::vector<std::string> kv = util::Split(entry, '=');
+      if (kv.size() != 2 || kv[0].empty()) {
+        return util::Status::InvalidArgument(
+            "--tenant-weight wants acct=W[,acct=W...], got " + entry);
+      }
+      core::TenantQuota& tenant = options->admission.tenants[kv[0]];
+      tenant = options->admission.default_quota;
+      tenant.weight = std::atof(kv[1].c_str());
+    }
+  }
+  return util::Status::OK();
+}
+
 int CmdPool(const Args& args) {
   auto embedder = embed::LoadEmbedderFile(args.Get("model"));
   if (!embedder.ok()) return Fail(embedder.status());
@@ -337,8 +378,11 @@ int CmdPool(const Args& args) {
   core::QWorkerPool::Options options;
   options.application = "cli";
   options.num_shards = static_cast<size_t>(args.GetInt("shards", 4));
+  options.max_in_flight = static_cast<size_t>(args.GetInt("max-in-flight", 0));
   options.worker.embed_cache_capacity =
       static_cast<size_t>(args.GetInt("embed-cache", 4096));
+  util::Status tenant_status = ApplyTenantFlags(args, &options);
+  if (!tenant_status.ok()) return Fail(tenant_status);
   std::string partition = args.Get("partition", "account");
   if (partition == "account") {
     options.partition = core::QWorkerPool::Partition::kByAccount;
@@ -358,7 +402,12 @@ int CmdPool(const Args& args) {
   double seconds = timer.ElapsedSeconds();
 
   size_t correct = 0;
+  size_t shed = 0;
   for (size_t i = 0; i < outputs.size(); ++i) {
+    if (outputs[i].shed) {
+      ++shed;
+      continue;
+    }
     if (outputs[i].predictions.at(task) == extractor((*batch)[i])) ++correct;
   }
   std::printf("%s labeling via %zu-shard pool (%s partition): %zu/%zu "
@@ -383,6 +432,18 @@ int CmdPool(const Args& args) {
                 100.0 * cache.hit_ratio(),
                 static_cast<unsigned long long>(cache.evictions), cache.size,
                 cache.capacity);
+  }
+  if (pool.admission() != nullptr) {
+    std::printf("tenant admission: %zu shed (quota=%llu fairness=%llu "
+                "global=%llu) across %zu tracked tenants\n",
+                shed,
+                (unsigned long long)pool.admission()->shed_for(
+                    core::ShedReason::kQuota),
+                (unsigned long long)pool.admission()->shed_for(
+                    core::ShedReason::kFairness),
+                (unsigned long long)pool.admission()->shed_for(
+                    core::ShedReason::kGlobal),
+                pool.admission()->tracked_tenants());
   }
   return 0;
 }
@@ -452,6 +513,8 @@ int CmdStats(const Args& args) {
   options.worker.deadline_ms = args.GetDouble("deadline-ms", 0.0);
   options.worker.embed_cache_capacity =
       static_cast<size_t>(args.GetInt("embed-cache", 4096));
+  util::Status tenant_status = ApplyTenantFlags(args, &options);
+  if (!tenant_status.ok()) return Fail(tenant_status);
   std::string partition = args.Get("partition", "account");
   if (partition == "account") {
     options.partition = core::QWorkerPool::Partition::kByAccount;
@@ -603,6 +666,42 @@ int CmdStats(const Args& args) {
               counter_total("querc_sink_errors_total"),
               counter_total("querc_fallback_predictions_total"),
               counter_total("querc_classifier_skipped_total"));
+  if (const core::TenantAdmissionController* admission = pool.admission()) {
+    // Per-tenant isolation table: the top-N tenants by shed count (from
+    // the controller's bounded aggregator) joined with their live
+    // in-flight counts and any per-account breaker state.
+    std::map<std::string, core::TenantAdmissionStats> rows;
+    for (const auto& row : admission->Stats()) rows[row.account] = row;
+    auto breaker_states = pool.BreakerStates();
+    std::printf("  tenants (top %d by sheds, %zu tracked, %llu state "
+                "evictions):\n",
+                5, admission->tracked_tenants(),
+                (unsigned long long)admission->evicted_tenants());
+    std::printf("    %-20s %10s %10s %10s %10s %9s  %s\n", "account",
+                "sheds", "quota", "fairness", "global", "in_flight",
+                "breakers");
+    for (const auto& top : admission->TopSheds(5)) {
+      const core::TenantAdmissionStats* row = nullptr;
+      auto it = rows.find(top.key);
+      if (it != rows.end()) row = &it->second;
+      std::string breakers;
+      for (const auto& [name, state] : breaker_states) {
+        if (name.find(":" + top.key) == std::string::npos) continue;
+        if (!breakers.empty()) breakers += " ";
+        breakers += std::string(core::CircuitBreaker::StateName(state));
+      }
+      if (breakers.empty()) breakers = "-";
+      std::printf("    %-20s %10llu %10llu %10llu %10llu %9zu  %s\n",
+                  top.key.c_str(), (unsigned long long)top.count,
+                  (unsigned long long)(row ? row->shed_quota : 0),
+                  (unsigned long long)(row ? row->shed_fairness : 0),
+                  (unsigned long long)(row ? row->shed_global : 0),
+                  row ? row->in_flight : 0, breakers.c_str());
+    }
+    if (admission->shed_total() == 0) {
+      std::printf("    (no sheds; quotas held)\n");
+    }
+  }
   return 0;
 }
 
@@ -612,7 +711,71 @@ int CmdStats(const Args& args) {
 /// report, and exits nonzero unless the service degraded gracefully
 /// (breakers tripped AND re-closed, shedding engaged, no silent drops) —
 /// so CI can gate on it.
+/// `querc chaos --noisy-neighbor`: the tenant-isolation drill (see
+/// querc/chaos.h). One tenant floods a quota'd pool at a multiple of its
+/// sustained rate while its backend fails; exits nonzero unless isolation
+/// held (victims never shed, bounded victim p99, only aggressor breakers
+/// tripped and re-closed, per-account shed reconciliation).
+int CmdChaosNoisyNeighbor(const Args& args) {
+  core::NoisyNeighborOptions options;
+  options.num_shards = static_cast<size_t>(args.GetInt("shards", 2));
+  options.num_victims = static_cast<size_t>(args.GetInt("victims", 3));
+  options.overload_factor = args.GetDouble("overload-factor", 10.0);
+  options.warmup_rounds = static_cast<size_t>(args.GetInt("warmup", 10));
+  options.flood_rounds = static_cast<size_t>(args.GetInt("flood", 30));
+  options.recovery_rounds =
+      static_cast<size_t>(args.GetInt("recovery", 200));
+  options.quota_burst = args.GetDouble("quota-burst", 16.0);
+  options.quota_rate_per_sec = args.GetDouble("quota-rate", 1000.0);
+  options.max_in_flight =
+      static_cast<size_t>(args.GetInt("max-in-flight", 16));
+  options.breaker_open_ms = args.GetDouble("breaker-open-ms", 25.0);
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+
+  core::NoisyNeighborReport report = core::RunNoisyNeighborDrill(options);
+  std::string json = report.ToJson();
+  std::string out = args.Get("out");
+  if (out.empty()) {
+    std::printf("%s\n", json.c_str());
+  } else {
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      return Fail(util::Status::Internal("cannot open --out " + out));
+    }
+    std::fputs(json.c_str(), f);
+    std::fputs("\n", f);
+    std::fclose(f);
+    std::printf("wrote noisy-neighbor report to %s\n", out.c_str());
+  }
+  if (!report.ok()) {
+    std::fprintf(stderr,
+                 "chaos --noisy-neighbor: FAILED (victim_shed=%zu "
+                 "aggressor_shed_rate=%.3f overload_fraction=%.3f "
+                 "aggressor_breakers=%zu victim_breakers=%zu reclosed=%s "
+                 "victim_p99=%.3fms bound=%.3fms reconciled=%s "
+                 "silent_drops=%zu)\n",
+                 report.victim_shed, report.aggressor_shed_rate,
+                 report.overload_fraction, report.aggressor_breakers_tripped,
+                 report.victim_breakers_tripped,
+                 report.breakers_reclosed ? "true" : "false",
+                 report.victim_p99_flood_ms, report.victim_p99_bound_ms,
+                 report.sheds_reconciled ? "true" : "false",
+                 report.silent_drops);
+    return 1;
+  }
+  std::printf("chaos --noisy-neighbor: OK (aggressor shed %.1f%% >= %.1f%% "
+              "floor, victim shed 0, victim p99 %.3f ms <= %.3f ms, "
+              "%zu aggressor breakers tripped and re-closed in %zu rounds, "
+              "sheds reconciled per account)\n",
+              100.0 * report.aggressor_shed_rate,
+              100.0 * report.overload_fraction, report.victim_p99_flood_ms,
+              report.victim_p99_bound_ms, report.aggressor_breakers_tripped,
+              report.recovery_rounds_used);
+  return 0;
+}
+
 int CmdChaos(const Args& args) {
+  if (args.GetBool("noisy-neighbor")) return CmdChaosNoisyNeighbor(args);
   core::ChaosOptions options;
   options.num_shards = static_cast<size_t>(args.GetInt("shards", 2));
   options.warmup_queries = static_cast<size_t>(args.GetInt("warmup", 100));
@@ -963,6 +1126,7 @@ int Usage() {
       stderr,
       "usage: querc <command> [flags]\n"
       "  generate   --kind tpch|snowflake|table2 --out w.csv [--seed N]\n"
+      "             [--account-skew F]   (Zipf volume skew, rank 0 heaviest)\n"
       "  train      --embedder doc2vec|dbow|lstm --workload w.csv --model m.bin\n"
       "  info       --model m.bin\n"
       "  summarize  --model m.bin --workload w.csv [--k N] [--out s.csv]\n"
@@ -972,14 +1136,20 @@ int Usage() {
       "  pool       --model m.bin --history h.csv --batch b.csv [--task t]\n"
       "             [--shards N] [--partition account|user|rr]\n"
       "             [--embed-cache N]   (template cache entries; 0 disables)\n"
+      "             [--max-in-flight N] [--quota BURST[:RATE]]\n"
+      "             [--tenant-weight acct=W,...]   (tenant admission)\n"
       "  stats      [--model m.bin --history h.csv --batch b.csv] [--task t]\n"
       "             [--shards N] [--partition account|user|rr] [--repeat N]\n"
       "             [--format text|prom|json] [--out f] [--report-ms N]\n"
       "             [--embed-cache N]   (template cache entries; 0 disables)\n"
+      "             [--quota BURST[:RATE]] [--tenant-weight acct=W,...]\n"
       "  chaos      [--shards N] [--warmup N] [--faults N] [--recovery N]\n"
       "             [--sink-failure-rate F] [--no-classifier-outage]\n"
       "             [--max-in-flight N] [--breaker-open-ms F] [--out f]\n"
       "             [--flightrec]   (journal attribution + slowest traces)\n"
+      "             [--noisy-neighbor]   (tenant-isolation drill; also\n"
+      "             [--victims N] [--overload-factor F] [--flood N]\n"
+      "             [--quota-burst F] [--quota-rate F])\n"
       "  trace      [--queries N] [--shards N] [--slowest N] [--seed N]\n"
       "             [--out trace.json]   (Perfetto JSON for slowest queries)\n"
       "  explain    --workload w.csv [--indexes t:c1,c2;t2:c] [--limit N]\n"

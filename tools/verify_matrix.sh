@@ -52,6 +52,16 @@ run_config() {
   echo "==== [$name] chaos smoke ===="
   "$dir/tools/querc" chaos --shards 2 --warmup 40 --faults 120 \
     --recovery 200 --max-in-flight 4 --breaker-open-ms 10 >/dev/null
+  # Noisy-neighbor smoke: one tenant floods at 10x its quota while its
+  # backend fails; the drill exits nonzero unless isolation holds —
+  # victims never shed (guaranteed-minimum share), victim p99 bounded,
+  # only the aggressor's per-tenant breakers trip and all re-close, and
+  # every shed reconciles per account across counters, the controller,
+  # and the flight-recorder journal. Fully deterministic (fake clock), so
+  # it runs identically in every sanitizer config.
+  echo "==== [$name] noisy-neighbor smoke ===="
+  "$dir/tools/querc" chaos --noisy-neighbor --shards 2 --victims 3 \
+    --warmup 5 --flood 10 --recovery 200 --breaker-open-ms 10 >/dev/null
   # Embedding-cache smoke: warm-cache throughput must be >= 5x cold, a
   # replayed workload must hit, and cached vectors must be bit-identical
   # to direct inference. bench_embed_cache exits nonzero otherwise.
@@ -77,6 +87,13 @@ run_config() {
   echo "==== [$name] flight recorder smoke ===="
   (cd "$dir" && ./bench/bench_flight_recorder --smoke $agg_flags \
     --out BENCH_flightrec_smoke.json >/dev/null)
+  # Tenant fairness smoke: the isolation contract (victim never shed,
+  # aggressor shed at a positive rate, no silent drops) must hold in every
+  # config; the perf gate (unisolated flood sheds the victim, isolated
+  # victim p99 no worse) is timing-sensitive and runs plain-only.
+  echo "==== [$name] tenant fairness smoke ===="
+  (cd "$dir" && ./bench/bench_tenant_fairness --smoke $agg_flags \
+    --out BENCH_tenant_smoke.json >/dev/null)
   # Trace smoke: `querc trace` must reassemble per-query traces from the
   # journal and emit Perfetto-loadable JSON end to end.
   echo "==== [$name] trace smoke ===="
