@@ -21,6 +21,7 @@
 #include "engine/cost_model.h"
 #include "querc/summarizer.h"
 #include "util/thread_pool.h"
+#include "util/topology.h"
 
 namespace querc::bench {
 namespace {
@@ -37,7 +38,7 @@ std::vector<std::string> Summarize(
     const workload::Workload& wl, const char* label) {
   // Shared across calls: embedding the workload is the dominant cost, and
   // EmbedBatch fans it out over this pool.
-  static util::ThreadPool pool(std::thread::hardware_concurrency());
+  static util::ThreadPool pool(util::DefaultThreadCount());
   core::WorkloadSummarizer::Options options;
   options.elbow.k_min = 4;
   options.elbow.k_max = 48;

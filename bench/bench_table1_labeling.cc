@@ -18,6 +18,7 @@
 #include "ml/crossval.h"
 #include "ml/random_forest.h"
 #include "util/thread_pool.h"
+#include "util/topology.h"
 
 namespace querc::bench {
 namespace {
@@ -31,7 +32,7 @@ struct TaskResult {
 TaskResult RunLabeling(const embed::Embedder& embedder,
                        const workload::Workload& labeled, int folds) {
   // Embedding the 10-fold corpus is the bench's dominant cost; fan it out.
-  static util::ThreadPool pool(std::thread::hardware_concurrency());
+  static util::ThreadPool pool(util::DefaultThreadCount());
   std::vector<nn::Vec> vectors = embed::EmbedWorkload(embedder, labeled, &pool);
 
   auto forest_factory = [] {

@@ -16,6 +16,7 @@
 //
 // Build & run:  ./build/examples/full_service
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 
@@ -90,7 +91,11 @@ int main() {
   // --- per-application workers; X is sharded, gets user + cluster ---
   core::QWorkerPool::Options pool_options;
   pool_options.application = "X";
-  pool_options.num_shards = 4;
+  // Shard count follows the machine (capped: the demo stream is small),
+  // and the owned pool pins its workers so each shard's embed -> classify
+  // -> sink chain stays cache-local.
+  pool_options.num_shards = std::min<size_t>(4, util::DefaultThreadCount());
+  pool_options.pin_shards = true;
   pool_options.partition = core::QWorkerPool::Partition::kByUser;
   core::QWorkerPool pool_x(pool_options);
   core::QWorker worker_y({.application = "Y"});

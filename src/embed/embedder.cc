@@ -23,11 +23,11 @@ Embedder::Embedder(const Embedder&) : instance_id_(NextInstanceId()) {}
 Embedder::Embedder(Embedder&&) noexcept : instance_id_(NextInstanceId()) {}
 
 std::vector<nn::Vec> Embedder::EmbedBatch(
-    const std::vector<std::vector<std::string>>& docs,
-    util::ThreadPool* pool) const {
+    const std::vector<std::vector<std::string>>& docs, util::ThreadPool* pool,
+    util::Lane lane) const {
   std::vector<nn::Vec> vectors(docs.size());
   if (pool != nullptr && docs.size() > 1) {
-    pool->ParallelFor(docs.size(),
+    pool->ParallelFor(lane, docs.size(),
                       [&](size_t i) { vectors[i] = Embed(docs[i]); });
   } else {
     for (size_t i = 0; i < docs.size(); ++i) vectors[i] = Embed(docs[i]);
@@ -67,8 +67,8 @@ util::Status TrainOnWorkload(Embedder& embedder,
 
 std::vector<nn::Vec> EmbedWorkload(const Embedder& embedder,
                                    const workload::Workload& workload,
-                                   util::ThreadPool* pool) {
-  return embedder.EmbedBatch(TokenizeWorkload(workload), pool);
+                                   util::ThreadPool* pool, util::Lane lane) {
+  return embedder.EmbedBatch(TokenizeWorkload(workload), pool, lane);
 }
 
 }  // namespace querc::embed

@@ -7,6 +7,7 @@
 
 #include "nn/tensor.h"
 #include "sql/dialect.h"
+#include "util/lane.h"
 #include "util/status.h"
 #include "workload/workload.h"
 
@@ -58,11 +59,15 @@ class Embedder {
   /// Embeds many tokenized documents; returns one vector per doc, in
   /// order. The default runs Embed() per doc — in parallel via
   /// `pool->ParallelFor` when `pool` is non-null (Embed is const and
-  /// thread-safe in every implementation), serially otherwise.
-  /// Implementations with a cheaper batch form may override.
+  /// thread-safe in every implementation), serially otherwise. The pool
+  /// tasks ride `lane` — batch by default, since corpus embedding is
+  /// training/advisor churn that must not queue ahead of predict traffic
+  /// on a shared pool. Implementations with a cheaper batch form may
+  /// override.
   virtual std::vector<nn::Vec> EmbedBatch(
       const std::vector<std::vector<std::string>>& docs,
-      util::ThreadPool* pool = nullptr) const;
+      util::ThreadPool* pool = nullptr,
+      util::Lane lane = util::Lane::kBatch) const;
 
   /// Output dimensionality.
   virtual size_t dim() const = 0;
@@ -94,10 +99,11 @@ util::Status TrainOnWorkload(Embedder& embedder,
                              const workload::Workload& corpus);
 
 /// Embeds every query of `workload`; returns one vector per query. With a
-/// non-null `pool`, embedding runs batch-parallel (EmbedBatch).
+/// non-null `pool`, embedding runs batch-parallel (EmbedBatch) on `lane`.
 std::vector<nn::Vec> EmbedWorkload(const Embedder& embedder,
                                    const workload::Workload& workload,
-                                   util::ThreadPool* pool = nullptr);
+                                   util::ThreadPool* pool = nullptr,
+                                   util::Lane lane = util::Lane::kBatch);
 
 }  // namespace querc::embed
 

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "util/topology.h"
+
 namespace querc::obs {
 
 namespace {
@@ -46,7 +48,7 @@ void StatsReporter::Start() {
   util::MutexLock lock(&mu_);
   if (thread_.joinable()) return;
   stop_ = false;
-  thread_ = std::thread([this] { Loop(); });
+  thread_ = util::SpawnThread("querc-stats", [this] { Loop(); });
 }
 
 void StatsReporter::Stop() {

@@ -88,7 +88,13 @@ QWorkerPool::QWorkerPool(const Options& options,
         std::make_unique<TenantAdmissionController>(options_.admission);
   }
   if (thread_pool == nullptr) {
-    owned_pool_ = std::make_unique<util::ThreadPool>(options_.num_shards);
+    util::ThreadPool::Options pool_options;
+    pool_options.num_threads =
+        options_.threads != 0
+            ? options_.threads
+            : std::min(options_.num_shards, util::DefaultThreadCount());
+    pool_options.pin_threads = options_.pin_shards;
+    owned_pool_ = std::make_unique<util::ThreadPool>(pool_options);
     pool_ = owned_pool_.get();
   } else {
     pool_ = thread_pool;
@@ -326,7 +332,19 @@ std::vector<ProcessedQuery> QWorkerPool::ProcessBatch(
   for (size_t s = 0; s < by_shard.size(); ++s) {
     if (!by_shard[s].empty()) live.push_back(s);
   }
-  pool_->ParallelFor(live.size(), [&](size_t t) {
+  // Predict traffic rides the interactive lane so a concurrent training
+  // or advisor flood on the batch lane cannot queue ahead of it. When the
+  // shards run under a per-Process deadline, the fan-out tasks carry the
+  // same deadline so a task stuck behind higher lanes escalates instead
+  // of burning its whole budget queued.
+  util::ThreadPool::TaskOptions fan_out_opts;
+  fan_out_opts.lane = util::Lane::kInteractive;
+  if (options_.worker.deadline_ms > 0.0) {
+    fan_out_opts.deadline_us =
+        pool_->NowUs() +
+        static_cast<int64_t>(options_.worker.deadline_ms * 1000.0);
+  }
+  pool_->ParallelFor(fan_out_opts, live.size(), [&](size_t t) {
     static obs::Histogram& fan_hist = obs::StageHistogram("pool_fan_out");
     obs::Span fan_span(&fan_hist, "pool_fan_out");
     size_t s = live[t];

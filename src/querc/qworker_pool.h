@@ -64,6 +64,16 @@ class QWorkerPool {
   struct Options {
     std::string application;
     size_t num_shards = 4;
+    /// Threads in the owned pool (ignored when a shared `thread_pool` is
+    /// passed). 0 = one thread per shard, capped to the machine's cpu
+    /// count (util::Topology) — extra threads past the cpus only add
+    /// queueing interference.
+    size_t threads = 0;
+    /// Pin the owned pool's workers to cpus in topology order so a
+    /// query's embed→classify→sink chain stays cache-local on its shard's
+    /// worker. Best-effort (restricted containers degrade to unpinned);
+    /// ignored when a shared `thread_pool` is passed.
+    bool pin_shards = false;
     Partition partition = Partition::kByAccount;
     /// Bounded admission: at most this many queries may be in flight
     /// across the pool at once; the overflow is *shed* — returned

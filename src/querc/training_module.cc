@@ -44,8 +44,16 @@ obs::Counter& DeploysCounter() {
 
 }  // namespace
 
+namespace {
+util::ThreadPool::Options TrainingPoolOptions(size_t threads) {
+  util::ThreadPool::Options options;
+  options.num_threads = threads;  // 0 = topology default
+  return options;
+}
+}  // namespace
+
 TrainingModule::TrainingModule(const Options& options)
-    : options_(options), pool_(options.training_threads) {}
+    : options_(options), pool_(TrainingPoolOptions(options.training_threads)) {}
 
 void TrainingModule::Collect(const std::string& application,
                              const ProcessedQuery& query) {
@@ -135,8 +143,10 @@ util::Status TrainingModule::TrainAll(
   trained->assign(jobs.size(), nullptr);
   // ParallelFor (latch-based) rather than Submit+WaitIdle: WaitIdle is
   // global, so a concurrent training batch from another thread could
-  // make this one return early or block on unrelated work.
-  pool_.ParallelFor(jobs.size(), [this, &jobs, &statuses, trained](size_t i) {
+  // make this one return early or block on unrelated work. Batch lane:
+  // training must never queue ahead of predict fan-out on a shared pool.
+  pool_.ParallelFor(util::Lane::kBatch, jobs.size(),
+                    [this, &jobs, &statuses, trained](size_t i) {
     auto result = Train(jobs[i]);
     if (result.ok()) {
       (*trained)[i] = std::move(result).value();

@@ -28,7 +28,11 @@ class TrainingModule {
   struct Options {
     /// Per-application cap on retained training queries (oldest dropped).
     size_t max_queries_per_application = 1 << 20;
-    size_t training_threads = 4;
+    /// Threads in the training pool; 0 = size to the machine
+    /// (util::DefaultThreadCount()). Training work rides the pool's batch
+    /// lane, so sharing the pool with a QWorkerPool keeps predict
+    /// traffic ahead of it.
+    size_t training_threads = 0;
   };
 
   explicit TrainingModule(const Options& options);

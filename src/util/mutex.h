@@ -34,7 +34,9 @@ namespace querc::util {
 ///    50   embed_cache.shard_mu      -> metrics.registry_mu (counters)
 ///    55   embed_cache.flight_mu     -> metrics.registry_mu,
 ///                                      flightrec.reader_mu (coalesce mark)
-///    60   threadpool.mu             (leaf; queue ops only)
+///    60   threadpool.mu             -> metrics.registry_mu (lane gauges
+///                                      resolve/update under the lock so
+///                                      depth scrapes stay consistent)
 ///    62   threadpool.batch_mu       (leaf; ParallelFor latch)
 ///    65   failpoints.mu             (leaf; actions run after release)
 ///    70   aggregator.evict_mu       (leaf; atomics + delete only)

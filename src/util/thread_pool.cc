@@ -1,21 +1,29 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
+#include <utility>
 
 #include "obs/metrics.h"
-#include "obs/trace.h"
 #include "obs/trace_context.h"
 #include "util/logging.h"
 #include "util/mutex.h"
+#include "util/topology.h"
 
 namespace querc::util {
 
 namespace {
 
-/// Shared by every pool in the process: the queue depth gauge counts
-/// tasks submitted but not yet started, the histogram times task bodies.
+size_t LaneIndex(Lane lane) { return static_cast<size_t>(lane); }
+
+/// Shared by every pool in the process. Each family exists both unlabeled
+/// (pool-wide, the pre-lane series scrapers already watch) and per lane
+/// ({lane="interactive"|"normal"|"batch"}). All lookups are function-local
+/// statics so the hot path never touches the registry mutex; resolving
+/// them while holding a pool's mu_ is rank-legal (kThreadPool <
+/// kMetricsRegistry).
 obs::Gauge& QueueDepthGauge() {
   static obs::Gauge& gauge = obs::MetricsRegistry::Global().GetGauge(
       "querc_threadpool_queue_depth", {},
@@ -34,6 +42,91 @@ obs::Counter& TaskCounter() {
   static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
       "querc_threadpool_tasks_total", {}, "Tasks executed by ThreadPools");
   return counter;
+}
+
+obs::Gauge& LaneDepthGauge(Lane lane) {
+  static const std::array<obs::Gauge*, kNumLanes> gauges = [] {
+    std::array<obs::Gauge*, kNumLanes> out{};
+    for (size_t i = 0; i < kNumLanes; ++i) {
+      out[i] = &obs::MetricsRegistry::Global().GetGauge(
+          "querc_threadpool_queue_depth",
+          {{"lane", LaneName(static_cast<Lane>(i))}},
+          "Tasks submitted to ThreadPools but not yet running");
+    }
+    return out;
+  }();
+  return *gauges[LaneIndex(lane)];
+}
+
+obs::Histogram& LaneTaskHistogram(Lane lane) {
+  static const std::array<obs::Histogram*, kNumLanes> hists = [] {
+    std::array<obs::Histogram*, kNumLanes> out{};
+    for (size_t i = 0; i < kNumLanes; ++i) {
+      out[i] = &obs::MetricsRegistry::Global().GetHistogram(
+          "querc_threadpool_task_ms",
+          {{"lane", LaneName(static_cast<Lane>(i))}},
+          "Execution time of ThreadPool task bodies in milliseconds");
+    }
+    return out;
+  }();
+  return *hists[LaneIndex(lane)];
+}
+
+obs::Counter& LaneTaskCounter(Lane lane) {
+  static const std::array<obs::Counter*, kNumLanes> counters = [] {
+    std::array<obs::Counter*, kNumLanes> out{};
+    for (size_t i = 0; i < kNumLanes; ++i) {
+      out[i] = &obs::MetricsRegistry::Global().GetCounter(
+          "querc_threadpool_tasks_total",
+          {{"lane", LaneName(static_cast<Lane>(i))}},
+          "Tasks executed by ThreadPools");
+    }
+    return out;
+  }();
+  return *counters[LaneIndex(lane)];
+}
+
+obs::Counter& LaneOverflowCounter(Lane lane) {
+  static const std::array<obs::Counter*, kNumLanes> counters = [] {
+    std::array<obs::Counter*, kNumLanes> out{};
+    for (size_t i = 0; i < kNumLanes; ++i) {
+      out[i] = &obs::MetricsRegistry::Global().GetCounter(
+          "querc_threadpool_lane_overflow_total",
+          {{"lane", LaneName(static_cast<Lane>(i))}},
+          "Submits that ran inline on the caller because the lane was full");
+    }
+    return out;
+  }();
+  return *counters[LaneIndex(lane)];
+}
+
+obs::Counter& EscalationCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "querc_threadpool_escalations_total", {},
+      "Dispatches where a near-deadline task jumped the lane order");
+  return counter;
+}
+
+/// Runs a task body with the same accounting a pool worker applies:
+/// timing into the unlabeled + per-lane histograms, counters, and the
+/// worker's catch-and-log contract for escaping exceptions.
+void RunTaskBody(const std::function<void()>& fn, Lane lane) {
+  auto start = std::chrono::steady_clock::now();
+  try {
+    fn();
+  } catch (...) {
+    // A throwing Submit() task previously escaped into std::terminate.
+    // ParallelFor batches capture and rethrow their own exceptions; a
+    // bare Submit has no one to rethrow to, so log and keep the worker.
+    QUERC_LOG(Error) << "ThreadPool task threw an exception; dropped";
+  }
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  TaskHistogram().Record(ms);
+  LaneTaskHistogram(lane).Record(ms);
+  TaskCounter().Increment();
+  LaneTaskCounter(lane).Increment();
 }
 
 /// Shared state of one ParallelFor batch. Heap-allocated and owned via
@@ -89,11 +182,28 @@ struct Batch {
 
 }  // namespace
 
-ThreadPool::ThreadPool(size_t num_threads) {
-  if (num_threads == 0) num_threads = 1;
-  threads_.reserve(num_threads);
-  for (size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+namespace {
+ThreadPool::Options LegacyOptions(size_t num_threads) {
+  ThreadPool::Options options;
+  options.num_threads = num_threads == 0 ? 1 : num_threads;
+  return options;
+}
+ThreadPool::TaskOptions LaneOnly(Lane lane) {
+  ThreadPool::TaskOptions opts;
+  opts.lane = lane;
+  return opts;
+}
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : ThreadPool(LegacyOptions(num_threads)) {}
+
+ThreadPool::ThreadPool(const Options& options) : options_(options) {
+  size_t n = options_.num_threads != 0 ? options_.num_threads
+                                       : DefaultThreadCount();
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.push_back(SpawnThread("querc-pool", [this, i] { WorkerLoop(i); }));
   }
 }
 
@@ -106,7 +216,22 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
+int64_t ThreadPool::NowUs() const {
+  if (options_.clock) return options_.clock();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
+  Submit(TaskOptions{}, std::move(task));
+}
+
+void ThreadPool::Submit(Lane lane, std::function<void()> task) {
+  Submit(LaneOnly(lane), std::move(task));
+}
+
+void ThreadPool::Submit(const TaskOptions& opts, std::function<void()> task) {
   // Capture the submitter's trace context and re-install it around the
   // task body, so work handed to the pool stays attributed to the query
   // that submitted it.
@@ -117,32 +242,131 @@ void ThreadPool::Submit(std::function<void()> task) {
       inner();
     };
   }
+  QueuedTask queued;
+  queued.fn = std::move(task);
+  queued.lane = opts.lane;
+  queued.deadline_us = opts.deadline_us;
+  SubmitTask(std::move(queued));
+}
+
+void ThreadPool::SubmitTask(QueuedTask task) {
+  Lane lane = task.lane;
   {
     MutexLock lock(&mu_);
-    queue_.push_back(std::move(task));
+    if (options_.lane_capacity == 0 ||
+        queues_[LaneIndex(lane)].size() < options_.lane_capacity) {
+      PushTaskLocked(std::move(task));
+      work_cv_.NotifyOne();
+      return;
+    }
   }
+  // Lane full: caller-runs backpressure. The submitting thread absorbs
+  // the work instead of the queue growing without bound.
+  LaneOverflowCounter(lane).Increment();
+  RunTaskBody(task.fn, lane);
+}
+
+void ThreadPool::PushTaskLocked(QueuedTask task) {
+  if (task.deadline_us != kNoDeadline) ++deadlined_;
+  // Gauges move in the same critical section as the queue itself, so a
+  // concurrent scrape can never see the depth negative or overshot.
   QueueDepthGauge().Add(1.0);
-  work_cv_.NotifyOne();
+  LaneDepthGauge(task.lane).Add(1.0);
+  queues_[LaneIndex(task.lane)].push_back(std::move(task));
+  ++queued_total_;
+}
+
+void ThreadPool::PopAccountingLocked(const QueuedTask& task) {
+  if (task.deadline_us != kNoDeadline) --deadlined_;
+  QueueDepthGauge().Add(-1.0);
+  LaneDepthGauge(task.lane).Add(-1.0);
+  --queued_total_;
+}
+
+size_t ThreadPool::PickLaneLocked() {
+  size_t highest = 0;
+  while (queues_[highest].empty()) ++highest;
+  size_t lowest = kNumLanes - 1;
+  while (queues_[lowest].empty()) --lowest;
+
+  size_t pick = highest;
+  // Deadline escalation: the most urgent head task within the window
+  // outranks the lane order. Only lane heads are examined — dispatch
+  // stays O(lanes) — so ordering within one lane remains FIFO.
+  if (deadlined_ > 0) {
+    int64_t now = NowUs();
+    int64_t window = static_cast<int64_t>(options_.escalation_ms * 1000.0);
+    int64_t best_deadline = kNoDeadline;
+    size_t best = kNumLanes;
+    for (size_t lane = 0; lane < kNumLanes; ++lane) {
+      if (queues_[lane].empty()) continue;
+      int64_t d = queues_[lane].front().deadline_us;
+      if (d == kNoDeadline || d - now > window) continue;
+      if (d < best_deadline) {
+        best_deadline = d;
+        best = lane;
+      }
+    }
+    if (best != kNumLanes && best != highest) {
+      EscalationCounter().Increment();
+      pick = best;
+    }
+  }
+  // Starvation bound: after starvation_limit consecutive dispatches that
+  // bypassed a waiting lower-lane task, force one lowest-lane dispatch.
+  if (pick == highest && highest != lowest &&
+      starve_skips_ >= options_.starvation_limit) {
+    pick = lowest;
+  }
+  if (pick == lowest) {
+    starve_skips_ = 0;
+  } else {
+    ++starve_skips_;
+  }
+  return pick;
+}
+
+size_t ThreadPool::queue_depth(Lane lane) const {
+  MutexLock lock(&mu_);
+  return queues_[LaneIndex(lane)].size();
 }
 
 void ThreadPool::WaitIdle() {
   MutexLock lock(&mu_);
   idle_cv_.Wait(mu_, [this]() REQUIRES(mu_) {
     mu_.AssertHeld();
-    return queue_.empty() && active_ == 0;
+    return queued_total_ == 0 && active_ == 0;
   });
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelFor(TaskOptions{}, n, fn);
+}
+
+void ThreadPool::ParallelFor(Lane lane, size_t n,
+                             const std::function<void(size_t)>& fn) {
+  ParallelFor(LaneOnly(lane), n, fn);
+}
+
+void ThreadPool::ParallelFor(const TaskOptions& opts, size_t n,
+                             const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   auto batch = std::make_shared<Batch>(n, fn);
   // One helper per pool thread beyond the caller; never more than n - 1
-  // since the caller takes a share of the loop itself.
+  // since the caller takes a share of the loop itself. The batch adopts
+  // the caller's trace context itself, so helpers bypass Submit's wrap.
   size_t helpers = std::min(n - 1, threads_.size());
   for (size_t s = 0; s < helpers; ++s) {
-    Submit([batch] {
+    QueuedTask task;
+    task.fn = [batch] {
       if (batch->RunShard()) batch->NotifyDone();
-    });
+    };
+    task.lane = opts.lane;
+    task.deadline_us = opts.deadline_us;
+    task.batch_tag = batch.get();
+    task.batch_claimed = &batch->next;
+    task.batch_n = n;
+    SubmitTask(std::move(task));
   }
   // The calling thread participates: if it is itself a pool worker (a
   // nested ParallelFor) or every worker is busy elsewhere, it can drain
@@ -154,39 +378,66 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
       batch->mu.AssertHeld();
       return batch->done.load(std::memory_order_acquire) == n;
     });
+  }
+  // The batch has drained; helpers still queued are pure no-ops. Pull
+  // them out now (batch->mu released first — it ranks above mu_) so a
+  // caller-drained batch leaves the queues exactly as it found them
+  // instead of delaying unrelated tasks behind stale closures.
+  PurgeBatch(batch.get());
+  {
+    MutexLock lock(&batch->mu);
     if (batch->error) std::rethrow_exception(batch->error);
   }
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::PurgeBatch(const void* tag) {
+  MutexLock lock(&mu_);
+  for (auto& queue : queues_) {
+    for (auto it = queue.begin(); it != queue.end();) {
+      if (it->batch_tag == tag) {
+        PopAccountingLocked(*it);
+        it = queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (queued_total_ == 0 && active_ == 0) idle_cv_.NotifyAll();
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  if (options_.pin_threads) {
+    const Topology& topo =
+        options_.topology != nullptr ? *options_.topology : Topology::System();
+    // Best-effort: a restricted container just leaves the worker unpinned.
+    PinCurrentThreadToCpu(topo.cpus[worker_index % topo.num_cpus()].id);
+  }
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       MutexLock lock(&mu_);
       work_cv_.Wait(mu_, [this]() REQUIRES(mu_) {
         mu_.AssertHeld();
-        return stop_ || !queue_.empty();
+        return stop_ || queued_total_ > 0;
       });
-      if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      if (stop_ && queued_total_ == 0) return;
+      size_t lane = PickLaneLocked();
+      task = std::move(queues_[lane].front());
+      queues_[lane].pop_front();
+      PopAccountingLocked(task);
       ++active_;
     }
-    QueueDepthGauge().Add(-1.0);
-    try {
-      obs::Span span(&TaskHistogram());
-      task();
-    } catch (...) {
-      // A throwing Submit() task previously escaped into std::terminate.
-      // ParallelFor batches capture and rethrow their own exceptions; a
-      // bare Submit has no one to rethrow to, so log and keep the worker.
-      QUERC_LOG(Error) << "ThreadPool task threw an exception; dropped";
-    }
-    TaskCounter().Increment();
+    // Stale-helper fast path: a ParallelFor helper whose batch already
+    // claimed every index would run as a no-op; skip the call entirely
+    // (the shared_ptr in task.fn still releases its batch reference).
+    bool stale = task.batch_claimed != nullptr &&
+                 task.batch_claimed->load(std::memory_order_acquire) >=
+                     task.batch_n;
+    if (!stale) RunTaskBody(task.fn, task.lane);
     {
       MutexLock lock(&mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.NotifyAll();
+      if (queued_total_ == 0 && active_ == 0) idle_cv_.NotifyAll();
     }
   }
 }

@@ -46,7 +46,9 @@ std::vector<TemplateCount> Workload::TemplateHistogram(
     const size_t chunks =
         std::min(queries_.size(), 4 * std::max<size_t>(pool->num_threads(), 1));
     const size_t per_chunk = (queries_.size() + chunks - 1) / chunks;
-    pool->ParallelFor(chunks, [&](size_t c) {
+    // Batch lane: histogramming is offline/advisor analysis and must not
+    // queue ahead of predict fan-out when the caller shares its pool.
+    pool->ParallelFor(util::Lane::kBatch, chunks, [&](size_t c) {
       size_t begin = c * per_chunk;
       size_t end = std::min(begin + per_chunk, queries_.size());
       if (begin < end) record_range(begin, end);

@@ -1,0 +1,34 @@
+// Fixture: raw std::thread construction is banned outside src/util/ —
+// thread creation routes through util::SpawnThread / util::ThreadPool so
+// every worker is named, topology-aware, and joined by an owner.
+// Declarations without a body (empty handles, members, containers) and
+// mentions in comments (std::thread([]{})) or strings must NOT be
+// flagged.
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace fixture {
+
+const char* kDoc = "std::thread(body) in a string literal is fine";
+
+class BadSpawner {
+ public:
+  void Start() {
+    std::thread worker([] {});  // flagged: named construction with a body
+    handle_ = std::thread([] {});  // flagged: temporary construction
+    worker.join();
+  }
+
+  void Stop() {
+    std::thread joiner;  // empty handle: legal (the Stop()-idiom swap)
+    joiner = std::move(handle_);
+    if (joiner.joinable()) joiner.join();
+  }
+
+ private:
+  std::thread handle_;              // member declaration: legal
+  std::vector<std::thread> extra_;  // container of handles: legal
+};
+
+}  // namespace fixture

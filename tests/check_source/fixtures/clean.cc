@@ -1,9 +1,11 @@
-// Fixture: conforming service code — util::Mutex wrappers, joined
-// thread, Locked-suffixed helper. Must produce zero findings.
+// Fixture: conforming service code — util::Mutex wrappers, a thread
+// spawned through util::SpawnThread and joined, Locked-suffixed helper.
+// Must produce zero findings.
 #include <thread>
 
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
+#include "util/topology.h"
 
 namespace fixture {
 
@@ -15,7 +17,8 @@ class GoodCounter {
   }
 
   void RunOnce() {
-    std::thread worker([this] { Add(1); });
+    std::thread worker =
+        querc::util::SpawnThread("fixture", [this] { Add(1); });
     worker.join();
   }
 

@@ -219,6 +219,30 @@ TEST(QWorkerPoolTest, SharedExternalThreadPool) {
   EXPECT_EQ(pool.processed_count(), 20u);
 }
 
+TEST(QWorkerPoolTest, PinnedShardsProcessBatchCorrectly) {
+  // pin_shards routes the owned pool's workers onto distinct cpus via
+  // util/topology. Pinning is best-effort (restricted containers may
+  // reject the affinity syscall), so the contract under test is purely
+  // functional: results identical to an unpinned pool.
+  QWorkerPool::Options options;
+  options.application = "appPin";
+  options.num_shards = 2;
+  options.threads = 2;
+  options.pin_shards = true;
+  options.partition = QWorkerPool::Partition::kRoundRobin;
+  QWorkerPool pool(options);
+  pool.Deploy(TrainedUserClassifier());
+  workload::Workload batch;
+  for (int i = 0; i < 30; ++i) {
+    batch.Add(Query(i % 2 == 0 ? "SELECT a FROM t WHERE x = 1"
+                               : "SELECT b, c, d FROM u, v WHERE u.k = v.k"));
+  }
+  auto out = pool.ProcessBatch(batch);
+  ASSERT_EQ(out.size(), 30u);
+  EXPECT_EQ(pool.processed_count(), 30u);
+  for (const auto& processed : out) EXPECT_FALSE(processed.predictions.empty());
+}
+
 TEST(QWorkerPoolTest, TrainingSinkReceivesEveryQuery) {
   QWorkerPool::Options options;
   options.application = "appX";

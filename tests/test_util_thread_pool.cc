@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
@@ -177,6 +178,286 @@ TEST(ThreadPoolTest, PublishesTelemetryToGlobalRegistry) {
   // Nothing queued any more, so the depth gauge has drained back.
   EXPECT_DOUBLE_EQ(
       registry.GetGauge("querc_threadpool_queue_depth").value(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Lane scheduling (DESIGN.md §17). The gate pattern: a blocker task per
+// worker pins the pool busy so subsequent submissions queue up, making
+// dispatch order fully deterministic once the gate opens.
+
+class Gate {
+ public:
+  explicit Gate(ThreadPool* pool, size_t workers) {
+    for (size_t i = 0; i < workers; ++i) {
+      pool->Submit([this] {
+        blocked_.fetch_add(1, std::memory_order_release);
+        while (!release_.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+      });
+    }
+    while (blocked_.load(std::memory_order_acquire) < workers) {
+      std::this_thread::yield();
+    }
+  }
+
+  void Open() { release_.store(true, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> release_{false};
+  std::atomic<size_t> blocked_{0};
+};
+
+TEST(ThreadPoolLaneTest, InteractiveRunsBeforeQueuedBatch) {
+  ThreadPool pool(1);
+  Gate gate(&pool, 1);
+  std::atomic<int> seq{0};
+  int batch_pos = -1;
+  int interactive_pos = -1;
+  // Batch is submitted FIRST; strict lane priority must still run the
+  // interactive task ahead of it.
+  pool.Submit(Lane::kBatch, [&] { batch_pos = seq.fetch_add(1); });
+  pool.Submit(Lane::kInteractive, [&] { interactive_pos = seq.fetch_add(1); });
+  gate.Open();
+  pool.WaitIdle();
+  EXPECT_EQ(interactive_pos, 0);
+  EXPECT_EQ(batch_pos, 1);
+}
+
+TEST(ThreadPoolLaneTest, NormalRunsBeforeQueuedBatch) {
+  ThreadPool pool(1);
+  Gate gate(&pool, 1);
+  std::atomic<int> seq{0};
+  int batch_pos = -1;
+  int normal_pos = -1;
+  pool.Submit(Lane::kBatch, [&] { batch_pos = seq.fetch_add(1); });
+  pool.Submit([&] { normal_pos = seq.fetch_add(1); });
+  gate.Open();
+  pool.WaitIdle();
+  EXPECT_EQ(normal_pos, 0);
+  EXPECT_EQ(batch_pos, 1);
+}
+
+TEST(ThreadPoolLaneTest, BatchLaneStarvationBound) {
+  ThreadPool::Options options;
+  options.num_threads = 1;
+  options.starvation_limit = 4;
+  ThreadPool pool(options);
+  Gate gate(&pool, 1);
+  std::atomic<int> seq{0};
+  int batch_pos = -1;
+  pool.Submit(Lane::kBatch, [&] { batch_pos = seq.fetch_add(1); });
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit(Lane::kInteractive, [&] { seq.fetch_add(1); });
+  }
+  gate.Open();
+  pool.WaitIdle();
+  // Priority holds (the batch task is bypassed at least once), but after
+  // starvation_limit consecutive bypasses the scheduler forces the batch
+  // dispatch — it cannot sit behind all 20 interactive tasks.
+  EXPECT_GT(batch_pos, 0);
+  EXPECT_LE(batch_pos, 5);  // starvation_limit bypasses + the forced run
+}
+
+TEST(ThreadPoolLaneTest, DeadlineEscalationPromotesUrgentBatch) {
+  std::atomic<int64_t> fake_now{1000};
+  ThreadPool::Options options;
+  options.num_threads = 1;
+  options.escalation_ms = 1.0;
+  options.clock = [&fake_now] { return fake_now.load(); };
+  ThreadPool pool(options);
+  Gate gate(&pool, 1);
+  std::atomic<int> seq{0};
+  int batch_pos = -1;
+  int interactive_pos = -1;
+  // The batch task's deadline is 500us away — inside the 1 ms escalation
+  // window — so it must jump ahead of the queued interactive task.
+  ThreadPool::TaskOptions urgent;
+  urgent.lane = Lane::kBatch;
+  urgent.deadline_us = 1500;
+  pool.Submit(Lane::kInteractive, [&] { interactive_pos = seq.fetch_add(1); });
+  pool.Submit(urgent, [&] { batch_pos = seq.fetch_add(1); });
+  gate.Open();
+  pool.WaitIdle();
+  EXPECT_EQ(batch_pos, 0);
+  EXPECT_EQ(interactive_pos, 1);
+}
+
+TEST(ThreadPoolLaneTest, DistantDeadlineDoesNotEscalate) {
+  std::atomic<int64_t> fake_now{1000};
+  ThreadPool::Options options;
+  options.num_threads = 1;
+  options.escalation_ms = 1.0;
+  options.clock = [&fake_now] { return fake_now.load(); };
+  ThreadPool pool(options);
+  Gate gate(&pool, 1);
+  std::atomic<int> seq{0};
+  int batch_pos = -1;
+  int interactive_pos = -1;
+  ThreadPool::TaskOptions relaxed;
+  relaxed.lane = Lane::kBatch;
+  relaxed.deadline_us = 1000 * 1000;  // ~1s away: lane order stands
+  pool.Submit(relaxed, [&] { batch_pos = seq.fetch_add(1); });
+  pool.Submit(Lane::kInteractive, [&] { interactive_pos = seq.fetch_add(1); });
+  gate.Open();
+  pool.WaitIdle();
+  EXPECT_EQ(interactive_pos, 0);
+  EXPECT_EQ(batch_pos, 1);
+}
+
+// Regression: caller-drained ParallelFor batches used to leave up to
+// num_threads stale no-op helper closures in the queue, delaying every
+// subsequent task (and poisoning lane ordering). The batch now purges
+// its still-queued helpers before ParallelFor returns.
+TEST(ThreadPoolLaneTest, CallerDrainedParallelForLeavesNoStaleHelpers) {
+  ThreadPool pool(2);
+  Gate gate(&pool, 2);  // both workers pinned: the caller drains alone
+  std::atomic<int> ran{0};
+  pool.ParallelFor(8, [&ran](size_t) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 8);
+  // Immediately after return — before any worker frees up — the queue
+  // must be empty: the helpers were purged, not left as stale no-ops.
+  EXPECT_EQ(pool.queue_depth(Lane::kNormal), 0u);
+  EXPECT_EQ(pool.queue_depth(Lane::kInteractive), 0u);
+  EXPECT_EQ(pool.queue_depth(Lane::kBatch), 0u);
+  gate.Open();
+  pool.WaitIdle();
+}
+
+// Regression: the queue-depth gauge used to be updated outside mu_ (after
+// push / after pop), so a concurrent scrape could observe a transiently
+// negative or overshot depth. Updates now share the queue's critical
+// section; a scraper hammering the gauge must never see < 0.
+TEST(ThreadPoolLaneTest, QueueDepthGaugeNeverNegativeUnderContention) {
+  auto& gauge =
+      obs::MetricsRegistry::Global().GetGauge("querc_threadpool_queue_depth");
+  ThreadPool pool(4);
+  std::atomic<bool> done{false};
+  double min_seen = 0.0;
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      min_seen = std::min(min_seen, gauge.value());
+    }
+  });
+  constexpr int kSubmitters = 4;
+  constexpr int kTasksPer = 2000;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&pool] {
+      for (int i = 0; i < kTasksPer; ++i) {
+        pool.Submit(static_cast<Lane>(i % kNumLanes), [] {});
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.WaitIdle();
+  done.store(true, std::memory_order_release);
+  scraper.join();
+  EXPECT_GE(min_seen, 0.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+}
+
+TEST(ThreadPoolLaneTest, NestedParallelForAcrossLanes) {
+  // Interactive batches spawning batch-lane sub-batches (and the
+  // reverse) must complete without deadlock — the caller participates in
+  // its own batch, and the lock-rank detector (debug/sanitizer builds)
+  // checks the mu_ -> batch_mu ordering on every acquisition.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(Lane::kInteractive, 4, [&pool, &total](size_t) {
+    pool.ParallelFor(Lane::kBatch, 6, [&total](size_t) {
+      total.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(total.load(), 4 * 6);
+  pool.ParallelFor(Lane::kBatch, 3, [&pool, &total](size_t) {
+    pool.ParallelFor(Lane::kInteractive, 5,
+                     [&total](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 4 * 6 + 3 * 5);
+}
+
+TEST(ThreadPoolLaneTest, BoundedLaneRunsOverflowInlineOnCaller) {
+  auto& overflow = obs::MetricsRegistry::Global().GetCounter(
+      "querc_threadpool_lane_overflow_total", {{"lane", "batch"}});
+  uint64_t overflow_before = overflow.value();
+  ThreadPool::Options options;
+  options.num_threads = 1;
+  options.lane_capacity = 2;
+  ThreadPool pool(options);
+  Gate gate(&pool, 1);
+  for (int i = 0; i < 2; ++i) pool.Submit(Lane::kBatch, [] {});
+  EXPECT_EQ(pool.queue_depth(Lane::kBatch), 2u);
+  // The lane is full: the third submit must run inline on this thread,
+  // synchronously, before Submit returns — backpressure, not growth.
+  std::thread::id caller = std::this_thread::get_id();
+  bool ran_on_caller = false;
+  pool.Submit(Lane::kBatch, [&] {
+    ran_on_caller = std::this_thread::get_id() == caller;
+  });
+  EXPECT_TRUE(ran_on_caller);
+  EXPECT_EQ(pool.queue_depth(Lane::kBatch), 2u);
+  EXPECT_EQ(overflow.value(), overflow_before + 1);
+  gate.Open();
+  pool.WaitIdle();
+}
+
+TEST(ThreadPoolLaneTest, PublishesPerLaneTelemetry) {
+  auto& registry = obs::MetricsRegistry::Global();
+  auto& interactive_tasks = registry.GetCounter(
+      "querc_threadpool_tasks_total", {{"lane", "interactive"}});
+  auto& batch_tasks =
+      registry.GetCounter("querc_threadpool_tasks_total", {{"lane", "batch"}});
+  uint64_t interactive_before = interactive_tasks.value();
+  uint64_t batch_before = batch_tasks.value();
+
+  ThreadPool pool(2);
+  for (int i = 0; i < 10; ++i) pool.Submit(Lane::kInteractive, [] {});
+  for (int i = 0; i < 7; ++i) pool.Submit(Lane::kBatch, [] {});
+  pool.WaitIdle();
+
+  EXPECT_EQ(interactive_tasks.value(), interactive_before + 10);
+  EXPECT_EQ(batch_tasks.value(), batch_before + 7);
+  EXPECT_DOUBLE_EQ(
+      registry.GetGauge("querc_threadpool_queue_depth", {{"lane", "batch"}})
+          .value(),
+      0.0);
+  EXPECT_DOUBLE_EQ(registry
+                       .GetGauge("querc_threadpool_queue_depth",
+                                 {{"lane", "interactive"}})
+                       .value(),
+                   0.0);
+  EXPECT_GE(registry
+                .GetHistogram("querc_threadpool_task_ms", {{"lane", "batch"}})
+                .Snapshot()
+                .count,
+            7u);
+}
+
+// TSan stress: mixed-lane submissions and nested cross-lane batches from
+// several threads at once exercise every queue/gauge/latch path under
+// the race detector.
+TEST(ThreadPoolLaneTest, MixedLaneStress) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::vector<std::thread> drivers;
+  drivers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    drivers.emplace_back([&pool, &total, t] {
+      for (int round = 0; round < 30; ++round) {
+        pool.Submit(static_cast<Lane>(round % kNumLanes),
+                    [&total] { total.fetch_add(1); });
+        if (round % 3 == t % 3) {
+          pool.ParallelFor(static_cast<Lane>((round + t) % kNumLanes), 8,
+                           [&total](size_t) { total.fetch_add(1); });
+        }
+      }
+    });
+  }
+  for (auto& d : drivers) d.join();
+  pool.WaitIdle();
+  EXPECT_EQ(total.load(), 4 * 30 + 4 * 10 * 8);
 }
 
 }  // namespace

@@ -1,0 +1,128 @@
+// Tests for util/topology: cpulist parsing, the flat fallback, the
+// detected system topology's invariants, and the SpawnThread / pinning
+// chokepoints. Detection must never fail — on any platform or container
+// it degrades to Flat(hardware_concurrency) — so these tests assert the
+// invariants every caller is allowed to rely on, not machine specifics.
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "util/topology.h"
+
+namespace querc::util {
+namespace {
+
+TEST(ParseCpuListTest, SingleRange) {
+  EXPECT_EQ(ParseCpuList("0-3"), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ParseCpuListTest, SingletonsAndRangesMixed) {
+  EXPECT_EQ(ParseCpuList("0,2,4"), (std::vector<int>{0, 2, 4}));
+  EXPECT_EQ(ParseCpuList("0-1,8,10-11"),
+            (std::vector<int>{0, 1, 8, 10, 11}));
+}
+
+TEST(ParseCpuListTest, WhitespaceAndNewlineTolerated) {
+  // sysfs files end with a newline; stray spaces must not break parsing.
+  EXPECT_EQ(ParseCpuList("0-1\n"), (std::vector<int>{0, 1}));
+  EXPECT_EQ(ParseCpuList(" 2 , 4 "), (std::vector<int>{2, 4}));
+}
+
+TEST(ParseCpuListTest, DuplicatesDeduped) {
+  EXPECT_EQ(ParseCpuList("0-2,1,2"), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ParseCpuListTest, MalformedFragmentsSkippedNotFatal) {
+  EXPECT_TRUE(ParseCpuList("").empty());
+  EXPECT_TRUE(ParseCpuList("abc").empty());
+  EXPECT_TRUE(ParseCpuList("3-1").empty());  // inverted range
+  // A bad fragment must not poison its good neighbors.
+  EXPECT_EQ(ParseCpuList("0-1,zz,4"), (std::vector<int>{0, 1, 4}));
+}
+
+TEST(TopologyTest, FlatHasExpectedShape) {
+  Topology flat = Topology::Flat(4);
+  ASSERT_EQ(flat.num_cpus(), 4u);
+  EXPECT_EQ(flat.num_cores(), 4u);  // one core per cpu: no SMT
+  EXPECT_EQ(flat.num_nodes(), 1u);
+  EXPECT_FALSE(flat.smt());
+  for (size_t i = 0; i < flat.cpus.size(); ++i) {
+    EXPECT_EQ(flat.cpus[i].id, static_cast<int>(i));
+    EXPECT_EQ(flat.cpus[i].node, 0);
+  }
+  EXPECT_EQ(flat.CpusOfNode(0).size(), 4u);
+  EXPECT_TRUE(flat.CpusOfNode(1).empty());
+}
+
+TEST(TopologyTest, FlatZeroGuardedToOneCpu) {
+  Topology flat = Topology::Flat(0);
+  EXPECT_EQ(flat.num_cpus(), 1u);
+}
+
+TEST(TopologyTest, DetectedTopologyHoldsInvariants) {
+  Topology topo = Topology::Detect();
+  ASSERT_GE(topo.num_cpus(), 1u);
+  EXPECT_GE(topo.num_cores(), 1u);
+  EXPECT_LE(topo.num_cores(), topo.num_cpus());
+  EXPECT_GE(topo.num_nodes(), 1u);
+  // cpus are listed in ascending id order with no duplicates, and every
+  // cpu belongs to a node that CpusOfNode() can find it under.
+  std::set<int> ids;
+  for (size_t i = 0; i < topo.cpus.size(); ++i) {
+    const Topology::Cpu& cpu = topo.cpus[i];
+    EXPECT_TRUE(ids.insert(cpu.id).second) << "duplicate cpu id " << cpu.id;
+    if (i > 0) {
+      EXPECT_GT(cpu.id, topo.cpus[i - 1].id);
+    }
+    std::vector<int> node_cpus = topo.CpusOfNode(cpu.node);
+    EXPECT_NE(std::find(node_cpus.begin(), node_cpus.end(), cpu.id),
+              node_cpus.end());
+  }
+}
+
+TEST(TopologyTest, SystemIsCachedAndStable) {
+  const Topology& a = Topology::System();
+  const Topology& b = Topology::System();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_cpus(), 1u);
+}
+
+TEST(TopologyTest, DefaultThreadCountNeverZero) {
+  EXPECT_GE(DefaultThreadCount(), 1u);
+  EXPECT_EQ(DefaultThreadCount(), Topology::System().num_cpus());
+}
+
+TEST(TopologyTest, PinCurrentThreadIsBestEffort) {
+  // Pinning to the first online cpu either succeeds or reports failure —
+  // it must never crash or throw, even in restricted containers.
+  int first = Topology::System().cpus.front().id;
+  (void)PinCurrentThreadToCpu(first);
+  // An absurd cpu id must fail cleanly rather than misbehave.
+  EXPECT_FALSE(PinCurrentThreadToCpu(1 << 20));
+}
+
+TEST(TopologyTest, SpawnThreadRunsBodyAndJoins) {
+  std::atomic<bool> ran{false};
+  std::thread t = SpawnThread("querc-test", [&ran] {
+    ran.store(true, std::memory_order_release);
+  });
+  ASSERT_TRUE(t.joinable());
+  t.join();
+  EXPECT_TRUE(ran.load(std::memory_order_acquire));
+}
+
+TEST(TopologyTest, SpawnThreadTruncatesLongNames) {
+  // Linux caps thread names at 15 chars + NUL; a longer tag must be
+  // truncated silently, not rejected.
+  std::atomic<bool> ran{false};
+  std::thread t = SpawnThread("querc-very-long-thread-name-tag",
+                              [&ran] { ran.store(true); });
+  t.join();
+  EXPECT_TRUE(ran.load());
+}
+
+}  // namespace
+}  // namespace querc::util

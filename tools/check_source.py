@@ -9,6 +9,12 @@ Enforces the concurrency conventions that the compiler cannot:
                   variants) are banned outside src/util/ — service code
                   must use util::Mutex / util::MutexLock / util::CondVar
                   so every lock is annotated and rank-checked.
+  raw-thread      constructing a std::thread is banned outside src/util/ —
+                  threads must come from util::SpawnThread (named, best-
+                  effort pinnable) or util::ThreadPool (laned, telemetered)
+                  so no worker bypasses the topology layer. Declaring an
+                  empty handle (std::thread t;) or a member stays legal:
+                  only construction with a body is flagged.
   detached-thread std::thread::detach() is banned everywhere: a detached
                   thread outlives scoped state invisibly and can never be
                   drained on shutdown (every thread in the tree is joined
@@ -47,6 +53,13 @@ RAW_MUTEX_RE = re.compile(
     r"|std::scoped_lock\b"
     r"|std::shared_lock\b"
     r"|std::condition_variable(?:_any)?\b"
+)
+# std::thread directly (or through one identifier) followed by ( or { is
+# a construction with a body. `std::thread t;`, member declarations, and
+# `std::vector<std::thread>` have no following ( or { and stay legal.
+RAW_THREAD_RE = re.compile(
+    r"std::thread\s*[({]"
+    r"|std::thread\s+[A-Za-z_]\w*\s*[({]"
 )
 DETACH_RE = re.compile(r"\.\s*detach\s*\(")
 # An identifier-named parameter list directly followed by REQUIRES(...)
@@ -139,6 +152,13 @@ def lint_file(relpath, text):
                    f"{m.group(0)} is banned outside src/util/; use "
                    "util::Mutex / util::MutexLock / util::CondVar "
                    "(util/mutex.h)")
+
+    if not relpath.startswith(RAW_MUTEX_EXEMPT_PREFIX):
+        for m in RAW_THREAD_RE.finditer(code):
+            yield (relpath, line_of(code, m.start()), "raw-thread",
+                   "raw std::thread construction is banned outside "
+                   "src/util/; spawn via util::SpawnThread or "
+                   "util::ThreadPool (util/topology.h)")
 
     for m in DETACH_RE.finditer(code):
         yield (relpath, line_of(code, m.start()), "detached-thread",

@@ -15,20 +15,22 @@
 //   querc label      --model m.bin --history h.csv --batch b.csv
 //                    --task user|account|cluster
 //   querc pool       --model m.bin --history h.csv --batch b.csv
-//                    [--task t] [--shards N] [--partition account|user|rr]
-//                    [--embed-cache N]
+//                    [--task t] [--shards N] [--threads N]
+//                    [--partition account|user|rr] [--embed-cache N]
 //   querc stats      [--model m.bin --history h.csv --batch b.csv]
-//                    [--task t] [--shards N] [--partition account|user|rr]
+//                    [--task t] [--shards N] [--threads N]
+//                    [--partition account|user|rr]
 //                    [--repeat N] [--format text|prom|json] [--out file]
 //                    [--report-ms N] [--embed-cache N]
 //   querc lint       --workload w.csv | --stdin [--dialect d]
 //                    [--format text|json|sarif] [--advise] [--fail-on sev]
 //   querc chaos      [--shards N] [--faults N] [--sink-failure-rate F]
 //                    [--max-in-flight N] [--out report.json] [--flightrec]
-//   querc trace      [--queries N] [--shards N] [--slowest N]
+//   querc trace      [--queries N] [--shards N] [--threads N] [--slowest N]
 //                    [--out trace.json]
 //   querc info       --model m.bin
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -53,6 +55,7 @@
 #include "querc/drift.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
+#include "util/topology.h"
 #include "workload/io.h"
 
 namespace querc::cli {
@@ -99,6 +102,20 @@ class Args {
 int Fail(const util::Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Shared sizing flags (DESIGN.md §17). `--shards` defaults to one
+/// QWorker shard per cpu via the topology module, capped per command so
+/// demo output stays readable; `--threads` sizes the pool's workers
+/// (0 = the pool decides from the same topology).
+size_t ShardsFlag(const Args& args, size_t cap) {
+  int v = args.GetInt("shards", 0);
+  if (v > 0) return static_cast<size_t>(v);
+  return std::min(util::DefaultThreadCount(), cap);
+}
+
+size_t ThreadsFlag(const Args& args) {
+  return static_cast<size_t>(std::max(0, args.GetInt("threads", 0)));
 }
 
 util::StatusOr<workload::Workload> LoadWorkload(const Args& args,
@@ -377,7 +394,8 @@ int CmdPool(const Args& args) {
 
   core::QWorkerPool::Options options;
   options.application = "cli";
-  options.num_shards = static_cast<size_t>(args.GetInt("shards", 4));
+  options.num_shards = ShardsFlag(args, 8);
+  options.threads = ThreadsFlag(args);
   options.max_in_flight = static_cast<size_t>(args.GetInt("max-in-flight", 0));
   options.worker.embed_cache_capacity =
       static_cast<size_t>(args.GetInt("embed-cache", 4096));
@@ -508,7 +526,8 @@ int CmdStats(const Args& args) {
 
   core::QWorkerPool::Options options;
   options.application = "cli";
-  options.num_shards = static_cast<size_t>(args.GetInt("shards", 4));
+  options.num_shards = ShardsFlag(args, 8);
+  options.threads = ThreadsFlag(args);
   options.max_in_flight = static_cast<size_t>(args.GetInt("max-in-flight", 0));
   options.worker.deadline_ms = args.GetDouble("deadline-ms", 0.0);
   options.worker.embed_cache_capacity =
@@ -718,7 +737,7 @@ int CmdStats(const Args& args) {
 /// tripped and re-closed, per-account shed reconciliation).
 int CmdChaosNoisyNeighbor(const Args& args) {
   core::NoisyNeighborOptions options;
-  options.num_shards = static_cast<size_t>(args.GetInt("shards", 2));
+  options.num_shards = ShardsFlag(args, 2);
   options.num_victims = static_cast<size_t>(args.GetInt("victims", 3));
   options.overload_factor = args.GetDouble("overload-factor", 10.0);
   options.warmup_rounds = static_cast<size_t>(args.GetInt("warmup", 10));
@@ -777,7 +796,7 @@ int CmdChaosNoisyNeighbor(const Args& args) {
 int CmdChaos(const Args& args) {
   if (args.GetBool("noisy-neighbor")) return CmdChaosNoisyNeighbor(args);
   core::ChaosOptions options;
-  options.num_shards = static_cast<size_t>(args.GetInt("shards", 2));
+  options.num_shards = ShardsFlag(args, 2);
   options.warmup_queries = static_cast<size_t>(args.GetInt("warmup", 100));
   options.fault_queries = static_cast<size_t>(args.GetInt("faults", 300));
   options.recovery_queries =
@@ -868,7 +887,8 @@ int CmdTrace(const Args& args) {
 
   core::QWorkerPool::Options options;
   options.application = "trace";
-  options.num_shards = static_cast<size_t>(args.GetInt("shards", 4));
+  options.num_shards = ShardsFlag(args, 8);
+  options.threads = ThreadsFlag(args);
   options.worker.deadline_ms = args.GetDouble("deadline-ms", 0.0);
   options.worker.embed_cache_capacity =
       static_cast<size_t>(args.GetInt("embed-cache", 4096));
@@ -1134,12 +1154,14 @@ int Usage() {
       "  audit      --model m.bin --history h.csv --batch b.csv\n"
       "  label      --model m.bin --history h.csv --batch b.csv --task t\n"
       "  pool       --model m.bin --history h.csv --batch b.csv [--task t]\n"
-      "             [--shards N] [--partition account|user|rr]\n"
+      "             [--shards N] [--threads N] [--partition account|user|rr]\n"
+      "             (shards/threads default to the machine topology)\n"
       "             [--embed-cache N]   (template cache entries; 0 disables)\n"
       "             [--max-in-flight N] [--quota BURST[:RATE]]\n"
       "             [--tenant-weight acct=W,...]   (tenant admission)\n"
       "  stats      [--model m.bin --history h.csv --batch b.csv] [--task t]\n"
-      "             [--shards N] [--partition account|user|rr] [--repeat N]\n"
+      "             [--shards N] [--threads N] [--partition account|user|rr]\n"
+      "             [--repeat N]\n"
       "             [--format text|prom|json] [--out f] [--report-ms N]\n"
       "             [--embed-cache N]   (template cache entries; 0 disables)\n"
       "             [--quota BURST[:RATE]] [--tenant-weight acct=W,...]\n"
@@ -1150,7 +1172,8 @@ int Usage() {
       "             [--noisy-neighbor]   (tenant-isolation drill; also\n"
       "             [--victims N] [--overload-factor F] [--flood N]\n"
       "             [--quota-burst F] [--quota-rate F])\n"
-      "  trace      [--queries N] [--shards N] [--slowest N] [--seed N]\n"
+      "  trace      [--queries N] [--shards N] [--threads N] [--slowest N]\n"
+      "             [--seed N]\n"
       "             [--out trace.json]   (Perfetto JSON for slowest queries)\n"
       "  explain    --workload w.csv [--indexes t:c1,c2;t2:c] [--limit N]\n"
       "  drift      --model m.bin --reference r.csv --recent n.csv\n"

@@ -94,6 +94,15 @@ run_config() {
   echo "==== [$name] tenant fairness smoke ===="
   (cd "$dir" && ./bench/bench_tenant_fairness --smoke $agg_flags \
     --out BENCH_tenant_smoke.json >/dev/null)
+  # Sched latency smoke: the lane-scheduling contract (interactive p99
+  # under a batch-lane flood within max(10x unloaded p99, 20 ms); the
+  # same-lane FIFO baseline violating that bound; batch still making
+  # progress) must hold in every config — the flood sleeps rather than
+  # spins, so queueing delay survives sanitizer slowdowns. The 2x
+  # separation perf gate runs plain-only.
+  echo "==== [$name] sched latency smoke ===="
+  (cd "$dir" && ./bench/bench_sched_latency --smoke $agg_flags \
+    --out BENCH_sched_smoke.json >/dev/null)
   # Trace smoke: `querc trace` must reassemble per-query traces from the
   # journal and emit Perfetto-loadable JSON end to end.
   echo "==== [$name] trace smoke ===="
